@@ -1,0 +1,220 @@
+//! Exact minimum weight hypergraph vertex cover by branch and bound.
+//!
+//! Ground truth for the approximation-ratio experiments (F6). Exponential in
+//! the worst case, so callers pass a node budget; within the budget the
+//! returned cover is provably optimal.
+
+use dcover_hypergraph::{Cover, EdgeId, Hypergraph, VertexId};
+
+use crate::sequential::greedy_cover;
+
+/// Result of an exact search.
+#[derive(Clone, Debug)]
+pub struct ExactResult {
+    /// The best cover found.
+    pub cover: Cover,
+    /// `w(cover)`.
+    pub weight: u64,
+    /// Search-tree nodes explored.
+    pub nodes_explored: u64,
+    /// Whether the search completed (true ⇒ `cover` is optimal).
+    pub optimal: bool,
+}
+
+struct Search<'a> {
+    g: &'a Hypergraph,
+    selected: Vec<bool>,
+    cover_count: Vec<u32>, // per edge: # selected members
+    best_weight: u64,
+    best: Vec<bool>,
+    nodes: u64,
+    budget: u64,
+}
+
+impl Search<'_> {
+    fn first_uncovered(&self) -> Option<EdgeId> {
+        self.g
+            .edges()
+            .find(|&e| self.cover_count[e.index()] == 0)
+    }
+
+    /// Lower bound: greedily pick pairwise-disjoint uncovered edges; any
+    /// cover pays at least the cheapest member of each.
+    fn lower_bound(&self) -> u64 {
+        let mut used = vec![false; self.g.n()];
+        let mut lb = 0u64;
+        for e in self.g.edges() {
+            if self.cover_count[e.index()] > 0 {
+                continue;
+            }
+            if self.g.edge(e).iter().any(|&v| used[v.index()]) {
+                continue;
+            }
+            lb += self
+                .g
+                .edge(e)
+                .iter()
+                .map(|&v| self.g.weight(v))
+                .min()
+                .expect("edges are non-empty");
+            for &v in self.g.edge(e) {
+                used[v.index()] = true;
+            }
+        }
+        lb
+    }
+
+    fn dfs(&mut self, current_weight: u64) {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return;
+        }
+        if current_weight + self.lower_bound() >= self.best_weight {
+            return;
+        }
+        let Some(e) = self.first_uncovered() else {
+            // Full cover, strictly better (pruned otherwise).
+            self.best_weight = current_weight;
+            self.best = self.selected.clone();
+            return;
+        };
+        let members: Vec<VertexId> = self.g.edge(e).to_vec();
+        for v in members {
+            debug_assert!(!self.selected[v.index()], "members of an uncovered edge are unselected");
+            self.selected[v.index()] = true;
+            for &e2 in self.g.incident_edges(v) {
+                self.cover_count[e2.index()] += 1;
+            }
+            self.dfs(current_weight + self.g.weight(v));
+            self.selected[v.index()] = false;
+            for &e2 in self.g.incident_edges(v) {
+                self.cover_count[e2.index()] -= 1;
+            }
+        }
+    }
+}
+
+/// Finds a minimum weight vertex cover, exploring at most `node_budget`
+/// search nodes. If the budget is exhausted the result is the best cover
+/// found so far and `optimal == false`.
+///
+/// # Panics
+///
+/// Panics if `node_budget == 0`.
+#[must_use]
+pub fn solve_exact(g: &Hypergraph, node_budget: u64) -> ExactResult {
+    assert!(node_budget > 0, "need a positive node budget");
+    // Seed the incumbent with greedy so pruning bites immediately.
+    let greedy = greedy_cover(g);
+    let mut search = Search {
+        g,
+        selected: vec![false; g.n()],
+        cover_count: vec![0; g.m()],
+        best_weight: greedy.weight(g),
+        best: (0..g.n())
+            .map(|i| greedy.contains(VertexId::new(i)))
+            .collect(),
+        nodes: 0,
+        budget: node_budget,
+    };
+    search.dfs(0);
+    let optimal = search.nodes <= search.budget;
+    let cover = Cover::from_ids(
+        g.n(),
+        (0..g.n())
+            .filter(|&i| search.best[i])
+            .map(VertexId::new),
+    );
+    debug_assert!(g.m() == 0 || cover.is_cover_of(g));
+    ExactResult {
+        weight: cover.weight(g),
+        cover,
+        nodes_explored: search.nodes,
+        optimal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::bar_yehuda_even;
+    use dcover_hypergraph::generators::{clique, cycle, random_uniform, RandomUniform, WeightDist};
+    use dcover_hypergraph::{from_edge_lists, from_weighted_edge_lists};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn triangle_opt_is_two() {
+        let g = from_edge_lists(3, &[&[0, 1], &[1, 2], &[2, 0]]).unwrap();
+        let r = solve_exact(&g, 10_000);
+        assert!(r.optimal);
+        assert_eq!(r.weight, 2);
+        assert!(r.cover.is_cover_of(&g));
+    }
+
+    #[test]
+    fn clique_opt_is_n_minus_one() {
+        let g = clique(7);
+        let r = solve_exact(&g, 1_000_000);
+        assert!(r.optimal);
+        assert_eq!(r.weight, 6);
+    }
+
+    #[test]
+    fn even_cycle_opt_is_half() {
+        let g = cycle(10);
+        let r = solve_exact(&g, 1_000_000);
+        assert!(r.optimal);
+        assert_eq!(r.weight, 5);
+    }
+
+    #[test]
+    fn weighted_path_prefers_cheap_middle() {
+        let g = from_weighted_edge_lists(&[10, 1, 10], &[&[0, 1], &[1, 2]]).unwrap();
+        let r = solve_exact(&g, 10_000);
+        assert!(r.optimal);
+        assert_eq!(r.weight, 1);
+    }
+
+    #[test]
+    fn exact_lower_bounds_all_heuristics() {
+        let mut rng = StdRng::seed_from_u64(63);
+        for f in [2usize, 3] {
+            let g = random_uniform(
+                &RandomUniform {
+                    n: 16,
+                    m: 24,
+                    rank: f,
+                    weights: WeightDist::Uniform { min: 1, max: 9 },
+                },
+                &mut rng,
+            );
+            let exact = solve_exact(&g, 5_000_000);
+            assert!(exact.optimal);
+            let bye = bar_yehuda_even(&g);
+            let greedy = crate::sequential::greedy_cover(&g);
+            assert!(exact.weight <= bye.weight);
+            assert!(exact.weight <= greedy.weight(&g));
+            // BYE's dual lower-bounds OPT.
+            assert!(bye.dual_total <= exact.weight);
+            // f-approximation guarantee against true OPT.
+            assert!(bye.weight <= f as u64 * exact.weight);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_nonoptimal() {
+        let g = clique(12);
+        let r = solve_exact(&g, 3);
+        assert!(!r.optimal);
+        assert!(r.cover.is_cover_of(&g)); // greedy incumbent is still valid
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = from_edge_lists(2, &[]).unwrap();
+        let r = solve_exact(&g, 10);
+        assert!(r.optimal);
+        assert_eq!(r.weight, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Centralized baselines: Bar-Yehuda–Even primal-dual and greedy set cover.
+//!
+//! These are not distributed algorithms; they serve as quality yardsticks
+//! and (for Bar-Yehuda–Even) as an exact-integer dual lower bound on the
+//! fractional optimum used throughout the approximation-ratio experiments.
+
+use dcover_hypergraph::{Cover, Hypergraph, VertexId};
+
+/// Result of the sequential Bar-Yehuda–Even f-approximation.
+#[derive(Clone, Debug)]
+pub struct ByeResult {
+    /// The computed cover (all zero-slack vertices).
+    pub cover: Cover,
+    /// `w(C)`.
+    pub weight: u64,
+    /// Integral dual `δ(e)` per edge (feasible edge packing).
+    pub duals: Vec<u64>,
+    /// `Σ_e δ(e) ≤ OPT_fractional` — exact, no floating point.
+    pub dual_total: u64,
+}
+
+impl ByeResult {
+    /// Certified upper bound on the approximation ratio (≤ f by the classic
+    /// analysis).
+    #[must_use]
+    pub fn ratio_upper_bound(&self) -> f64 {
+        if self.weight == 0 {
+            1.0
+        } else {
+            self.weight as f64 / self.dual_total as f64
+        }
+    }
+}
+
+/// The classic sequential primal-dual f-approximation (Bar-Yehuda & Even):
+/// scan edges once; for each uncovered edge raise its dual to the minimum
+/// residual slack of its members; zero-slack vertices join the cover.
+///
+/// Runs in `O(Σ|e|)` time with exact integer arithmetic.
+#[must_use]
+pub fn bar_yehuda_even(g: &Hypergraph) -> ByeResult {
+    let mut slack: Vec<u64> = g.weights().to_vec();
+    let mut duals = vec![0u64; g.m()];
+    let mut cover = Cover::empty(g.n());
+    for e in g.edges() {
+        if g.edge(e).iter().any(|&v| cover.contains(v)) {
+            continue;
+        }
+        let t = g
+            .edge(e)
+            .iter()
+            .map(|&v| slack[v.index()])
+            .min()
+            .expect("edges are non-empty");
+        duals[e.index()] = t;
+        for &v in g.edge(e) {
+            slack[v.index()] -= t;
+            if slack[v.index()] == 0 {
+                cover.insert(v);
+            }
+        }
+    }
+    debug_assert!(g.m() == 0 || cover.is_cover_of(g));
+    let weight = cover.weight(g);
+    let dual_total = duals.iter().sum();
+    ByeResult {
+        cover,
+        weight,
+        duals,
+        dual_total,
+    }
+}
+
+/// Greedy weighted set cover: repeatedly add the vertex minimizing
+/// `w(v) / #newly covered edges` (`H_Δ`-approximation; often excellent in
+/// practice, with no distributed analogue at this quality).
+#[must_use]
+pub fn greedy_cover(g: &Hypergraph) -> Cover {
+    let mut cover = Cover::empty(g.n());
+    let mut covered = vec![false; g.m()];
+    let mut remaining = g.m();
+    while remaining > 0 {
+        let mut best: Option<(VertexId, u64, usize)> = None; // (v, w, gain)
+        for v in g.vertices() {
+            if cover.contains(v) {
+                continue;
+            }
+            let gain = g
+                .incident_edges(v)
+                .iter()
+                .filter(|&&e| !covered[e.index()])
+                .count();
+            if gain == 0 {
+                continue;
+            }
+            let w = g.weight(v);
+            let better = match best {
+                None => true,
+                // w/gain < bw/bgain  <=>  w·bgain < bw·gain
+                Some((_, bw, bgain)) => {
+                    (w as u128) * (bgain as u128) < (bw as u128) * (gain as u128)
+                }
+            };
+            if better {
+                best = Some((v, w, gain));
+            }
+        }
+        let (v, _, gain) = best.expect("uncovered edges imply a useful vertex");
+        cover.insert(v);
+        for &e in g.incident_edges(v) {
+            if !covered[e.index()] {
+                covered[e.index()] = true;
+                remaining -= 1;
+            }
+        }
+        debug_assert!(gain > 0);
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
+    use dcover_hypergraph::{from_edge_lists, from_weighted_edge_lists};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bye_on_path_picks_middle() {
+        let g = from_weighted_edge_lists(&[10, 1, 10], &[&[0, 1], &[1, 2]]).unwrap();
+        let r = bar_yehuda_even(&g);
+        assert!(r.cover.is_cover_of(&g));
+        assert_eq!(r.weight, 1);
+        assert_eq!(r.dual_total, 1);
+    }
+
+    #[test]
+    fn bye_ratio_within_f() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for f in [2usize, 3, 5] {
+            let g = random_uniform(
+                &RandomUniform {
+                    n: 60,
+                    m: 160,
+                    rank: f,
+                    weights: WeightDist::Uniform { min: 1, max: 40 },
+                },
+                &mut rng,
+            );
+            let r = bar_yehuda_even(&g);
+            assert!(r.cover.is_cover_of(&g));
+            assert!(
+                r.ratio_upper_bound() <= f as f64 + 1e-12,
+                "ratio {} exceeds f = {f}",
+                r.ratio_upper_bound()
+            );
+            // Dual feasibility, exactly.
+            for v in g.vertices() {
+                let sum: u64 = g
+                    .incident_edges(v)
+                    .iter()
+                    .map(|&e| r.duals[e.index()])
+                    .sum();
+                assert!(sum <= g.weight(v));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_covers_and_is_reasonable() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let g = random_uniform(
+            &RandomUniform {
+                n: 50,
+                m: 120,
+                rank: 3,
+                weights: WeightDist::Uniform { min: 1, max: 20 },
+            },
+            &mut rng,
+        );
+        let c = greedy_cover(&g);
+        assert!(c.is_cover_of(&g));
+        // Greedy never worse than taking everything.
+        assert!(c.weight(&g) <= g.total_weight());
+    }
+
+    #[test]
+    fn greedy_prefers_cheap_hub() {
+        // A cheap hub covering everything vs expensive leaves.
+        let g = from_weighted_edge_lists(&[1, 50, 50, 50], &[&[0, 1], &[0, 2], &[0, 3]])
+            .unwrap();
+        let c = greedy_cover(&g);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(VertexId::new(0)));
+    }
+
+    #[test]
+    fn empty_instances() {
+        let g = from_edge_lists(3, &[]).unwrap();
+        assert_eq!(bar_yehuda_even(&g).weight, 0);
+        assert!(greedy_cover(&g).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! **W1 — wall-clock benchmarks** (Criterion): not a paper artifact, but
+//! the throughput record for the implementation itself — solver end to end
+//! (distributed and reference), the raw simulator, and the ILP pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcover_baselines::sequential::bar_yehuda_even;
+use dcover_core::{solve_reference, MwhvcConfig, MwhvcSolver, NullObserver};
+use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
+use dcover_hypergraph::Hypergraph;
+use dcover_ilp::{random_ilp, IlpSolver, RandomIlp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance(n: usize, m: usize, rank: usize, seed: u64) -> Hypergraph {
+    random_uniform(
+        &RandomUniform {
+            n,
+            m,
+            rank,
+            weights: WeightDist::Uniform { min: 1, max: 100 },
+        },
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwhvc_solve");
+    group.sample_size(10);
+    for &(n, m) in &[(500usize, 1000usize), (2000, 4000), (8000, 16000)] {
+        let g = instance(n, m, 3, 42);
+        group.bench_with_input(
+            BenchmarkId::new("distributed", format!("n{n}_m{m}")),
+            &g,
+            |b, g| {
+                let solver = MwhvcSolver::with_epsilon(0.5).unwrap();
+                b.iter(|| solver.solve(g).expect("solve"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("n{n}_m{m}")),
+            &g,
+            |b, g| {
+                let cfg = MwhvcConfig::new(0.5).unwrap();
+                b.iter(|| solve_reference(g, &cfg, &mut NullObserver).expect("solve"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bar_yehuda_even", format!("n{n}_m{m}")),
+            &g,
+            |b, g| b.iter(|| bar_yehuda_even(g)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_pipeline");
+    group.sample_size(10);
+    let ilp = random_ilp(
+        &RandomIlp {
+            n: 80,
+            m: 120,
+            row_support: 3,
+            coeff_max: 3,
+            b_max: 6,
+            weight_max: 10,
+            zero_one: true,
+        },
+        &mut StdRng::seed_from_u64(7),
+    );
+    group.bench_function("zero_one_reduce_and_solve", |b| {
+        let solver = IlpSolver::new(MwhvcConfig::new(0.5).unwrap());
+        b.iter(|| solver.solve(&ilp).expect("solve"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_ilp);
+criterion_main!(benches);

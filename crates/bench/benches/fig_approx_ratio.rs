@@ -1,0 +1,112 @@
+//! **F6 — approximation quality (Corollary 3 / Claim 20)**: measured ratio
+//! against ground truth.
+//!
+//! Two regimes:
+//! * *small instances* — exact OPT by branch and bound; we report the true
+//!   ratio `w(C)/OPT` over many seeds (max and mean) next to the guarantee
+//!   `f + ε`;
+//! * *large planted instances* — OPT is upper-bounded by the planted cover,
+//!   so `w(C)/w(planted)` upper-bounds the ratio.
+//!
+//! Every algorithm's own dual certificate `w(C)/Σδ` is also shown: it must
+//! dominate the true ratio and stay below `f + ε`.
+
+use dcover_baselines::exact::solve_exact;
+use dcover_baselines::sequential::{bar_yehuda_even, greedy_cover};
+use dcover_bench::{f, max, mean, Table};
+use dcover_core::{MwhvcSolver, Variant};
+use dcover_hypergraph::generators::{planted_cover, random_uniform, RandomUniform, WeightDist};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("# F6 — approximation ratio vs ground truth (Cor. 3)");
+    let eps = 0.5;
+
+    let mut table = Table::new(
+        "small instances with exact OPT (40 seeds each)",
+        &[
+            "f",
+            "n/m",
+            "true ratio max",
+            "true ratio mean",
+            "cert. ratio max",
+            "guarantee f+ε",
+            "BYE true max",
+            "greedy true max",
+        ],
+    );
+    for rank in [2usize, 3] {
+        let mut true_ratios = Vec::new();
+        let mut cert_ratios = Vec::new();
+        let mut bye_ratios = Vec::new();
+        let mut greedy_ratios = Vec::new();
+        for seed in 0..40u64 {
+            let g = random_uniform(
+                &RandomUniform {
+                    n: 16,
+                    m: 26,
+                    rank,
+                    weights: WeightDist::Uniform { min: 1, max: 12 },
+                },
+                &mut StdRng::seed_from_u64(9000 + 100 * rank as u64 + seed),
+            );
+            let exact = solve_exact(&g, 20_000_000);
+            assert!(exact.optimal, "exact search must finish on small instances");
+            if exact.weight == 0 {
+                continue;
+            }
+            let ours = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).expect("solve");
+            true_ratios.push(ours.weight as f64 / exact.weight as f64);
+            cert_ratios.push(ours.ratio_upper_bound());
+            bye_ratios.push(bar_yehuda_even(&g).weight as f64 / exact.weight as f64);
+            greedy_ratios.push(greedy_cover(&g).weight(&g) as f64 / exact.weight as f64);
+        }
+        assert!(max(&true_ratios) <= rank as f64 + eps + 1e-9);
+        table.row([
+            rank.to_string(),
+            "16/26".to_string(),
+            f(max(&true_ratios), 3),
+            f(mean(&true_ratios), 3),
+            f(max(&cert_ratios), 3),
+            f(rank as f64 + eps, 2),
+            f(max(&bye_ratios), 3),
+            f(max(&greedy_ratios), 3),
+        ]);
+    }
+    table.print();
+
+    let mut table = Table::new(
+        "large planted-OPT instances (w(C) / planted upper-bounds the ratio)",
+        &["f", "n/m", "planted k", "w(C)/w(planted) std", "half-bid", "guarantee f+ε"],
+    );
+    for rank in [3usize, 5] {
+        let (g, planted) = planted_cover(
+            4000,
+            9000,
+            rank,
+            60,
+            1000,
+            &mut StdRng::seed_from_u64(9500 + rank as u64),
+        );
+        let planted_weight: u64 = planted.len() as u64; // planted weights are 1
+        let ours = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).expect("solve");
+        let half = MwhvcSolver::new(
+            dcover_core::MwhvcConfig::new(eps)
+                .unwrap()
+                .with_variant(Variant::HalfBid),
+        )
+        .solve(&g)
+        .expect("solve");
+        table.row([
+            rank.to_string(),
+            "4000/9000".to_string(),
+            planted.len().to_string(),
+            f(ours.weight as f64 / planted_weight as f64, 3),
+            f(half.weight as f64 / planted_weight as f64, 3),
+            f(rank as f64 + eps, 2),
+        ]);
+    }
+    table.print();
+    println!("\nAll true ratios must lie below the certified ratios, which must lie below f+ε.");
+}

@@ -1,0 +1,121 @@
+//! **F1 — Theorem 9's headline**: rounds as a function of the maximum
+//! degree Δ, with everything else fixed.
+//!
+//! The paper proves `O(logΔ/loglogΔ)` for constant `f, ε` — optimal by the
+//! KMW lower bound `Ω(logΔ/loglogΔ)`. We sweep Δ geometrically on two
+//! instance families (degree-calibrated hubs with Δ exact, and dense random
+//! hypergraphs), measure rounds for this work vs. the KVY and doubling
+//! baselines, and fit each series against the candidate shapes
+//! `logΔ/loglogΔ` and `logΔ`.
+
+use dcover_baselines::doubling::solve_doubling;
+use dcover_baselines::kvy::solve_kvy;
+use dcover_bench::fit::linear_fit;
+use dcover_bench::{f, geometric_sweep, Table};
+use dcover_core::analysis::{kmw_lower_bound_shape, theorem9_shape};
+use dcover_core::MwhvcSolver;
+use dcover_hypergraph::generators::{calibrated_degree, random_uniform, RandomUniform, WeightDist};
+use dcover_hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_family(name: &str, instances: &[(u64, Hypergraph)], eps: f64) {
+    let mut table = Table::new(
+        &format!("rounds vs Δ — {name}"),
+        &[
+            "Δ",
+            "n",
+            "m",
+            "this work",
+            "KVY",
+            "doubling",
+            "shape logΔ/loglogΔ",
+            "Thm 9 shape",
+        ],
+    );
+    let mut ours_r = Vec::new();
+    let mut kvy_r = Vec::new();
+    let mut dbl_r = Vec::new();
+    let mut shape_ll = Vec::new();
+    let mut shape_l = Vec::new();
+    for (delta, g) in instances {
+        let ours = MwhvcSolver::with_epsilon(eps).unwrap().solve(g).expect("solve");
+        let kvy = solve_kvy(g, eps).expect("kvy");
+        let dbl = solve_doubling(g, eps).expect("doubling");
+        let ll = kmw_lower_bound_shape(*delta as u32);
+        let t9 = theorem9_shape(g.rank().max(1), *delta as u32, eps, 0.001);
+        table.row([
+            delta.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            ours.rounds().to_string(),
+            kvy.report.rounds.to_string(),
+            dbl.report.rounds.to_string(),
+            f(ll, 2),
+            f(t9, 2),
+        ]);
+        ours_r.push(ours.rounds() as f64);
+        kvy_r.push(kvy.report.rounds as f64);
+        dbl_r.push(dbl.report.rounds as f64);
+        shape_ll.push(ll);
+        shape_l.push((*delta as f64).max(2.0).log2());
+    }
+    table.print();
+    let ours_ll = linear_fit(&shape_ll, &ours_r);
+    let ours_l = linear_fit(&shape_l, &ours_r);
+    let dbl_l = linear_fit(&shape_l, &dbl_r);
+    println!(
+        "fit[{name}] this work ~ logΔ/loglogΔ: slope {:.2}, R² {:.3}; ~ logΔ: R² {:.3}",
+        ours_ll.slope, ours_ll.r2, ours_l.r2
+    );
+    println!(
+        "fit[{name}] doubling ~ logΔ: slope {:.2}, R² {:.3}",
+        dbl_l.slope, dbl_l.r2
+    );
+    println!(
+        "growth[{name}] Δ×{:.0}: this work ×{:.2}, KVY ×{:.2}, doubling ×{:.2}",
+        instances.last().unwrap().0 as f64 / instances[0].0 as f64,
+        ours_r.last().unwrap() / ours_r[0],
+        kvy_r.last().unwrap() / kvy_r[0],
+        dbl_r.last().unwrap() / dbl_r[0],
+    );
+}
+
+fn main() {
+    println!("# F1 — rounds vs Δ (Theorem 9 / KMW lower bound shape)");
+    let eps = 0.5;
+
+    let calibrated: Vec<(u64, Hypergraph)> = geometric_sweep(4, 4096, 11)
+        .into_iter()
+        .map(|delta| {
+            let g = calibrated_degree(
+                3,
+                delta as usize,
+                2,
+                &WeightDist::Uniform { min: 1, max: 64 },
+                &mut StdRng::seed_from_u64(3000 + delta),
+            );
+            assert_eq!(u64::from(g.max_degree()), delta);
+            (delta, g)
+        })
+        .collect();
+    run_family("degree-calibrated hubs (f = 3)", &calibrated, eps);
+
+    let n = 1200;
+    let dense: Vec<(u64, Hypergraph)> = geometric_sweep(2400, 38_400, 5)
+        .into_iter()
+        .map(|m| {
+            let g = random_uniform(
+                &RandomUniform {
+                    n,
+                    m: m as usize,
+                    rank: 3,
+                    weights: WeightDist::Uniform { min: 1, max: 64 },
+                },
+                &mut StdRng::seed_from_u64(4000 + m),
+            );
+            (u64::from(g.max_degree()), g)
+        })
+        .collect();
+    run_family("dense random (f = 3, n fixed)", &dense, eps);
+}

@@ -1,0 +1,57 @@
+//! **F4 — ε-dependence**: rounds and ratio as the approximation slack
+//! shrinks (Theorem 8/9's `f·log(f/ε)` terms; Corollaries 11/12).
+//!
+//! Expected: rounds grow ~linearly in `log(1/ε)` (through `z = ⌈log 1/β⌉`),
+//! and every measured ratio stays below `f + ε` — also for the near-zero ε
+//! of Corollary 12's regime.
+
+use dcover_bench::fit::linear_fit;
+use dcover_bench::{f, Table};
+use dcover_core::{z_levels, MwhvcSolver};
+use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("# F4 — rounds vs ε (Theorem 8/9 ε-terms; Cor. 11/12)");
+    let rank = 3u32;
+    let g = random_uniform(
+        &RandomUniform {
+            n: 2500,
+            m: 5000,
+            rank: rank as usize,
+            weights: WeightDist::Uniform { min: 1, max: 100 },
+        },
+        &mut StdRng::seed_from_u64(7000),
+    );
+    let mut table = Table::new(
+        "rounds, iterations, and certified ratio as ε shrinks (fixed instance)",
+        &["ε", "z = ⌈log 1/β⌉", "rounds", "iters", "ratio ≤", "f+ε"],
+    );
+    let mut log_inv_eps = Vec::new();
+    let mut rounds = Vec::new();
+    for k in 0..=10u32 {
+        let eps = 1.0 / f64::from(1u32 << k);
+        let r = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).expect("solve");
+        assert!(
+            r.ratio_upper_bound() <= f64::from(rank) + eps + 1e-9,
+            "ratio bound violated at eps = {eps}"
+        );
+        table.row([
+            format!("2^-{k}"),
+            z_levels(rank, eps).to_string(),
+            r.rounds().to_string(),
+            r.iterations.to_string(),
+            f(r.ratio_upper_bound(), 4),
+            f(f64::from(rank) + eps, 4),
+        ]);
+        log_inv_eps.push(f64::from(k));
+        rounds.push(r.rounds() as f64);
+    }
+    table.print();
+    let fit = linear_fit(&log_inv_eps, &rounds);
+    println!(
+        "\nfit: rounds ~ log(1/ε) slope {:.1}, R² {:.3} — the f·log(f/ε) term of Theorem 9",
+        fit.slope, fit.r2
+    );
+}

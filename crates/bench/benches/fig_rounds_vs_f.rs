@@ -1,0 +1,53 @@
+//! **F5 — f-dependence**: rounds as the hypergraph rank grows
+//! (Theorem 9's `f·log(f/ε)` term), with the approximation bound `f + ε`
+//! checked at every rank.
+
+use dcover_baselines::kvy::solve_kvy;
+use dcover_bench::fit::linear_fit;
+use dcover_bench::{f, Table};
+use dcover_core::MwhvcSolver;
+use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("# F5 — rounds vs rank f (Theorem 9's f-term)");
+    let eps = 0.5;
+    let mut table = Table::new(
+        "rounds and certified ratio as the rank grows (n, m fixed)",
+        &["f", "Δ", "rounds (this work)", "iters", "ratio ≤", "f+ε", "KVY rounds"],
+    );
+    let mut fs = Vec::new();
+    let mut rounds = Vec::new();
+    for rank in 2usize..=8 {
+        let g = random_uniform(
+            &RandomUniform {
+                n: 2000,
+                m: 4000,
+                rank,
+                weights: WeightDist::Uniform { min: 1, max: 50 },
+            },
+            &mut StdRng::seed_from_u64(8000 + rank as u64),
+        );
+        let r = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).expect("solve");
+        let kvy = solve_kvy(&g, eps).expect("kvy");
+        assert!(r.ratio_upper_bound() <= rank as f64 + eps + 1e-9);
+        table.row([
+            rank.to_string(),
+            g.max_degree().to_string(),
+            r.rounds().to_string(),
+            r.iterations.to_string(),
+            f(r.ratio_upper_bound(), 3),
+            f(rank as f64 + eps, 2),
+            kvy.report.rounds.to_string(),
+        ]);
+        fs.push(rank as f64 * ((rank as f64 / eps).log2()));
+        rounds.push(r.rounds() as f64);
+    }
+    table.print();
+    let fit = linear_fit(&fs, &rounds);
+    println!(
+        "\nfit: rounds ~ f·log(f/ε) slope {:.2}, R² {:.3}",
+        fit.slope, fit.r2
+    );
+}

@@ -1,0 +1,136 @@
+//! **E3 — Section 5 (Claim 15 / Theorem 19)**: distributed covering-ILP
+//! solving through the zero-one and binary-expansion reductions.
+//!
+//! Three sweeps:
+//! * zero-one programs with growing row support `f(A)` — Lemma 14 predicts
+//!   rank `≤ f(A)` and degree `< 2^{f(A)}·Δ(A)`;
+//! * general ILPs with growing coefficient box `M` — Claim 18 predicts
+//!   `B = ⌊log₂M⌋+1` bits/variable and reduced rank `≤ f(A)·B`;
+//! * quality against exact ILP optima, with the certified dual ratio.
+//!
+//! Rounds are reported both raw (MWHVC on the reduced hypergraph) and under
+//! the Claim 15 simulation model (`×(1 + f(A)/log n)` per round on the
+//! ILP's own network).
+
+use dcover_bench::{f, Table};
+use dcover_core::MwhvcConfig;
+use dcover_ilp::{random_ilp, solve_ilp_exact, IlpSolver, RandomIlp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("# E3 — covering ILPs via reduction to MWHVC (§5)");
+    let eps = 0.5;
+    let solver = IlpSolver::new(MwhvcConfig::new(eps).unwrap());
+
+    let mut table = Table::new(
+        "binary-valued programs: Lemma 14 shape (rank ≤ f(A)·B, Δ' < 2^{f(A)·B}·Δ(A))",
+        &[
+            "f(A)",
+            "Δ(A)",
+            "f(A)·B",
+            "hyperedges",
+            "rank",
+            "Δ'",
+            "Δ' bound",
+            "rounds",
+            "Claim-15 rounds",
+            "cost/OPT",
+            "cert. ratio",
+        ],
+    );
+    for support in [2usize, 3, 4] {
+        let ilp = random_ilp(
+            &RandomIlp {
+                n: 16,
+                m: 24,
+                row_support: support,
+                coeff_max: 3,
+                b_max: 6,
+                weight_max: 10,
+                zero_one: true,
+            },
+            &mut StdRng::seed_from_u64(12_000 + support as u64),
+        );
+        let out = solver.solve(&ilp).expect("ilp solve");
+        let exact = solve_ilp_exact(&ilp, 1_000_000);
+        let opt_cell = if exact.optimal {
+            f(out.cost as f64 / exact.cost as f64, 3)
+        } else {
+            "(budget)".to_string()
+        };
+        assert!(ilp.is_feasible(&out.assignment));
+        let zo_support = ilp.row_support() * out.bits_per_var;
+        assert!(out.zo_stats.rank <= zo_support);
+        let degree_bound = (1u64 << zo_support.min(40)) * u64::from(ilp.column_support());
+        assert!(u64::from(out.zo_stats.max_degree) < degree_bound);
+        table.row([
+            ilp.row_support().to_string(),
+            ilp.column_support().to_string(),
+            zo_support.to_string(),
+            out.zo_stats.edges_kept.to_string(),
+            out.zo_stats.rank.to_string(),
+            out.zo_stats.max_degree.to_string(),
+            degree_bound.to_string(),
+            out.mwhvc.report.rounds.to_string(),
+            out.claim15_rounds.to_string(),
+            opt_cell,
+            f(out.certified_ratio(), 3),
+        ]);
+    }
+    table.print();
+
+    let mut table = Table::new(
+        "general ILPs: Claim 18 binary expansion (M sweep, f(A) = 2)",
+        &[
+            "M",
+            "bits B",
+            "reduced rank (≤ f·B)",
+            "hyperedges",
+            "rounds",
+            "Claim-15 rounds",
+            "cost/OPT",
+            "cert. ratio",
+        ],
+    );
+    for b_max in [1u64, 2, 4, 8, 16] {
+        let ilp = random_ilp(
+            &RandomIlp {
+                n: 10,
+                m: 14,
+                row_support: 2,
+                coeff_max: 2,
+                b_max,
+                weight_max: 8,
+                zero_one: false,
+            },
+            &mut StdRng::seed_from_u64(13_000 + b_max),
+        );
+        let out = solver.solve(&ilp).expect("ilp solve");
+        assert!(ilp.is_feasible(&out.assignment));
+        let exact = solve_ilp_exact(&ilp, 1_000_000);
+        let opt_cell = if exact.optimal {
+            f(out.cost as f64 / exact.cost as f64, 3)
+        } else {
+            "(budget)".to_string()
+        };
+        let rank_bound = ilp.row_support() * out.bits_per_var;
+        assert!(out.zo_stats.rank <= rank_bound);
+        table.row([
+            ilp.coefficient_box().to_string(),
+            out.bits_per_var.to_string(),
+            format!("{} (≤ {rank_bound})", out.zo_stats.rank),
+            out.zo_stats.edges_kept.to_string(),
+            out.mwhvc.report.rounds.to_string(),
+            out.claim15_rounds.to_string(),
+            opt_cell,
+            f(out.certified_ratio(), 3),
+        ]);
+    }
+    table.print();
+    println!(
+        "\ncost/OPT is the true ratio against branch-and-bound optima; cert. ratio is the \
+         runtime dual certificate (rank+ε guarantee). The paper's refined Theorem 19 analysis \
+         states f+ε; measured true ratios are far below both."
+    );
+}

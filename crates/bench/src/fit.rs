@@ -1,0 +1,102 @@
+//! Least-squares shape fitting: do measured rounds grow like the theory
+//! says?
+//!
+//! The paper's bounds have unknown constants, so the experiments fit
+//! `rounds ≈ a·shape(x) + b` by ordinary least squares and report `R²`; a
+//! complexity *shape* matches when its `R²` is high and beats competing
+//! shapes.
+
+/// Result of a linear fit `y ≈ a·x + b`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Fit {
+    /// Slope `a`.
+    pub slope: f64,
+    /// Intercept `b`.
+    pub intercept: f64,
+    /// Coefficient of determination (1.0 = perfect).
+    pub r2: f64,
+}
+
+/// Ordinary least squares of `ys` against `xs`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than 2 points.
+#[must_use]
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Fit {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let p = slope * x + intercept;
+            (y - p) * (y - p)
+        })
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Fit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+/// Relative growth `y_last / y_first` — a scale-free summary of how much a
+/// series grows across a sweep (≈ 1.0 for a flat series).
+///
+/// # Panics
+///
+/// Panics if `ys` is empty or starts at 0.
+#[must_use]
+pub fn growth_factor(ys: &[f64]) -> f64 {
+    assert!(!ys.is_empty(), "empty series");
+    assert!(ys[0] != 0.0, "zero start");
+    ys[ys.len() - 1] / ys[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 4.1, 5.9, 8.2, 9.8];
+        let f = linear_fit(&xs, &ys);
+        assert!(f.r2 > 0.99 && f.r2 < 1.0);
+    }
+
+    #[test]
+    fn constant_series() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let f = linear_fit(&xs, &ys);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 1.0);
+        assert_eq!(growth_factor(&ys), 1.0);
+    }
+
+    #[test]
+    fn growth() {
+        assert_eq!(growth_factor(&[2.0, 3.0, 8.0]), 4.0);
+    }
+}

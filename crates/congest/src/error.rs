@@ -1,0 +1,88 @@
+//! Simulation error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::topology::{NodeId, Port};
+
+/// Error produced by a simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The run hit the round limit before every node halted. In this
+    /// workspace that invariably means a protocol bug (every implemented
+    /// algorithm has a proven termination bound), so it is an error rather
+    /// than a silent truncation.
+    RoundLimit {
+        /// The configured limit.
+        limit: u64,
+        /// Nodes still running when the limit was hit.
+        active: usize,
+    },
+    /// A link carried more bits in one round than the configured
+    /// [`BitBudget`](crate::BitBudget) allows — a CONGEST violation.
+    BudgetExceeded {
+        /// Round in which the violation occurred.
+        round: u64,
+        /// The receiving node of the overloaded link.
+        receiver: NodeId,
+        /// The receiver-side port of the overloaded link.
+        port: Port,
+        /// Bits that crossed the link in that round.
+        bits: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RoundLimit { limit, active } => write!(
+                f,
+                "round limit {limit} reached with {active} nodes still active"
+            ),
+            SimError::BudgetExceeded {
+                round,
+                receiver,
+                port,
+                bits,
+                budget,
+            } => write!(
+                f,
+                "congest budget exceeded in round {round}: link into node {receiver} port {port} carried {bits} bits (budget {budget})"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::RoundLimit {
+            limit: 10,
+            active: 3,
+        };
+        assert_eq!(e.to_string(), "round limit 10 reached with 3 nodes still active");
+        let e = SimError::BudgetExceeded {
+            round: 5,
+            receiver: 2,
+            port: 1,
+            bits: 99,
+            budget: 32,
+        };
+        assert!(e.to_string().contains("99 bits"));
+        assert!(e.to_string().contains("budget 32"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

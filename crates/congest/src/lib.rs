@@ -1,0 +1,68 @@
+//! A deterministic synchronous CONGEST-model simulator.
+//!
+//! The CONGEST model (the setting of *“Optimal Distributed Covering
+//! Algorithms”*, Ben-Basat et al., DISC 2019) is a synchronous
+//! message-passing network: in each round every node may send one
+//! `O(log n)`-bit message over each incident link, messages arrive at the
+//! start of the next round, and complexity is measured in **rounds**. This
+//! crate provides:
+//!
+//! * [`Topology`] — port-labelled undirected networks, including the paper's
+//!   bipartite vertex/hyperedge incidence network
+//!   ([`Topology::bipartite_incidence`]);
+//! * [`Process`] — the node-program trait, stepped once per round with an
+//!   inbox and an outbox ([`Ctx`]);
+//! * [`Simulator`] — the deterministic sequential scheduler;
+//! * [`ParallelSimulator`] — a thread-pool scheduler with bit-identical
+//!   semantics (crossbeam scoped threads);
+//! * bit accounting — every [`Message`] reports its encoded size; the
+//!   schedulers track per-link per-round maxima and can enforce a
+//!   [`BitBudget`], turning the `O(log n)` CONGEST constraint into a
+//!   checkable runtime property.
+//!
+//! # Example: broadcast-and-halt
+//!
+//! ```
+//! use dcover_congest::{Ctx, Process, Simulator, Status, Topology};
+//!
+//! struct Hello;
+//! impl Process for Hello {
+//!     type Msg = u32;
+//!     fn on_round(&mut self, ctx: &mut Ctx<'_, u32>) -> Status {
+//!         if ctx.round() == 0 {
+//!             ctx.broadcast(ctx.node() as u32);
+//!             Status::Running
+//!         } else {
+//!             Status::Halted
+//!         }
+//!     }
+//! }
+//!
+//! let topo = Topology::from_links(3, &[(0, 1), (1, 2)]);
+//! let mut sim = Simulator::new(topo, vec![Hello, Hello, Hello]);
+//! let report = sim.run(16)?;
+//! assert_eq!(report.rounds, 2);
+//! assert_eq!(report.total_messages, 4);
+//! # Ok::<(), dcover_congest::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builders;
+mod error;
+mod message;
+mod metrics;
+mod parallel;
+mod process;
+mod sim;
+mod topology;
+
+pub use error::SimError;
+pub use message::{bits_for_range, bits_for_value, Message};
+pub use metrics::{BitBudget, RoundMetrics, SimReport};
+pub use parallel::ParallelSimulator;
+pub use process::{Ctx, Incoming, Process, Status};
+pub use sim::Simulator;
+pub use topology::{NodeId, Port, Topology};

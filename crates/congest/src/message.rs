@@ -1,0 +1,113 @@
+//! Message trait and bit-size accounting.
+//!
+//! The CONGEST model restricts every link to one `O(log n)`-bit message per
+//! direction per round. The simulator cannot check an asymptotic bound, but
+//! it can check a concrete budget: every message reports its encoded size via
+//! [`Message::bit_size`], the simulator tracks the maximum number of bits
+//! crossing any link in any round, and a [`BitBudget`](crate::BitBudget) can
+//! turn an overshoot into a hard error. Protocol crates compute sizes from
+//! the actual field values (e.g. a weight `w` costs [`bits_for_value`]`(w)`
+//! bits), so the recorded maxima are meaningful, not worst-case constants.
+
+/// A message exchanged between neighboring nodes.
+///
+/// Implementations must report a faithful encoded size so the simulator's
+/// CONGEST accounting is meaningful. `Clone` is required because a broadcast
+/// duplicates the message per port; `Send + Sync` because the parallel
+/// scheduler moves envelopes across worker threads and shares inbox slices.
+pub trait Message: Clone + std::fmt::Debug + Send + Sync + 'static {
+    /// Number of bits needed to encode this message on the wire (including
+    /// any tag bits distinguishing message kinds).
+    fn bit_size(&self) -> u64;
+}
+
+/// Bits needed to store the value `x` in binary (at least 1).
+///
+/// # Examples
+///
+/// ```
+/// use dcover_congest::bits_for_value;
+/// assert_eq!(bits_for_value(0), 1);
+/// assert_eq!(bits_for_value(1), 1);
+/// assert_eq!(bits_for_value(255), 8);
+/// assert_eq!(bits_for_value(256), 9);
+/// ```
+#[must_use]
+pub fn bits_for_value(x: u64) -> u64 {
+    (64 - x.leading_zeros()).max(1) as u64
+}
+
+/// Bits needed to address one of `n` distinct values (⌈log₂ n⌉, at least 1).
+///
+/// # Examples
+///
+/// ```
+/// use dcover_congest::bits_for_range;
+/// assert_eq!(bits_for_range(1), 1);
+/// assert_eq!(bits_for_range(2), 1);
+/// assert_eq!(bits_for_range(3), 2);
+/// assert_eq!(bits_for_range(1024), 10);
+/// ```
+#[must_use]
+pub fn bits_for_range(n: u64) -> u64 {
+    if n <= 2 {
+        1
+    } else {
+        bits_for_value(n - 1)
+    }
+}
+
+impl Message for () {
+    fn bit_size(&self) -> u64 {
+        1
+    }
+}
+
+impl Message for bool {
+    fn bit_size(&self) -> u64 {
+        1
+    }
+}
+
+impl Message for u32 {
+    fn bit_size(&self) -> u64 {
+        bits_for_value(u64::from(*self))
+    }
+}
+
+impl Message for u64 {
+    fn bit_size(&self) -> u64 {
+        bits_for_value(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_widths() {
+        assert_eq!(bits_for_value(0), 1);
+        assert_eq!(bits_for_value(1), 1);
+        assert_eq!(bits_for_value(2), 2);
+        assert_eq!(bits_for_value(7), 3);
+        assert_eq!(bits_for_value(8), 4);
+        assert_eq!(bits_for_value(u64::MAX), 64);
+    }
+
+    #[test]
+    fn range_widths() {
+        assert_eq!(bits_for_range(1), 1);
+        assert_eq!(bits_for_range(2), 1);
+        assert_eq!(bits_for_range(4), 2);
+        assert_eq!(bits_for_range(5), 3);
+    }
+
+    #[test]
+    fn primitive_messages() {
+        assert_eq!(().bit_size(), 1);
+        assert_eq!(true.bit_size(), 1);
+        assert_eq!(300u32.bit_size(), 9);
+        assert_eq!(300u64.bit_size(), 9);
+    }
+}

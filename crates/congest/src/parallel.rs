@@ -1,0 +1,364 @@
+//! Thread-pool execution of the same synchronous semantics.
+//!
+//! [`ParallelSimulator`] produces bit-for-bit the same node states, metrics,
+//! and round counts as [`Simulator`](crate::Simulator): nodes are partitioned
+//! into contiguous chunks stepped by worker threads, outgoing envelopes are
+//! merged in worker order (= ascending sender id, the sequential order), and
+//! the shared [`finalize_round`](crate::sim::finalize_round) pass sorts
+//! inboxes and computes metrics. Determinism is therefore independent of
+//! thread scheduling.
+//!
+//! On a single-core host this buys nothing but exists so that protocol code
+//! is exercised under real concurrency (node programs must be `Send`, must
+//! not rely on global step order, etc.).
+
+use crate::error::SimError;
+use crate::metrics::{BitBudget, RoundMetrics, SimReport};
+use crate::process::{Ctx, Incoming, Process, Status};
+use crate::sim::finalize_round;
+use crate::topology::{NodeId, Topology};
+
+/// An outgoing message captured by a worker, addressed by receiver.
+struct Envelope<M> {
+    dst: NodeId,
+    port: usize,
+    msg: M,
+}
+
+/// Parallel round scheduler with sequential-identical semantics.
+///
+/// # Examples
+///
+/// ```
+/// use dcover_congest::{Ctx, ParallelSimulator, Process, Status, Topology};
+///
+/// struct Echo(bool);
+/// impl Process for Echo {
+///     type Msg = u64;
+///     fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+///         if ctx.round() == 0 {
+///             ctx.broadcast(7);
+///             Status::Running
+///         } else {
+///             self.0 = !ctx.inbox().is_empty();
+///             Status::Halted
+///         }
+///     }
+/// }
+///
+/// let topo = Topology::from_links(2, &[(0, 1)]);
+/// let mut sim = ParallelSimulator::new(topo, vec![Echo(false), Echo(false)], 2);
+/// let report = sim.run(10)?;
+/// assert!(report.all_halted);
+/// # Ok::<(), dcover_congest::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct ParallelSimulator<P: Process> {
+    topo: Topology,
+    nodes: Vec<P>,
+    halted: Vec<bool>,
+    active: usize,
+    inboxes: Vec<Vec<Incoming<P::Msg>>>,
+    next: Vec<Vec<Incoming<P::Msg>>>,
+    round: u64,
+    report: SimReport,
+    trace: bool,
+    budget: Option<BitBudget>,
+    threads: usize,
+}
+
+impl<P: Process> ParallelSimulator<P> {
+    /// Creates a parallel simulator using up to `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != topo.len()` or `threads == 0`.
+    #[must_use]
+    pub fn new(topo: Topology, nodes: Vec<P>, threads: usize) -> Self {
+        assert_eq!(nodes.len(), topo.len(), "need exactly one program per node");
+        assert!(threads > 0, "need at least one worker thread");
+        let n = nodes.len();
+        Self {
+            topo,
+            nodes,
+            halted: vec![false; n],
+            active: n,
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            next: (0..n).map(|_| Vec::new()).collect(),
+            round: 0,
+            report: SimReport::default(),
+            trace: false,
+            budget: None,
+            threads,
+        }
+    }
+
+    /// Enables per-round metric tracing.
+    #[must_use]
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Enforces a per-link per-round bit budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: BitBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Number of nodes still running.
+    #[must_use]
+    pub fn active_nodes(&self) -> usize {
+        self.active
+    }
+
+    /// Read access to a node program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id]
+    }
+
+    /// Read access to all node programs.
+    #[must_use]
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Consumes the simulator, returning node programs and report.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<P>, SimReport) {
+        let mut report = self.report;
+        report.all_halted = self.active == 0;
+        (self.nodes, report)
+    }
+
+    /// Executes one synchronous round on the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExceeded`] on a CONGEST violation.
+    pub fn step(&mut self) -> Result<RoundMetrics, SimError> {
+        let n = self.nodes.len();
+        let active_at_start = self.active;
+        let chunk = n.div_ceil(self.threads).max(1);
+        let topo = &self.topo;
+        let round = self.round;
+
+        // Workers step disjoint contiguous chunks of (nodes, halted,
+        // inboxes); each returns its envelopes plus how many of its nodes
+        // halted this round. Chunk order == ascending node id, so merging in
+        // chunk order reproduces the sequential envelope order exactly.
+        let results: Vec<(Vec<Envelope<P::Msg>>, usize)> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut base = 0usize;
+            let mut nodes_rest: &mut [P] = &mut self.nodes;
+            let mut halted_rest: &mut [bool] = &mut self.halted;
+            let mut inbox_rest: &[Vec<Incoming<P::Msg>>] = &self.inboxes;
+            while !nodes_rest.is_empty() {
+                let take = chunk.min(nodes_rest.len());
+                let (nodes_chunk, nr) = nodes_rest.split_at_mut(take);
+                let (halted_chunk, hr) = halted_rest.split_at_mut(take);
+                let (inbox_chunk, ir) = inbox_rest.split_at(take);
+                nodes_rest = nr;
+                halted_rest = hr;
+                inbox_rest = ir;
+                let first = base;
+                base += take;
+                handles.push(scope.spawn(move |_| {
+                    let mut envelopes: Vec<Envelope<P::Msg>> = Vec::new();
+                    let mut scratch: Vec<(usize, P::Msg)> = Vec::new();
+                    let mut newly_halted = 0usize;
+                    for (offset, node) in nodes_chunk.iter_mut().enumerate() {
+                        let id = first + offset;
+                        if halted_chunk[offset] {
+                            continue;
+                        }
+                        let degree = topo.degree(id);
+                        let mut ctx = Ctx {
+                            round,
+                            node: id,
+                            degree,
+                            inbox: &inbox_chunk[offset],
+                            outgoing: &mut scratch,
+                        };
+                        let status = node.on_round(&mut ctx);
+                        for (port, msg) in scratch.drain(..) {
+                            let (peer, peer_port) = topo.peer(id, port);
+                            envelopes.push(Envelope {
+                                dst: peer,
+                                port: peer_port,
+                                msg,
+                            });
+                        }
+                        if status == Status::Halted {
+                            halted_chunk[offset] = true;
+                            newly_halted += 1;
+                        }
+                    }
+                    (envelopes, newly_halted)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("scope panicked");
+
+        for (envelopes, newly_halted) in results {
+            self.active -= newly_halted;
+            for env in envelopes {
+                self.next[env.dst].push(Incoming {
+                    port: env.port,
+                    msg: env.msg,
+                });
+            }
+        }
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        let rm = finalize_round(
+            &mut self.next,
+            &self.halted,
+            self.round,
+            active_at_start,
+            self.budget,
+        )?;
+        std::mem::swap(&mut self.inboxes, &mut self.next);
+        self.round += 1;
+        self.report.absorb(rm, self.trace);
+        Ok(rm)
+    }
+
+    /// Runs until every node halts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimit`] if not all nodes halted within
+    /// `max_rounds`, or [`SimError::BudgetExceeded`] on a CONGEST violation.
+    pub fn run(&mut self, max_rounds: u64) -> Result<SimReport, SimError> {
+        while self.active > 0 {
+            if self.round >= max_rounds {
+                return Err(SimError::RoundLimit {
+                    limit: max_rounds,
+                    active: self.active,
+                });
+            }
+            self.step()?;
+        }
+        let mut report = self.report.clone();
+        report.all_halted = true;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    /// Gossip sum: every node floods its value; everyone halts after
+    /// `hops` rounds knowing the sum over its distance-`hops` ball.
+    #[derive(Clone)]
+    struct Gossip {
+        value: u64,
+        acc: u64,
+        hops: u64,
+    }
+
+    impl Process for Gossip {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+            for item in ctx.inbox() {
+                self.acc += item.msg;
+            }
+            if ctx.round() < self.hops {
+                ctx.broadcast(self.value + ctx.round());
+                Status::Running
+            } else {
+                Status::Halted
+            }
+        }
+    }
+
+    fn ring(n: usize) -> Topology {
+        let links: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Topology::from_links(n, &links)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 23;
+        let make_nodes = || -> Vec<Gossip> {
+            (0..n)
+                .map(|i| Gossip {
+                    value: (i * i) as u64 % 97,
+                    acc: 0,
+                    hops: 6,
+                })
+                .collect()
+        };
+        let mut seq = Simulator::new(ring(n), make_nodes()).with_trace(true);
+        let seq_report = seq.run(100).unwrap();
+        for threads in [1usize, 2, 3, 7] {
+            let mut par =
+                ParallelSimulator::new(ring(n), make_nodes(), threads).with_trace(true);
+            let par_report = par.run(100).unwrap();
+            assert_eq!(par_report, seq_report, "threads = {threads}");
+            for id in 0..n {
+                assert_eq!(par.node(id).acc, seq.node(id).acc, "node {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_enforced_in_parallel() {
+        struct Big;
+        impl Process for Big {
+            type Msg = u64;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+                ctx.broadcast(u64::MAX);
+                Status::Halted
+            }
+        }
+        let mut sim = ParallelSimulator::new(ring(4), vec![Big, Big, Big, Big], 2)
+            .with_budget(BitBudget::new(16));
+        assert!(matches!(
+            sim.run(10),
+            Err(SimError::BudgetExceeded { bits: 64, .. })
+        ));
+    }
+
+    #[test]
+    fn round_limit_in_parallel() {
+        struct Spin;
+        impl Process for Spin {
+            type Msg = ();
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>) -> Status {
+                Status::Running
+            }
+        }
+        let mut sim = ParallelSimulator::new(ring(3), vec![Spin, Spin, Spin], 2);
+        assert!(matches!(sim.run(4), Err(SimError::RoundLimit { limit: 4, .. })));
+    }
+
+    #[test]
+    fn more_threads_than_nodes() {
+        let n = 3;
+        let nodes: Vec<Gossip> = (0..n)
+            .map(|i| Gossip {
+                value: i as u64,
+                acc: 0,
+                hops: 2,
+            })
+            .collect();
+        let mut sim = ParallelSimulator::new(ring(n), nodes, 16);
+        let report = sim.run(10).unwrap();
+        assert!(report.all_halted);
+    }
+}

@@ -1,0 +1,158 @@
+//! The node-program abstraction: what runs at each network node.
+
+use crate::message::Message;
+use crate::topology::Port;
+
+/// Whether a node keeps participating after the current round.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// The node wants to receive messages and be stepped again.
+    Running,
+    /// The node has terminated; it is never stepped again and messages sent
+    /// to it are dropped (and counted in the metrics).
+    Halted,
+}
+
+/// An incoming message together with the local port it arrived on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Incoming<M> {
+    /// The local port (link) the message arrived on.
+    pub port: Port,
+    /// The message payload.
+    pub msg: M,
+}
+
+/// A node program in the synchronous message-passing model.
+///
+/// The simulator calls [`on_round`](Process::on_round) once per round for
+/// every non-halted node, passing a [`Ctx`] that exposes the inbox (messages
+/// sent to this node in the *previous* round, sorted by port) and collects
+/// outgoing messages (delivered to neighbors in the *next* round). Round 0
+/// has an empty inbox everywhere; local input must be baked into the node
+/// value before the simulation starts — exactly the CONGEST convention.
+pub trait Process: Send {
+    /// The message type of this protocol.
+    type Msg: Message;
+
+    /// Executes one synchronous round.
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) -> Status;
+}
+
+/// Per-round execution context handed to [`Process::on_round`].
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    pub(crate) round: u64,
+    pub(crate) node: usize,
+    pub(crate) degree: usize,
+    pub(crate) inbox: &'a [Incoming<M>],
+    pub(crate) outgoing: &'a mut Vec<(Port, M)>,
+}
+
+impl<'a, M: Message> Ctx<'a, M> {
+    /// Creates a context manually — lets protocol crates unit-test
+    /// [`Process`] implementations round-by-round without a simulator.
+    /// `inbox` should be sorted by port to match simulator behaviour.
+    #[must_use]
+    pub fn new(
+        round: u64,
+        node: usize,
+        degree: usize,
+        inbox: &'a [Incoming<M>],
+        outgoing: &'a mut Vec<(Port, M)>,
+    ) -> Self {
+        Self {
+            round,
+            node,
+            degree,
+            inbox,
+            outgoing,
+        }
+    }
+
+    /// The current round number (0-based).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// This node's id. Available because CONGEST assumes unique `O(log n)`-
+    /// bit identifiers; protocols that want anonymity simply don't read it.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Number of ports (neighbors) of this node.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Messages received this round, sorted by arrival port.
+    #[must_use]
+    pub fn inbox(&self) -> &[Incoming<M>] {
+        self.inbox
+    }
+
+    /// Sends `msg` over the link at `port`; it arrives next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree()`.
+    pub fn send(&mut self, port: Port, msg: M) {
+        assert!(
+            port < self.degree,
+            "send on port {port} but node {} has degree {}",
+            self.node,
+            self.degree
+        );
+        self.outgoing.push((port, msg));
+    }
+
+    /// Sends a copy of `msg` on every port.
+    pub fn broadcast(&mut self, msg: M) {
+        for port in 0..self.degree {
+            self.outgoing.push((port, msg.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_send_and_broadcast() {
+        let inbox: Vec<Incoming<u64>> = vec![];
+        let mut out = Vec::new();
+        let mut ctx = Ctx {
+            round: 3,
+            node: 1,
+            degree: 3,
+            inbox: &inbox,
+            outgoing: &mut out,
+        };
+        assert_eq!(ctx.round(), 3);
+        assert_eq!(ctx.node(), 1);
+        assert_eq!(ctx.degree(), 3);
+        assert!(ctx.inbox().is_empty());
+        ctx.send(1, 42);
+        ctx.broadcast(7);
+        assert_eq!(out, vec![(1, 42), (0, 7), (1, 7), (2, 7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn send_out_of_range_panics() {
+        let inbox: Vec<Incoming<u64>> = vec![];
+        let mut out = Vec::new();
+        let mut ctx = Ctx {
+            round: 0,
+            node: 0,
+            degree: 1,
+            inbox: &inbox,
+            outgoing: &mut out,
+        };
+        ctx.send(1, 0);
+    }
+}

@@ -1,0 +1,568 @@
+//! The deterministic sequential round scheduler.
+
+use crate::error::SimError;
+use crate::message::Message;
+use crate::metrics::{BitBudget, RoundMetrics, SimReport};
+use crate::process::{Ctx, Incoming, Process, Status};
+use crate::topology::{NodeId, Topology};
+
+/// Sorts every freshly-delivered inbox by port, computes the round's
+/// communication metrics from the receiver side (so per-link totals are
+/// exact), enforces the optional bit budget, and clears mail addressed to
+/// halted nodes. Shared by the sequential and parallel schedulers so both
+/// produce identical metrics.
+pub(crate) fn finalize_round<M: Message>(
+    next: &mut [Vec<Incoming<M>>],
+    halted: &[bool],
+    round: u64,
+    active_nodes: usize,
+    budget: Option<BitBudget>,
+) -> Result<RoundMetrics, SimError> {
+    let mut rm = RoundMetrics {
+        round,
+        active_nodes,
+        ..RoundMetrics::default()
+    };
+    for (receiver, inbox) in next.iter_mut().enumerate() {
+        if inbox.is_empty() {
+            continue;
+        }
+        // Stable sort keeps deterministic relative order of same-port
+        // messages (which only occur on parallel links).
+        inbox.sort_by_key(|i| i.port);
+        rm.messages += inbox.len() as u64;
+        let mut port_bits = 0u64;
+        let mut current_port = inbox[0].port;
+        for item in inbox.iter() {
+            if item.port != current_port {
+                rm.max_link_bits = rm.max_link_bits.max(port_bits);
+                check_budget(budget, round, receiver, current_port, port_bits)?;
+                current_port = item.port;
+                port_bits = 0;
+            }
+            let b = item.msg.bit_size();
+            port_bits += b;
+            rm.bits += b;
+        }
+        rm.max_link_bits = rm.max_link_bits.max(port_bits);
+        check_budget(budget, round, receiver, current_port, port_bits)?;
+        if halted[receiver] {
+            // The link was used (and accounted); the program is gone.
+            inbox.clear();
+        }
+    }
+    Ok(rm)
+}
+
+fn check_budget(
+    budget: Option<BitBudget>,
+    round: u64,
+    receiver: NodeId,
+    port: usize,
+    bits: u64,
+) -> Result<(), SimError> {
+    if let Some(b) = budget {
+        if bits > b.bits() {
+            return Err(SimError::BudgetExceeded {
+                round,
+                receiver,
+                port,
+                bits,
+                budget: b.bits(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic synchronous simulator: steps every running node once per
+/// round, delivers messages at the next round boundary, and records
+/// communication metrics.
+///
+/// # Examples
+///
+/// A two-node protocol where each node sends one greeting and halts after
+/// hearing back:
+///
+/// ```
+/// use dcover_congest::{Ctx, Process, Simulator, Status, Topology};
+///
+/// struct Greeter;
+/// impl Process for Greeter {
+///     type Msg = u64;
+///     fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+///         if ctx.round() == 0 {
+///             ctx.broadcast(ctx.node() as u64);
+///             Status::Running
+///         } else {
+///             assert_eq!(ctx.inbox().len(), 1);
+///             Status::Halted
+///         }
+///     }
+/// }
+///
+/// let topo = Topology::from_links(2, &[(0, 1)]);
+/// let mut sim = Simulator::new(topo, vec![Greeter, Greeter]);
+/// let report = sim.run(10)?;
+/// assert_eq!(report.rounds, 2);
+/// assert_eq!(report.total_messages, 2);
+/// assert!(report.all_halted);
+/// # Ok::<(), dcover_congest::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator<P: Process> {
+    topo: Topology,
+    nodes: Vec<P>,
+    halted: Vec<bool>,
+    active: usize,
+    inboxes: Vec<Vec<Incoming<P::Msg>>>,
+    next: Vec<Vec<Incoming<P::Msg>>>,
+    round: u64,
+    report: SimReport,
+    trace: bool,
+    budget: Option<BitBudget>,
+    scratch: Vec<(usize, P::Msg)>,
+}
+
+impl<P: Process> Simulator<P> {
+    /// Creates a simulator over `topo` with one program per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != topo.len()`.
+    #[must_use]
+    pub fn new(topo: Topology, nodes: Vec<P>) -> Self {
+        assert_eq!(
+            nodes.len(),
+            topo.len(),
+            "need exactly one program per node"
+        );
+        let n = nodes.len();
+        Self {
+            topo,
+            nodes,
+            halted: vec![false; n],
+            active: n,
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            next: (0..n).map(|_| Vec::new()).collect(),
+            round: 0,
+            report: SimReport::default(),
+            trace: false,
+            budget: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Enables per-round metric tracing (costs memory on long runs).
+    #[must_use]
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Enforces a per-link per-round bit budget; a violation aborts the run
+    /// with [`SimError::BudgetExceeded`].
+    #[must_use]
+    pub fn with_budget(mut self, budget: BitBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The next round to be executed (also the number of rounds done).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of nodes still running.
+    #[must_use]
+    pub fn active_nodes(&self) -> usize {
+        self.active
+    }
+
+    /// Whether every node has halted.
+    #[must_use]
+    pub fn all_halted(&self) -> bool {
+        self.active == 0
+    }
+
+    /// Read access to a node program (for assertions and result extraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id]
+    }
+
+    /// Read access to all node programs.
+    #[must_use]
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// The accumulated report so far.
+    #[must_use]
+    pub fn report(&self) -> &SimReport {
+        &self.report
+    }
+
+    /// Consumes the simulator, returning the node programs (with their final
+    /// local state) and the report.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<P>, SimReport) {
+        let mut report = self.report;
+        report.all_halted = self.active == 0;
+        (self.nodes, report)
+    }
+
+    /// Executes one synchronous round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExceeded`] if a link overflows the
+    /// configured budget.
+    pub fn step(&mut self) -> Result<RoundMetrics, SimError> {
+        let active_at_start = self.active;
+        for id in 0..self.nodes.len() {
+            if self.halted[id] {
+                continue;
+            }
+            let degree = self.topo.degree(id);
+            let mut ctx = Ctx {
+                round: self.round,
+                node: id,
+                degree,
+                inbox: &self.inboxes[id],
+                outgoing: &mut self.scratch,
+            };
+            let status = self.nodes[id].on_round(&mut ctx);
+            for (port, msg) in self.scratch.drain(..) {
+                let (peer, peer_port) = self.topo.peer(id, port);
+                self.next[peer].push(Incoming {
+                    port: peer_port,
+                    msg,
+                });
+            }
+            if status == Status::Halted {
+                self.halted[id] = true;
+                self.active -= 1;
+            }
+        }
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        let rm = finalize_round(
+            &mut self.next,
+            &self.halted,
+            self.round,
+            active_at_start,
+            self.budget,
+        )?;
+        std::mem::swap(&mut self.inboxes, &mut self.next);
+        self.round += 1;
+        self.report.absorb(rm, self.trace);
+        Ok(rm)
+    }
+
+    /// Runs until every node halts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RoundLimit`] if not all nodes halted within
+    /// `max_rounds`, or [`SimError::BudgetExceeded`] on a CONGEST violation.
+    pub fn run(&mut self, max_rounds: u64) -> Result<SimReport, SimError> {
+        while self.active > 0 {
+            if self.round >= max_rounds {
+                return Err(SimError::RoundLimit {
+                    limit: max_rounds,
+                    active: self.active,
+                });
+            }
+            self.step()?;
+        }
+        let mut report = self.report.clone();
+        report.all_halted = true;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Port;
+
+    /// Floods the maximum node id seen so far; halts when no new info
+    /// arrives. Classic leader election by flooding.
+    struct MaxFlood {
+        known: u64,
+        changed: bool,
+        quiet_rounds: u32,
+        diameter_bound: u32,
+    }
+
+    impl MaxFlood {
+        fn new(id: usize, diameter_bound: u32) -> Self {
+            Self {
+                known: id as u64,
+                changed: true,
+                quiet_rounds: 0,
+                diameter_bound,
+            }
+        }
+    }
+
+    impl Process for MaxFlood {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+            for item in ctx.inbox() {
+                if item.msg > self.known {
+                    self.known = item.msg;
+                    self.changed = true;
+                }
+            }
+            if self.changed {
+                ctx.broadcast(self.known);
+                self.changed = false;
+                self.quiet_rounds = 0;
+            } else {
+                self.quiet_rounds += 1;
+            }
+            if self.quiet_rounds > self.diameter_bound {
+                Status::Halted
+            } else {
+                Status::Running
+            }
+        }
+    }
+
+    fn path_topology(n: usize) -> Topology {
+        let links: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Topology::from_links(n, &links)
+    }
+
+    #[test]
+    fn max_flood_on_path() {
+        let n = 8;
+        let topo = path_topology(n);
+        let nodes: Vec<MaxFlood> = (0..n).map(|i| MaxFlood::new(i, n as u32)).collect();
+        let mut sim = Simulator::new(topo, nodes).with_trace(true);
+        let report = sim.run(100).unwrap();
+        assert!(report.all_halted);
+        for node in sim.nodes() {
+            assert_eq!(node.known, (n - 1) as u64);
+        }
+        // Information needs at least diameter rounds to traverse the path.
+        assert!(report.rounds >= (n - 1) as u64);
+        assert!(report.per_round.is_some());
+    }
+
+    /// A node that sends `payload` to port 0 in round 0 and halts.
+    struct OneShot {
+        payload: u64,
+        got: Option<u64>,
+    }
+
+    impl Process for OneShot {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+            if ctx.round() == 0 {
+                ctx.send(0, self.payload);
+                Status::Running
+            } else {
+                self.got = ctx.inbox().first().map(|i| i.msg);
+                Status::Halted
+            }
+        }
+    }
+
+    #[test]
+    fn messages_delivered_next_round() {
+        let topo = Topology::from_links(2, &[(0, 1)]);
+        let nodes = vec![
+            OneShot {
+                payload: 5,
+                got: None,
+            },
+            OneShot {
+                payload: 9,
+                got: None,
+            },
+        ];
+        let mut sim = Simulator::new(topo, nodes);
+        let report = sim.run(10).unwrap();
+        assert_eq!(sim.node(0).got, Some(9));
+        assert_eq!(sim.node(1).got, Some(5));
+        assert_eq!(report.rounds, 2);
+        assert_eq!(report.total_messages, 2);
+        // payload 5 -> 3 bits, payload 9 -> 4 bits
+        assert_eq!(report.total_bits, 7);
+        assert_eq!(report.max_link_bits, 4);
+    }
+
+    #[test]
+    fn budget_violation_detected() {
+        let topo = Topology::from_links(2, &[(0, 1)]);
+        let nodes = vec![
+            OneShot {
+                payload: u64::MAX, // 64 bits
+                got: None,
+            },
+            OneShot {
+                payload: 1,
+                got: None,
+            },
+        ];
+        let mut sim = Simulator::new(topo, nodes).with_budget(BitBudget::new(8));
+        let err = sim.run(10).unwrap_err();
+        match err {
+            SimError::BudgetExceeded { bits, budget, .. } => {
+                assert_eq!(bits, 64);
+                assert_eq!(budget, 8);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    /// Never halts; used to exercise the round limit.
+    struct Spinner;
+    impl Process for Spinner {
+        type Msg = ();
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>) -> Status {
+            Status::Running
+        }
+    }
+
+    #[test]
+    fn round_limit_is_an_error() {
+        let topo = Topology::from_links(2, &[(0, 1)]);
+        let mut sim = Simulator::new(topo, vec![Spinner, Spinner]);
+        let err = sim.run(5).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::RoundLimit {
+                limit: 5,
+                active: 2
+            }
+        );
+        assert_eq!(sim.round(), 5);
+    }
+
+    /// Halts immediately; neighbor keeps sending to it.
+    struct Mute;
+    impl Process for Mute {
+        type Msg = u64;
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, u64>) -> Status {
+            Status::Halted
+        }
+    }
+
+    struct Chatter {
+        rounds_left: u32,
+    }
+    impl Process for Chatter {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+            ctx.send(0, 1);
+            self.rounds_left -= 1;
+            if self.rounds_left == 0 {
+                Status::Halted
+            } else {
+                Status::Running
+            }
+        }
+    }
+
+    enum Pair {
+        Mute(Mute),
+        Chatter(Chatter),
+    }
+    impl Process for Pair {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+            match self {
+                Pair::Mute(p) => p.on_round(ctx),
+                Pair::Chatter(p) => p.on_round(ctx),
+            }
+        }
+    }
+
+    #[test]
+    fn messages_to_halted_nodes_are_dropped_but_counted() {
+        let topo = Topology::from_links(2, &[(0, 1)]);
+        let nodes = vec![Pair::Mute(Mute), Pair::Chatter(Chatter { rounds_left: 3 })];
+        let mut sim = Simulator::new(topo, nodes);
+        let report = sim.run(10).unwrap();
+        assert!(report.all_halted);
+        assert_eq!(report.total_messages, 3);
+        assert_eq!(report.rounds, 3);
+    }
+
+    /// Echo server: checks inbox port labels are the receiver's ports.
+    struct PortChecker {
+        expect_from_port: Port,
+        seen: bool,
+    }
+    impl Process for PortChecker {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+            if ctx.round() == 0 {
+                // Star center (node 0) sends distinct values per port.
+                if ctx.node() == 0 {
+                    for p in 0..ctx.degree() {
+                        ctx.send(p, p as u64 + 100);
+                    }
+                }
+                Status::Running
+            } else {
+                if ctx.node() != 0 {
+                    let item = &ctx.inbox()[0];
+                    assert_eq!(item.port, self.expect_from_port);
+                    assert_eq!(item.msg, 100 + (ctx.node() as u64 - 1));
+                    self.seen = true;
+                }
+                Status::Halted
+            }
+        }
+    }
+
+    #[test]
+    fn ports_are_receiver_local() {
+        // Star: 0 - 1, 0 - 2, 0 - 3. Leaves have a single port 0.
+        let topo = Topology::from_links(4, &[(0, 1), (0, 2), (0, 3)]);
+        let nodes = (0..4)
+            .map(|_| PortChecker {
+                expect_from_port: 0,
+                seen: false,
+            })
+            .collect();
+        let mut sim = Simulator::new(topo, nodes);
+        sim.run(10).unwrap();
+        for leaf in 1..4 {
+            assert!(sim.node(leaf).seen);
+        }
+    }
+
+    #[test]
+    fn into_parts_returns_state_and_report() {
+        let topo = Topology::from_links(2, &[(0, 1)]);
+        let mut sim = Simulator::new(
+            topo,
+            vec![
+                OneShot {
+                    payload: 3,
+                    got: None,
+                },
+                OneShot {
+                    payload: 4,
+                    got: None,
+                },
+            ],
+        );
+        sim.run(10).unwrap();
+        let (nodes, report) = sim.into_parts();
+        assert_eq!(nodes[0].got, Some(4));
+        assert!(report.all_halted);
+    }
+}

@@ -1,0 +1,294 @@
+//! Network topologies: who can talk to whom.
+//!
+//! A [`Topology`] is an undirected multigraph over nodes `0..len()`. Each
+//! node sees its links as local *ports* `0..degree`; the topology stores, for
+//! every `(node, port)`, the peer node and the *peer's port* for the same
+//! link, so the simulator can deliver a message sent on `(u, p)` to
+//! `(peer(u,p), peer_port(u,p))` and the receiver knows which of its links it
+//! arrived on. Nodes never see global identifiers unless the protocol ships
+//! them in messages — exactly the CONGEST abstraction.
+
+use dcover_hypergraph::Hypergraph;
+
+/// Index of a node in the network.
+pub type NodeId = usize;
+
+/// Local port index at a node (0-based, `< degree`).
+pub type Port = usize;
+
+/// An immutable undirected topology with port-labelled links.
+///
+/// # Examples
+///
+/// ```
+/// use dcover_congest::Topology;
+///
+/// // A triangle.
+/// let t = Topology::from_links(3, &[(0, 1), (1, 2), (2, 0)]);
+/// assert_eq!(t.len(), 3);
+/// assert_eq!(t.degree(0), 2);
+/// let (peer, peer_port) = t.peer(0, 0);
+/// assert_eq!(peer, 1);
+/// assert_eq!(t.peer(peer, peer_port), (0, 0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    offsets: Vec<u32>,
+    peers: Vec<u32>,
+    peer_ports: Vec<u32>,
+}
+
+impl Topology {
+    /// Builds a topology over `n` nodes from an undirected link list.
+    /// Ports are assigned in link-list order (a node's first mentioned link
+    /// is its port 0). Self-loops are rejected; parallel links are allowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link endpoint is `>= n` or a link is a self-loop.
+    #[must_use]
+    pub fn from_links(n: usize, links: &[(NodeId, NodeId)]) -> Self {
+        let mut degree = vec![0u32; n];
+        for &(u, v) in links {
+            assert!(u < n && v < n, "link ({u}, {v}) out of range (n = {n})");
+            assert_ne!(u, v, "self-loops are not allowed");
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let total = acc as usize;
+        let mut peers = vec![0u32; total];
+        let mut peer_ports = vec![0u32; total];
+        let mut cursor: Vec<u32> = vec![0; n];
+        for &(u, v) in links {
+            let pu = cursor[u];
+            let pv = cursor[v];
+            cursor[u] += 1;
+            cursor[v] += 1;
+            let su = offsets[u] + pu;
+            let sv = offsets[v] + pv;
+            peers[su as usize] = v as u32;
+            peer_ports[su as usize] = pv;
+            peers[sv as usize] = u as u32;
+            peer_ports[sv as usize] = pu;
+        }
+        Self {
+            offsets,
+            peers,
+            peer_ports,
+        }
+    }
+
+    /// The bipartite *communication network* of the paper (§2): node ids
+    /// `0..n` are the hypergraph vertices (servers), `n..n+m` are the
+    /// hyperedges (clients), with a link for every incidence `v ∈ e`.
+    ///
+    /// Port order matches the hypergraph's CSR order on both sides: vertex
+    /// `v`'s port `i` is its `i`-th incident edge
+    /// ([`Hypergraph::incident_edges`]), and edge `e`'s port `j` is its
+    /// `j`-th member vertex ([`Hypergraph::edge`]). Protocol code relies on
+    /// this alignment.
+    #[must_use]
+    pub fn bipartite_incidence(g: &Hypergraph) -> Self {
+        let n = g.n();
+        let links: Vec<(NodeId, NodeId)> = g
+            .vertices()
+            .flat_map(|v| {
+                g.incident_edges(v)
+                    .iter()
+                    .map(move |&e| (v.index(), n + e.index()))
+            })
+            .collect();
+        // from_links assigns vertex-side ports in incident_edges order
+        // (links are emitted per vertex in CSR order). Edge-side ports
+        // however follow link order, i.e. the order vertices mention the
+        // edge, which is CSR *vertex* order, not the edge's member order.
+        // Rebuild edge-side ports so they match g.edge(e) member order.
+        let mut topo = Self::from_links(n + g.m(), &links);
+        topo.realign_bipartite_edge_ports(g);
+        topo
+    }
+
+    /// See [`bipartite_incidence`](Self::bipartite_incidence): permute each
+    /// hyperedge node's ports so port `j` corresponds to member `j`.
+    fn realign_bipartite_edge_ports(&mut self, g: &Hypergraph) {
+        let n = g.n();
+        for e in g.edges() {
+            let node = n + e.index();
+            let base = self.offsets[node] as usize;
+            let members = g.edge(e);
+            let deg = members.len();
+            // Current peers at this node, in arbitrary order.
+            let current: Vec<(u32, u32)> = (0..deg)
+                .map(|p| (self.peers[base + p], self.peer_ports[base + p]))
+                .collect();
+            // Desired: port j ↔ members[j].
+            for (j, &v) in members.iter().enumerate() {
+                let (peer, peer_port) = *current
+                    .iter()
+                    .find(|&&(p, _)| p == v.raw())
+                    .expect("member must be adjacent");
+                self.peers[base + j] = peer;
+                self.peer_ports[base + j] = peer_port;
+                // Fix the reciprocal pointer on the vertex side.
+                let vslot = self.offsets[peer as usize] as usize + peer_port as usize;
+                self.peer_ports[vslot] = j as u32;
+            }
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the topology has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of undirected links.
+    #[must_use]
+    pub fn num_links(&self) -> usize {
+        self.peers.len() / 2
+    }
+
+    /// Degree (number of ports) of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        (self.offsets[node + 1] - self.offsets[node]) as usize
+    }
+
+    /// The peer node and its port for the link at `(node, port)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `port` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn peer(&self, node: NodeId, port: Port) -> (NodeId, Port) {
+        assert!(port < self.degree(node), "port {port} out of range at node {node}");
+        let slot = self.offsets[node] as usize + port;
+        (self.peers[slot] as usize, self.peer_ports[slot] as usize)
+    }
+
+    /// Iterator over `(port, peer)` pairs of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (Port, NodeId)> + '_ {
+        let lo = self.offsets[node] as usize;
+        let hi = self.offsets[node + 1] as usize;
+        self.peers[lo..hi]
+            .iter()
+            .enumerate()
+            .map(|(port, &peer)| (port, peer as usize))
+    }
+
+    /// Maximum degree over all nodes (0 if there are no nodes).
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        (0..self.len()).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcover_hypergraph::{from_edge_lists, VertexId};
+
+    #[test]
+    fn triangle_reciprocal_ports() {
+        let t = Topology::from_links(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(t.num_links(), 3);
+        for u in 0..3 {
+            for p in 0..t.degree(u) {
+                let (v, q) = t.peer(u, p);
+                assert_eq!(t.peer(v, q), (u, p), "reciprocity at ({u},{p})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_links_get_distinct_ports() {
+        let t = Topology::from_links(2, &[(0, 1), (0, 1)]);
+        assert_eq!(t.degree(0), 2);
+        assert_eq!(t.peer(0, 0), (1, 0));
+        assert_eq!(t.peer(0, 1), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let _ = Topology::from_links(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_link_rejected() {
+        let _ = Topology::from_links(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn bipartite_ports_align_with_hypergraph() {
+        // Edges: e0 = {2, 0}, e1 = {1, 2, 3}
+        let g = from_edge_lists(4, &[&[2, 0], &[1, 2, 3]]).unwrap();
+        let t = Topology::bipartite_incidence(&g);
+        assert_eq!(t.len(), 4 + 2);
+        let n = g.n();
+        // Edge-side ports must follow member order.
+        for e in g.edges() {
+            let node = n + e.index();
+            for (j, &v) in g.edge(e).iter().enumerate() {
+                let (peer, _) = t.peer(node, j);
+                assert_eq!(peer, v.index(), "edge {e} port {j}");
+            }
+        }
+        // Vertex-side ports must follow incident-edge order.
+        for v in g.vertices() {
+            for (i, &e) in g.incident_edges(v).iter().enumerate() {
+                let (peer, _) = t.peer(v.index(), i);
+                assert_eq!(peer, n + e.index(), "vertex {v} port {i}");
+            }
+        }
+        // Reciprocity still holds after realignment.
+        for u in 0..t.len() {
+            for p in 0..t.degree(u) {
+                let (v, q) = t.peer(u, p);
+                assert_eq!(t.peer(v, q), (u, p));
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_degrees_match() {
+        let g = from_edge_lists(5, &[&[0, 1, 2], &[2, 3], &[2, 4]]).unwrap();
+        let t = Topology::bipartite_incidence(&g);
+        assert_eq!(t.degree(2), g.degree(VertexId::new(2)));
+        assert_eq!(t.degree(5), 3); // edge 0 has 3 members
+        assert_eq!(t.max_degree(), 3);
+        assert_eq!(t.num_links(), g.incidence_size());
+    }
+
+    #[test]
+    fn neighbors_iterator() {
+        let t = Topology::from_links(4, &[(0, 1), (0, 2), (0, 3)]);
+        let ns: Vec<(Port, NodeId)> = t.neighbors(0).collect();
+        assert_eq!(ns, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(t.neighbors(1).count(), 1);
+    }
+}

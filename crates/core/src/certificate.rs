@@ -1,0 +1,288 @@
+//! Self-contained, independently verifiable solution certificates.
+//!
+//! A [`Certificate`] packages a cover together with the dual edge packing
+//! the algorithm built. Verification needs nothing but the instance: it
+//! re-checks coverage, dual feasibility, β-tightness of every cover member
+//! (the Claim 20 precondition), and derives the approximation bound
+//! `w(C) ≤ (f + ε)·OPT` from first principles — so a consumer does not have
+//! to trust the solver, the simulator, or this crate's internals.
+
+use dcover_hypergraph::{Cover, Hypergraph};
+
+use crate::params::beta;
+use crate::solver::CoverResult;
+
+/// Why a certificate failed to verify.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CertificateError {
+    /// Shape mismatch between certificate and instance.
+    ShapeMismatch {
+        /// Description of what didn't line up.
+        what: &'static str,
+    },
+    /// Some hyperedge is not covered.
+    Uncovered {
+        /// Index of the uncovered edge.
+        edge: usize,
+    },
+    /// A dual variable is negative.
+    NegativeDual {
+        /// Index of the offending edge.
+        edge: usize,
+    },
+    /// A vertex's packing constraint `Σ_{e∋v} δ(e) ≤ w(v)` is violated.
+    PackingViolated {
+        /// The vertex.
+        vertex: usize,
+        /// The dual sum at that vertex.
+        sum: f64,
+        /// The weight it may not exceed.
+        weight: u64,
+    },
+    /// A cover member is not β-tight, so the Claim 20 weight bound would
+    /// not apply to it.
+    NotTight {
+        /// The vertex.
+        vertex: usize,
+        /// Its dual sum.
+        sum: f64,
+        /// The β-tightness threshold `(1−β)·w(v)`.
+        threshold: f64,
+    },
+}
+
+impl std::fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertificateError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+            CertificateError::Uncovered { edge } => write!(f, "edge {edge} is not covered"),
+            CertificateError::NegativeDual { edge } => {
+                write!(f, "dual of edge {edge} is negative")
+            }
+            CertificateError::PackingViolated {
+                vertex,
+                sum,
+                weight,
+            } => write!(f, "packing violated at vertex {vertex}: {sum} > {weight}"),
+            CertificateError::NotTight {
+                vertex,
+                sum,
+                threshold,
+            } => write!(
+                f,
+                "cover vertex {vertex} is not tight: {sum} < {threshold}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// A cover plus the feasible dual packing that certifies its quality.
+///
+/// # Examples
+///
+/// ```
+/// use dcover_core::{Certificate, MwhvcSolver};
+/// use dcover_hypergraph::from_edge_lists;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = from_edge_lists(3, &[&[0, 1], &[1, 2]])?;
+/// let result = MwhvcSolver::with_epsilon(0.5)?.solve(&g)?;
+/// let cert = Certificate::from_result(&result, 0.5);
+/// let bound = cert.verify(&g)?;
+/// assert!(bound <= g.rank() as f64 + 0.5 + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// The vertex cover.
+    pub cover: Cover,
+    /// The dual edge packing `δ(e)` (one value per hyperedge).
+    pub duals: Vec<f64>,
+    /// The ε the run was configured with (fixes β for the tightness check).
+    pub epsilon: f64,
+    /// Verification tolerance for the floating-point checks.
+    pub tolerance: f64,
+}
+
+impl Certificate {
+    /// Builds a certificate from a solver result.
+    #[must_use]
+    pub fn from_result(result: &CoverResult, epsilon: f64) -> Self {
+        Self {
+            cover: result.cover.clone(),
+            duals: result.duals.clone(),
+            epsilon,
+            tolerance: crate::invariants::DEFAULT_TOLERANCE,
+        }
+    }
+
+    /// Verifies the certificate against `g` from first principles and
+    /// returns the proven ratio bound `w(C)/Σδ` (≥ the true approximation
+    /// ratio; ≤ `f + ε` whenever the β-tightness check passes, by the
+    /// Claim 20 argument).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed check as a [`CertificateError`].
+    pub fn verify(&self, g: &Hypergraph) -> Result<f64, CertificateError> {
+        if self.cover.universe() != g.n() {
+            return Err(CertificateError::ShapeMismatch {
+                what: "cover universe vs vertex count",
+            });
+        }
+        if self.duals.len() != g.m() {
+            return Err(CertificateError::ShapeMismatch {
+                what: "dual count vs edge count",
+            });
+        }
+        // Coverage.
+        for e in g.edges() {
+            if !g.edge(e).iter().any(|&v| self.cover.contains(v)) {
+                return Err(CertificateError::Uncovered { edge: e.index() });
+            }
+        }
+        // Dual feasibility.
+        for (ei, &d) in self.duals.iter().enumerate() {
+            if d < 0.0 {
+                return Err(CertificateError::NegativeDual { edge: ei });
+            }
+        }
+        let b = beta(g.rank().max(1), self.epsilon);
+        for v in g.vertices() {
+            let sum: f64 = g
+                .incident_edges(v)
+                .iter()
+                .map(|&e| self.duals[e.index()])
+                .sum();
+            let w = g.weight(v);
+            if sum > w as f64 * (1.0 + self.tolerance) {
+                return Err(CertificateError::PackingViolated {
+                    vertex: v.index(),
+                    sum,
+                    weight: w,
+                });
+            }
+            if self.cover.contains(v) {
+                let threshold = (1.0 - b) * w as f64;
+                if sum < threshold * (1.0 - self.tolerance) {
+                    return Err(CertificateError::NotTight {
+                        vertex: v.index(),
+                        sum,
+                        threshold,
+                    });
+                }
+            }
+        }
+        let weight = self.cover.weight(g);
+        let dual_total: f64 = self.duals.iter().sum();
+        Ok(if weight == 0 {
+            1.0
+        } else {
+            weight as f64 / dual_total
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::MwhvcSolver;
+    use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
+    use dcover_hypergraph::{from_edge_lists, VertexId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn valid_runs_verify() {
+        let mut rng = StdRng::seed_from_u64(80);
+        for (f, eps) in [(2usize, 1.0), (3, 0.25), (5, 0.05)] {
+            let g = random_uniform(
+                &RandomUniform {
+                    n: 50,
+                    m: 120,
+                    rank: f,
+                    weights: WeightDist::Uniform { min: 1, max: 100 },
+                },
+                &mut rng,
+            );
+            let r = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).unwrap();
+            let cert = Certificate::from_result(&r, eps);
+            let bound = cert.verify(&g).expect("valid certificate");
+            assert!(bound <= f as f64 + eps + 1e-9);
+            assert!((bound - r.ratio_upper_bound()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let g = from_edge_lists(3, &[&[0, 1], &[1, 2]]).unwrap();
+        let r = MwhvcSolver::with_epsilon(0.5).unwrap().solve(&g).unwrap();
+        let good = Certificate::from_result(&r, 0.5);
+
+        // Remove a cover vertex -> uncovered edge.
+        let mut bad = good.clone();
+        for v in g.vertices() {
+            bad.cover.remove(v);
+        }
+        assert!(matches!(
+            bad.verify(&g),
+            Err(CertificateError::Uncovered { .. })
+        ));
+
+        // Inflate a dual -> packing violation.
+        let mut bad = good.clone();
+        bad.duals[0] += 1e9;
+        assert!(matches!(
+            bad.verify(&g),
+            Err(CertificateError::PackingViolated { .. })
+        ));
+
+        // Negative dual.
+        let mut bad = good.clone();
+        bad.duals[0] = -0.5;
+        assert!(matches!(
+            bad.verify(&g),
+            Err(CertificateError::NegativeDual { edge: 0 })
+        ));
+
+        // Add a non-tight vertex to the cover.
+        let mut bad = good.clone();
+        bad.cover = Cover::full(g.n());
+        // (All edges covered, duals feasible; but some member won't be
+        // β-tight unless the run happened to saturate everyone.)
+        match bad.verify(&g) {
+            Err(CertificateError::NotTight { .. }) | Ok(_) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        // Wrong shapes.
+        let mut bad = good.clone();
+        bad.duals.pop();
+        assert!(matches!(
+            bad.verify(&g),
+            Err(CertificateError::ShapeMismatch { .. })
+        ));
+        let mut bad = good;
+        bad.cover = Cover::from_ids(99, [VertexId::new(0)]);
+        assert!(matches!(
+            bad.verify(&g),
+            Err(CertificateError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = CertificateError::Uncovered { edge: 3 };
+        assert!(e.to_string().contains("edge 3"));
+        let e = CertificateError::NotTight {
+            vertex: 1,
+            sum: 0.5,
+            threshold: 0.9,
+        };
+        assert!(e.to_string().contains("not tight"));
+    }
+}

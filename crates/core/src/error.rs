@@ -1,0 +1,83 @@
+//! Error type for the MWHVC solver.
+
+use std::error::Error;
+use std::fmt;
+
+use dcover_congest::SimError;
+
+/// Error produced when configuring or running the solver.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// ε must lie in `(0, 1]`.
+    InvalidEpsilon {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A vertex weight exceeds 2⁵³, beyond which `f64` dual arithmetic is no
+    /// longer exact on integers. The paper assumes `W = poly(n)`, so this
+    /// never binds on sensible instances.
+    WeightTooLarge {
+        /// Index of the offending vertex.
+        vertex: usize,
+        /// Its weight.
+        weight: u64,
+    },
+    /// The underlying simulation failed: either the CONGEST bit budget was
+    /// violated or the Theorem 8 round bound was exceeded — both indicate a
+    /// bug (or a deliberately tightened limit).
+    Sim(SimError),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::InvalidEpsilon { value } => {
+                write!(f, "epsilon must be in (0, 1], got {value}")
+            }
+            SolveError::WeightTooLarge { vertex, weight } => write!(
+                f,
+                "vertex {vertex} has weight {weight} which exceeds 2^53; dual arithmetic would lose exactness"
+            ),
+            SolveError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for SolveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolveError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for SolveError {
+    fn from(e: SimError) -> Self {
+        SolveError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SolveError::InvalidEpsilon { value: 2.0 };
+        assert!(e.to_string().contains("(0, 1]"));
+        let e = SolveError::WeightTooLarge {
+            vertex: 3,
+            weight: u64::MAX,
+        };
+        assert!(e.to_string().contains("2^53"));
+        let inner = SimError::RoundLimit {
+            limit: 5,
+            active: 1,
+        };
+        let e = SolveError::from(inner);
+        assert!(e.to_string().contains("round limit"));
+        assert!(Error::source(&e).is_some());
+    }
+}

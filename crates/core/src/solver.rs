@@ -1,0 +1,452 @@
+//! The user-facing solver: runs the distributed protocol on the CONGEST
+//! simulator and assembles the result.
+
+use dcover_congest::{BitBudget, ParallelSimulator, SimReport, Simulator};
+use dcover_hypergraph::{Cover, Hypergraph};
+
+use crate::analysis;
+use crate::error::SolveError;
+use crate::params::{AlphaPolicy, MwhvcConfig};
+use crate::protocol::{build_network, iterations_of_rounds, MwhvcNode};
+
+/// Largest weight for which `f64` represents integers exactly.
+const MAX_EXACT_WEIGHT: u64 = 1 << 53;
+
+/// Safety factor applied to the Theorem 8 round bound for the default round
+/// limit (tests use the exact bound; the default limit only guards against
+/// infinite loops from bugs).
+const ROUND_LIMIT_SAFETY: u64 = 4;
+
+/// The outcome of a solve: the cover, the dual certificate, and the
+/// communication metrics.
+#[derive(Clone, Debug)]
+pub struct CoverResult {
+    /// The computed vertex cover `C` (always a valid cover).
+    pub cover: Cover,
+    /// Final dual variable `δ(e)` per hyperedge — a feasible edge packing.
+    pub duals: Vec<f64>,
+    /// Final level `ℓ(v)` per vertex.
+    pub levels: Vec<u32>,
+    /// `w(C)`.
+    pub weight: u64,
+    /// `Σ_e δ(e)` — by LP weak duality a lower bound on the *fractional*
+    /// optimum, hence `weight / dual_total` upper-bounds the true
+    /// approximation ratio.
+    pub dual_total: f64,
+    /// Number of algorithm iterations executed (each is 4 CONGEST rounds).
+    pub iterations: u64,
+    /// Simulator communication report (rounds, messages, bits, maxima).
+    pub report: SimReport,
+}
+
+impl CoverResult {
+    /// Certified upper bound on the approximation ratio,
+    /// `w(C) / Σ_e δ(e)` (1.0 for empty instances). The paper guarantees
+    /// this is at most `f + ε` (Corollary 3).
+    #[must_use]
+    pub fn ratio_upper_bound(&self) -> f64 {
+        if self.weight == 0 {
+            1.0
+        } else {
+            self.weight as f64 / self.dual_total
+        }
+    }
+
+    /// Total CONGEST rounds used.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.report.rounds
+    }
+}
+
+/// Distributed `(f + ε)`-approximation solver for minimum weight hypergraph
+/// vertex cover (Algorithm MWHVC of Ben-Basat et al., DISC 2019).
+///
+/// # Examples
+///
+/// ```
+/// use dcover_core::MwhvcSolver;
+/// use dcover_hypergraph::from_weighted_edge_lists;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A path a - b - c: picking b (weight 1) covers both edges.
+/// let g = from_weighted_edge_lists(&[10, 1, 10], &[&[0, 1], &[1, 2]])?;
+/// let result = MwhvcSolver::with_epsilon(0.5)?.solve(&g)?;
+/// assert!(result.cover.is_cover_of(&g));
+/// assert_eq!(result.weight, 1);
+/// assert!(result.ratio_upper_bound() <= 2.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct MwhvcSolver {
+    config: MwhvcConfig,
+}
+
+impl MwhvcSolver {
+    /// Creates a solver with an explicit configuration.
+    #[must_use]
+    pub fn new(config: MwhvcConfig) -> Self {
+        Self { config }
+    }
+
+    /// Creates a solver with the given ε and default settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::InvalidEpsilon`] unless `0 < epsilon ≤ 1`.
+    pub fn with_epsilon(epsilon: f64) -> Result<Self, SolveError> {
+        Ok(Self::new(MwhvcConfig::new(epsilon)?))
+    }
+
+    /// The solver's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MwhvcConfig {
+        &self.config
+    }
+
+    /// Runs the protocol on the deterministic sequential scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::WeightTooLarge`] if a weight exceeds 2⁵³, or
+    /// [`SolveError::Sim`] if the simulation violates the CONGEST bit budget
+    /// or the round limit (both indicate bugs or deliberately tight limits).
+    pub fn solve(&self, g: &Hypergraph) -> Result<CoverResult, SolveError> {
+        self.solve_impl(g, None)
+    }
+
+    /// Runs the protocol on the thread-pool scheduler with identical
+    /// semantics (and therefore identical results).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn solve_parallel(
+        &self,
+        g: &Hypergraph,
+        threads: usize,
+    ) -> Result<CoverResult, SolveError> {
+        assert!(threads > 0, "need at least one worker thread");
+        self.solve_impl(g, Some(threads))
+    }
+
+    /// The round limit used for `g` (configured override or the Theorem 8
+    /// bound times a safety factor).
+    #[must_use]
+    pub fn round_limit(&self, g: &Hypergraph) -> u64 {
+        if let Some(limit) = self.config.max_rounds() {
+            return limit;
+        }
+        let f = g.rank().max(1);
+        let delta = g.max_degree().max(1);
+        let alpha_hi = self.max_alpha(g);
+        // Conservative explicit bound: raises are counted at the slowest
+        // growth (α = 2), stuck iterations at the largest multiplier.
+        let raises_bound =
+            analysis::iteration_bound(f, delta, self.config.epsilon(), 2, self.config.variant());
+        let stuck_bound = analysis::iteration_bound(
+            f,
+            delta,
+            self.config.epsilon(),
+            alpha_hi,
+            self.config.variant(),
+        );
+        let per_edge = raises_bound.max(stuck_bound);
+        ROUND_LIMIT_SAFETY * (2 + 4 * per_edge) + 64
+    }
+
+    /// The largest α any edge resolves under the configured policy.
+    fn max_alpha(&self, g: &Hypergraph) -> u32 {
+        let f = g.rank().max(1);
+        let eps = self.config.epsilon();
+        let delta = g.max_degree().max(1);
+        match self.config.alpha() {
+            AlphaPolicy::Fixed(a) => a,
+            AlphaPolicy::Theorem9 { .. } => self.config.alpha().resolve(f, eps, delta, delta),
+            AlphaPolicy::LocalTheorem9 { .. } => g
+                .edges()
+                .map(|e| {
+                    self.config
+                        .alpha()
+                        .resolve(f, eps, g.local_max_degree(e), delta)
+                })
+                .max()
+                .unwrap_or(2),
+        }
+    }
+
+    fn solve_impl(
+        &self,
+        g: &Hypergraph,
+        threads: Option<usize>,
+    ) -> Result<CoverResult, SolveError> {
+        for v in g.vertices() {
+            let w = g.weight(v);
+            if w > MAX_EXACT_WEIGHT {
+                return Err(SolveError::WeightTooLarge {
+                    vertex: v.index(),
+                    weight: w,
+                });
+            }
+        }
+        if g.n() == 0 {
+            return Ok(CoverResult {
+                cover: Cover::empty(0),
+                duals: Vec::new(),
+                levels: Vec::new(),
+                weight: 0,
+                dual_total: 0.0,
+                iterations: 0,
+                report: SimReport::default(),
+            });
+        }
+
+        let (topo, nodes) = build_network(g, &self.config);
+        let budget = self
+            .config
+            .budget()
+            .unwrap_or_else(|| BitBudget::congest(g.n() + g.m(), 32));
+        let limit = self.round_limit(g);
+
+        let (nodes, report) = match threads {
+            None => {
+                let mut sim = Simulator::new(topo, nodes)
+                    .with_budget(budget)
+                    .with_trace(self.config.trace());
+                sim.run(limit)?;
+                sim.into_parts()
+            }
+            Some(t) => {
+                let mut sim = ParallelSimulator::new(topo, nodes, t)
+                    .with_budget(budget)
+                    .with_trace(self.config.trace());
+                sim.run(limit)?;
+                sim.into_parts()
+            }
+        };
+
+        Ok(self.assemble(g, &nodes, report))
+    }
+
+    /// Extracts the cover, levels, and per-edge duals from the final node
+    /// states.
+    fn assemble(&self, g: &Hypergraph, nodes: &[MwhvcNode], report: SimReport) -> CoverResult {
+        let n = g.n();
+        let mut cover = Cover::empty(n);
+        let mut levels = vec![0u32; n];
+        let mut duals = vec![f64::NAN; g.m()];
+        for v in g.vertices() {
+            let node = &nodes[v.index()];
+            if node.in_cover().expect("node 0..n is a vertex") {
+                cover.insert(v);
+            }
+            levels[v.index()] = node.level().expect("node 0..n is a vertex");
+            let port_duals = node.port_duals().expect("node 0..n is a vertex");
+            for (port, &e) in g.incident_edges(v).iter().enumerate() {
+                let d = port_duals[port];
+                let slot = &mut duals[e.index()];
+                if slot.is_nan() {
+                    *slot = d;
+                } else {
+                    // Replicas are maintained with identical float ops, so
+                    // members agree exactly.
+                    debug_assert_eq!(
+                        *slot, d,
+                        "dual replicas disagree on edge {e} (member {v})"
+                    );
+                }
+            }
+        }
+        assert!(
+            cover.is_cover_of(g),
+            "internal error: protocol terminated without a vertex cover"
+        );
+        let weight = cover.weight(g);
+        let dual_total: f64 = duals.iter().copied().filter(|d| !d.is_nan()).sum();
+        CoverResult {
+            cover,
+            duals,
+            levels,
+            weight,
+            dual_total,
+            iterations: iterations_of_rounds(report.rounds),
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Variant;
+    use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
+    use dcover_hypergraph::{from_edge_lists, from_weighted_edge_lists};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn solver(eps: f64) -> MwhvcSolver {
+        MwhvcSolver::with_epsilon(eps).unwrap()
+    }
+
+    #[test]
+    fn single_edge_cheapest_vertex() {
+        let g = from_weighted_edge_lists(&[5, 2, 9], &[&[0, 1, 2]]).unwrap();
+        let r = solver(0.5).solve(&g).unwrap();
+        assert!(r.cover.is_cover_of(&g));
+        // (f+eps)·OPT with OPT = 2 allows weight ≤ 7; the algorithm actually
+        // picks only β-tight vertices, so certify via the dual bound.
+        assert!(r.ratio_upper_bound() <= 3.5 + 1e-9);
+    }
+
+    #[test]
+    fn triangle_cover() {
+        let g = from_edge_lists(3, &[&[0, 1], &[1, 2], &[2, 0]]).unwrap();
+        let r = solver(1.0).solve(&g).unwrap();
+        assert!(r.cover.is_cover_of(&g));
+        assert!(r.cover.len() >= 2); // OPT of a triangle is 2
+        assert!(r.ratio_upper_bound() <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = from_edge_lists(0, &[]).unwrap();
+        let r = solver(0.5).solve(&g).unwrap();
+        assert_eq!(r.weight, 0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn edgeless_graph_selects_nothing() {
+        let g = from_weighted_edge_lists(&[3, 4], &[]).unwrap();
+        let r = solver(0.5).solve(&g).unwrap();
+        assert!(r.cover.is_empty());
+        assert_eq!(r.weight, 0);
+        assert!(r.report.all_halted);
+    }
+
+    #[test]
+    fn approximation_bound_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for (f, eps) in [(2u32, 1.0), (3, 0.5), (4, 0.25)] {
+            let g = random_uniform(
+                &RandomUniform {
+                    n: 60,
+                    m: 150,
+                    rank: f as usize,
+                    weights: WeightDist::Uniform { min: 1, max: 50 },
+                },
+                &mut rng,
+            );
+            let r = solver(eps).solve(&g).unwrap();
+            assert!(r.cover.is_cover_of(&g));
+            let bound = f as f64 + eps;
+            assert!(
+                r.ratio_upper_bound() <= bound + 1e-9,
+                "ratio {} > {bound} for f={f}, eps={eps}",
+                r.ratio_upper_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_solve_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = random_uniform(
+            &RandomUniform {
+                n: 40,
+                m: 90,
+                rank: 3,
+                weights: WeightDist::Uniform { min: 1, max: 9 },
+            },
+            &mut rng,
+        );
+        let s = solver(0.5);
+        let a = s.solve(&g).unwrap();
+        let b = s.solve_parallel(&g, 3).unwrap();
+        assert_eq!(a.cover, b.cover);
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.duals, b.duals);
+        assert_eq!(a.report.rounds, b.report.rounds);
+        assert_eq!(a.report.total_messages, b.report.total_messages);
+    }
+
+    #[test]
+    fn halfbid_variant_also_correct() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = random_uniform(
+            &RandomUniform {
+                n: 50,
+                m: 120,
+                rank: 3,
+                weights: WeightDist::Uniform { min: 1, max: 20 },
+            },
+            &mut rng,
+        );
+        let cfg = MwhvcConfig::new(0.5).unwrap().with_variant(Variant::HalfBid);
+        let r = MwhvcSolver::new(cfg).solve(&g).unwrap();
+        assert!(r.cover.is_cover_of(&g));
+        assert!(r.ratio_upper_bound() <= 3.5 + 1e-9);
+    }
+
+    #[test]
+    fn oversized_weight_rejected() {
+        let g = from_weighted_edge_lists(&[1 << 60, 1], &[&[0, 1]]).unwrap();
+        let err = solver(0.5).solve(&g).unwrap_err();
+        assert!(matches!(err, SolveError::WeightTooLarge { vertex: 0, .. }));
+    }
+
+    #[test]
+    fn congest_budget_holds_by_default() {
+        // The default budget is 32·log2(n+m); the run must not trip it.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = random_uniform(
+            &RandomUniform {
+                n: 100,
+                m: 200,
+                rank: 3,
+                weights: WeightDist::Uniform {
+                    min: 1,
+                    max: 1_000_000,
+                },
+            },
+            &mut rng,
+        );
+        let r = solver(0.25).solve(&g).unwrap();
+        assert!(r.report.max_link_bits <= BitBudget::congest(300, 32).bits());
+    }
+
+    #[test]
+    fn duals_are_consistent_and_feasible() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = random_uniform(
+            &RandomUniform {
+                n: 30,
+                m: 80,
+                rank: 4,
+                weights: WeightDist::Uniform { min: 1, max: 10 },
+            },
+            &mut rng,
+        );
+        let r = solver(0.5).solve(&g).unwrap();
+        for e in g.edges() {
+            let d = r.duals[e.index()];
+            assert!(d > 0.0, "dual of {e} must be positive");
+        }
+        for v in g.vertices() {
+            let sum: f64 = g
+                .incident_edges(v)
+                .iter()
+                .map(|&e| r.duals[e.index()])
+                .sum();
+            assert!(
+                sum <= g.weight(v) as f64 * (1.0 + 1e-9),
+                "packing constraint violated at {v}"
+            );
+        }
+    }
+}

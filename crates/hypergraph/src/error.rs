@@ -1,0 +1,148 @@
+//! Error types for hypergraph construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building a [`Hypergraph`](crate::Hypergraph).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A hyperedge referenced a vertex id that was never added.
+    UnknownVertex {
+        /// Index of the offending edge (in insertion order).
+        edge: usize,
+        /// The raw vertex index that was out of range.
+        vertex: usize,
+        /// Number of vertices that exist.
+        n: usize,
+    },
+    /// A hyperedge had no vertices (after deduplication).
+    EmptyEdge {
+        /// Index of the offending edge (in insertion order).
+        edge: usize,
+    },
+    /// A vertex was given weight zero; the paper requires positive integer
+    /// weights `w : V -> N+`.
+    ZeroWeight {
+        /// Index of the offending vertex.
+        vertex: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownVertex { edge, vertex, n } => write!(
+                f,
+                "edge {edge} references vertex {vertex} but only {n} vertices exist"
+            ),
+            BuildError::EmptyEdge { edge } => {
+                write!(f, "edge {edge} is empty; hyperedges must contain at least one vertex")
+            }
+            BuildError::ZeroWeight { vertex } => {
+                write!(f, "vertex {vertex} has weight zero; weights must be positive")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Error produced while parsing the plain-text instance format
+/// (see [`crate::format`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The `p mwhvc <n> <m>` header line is missing or malformed.
+    MissingHeader,
+    /// A line could not be interpreted.
+    Malformed {
+        /// One-based line number.
+        line: usize,
+        /// Explanation of what went wrong.
+        reason: String,
+    },
+    /// The number of declared vertices/edges does not match the header.
+    CountMismatch {
+        /// What was being counted (`"vertices"` or `"edges"`).
+        what: &'static str,
+        /// Count promised by the header.
+        expected: usize,
+        /// Count actually present.
+        actual: usize,
+    },
+    /// The parsed instance failed hypergraph validation.
+    Invalid(BuildError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingHeader => {
+                write!(f, "missing `p mwhvc <n> <m>` header line")
+            }
+            ParseError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseError::CountMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "header declared {expected} {what} but found {actual}"),
+            ParseError::Invalid(e) => write!(f, "parsed instance is invalid: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for ParseError {
+    fn from(e: BuildError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = BuildError::UnknownVertex {
+            edge: 2,
+            vertex: 9,
+            n: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "edge 2 references vertex 9 but only 5 vertices exist"
+        );
+        let e = BuildError::EmptyEdge { edge: 0 };
+        assert!(e.to_string().contains("edge 0 is empty"));
+        let e = BuildError::ZeroWeight { vertex: 3 };
+        assert!(e.to_string().contains("weight zero"));
+    }
+
+    #[test]
+    fn parse_error_wraps_build_error_as_source() {
+        let inner = BuildError::EmptyEdge { edge: 1 };
+        let outer = ParseError::from(inner.clone());
+        assert!(outer.to_string().contains("invalid"));
+        let src = Error::source(&outer).expect("source");
+        assert_eq!(src.to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BuildError>();
+        assert_send_sync::<ParseError>();
+    }
+}

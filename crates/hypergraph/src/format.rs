@@ -1,0 +1,225 @@
+//! Plain-text instance format (DIMACS-flavoured) for persisting and sharing
+//! MWHVC instances.
+//!
+//! ```text
+//! c optional comment lines
+//! p mwhvc <n> <m>
+//! v <weight>            (n lines, vertex 0..n-1 in order)
+//! e <v1> <v2> ... <vk>  (m lines, zero-based vertex indices)
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use dcover_hypergraph::format;
+//!
+//! let text = "c triangle\np mwhvc 3 3\nv 1\nv 2\nv 3\ne 0 1\ne 1 2\ne 2 0\n";
+//! let g = format::parse(text)?;
+//! assert_eq!(g.n(), 3);
+//! let text2 = format::serialize(&g);
+//! assert_eq!(format::parse(&text2)?, g);
+//! # Ok::<(), dcover_hypergraph::ParseError>(())
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::error::ParseError;
+use crate::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// Serializes a hypergraph to the text format.
+#[must_use]
+pub fn serialize(g: &Hypergraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p mwhvc {} {}", g.n(), g.m());
+    for v in g.vertices() {
+        let _ = writeln!(out, "v {}", g.weight(v));
+    }
+    for e in g.edges() {
+        out.push('e');
+        for &v in g.edge(e) {
+            let _ = write!(out, " {}", v.index());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a hypergraph from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed headers, counts that do not match the
+/// header, unparsable numbers, or instances that fail hypergraph validation
+/// (empty edges, unknown vertex indices, zero weights).
+pub fn parse(text: &str) -> Result<Hypergraph, ParseError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut weights: Vec<u64> = Vec::new();
+    let mut edges: Vec<Vec<usize>> = Vec::new();
+
+    for (line_no, raw) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        match fields.next() {
+            Some("p") => {
+                if header.is_some() {
+                    return Err(ParseError::Malformed {
+                        line: line_no,
+                        reason: "duplicate header".to_string(),
+                    });
+                }
+                let kind = fields.next();
+                if kind != Some("mwhvc") {
+                    return Err(ParseError::Malformed {
+                        line: line_no,
+                        reason: format!("expected `p mwhvc`, got `p {}`", kind.unwrap_or("")),
+                    });
+                }
+                let n = parse_num(fields.next(), line_no, "vertex count")?;
+                let m = parse_num(fields.next(), line_no, "edge count")?;
+                header = Some((n, m));
+            }
+            Some("v") => {
+                if header.is_none() {
+                    return Err(ParseError::MissingHeader);
+                }
+                let w: u64 = parse_num(fields.next(), line_no, "weight")? as u64;
+                weights.push(w);
+            }
+            Some("e") => {
+                if header.is_none() {
+                    return Err(ParseError::MissingHeader);
+                }
+                let mut members = Vec::new();
+                for field in fields {
+                    let idx: usize = field.parse().map_err(|_| ParseError::Malformed {
+                        line: line_no,
+                        reason: format!("bad vertex index `{field}`"),
+                    })?;
+                    members.push(idx);
+                }
+                edges.push(members);
+            }
+            Some(other) => {
+                return Err(ParseError::Malformed {
+                    line: line_no,
+                    reason: format!("unknown record type `{other}`"),
+                });
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+
+    let (n, m) = header.ok_or(ParseError::MissingHeader)?;
+    if weights.len() != n {
+        return Err(ParseError::CountMismatch {
+            what: "vertices",
+            expected: n,
+            actual: weights.len(),
+        });
+    }
+    if edges.len() != m {
+        return Err(ParseError::CountMismatch {
+            what: "edges",
+            expected: m,
+            actual: edges.len(),
+        });
+    }
+
+    let mut b = HypergraphBuilder::with_capacity(n, m);
+    for (i, w) in weights.into_iter().enumerate() {
+        if w == 0 {
+            return Err(ParseError::Invalid(crate::BuildError::ZeroWeight {
+                vertex: i,
+            }));
+        }
+        b.add_vertex(w);
+    }
+    for members in edges {
+        b.add_edge(members.into_iter().map(VertexId::new))?;
+    }
+    Ok(b.build()?)
+}
+
+fn parse_num(field: Option<&str>, line: usize, what: &str) -> Result<usize, ParseError> {
+    let field = field.ok_or_else(|| ParseError::Malformed {
+        line,
+        reason: format!("missing {what}"),
+    })?;
+    field.parse().map_err(|_| ParseError::Malformed {
+        line,
+        reason: format!("bad {what} `{field}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_weighted_edge_lists;
+
+    #[test]
+    fn roundtrip() {
+        let g = from_weighted_edge_lists(&[3, 1, 4, 1], &[&[0, 1, 2], &[2, 3]]).unwrap();
+        let text = serialize(&g);
+        let g2 = parse(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "c hello\n\np mwhvc 2 1\nc mid comment\nv 1\nv 2\ne 0 1\n";
+        let g = parse(text).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(parse("v 1\n").unwrap_err(), ParseError::MissingHeader);
+        assert_eq!(parse("").unwrap_err(), ParseError::MissingHeader);
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let err = parse("p mwhvc 2 1\nv 1\ne 0\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::CountMismatch {
+                what: "vertices",
+                expected: 2,
+                actual: 1
+            }
+        );
+    }
+
+    #[test]
+    fn bad_records_rejected() {
+        assert!(matches!(
+            parse("p mwhvc 1 0\nx 3\n").unwrap_err(),
+            ParseError::Malformed { line: 2, .. }
+        ));
+        assert!(matches!(
+            parse("p wrong 1 0\n").unwrap_err(),
+            ParseError::Malformed { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse("p mwhvc 1 1\nv 1\ne zero\n").unwrap_err(),
+            ParseError::Malformed { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn zero_weight_rejected() {
+        let err = parse("p mwhvc 1 0\nv 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(_)));
+    }
+
+    #[test]
+    fn invalid_edge_rejected() {
+        let err = parse("p mwhvc 1 1\nv 1\ne 5\n").unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(_)));
+    }
+}

@@ -1,0 +1,158 @@
+//! Geometric set-cover instances: sensor/facility coverage scenarios.
+//!
+//! These model the workloads that motivate distributed covering in practice:
+//! a field of *demand points* (elements / hyperedges) must each be watched by
+//! at least one *station* (set / vertex); a station covers all points within
+//! its radius, and its weight models deployment cost. The frequency of a
+//! point — how many stations can see it — becomes the hypergraph rank `f`.
+
+use rand::Rng;
+
+use super::weights::WeightDist;
+use crate::SetSystem;
+
+/// A 2-D point in the unit square.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate in `[0, 1)`.
+    pub x: f64,
+    /// Vertical coordinate in `[0, 1)`.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to another point.
+    #[must_use]
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// A geometric coverage instance: stations cover demand points within a
+/// radius.
+#[derive(Clone, Debug)]
+pub struct CoverageInstance {
+    /// Demand point positions (elements of the set system).
+    pub points: Vec<Point>,
+    /// Station positions (sets of the set system).
+    pub stations: Vec<Point>,
+    /// Coverage radius shared by all stations.
+    pub radius: f64,
+    /// The derived set system (station `i` = set `i`).
+    pub system: SetSystem,
+}
+
+/// Generates a coverage instance: `n_points` demand points and `n_stations`
+/// stations uniformly in the unit square; station weights from `weights`.
+///
+/// Every demand point is guaranteed coverable: if a point is out of range of
+/// all stations, the nearest station's set is extended to include it
+/// (modelling a directional antenna pointed at a stranded customer). The
+/// maximum frequency — the hypergraph rank `f` — is controlled indirectly by
+/// `radius` and directly capped by `max_frequency`: each point keeps only its
+/// `max_frequency` nearest in-range stations.
+///
+/// # Panics
+///
+/// Panics if `n_points == 0`, `n_stations == 0`, `radius <= 0`, or
+/// `max_frequency == 0`.
+pub fn coverage_instance<R: Rng + ?Sized>(
+    n_points: usize,
+    n_stations: usize,
+    radius: f64,
+    max_frequency: usize,
+    weights: &WeightDist,
+    rng: &mut R,
+) -> CoverageInstance {
+    assert!(n_points > 0 && n_stations > 0, "need points and stations");
+    assert!(radius > 0.0, "radius must be positive");
+    assert!(max_frequency > 0, "max frequency must be positive");
+
+    let rand_point = |rng: &mut R| Point {
+        x: rng.gen::<f64>(),
+        y: rng.gen::<f64>(),
+    };
+    let points: Vec<Point> = (0..n_points).map(|_| rand_point(rng)).collect();
+    let stations: Vec<Point> = (0..n_stations).map(|_| rand_point(rng)).collect();
+
+    // For each point, the stations allowed to cover it (nearest first,
+    // truncated to max_frequency; nearest overall if none in range).
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_stations];
+    for (pi, p) in points.iter().enumerate() {
+        let mut in_range: Vec<(f64, usize)> = stations
+            .iter()
+            .enumerate()
+            .filter_map(|(si, s)| {
+                let d = p.distance(s);
+                (d <= radius).then_some((d, si))
+            })
+            .collect();
+        if in_range.is_empty() {
+            let (si, _) = stations
+                .iter()
+                .enumerate()
+                .map(|(si, s)| (si, p.distance(s)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("at least one station");
+            in_range.push((0.0, si));
+        }
+        in_range.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for &(_, si) in in_range.iter().take(max_frequency) {
+            members[si].push(pi);
+        }
+    }
+
+    let mut system = SetSystem::new(n_points);
+    for station_members in &members {
+        system.add_set(weights.sample(rng), station_members.iter().copied());
+    }
+
+    CoverageInstance {
+        points,
+        stations,
+        radius,
+        system,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_point_coverable() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = coverage_instance(80, 15, 0.2, 4, &WeightDist::unit(), &mut rng);
+        assert!(inst.system.is_coverable());
+        let g = inst.system.to_hypergraph().unwrap();
+        assert_eq!(g.m(), 80);
+        assert_eq!(g.n(), 15);
+    }
+
+    #[test]
+    fn frequency_capped() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let inst = coverage_instance(60, 30, 0.9, 3, &WeightDist::unit(), &mut rng);
+        assert!(inst.system.max_frequency() <= 3);
+        let g = inst.system.to_hypergraph().unwrap();
+        assert!(g.rank() <= 3);
+    }
+
+    #[test]
+    fn reproducible() {
+        let a = coverage_instance(40, 10, 0.3, 3, &WeightDist::unit(), &mut StdRng::seed_from_u64(9));
+        let b = coverage_instance(40, 10, 0.3, 3, &WeightDist::unit(), &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.system, b.system);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 3.0, y: 4.0 };
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! Instance generators: random, structured/extremal, and geometric families.
+//!
+//! Every generator is deterministic given its RNG, so experiments are
+//! reproducible from a seed. See the submodules:
+//!
+//! * [`random`] — uniform rank-f, mixed rank, planted-OPT, preferential
+//!   attachment, degree-calibrated families;
+//! * [`structured`] — stars, cliques, paths, cycles, sunflowers, complete
+//!   f-partite, hyper-stars (extremal cases for the analysis);
+//! * [`geometric`] — sensor-coverage set systems;
+//! * [`weights`] — vertex weight distributions (the `W` axis of the paper's
+//!   comparison tables).
+
+pub mod geometric;
+pub mod random;
+pub mod structured;
+pub mod weights;
+
+pub use geometric::{coverage_instance, CoverageInstance, Point};
+pub use random::{
+    calibrated_degree, planted_cover, preferential_attachment, random_mixed_rank, random_uniform,
+    RandomUniform,
+};
+pub use structured::{clique, complete_f_partite, cycle, hyper_star, path, star, sunflower};
+pub use weights::WeightDist;

@@ -1,0 +1,302 @@
+//! Seeded random hypergraph generators.
+//!
+//! All generators take an explicit `&mut impl Rng`; the benchmark harness
+//! seeds a [`rand::rngs::StdRng`] per experiment cell so every table is
+//! reproducible bit-for-bit.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use super::weights::WeightDist;
+use crate::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// Configuration for [`random_uniform`]: `m` hyperedges, each a uniformly
+/// random `rank`-subset of `n` vertices.
+#[derive(Clone, Debug)]
+pub struct RandomUniform {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of hyperedges.
+    pub m: usize,
+    /// Exact size of every hyperedge (the rank `f`), capped at `n`.
+    pub rank: usize,
+    /// Vertex weight distribution.
+    pub weights: WeightDist,
+}
+
+/// Generates a hypergraph with `m` uniformly random rank-`f` hyperedges.
+///
+/// Duplicate hyperedges may occur (harmless for covering); vertices inside an
+/// edge are distinct. Isolated vertices may occur and are legal.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `rank == 0`.
+pub fn random_uniform<R: Rng + ?Sized>(cfg: &RandomUniform, rng: &mut R) -> Hypergraph {
+    assert!(cfg.n > 0, "need at least one vertex");
+    assert!(cfg.rank > 0, "rank must be positive");
+    let rank = cfg.rank.min(cfg.n);
+    let mut b = HypergraphBuilder::with_capacity(cfg.n, cfg.m);
+    for _ in 0..cfg.n {
+        b.add_vertex(cfg.weights.sample(rng));
+    }
+    let mut scratch: Vec<u32> = (0..cfg.n as u32).collect();
+    for _ in 0..cfg.m {
+        let (members, _) = scratch.partial_shuffle(rng, rank);
+        let edge: Vec<VertexId> = members.iter().map(|&i| VertexId::from_raw(i)).collect();
+        b.add_edge(edge).expect("generated edges are valid");
+    }
+    b.build().expect("generated instances are valid")
+}
+
+/// Generates a hypergraph whose edge sizes vary uniformly in
+/// `[min_rank, max_rank]` (so the instance rank `f` is `max_rank`, but most
+/// edges are smaller — the regime where per-edge coordination cost varies).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `min_rank == 0`, or `min_rank > max_rank`.
+pub fn random_mixed_rank<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    min_rank: usize,
+    max_rank: usize,
+    weights: &WeightDist,
+    rng: &mut R,
+) -> Hypergraph {
+    assert!(n > 0 && min_rank > 0 && min_rank <= max_rank, "invalid rank range");
+    let mut b = HypergraphBuilder::with_capacity(n, m);
+    for _ in 0..n {
+        b.add_vertex(weights.sample(rng));
+    }
+    let mut scratch: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..m {
+        let k = rng.gen_range(min_rank..=max_rank).min(n);
+        let (members, _) = scratch.partial_shuffle(rng, k);
+        let edge: Vec<VertexId> = members.iter().map(|&i| VertexId::from_raw(i)).collect();
+        b.add_edge(edge).expect("generated edges are valid");
+    }
+    b.build().expect("generated instances are valid")
+}
+
+/// Generates an instance with a *planted cover*: `k` designated vertices such
+/// that every hyperedge contains at least one of them. The planted vertices
+/// get weight 1 and all others get `decoy_weight`, so the planted set is an
+/// explicit feasible solution of weight `≤ k` — a cheap upper bound on OPT
+/// for approximation-ratio experiments on instances too big to solve exactly.
+///
+/// Each edge takes 1 planted vertex plus `rank − 1` random decoys (when
+/// possible).
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k > n`, or `rank == 0`.
+pub fn planted_cover<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rank: usize,
+    k: usize,
+    decoy_weight: u64,
+    rng: &mut R,
+) -> (Hypergraph, Vec<VertexId>) {
+    assert!(k > 0 && k <= n, "planted cover size out of range");
+    assert!(rank > 0, "rank must be positive");
+    let mut b = HypergraphBuilder::with_capacity(n, m);
+    // Vertices 0..k are the planted cover.
+    for _ in 0..k {
+        b.add_vertex(1);
+    }
+    for _ in k..n {
+        b.add_vertex(decoy_weight.max(1));
+    }
+    let decoys: Vec<u32> = (k as u32..n as u32).collect();
+    let mut scratch = decoys.clone();
+    for _ in 0..m {
+        let planted = VertexId::new(rng.gen_range(0..k));
+        let extra = (rank - 1).min(scratch.len());
+        let mut edge = vec![planted];
+        if extra > 0 {
+            let (members, _) = scratch.partial_shuffle(rng, extra);
+            edge.extend(members.iter().map(|&i| VertexId::from_raw(i)));
+        }
+        b.add_edge(edge).expect("generated edges are valid");
+    }
+    let planted_ids = (0..k).map(VertexId::new).collect();
+    (b.build().expect("generated instances are valid"), planted_ids)
+}
+
+/// Generates a rank-`f` hypergraph with a *skewed degree profile*: membership
+/// is drawn preferentially (probability ∝ current degree + 1), yielding a few
+/// very high-degree hubs — the regime where `Δ`-dependent round bounds bind.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `rank == 0`.
+pub fn preferential_attachment<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rank: usize,
+    weights: &WeightDist,
+    rng: &mut R,
+) -> Hypergraph {
+    assert!(n > 0 && rank > 0, "invalid parameters");
+    let rank = rank.min(n);
+    let mut b = HypergraphBuilder::with_capacity(n, m);
+    for _ in 0..n {
+        b.add_vertex(weights.sample(rng));
+    }
+    let mut degree = vec![1u64; n]; // +1 smoothing
+    let mut total: u64 = n as u64;
+    for _ in 0..m {
+        let mut edge: Vec<VertexId> = Vec::with_capacity(rank);
+        while edge.len() < rank {
+            // Weighted sample by (degree + 1); linear scan is fine at our
+            // instance sizes and keeps the generator dependency-free.
+            let mut t = rng.gen_range(0..total);
+            let mut chosen = 0usize;
+            for (i, &d) in degree.iter().enumerate() {
+                if t < d {
+                    chosen = i;
+                    break;
+                }
+                t -= d;
+            }
+            let v = VertexId::new(chosen);
+            if !edge.contains(&v) {
+                edge.push(v);
+            }
+        }
+        for &v in &edge {
+            degree[v.index()] += 1;
+            total += 1;
+        }
+        b.add_edge(edge).expect("generated edges are valid");
+    }
+    b.build().expect("generated instances are valid")
+}
+
+/// Generates an instance with max degree *exactly* `delta` (assuming
+/// `n ≥ rank·delta`): a "degree-calibrated" construction used for the
+/// `rounds vs Δ` figure. Vertex 0 is a hub belonging to `delta` edges; the
+/// remaining member slots are filled round-robin by fresh vertices so no
+/// other vertex exceeds degree `delta`.
+///
+/// # Panics
+///
+/// Panics if `rank == 0` or `delta == 0`.
+pub fn calibrated_degree<R: Rng + ?Sized>(
+    rank: usize,
+    delta: usize,
+    copies: usize,
+    weights: &WeightDist,
+    rng: &mut R,
+) -> Hypergraph {
+    assert!(rank > 0 && delta > 0, "invalid parameters");
+    let mut b = HypergraphBuilder::new();
+    for _ in 0..copies.max(1) {
+        let hub = b.add_vertex(weights.sample(rng));
+        for _ in 0..delta {
+            let mut edge = vec![hub];
+            for _ in 1..rank {
+                edge.push(b.add_vertex(weights.sample(rng)));
+            }
+            b.add_edge(edge).expect("generated edges are valid");
+        }
+    }
+    b.build().expect("generated instances are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_shapes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = random_uniform(
+            &RandomUniform {
+                n: 50,
+                m: 120,
+                rank: 3,
+                weights: WeightDist::Uniform { min: 1, max: 10 },
+            },
+            &mut rng,
+        );
+        assert_eq!(g.n(), 50);
+        assert_eq!(g.m(), 120);
+        assert_eq!(g.rank(), 3);
+        for e in g.edges() {
+            assert_eq!(g.edge_size(e), 3);
+        }
+    }
+
+    #[test]
+    fn uniform_is_reproducible() {
+        let cfg = RandomUniform {
+            n: 30,
+            m: 40,
+            rank: 4,
+            weights: WeightDist::unit(),
+        };
+        let g1 = random_uniform(&cfg, &mut StdRng::seed_from_u64(99));
+        let g2 = random_uniform(&cfg, &mut StdRng::seed_from_u64(99));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn rank_capped_at_n() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = random_uniform(
+            &RandomUniform {
+                n: 3,
+                m: 5,
+                rank: 10,
+                weights: WeightDist::unit(),
+            },
+            &mut rng,
+        );
+        assert_eq!(g.rank(), 3);
+    }
+
+    #[test]
+    fn mixed_rank_in_range() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = random_mixed_rank(40, 100, 2, 5, &WeightDist::unit(), &mut rng);
+        assert!(g.rank() <= 5);
+        for e in g.edges() {
+            assert!((2..=5).contains(&g.edge_size(e)));
+        }
+    }
+
+    #[test]
+    fn planted_cover_is_a_cover() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let (g, planted) = planted_cover(60, 150, 3, 8, 1000, &mut rng);
+        let cover = crate::Cover::from_ids(g.n(), planted.iter().copied());
+        assert!(cover.is_cover_of(&g));
+        assert!(cover.weight(&g) <= 8);
+    }
+
+    #[test]
+    fn preferential_has_hubs() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let g = preferential_attachment(50, 300, 3, &WeightDist::unit(), &mut rng);
+        assert_eq!(g.m(), 300);
+        // Preferential attachment should create a degree spread well above
+        // the average.
+        let avg = g.incidence_size() as f64 / g.n() as f64;
+        assert!(f64::from(g.max_degree()) > 1.5 * avg);
+    }
+
+    #[test]
+    fn calibrated_degree_is_exact() {
+        let mut rng = StdRng::seed_from_u64(16);
+        for delta in [1usize, 3, 17, 64] {
+            let g = calibrated_degree(3, delta, 2, &WeightDist::unit(), &mut rng);
+            assert_eq!(g.max_degree() as usize, delta, "delta={delta}");
+            assert_eq!(g.m(), 2 * delta);
+        }
+    }
+}

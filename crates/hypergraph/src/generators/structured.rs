@@ -1,0 +1,235 @@
+//! Deterministic structured instances: extremal and worst-case families used
+//! in unit tests and scaling experiments.
+
+use crate::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// Star graph (`f = 2`): one center vertex connected to `leaves` leaf
+/// vertices. `Δ = leaves` at the center, the canonical high-degree instance.
+/// Weights: center `center_weight`, leaves `leaf_weight`.
+///
+/// # Panics
+///
+/// Panics if `leaves == 0` or a weight is zero.
+#[must_use]
+pub fn star(leaves: usize, center_weight: u64, leaf_weight: u64) -> Hypergraph {
+    assert!(leaves > 0, "a star needs at least one leaf");
+    let mut b = HypergraphBuilder::with_capacity(leaves + 1, leaves);
+    let center = b.add_vertex(center_weight);
+    for _ in 0..leaves {
+        let leaf = b.add_vertex(leaf_weight);
+        b.add_edge([center, leaf]).expect("valid edge");
+    }
+    b.build().expect("valid instance")
+}
+
+/// Complete graph `K_n` (`f = 2`), unit weights. OPT for vertex cover is
+/// `n − 1`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn clique(n: usize) -> Hypergraph {
+    assert!(n >= 2, "a clique needs at least two vertices");
+    let mut b = HypergraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    let vs: Vec<VertexId> = (0..n).map(|_| b.add_vertex(1)).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge([vs[i], vs[j]]).expect("valid edge");
+        }
+    }
+    b.build().expect("valid instance")
+}
+
+/// Path graph `P_n` (`f = 2`), unit weights: `n` vertices, `n − 1` edges.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn path(n: usize) -> Hypergraph {
+    assert!(n >= 2, "a path needs at least two vertices");
+    let mut b = HypergraphBuilder::with_capacity(n, n - 1);
+    let vs: Vec<VertexId> = (0..n).map(|_| b.add_vertex(1)).collect();
+    for w in vs.windows(2) {
+        b.add_edge([w[0], w[1]]).expect("valid edge");
+    }
+    b.build().expect("valid instance")
+}
+
+/// Cycle graph `C_n` (`f = 2`), unit weights.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn cycle(n: usize) -> Hypergraph {
+    assert!(n >= 3, "a cycle needs at least three vertices");
+    let mut b = HypergraphBuilder::with_capacity(n, n);
+    let vs: Vec<VertexId> = (0..n).map(|_| b.add_vertex(1)).collect();
+    for i in 0..n {
+        b.add_edge([vs[i], vs[(i + 1) % n]]).expect("valid edge");
+    }
+    b.build().expect("valid instance")
+}
+
+/// Sunflower hypergraph: `petals` hyperedges, each consisting of a shared
+/// `core` of vertices plus `petal_size` private vertices. The core vertices
+/// have degree `petals` (so `Δ = petals`), rank `f = core + petal_size`.
+/// With `core_weight` small, OPT is one core vertex — the instance that
+/// separates dual-coordination strategies, since all edges compete for the
+/// same vertex budget.
+///
+/// # Panics
+///
+/// Panics if `petals == 0`, `core == 0`, or a weight is zero.
+#[must_use]
+pub fn sunflower(
+    petals: usize,
+    core: usize,
+    petal_size: usize,
+    core_weight: u64,
+    petal_weight: u64,
+) -> Hypergraph {
+    assert!(petals > 0 && core > 0, "need petals and a core");
+    let mut b = HypergraphBuilder::new();
+    let core_vs: Vec<VertexId> = (0..core).map(|_| b.add_vertex(core_weight)).collect();
+    for _ in 0..petals {
+        let mut edge = core_vs.clone();
+        for _ in 0..petal_size {
+            edge.push(b.add_vertex(petal_weight));
+        }
+        b.add_edge(edge).expect("valid edge");
+    }
+    b.build().expect("valid instance")
+}
+
+/// Complete `f`-partite hypergraph: `f` groups of `group_size` unit-weight
+/// vertices; one hyperedge per pick of one vertex from each group
+/// (`group_size^f` edges — keep sizes small). Every vertex has degree
+/// `group_size^{f−1}`; OPT takes one whole group.
+///
+/// # Panics
+///
+/// Panics if `f == 0`, `group_size == 0`, or the edge count overflows
+/// `usize`.
+#[must_use]
+pub fn complete_f_partite(f: usize, group_size: usize) -> Hypergraph {
+    assert!(f > 0 && group_size > 0, "need groups");
+    let m = group_size
+        .checked_pow(f as u32)
+        .expect("edge count overflow");
+    let mut b = HypergraphBuilder::with_capacity(f * group_size, m);
+    let groups: Vec<Vec<VertexId>> = (0..f)
+        .map(|_| (0..group_size).map(|_| b.add_vertex(1)).collect())
+        .collect();
+    // Enumerate the cartesian product via mixed-radix counting.
+    let mut idx = vec![0usize; f];
+    loop {
+        let edge: Vec<VertexId> = (0..f).map(|g| groups[g][idx[g]]).collect();
+        b.add_edge(edge).expect("valid edge");
+        let mut pos = 0;
+        loop {
+            if pos == f {
+                return b.build().expect("valid instance");
+            }
+            idx[pos] += 1;
+            if idx[pos] < group_size {
+                break;
+            }
+            idx[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// A rank-`f` "tight star": `delta` hyperedges all containing vertex 0 and
+/// otherwise disjoint. Exactly the extremal instance for Lemma 6
+/// (`bid` starts at `w/2Δ` and must climb to `w/2`). Unit weights except the
+/// hub.
+///
+/// # Panics
+///
+/// Panics if `f == 0` or `delta == 0`.
+#[must_use]
+pub fn hyper_star(f: usize, delta: usize, hub_weight: u64) -> Hypergraph {
+    assert!(f > 0 && delta > 0, "invalid parameters");
+    let mut b = HypergraphBuilder::new();
+    let hub = b.add_vertex(hub_weight);
+    for _ in 0..delta {
+        let mut edge = vec![hub];
+        for _ in 1..f {
+            edge.push(b.add_vertex(1));
+        }
+        b.add_edge(edge).expect("valid edge");
+    }
+    b.build().expect("valid instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cover;
+
+    #[test]
+    fn star_shapes() {
+        let g = star(10, 5, 1);
+        assert_eq!(g.n(), 11);
+        assert_eq!(g.m(), 10);
+        assert_eq!(g.max_degree(), 10);
+        assert_eq!(g.rank(), 2);
+        assert_eq!(g.weight(VertexId::new(0)), 5);
+    }
+
+    #[test]
+    fn clique_opt_is_n_minus_1() {
+        let g = clique(5);
+        assert_eq!(g.m(), 10);
+        // any n-2 vertices leave an uncovered edge
+        let c = Cover::from_ids(5, (0..3).map(VertexId::new));
+        assert!(!c.is_cover_of(&g));
+        let c = Cover::from_ids(5, (0..4).map(VertexId::new));
+        assert!(c.is_cover_of(&g));
+    }
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = path(6);
+        assert_eq!(p.m(), 5);
+        assert_eq!(p.max_degree(), 2);
+        let c = cycle(6);
+        assert_eq!(c.m(), 6);
+        assert_eq!(c.max_degree(), 2);
+    }
+
+    #[test]
+    fn sunflower_core_covers() {
+        let g = sunflower(7, 2, 3, 1, 100);
+        assert_eq!(g.rank(), 5);
+        assert_eq!(g.max_degree(), 7);
+        let core = Cover::from_ids(g.n(), [VertexId::new(0)]);
+        assert!(core.is_cover_of(&g));
+    }
+
+    #[test]
+    fn f_partite_shapes() {
+        let g = complete_f_partite(3, 2);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 8);
+        assert_eq!(g.rank(), 3);
+        assert_eq!(g.max_degree(), 4);
+        // One full group covers all edges.
+        let group0 = Cover::from_ids(6, [VertexId::new(0), VertexId::new(1)]);
+        assert!(group0.is_cover_of(&g));
+    }
+
+    #[test]
+    fn hyper_star_delta() {
+        let g = hyper_star(3, 9, 4);
+        assert_eq!(g.max_degree(), 9);
+        assert_eq!(g.rank(), 3);
+        assert_eq!(g.n(), 1 + 9 * 2);
+        let hub = Cover::from_ids(g.n(), [VertexId::new(0)]);
+        assert!(hub.is_cover_of(&g));
+    }
+}

@@ -1,0 +1,169 @@
+//! Vertex-weight distributions for instance generation.
+//!
+//! The paper's headline result is that the round complexity is independent of
+//! the weight ratio `W = max w / min w`; the benchmark harness therefore
+//! sweeps `W` over several orders of magnitude using these distributions.
+
+use rand::Rng;
+
+/// A distribution of positive integer vertex weights.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WeightDist {
+    /// Every vertex has the same weight.
+    Constant(u64),
+    /// Uniform integer weights in `[min, max]` (inclusive).
+    Uniform {
+        /// Smallest weight (must be ≥ 1).
+        min: u64,
+        /// Largest weight.
+        max: u64,
+    },
+    /// Weights of the form `2^k` with `k` uniform in `[0, log2(max)]` —
+    /// spreads weights geometrically so the ratio `W` is hit by a few
+    /// vertices, the adversarial case for weight-dependent algorithms.
+    PowersOfTwo {
+        /// Largest weight; rounded down to a power of two.
+        max: u64,
+    },
+    /// Zipf-like heavy tail: weight `⌈max / rank^s⌉` where rank is uniform in
+    /// `[1, max_rank]`.
+    Zipf {
+        /// Largest weight.
+        max: u64,
+        /// Skew exponent `s > 0` (1.0 is classic Zipf).
+        exponent: f64,
+        /// Number of distinct ranks.
+        max_rank: u32,
+    },
+}
+
+impl WeightDist {
+    /// Unit weights, i.e. the *unweighted* problem.
+    #[must_use]
+    pub fn unit() -> Self {
+        WeightDist::Constant(1)
+    }
+
+    /// Draws one weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution parameters are degenerate (`min == 0`,
+    /// `max < min`, `max == 0`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            WeightDist::Constant(w) => {
+                assert!(w > 0, "constant weight must be positive");
+                w
+            }
+            WeightDist::Uniform { min, max } => {
+                assert!(min > 0 && max >= min, "invalid uniform weight range");
+                rng.gen_range(min..=max)
+            }
+            WeightDist::PowersOfTwo { max } => {
+                assert!(max > 0, "max weight must be positive");
+                let kmax = 63 - max.leading_zeros(); // floor(log2 max)
+                1u64 << rng.gen_range(0..=kmax)
+            }
+            WeightDist::Zipf {
+                max,
+                exponent,
+                max_rank,
+            } => {
+                assert!(max > 0 && max_rank > 0 && exponent > 0.0, "invalid zipf");
+                let rank = rng.gen_range(1..=max_rank) as f64;
+                ((max as f64 / rank.powf(exponent)).ceil() as u64).max(1)
+            }
+        }
+    }
+
+    /// Upper bound on weights this distribution can produce (used to size
+    /// CONGEST message budgets).
+    #[must_use]
+    pub fn max_weight(&self) -> u64 {
+        match *self {
+            WeightDist::Constant(w) => w,
+            WeightDist::Uniform { max, .. } => max,
+            WeightDist::PowersOfTwo { max } => {
+                if max == 0 {
+                    1
+                } else {
+                    1u64 << (63 - max.leading_zeros())
+                }
+            }
+            WeightDist::Zipf { max, .. } => max,
+        }
+    }
+}
+
+impl Default for WeightDist {
+    fn default() -> Self {
+        WeightDist::unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = WeightDist::Constant(7);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 7);
+        }
+        assert_eq!(d.max_weight(), 7);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = WeightDist::Uniform { min: 3, max: 9 };
+        for _ in 0..200 {
+            let w = d.sample(&mut rng);
+            assert!((3..=9).contains(&w));
+        }
+        assert_eq!(d.max_weight(), 9);
+    }
+
+    #[test]
+    fn powers_of_two_are_powers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = WeightDist::PowersOfTwo { max: 1000 };
+        for _ in 0..200 {
+            let w = d.sample(&mut rng);
+            assert!(w.is_power_of_two());
+            assert!(w <= 512);
+        }
+        assert_eq!(d.max_weight(), 512);
+    }
+
+    #[test]
+    fn zipf_positive_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = WeightDist::Zipf {
+            max: 100,
+            exponent: 1.0,
+            max_rank: 50,
+        };
+        for _ in 0..200 {
+            let w = d.sample(&mut rng);
+            assert!(w >= 1 && w <= 100);
+        }
+    }
+
+    #[test]
+    fn default_is_unit() {
+        assert_eq!(WeightDist::default(), WeightDist::Constant(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform")]
+    fn degenerate_uniform_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        WeightDist::Uniform { min: 0, max: 3 }.sample(&mut rng);
+    }
+}

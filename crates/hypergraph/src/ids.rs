@@ -1,0 +1,207 @@
+//! Strongly-typed identifiers for hypergraph vertices and hyperedges.
+//!
+//! Vertices and hyperedges live in different index spaces; mixing them up is a
+//! classic source of silent bugs in covering code (the communication network in
+//! the distributed setting has *both* as nodes). The [`VertexId`] / [`EdgeId`]
+//! newtypes make that confusion a compile error.
+
+use std::fmt;
+
+/// Identifier of a hypergraph vertex (a *set* in set-cover terminology, a
+/// *server* in the paper's communication network).
+///
+/// # Examples
+///
+/// ```
+/// use dcover_hypergraph::VertexId;
+/// let v = VertexId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "v3");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(transparent)]
+pub struct VertexId(u32);
+
+/// Identifier of a hyperedge (an *element* in set-cover terminology, a
+/// *client* in the paper's communication network).
+///
+/// # Examples
+///
+/// ```
+/// use dcover_hypergraph::EdgeId;
+/// let e = EdgeId::new(7);
+/// assert_eq!(e.index(), 7);
+/// assert_eq!(e.to_string(), "e7");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(transparent)]
+pub struct EdgeId(u32);
+
+macro_rules! id_impl {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// Creates an identifier from a zero-based index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX`.
+            #[inline]
+            #[must_use]
+            pub fn new(index: usize) -> Self {
+                assert!(
+                    u32::try_from(index).is_ok(),
+                    concat!(stringify!($ty), " index {} exceeds u32::MAX"),
+                    index
+                );
+                Self(index as u32)
+            }
+
+            /// Returns the zero-based index of this identifier.
+            #[inline]
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` representation.
+            #[inline]
+            #[must_use]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Creates an identifier from a raw `u32`.
+            #[inline]
+            #[must_use]
+            pub fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $ty {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$ty> for u32 {
+            fn from(id: $ty) -> u32 {
+                id.0
+            }
+        }
+
+        impl From<$ty> for usize {
+            fn from(id: $ty) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_impl!(VertexId, "v");
+id_impl!(EdgeId, "e");
+
+/// Iterator over a contiguous range of ids, used by
+/// [`Hypergraph::vertices`](crate::Hypergraph::vertices) and
+/// [`Hypergraph::edges`](crate::Hypergraph::edges).
+#[derive(Clone, Debug)]
+pub struct IdRange<T> {
+    next: u32,
+    end: u32,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: From<u32>> IdRange<T> {
+    pub(crate) fn new(len: usize) -> Self {
+        Self {
+            next: 0,
+            end: len as u32,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: From<u32>> Iterator for IdRange<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.next < self.end {
+            let id = T::from(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.end - self.next) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl<T: From<u32>> ExactSizeIterator for IdRange<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(VertexId::from_raw(42), v);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(usize::from(v), 42);
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::new(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(EdgeId::from(7u32), e);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(VertexId::new(0).to_string(), "v0");
+        assert_eq!(EdgeId::new(12).to_string(), "e12");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(10));
+    }
+
+    #[test]
+    fn id_range_yields_all() {
+        let ids: Vec<VertexId> = IdRange::<VertexId>::new(4).collect();
+        assert_eq!(
+            ids,
+            vec![
+                VertexId::new(0),
+                VertexId::new(1),
+                VertexId::new(2),
+                VertexId::new(3)
+            ]
+        );
+        let mut range = IdRange::<EdgeId>::new(3);
+        assert_eq!(range.len(), 3);
+        range.next();
+        assert_eq!(range.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn oversized_index_panics() {
+        let _ = VertexId::new(usize::MAX);
+    }
+}

@@ -1,0 +1,175 @@
+//! Instance statistics: the quantities that drive round complexity
+//! (`f`, `Δ`, `W`) plus degree/size distributions, for benchmark reporting
+//! and instance sanity checks.
+
+use crate::hypergraph::Hypergraph;
+
+/// Summary statistics of a hypergraph instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InstanceStats {
+    /// Number of vertices `n`.
+    pub n: usize,
+    /// Number of hyperedges `m`.
+    pub m: usize,
+    /// Rank `f` (max edge size).
+    pub rank: u32,
+    /// Maximum degree `Δ`.
+    pub max_degree: u32,
+    /// Mean vertex degree.
+    pub mean_degree: f64,
+    /// Mean edge size.
+    pub mean_edge_size: f64,
+    /// Smallest vertex weight (0 when `n == 0`).
+    pub min_weight: u64,
+    /// Largest vertex weight (0 when `n == 0`).
+    pub max_weight: u64,
+    /// Weight ratio `W = max/min`.
+    pub weight_ratio: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated_vertices: usize,
+    /// Histogram of vertex degrees in power-of-two buckets:
+    /// `degree_histogram[k]` counts vertices with degree in `[2^k, 2^{k+1})`
+    /// (bucket 0 additionally holds degree-1; degree-0 is counted by
+    /// `isolated_vertices`).
+    pub degree_histogram: Vec<usize>,
+    /// Histogram of edge sizes: `size_histogram[s]` counts edges of size
+    /// exactly `s` (index 0 unused).
+    pub size_histogram: Vec<usize>,
+}
+
+impl InstanceStats {
+    /// Computes statistics for `g`.
+    #[must_use]
+    pub fn of(g: &Hypergraph) -> Self {
+        let n = g.n();
+        let m = g.m();
+        let mut isolated = 0usize;
+        let mut degree_histogram: Vec<usize> = Vec::new();
+        for v in g.vertices() {
+            let d = g.degree(v);
+            if d == 0 {
+                isolated += 1;
+                continue;
+            }
+            let bucket = (usize::BITS - 1 - d.leading_zeros()) as usize;
+            if degree_histogram.len() <= bucket {
+                degree_histogram.resize(bucket + 1, 0);
+            }
+            degree_histogram[bucket] += 1;
+        }
+        let mut size_histogram = vec![0usize; g.rank() as usize + 1];
+        for e in g.edges() {
+            size_histogram[g.edge_size(e)] += 1;
+        }
+        Self {
+            n,
+            m,
+            rank: g.rank(),
+            max_degree: g.max_degree(),
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                g.incidence_size() as f64 / n as f64
+            },
+            mean_edge_size: if m == 0 {
+                0.0
+            } else {
+                g.incidence_size() as f64 / m as f64
+            },
+            min_weight: g.min_weight().unwrap_or(0),
+            max_weight: g.max_weight().unwrap_or(0),
+            weight_ratio: g.weight_ratio(),
+            isolated_vertices: isolated,
+            degree_histogram,
+            size_histogram,
+        }
+    }
+
+    /// One-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} m={} f={} Δ={} deg≈{:.1} |e|≈{:.1} W={:.0} (w∈[{},{}]) isolated={}",
+            self.n,
+            self.m,
+            self.rank,
+            self.max_degree,
+            self.mean_degree,
+            self.mean_edge_size,
+            self.weight_ratio,
+            self.min_weight,
+            self.max_weight,
+            self.isolated_vertices
+        )
+    }
+}
+
+impl std::fmt::Display for InstanceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_weighted_edge_lists;
+    use crate::generators::{random_uniform, star, RandomUniform, WeightDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_stats() {
+        let g = star(8, 5, 1);
+        let s = InstanceStats::of(&g);
+        assert_eq!(s.n, 9);
+        assert_eq!(s.m, 8);
+        assert_eq!(s.rank, 2);
+        assert_eq!(s.max_degree, 8);
+        assert_eq!(s.min_weight, 1);
+        assert_eq!(s.max_weight, 5);
+        assert_eq!(s.isolated_vertices, 0);
+        // 8 leaves with degree 1 (bucket 0), 1 hub with degree 8 (bucket 3).
+        assert_eq!(s.degree_histogram[0], 8);
+        assert_eq!(s.degree_histogram[3], 1);
+        assert_eq!(s.size_histogram[2], 8);
+        assert!((s.mean_edge_size - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_vertices_counted() {
+        let g = from_weighted_edge_lists(&[1, 2, 3], &[&[0, 1]]).unwrap();
+        let s = InstanceStats::of(&g);
+        assert_eq!(s.isolated_vertices, 1);
+    }
+
+    #[test]
+    fn histograms_sum_correctly() {
+        let mut rng = StdRng::seed_from_u64(70);
+        let g = random_uniform(
+            &RandomUniform {
+                n: 60,
+                m: 140,
+                rank: 4,
+                weights: WeightDist::Uniform { min: 2, max: 64 },
+            },
+            &mut rng,
+        );
+        let s = InstanceStats::of(&g);
+        let deg_sum: usize = s.degree_histogram.iter().sum::<usize>() + s.isolated_vertices;
+        assert_eq!(deg_sum, g.n());
+        let size_sum: usize = s.size_histogram.iter().sum();
+        assert_eq!(size_sum, g.m());
+        assert!(s.summary().contains("n=60"));
+        assert_eq!(format!("{s}"), s.summary());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let g = from_weighted_edge_lists(&[], &[]).unwrap();
+        let s = InstanceStats::of(&g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.min_weight, 0);
+    }
+}

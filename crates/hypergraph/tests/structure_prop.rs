@@ -1,0 +1,90 @@
+//! Property tests for the hypergraph substrate: CSR consistency, cover
+//! semantics, set-system round trips.
+
+use dcover_hypergraph::{format, Cover, Hypergraph, HypergraphBuilder, SetSystem, VertexId};
+use proptest::prelude::*;
+
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (1usize..=20)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(1u64..=1000, n),
+                proptest::collection::vec(
+                    proptest::collection::vec(0usize..n, 1..=6),
+                    0..=30,
+                ),
+            )
+        })
+        .prop_map(|(weights, edges)| {
+            let mut b = HypergraphBuilder::new();
+            for w in weights {
+                b.add_vertex(w);
+            }
+            for e in edges {
+                b.add_edge(e.into_iter().map(VertexId::new)).unwrap();
+            }
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csr_directions_agree(g in arb_hypergraph()) {
+        for v in g.vertices() {
+            for &e in g.incident_edges(v) {
+                prop_assert!(g.edge(e).contains(&v));
+            }
+        }
+        for e in g.edges() {
+            for &v in g.edge(e) {
+                prop_assert!(g.incident_edges(v).contains(&e));
+            }
+            // Edges are deduplicated sets.
+            let mut members = g.edge(e).to_vec();
+            let before = members.len();
+            members.sort();
+            members.dedup();
+            prop_assert_eq!(members.len(), before);
+        }
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        let size_sum: usize = g.edges().map(|e| g.edge_size(e)).sum();
+        prop_assert_eq!(degree_sum, size_sum);
+        prop_assert_eq!(degree_sum, g.incidence_size());
+        prop_assert_eq!(g.rank() as usize, g.edges().map(|e| g.edge_size(e)).max().unwrap_or(0));
+        prop_assert_eq!(g.max_degree() as usize, g.vertices().map(|v| g.degree(v)).max().unwrap_or(0));
+    }
+
+    #[test]
+    fn full_cover_always_covers_and_empty_never(g in arb_hypergraph()) {
+        prop_assert!(Cover::full(g.n()).is_cover_of(&g));
+        if g.m() > 0 {
+            prop_assert!(!Cover::empty(g.n()).is_cover_of(&g));
+            prop_assert_eq!(Cover::empty(g.n()).uncovered_edges(&g).len(), g.m());
+        }
+    }
+
+    #[test]
+    fn set_system_roundtrip(g in arb_hypergraph()) {
+        let s = SetSystem::from_hypergraph(&g);
+        prop_assert_eq!(s.max_frequency(), g.rank() as usize);
+        if g.m() > 0 && s.is_coverable() {
+            // The round trip preserves the instance up to member order
+            // within each hyperedge (the inversion emits ascending ids).
+            let g2 = s.to_hypergraph().unwrap();
+            prop_assert_eq!(g.n(), g2.n());
+            prop_assert_eq!(g.m(), g2.m());
+            prop_assert_eq!(g.weights(), g2.weights());
+            for e in g.edges() {
+                let mut a = g.edge(e).to_vec();
+                let mut b = g2.edge(e).to_vec();
+                a.sort();
+                b.sort();
+                prop_assert_eq!(a, b);
+            }
+        }
+        let text = format::serialize(&g);
+        prop_assert_eq!(format::parse(&text).unwrap(), g);
+    }
+}

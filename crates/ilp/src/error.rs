@@ -1,0 +1,101 @@
+//! Error types for covering-ILP construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+use dcover_core::SolveError;
+
+/// Error produced when building or solving a covering ILP.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum IlpError {
+    /// A constraint references an unknown variable.
+    UnknownVariable {
+        /// Index of the constraint (in insertion order).
+        constraint: usize,
+        /// The offending variable index.
+        variable: usize,
+    },
+    /// A constraint is unsatisfiable even with every variable at its box
+    /// bound (Proposition 17), so the program is infeasible.
+    Infeasible {
+        /// Index of the unsatisfiable constraint.
+        constraint: usize,
+    },
+    /// The zero-one reduction would enumerate more than the configured
+    /// subset limit (`2^support` per constraint; Lemma 14 is exponential in
+    /// the row support by design).
+    SupportTooLarge {
+        /// Index of the offending constraint.
+        constraint: usize,
+        /// Its (expanded) row support.
+        support: usize,
+        /// The configured maximum support.
+        limit: usize,
+    },
+    /// The underlying MWHVC solve failed.
+    Solve(SolveError),
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::UnknownVariable {
+                constraint,
+                variable,
+            } => write!(f, "constraint {constraint} references unknown variable {variable}"),
+            IlpError::Infeasible { constraint } => {
+                write!(f, "constraint {constraint} is unsatisfiable within the variable box")
+            }
+            IlpError::SupportTooLarge {
+                constraint,
+                support,
+                limit,
+            } => write!(
+                f,
+                "constraint {constraint} has expanded support {support} > limit {limit}; the zero-one reduction enumerates 2^support subsets"
+            ),
+            IlpError::Solve(e) => write!(f, "mwhvc solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for IlpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IlpError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for IlpError {
+    fn from(e: SolveError) -> Self {
+        IlpError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(IlpError::UnknownVariable {
+            constraint: 1,
+            variable: 9
+        }
+        .to_string()
+        .contains("unknown variable 9"));
+        assert!(IlpError::Infeasible { constraint: 0 }
+            .to_string()
+            .contains("unsatisfiable"));
+        assert!(IlpError::SupportTooLarge {
+            constraint: 2,
+            support: 40,
+            limit: 24
+        }
+        .to_string()
+        .contains("2^support"));
+    }
+}

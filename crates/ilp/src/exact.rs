@@ -1,0 +1,231 @@
+//! Exact solver for small covering ILPs (ground truth for ratio
+//! experiments).
+
+use crate::ilp::CoveringIlp;
+
+/// Result of an exact ILP search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IlpExact {
+    /// An optimal assignment (within the Proposition 17 box).
+    pub assignment: Vec<u64>,
+    /// Its cost.
+    pub cost: u64,
+    /// Search nodes explored.
+    pub nodes_explored: u64,
+    /// Whether the search completed within budget (true ⇒ optimal).
+    pub optimal: bool,
+}
+
+/// Exhaustive branch-and-bound over the box `[0, M_j]` per variable, where
+/// `M_j = max_i ⌈b_i / A_ij⌉` over constraints containing `j`. Returns the
+/// best assignment found; `optimal` is false if the node budget ran out.
+///
+/// # Panics
+///
+/// Panics if `node_budget == 0` or the program is infeasible (callers check
+/// [`CoveringIlp::check_feasible`] first).
+#[must_use]
+pub fn solve_ilp_exact(ilp: &CoveringIlp, node_budget: u64) -> IlpExact {
+    assert!(node_budget > 0, "need a positive node budget");
+    ilp.check_feasible().expect("exact solver requires a feasible program");
+    let n = ilp.num_variables();
+    let m = ilp.num_constraints();
+
+    // Per-variable box and per-constraint metadata.
+    let mut var_box = vec![0u64; n];
+    let mut rows: Vec<(Vec<(usize, u64)>, u64)> = Vec::with_capacity(m);
+    let mut last_var = vec![0usize; m];
+    for i in 0..m {
+        let (terms, b) = ilp.constraint(i);
+        for &(j, c) in &terms {
+            var_box[j] = var_box[j].max(b.div_ceil(c));
+        }
+        last_var[i] = terms.iter().map(|&(j, _)| j).max().unwrap_or(0);
+        rows.push((terms, b));
+    }
+    // Start from the box assignment (feasible) as the incumbent.
+    let mut best_assignment = var_box.clone();
+    let mut best_cost: u64 = ilp.cost(&var_box);
+
+    struct S<'a> {
+        ilp: &'a CoveringIlp,
+        rows: &'a [(Vec<(usize, u64)>, u64)],
+        last_var: &'a [usize],
+        var_box: &'a [u64],
+        residual: Vec<u64>,
+        current: Vec<u64>,
+        best_cost: u64,
+        best: Vec<u64>,
+        nodes: u64,
+        budget: u64,
+    }
+
+    impl S<'_> {
+        fn dfs(&mut self, j: usize, cost: u64) {
+            self.nodes += 1;
+            if self.nodes > self.budget || cost >= self.best_cost {
+                return;
+            }
+            if j == self.current.len() {
+                if self.residual.iter().all(|&r| r == 0) {
+                    self.best_cost = cost;
+                    self.best = self.current.clone();
+                }
+                return;
+            }
+            // The largest useful value: enough to satisfy every remaining
+            // constraint through j alone.
+            let mut useful_max = 0u64;
+            for (i, (terms, _)) in self.rows.iter().enumerate() {
+                if self.residual[i] == 0 {
+                    continue;
+                }
+                if let Some(&(_, c)) = terms.iter().find(|&&(v, _)| v == j) {
+                    useful_max = useful_max.max(self.residual[i].div_ceil(c));
+                }
+            }
+            let hi = useful_max.min(self.var_box[j]);
+            'values: for val in 0..=hi {
+                let add_cost = val * self.ilp.weights()[j];
+                if cost + add_cost >= self.best_cost {
+                    break; // larger values only cost more
+                }
+                // Apply.
+                let mut applied: Vec<(usize, u64)> = Vec::new();
+                for (i, (terms, _)) in self.rows.iter().enumerate() {
+                    if let Some(&(_, c)) = terms.iter().find(|&&(v, _)| v == j) {
+                        let dec = (c * val).min(self.residual[i]);
+                        if dec > 0 {
+                            self.residual[i] -= dec;
+                            applied.push((i, dec));
+                        }
+                    }
+                }
+                self.current[j] = val;
+                // Constraints whose variables are all decided must be met.
+                let mut dead = false;
+                for i in 0..self.rows.len() {
+                    if self.last_var[i] <= j && self.residual[i] > 0 {
+                        dead = true;
+                        break;
+                    }
+                }
+                if !dead {
+                    self.dfs(j + 1, cost + add_cost);
+                }
+                self.current[j] = 0;
+                for (i, dec) in applied {
+                    self.residual[i] += dec;
+                }
+                if self.nodes > self.budget {
+                    break 'values;
+                }
+            }
+        }
+    }
+
+    let mut s = S {
+        ilp,
+        rows: &rows,
+        last_var: &last_var,
+        var_box: &var_box,
+        residual: rows.iter().map(|&(_, b)| b).collect(),
+        current: vec![0; n],
+        best_cost,
+        best: best_assignment.clone(),
+        nodes: 0,
+        budget: node_budget,
+    };
+    s.dfs(0, 0);
+    best_cost = s.best_cost;
+    best_assignment = s.best;
+    let optimal = s.nodes <= s.budget;
+    debug_assert!(ilp.is_feasible(&best_assignment));
+    IlpExact {
+        assignment: best_assignment,
+        cost: best_cost,
+        nodes_explored: s.nodes,
+        optimal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ilp::IlpBuilder;
+
+    #[test]
+    fn single_constraint_picks_cheapest_mix() {
+        // minimize 3x + y  s.t.  x + y ≥ 4 -> y = 4 costs 4.
+        let mut b = IlpBuilder::new();
+        let x = b.add_variable(3);
+        let y = b.add_variable(1);
+        b.add_constraint([(x, 1), (y, 1)], 4).unwrap();
+        let r = solve_ilp_exact(&b.build(), 100_000);
+        assert!(r.optimal);
+        assert_eq!(r.cost, 4);
+        assert_eq!(r.assignment, vec![0, 4]);
+    }
+
+    #[test]
+    fn coefficients_leverage() {
+        // minimize 5x + y  s.t.  4x + y ≥ 4: x=1 costs 5, y=4 costs 4.
+        let mut b = IlpBuilder::new();
+        let x = b.add_variable(5);
+        let y = b.add_variable(1);
+        b.add_constraint([(x, 4), (y, 1)], 4).unwrap();
+        let r = solve_ilp_exact(&b.build(), 100_000);
+        assert_eq!(r.cost, 4);
+    }
+
+    #[test]
+    fn shared_variable_across_constraints() {
+        // minimize x + 10y + 10z  s.t.  x + y ≥ 2, x + z ≥ 2: x = 2 wins.
+        let mut b = IlpBuilder::new();
+        let x = b.add_variable(1);
+        let y = b.add_variable(10);
+        let z = b.add_variable(10);
+        b.add_constraint([(x, 1), (y, 1)], 2).unwrap();
+        b.add_constraint([(x, 1), (z, 1)], 2).unwrap();
+        let r = solve_ilp_exact(&b.build(), 100_000);
+        assert!(r.optimal);
+        assert_eq!(r.cost, 2);
+        assert_eq!(r.assignment, vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn vertex_cover_as_ilp() {
+        // Triangle as a 0/1 covering ILP: OPT = 2.
+        let mut b = IlpBuilder::new();
+        let v: Vec<usize> = (0..3).map(|_| b.add_variable(1)).collect();
+        b.add_constraint([(v[0], 1), (v[1], 1)], 1).unwrap();
+        b.add_constraint([(v[1], 1), (v[2], 1)], 1).unwrap();
+        b.add_constraint([(v[2], 1), (v[0], 1)], 1).unwrap();
+        let r = solve_ilp_exact(&b.build(), 100_000);
+        assert!(r.optimal);
+        assert_eq!(r.cost, 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_still_feasible() {
+        let mut b = IlpBuilder::new();
+        let vars: Vec<usize> = (0..8).map(|_| b.add_variable(1)).collect();
+        for i in 0..7 {
+            b.add_constraint([(vars[i], 1), (vars[i + 1], 1)], 3).unwrap();
+        }
+        let ilp = b.build();
+        let r = solve_ilp_exact(&ilp, 2);
+        assert!(!r.optimal);
+        assert!(ilp.is_feasible(&r.assignment));
+    }
+
+    #[test]
+    fn no_constraints_means_zero() {
+        let mut b = IlpBuilder::new();
+        b.add_variable(5);
+        let r = solve_ilp_exact(&b.build(), 10);
+        assert!(r.optimal);
+        assert_eq!(r.cost, 0);
+        assert_eq!(r.assignment, vec![0]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Seeded random covering-ILP generators for the Section 5 experiments.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::ilp::{CoveringIlp, IlpBuilder};
+
+/// Parameters for a random covering ILP.
+#[derive(Clone, Debug)]
+pub struct RandomIlp {
+    /// Number of variables.
+    pub n: usize,
+    /// Number of constraints.
+    pub m: usize,
+    /// Exact row support `f(A)` (variables per constraint), capped at `n`.
+    pub row_support: usize,
+    /// Coefficients are uniform in `1..=coeff_max`.
+    pub coeff_max: u64,
+    /// Right-hand sides are uniform in `1..=b_max` (then clamped to keep
+    /// zero-one feasibility when `zero_one` is set).
+    pub b_max: u64,
+    /// Objective weights are uniform in `1..=weight_max`.
+    pub weight_max: u64,
+    /// If true, clamp each `b_i` to the row's coefficient sum so the all-
+    /// ones assignment is feasible (a *zero-one covering program*).
+    pub zero_one: bool,
+}
+
+/// Generates a random covering ILP. Constraints pick `row_support` distinct
+/// variables uniformly; feasibility is guaranteed (in zero-one mode by
+/// clamping `b`, in general mode trivially since `x` is unbounded).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `row_support == 0`, `coeff_max == 0`, `b_max == 0`,
+/// or `weight_max == 0`.
+pub fn random_ilp<R: Rng + ?Sized>(cfg: &RandomIlp, rng: &mut R) -> CoveringIlp {
+    assert!(cfg.n > 0 && cfg.row_support > 0, "need variables");
+    assert!(
+        cfg.coeff_max > 0 && cfg.b_max > 0 && cfg.weight_max > 0,
+        "ranges must be positive"
+    );
+    let k = cfg.row_support.min(cfg.n);
+    let mut b = IlpBuilder::new();
+    for _ in 0..cfg.n {
+        b.add_variable(rng.gen_range(1..=cfg.weight_max));
+    }
+    let mut scratch: Vec<usize> = (0..cfg.n).collect();
+    for _ in 0..cfg.m {
+        let (vars, _) = scratch.partial_shuffle(rng, k);
+        let terms: Vec<(usize, u64)> = vars
+            .iter()
+            .map(|&j| (j, rng.gen_range(1..=cfg.coeff_max)))
+            .collect();
+        let coeff_sum: u64 = terms.iter().map(|&(_, c)| c).sum();
+        let mut bi = rng.gen_range(1..=cfg.b_max);
+        if cfg.zero_one {
+            bi = bi.min(coeff_sum);
+        }
+        b.add_constraint(terms, bi).expect("indices in range");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_one_instances_are_feasible_at_ones() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let cfg = RandomIlp {
+            n: 20,
+            m: 30,
+            row_support: 3,
+            coeff_max: 4,
+            b_max: 8,
+            weight_max: 10,
+            zero_one: true,
+        };
+        for _ in 0..5 {
+            let ilp = random_ilp(&cfg, &mut rng);
+            let ones = vec![1u64; ilp.num_variables()];
+            assert!(ilp.is_feasible(&ones));
+            assert!(ilp.row_support() <= 3);
+        }
+    }
+
+    #[test]
+    fn general_instances_feasible_in_box() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let cfg = RandomIlp {
+            n: 15,
+            m: 25,
+            row_support: 2,
+            coeff_max: 3,
+            b_max: 12,
+            weight_max: 5,
+            zero_one: false,
+        };
+        let ilp = random_ilp(&cfg, &mut rng);
+        assert!(ilp.check_feasible().is_ok());
+        assert!(ilp.coefficient_box() <= 12);
+    }
+
+    #[test]
+    fn reproducible() {
+        let cfg = RandomIlp {
+            n: 10,
+            m: 10,
+            row_support: 2,
+            coeff_max: 2,
+            b_max: 3,
+            weight_max: 4,
+            zero_one: true,
+        };
+        let a = random_ilp(&cfg, &mut StdRng::seed_from_u64(5));
+        let b = random_ilp(&cfg, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,65 @@
+//! Covering ILPs end to end (§5 of the paper): a replica-placement story —
+//! each datacenter zone needs a minimum amount of serving capacity, and
+//! machine types contribute different capacities at different costs. The
+//! program is reduced to hypergraph vertex cover (binary expansion +
+//! zero-one reduction) and solved by the distributed algorithm.
+//!
+//! ```sh
+//! cargo run --example ilp_resource_allocation
+//! ```
+
+use distributed_covering::core::MwhvcConfig;
+use distributed_covering::ilp::{solve_ilp_exact, IlpBuilder, IlpSolver};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Variables: how many machines of each type to buy (cost per unit).
+    let mut b = IlpBuilder::new();
+    let small = b.add_variable(2); //  1 capacity unit per machine
+    let medium = b.add_variable(5); //  3 capacity units
+    let large = b.add_variable(9); //  7 capacity units
+
+    // Zones and their capacity demands. A machine type only serves the
+    // zones it appears in (f(A) = variables per constraint ≤ 3).
+    b.add_constraint([(small, 1), (medium, 3)], 6)?; // zone A needs 6
+    b.add_constraint([(medium, 3), (large, 7)], 10)?; // zone B needs 10
+    b.add_constraint([(small, 1), (large, 7)], 8)?; // zone C needs 8
+    b.add_constraint([(small, 1), (medium, 3), (large, 7)], 5)?; // zone D
+    let ilp = b.build();
+
+    println!(
+        "ILP: {} variables, {} constraints, f(A) = {}, Δ(A) = {}, box M = {}",
+        ilp.num_variables(),
+        ilp.num_constraints(),
+        ilp.row_support(),
+        ilp.column_support(),
+        ilp.coefficient_box()
+    );
+
+    let outcome = IlpSolver::new(MwhvcConfig::new(0.5)?).solve(&ilp)?;
+    assert!(ilp.is_feasible(&outcome.assignment));
+    println!(
+        "distributed plan: small = {}, medium = {}, large = {} — cost {}",
+        outcome.assignment[0], outcome.assignment[1], outcome.assignment[2], outcome.cost
+    );
+    println!(
+        "reduction: {} bits/var, hypergraph rank {}, {} hyperedges, Δ' = {}",
+        outcome.bits_per_var,
+        outcome.zo_stats.rank,
+        outcome.zo_stats.edges_kept,
+        outcome.zo_stats.max_degree
+    );
+    println!(
+        "rounds: {} on the reduced hypergraph, ≈{} under the Claim 15 simulation model",
+        outcome.mwhvc.report.rounds, outcome.claim15_rounds
+    );
+
+    let exact = solve_ilp_exact(&ilp, 1_000_000);
+    println!(
+        "exact optimum: cost {} at {:?} → true ratio {:.3} (certified ≤ {:.3})",
+        exact.cost,
+        exact.assignment,
+        outcome.cost as f64 / exact.cost as f64,
+        outcome.certified_ratio()
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Cross-validation: three independent executions of Algorithm MWHVC must
+//! agree exactly — the sequential simulator, the thread-pool simulator, and
+//! the centralized reference implementation.
+
+use distributed_covering::core::{
+    solve_reference, AlphaPolicy, MwhvcConfig, MwhvcSolver, NullObserver, Variant,
+};
+use distributed_covering::hypergraph::generators::{
+    random_mixed_rank, random_uniform, RandomUniform, WeightDist,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn configs() -> Vec<MwhvcConfig> {
+    vec![
+        MwhvcConfig::new(1.0).unwrap(),
+        MwhvcConfig::new(0.5).unwrap().with_variant(Variant::HalfBid),
+        MwhvcConfig::new(0.25).unwrap().with_alpha(AlphaPolicy::Fixed(4)),
+        MwhvcConfig::new(0.1)
+            .unwrap()
+            .with_alpha(AlphaPolicy::LocalTheorem9 { gamma: 0.001 }),
+        MwhvcConfig::new(0.01).unwrap(),
+    ]
+}
+
+#[test]
+fn distributed_equals_reference_everywhere() {
+    let mut rng = StdRng::seed_from_u64(10);
+    for (i, cfg) in configs().into_iter().enumerate() {
+        let g = random_uniform(
+            &RandomUniform {
+                n: 60,
+                m: 140,
+                rank: 3 + i % 3,
+                weights: WeightDist::Uniform { min: 1, max: 1 << (2 * i as u32 + 1) },
+            },
+            &mut rng,
+        );
+        let dist = MwhvcSolver::new(cfg.clone()).solve(&g).unwrap();
+        let refr = solve_reference(&g, &cfg, &mut NullObserver).unwrap();
+        assert_eq!(dist.cover, refr.cover, "config {i}");
+        assert_eq!(dist.levels, refr.levels, "config {i}");
+        assert_eq!(dist.duals, refr.duals, "config {i}");
+        assert_eq!(dist.iterations, refr.iterations, "config {i}");
+        assert_eq!(dist.weight, refr.weight, "config {i}");
+    }
+}
+
+#[test]
+fn parallel_scheduler_is_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = random_mixed_rank(70, 160, 2, 5, &WeightDist::Uniform { min: 1, max: 99 }, &mut rng);
+    let solver = MwhvcSolver::with_epsilon(0.4).unwrap();
+    let seq = solver.solve(&g).unwrap();
+    for threads in [1usize, 2, 4, 9] {
+        let par = solver.solve_parallel(&g, threads).unwrap();
+        assert_eq!(par.cover, seq.cover, "threads={threads}");
+        assert_eq!(par.duals, seq.duals, "threads={threads}");
+        assert_eq!(par.report.rounds, seq.report.rounds, "threads={threads}");
+        assert_eq!(
+            par.report.total_messages, seq.report.total_messages,
+            "threads={threads}"
+        );
+        assert_eq!(par.report.total_bits, seq.report.total_bits, "threads={threads}");
+        assert_eq!(
+            par.report.max_link_bits, seq.report.max_link_bits,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn mixed_rank_and_duplicate_edges() {
+    // Duplicate hyperedges and rank-1 edges (forced vertices) are legal.
+    use distributed_covering::hypergraph::{HypergraphBuilder, VertexId};
+    let mut b = HypergraphBuilder::new();
+    let vs = b.add_vertices([5, 3, 8, 2]);
+    b.add_edge([vs[0]]).unwrap(); // forced singleton
+    b.add_edge([vs[1], vs[2]]).unwrap();
+    b.add_edge([vs[1], vs[2]]).unwrap(); // duplicate
+    b.add_edge([vs[2], vs[3], vs[0]]).unwrap();
+    let g = b.build().unwrap();
+    let cfg = MwhvcConfig::new(0.5).unwrap();
+    let dist = MwhvcSolver::new(cfg.clone()).solve(&g).unwrap();
+    let refr = solve_reference(&g, &cfg, &mut NullObserver).unwrap();
+    assert_eq!(dist.cover, refr.cover);
+    assert!(dist.cover.contains(VertexId::new(0)), "singleton edge forces v0");
+}

@@ -1,0 +1,146 @@
+//! Integration tests spanning every crate: generators → reductions →
+//! distributed solve → verification, plus baseline agreement.
+
+use distributed_covering::baselines::exact::solve_exact;
+use distributed_covering::baselines::kvy::solve_kvy;
+use distributed_covering::baselines::sequential::{bar_yehuda_even, greedy_cover};
+use distributed_covering::core::{MwhvcConfig, MwhvcSolver};
+use distributed_covering::hypergraph::generators::{
+    clique, coverage_instance, cycle, hyper_star, random_uniform, star, sunflower, RandomUniform,
+    WeightDist,
+};
+use distributed_covering::hypergraph::{format, SetSystem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn full_pipeline_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for (f, eps, wmax) in [(2u32, 1.0, 1u64), (3, 0.5, 100), (4, 0.25, 10_000), (6, 0.1, 7)] {
+        let g = random_uniform(
+            &RandomUniform {
+                n: 80,
+                m: 200,
+                rank: f as usize,
+                weights: WeightDist::Uniform { min: 1, max: wmax },
+            },
+            &mut rng,
+        );
+        let r = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).unwrap();
+        assert!(r.cover.is_cover_of(&g), "f={f}");
+        assert!(
+            r.ratio_upper_bound() <= f64::from(f) + eps + 1e-9,
+            "guarantee violated at f={f}: {}",
+            r.ratio_upper_bound()
+        );
+        assert!(r.report.all_halted);
+        // Dual lower bound is consistent with the sequential certificate.
+        let bye = bar_yehuda_even(&g);
+        assert!(r.dual_total <= bye.weight as f64 + 1e-6);
+    }
+}
+
+#[test]
+fn structured_families() {
+    for g in [
+        star(50, 1, 100),
+        star(50, 1000, 1),
+        clique(12),
+        cycle(31),
+        sunflower(64, 2, 3, 3, 50),
+        hyper_star(4, 100, 17),
+    ] {
+        let r = MwhvcSolver::with_epsilon(0.5).unwrap().solve(&g).unwrap();
+        assert!(r.cover.is_cover_of(&g));
+        let bound = f64::from(g.rank()) + 0.5;
+        assert!(r.ratio_upper_bound() <= bound + 1e-9);
+    }
+}
+
+#[test]
+fn set_cover_workflow() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let inst = coverage_instance(150, 40, 0.2, 4, &WeightDist::Uniform { min: 1, max: 9 }, &mut rng);
+    let g = inst.system.to_hypergraph().unwrap();
+    let r = MwhvcSolver::with_epsilon(0.5).unwrap().solve(&g).unwrap();
+    let chosen = SetSystem::chosen_sets(&r.cover);
+    assert!(inst.system.is_set_cover(&chosen));
+    assert_eq!(inst.system.cover_weight(&chosen), r.weight);
+}
+
+#[test]
+fn text_format_roundtrip_preserves_solution() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = random_uniform(
+        &RandomUniform {
+            n: 40,
+            m: 90,
+            rank: 3,
+            weights: WeightDist::Uniform { min: 1, max: 50 },
+        },
+        &mut rng,
+    );
+    let text = format::serialize(&g);
+    let g2 = format::parse(&text).unwrap();
+    assert_eq!(g, g2);
+    let solver = MwhvcSolver::with_epsilon(0.5).unwrap();
+    let r1 = solver.solve(&g).unwrap();
+    let r2 = solver.solve(&g2).unwrap();
+    assert_eq!(r1.cover, r2.cover);
+    assert_eq!(r1.report.rounds, r2.report.rounds);
+}
+
+#[test]
+fn all_algorithms_agree_on_feasibility_and_exact_is_best() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..5 {
+        let g = random_uniform(
+            &RandomUniform {
+                n: 14,
+                m: 22,
+                rank: 3,
+                weights: WeightDist::Uniform { min: 1, max: 8 },
+            },
+            &mut rng,
+        );
+        let exact = solve_exact(&g, 10_000_000);
+        assert!(exact.optimal);
+        let ours = MwhvcSolver::with_epsilon(0.5).unwrap().solve(&g).unwrap();
+        let kvy = solve_kvy(&g, 0.5).unwrap();
+        let bye = bar_yehuda_even(&g);
+        let greedy = greedy_cover(&g);
+        for (name, w) in [
+            ("ours", ours.weight),
+            ("kvy", kvy.weight),
+            ("bye", bye.weight),
+            ("greedy", greedy.weight(&g)),
+        ] {
+            assert!(exact.weight <= w, "{name} beat the exact optimum?!");
+        }
+        // Every dual certificate lower-bounds the optimum.
+        assert!(ours.dual_total <= exact.weight as f64 + 1e-9);
+        assert!(kvy.dual_total <= exact.weight as f64 + 1e-9);
+        assert!(bye.dual_total <= exact.weight);
+    }
+}
+
+#[test]
+fn solver_determinism_across_runs() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = random_uniform(
+        &RandomUniform {
+            n: 60,
+            m: 150,
+            rank: 4,
+            weights: WeightDist::PowersOfTwo { max: 1 << 14 },
+        },
+        &mut rng,
+    );
+    let solver = MwhvcSolver::new(MwhvcConfig::new(0.3).unwrap());
+    let a = solver.solve(&g).unwrap();
+    let b = solver.solve(&g).unwrap();
+    assert_eq!(a.cover, b.cover);
+    assert_eq!(a.duals, b.duals);
+    assert_eq!(a.report.rounds, b.report.rounds);
+    assert_eq!(a.report.total_bits, b.report.total_bits);
+}

@@ -1,0 +1,99 @@
+//! Property-based tests (proptest): on arbitrary random hypergraphs and
+//! parameters, every paper invariant holds at every iteration, the output
+//! is a feasible (f+ε)-approximate cover, and the distributed run matches
+//! the reference exactly.
+
+use distributed_covering::core::{
+    approximation_holds, solve_reference, InvariantChecker, MwhvcConfig, MwhvcSolver,
+    NullObserver, Variant, DEFAULT_TOLERANCE,
+};
+use distributed_covering::hypergraph::{Cover, Hypergraph, HypergraphBuilder, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary hypergraph with n ∈ [1, 24] vertices, up to 40
+/// edges of size ≤ 5, and weights in [1, 2^16].
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (1usize..=24)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(1u64..=65_536, n),
+                proptest::collection::vec(
+                    proptest::collection::vec(0usize..n, 1..=5),
+                    0..=40,
+                ),
+            )
+        })
+        .prop_map(|(weights, raw_edges)| {
+            let mut b = HypergraphBuilder::new();
+            for w in weights {
+                b.add_vertex(w);
+            }
+            for edge in raw_edges {
+                // Duplicates within an edge are deduplicated by the builder.
+                b.add_edge(edge.into_iter().map(VertexId::new))
+                    .expect("indices are in range");
+            }
+            b.build().expect("valid instance")
+        })
+}
+
+fn arb_epsilon() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(1.0), Just(0.5), Just(0.25), Just(0.1), Just(0.01)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cover_is_feasible_and_within_guarantee(g in arb_hypergraph(), eps in arb_epsilon()) {
+        let r = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).unwrap();
+        prop_assert!(g.m() == 0 || r.cover.is_cover_of(&g));
+        prop_assert!(approximation_holds(&g, r.weight, r.dual_total, eps, DEFAULT_TOLERANCE));
+        // Duals are a feasible edge packing.
+        for v in g.vertices() {
+            let sum: f64 = g.incident_edges(v).iter().map(|&e| r.duals[e.index()]).sum();
+            prop_assert!(sum <= g.weight(v) as f64 * (1.0 + DEFAULT_TOLERANCE));
+        }
+    }
+
+    #[test]
+    fn every_iteration_invariant_holds(g in arb_hypergraph(), eps in arb_epsilon(),
+                                       halfbid in proptest::bool::ANY) {
+        let variant = if halfbid { Variant::HalfBid } else { Variant::Standard };
+        let cfg = MwhvcConfig::new(eps).unwrap().with_variant(variant);
+        let mut checker = InvariantChecker::new(&g, &cfg);
+        let _ = solve_reference(&g, &cfg, &mut checker).unwrap();
+        prop_assert!(
+            checker.violations().is_empty(),
+            "violations: {:?}",
+            checker.violations()
+        );
+    }
+
+    #[test]
+    fn distributed_matches_reference(g in arb_hypergraph(), eps in arb_epsilon()) {
+        let cfg = MwhvcConfig::new(eps).unwrap();
+        let dist = MwhvcSolver::new(cfg.clone()).solve(&g).unwrap();
+        let refr = solve_reference(&g, &cfg, &mut NullObserver).unwrap();
+        prop_assert_eq!(dist.cover, refr.cover);
+        prop_assert_eq!(dist.levels, refr.levels);
+        prop_assert_eq!(dist.duals, refr.duals);
+        prop_assert_eq!(dist.iterations, refr.iterations);
+    }
+
+    #[test]
+    fn pruning_preserves_covers(g in arb_hypergraph()) {
+        prop_assume!(g.m() > 0);
+        let mut c = Cover::full(g.n());
+        c.prune_redundant(&g);
+        prop_assert!(c.is_cover_of(&g));
+    }
+
+    #[test]
+    fn format_roundtrip(g in arb_hypergraph()) {
+        use distributed_covering::hypergraph::format;
+        let text = format::serialize(&g);
+        let g2 = format::parse(&text).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+}
