@@ -157,21 +157,24 @@ impl DoublingNode {
         }
         if *dual_sum >= (1.0 - *beta) * *weight {
             *in_cover = true;
-            for p in 0..ctx.degree() {
-                if live[p] {
+            for (p, &alive) in live.iter().enumerate() {
+                if alive {
                     ctx.send(p, DoublingMsg::Join);
                 }
             }
             return Status::Halted;
         }
         let slack = *weight - *dual_sum;
-        let bid_sum: f64 = (0..ctx.degree()).filter(|&p| live[p]).map(|p| bids[p]).sum();
+        let bid_sum: f64 = (0..ctx.degree())
+            .filter(|&p| live[p])
+            .map(|p| bids[p])
+            .sum();
         let vote = DoublingMsg::Vote {
             allow: 4.0 * bid_sum <= slack,
             theta: (slack / (2.0 * bid_sum)).min(1.0),
         };
-        for p in 0..ctx.degree() {
-            if live[p] {
+        for (p, &alive) in live.iter().enumerate() {
+            if alive {
                 ctx.send(p, vote);
             }
         }
@@ -326,10 +329,8 @@ pub fn solve_doubling(g: &Hypergraph, epsilon: f64) -> Result<BaselineOutcome, S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcover_hypergraph::generators::{
-        random_uniform, star, RandomUniform, WeightDist,
-    };
     use dcover_hypergraph::from_edge_lists;
+    use dcover_hypergraph::generators::{random_uniform, star, RandomUniform, WeightDist};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -383,7 +384,10 @@ mod tests {
                 .iter()
                 .map(|&e| r.duals[e.index()])
                 .sum();
-            assert!(sum <= g.weight(v) as f64 * (1.0 + 1e-9), "infeasible at {v}");
+            assert!(
+                sum <= g.weight(v) as f64 * (1.0 + 1e-9),
+                "infeasible at {v}"
+            );
         }
     }
 

@@ -33,9 +33,7 @@ struct Search<'a> {
 
 impl Search<'_> {
     fn first_uncovered(&self) -> Option<EdgeId> {
-        self.g
-            .edges()
-            .find(|&e| self.cover_count[e.index()] == 0)
+        self.g.edges().find(|&e| self.cover_count[e.index()] == 0)
     }
 
     /// Lower bound: greedily pick pairwise-disjoint uncovered edges; any
@@ -80,7 +78,10 @@ impl Search<'_> {
         };
         let members: Vec<VertexId> = self.g.edge(e).to_vec();
         for v in members {
-            debug_assert!(!self.selected[v.index()], "members of an uncovered edge are unselected");
+            debug_assert!(
+                !self.selected[v.index()],
+                "members of an uncovered edge are unselected"
+            );
             self.selected[v.index()] = true;
             for &e2 in self.g.incident_edges(v) {
                 self.cover_count[e2.index()] += 1;
@@ -121,9 +122,7 @@ pub fn solve_exact(g: &Hypergraph, node_budget: u64) -> ExactResult {
     let optimal = search.nodes <= search.budget;
     let cover = Cover::from_ids(
         g.n(),
-        (0..g.n())
-            .filter(|&i| search.best[i])
-            .map(VertexId::new),
+        (0..g.n()).filter(|&i| search.best[i]).map(VertexId::new),
     );
     debug_assert!(g.m() == 0 || cover.is_cover_of(g));
     ExactResult {

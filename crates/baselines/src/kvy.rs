@@ -113,8 +113,8 @@ impl Process for KvyNode {
                 }
                 if *dual_sum >= (1.0 - *beta) * *weight {
                     *in_cover = true;
-                    for p in 0..ctx.degree() {
-                        if live[p] {
+                    for (p, &alive) in live.iter().enumerate() {
+                        if alive {
                             ctx.send(p, KvyMsg::Join);
                         }
                     }
@@ -124,8 +124,8 @@ impl Process for KvyNode {
                     slack: *weight - *dual_sum,
                     live_degree: *live_count as u64,
                 };
-                for p in 0..ctx.degree() {
-                    if live[p] {
+                for (p, &alive) in live.iter().enumerate() {
+                    if alive {
                         ctx.send(p, state);
                     }
                 }
@@ -142,10 +142,9 @@ impl Process for KvyNode {
                 for item in ctx.inbox() {
                     match item.msg {
                         KvyMsg::Join => covered = true,
-                        KvyMsg::State {
-                            slack,
-                            live_degree,
-                        } => t = t.min(slack / live_degree as f64),
+                        KvyMsg::State { slack, live_degree } => {
+                            t = t.min(slack / live_degree as f64)
+                        }
                         other => unreachable!("edge inbox: {other:?}"),
                     }
                 }
@@ -215,7 +214,8 @@ pub fn solve_kvy(g: &Hypergraph, epsilon: f64) -> Result<BaselineOutcome, SimErr
     let z = (1.0 / beta).log2().ceil() as u64 + 1;
     let log_w = (g.weight_ratio().log2().ceil() as u64).max(1);
     let log_d = u64::from(g.max_degree().max(2).ilog2()) + 1;
-    let per_edge = 2 * u64::from(g.max_degree()) * (g.rank().max(1) as u64) * (z + log_w + log_d + 8);
+    let per_edge =
+        2 * u64::from(g.max_degree()) * (g.rank().max(1) as u64) * (z + log_w + log_d + 8);
     let limit = 2 * (per_edge + 64) + 16;
 
     let mut sim = Simulator::new(topo, nodes);
@@ -311,11 +311,8 @@ mod tests {
 
     #[test]
     fn star_is_fast() {
-        let g = from_weighted_edge_lists(
-            &[1, 100, 100, 100],
-            &[&[0, 1], &[0, 2], &[0, 3]],
-        )
-        .unwrap();
+        let g =
+            from_weighted_edge_lists(&[1, 100, 100, 100], &[&[0, 1], &[0, 2], &[0, 3]]).unwrap();
         let r = solve_kvy(&g, 0.5).unwrap();
         assert!(r.cover.is_cover_of(&g));
         // The cheap center should be taken, not the expensive leaves.

@@ -126,8 +126,7 @@ impl Process for MatchNode {
             1 => {
                 // Acceptors accept one proposal.
                 if !self.proposer {
-                    let proposals: Vec<usize> =
-                        ctx.inbox().iter().map(|i| i.port).collect();
+                    let proposals: Vec<usize> = ctx.inbox().iter().map(|i| i.port).collect();
                     if !proposals.is_empty() {
                         let chosen = proposals[self.rng.gen_range(0..proposals.len())];
                         self.accepted_from = Some(chosen);
@@ -182,10 +181,7 @@ impl Process for MatchNode {
 ///
 /// Returns [`MatchingError::NotRankTwo`] for non-graph instances, or a
 /// wrapped [`SimError`] if the round limit is exceeded.
-pub fn vc_via_matching(
-    g: &Hypergraph,
-    seed: u64,
-) -> Result<BaselineOutcome, MatchingError> {
+pub fn vc_via_matching(g: &Hypergraph, seed: u64) -> Result<BaselineOutcome, MatchingError> {
     for e in g.edges() {
         if g.edge_size(e) != 2 {
             return Err(MatchingError::NotRankTwo { edge: e.index() });
@@ -212,7 +208,9 @@ pub fn vc_via_matching(
     let topo = Topology::from_links(n, &links);
     let nodes: Vec<MatchNode> = (0..n)
         .map(|i| MatchNode {
-            rng: StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1))),
+            rng: StdRng::seed_from_u64(
+                seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
+            ),
             live: vec![true; topo.degree(i)],
             live_count: topo.degree(i),
             matched: false,
@@ -253,8 +251,8 @@ pub fn vc_via_matching(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcover_hypergraph::generators::{clique, cycle, random_uniform, RandomUniform, WeightDist};
     use dcover_hypergraph::from_edge_lists;
+    use dcover_hypergraph::generators::{clique, cycle, random_uniform, RandomUniform, WeightDist};
 
     #[test]
     fn covers_cycle() {

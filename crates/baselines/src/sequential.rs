@@ -188,8 +188,7 @@ mod tests {
     #[test]
     fn greedy_prefers_cheap_hub() {
         // A cheap hub covering everything vs expensive leaves.
-        let g = from_weighted_edge_lists(&[1, 50, 50, 50], &[&[0, 1], &[0, 2], &[0, 3]])
-            .unwrap();
+        let g = from_weighted_edge_lists(&[1, 50, 50, 50], &[&[0, 1], &[0, 2], &[0, 3]]).unwrap();
         let c = greedy_cover(&g);
         assert_eq!(c.len(), 1);
         assert!(c.contains(VertexId::new(0)));

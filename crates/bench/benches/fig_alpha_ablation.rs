@@ -20,7 +20,14 @@ fn run(name: &str, g: &Hypergraph, eps: f64) {
     let rank = g.rank().max(1);
     let mut table = Table::new(
         &format!("α ablation — {name} (Δ = {delta}, f = {rank}, ε = {eps})"),
-        &["α policy", "resolved α", "rounds", "iters", "Thm-8 iter bound", "ratio ≤"],
+        &[
+            "α policy",
+            "resolved α",
+            "rounds",
+            "iters",
+            "Thm-8 iter bound",
+            "ratio ≤",
+        ],
     );
     let policies: Vec<(String, AlphaPolicy)> = vec![
         ("fixed 2".into(), AlphaPolicy::Fixed(2)),

@@ -56,7 +56,10 @@ fn main() {
             if exact.weight == 0 {
                 continue;
             }
-            let ours = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).expect("solve");
+            let ours = MwhvcSolver::with_epsilon(eps)
+                .unwrap()
+                .solve(&g)
+                .expect("solve");
             true_ratios.push(ours.weight as f64 / exact.weight as f64);
             cert_ratios.push(ours.ratio_upper_bound());
             bye_ratios.push(bar_yehuda_even(&g).weight as f64 / exact.weight as f64);
@@ -78,7 +81,14 @@ fn main() {
 
     let mut table = Table::new(
         "large planted-OPT instances (w(C) / planted upper-bounds the ratio)",
-        &["f", "n/m", "planted k", "w(C)/w(planted) std", "half-bid", "guarantee f+ε"],
+        &[
+            "f",
+            "n/m",
+            "planted k",
+            "w(C)/w(planted) std",
+            "half-bid",
+            "guarantee f+ε",
+        ],
     );
     for rank in [3usize, 5] {
         let (g, planted) = planted_cover(
@@ -90,7 +100,10 @@ fn main() {
             &mut StdRng::seed_from_u64(9500 + rank as u64),
         );
         let planted_weight: u64 = planted.len() as u64; // planted weights are 1
-        let ours = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).expect("solve");
+        let ours = MwhvcSolver::with_epsilon(eps)
+            .unwrap()
+            .solve(&g)
+            .expect("solve");
         let half = MwhvcSolver::new(
             dcover_core::MwhvcConfig::new(eps)
                 .unwrap()

@@ -39,7 +39,10 @@ fn run_family(name: &str, instances: &[(u64, Hypergraph)], eps: f64) {
     let mut shape_ll = Vec::new();
     let mut shape_l = Vec::new();
     for (delta, g) in instances {
-        let ours = MwhvcSolver::with_epsilon(eps).unwrap().solve(g).expect("solve");
+        let ours = MwhvcSolver::with_epsilon(eps)
+            .unwrap()
+            .solve(g)
+            .expect("solve");
         let kvy = solve_kvy(g, eps).expect("kvy");
         let dbl = solve_doubling(g, eps).expect("doubling");
         let ll = kmw_lower_bound_shape(*delta as u32);

@@ -32,7 +32,10 @@ fn main() {
     let mut rounds = Vec::new();
     for k in 0..=10u32 {
         let eps = 1.0 / f64::from(1u32 << k);
-        let r = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).expect("solve");
+        let r = MwhvcSolver::with_epsilon(eps)
+            .unwrap()
+            .solve(&g)
+            .expect("solve");
         assert!(
             r.ratio_upper_bound() <= f64::from(rank) + eps + 1e-9,
             "ratio bound violated at eps = {eps}"

@@ -15,7 +15,15 @@ fn main() {
     let eps = 0.5;
     let mut table = Table::new(
         "rounds and certified ratio as the rank grows (n, m fixed)",
-        &["f", "Δ", "rounds (this work)", "iters", "ratio ≤", "f+ε", "KVY rounds"],
+        &[
+            "f",
+            "Δ",
+            "rounds (this work)",
+            "iters",
+            "ratio ≤",
+            "f+ε",
+            "KVY rounds",
+        ],
     );
     let mut fs = Vec::new();
     let mut rounds = Vec::new();
@@ -29,7 +37,10 @@ fn main() {
             },
             &mut StdRng::seed_from_u64(8000 + rank as u64),
         );
-        let r = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).expect("solve");
+        let r = MwhvcSolver::with_epsilon(eps)
+            .unwrap()
+            .solve(&g)
+            .expect("solve");
         let kvy = solve_kvy(&g, eps).expect("kvy");
         assert!(r.ratio_upper_bound() <= rank as f64 + eps + 1e-9);
         table.row([

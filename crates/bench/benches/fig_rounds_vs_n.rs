@@ -21,7 +21,13 @@ fn main() {
     let wmax = 1000u64;
     let mut table = Table::new(
         "rounds per algorithm as n grows (m = 2n, f = 3)",
-        &["n", "Δ (measured)", "this work (f+ε)", "this work f-approx", "KVY"],
+        &[
+            "n",
+            "Δ (measured)",
+            "this work (f+ε)",
+            "this work f-approx",
+            "KVY",
+        ],
     );
     let mut log_n = Vec::new();
     let mut ours_r = Vec::new();
@@ -38,7 +44,10 @@ fn main() {
             },
             &mut StdRng::seed_from_u64(6000 + u64::from(k)),
         );
-        let ours = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).expect("solve");
+        let ours = MwhvcSolver::with_epsilon(eps)
+            .unwrap()
+            .solve(&g)
+            .expect("solve");
         let fapx = MwhvcSolver::new(MwhvcConfig::f_approximation(n, wmax).expect("config"))
             .solve(&g)
             .expect("solve");

@@ -24,7 +24,13 @@ fn main() {
     let eps = 0.5;
     let mut table = Table::new(
         "rounds per algorithm as the weight range scales (same topology seed)",
-        &["W = max/min", "this work", "KVY", "doubling", "ratio≤ (this work)"],
+        &[
+            "W = max/min",
+            "this work",
+            "KVY",
+            "doubling",
+            "ratio≤ (this work)",
+        ],
     );
     let mut log_w = Vec::new();
     let mut ours_r = Vec::new();
@@ -47,7 +53,10 @@ fn main() {
             },
             &mut StdRng::seed_from_u64(5000),
         );
-        let ours = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).expect("solve");
+        let ours = MwhvcSolver::with_epsilon(eps)
+            .unwrap()
+            .solve(&g)
+            .expect("solve");
         let kvy = solve_kvy(&g, eps).expect("kvy");
         let dbl = solve_doubling(&g, eps).expect("doubling");
         table.row([

@@ -40,7 +40,10 @@ fn run(name: &str, g: &Hypergraph, eps: f64, table: &mut Table) {
         let dist = MwhvcSolver::new(cfg.clone()).solve(g).expect("solve");
         let mut watcher = JumpWatcher::default();
         let refr = solve_reference(g, &cfg, &mut watcher).expect("reference");
-        assert_eq!(refr.iterations, dist.iterations, "reference mirrors protocol");
+        assert_eq!(
+            refr.iterations, dist.iterations,
+            "reference mirrors protocol"
+        );
         if variant == Variant::HalfBid {
             assert!(
                 watcher.max_jump <= 1,
@@ -65,7 +68,15 @@ fn main() {
     let eps = 0.25;
     let mut table = Table::new(
         "variant comparison (max level jump must be ≤ 1 for HalfBid — Cor. 21)",
-        &["instance", "variant", "rounds", "iters", "max level jump", "ratio ≤", "weight"],
+        &[
+            "instance",
+            "variant",
+            "rounds",
+            "iters",
+            "max level jump",
+            "ratio ≤",
+            "weight",
+        ],
     );
     run(
         "random f=3 (n=2000, m=5000)",

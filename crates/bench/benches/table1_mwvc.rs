@@ -71,11 +71,9 @@ fn main() {
             ours.weight.to_string(),
         ]);
 
-        let fapx = MwhvcSolver::new(
-            MwhvcConfig::f_approximation(g.n(), wmax).expect("config"),
-        )
-        .solve(&g)
-        .expect("solve");
+        let fapx = MwhvcSolver::new(MwhvcConfig::f_approximation(g.n(), wmax).expect("config"))
+            .solve(&g)
+            .expect("solve");
         table.row([
             "this work 2-approx (ε=1/nW)".to_string(),
             "O(logn)  [Cor. 10, f=2]".to_string(),

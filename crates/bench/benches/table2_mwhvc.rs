@@ -63,11 +63,9 @@ fn main() {
             ours.weight.to_string(),
         ]);
 
-        let fapx = MwhvcSolver::new(
-            MwhvcConfig::f_approximation(g.n(), wmax).expect("config"),
-        )
-        .solve(&g)
-        .expect("solve");
+        let fapx = MwhvcSolver::new(MwhvcConfig::f_approximation(g.n(), wmax).expect("config"))
+            .solve(&g)
+            .expect("solve");
         table.row([
             "this work f-approx (ε=1/nW)".to_string(),
             "O(f·logn)  [Cor. 10]".to_string(),

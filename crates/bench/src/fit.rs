@@ -42,7 +42,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Fit {
             (y - p) * (y - p)
         })
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Fit {
         slope,
         intercept,

@@ -63,7 +63,7 @@ pub fn complete(n: usize) -> Topology {
 /// Panics if `dim == 0` or `dim > 20`.
 #[must_use]
 pub fn hypercube(dim: u32) -> Topology {
-    assert!(dim >= 1 && dim <= 20, "dimension out of range");
+    assert!((1..=20).contains(&dim), "dimension out of range");
     let n = 1usize << dim;
     let mut links = Vec::with_capacity(n * dim as usize / 2);
     for u in 0..n {

@@ -1,0 +1,375 @@
+//! The zero-allocation round engine shared by both schedulers.
+//!
+//! # Mailbox arena
+//!
+//! Mail lives in a **flat port-indexed slot arena**: one `Option<M>` slot
+//! per directed link endpoint `(node, port)`, laid out in the topology's CSR
+//! order ([`Topology::slot_of`]). Because CONGEST permits exactly one
+//! message per directed link per round, a slot holds at most one message;
+//! delivery is a single indexed write, a node's inbox is the contiguous
+//! slot range of its ports, and the per-inbox `sort_by_key` of the old
+//! engine disappears entirely — port order is structural.
+//!
+//! The arena is **double-buffered** (`cur` is read this round, `nxt` is
+//! written for the next) and buffers swap at the end of each round. Slots
+//! written in a round are remembered in a *dirty list* so clearing costs
+//! `O(messages)`, not `O(total ports)`; an **active worklist** per chunk
+//! makes halted nodes cost literally zero.
+//!
+//! # Chunks and the two phases
+//!
+//! Nodes are partitioned into contiguous chunks (one per worker; the
+//! sequential scheduler is the 1-chunk special case). Each round runs two
+//! phases:
+//!
+//! 1. [`phase_step`] — every chunk steps its active nodes in ascending id
+//!    order. Sends are *staged* into per-destination-chunk buckets as
+//!    `(destination slot, payload)` pairs and accounted on the send side
+//!    ([`SendTally`](crate::process::SendTally)); inboxes are consumed and
+//!    their dirty slots cleared.
+//! 2. [`phase_deliver`] — every chunk drains the buckets addressed to it
+//!    (in ascending source-chunk order) into its `nxt` buffer, dropping
+//!    mail addressed to halted nodes (already charged at send time — mail
+//!    to halted nodes is counted exactly once, by the sender), then swaps
+//!    its buffers.
+//!
+//! Writes are chunk-local in both phases, so the parallel scheduler needs
+//! no locks and no `unsafe`: chunk state simply moves to a worker and back.
+//!
+//! # Determinism contract
+//!
+//! All per-round metrics are sums and maxima over sends, merged in
+//! ascending chunk order (= ascending node id, the sequential step order).
+//! Node programs observe identical inboxes in both schedulers because slot
+//! layout is structural. Therefore `Simulator` and `ParallelSimulator`
+//! produce **bit-identical** node states, [`RoundMetrics`], and
+//! [`SimReport`](crate::SimReport)s for any thread count — verified by
+//! property tests.
+//!
+//! # Steady-state allocation
+//!
+//! After warm-up (bucket/dirty-list capacity growth in early rounds), a
+//! round performs **zero heap allocations**: staging reuses bucket
+//! capacity, dirty lists reuse theirs, and chunk state is moved, never
+//! reallocated. `tests/zero_alloc.rs` enforces this with a counting global
+//! allocator.
+
+use crate::error::SimError;
+use crate::metrics::{BitBudget, RoundMetrics};
+use crate::process::{Ctx, Process, SendTally, Status};
+use crate::topology::Topology;
+
+/// Everything one worker needs to run its share of a round: the node
+/// programs of a contiguous id range, their mailbox slots (both buffers),
+/// the active worklist, staging buckets, and the precomputed routing
+/// tables. Moves wholesale between the scheduler and a worker thread.
+#[derive(Debug)]
+pub(crate) struct ChunkState<P: Process> {
+    /// Global id of the first node in this chunk.
+    pub first_node: usize,
+    /// Node programs, indexed by local id.
+    pub nodes: Vec<P>,
+    /// Halted flag per local node.
+    pub halted: Vec<bool>,
+    /// Local ids of nodes still running, ascending.
+    pub worklist: Vec<u32>,
+    /// Mailbox slots read this round (one per local port).
+    pub cur: Vec<Option<P::Msg>>,
+    /// Mailbox slots being written for next round.
+    pub nxt: Vec<Option<P::Msg>>,
+    /// Occupied slots of `cur` (cleared after consumption).
+    dirty_cur: Vec<u32>,
+    /// Occupied slots of `nxt`.
+    dirty_nxt: Vec<u32>,
+    /// Outgoing staging: one bucket per destination chunk, entries are
+    /// `(destination-local slot, payload)`.
+    pub stage: Vec<Vec<(u32, P::Msg)>>,
+    /// Send-side accounting for the current round.
+    pub tally: SendTally,
+    /// Nodes of this chunk that halted in the current round.
+    pub newly_halted: u32,
+    /// Per local node: first local slot (CSR offsets rebased to the chunk;
+    /// length `nodes.len() + 1`).
+    local_offsets: Vec<u32>,
+    /// Per local slot: owning local node (for the halted-receiver check).
+    slot_node: Vec<u32>,
+    /// Per local slot, viewed as a *sender* port: destination chunk.
+    dest_chunk: Vec<u32>,
+    /// Per local slot, viewed as a *sender* port: destination-local slot.
+    dest_local: Vec<u32>,
+}
+
+/// Node-range boundaries for `num_chunks` chunks over `topo`, balanced by
+/// port count (the true per-round work), monotone, covering `0..n`.
+pub(crate) fn chunk_boundaries(topo: &Topology, num_chunks: usize) -> Vec<usize> {
+    let n = topo.len();
+    let total = topo.total_ports();
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0usize);
+    for u in 0..n {
+        prefix.push(prefix[u] + topo.degree(u) + 1);
+    }
+    // The +1 per node keeps zero-degree nodes from collapsing into one
+    // chunk and makes the boundaries well-defined on edgeless topologies.
+    let weight_total = total + n;
+    let mut bounds = Vec::with_capacity(num_chunks + 1);
+    for i in 0..=num_chunks {
+        let target = weight_total * i / num_chunks.max(1);
+        bounds.push(prefix.partition_point(|&w| w < target).min(n));
+    }
+    bounds[0] = 0;
+    bounds[num_chunks] = n;
+    for i in 1..num_chunks {
+        bounds[i] = bounds[i].max(bounds[i - 1]);
+    }
+    bounds
+}
+
+impl<P: Process> ChunkState<P> {
+    /// Builds the chunk for nodes `bounds[index]..bounds[index + 1]`.
+    pub(crate) fn build(topo: &Topology, bounds: &[usize], index: usize) -> Self {
+        let num_chunks = bounds.len() - 1;
+        let (start, end) = (bounds[index], bounds[index + 1]);
+        let slot_bases: Vec<usize> = bounds
+            .iter()
+            .map(|&b| {
+                if b == 0 {
+                    0
+                } else {
+                    topo.slot_range(b - 1).end
+                }
+            })
+            .collect();
+        let slot_base = slot_bases[index];
+        let num_slots = slot_bases[index + 1] - slot_base;
+
+        let mut local_offsets = Vec::with_capacity(end - start + 1);
+        let mut slot_node = Vec::with_capacity(num_slots);
+        let mut dest_chunk = Vec::with_capacity(num_slots);
+        let mut dest_local = Vec::with_capacity(num_slots);
+        local_offsets.push(0);
+        for (lu, u) in (start..end).enumerate() {
+            for p in 0..topo.degree(u) {
+                slot_node.push(lu as u32);
+                let recip = topo.reciprocal_slot(u, p);
+                let c = slot_bases[1..=num_chunks].partition_point(|&b| b <= recip);
+                dest_chunk.push(c as u32);
+                dest_local.push((recip - slot_bases[c]) as u32);
+            }
+            local_offsets.push(slot_node.len() as u32);
+        }
+
+        Self {
+            first_node: start,
+            nodes: Vec::new(),
+            halted: vec![false; end - start],
+            worklist: (0..(end - start) as u32).collect(),
+            cur: (0..num_slots).map(|_| None).collect(),
+            nxt: (0..num_slots).map(|_| None).collect(),
+            dirty_cur: Vec::new(),
+            dirty_nxt: Vec::new(),
+            stage: (0..num_chunks).map(|_| Vec::new()).collect(),
+            tally: SendTally::default(),
+            newly_halted: 0,
+            local_offsets,
+            slot_node,
+            dest_chunk,
+            dest_local,
+        }
+    }
+
+    /// Number of nodes in this chunk.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.halted.len()
+    }
+}
+
+/// Phase 1 of a round: step every active node of `chunk`, staging sends
+/// and consuming inboxes. Mutates only chunk-local state.
+pub(crate) fn phase_step<P: Process>(
+    chunk: &mut ChunkState<P>,
+    round: u64,
+    budget: Option<BitBudget>,
+) {
+    let ChunkState {
+        first_node,
+        nodes,
+        halted,
+        worklist,
+        cur,
+        dirty_cur,
+        stage,
+        tally,
+        newly_halted,
+        local_offsets,
+        dest_chunk,
+        dest_local,
+        ..
+    } = chunk;
+    tally.clear();
+    *newly_halted = 0;
+    for &lu_raw in worklist.iter() {
+        let lu = lu_raw as usize;
+        let lo = local_offsets[lu] as usize;
+        let hi = local_offsets[lu + 1] as usize;
+        let mut ctx = Ctx::staged(
+            round,
+            *first_node + lu,
+            &cur[lo..hi],
+            stage,
+            &dest_chunk[lo..hi],
+            &dest_local[lo..hi],
+            tally,
+            budget,
+        );
+        if nodes[lu].on_round(&mut ctx) == Status::Halted {
+            halted[lu] = true;
+            *newly_halted += 1;
+        }
+    }
+    if *newly_halted > 0 {
+        worklist.retain(|&lu| !halted[lu as usize]);
+    }
+    // Inboxes are consumed; clear exactly the occupied slots.
+    for &s in dirty_cur.iter() {
+        cur[s as usize] = None;
+    }
+    dirty_cur.clear();
+}
+
+/// Phase 2 of a round: deliver the buckets addressed to `chunk` (one per
+/// source chunk, ascending) into its `nxt` buffer, dropping mail to halted
+/// receivers, then swap the buffers. Buckets are drained but keep their
+/// capacity; the caller returns them to their owners.
+///
+/// # Panics
+///
+/// Panics if two messages land on the same slot in one round — a protocol
+/// bug (CONGEST permits one message per directed link per round).
+pub(crate) fn phase_deliver<P: Process>(
+    chunk: &mut ChunkState<P>,
+    inbound: &mut [Vec<(u32, P::Msg)>],
+) {
+    for bucket in inbound.iter_mut() {
+        for (lslot, msg) in bucket.drain(..) {
+            let ls = lslot as usize;
+            let receiver = chunk.slot_node[ls] as usize;
+            if chunk.halted[receiver] {
+                // Already charged by the sender; the program is gone.
+                continue;
+            }
+            assert!(
+                chunk.nxt[ls].replace(msg).is_none(),
+                "duplicate message on one link in one round: node {} port {} \
+                 (CONGEST permits one message per directed link per round)",
+                chunk.first_node + receiver,
+                ls - chunk.local_offsets[receiver] as usize,
+            );
+            chunk.dirty_nxt.push(lslot);
+        }
+    }
+    std::mem::swap(&mut chunk.cur, &mut chunk.nxt);
+    std::mem::swap(&mut chunk.dirty_cur, &mut chunk.dirty_nxt);
+}
+
+/// Folds per-chunk tallies (in ascending chunk order) into the round's
+/// metrics, or a budget error. Shared by both schedulers so their reports
+/// are identical by construction.
+pub(crate) fn finish_round(
+    topo: &Topology,
+    merged: &SendTally,
+    round: u64,
+    active_at_start: usize,
+    budget: Option<BitBudget>,
+) -> Result<RoundMetrics, SimError> {
+    if let (Some((sender, port, bits)), Some(b)) = (merged.violation, budget) {
+        let (receiver, rport) = topo.peer(sender, port);
+        return Err(SimError::BudgetExceeded {
+            round,
+            receiver,
+            port: rport,
+            bits,
+            budget: b.bits(),
+        });
+    }
+    Ok(RoundMetrics {
+        round,
+        messages: merged.messages,
+        bits: merged.bits,
+        max_link_bits: merged.max_link_bits,
+        active_nodes: active_at_start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_cover_and_are_monotone() {
+        let topo = crate::builders::star(9);
+        for t in 1..=6 {
+            let b = chunk_boundaries(&topo, t);
+            assert_eq!(b.len(), t + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(b[t], topo.len());
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn chunks_partition_slots() {
+        let topo = crate::builders::grid(5, 7);
+        let bounds = chunk_boundaries(&topo, 4);
+        let mut total_nodes = 0;
+        let mut total_slots = 0;
+        for i in 0..4 {
+            let c: ChunkState<DummyProc> = ChunkState::build(&topo, &bounds, i);
+            total_nodes += c.len();
+            total_slots += c.cur.len();
+            assert_eq!(c.cur.len(), c.slot_node.len());
+            assert_eq!(*c.local_offsets.last().unwrap() as usize, c.cur.len());
+        }
+        assert_eq!(total_nodes, topo.len());
+        assert_eq!(total_slots, topo.total_ports());
+    }
+
+    #[test]
+    fn routing_tables_invert_reciprocal_slots() {
+        let topo = crate::builders::complete(6);
+        let bounds = chunk_boundaries(&topo, 3);
+        let chunks: Vec<ChunkState<DummyProc>> = (0..3)
+            .map(|i| ChunkState::build(&topo, &bounds, i))
+            .collect();
+        let slot_bases: Vec<usize> = bounds
+            .iter()
+            .map(|&b| {
+                if b == 0 {
+                    0
+                } else {
+                    topo.slot_range(b - 1).end
+                }
+            })
+            .collect();
+        for (ci, chunk) in chunks.iter().enumerate() {
+            for ls in 0..chunk.cur.len() {
+                let gslot = slot_bases[ci] + ls;
+                let (u, p) = topo.slot_owner(gslot);
+                let recip = topo.reciprocal_slot(u, p);
+                let dc = chunk.dest_chunk[ls] as usize;
+                let dl = chunk.dest_local[ls] as usize;
+                assert_eq!(slot_bases[dc] + dl, recip, "slot ({u}, {p})");
+            }
+        }
+    }
+
+    /// Minimal process for table tests (never stepped).
+    struct DummyProc;
+    impl Process for DummyProc {
+        type Msg = u64;
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, u64>) -> Status {
+            Status::Halted
+        }
+    }
+}

@@ -68,7 +68,10 @@ mod tests {
             limit: 10,
             active: 3,
         };
-        assert_eq!(e.to_string(), "round limit 10 reached with 3 nodes still active");
+        assert_eq!(
+            e.to_string(),
+            "round limit 10 reached with 3 nodes still active"
+        );
         let e = SimError::BudgetExceeded {
             round: 5,
             receiver: 2,

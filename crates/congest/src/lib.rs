@@ -13,12 +13,38 @@
 //! * [`Process`] — the node-program trait, stepped once per round with an
 //!   inbox and an outbox ([`Ctx`]);
 //! * [`Simulator`] — the deterministic sequential scheduler;
-//! * [`ParallelSimulator`] — a thread-pool scheduler with bit-identical
-//!   semantics (crossbeam scoped threads);
+//! * [`ParallelSimulator`] — a persistent-thread-pool scheduler with
+//!   bit-identical semantics;
 //! * bit accounting — every [`Message`] reports its encoded size; the
 //!   schedulers track per-link per-round maxima and can enforce a
 //!   [`BitBudget`], turning the `O(log n)` CONGEST constraint into a
 //!   checkable runtime property.
+//!
+//! # The round engine
+//!
+//! Both schedulers share a zero-allocation round engine built around a
+//! **flat port-indexed mailbox arena**: one message slot per directed link
+//! endpoint, laid out in the topology's CSR port order and double-buffered
+//! across rounds. Delivery is an indexed write, a node's inbox is its
+//! contiguous slot range ([`Inbox`]), no per-inbox sorting ever happens
+//! (port order is structural), and halted nodes cost zero via per-chunk
+//! active worklists. The parallel scheduler keeps its workers parked on
+//! channels between rounds — no per-round thread spawning — and moves
+//! chunk state to workers by value, so the whole engine is safe Rust with
+//! no locks. See the [`engine`]-module documentation in the source for the
+//! layout, phase structure, determinism contract, and the steady-state
+//! zero-allocation guarantee (enforced by `tests/zero_alloc.rs`).
+//!
+//! # Determinism contract
+//!
+//! For any protocol and any thread count, [`Simulator`] and
+//! [`ParallelSimulator`] produce **bit-identical** node states,
+//! [`RoundMetrics`], and [`SimReport`]s: nodes are stepped against
+//! identical port-indexed inboxes, metrics are sums/maxima merged in
+//! ascending node order, and message delivery is structural. One message
+//! per directed link per round is enforced (a duplicate same-port send
+//! panics at delivery); mail addressed to halted nodes is charged exactly
+//! once — on the send side — and dropped at delivery.
 //!
 //! # Example: broadcast-and-halt
 //!
@@ -51,6 +77,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod builders;
+mod engine;
 mod error;
 mod message;
 mod metrics;
@@ -63,6 +90,6 @@ pub use error::SimError;
 pub use message::{bits_for_range, bits_for_value, Message};
 pub use metrics::{BitBudget, RoundMetrics, SimReport};
 pub use parallel::ParallelSimulator;
-pub use process::{Ctx, Incoming, Process, Status};
+pub use process::{Ctx, Inbox, InboxIter, Incoming, Process, Status};
 pub use sim::Simulator;
 pub use topology::{NodeId, Port, Topology};

@@ -1,28 +1,154 @@
 //! Thread-pool execution of the same synchronous semantics.
 //!
 //! [`ParallelSimulator`] produces bit-for-bit the same node states, metrics,
-//! and round counts as [`Simulator`](crate::Simulator): nodes are partitioned
-//! into contiguous chunks stepped by worker threads, outgoing envelopes are
-//! merged in worker order (= ascending sender id, the sequential order), and
-//! the shared [`finalize_round`](crate::sim::finalize_round) pass sorts
-//! inboxes and computes metrics. Determinism is therefore independent of
-//! thread scheduling.
+//! and round counts as [`Simulator`](crate::Simulator) — see the
+//! [`engine`](crate::engine) module docs for the determinism contract.
 //!
-//! On a single-core host this buys nothing but exists so that protocol code
-//! is exercised under real concurrency (node programs must be `Send`, must
-//! not rely on global step order, etc.).
+//! # Persistent worker pool
+//!
+//! Workers are spawned **once** at construction and parked on their job
+//! channel between rounds — there is no per-round thread spawn (the old
+//! engine paid a `crossbeam::thread::scope` per round). Each worker owns a
+//! contiguous chunk of nodes *by value while it works on it*: per phase the
+//! scheduler moves the boxed [`ChunkState`] to the worker and receives it
+//! back, so all mutation is single-owner and the whole pool is safe Rust
+//! with zero locks and zero steady-state allocation (channel buffers are
+//! bounded and pre-allocated; chunk moves are pointer-sized).
+//!
+//! Per round the scheduler routes the buckets staged in the previous
+//! round to their destination chunks (swapping each fresh bucket for last
+//! round's drained one, so bucket capacity is never re-grown), then makes
+//! **one fused dispatch per chunk**: deliver the previous round's mail,
+//! step the current round, reply. One barrier per round, two channel
+//! messages per worker.
 
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use crate::engine::{chunk_boundaries, finish_round, phase_deliver, phase_step, ChunkState};
 use crate::error::SimError;
 use crate::metrics::{BitBudget, RoundMetrics, SimReport};
-use crate::process::{Ctx, Incoming, Process, Status};
-use crate::sim::finalize_round;
+use crate::process::{Process, SendTally};
 use crate::topology::{NodeId, Topology};
 
-/// An outgoing message captured by a worker, addressed by receiver.
-struct Envelope<M> {
-    dst: NodeId,
-    port: usize,
-    msg: M,
+/// Per-destination staging buckets: `buckets[s]` holds the messages chunk
+/// `s` staged for one destination chunk, as `(destination-local slot,
+/// payload)` pairs.
+type Buckets<M> = Vec<Vec<(u32, M)>>;
+
+/// Work order for a parked worker: one fused job per round.
+enum Job<P: Process> {
+    /// Run [`phase_deliver`] with the inbound buckets staged in the
+    /// *previous* round (one per source chunk, ascending), then
+    /// [`phase_step`] the current round, and send everything back.
+    ///
+    /// Fusing delivery of round `r - 1` with the stepping of round `r`
+    /// into a single dispatch halves the channel round-trips per round.
+    /// It is observationally identical to deliver-then-return: delivery
+    /// only feeds round `r`'s inboxes, and the halted flags it consults
+    /// were final when round `r - 1` finished stepping.
+    Round {
+        chunk: Box<ChunkState<P>>,
+        inbound: Buckets<P::Msg>,
+        round: u64,
+        budget: Option<BitBudget>,
+    },
+    /// Exit the worker loop.
+    Stop,
+}
+
+/// A finished job, tagged with the worker index.
+enum Reply<P: Process> {
+    /// The round ran to completion; chunk and drained buckets come home.
+    Done {
+        chunk: Box<ChunkState<P>>,
+        inbound: Buckets<P::Msg>,
+    },
+    /// The node program (or the engine's own protocol-bug assert) panicked
+    /// on the worker; the payload is re-raised on the scheduler thread.
+    /// Without this the scheduler would deadlock: the other workers stay
+    /// parked holding live reply senders, so `recv()` would never error.
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// The persistent pool: one parked thread per chunk.
+struct Pool<P: Process> {
+    txs: Vec<SyncSender<Job<P>>>,
+    rx: Receiver<(usize, Reply<P>)>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<P: Process + 'static> Pool<P> {
+    fn spawn(workers: usize) -> Self {
+        let (reply_tx, rx) = sync_channel::<(usize, Reply<P>)>(workers);
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, job_rx) = sync_channel::<Job<P>>(1);
+            let out = reply_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("congest-worker-{w}"))
+                    .spawn(move || {
+                        while let Ok(job) = job_rx.recv() {
+                            match job {
+                                Job::Round {
+                                    mut chunk,
+                                    mut inbound,
+                                    round,
+                                    budget,
+                                } => {
+                                    // Catch node-program panics so they can
+                                    // be re-raised on the scheduler thread
+                                    // (state is discarded via the panic, so
+                                    // the unwind-safety assertion is sound).
+                                    let run = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            phase_deliver(&mut chunk, &mut inbound);
+                                            phase_step(&mut chunk, round, budget);
+                                        }),
+                                    );
+                                    let reply = match run {
+                                        Ok(()) => Reply::Done { chunk, inbound },
+                                        Err(payload) => Reply::Panicked(payload),
+                                    };
+                                    if out.send((w, reply)).is_err() {
+                                        return;
+                                    }
+                                }
+                                Job::Stop => return,
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+            txs.push(tx);
+        }
+        Self { txs, rx, handles }
+    }
+}
+
+impl<P: Process> Drop for Pool<P> {
+    fn drop(&mut self) {
+        for tx in &self.txs {
+            // A worker that already exited (e.g. after panicking) just
+            // leaves a closed channel behind; that is fine.
+            let _ = tx.send(Job::Stop);
+        }
+        for handle in self.handles.drain(..) {
+            // Swallow worker panics during teardown: the panic that matters
+            // already surfaced as a recv error on the scheduler side.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<P: Process> std::fmt::Debug for Pool<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
 }
 
 /// Parallel round scheduler with sequential-identical semantics.
@@ -53,22 +179,25 @@ struct Envelope<M> {
 /// # Ok::<(), dcover_congest::SimError>(())
 /// ```
 #[derive(Debug)]
-pub struct ParallelSimulator<P: Process> {
+pub struct ParallelSimulator<P: Process + 'static> {
     topo: Topology,
-    nodes: Vec<P>,
-    halted: Vec<bool>,
+    /// Node-range starts per chunk (length `workers + 1`).
+    bounds: Vec<usize>,
+    /// Chunk states; `None` while a chunk is out at a worker.
+    chunks: Vec<Option<Box<ChunkState<P>>>>,
+    /// Reusable per-destination inbound containers (capacity `workers`).
+    inbound_pool: Vec<Option<Buckets<P::Msg>>>,
+    pool: Pool<P>,
     active: usize,
-    inboxes: Vec<Vec<Incoming<P::Msg>>>,
-    next: Vec<Vec<Incoming<P::Msg>>>,
     round: u64,
     report: SimReport,
     trace: bool,
     budget: Option<BitBudget>,
-    threads: usize,
 }
 
-impl<P: Process> ParallelSimulator<P> {
-    /// Creates a parallel simulator using up to `threads` worker threads.
+impl<P: Process + 'static> ParallelSimulator<P> {
+    /// Creates a parallel simulator using up to `threads` persistent worker
+    /// threads (capped at the node count).
     ///
     /// # Panics
     ///
@@ -78,18 +207,30 @@ impl<P: Process> ParallelSimulator<P> {
         assert_eq!(nodes.len(), topo.len(), "need exactly one program per node");
         assert!(threads > 0, "need at least one worker thread");
         let n = nodes.len();
+        let workers = threads.min(n).max(1);
+        let bounds = chunk_boundaries(&topo, workers);
+        let mut nodes = nodes;
+        let mut chunks = Vec::with_capacity(workers);
+        for index in (0..workers).rev() {
+            let mut chunk = ChunkState::build(&topo, &bounds, index);
+            chunk.nodes = nodes.split_off(bounds[index]);
+            chunks.push(Some(Box::new(chunk)));
+        }
+        chunks.reverse();
+        let inbound_pool = (0..workers)
+            .map(|_| Some(Vec::with_capacity(workers)))
+            .collect();
         Self {
             topo,
-            nodes,
-            halted: vec![false; n],
+            bounds,
+            chunks,
+            inbound_pool,
+            pool: Pool::spawn(workers),
             active: n,
-            inboxes: (0..n).map(|_| Vec::new()).collect(),
-            next: (0..n).map(|_| Vec::new()).collect(),
             round: 0,
             report: SimReport::default(),
             trace: false,
             budget: None,
-            threads,
         }
     }
 
@@ -107,10 +248,28 @@ impl<P: Process> ParallelSimulator<P> {
         self
     }
 
+    /// Number of worker threads (= chunks).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.chunks.len()
+    }
+
     /// Number of nodes still running.
     #[must_use]
     pub fn active_nodes(&self) -> usize {
         self.active
+    }
+
+    /// Whether every node has halted.
+    #[must_use]
+    pub fn all_halted(&self) -> bool {
+        self.active == 0
+    }
+
+    /// The accumulated report so far.
+    #[must_use]
+    pub fn report(&self) -> &SimReport {
+        &self.report
     }
 
     /// Read access to a node program.
@@ -120,21 +279,23 @@ impl<P: Process> ParallelSimulator<P> {
     /// Panics if `id` is out of range.
     #[must_use]
     pub fn node(&self, id: NodeId) -> &P {
-        &self.nodes[id]
+        let c = self.bounds[1..].partition_point(|&b| b <= id);
+        let chunk = self.chunks[c].as_ref().expect("chunk is home");
+        &chunk.nodes[id - self.bounds[c]]
     }
 
-    /// Read access to all node programs.
+    /// Consumes the simulator, returning node programs (ascending id order)
+    /// and the report.
     #[must_use]
-    pub fn nodes(&self) -> &[P] {
-        &self.nodes
-    }
-
-    /// Consumes the simulator, returning node programs and report.
-    #[must_use]
-    pub fn into_parts(self) -> (Vec<P>, SimReport) {
-        let mut report = self.report;
+    pub fn into_parts(mut self) -> (Vec<P>, SimReport) {
+        let mut nodes = Vec::with_capacity(self.bounds[self.chunks.len()]);
+        for slot in &mut self.chunks {
+            let chunk = slot.as_mut().expect("chunk is home");
+            nodes.append(&mut chunk.nodes);
+        }
+        let mut report = self.report.clone();
         report.all_halted = self.active == 0;
-        (self.nodes, report)
+        (nodes, report)
     }
 
     /// Executes one synchronous round on the worker pool.
@@ -142,94 +303,80 @@ impl<P: Process> ParallelSimulator<P> {
     /// # Errors
     ///
     /// Returns [`SimError::BudgetExceeded`] on a CONGEST violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node program panics on a worker thread.
     pub fn step(&mut self) -> Result<RoundMetrics, SimError> {
-        let n = self.nodes.len();
+        let workers = self.chunks.len();
         let active_at_start = self.active;
-        let chunk = n.div_ceil(self.threads).max(1);
-        let topo = &self.topo;
-        let round = self.round;
 
-        // Workers step disjoint contiguous chunks of (nodes, halted,
-        // inboxes); each returns its envelopes plus how many of its nodes
-        // halted this round. Chunk order == ascending node id, so merging in
-        // chunk order reproduces the sequential envelope order exactly.
-        let results: Vec<(Vec<Envelope<P::Msg>>, usize)> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            let mut base = 0usize;
-            let mut nodes_rest: &mut [P] = &mut self.nodes;
-            let mut halted_rest: &mut [bool] = &mut self.halted;
-            let mut inbox_rest: &[Vec<Incoming<P::Msg>>] = &self.inboxes;
-            while !nodes_rest.is_empty() {
-                let take = chunk.min(nodes_rest.len());
-                let (nodes_chunk, nr) = nodes_rest.split_at_mut(take);
-                let (halted_chunk, hr) = halted_rest.split_at_mut(take);
-                let (inbox_chunk, ir) = inbox_rest.split_at(take);
-                nodes_rest = nr;
-                halted_rest = hr;
-                inbox_rest = ir;
-                let first = base;
-                base += take;
-                handles.push(scope.spawn(move |_| {
-                    let mut envelopes: Vec<Envelope<P::Msg>> = Vec::new();
-                    let mut scratch: Vec<(usize, P::Msg)> = Vec::new();
-                    let mut newly_halted = 0usize;
-                    for (offset, node) in nodes_chunk.iter_mut().enumerate() {
-                        let id = first + offset;
-                        if halted_chunk[offset] {
-                            continue;
-                        }
-                        let degree = topo.degree(id);
-                        let mut ctx = Ctx {
-                            round,
-                            node: id,
-                            degree,
-                            inbox: &inbox_chunk[offset],
-                            outgoing: &mut scratch,
-                        };
-                        let status = node.on_round(&mut ctx);
-                        for (port, msg) in scratch.drain(..) {
-                            let (peer, peer_port) = topo.peer(id, port);
-                            envelopes.push(Envelope {
-                                dst: peer,
-                                port: peer_port,
-                                msg,
-                            });
-                        }
-                        if status == Status::Halted {
-                            halted_chunk[offset] = true;
-                            newly_halted += 1;
-                        }
-                    }
-                    (envelopes, newly_halted)
-                }));
+        // Route the buckets staged in the previous round to their
+        // destinations: `stage[d]` of source chunk `s` becomes `inbound[s]`
+        // of destination chunk `d`. Buckets are double-buffered like the
+        // slot arena: the chunk gets last round's drained bucket (capacity
+        // intact) to stage into while its fresh bucket is out for delivery.
+        for d in 0..workers {
+            let mut inbound = self.inbound_pool[d].take().expect("container is home");
+            if inbound.is_empty() {
+                // First round: nothing staged yet, hand out empty buckets.
+                for s in 0..workers {
+                    let src = self.chunks[s].as_mut().expect("chunk is home");
+                    inbound.push(std::mem::take(&mut src.stage[d]));
+                }
+            } else {
+                for (s, slot) in inbound.iter_mut().enumerate() {
+                    let src = self.chunks[s].as_mut().expect("chunk is home");
+                    std::mem::swap(&mut src.stage[d], slot);
+                }
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("scope panicked");
+            self.inbound_pool[d] = Some(inbound);
+        }
 
-        for (envelopes, newly_halted) in results {
-            self.active -= newly_halted;
-            for env in envelopes {
-                self.next[env.dst].push(Incoming {
-                    port: env.port,
-                    msg: env.msg,
-                });
+        // One fused dispatch per chunk: deliver the previous round, step
+        // this one.
+        for w in 0..workers {
+            let chunk = self.chunks[w].take().expect("chunk is home");
+            let inbound = self.inbound_pool[w].take().expect("container is home");
+            self.pool.txs[w]
+                .send(Job::Round {
+                    chunk,
+                    inbound,
+                    round: self.round,
+                    budget: self.budget,
+                })
+                .expect("worker alive");
+        }
+        for _ in 0..workers {
+            let (w, reply) = self.pool.rx.recv().expect("worker pool alive");
+            match reply {
+                Reply::Done { chunk, inbound } => {
+                    self.chunks[w] = Some(chunk);
+                    self.inbound_pool[w] = Some(inbound);
+                }
+                // Re-raise a node-program panic on the caller's thread. The
+                // simulator is poisoned afterwards (the chunk is gone).
+                Reply::Panicked(payload) => std::panic::resume_unwind(payload),
             }
         }
-        for inbox in &mut self.inboxes {
-            inbox.clear();
+
+        // The drained buckets stay parked in `inbound_pool` until the next
+        // round's routing swap. Merge tallies in ascending chunk order
+        // (= node id order).
+        let mut merged = SendTally::default();
+        for slot in &mut self.chunks {
+            let chunk = slot.as_mut().expect("chunk is home");
+            merged.merge(&chunk.tally);
+            self.active -= chunk.newly_halted as usize;
         }
-        let rm = finalize_round(
-            &mut self.next,
-            &self.halted,
+
+        let rm = finish_round(
+            &self.topo,
+            &merged,
             self.round,
             active_at_start,
             self.budget,
         )?;
-        std::mem::swap(&mut self.inboxes, &mut self.next);
         self.round += 1;
         self.report.absorb(rm, self.trace);
         Ok(rm)
@@ -260,6 +407,7 @@ impl<P: Process> ParallelSimulator<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::process::{Ctx, Status};
     use crate::sim::Simulator;
 
     /// Gossip sum: every node floods its value; everyone halts after
@@ -306,8 +454,7 @@ mod tests {
         let mut seq = Simulator::new(ring(n), make_nodes()).with_trace(true);
         let seq_report = seq.run(100).unwrap();
         for threads in [1usize, 2, 3, 7] {
-            let mut par =
-                ParallelSimulator::new(ring(n), make_nodes(), threads).with_trace(true);
+            let mut par = ParallelSimulator::new(ring(n), make_nodes(), threads).with_trace(true);
             let par_report = par.run(100).unwrap();
             assert_eq!(par_report, seq_report, "threads = {threads}");
             for id in 0..n {
@@ -344,7 +491,10 @@ mod tests {
             }
         }
         let mut sim = ParallelSimulator::new(ring(3), vec![Spin, Spin, Spin], 2);
-        assert!(matches!(sim.run(4), Err(SimError::RoundLimit { limit: 4, .. })));
+        assert!(matches!(
+            sim.run(4),
+            Err(SimError::RoundLimit { limit: 4, .. })
+        ));
     }
 
     #[test]
@@ -358,7 +508,105 @@ mod tests {
             })
             .collect();
         let mut sim = ParallelSimulator::new(ring(n), nodes, 16);
+        assert_eq!(sim.workers(), 3);
         let report = sim.run(10).unwrap();
         assert!(report.all_halted);
+    }
+
+    #[test]
+    fn pool_threads_persist_across_rounds() {
+        // Many rounds on a tiny instance: if threads were spawned per round
+        // this would be very slow; mostly this pins the pool lifecycle
+        // (drop after run, node access between steps).
+        let n = 8;
+        let nodes: Vec<Gossip> = (0..n)
+            .map(|i| Gossip {
+                value: i as u64,
+                acc: 0,
+                hops: 200,
+            })
+            .collect();
+        let mut sim = ParallelSimulator::new(ring(n), nodes, 4);
+        for _ in 0..100 {
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.active_nodes(), n);
+        assert!(sim.node(3).acc > 0);
+        let report = sim.run(300).unwrap();
+        assert!(report.all_halted);
+        assert_eq!(report.rounds, 201);
+    }
+
+    /// A node-program panic on a worker must surface as a panic on the
+    /// scheduler thread — not a deadlock (the other workers stay parked
+    /// holding live reply senders, so a bare `recv()` would hang forever).
+    #[test]
+    fn worker_panic_propagates_to_scheduler() {
+        struct Bomb;
+        impl Process for Bomb {
+            type Msg = u64;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+                assert!(ctx.node() != 5, "boom at node 5");
+                Status::Running
+            }
+        }
+        let nodes = (0..9).map(|_| Bomb).collect();
+        let mut sim = ParallelSimulator::new(ring(9), nodes, 4);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.step()))
+            .expect_err("step must panic, not hang");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("boom at node 5"), "got: {msg}");
+    }
+
+    /// The engine's duplicate same-port-send assert fires on a worker in
+    /// parallel mode; it must reach the caller like in the sequential
+    /// scheduler.
+    #[test]
+    fn duplicate_send_panics_in_parallel_too() {
+        struct Double;
+        impl Process for Double {
+            type Msg = u64;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+                if ctx.round() == 0 {
+                    ctx.send(0, 1);
+                    ctx.send(0, 2);
+                    Status::Running
+                } else {
+                    Status::Halted
+                }
+            }
+        }
+        let nodes = (0..6).map(|_| Double).collect();
+        let mut sim = ParallelSimulator::new(ring(6), nodes, 3);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.step().and_then(|_| sim.step())
+        }))
+        .expect_err("duplicate send must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("duplicate message"), "got: {msg}");
+    }
+
+    #[test]
+    fn into_parts_concatenates_in_id_order() {
+        let n = 11;
+        let nodes: Vec<Gossip> = (0..n)
+            .map(|i| Gossip {
+                value: i as u64 * 10,
+                acc: 0,
+                hops: 1,
+            })
+            .collect();
+        let mut sim = ParallelSimulator::new(ring(n), nodes, 3);
+        sim.run(10).unwrap();
+        let (nodes, report) = sim.into_parts();
+        assert!(report.all_halted);
+        assert_eq!(nodes.len(), n);
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(node.value, i as u64 * 10, "into_parts order");
+        }
     }
 }

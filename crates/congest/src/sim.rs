@@ -1,79 +1,18 @@
 //! The deterministic sequential round scheduler.
+//!
+//! Drives the shared [`engine`](crate::engine) as its single-chunk special
+//! case: per round, [`phase_step`](crate::engine::phase_step) steps active
+//! nodes against the flat mailbox arena and
+//! [`phase_deliver`](crate::engine::phase_deliver) scatters the staged
+//! messages and swaps the buffers. See the engine module docs for the
+//! arena layout, the determinism contract, and the zero-allocation
+//! guarantee.
 
+use crate::engine::{chunk_boundaries, finish_round, phase_deliver, phase_step, ChunkState};
 use crate::error::SimError;
-use crate::message::Message;
 use crate::metrics::{BitBudget, RoundMetrics, SimReport};
-use crate::process::{Ctx, Incoming, Process, Status};
+use crate::process::Process;
 use crate::topology::{NodeId, Topology};
-
-/// Sorts every freshly-delivered inbox by port, computes the round's
-/// communication metrics from the receiver side (so per-link totals are
-/// exact), enforces the optional bit budget, and clears mail addressed to
-/// halted nodes. Shared by the sequential and parallel schedulers so both
-/// produce identical metrics.
-pub(crate) fn finalize_round<M: Message>(
-    next: &mut [Vec<Incoming<M>>],
-    halted: &[bool],
-    round: u64,
-    active_nodes: usize,
-    budget: Option<BitBudget>,
-) -> Result<RoundMetrics, SimError> {
-    let mut rm = RoundMetrics {
-        round,
-        active_nodes,
-        ..RoundMetrics::default()
-    };
-    for (receiver, inbox) in next.iter_mut().enumerate() {
-        if inbox.is_empty() {
-            continue;
-        }
-        // Stable sort keeps deterministic relative order of same-port
-        // messages (which only occur on parallel links).
-        inbox.sort_by_key(|i| i.port);
-        rm.messages += inbox.len() as u64;
-        let mut port_bits = 0u64;
-        let mut current_port = inbox[0].port;
-        for item in inbox.iter() {
-            if item.port != current_port {
-                rm.max_link_bits = rm.max_link_bits.max(port_bits);
-                check_budget(budget, round, receiver, current_port, port_bits)?;
-                current_port = item.port;
-                port_bits = 0;
-            }
-            let b = item.msg.bit_size();
-            port_bits += b;
-            rm.bits += b;
-        }
-        rm.max_link_bits = rm.max_link_bits.max(port_bits);
-        check_budget(budget, round, receiver, current_port, port_bits)?;
-        if halted[receiver] {
-            // The link was used (and accounted); the program is gone.
-            inbox.clear();
-        }
-    }
-    Ok(rm)
-}
-
-fn check_budget(
-    budget: Option<BitBudget>,
-    round: u64,
-    receiver: NodeId,
-    port: usize,
-    bits: u64,
-) -> Result<(), SimError> {
-    if let Some(b) = budget {
-        if bits > b.bits() {
-            return Err(SimError::BudgetExceeded {
-                round,
-                receiver,
-                port,
-                bits,
-                budget: b.bits(),
-            });
-        }
-    }
-    Ok(())
-}
 
 /// Deterministic synchronous simulator: steps every running node once per
 /// round, delivers messages at the next round boundary, and records
@@ -112,16 +51,12 @@ fn check_budget(
 #[derive(Debug)]
 pub struct Simulator<P: Process> {
     topo: Topology,
-    nodes: Vec<P>,
-    halted: Vec<bool>,
+    chunk: ChunkState<P>,
     active: usize,
-    inboxes: Vec<Vec<Incoming<P::Msg>>>,
-    next: Vec<Vec<Incoming<P::Msg>>>,
     round: u64,
     report: SimReport,
     trace: bool,
     budget: Option<BitBudget>,
-    scratch: Vec<(usize, P::Msg)>,
 }
 
 impl<P: Process> Simulator<P> {
@@ -132,24 +67,19 @@ impl<P: Process> Simulator<P> {
     /// Panics if `nodes.len() != topo.len()`.
     #[must_use]
     pub fn new(topo: Topology, nodes: Vec<P>) -> Self {
-        assert_eq!(
-            nodes.len(),
-            topo.len(),
-            "need exactly one program per node"
-        );
+        assert_eq!(nodes.len(), topo.len(), "need exactly one program per node");
         let n = nodes.len();
+        let bounds = chunk_boundaries(&topo, 1);
+        let mut chunk = ChunkState::build(&topo, &bounds, 0);
+        chunk.nodes = nodes;
         Self {
             topo,
-            nodes,
-            halted: vec![false; n],
+            chunk,
             active: n,
-            inboxes: (0..n).map(|_| Vec::new()).collect(),
-            next: (0..n).map(|_| Vec::new()).collect(),
             round: 0,
             report: SimReport::default(),
             trace: false,
             budget: None,
-            scratch: Vec::new(),
         }
     }
 
@@ -193,13 +123,13 @@ impl<P: Process> Simulator<P> {
     /// Panics if `id` is out of range.
     #[must_use]
     pub fn node(&self, id: NodeId) -> &P {
-        &self.nodes[id]
+        &self.chunk.nodes[id]
     }
 
     /// Read access to all node programs.
     #[must_use]
     pub fn nodes(&self) -> &[P] {
-        &self.nodes
+        &self.chunk.nodes
     }
 
     /// The accumulated report so far.
@@ -214,7 +144,7 @@ impl<P: Process> Simulator<P> {
     pub fn into_parts(self) -> (Vec<P>, SimReport) {
         let mut report = self.report;
         report.all_halted = self.active == 0;
-        (self.nodes, report)
+        (self.chunk.nodes, report)
     }
 
     /// Executes one synchronous round.
@@ -225,42 +155,19 @@ impl<P: Process> Simulator<P> {
     /// configured budget.
     pub fn step(&mut self) -> Result<RoundMetrics, SimError> {
         let active_at_start = self.active;
-        for id in 0..self.nodes.len() {
-            if self.halted[id] {
-                continue;
-            }
-            let degree = self.topo.degree(id);
-            let mut ctx = Ctx {
-                round: self.round,
-                node: id,
-                degree,
-                inbox: &self.inboxes[id],
-                outgoing: &mut self.scratch,
-            };
-            let status = self.nodes[id].on_round(&mut ctx);
-            for (port, msg) in self.scratch.drain(..) {
-                let (peer, peer_port) = self.topo.peer(id, port);
-                self.next[peer].push(Incoming {
-                    port: peer_port,
-                    msg,
-                });
-            }
-            if status == Status::Halted {
-                self.halted[id] = true;
-                self.active -= 1;
-            }
-        }
-        for inbox in &mut self.inboxes {
-            inbox.clear();
-        }
-        let rm = finalize_round(
-            &mut self.next,
-            &self.halted,
+        phase_step(&mut self.chunk, self.round, self.budget);
+        self.active -= self.chunk.newly_halted as usize;
+        // Single chunk: its one staging bucket is also its inbound bucket.
+        let mut inbound = std::mem::take(&mut self.chunk.stage);
+        phase_deliver(&mut self.chunk, &mut inbound);
+        self.chunk.stage = inbound;
+        let rm = finish_round(
+            &self.topo,
+            &self.chunk.tally,
             self.round,
             active_at_start,
             self.budget,
         )?;
-        std::mem::swap(&mut self.inboxes, &mut self.next);
         self.round += 1;
         self.report.absorb(rm, self.trace);
         Ok(rm)
@@ -291,6 +198,7 @@ impl<P: Process> Simulator<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::process::{Ctx, Status};
     use crate::topology::Port;
 
     /// Floods the maximum node id seen so far; halts when no new info
@@ -517,7 +425,7 @@ mod tests {
                 Status::Running
             } else {
                 if ctx.node() != 0 {
-                    let item = &ctx.inbox()[0];
+                    let item = ctx.inbox().first().expect("one message");
                     assert_eq!(item.port, self.expect_from_port);
                     assert_eq!(item.msg, 100 + (ctx.node() as u64 - 1));
                     self.seen = true;
@@ -564,5 +472,59 @@ mod tests {
         let (nodes, report) = sim.into_parts();
         assert_eq!(nodes[0].got, Some(4));
         assert!(report.all_halted);
+    }
+
+    /// Sends twice on the same port in one round — a CONGEST violation the
+    /// engine turns into a panic at delivery.
+    struct DoubleSender;
+    impl Process for DoubleSender {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+            if ctx.round() == 0 {
+                ctx.send(0, 1);
+                ctx.send(0, 2);
+                Status::Running
+            } else {
+                Status::Halted
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate message")]
+    fn duplicate_same_port_send_panics() {
+        let topo = Topology::from_links(2, &[(0, 1)]);
+        let mut sim = Simulator::new(topo, vec![DoubleSender, DoubleSender]);
+        let _ = sim.step();
+    }
+
+    /// Parallel links between the same pair are distinct ports and carry
+    /// distinct messages.
+    struct ParallelLinks {
+        got: Vec<u64>,
+    }
+    impl Process for ParallelLinks {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+            if ctx.round() == 0 {
+                ctx.send(0, 10);
+                ctx.send(1, 20);
+                Status::Running
+            } else {
+                self.got = ctx.inbox().iter().map(|i| i.msg).collect();
+                Status::Halted
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_links_deliver_independently() {
+        let topo = Topology::from_links(2, &[(0, 1), (0, 1)]);
+        let nodes = vec![ParallelLinks { got: vec![] }, ParallelLinks { got: vec![] }];
+        let mut sim = Simulator::new(topo, nodes);
+        let report = sim.run(10).unwrap();
+        assert_eq!(sim.node(0).got, vec![10, 20]);
+        assert_eq!(sim.node(1).got, vec![10, 20]);
+        assert_eq!(report.total_messages, 4);
     }
 }

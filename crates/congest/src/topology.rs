@@ -180,7 +180,10 @@ impl Topology {
     #[inline]
     #[must_use]
     pub fn peer(&self, node: NodeId, port: Port) -> (NodeId, Port) {
-        assert!(port < self.degree(node), "port {port} out of range at node {node}");
+        assert!(
+            port < self.degree(node),
+            "port {port} out of range at node {node}"
+        );
         let slot = self.offsets[node] as usize + port;
         (self.peers[slot] as usize, self.peer_ports[slot] as usize)
     }
@@ -203,6 +206,65 @@ impl Topology {
     #[must_use]
     pub fn max_degree(&self) -> usize {
         (0..self.len()).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Total number of directed link endpoints (`Σ degree = 2 · num_links`).
+    /// This is the size of the round engine's mailbox arena: one slot per
+    /// `(node, port)` pair.
+    #[must_use]
+    pub fn total_ports(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The arena slot index of `(node, port)`: `offsets[node] + port`. Slots
+    /// are laid out in CSR order, so a node's ports occupy the contiguous
+    /// range [`slot_range`](Self::slot_range).
+    #[inline]
+    #[must_use]
+    pub fn slot_of(&self, node: NodeId, port: Port) -> usize {
+        debug_assert!(port < self.degree(node));
+        self.offsets[node] as usize + port
+    }
+
+    /// The contiguous arena slot range owned by `node` (its ports in order).
+    #[inline]
+    #[must_use]
+    pub fn slot_range(&self, node: NodeId) -> std::ops::Range<usize> {
+        self.offsets[node] as usize..self.offsets[node + 1] as usize
+    }
+
+    /// The slot a message sent on `(node, port)` is delivered to: the
+    /// reciprocal endpoint `(peer, peer_port)` of the same link, as a flat
+    /// arena index. Port order is structural, so delivery is one indexed
+    /// write and no per-inbox sorting is ever needed.
+    #[inline]
+    #[must_use]
+    pub fn reciprocal_slot(&self, node: NodeId, port: Port) -> usize {
+        let slot = self.offsets[node] as usize + port;
+        self.offsets[self.peers[slot] as usize] as usize + self.peer_ports[slot] as usize
+    }
+
+    /// The `(node, port)` pair owning arena slot `slot` (inverse of
+    /// [`slot_of`](Self::slot_of); used for error reporting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= total_ports()`.
+    #[must_use]
+    pub fn slot_owner(&self, slot: usize) -> (NodeId, Port) {
+        assert!(slot < self.peers.len(), "slot out of range");
+        let node = match self.offsets.binary_search(&(slot as u32)) {
+            // `offsets` may contain runs of equal values (degree-0 nodes);
+            // pick the last node whose range starts at or before `slot`.
+            Ok(mut i) => {
+                while i + 1 < self.offsets.len() && self.offsets[i + 1] as usize == slot {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        };
+        (node, slot - self.offsets[node] as usize)
     }
 }
 

@@ -1,21 +1,23 @@
 //! Property tests for the simulator substrate: arbitrary topologies keep
-//! port reciprocity, and the parallel scheduler is bit-identical to the
-//! sequential one under arbitrary protocols-with-state.
+//! port reciprocity and slot-arena consistency, and the parallel scheduler
+//! is bit-identical to the sequential one under arbitrary
+//! protocols-with-state. Runs seeded random cases (the offline equivalent
+//! of the previous proptest strategies).
 
 use dcover_congest::{Ctx, ParallelSimulator, Process, Simulator, Status, Topology};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random link list over n ∈ [2, 30] nodes (self-loops
-/// filtered; parallel links allowed).
-fn arb_links() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (2usize..=30).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec((0usize..n, 0usize..n), 0..60).prop_map(|v| {
-                v.into_iter().filter(|(a, b)| a != b).collect::<Vec<_>>()
-            }),
-        )
-    })
+/// A random link list over n ∈ [2, 30] nodes (self-loops filtered;
+/// parallel links allowed).
+fn random_links(rng: &mut StdRng) -> (usize, Vec<(usize, usize)>) {
+    let n = rng.gen_range(2usize..=30);
+    let tries = rng.gen_range(0usize..60);
+    let links: Vec<(usize, usize)> = (0..tries)
+        .map(|_| (rng.gen_range(0usize..n), rng.gen_range(0usize..n)))
+        .filter(|(a, b)| a != b)
+        .collect();
+    (n, links)
 }
 
 /// A stateful gossip protocol whose behaviour depends on inbox contents,
@@ -52,34 +54,73 @@ impl Process for Mixer {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn reciprocity_holds((n, links) in arb_links()) {
+#[test]
+fn reciprocity_holds() {
+    let mut rng = StdRng::seed_from_u64(0x0707);
+    for case in 0..64 {
+        let (n, links) = random_links(&mut rng);
         let t = Topology::from_links(n, &links);
-        prop_assert_eq!(t.num_links(), links.len());
+        assert_eq!(t.num_links(), links.len(), "case {case}");
+        assert_eq!(t.total_ports(), 2 * links.len(), "case {case}");
         for u in 0..t.len() {
             for p in 0..t.degree(u) {
                 let (v, q) = t.peer(u, p);
-                prop_assert_eq!(t.peer(v, q), (u, p));
+                assert_eq!(t.peer(v, q), (u, p), "case {case} at ({u},{p})");
             }
         }
     }
+}
 
-    #[test]
-    fn parallel_equals_sequential((n, links) in arb_links(),
-                                  ttl in 1u32..8,
-                                  threads in 1usize..6) {
-        let make = || (0..n).map(|i| Mixer { acc: i as u64, ttl }).collect::<Vec<_>>();
+#[test]
+fn slot_arena_is_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x51_07);
+    for case in 0..64 {
+        let (n, links) = random_links(&mut rng);
+        let t = Topology::from_links(n, &links);
+        let mut seen = vec![false; t.total_ports()];
+        for u in 0..t.len() {
+            let range = t.slot_range(u);
+            assert_eq!(range.len(), t.degree(u), "case {case}");
+            for p in 0..t.degree(u) {
+                let slot = t.slot_of(u, p);
+                assert!(range.contains(&slot), "case {case}");
+                assert!(!seen[slot], "case {case}: slot reused");
+                seen[slot] = true;
+                assert_eq!(t.slot_owner(slot), (u, p), "case {case}");
+                // The reciprocal of the reciprocal is the slot itself.
+                let (v, q) = t.peer(u, p);
+                assert_eq!(t.reciprocal_slot(u, p), t.slot_of(v, q), "case {case}");
+                assert_eq!(t.reciprocal_slot(v, q), slot, "case {case}");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "case {case}: arena has holes");
+    }
+}
+
+#[test]
+fn parallel_equals_sequential() {
+    let mut rng = StdRng::seed_from_u64(0xe9_u64 ^ 0xbeef);
+    for case in 0..64 {
+        let (n, links) = random_links(&mut rng);
+        let ttl = rng.gen_range(1u32..8);
+        let threads = rng.gen_range(1usize..6);
+        let make = || {
+            (0..n)
+                .map(|i| Mixer { acc: i as u64, ttl })
+                .collect::<Vec<_>>()
+        };
         let mut seq = Simulator::new(Topology::from_links(n, &links), make()).with_trace(true);
         let seq_report = seq.run(10 + u64::from(ttl)).unwrap();
         let mut par = ParallelSimulator::new(Topology::from_links(n, &links), make(), threads)
             .with_trace(true);
         let par_report = par.run(10 + u64::from(ttl)).unwrap();
-        prop_assert_eq!(seq_report, par_report);
+        assert_eq!(seq_report, par_report, "case {case} threads {threads}");
         for i in 0..n {
-            prop_assert_eq!(seq.node(i).acc, par.node(i).acc, "node {} state", i);
+            assert_eq!(
+                seq.node(i).acc,
+                par.node(i).acc,
+                "case {case} node {i} state"
+            );
         }
     }
 }

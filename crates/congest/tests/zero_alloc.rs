@@ -1,0 +1,138 @@
+//! Enforces the round engine's steady-state **zero-allocation** guarantee.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! phase (early rounds grow staging-bucket and dirty-list capacity), the
+//! steady-state round loop of both schedulers must perform exactly zero
+//! heap allocations. Run with `--test-threads=1` semantics in mind: the
+//! counter is global, so each test snapshots the counter around its own
+//! measured region and the workloads do not allocate in other threads —
+//! for the parallel test the workers themselves are the measured region.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dcover_congest::{Ctx, ParallelSimulator, Process, Simulator, Status, Topology};
+
+/// System allocator wrapper that counts allocations (and reallocations).
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY-FREE NOTE: implementing `GlobalAlloc` requires `unsafe` by design;
+// this is test-only code, delegating straight to `System`.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: Counting = Counting;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Message-heavy gossip: every node broadcasts every round — the workload
+/// class the engine is optimized for (MWHVC sends on every link).
+struct Flood {
+    acc: u64,
+    rounds: u64,
+}
+
+impl Process for Flood {
+    type Msg = u64;
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+        for item in ctx.inbox() {
+            self.acc = self.acc.wrapping_add(item.msg);
+        }
+        if ctx.round() >= self.rounds {
+            return Status::Halted;
+        }
+        ctx.broadcast(self.acc % 1023 + 1);
+        Status::Running
+    }
+}
+
+fn grid_topology(rows: usize, cols: usize) -> Topology {
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut links = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                links.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                links.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Topology::from_links(rows * cols, &links)
+}
+
+fn flood_nodes(n: usize, rounds: u64) -> Vec<Flood> {
+    (0..n)
+        .map(|i| Flood {
+            acc: i as u64,
+            rounds,
+        })
+        .collect()
+}
+
+#[test]
+fn sequential_steady_state_allocates_nothing() {
+    let topo = grid_topology(20, 20);
+    let n = topo.len();
+    let mut sim = Simulator::new(topo, flood_nodes(n, 200));
+    // Warm-up: let staging buckets and dirty lists reach capacity.
+    for _ in 0..20 {
+        sim.step().unwrap();
+    }
+    let before = allocs();
+    for _ in 0..100 {
+        sim.step().unwrap();
+    }
+    let during = allocs() - before;
+    assert_eq!(
+        during, 0,
+        "sequential round loop allocated {during} times in 100 steady-state rounds"
+    );
+}
+
+#[test]
+fn parallel_steady_state_allocates_nothing() {
+    let topo = grid_topology(20, 20);
+    let n = topo.len();
+    let mut sim = ParallelSimulator::new(topo, flood_nodes(n, 400), 4);
+    for _ in 0..20 {
+        sim.step().unwrap();
+    }
+    let before = allocs();
+    for _ in 0..100 {
+        sim.step().unwrap();
+    }
+    let during = allocs() - before;
+    assert_eq!(
+        during, 0,
+        "parallel round loop allocated {during} times in 100 steady-state rounds"
+    );
+}
+
+#[test]
+fn warmup_allocations_are_bounded() {
+    // Sanity check on the harness itself: construction does allocate.
+    let before = allocs();
+    let topo = grid_topology(10, 10);
+    let n = topo.len();
+    let mut sim = Simulator::new(topo, flood_nodes(n, 50));
+    sim.run(100).unwrap();
+    assert!(allocs() > before, "allocation counter must be live");
+}

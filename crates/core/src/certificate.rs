@@ -69,10 +69,7 @@ impl std::fmt::Display for CertificateError {
                 vertex,
                 sum,
                 threshold,
-            } => write!(
-                f,
-                "cover vertex {vertex} is not tight: {sum} < {threshold}"
-            ),
+            } => write!(f, "cover vertex {vertex} is not tight: {sum} < {threshold}"),
         }
     }
 }

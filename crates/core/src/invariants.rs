@@ -79,7 +79,8 @@ impl InvariantChecker {
 
     fn record(&mut self, iteration: u64, what: String) {
         if self.violations.len() < 64 {
-            self.violations.push(format!("iteration {iteration}: {what}"));
+            self.violations
+                .push(format!("iteration {iteration}: {what}"));
         }
     }
 }
@@ -120,7 +121,10 @@ impl Observer for InvariantChecker {
         // Claim 4: levels stay below z.
         for (vi, &l) in s.levels.iter().enumerate() {
             if l >= self.z && s.active[vi] {
-                self.record(it, format!("active vertex v{vi} reached level {l} ≥ z = {}", self.z));
+                self.record(
+                    it,
+                    format!("active vertex v{vi} reached level {l} ≥ z = {}", self.z),
+                );
             }
         }
 
@@ -140,7 +144,10 @@ impl Observer for InvariantChecker {
                 if sum < lo - w * tol || sum > hi + w * tol {
                     self.record(
                         it,
-                        format!("Eq.(1) violated at {v}: {lo} ≤ {sum} ≤ {hi} fails (level {})", s.levels[vi]),
+                        format!(
+                            "Eq.(1) violated at {v}: {lo} ≤ {sum} ≤ {hi} fails (level {})",
+                            s.levels[vi]
+                        ),
                     );
                 }
             }
@@ -215,8 +222,8 @@ mod tests {
     use crate::observer::Observer;
     use crate::reference::solve_reference;
     use crate::MwhvcConfig;
-    use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
     use dcover_hypergraph::from_edge_lists;
+    use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -68,6 +68,8 @@ pub use error::SolveError;
 pub use invariants::{approximation_holds, InvariantChecker, DEFAULT_TOLERANCE};
 pub use observer::{HistoryObserver, IterationSnapshot, IterationStats, NullObserver, Observer};
 pub use params::{beta, theorem9_alpha, z_levels, AlphaPolicy, MwhvcConfig, Variant};
-pub use protocol::{build_network, iteration_of_round, iterations_of_rounds, MwhvcMsg, MwhvcNode, NodeRole};
+pub use protocol::{
+    build_network, iteration_of_round, iterations_of_rounds, MwhvcMsg, MwhvcNode, NodeRole,
+};
 pub use reference::{solve_reference, ReferenceResult};
 pub use solver::{CoverResult, MwhvcSolver};

@@ -311,7 +311,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 2")]
     fn fixed_alpha_below_two_panics() {
-        AlphaPolicy::Fixed(1).resolve(2, 0.5, 4, 4);
+        let _ = AlphaPolicy::Fixed(1).resolve(2, 0.5, 4, 4);
     }
 
     #[test]

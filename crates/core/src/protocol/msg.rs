@@ -111,7 +111,10 @@ mod tests {
         assert_eq!(MwhvcMsg::Covered.bit_size(), TAG_BITS);
         assert_eq!(MwhvcMsg::Raise.bit_size(), TAG_BITS);
         assert_eq!(MwhvcMsg::Stuck.bit_size(), TAG_BITS);
-        assert_eq!(MwhvcMsg::RaiseApplied { raised: true }.bit_size(), TAG_BITS + 1);
+        assert_eq!(
+            MwhvcMsg::RaiseApplied { raised: true }.bit_size(),
+            TAG_BITS + 1
+        );
     }
 
     #[test]

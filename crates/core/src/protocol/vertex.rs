@@ -9,7 +9,9 @@
 use dcover_congest::{Ctx, Status};
 
 use super::msg::MwhvcMsg;
-use super::{apply_halvings, apply_raise, initial_bid, pow2_neg, should_level_up, Phase, INIT_ROUNDS};
+use super::{
+    apply_halvings, apply_raise, initial_bid, pow2_neg, should_level_up, Phase, INIT_ROUNDS,
+};
 use crate::params::Variant;
 
 /// Final outcome of a vertex.

@@ -15,7 +15,9 @@ use dcover_hypergraph::{Cover, Hypergraph};
 use crate::error::SolveError;
 use crate::observer::{IterationSnapshot, Observer};
 use crate::params::{beta, z_levels, MwhvcConfig, Variant};
-use crate::protocol::{apply_halvings, apply_raise, initial_bid, norm_weight_less, pow2_neg, should_level_up};
+use crate::protocol::{
+    apply_halvings, apply_raise, initial_bid, norm_weight_less, pow2_neg, should_level_up,
+};
 
 /// Result of a reference (centralized) run. Field meanings match
 /// [`CoverResult`](crate::CoverResult) minus the communication report.

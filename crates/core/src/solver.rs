@@ -255,10 +255,7 @@ impl MwhvcSolver {
                 } else {
                     // Replicas are maintained with identical float ops, so
                     // members agree exactly.
-                    debug_assert_eq!(
-                        *slot, d,
-                        "dual replicas disagree on edge {e} (member {v})"
-                    );
+                    debug_assert_eq!(*slot, d, "dual replicas disagree on edge {e} (member {v})");
                 }
             }
         }
@@ -387,7 +384,9 @@ mod tests {
             },
             &mut rng,
         );
-        let cfg = MwhvcConfig::new(0.5).unwrap().with_variant(Variant::HalfBid);
+        let cfg = MwhvcConfig::new(0.5)
+            .unwrap()
+            .with_variant(Variant::HalfBid);
         let r = MwhvcSolver::new(cfg).solve(&g).unwrap();
         assert!(r.cover.is_cover_of(&g));
         assert!(r.ratio_upper_bound() <= 3.5 + 1e-9);

@@ -21,7 +21,6 @@ use crate::ids::{EdgeId, VertexId};
 /// # }
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cover {
     bits: Vec<u64>,
     n: usize,
@@ -122,7 +121,9 @@ impl Cover {
     pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
         let n = self.n;
         self.bits.iter().enumerate().flat_map(move |(wi, &word)| {
-            BitIter { word }.map(move |b| VertexId::new(wi * 64 + b)).filter(move |v| v.index() < n)
+            BitIter { word }
+                .map(move |b| VertexId::new(wi * 64 + b))
+                .filter(move |v| v.index() < n)
         })
     }
 
@@ -172,7 +173,10 @@ impl Cover {
     /// Panics if the cover universe differs from `g.n()` or the set is not a
     /// cover of `g`.
     pub fn prune_redundant(&mut self, g: &Hypergraph) -> usize {
-        assert!(self.is_cover_of(g), "prune_redundant requires a valid cover");
+        assert!(
+            self.is_cover_of(g),
+            "prune_redundant requires a valid cover"
+        );
         let mut order: Vec<VertexId> = self.iter().collect();
         order.sort_by_key(|&v| std::cmp::Reverse(g.weight(v)));
         let mut removed = 0;
@@ -276,8 +280,7 @@ mod tests {
     fn prune_removes_redundant_heaviest_first() {
         // Star: center 0 covers everything; leaves are redundant only if
         // center stays.
-        let g =
-            from_weighted_edge_lists(&[1, 10, 10, 10], &[&[0, 1], &[0, 2], &[0, 3]]).unwrap();
+        let g = from_weighted_edge_lists(&[1, 10, 10, 10], &[&[0, 1], &[0, 2], &[0, 3]]).unwrap();
         let mut c = Cover::full(4);
         let removed = c.prune_redundant(&g);
         assert_eq!(removed, 3);

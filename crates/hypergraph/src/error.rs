@@ -37,10 +37,16 @@ impl fmt::Display for BuildError {
                 "edge {edge} references vertex {vertex} but only {n} vertices exist"
             ),
             BuildError::EmptyEdge { edge } => {
-                write!(f, "edge {edge} is empty; hyperedges must contain at least one vertex")
+                write!(
+                    f,
+                    "edge {edge} is empty; hyperedges must contain at least one vertex"
+                )
             }
             BuildError::ZeroWeight { vertex } => {
-                write!(f, "vertex {vertex} has weight zero; weights must be positive")
+                write!(
+                    f,
+                    "vertex {vertex} has weight zero; weights must be positive"
+                )
             }
         }
     }

@@ -144,8 +144,22 @@ mod tests {
 
     #[test]
     fn reproducible() {
-        let a = coverage_instance(40, 10, 0.3, 3, &WeightDist::unit(), &mut StdRng::seed_from_u64(9));
-        let b = coverage_instance(40, 10, 0.3, 3, &WeightDist::unit(), &mut StdRng::seed_from_u64(9));
+        let a = coverage_instance(
+            40,
+            10,
+            0.3,
+            3,
+            &WeightDist::unit(),
+            &mut StdRng::seed_from_u64(9),
+        );
+        let b = coverage_instance(
+            40,
+            10,
+            0.3,
+            3,
+            &WeightDist::unit(),
+            &mut StdRng::seed_from_u64(9),
+        );
         assert_eq!(a.system, b.system);
     }
 

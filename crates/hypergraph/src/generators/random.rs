@@ -64,7 +64,10 @@ pub fn random_mixed_rank<R: Rng + ?Sized>(
     weights: &WeightDist,
     rng: &mut R,
 ) -> Hypergraph {
-    assert!(n > 0 && min_rank > 0 && min_rank <= max_rank, "invalid rank range");
+    assert!(
+        n > 0 && min_rank > 0 && min_rank <= max_rank,
+        "invalid rank range"
+    );
     let mut b = HypergraphBuilder::with_capacity(n, m);
     for _ in 0..n {
         b.add_vertex(weights.sample(rng));
@@ -122,7 +125,10 @@ pub fn planted_cover<R: Rng + ?Sized>(
         b.add_edge(edge).expect("generated edges are valid");
     }
     let planted_ids = (0..k).map(VertexId::new).collect();
-    (b.build().expect("generated instances are valid"), planted_ids)
+    (
+        b.build().expect("generated instances are valid"),
+        planted_ids,
+    )
 }
 
 /// Generates a rank-`f` hypergraph with a *skewed degree profile*: membership

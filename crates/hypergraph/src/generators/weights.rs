@@ -151,7 +151,7 @@ mod tests {
         };
         for _ in 0..200 {
             let w = d.sample(&mut rng);
-            assert!(w >= 1 && w <= 100);
+            assert!((1..=100).contains(&w));
         }
     }
 

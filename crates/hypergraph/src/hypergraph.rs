@@ -45,7 +45,6 @@ use crate::ids::{EdgeId, IdRange, VertexId};
 /// # }
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hypergraph {
     weights: Vec<u64>,
     /// CSR offsets into `edge_vertices`; length `m + 1`.
@@ -58,33 +57,6 @@ pub struct Hypergraph {
     vertex_edges: Vec<EdgeId>,
     rank: u32,
     max_degree: u32,
-}
-
-#[cfg(feature = "serde")]
-mod serde_ids {
-    use super::{EdgeId, VertexId};
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    impl Serialize for VertexId {
-        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-            self.raw().serialize(s)
-        }
-    }
-    impl<'de> Deserialize<'de> for VertexId {
-        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-            u32::deserialize(d).map(VertexId::from_raw)
-        }
-    }
-    impl Serialize for EdgeId {
-        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-            self.raw().serialize(s)
-        }
-    }
-    impl<'de> Deserialize<'de> for EdgeId {
-        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-            u32::deserialize(d).map(EdgeId::from_raw)
-        }
-    }
 }
 
 impl Hypergraph {

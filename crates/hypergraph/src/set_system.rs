@@ -33,7 +33,6 @@ use crate::HypergraphBuilder;
 /// # }
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SetSystem {
     universe: usize,
     weights: Vec<u64>,
@@ -115,7 +114,10 @@ impl SetSystem {
     /// Maximum element frequency (the `f` parameter of the covering problem).
     #[must_use]
     pub fn max_frequency(&self) -> usize {
-        (0..self.universe).map(|x| self.frequency(x)).max().unwrap_or(0)
+        (0..self.universe)
+            .map(|x| self.frequency(x))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether every element belongs to at least one set (otherwise no set
@@ -157,8 +159,7 @@ impl SetSystem {
     pub fn from_hypergraph(g: &Hypergraph) -> Self {
         let mut s = SetSystem::new(g.m());
         for v in g.vertices() {
-            let elements: Vec<usize> =
-                g.incident_edges(v).iter().map(|e| e.index()).collect();
+            let elements: Vec<usize> = g.incident_edges(v).iter().map(|e| e.index()).collect();
             s.weights.push(g.weight(v));
             s.sets.push(elements.iter().map(|&x| x as u32).collect());
         }
@@ -217,7 +218,10 @@ mod tests {
         assert_eq!(g.n(), 3);
         assert_eq!(g.m(), 4);
         // Element 2 is in sets 0 and 1 -> edge 2 = {v0, v1}.
-        assert_eq!(g.edge(EdgeId::new(2)), &[VertexId::new(0), VertexId::new(1)]);
+        assert_eq!(
+            g.edge(EdgeId::new(2)),
+            &[VertexId::new(0), VertexId::new(1)]
+        );
         assert_eq!(g.rank() as usize, s.max_frequency());
         // Degree of vertex i = |set i|.
         for i in 0..3 {

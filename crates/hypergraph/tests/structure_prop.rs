@@ -1,90 +1,108 @@
 //! Property tests for the hypergraph substrate: CSR consistency, cover
-//! semantics, set-system round trips.
+//! semantics, set-system round trips. Runs seeded random instances (the
+//! offline equivalent of the previous proptest strategies).
 
 use dcover_hypergraph::{format, Cover, Hypergraph, HypergraphBuilder, SetSystem, VertexId};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
-    (1usize..=20)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(1u64..=1000, n),
-                proptest::collection::vec(
-                    proptest::collection::vec(0usize..n, 1..=6),
-                    0..=30,
-                ),
-            )
-        })
-        .prop_map(|(weights, edges)| {
-            let mut b = HypergraphBuilder::new();
-            for w in weights {
-                b.add_vertex(w);
-            }
-            for e in edges {
-                b.add_edge(e.into_iter().map(VertexId::new)).unwrap();
-            }
-            b.build().unwrap()
-        })
+/// A random hypergraph with n ∈ [1, 20] vertices, up to 30 edges of size
+/// ≤ 6, and weights in [1, 1000].
+fn random_hypergraph(rng: &mut StdRng) -> Hypergraph {
+    let n = rng.gen_range(1usize..=20);
+    let mut b = HypergraphBuilder::new();
+    for _ in 0..n {
+        b.add_vertex(rng.gen_range(1u64..=1000));
+    }
+    let m = rng.gen_range(0usize..=30);
+    for _ in 0..m {
+        let size = rng.gen_range(1usize..=6);
+        let members: Vec<VertexId> = (0..size)
+            .map(|_| VertexId::new(rng.gen_range(0usize..n)))
+            .collect();
+        b.add_edge(members).expect("indices in range");
+    }
+    b.build().expect("valid instance")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn csr_directions_agree(g in arb_hypergraph()) {
+#[test]
+fn csr_directions_agree() {
+    let mut rng = StdRng::seed_from_u64(0x5e7_5e7);
+    for case in 0..128 {
+        let g = random_hypergraph(&mut rng);
         for v in g.vertices() {
             for &e in g.incident_edges(v) {
-                prop_assert!(g.edge(e).contains(&v));
+                assert!(g.edge(e).contains(&v), "case {case}");
             }
         }
         for e in g.edges() {
             for &v in g.edge(e) {
-                prop_assert!(g.incident_edges(v).contains(&e));
+                assert!(g.incident_edges(v).contains(&e), "case {case}");
             }
             // Edges are deduplicated sets.
             let mut members = g.edge(e).to_vec();
             let before = members.len();
             members.sort();
             members.dedup();
-            prop_assert_eq!(members.len(), before);
+            assert_eq!(members.len(), before, "case {case}");
         }
         let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
         let size_sum: usize = g.edges().map(|e| g.edge_size(e)).sum();
-        prop_assert_eq!(degree_sum, size_sum);
-        prop_assert_eq!(degree_sum, g.incidence_size());
-        prop_assert_eq!(g.rank() as usize, g.edges().map(|e| g.edge_size(e)).max().unwrap_or(0));
-        prop_assert_eq!(g.max_degree() as usize, g.vertices().map(|v| g.degree(v)).max().unwrap_or(0));
+        assert_eq!(degree_sum, size_sum, "case {case}");
+        assert_eq!(degree_sum, g.incidence_size(), "case {case}");
+        assert_eq!(
+            g.rank() as usize,
+            g.edges().map(|e| g.edge_size(e)).max().unwrap_or(0),
+            "case {case}"
+        );
+        assert_eq!(
+            g.max_degree() as usize,
+            g.vertices().map(|v| g.degree(v)).max().unwrap_or(0),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn full_cover_always_covers_and_empty_never(g in arb_hypergraph()) {
-        prop_assert!(Cover::full(g.n()).is_cover_of(&g));
+#[test]
+fn full_cover_always_covers_and_empty_never() {
+    let mut rng = StdRng::seed_from_u64(0xc0_4e2);
+    for case in 0..128 {
+        let g = random_hypergraph(&mut rng);
+        assert!(Cover::full(g.n()).is_cover_of(&g), "case {case}");
         if g.m() > 0 {
-            prop_assert!(!Cover::empty(g.n()).is_cover_of(&g));
-            prop_assert_eq!(Cover::empty(g.n()).uncovered_edges(&g).len(), g.m());
+            assert!(!Cover::empty(g.n()).is_cover_of(&g), "case {case}");
+            assert_eq!(
+                Cover::empty(g.n()).uncovered_edges(&g).len(),
+                g.m(),
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn set_system_roundtrip(g in arb_hypergraph()) {
+#[test]
+fn set_system_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x10_ad);
+    for case in 0..128 {
+        let g = random_hypergraph(&mut rng);
         let s = SetSystem::from_hypergraph(&g);
-        prop_assert_eq!(s.max_frequency(), g.rank() as usize);
+        assert_eq!(s.max_frequency(), g.rank() as usize, "case {case}");
         if g.m() > 0 && s.is_coverable() {
             // The round trip preserves the instance up to member order
             // within each hyperedge (the inversion emits ascending ids).
             let g2 = s.to_hypergraph().unwrap();
-            prop_assert_eq!(g.n(), g2.n());
-            prop_assert_eq!(g.m(), g2.m());
-            prop_assert_eq!(g.weights(), g2.weights());
+            assert_eq!(g.n(), g2.n(), "case {case}");
+            assert_eq!(g.m(), g2.m(), "case {case}");
+            assert_eq!(g.weights(), g2.weights(), "case {case}");
             for e in g.edges() {
                 let mut a = g.edge(e).to_vec();
                 let mut b = g2.edge(e).to_vec();
                 a.sort();
                 b.sort();
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b, "case {case}");
             }
         }
         let text = format::serialize(&g);
-        prop_assert_eq!(format::parse(&text).unwrap(), g);
+        assert_eq!(format::parse(&text).unwrap(), g, "case {case}");
     }
 }

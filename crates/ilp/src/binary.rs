@@ -38,13 +38,13 @@ impl BinaryExpansion {
     #[must_use]
     pub fn lift(&self, bits: &[u64]) -> Vec<u64> {
         let b = self.bits_per_var as usize;
-        assert_eq!(bits.len(), self.n_orig * b, "bit assignment length mismatch");
+        assert_eq!(
+            bits.len(),
+            self.n_orig * b,
+            "bit assignment length mismatch"
+        );
         (0..self.n_orig)
-            .map(|j| {
-                (0..b)
-                    .map(|l| bits[j * b + l].min(1) << l)
-                    .sum()
-            })
+            .map(|j| (0..b).map(|l| bits[j * b + l].min(1) << l).sum())
             .collect()
     }
 }

@@ -27,7 +27,8 @@ pub struct IlpExact {
 #[must_use]
 pub fn solve_ilp_exact(ilp: &CoveringIlp, node_budget: u64) -> IlpExact {
     assert!(node_budget > 0, "need a positive node budget");
-    ilp.check_feasible().expect("exact solver requires a feasible program");
+    ilp.check_feasible()
+        .expect("exact solver requires a feasible program");
     let n = ilp.num_variables();
     let m = ilp.num_constraints();
 
@@ -35,12 +36,12 @@ pub fn solve_ilp_exact(ilp: &CoveringIlp, node_budget: u64) -> IlpExact {
     let mut var_box = vec![0u64; n];
     let mut rows: Vec<(Vec<(usize, u64)>, u64)> = Vec::with_capacity(m);
     let mut last_var = vec![0usize; m];
-    for i in 0..m {
+    for (i, last) in last_var.iter_mut().enumerate() {
         let (terms, b) = ilp.constraint(i);
         for &(j, c) in &terms {
             var_box[j] = var_box[j].max(b.div_ceil(c));
         }
-        last_var[i] = terms.iter().map(|&(j, _)| j).max().unwrap_or(0);
+        *last = terms.iter().map(|&(j, _)| j).max().unwrap_or(0);
         rows.push((terms, b));
     }
     // Start from the box assignment (feasible) as the incumbent.
@@ -211,7 +212,8 @@ mod tests {
         let mut b = IlpBuilder::new();
         let vars: Vec<usize> = (0..8).map(|_| b.add_variable(1)).collect();
         for i in 0..7 {
-            b.add_constraint([(vars[i], 1), (vars[i + 1], 1)], 3).unwrap();
+            b.add_constraint([(vars[i], 1), (vars[i + 1], 1)], 3)
+                .unwrap();
         }
         let ilp = b.build();
         let r = solve_ilp_exact(&ilp, 2);

@@ -224,10 +224,7 @@ impl CoveringIlp {
     #[must_use]
     pub fn cost(&self, x: &[u64]) -> u64 {
         assert_eq!(x.len(), self.num_variables(), "assignment length mismatch");
-        x.iter()
-            .zip(&self.weights)
-            .map(|(&xi, &wi)| xi * wi)
-            .sum()
+        x.iter().zip(&self.weights).map(|(&xi, &wi)| xi * wi).sum()
     }
 
     /// Checks that the box assignment `x ≡ M` satisfies everything — i.e.

@@ -124,7 +124,7 @@ impl IlpSolver {
         let log_n = (usize::BITS - ilp.num_variables().max(2).leading_zeros()) as u64;
         let factor_num = log_n + u64::from(ilp.row_support());
         let claim15_rounds = mwhvc.report.rounds * factor_num / log_n.max(1)
-            + u64::from(mwhvc.report.rounds * factor_num % log_n.max(1) != 0);
+            + u64::from(!(mwhvc.report.rounds * factor_num).is_multiple_of(log_n.max(1)));
 
         Ok(IlpOutcome {
             assignment,

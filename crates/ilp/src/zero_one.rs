@@ -105,10 +105,10 @@ pub fn reduce_zero_one(
             }
             enumerated += 1;
             // Keep only minimal masks (no kept mask is a subset of it).
-            if minimal_complements
-                .iter()
-                .any(|&kept| kept & mask == kept)
-            {
+            // `kept & mask == kept` tests subset-ness, not equality, so
+            // clippy's `contains` suggestion would change the meaning.
+            #[allow(clippy::manual_contains)]
+            if minimal_complements.iter().any(|&kept| kept & mask == kept) {
                 continue;
             }
             minimal_complements.retain(|&kept| kept & mask != mask);
@@ -197,10 +197,7 @@ mod tests {
         let r = reduce_zero_one(&ilp, 24).unwrap();
         for mask in 0u32..16 {
             let x: Vec<u64> = (0..4).map(|j| u64::from(mask >> j & 1)).collect();
-            let cover = Cover::from_ids(
-                4,
-                (0..4).filter(|&j| x[j] == 1).map(VertexId::new),
-            );
+            let cover = Cover::from_ids(4, (0..4).filter(|&j| x[j] == 1).map(VertexId::new));
             assert_eq!(
                 ilp.is_feasible(&x),
                 cover.is_cover_of(&r.hypergraph),

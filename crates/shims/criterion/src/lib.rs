@@ -1,0 +1,314 @@
+//! Offline drop-in replacement for the subset of the [`criterion`] benchmark
+//! API this workspace uses.
+//!
+//! The build environment has no crates.io access, so bench targets link this
+//! shim instead. It keeps the familiar surface — [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — and implements a small but honest measurement
+//! loop: warm-up, fixed sample count, and median/mean/min reporting.
+//!
+//! Set `CRITERION_SHIM_JSON=/path/file.json` to additionally append one JSON
+//! object per benchmark (id, iterations, mean/median/min/max nanoseconds) so
+//! scripts can consume machine-readable results.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting the
+/// computation whose result flows through it.
+///
+/// Safe-code implementation (the crate forbids `unsafe`): a volatile-free
+/// best effort via `std::hint::black_box`, which is exactly what criterion
+/// 0.5 uses on recent toolchains.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus parameter label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.parameter.is_empty() {
+            write!(f, "{}", self.name)
+        } else {
+            write!(f, "{}/{}", self.name, self.parameter)
+        }
+    }
+}
+
+/// Timing harness passed to the closure of `bench_function` /
+/// `bench_with_input`.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+    sample_count: usize,
+    warm_up: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`, running warm-up first, then `sample_count`
+    /// timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Choose iterations per sample so one sample takes ≥ ~2ms.
+        let probe = Instant::now();
+        black_box(routine());
+        let one = probe.elapsed().max(Duration::from_nanos(50));
+        let per_sample = (2_000_000u128 / one.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = per_sample;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let el = t.elapsed().as_nanos() as f64 / per_sample as f64;
+            self.samples.push(el);
+        }
+    }
+}
+
+/// Summary statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Iterations timed per sample.
+    pub iters_per_sample: u64,
+}
+
+fn summarize(samples: &mut [f64], iters: u64) -> Summary {
+    assert!(!samples.is_empty(), "benchmark produced no samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Summary {
+        mean_ns: mean,
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        max_ns: samples[samples.len() - 1],
+        iters_per_sample: iters,
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver: collects measurements and prints (and optionally
+/// JSON-logs) a summary per benchmark.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    json_path: Option<String>,
+}
+
+impl Criterion {
+    /// Creates a driver, honouring the `CRITERION_SHIM_JSON` env var.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            json_path: std::env::var("CRITERION_SHIM_JSON").ok(),
+        }
+    }
+
+    /// Configures this driver from command-line arguments (compatibility
+    /// constructor used by `criterion_main!`; arguments are ignored).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = id.to_string();
+        self.run_one(&full, 20, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, f: F)
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 0,
+            sample_count: sample_size,
+            warm_up: Duration::from_millis(300),
+        };
+        f(&mut bencher);
+        if bencher.samples.is_empty() {
+            eprintln!("{id}: no measurement (closure never called iter)");
+            return;
+        }
+        let iters = bencher.iters_per_sample;
+        let s = summarize(&mut bencher.samples, iters);
+        println!(
+            "{id}: median {} (mean {}, min {}, max {}, {} iters/sample × {} samples)",
+            human(s.median_ns),
+            human(s.mean_ns),
+            human(s.min_ns),
+            human(s.max_ns),
+            s.iters_per_sample,
+            sample_size,
+        );
+        if let Some(path) = &self.json_path {
+            let line = format!(
+                "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"iters_per_sample\":{}}}\n",
+                id.replace('"', "'"),
+                s.mean_ns,
+                s.median_ns,
+                s.min_ns,
+                s.max_ns,
+                s.iters_per_sample,
+            );
+            if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+                let _ = file.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("solve", "n10").to_string(), "solve/n10");
+    }
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn summary_orders_samples() {
+        let mut samples = vec![3.0, 1.0, 2.0];
+        let s = summarize(&mut samples, 1);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.median_ns, 2.0);
+        assert_eq!(s.max_ns, 3.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Offline drop-in replacement for the subset of the [`rand`] crate API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this shim as a path dependency named `rand`. It implements exactly the
+//! surface the repository consumes — [`rngs::StdRng`], [`SeedableRng`],
+//! [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`], and
+//! [`seq::SliceRandom`] — over a xoshiro256++ generator. Streams are
+//! deterministic per seed but are **not** the same streams as the real
+//! `rand` crate; everything in this workspace only relies on seeds being
+//! reproducible, not on matching upstream sequences.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level uniform random source.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (fixed-size byte array for [`rngs::StdRng`]).
+    type Seed;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` via SplitMix64 key expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types drawable uniformly from an `Rng` via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Rejection-free-in-expectation bounded draw (Lemire-style widening
+/// multiply with rejection to remove modulo bias).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            if low < threshold {
+                continue;
+            }
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + bounded_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(usize, u64, u32, u16, u8);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::draw(rng) * (self.end - self.start)
+    }
+}
+
+/// User-facing random value methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of an implementing type (`bool`, `f64`, `u32`, `u64`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::draw(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Matches the real `rand::rngs::StdRng` contract (seedable,
+    /// reproducible, `Clone`/`Send`) but not its output stream.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s == [0; 4] {
+                // The all-zero state is a fixed point; nudge it.
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+}
+
+/// Random slice operations.
+pub mod seq {
+    use super::{bounded_u64, RngCore};
+
+    /// Shuffling and random selection on slices.
+    pub trait SliceRandom {
+        /// Slice element type.
+        type Item;
+
+        /// Fisher–Yates shuffles the whole slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Shuffles the first `amount` elements into place (partial
+        /// Fisher–Yates) and returns `(shuffled_prefix, rest)`.
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+
+        /// Returns one uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            let n = self.len();
+            self.partial_shuffle(rng, n);
+        }
+
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let len = self.len();
+            let amount = amount.min(len);
+            for i in 0..amount {
+                let remaining = (len - i) as u64;
+                let j = i + bounded_u64(rng, remaining) as usize;
+                self.swap(i, j);
+            }
+            self.split_at_mut(amount)
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[bounded_u64(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(5u64..=5);
+            assert_eq!(y, 5);
+            let z = rng.gen_range(1u32..=6);
+            assert!((1..=6).contains(&z));
+            let f = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn partial_shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..20).collect();
+        let (picked, rest) = v.partial_shuffle(&mut rng, 5);
+        assert_eq!(picked.len(), 5);
+        assert_eq!(rest.len(), 15);
+        let mut all: Vec<u32> = v.clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_bool_probabilities() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn works_through_dyn_like_generics() {
+        fn take<R: super::RngCore + ?Sized>(rng: &mut R) -> u64 {
+            use super::Rng;
+            rng.gen_range(0u64..100)
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(take(&mut rng) < 100);
+    }
+}

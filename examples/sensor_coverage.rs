@@ -18,7 +18,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2024);
     // 400 demand points, 60 candidate stations with install costs 1..=20,
     // radius 0.18; each point may be claimed by at most 3 stations (f = 3).
-    let inst = coverage_instance(400, 60, 0.18, 3, &WeightDist::Uniform { min: 1, max: 20 }, &mut rng);
+    let inst = coverage_instance(
+        400,
+        60,
+        0.18,
+        3,
+        &WeightDist::Uniform { min: 1, max: 20 },
+        &mut rng,
+    );
     let system = &inst.system;
     let g = system.to_hypergraph()?;
 

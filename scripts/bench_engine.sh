@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Runs the round-engine throughput benchmark and writes BENCH_engine.json
+# (rounds/sec, messages/sec for the arena engine vs the old per-round-scope
+# design) at the repository root. Usage: scripts/bench_engine.sh [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_engine.json}"
+BENCH_ENGINE_JSON="$(pwd)/$OUT" cargo bench -p dcover-bench --bench engine
+echo "--- $OUT ---"
+cat "$OUT"

@@ -14,8 +14,12 @@ use rand::SeedableRng;
 fn configs() -> Vec<MwhvcConfig> {
     vec![
         MwhvcConfig::new(1.0).unwrap(),
-        MwhvcConfig::new(0.5).unwrap().with_variant(Variant::HalfBid),
-        MwhvcConfig::new(0.25).unwrap().with_alpha(AlphaPolicy::Fixed(4)),
+        MwhvcConfig::new(0.5)
+            .unwrap()
+            .with_variant(Variant::HalfBid),
+        MwhvcConfig::new(0.25)
+            .unwrap()
+            .with_alpha(AlphaPolicy::Fixed(4)),
         MwhvcConfig::new(0.1)
             .unwrap()
             .with_alpha(AlphaPolicy::LocalTheorem9 { gamma: 0.001 }),
@@ -32,7 +36,10 @@ fn distributed_equals_reference_everywhere() {
                 n: 60,
                 m: 140,
                 rank: 3 + i % 3,
-                weights: WeightDist::Uniform { min: 1, max: 1 << (2 * i as u32 + 1) },
+                weights: WeightDist::Uniform {
+                    min: 1,
+                    max: 1 << (2 * i as u32 + 1),
+                },
             },
             &mut rng,
         );
@@ -49,7 +56,14 @@ fn distributed_equals_reference_everywhere() {
 #[test]
 fn parallel_scheduler_is_bit_identical() {
     let mut rng = StdRng::seed_from_u64(11);
-    let g = random_mixed_rank(70, 160, 2, 5, &WeightDist::Uniform { min: 1, max: 99 }, &mut rng);
+    let g = random_mixed_rank(
+        70,
+        160,
+        2,
+        5,
+        &WeightDist::Uniform { min: 1, max: 99 },
+        &mut rng,
+    );
     let solver = MwhvcSolver::with_epsilon(0.4).unwrap();
     let seq = solver.solve(&g).unwrap();
     for threads in [1usize, 2, 4, 9] {
@@ -61,7 +75,10 @@ fn parallel_scheduler_is_bit_identical() {
             par.report.total_messages, seq.report.total_messages,
             "threads={threads}"
         );
-        assert_eq!(par.report.total_bits, seq.report.total_bits, "threads={threads}");
+        assert_eq!(
+            par.report.total_bits, seq.report.total_bits,
+            "threads={threads}"
+        );
         assert_eq!(
             par.report.max_link_bits, seq.report.max_link_bits,
             "threads={threads}"
@@ -84,5 +101,8 @@ fn mixed_rank_and_duplicate_edges() {
     let dist = MwhvcSolver::new(cfg.clone()).solve(&g).unwrap();
     let refr = solve_reference(&g, &cfg, &mut NullObserver).unwrap();
     assert_eq!(dist.cover, refr.cover);
-    assert!(dist.cover.contains(VertexId::new(0)), "singleton edge forces v0");
+    assert!(
+        dist.cover.contains(VertexId::new(0)),
+        "singleton edge forces v0"
+    );
 }

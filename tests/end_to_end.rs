@@ -16,7 +16,12 @@ use rand::SeedableRng;
 #[test]
 fn full_pipeline_on_random_instances() {
     let mut rng = StdRng::seed_from_u64(1);
-    for (f, eps, wmax) in [(2u32, 1.0, 1u64), (3, 0.5, 100), (4, 0.25, 10_000), (6, 0.1, 7)] {
+    for (f, eps, wmax) in [
+        (2u32, 1.0, 1u64),
+        (3, 0.5, 100),
+        (4, 0.25, 10_000),
+        (6, 0.1, 7),
+    ] {
         let g = random_uniform(
             &RandomUniform {
                 n: 80,
@@ -60,7 +65,14 @@ fn structured_families() {
 #[test]
 fn set_cover_workflow() {
     let mut rng = StdRng::seed_from_u64(2);
-    let inst = coverage_instance(150, 40, 0.2, 4, &WeightDist::Uniform { min: 1, max: 9 }, &mut rng);
+    let inst = coverage_instance(
+        150,
+        40,
+        0.2,
+        4,
+        &WeightDist::Uniform { min: 1, max: 9 },
+        &mut rng,
+    );
     let g = inst.system.to_hypergraph().unwrap();
     let r = MwhvcSolver::with_epsilon(0.5).unwrap().solve(&g).unwrap();
     let chosen = SetSystem::chosen_sets(&r.cover);

@@ -1,98 +1,115 @@
-//! Property-based tests for the Section 5 reductions: the zero-one
-//! reduction and binary expansion preserve feasibility and cost exactly,
-//! and the end-to-end distributed ILP solver stays within its certified
-//! guarantee against exact optima.
+//! Property-based tests (seeded random) for the Section 5 reductions: the
+//! zero-one reduction and binary expansion preserve feasibility and cost
+//! exactly, and the end-to-end distributed ILP solver stays within its
+//! certified guarantee against exact optima.
 
 use distributed_covering::core::MwhvcConfig;
 use distributed_covering::hypergraph::{Cover, VertexId};
 use distributed_covering::ilp::{
     expand_binary, reduce_zero_one, solve_ilp_exact, CoveringIlp, IlpBuilder, IlpSolver,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a small random covering ILP with ≤ 7 variables, ≤ 8
-/// constraints, row support ≤ 3, coefficients ≤ 4, b ≤ 8 (clamped for
-/// zero-one feasibility when asked).
-fn arb_ilp(zero_one: bool) -> impl Strategy<Value = CoveringIlp> {
-    (1usize..=7)
-        .prop_flat_map(move |n| {
-            (
-                proptest::collection::vec(1u64..=9, n),
-                proptest::collection::vec(
-                    (
-                        proptest::collection::vec((0usize..n, 1u64..=4), 1..=3),
-                        1u64..=8,
-                    ),
-                    0..=8,
-                ),
-            )
-        })
-        .prop_map(move |(weights, rows)| {
-            let mut b = IlpBuilder::new();
-            for w in weights {
-                b.add_variable(w);
-            }
-            for (terms, bi) in rows {
-                let sum: u64 = terms.iter().map(|&(_, c)| c).sum();
-                let bi = if zero_one { bi.min(sum) } else { bi };
-                b.add_constraint(terms, bi).expect("in range");
-            }
-            b.build()
-        })
+/// A small random covering ILP with ≤ 7 variables, ≤ 8 constraints, row
+/// support ≤ 3, coefficients ≤ 4, b ≤ 8 (clamped for zero-one feasibility
+/// when asked).
+fn random_ilp_instance(rng: &mut StdRng, zero_one: bool) -> CoveringIlp {
+    let n = rng.gen_range(1usize..=7);
+    let mut b = IlpBuilder::new();
+    for _ in 0..n {
+        b.add_variable(rng.gen_range(1u64..=9));
+    }
+    for _ in 0..rng.gen_range(0usize..=8) {
+        let support = rng.gen_range(1usize..=3);
+        let terms: Vec<(usize, u64)> = (0..support)
+            .map(|_| (rng.gen_range(0usize..n), rng.gen_range(1u64..=4)))
+            .collect();
+        let sum: u64 = terms.iter().map(|&(_, c)| c).sum();
+        let mut bi = rng.gen_range(1u64..=8);
+        if zero_one {
+            bi = bi.min(sum);
+        }
+        b.add_constraint(terms, bi).expect("in range");
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Lemma 14, exhaustively: for every 0/1 assignment, ILP feasibility ⇔
-    /// the support is a vertex cover of the reduced hypergraph.
-    #[test]
-    fn lemma14_equivalence(ilp in arb_ilp(true)) {
+/// Lemma 14, exhaustively: for every 0/1 assignment, ILP feasibility ⇔
+/// the support is a vertex cover of the reduced hypergraph.
+#[test]
+fn lemma14_equivalence() {
+    let mut rng = StdRng::seed_from_u64(0x11_22);
+    for case in 0..40 {
+        let ilp = random_ilp_instance(&mut rng, true);
         let n = ilp.num_variables();
         let red = reduce_zero_one(&ilp, 24).unwrap();
         for mask in 0u32..(1u32 << n) {
             let x: Vec<u64> = (0..n).map(|j| u64::from(mask >> j & 1)).collect();
             let cover = Cover::from_ids(n, (0..n).filter(|&j| x[j] == 1).map(VertexId::new));
-            prop_assert_eq!(
+            assert_eq!(
                 ilp.is_feasible(&x),
                 cover.is_cover_of(&red.hypergraph),
-                "mask {:b}", mask
+                "case {case} mask {mask:b}"
             );
         }
     }
+}
 
-    /// Claim 18, exhaustively on small bit spaces: expanded feasibility and
-    /// cost match the lifted original.
-    #[test]
-    fn claim18_equivalence(ilp in arb_ilp(false)) {
-        prop_assume!(ilp.check_feasible().is_ok());
+/// Claim 18, exhaustively on small bit spaces: expanded feasibility and
+/// cost match the lifted original.
+#[test]
+fn claim18_equivalence() {
+    let mut rng = StdRng::seed_from_u64(0x33_44);
+    let mut checked = 0;
+    while checked < 40 {
+        let ilp = random_ilp_instance(&mut rng, false);
+        if ilp.check_feasible().is_err() {
+            continue;
+        }
         let exp = expand_binary(&ilp).unwrap();
         let nb = exp.zero_one.num_variables();
-        prop_assume!(nb <= 14); // 2^14 assignments max
+        if nb > 14 {
+            // 2^14 assignments max per case.
+            continue;
+        }
+        checked += 1;
         for mask in 0u32..(1u32 << nb) {
             let bits: Vec<u64> = (0..nb).map(|t| u64::from(mask >> t & 1)).collect();
             let x = exp.lift(&bits);
-            prop_assert_eq!(exp.zero_one.is_feasible(&bits), ilp.is_feasible(&x));
-            prop_assert_eq!(exp.zero_one.cost(&bits), ilp.cost(&x));
+            assert_eq!(exp.zero_one.is_feasible(&bits), ilp.is_feasible(&x));
+            assert_eq!(exp.zero_one.cost(&bits), ilp.cost(&x));
         }
     }
+}
 
-    /// End to end: the distributed solution is feasible and within the
-    /// certified ratio of the exact optimum.
-    #[test]
-    fn solver_within_certificate(ilp in arb_ilp(false)) {
-        prop_assume!(ilp.check_feasible().is_ok());
-        let out = IlpSolver::new(MwhvcConfig::new(0.5).unwrap()).solve(&ilp).unwrap();
-        prop_assert!(ilp.is_feasible(&out.assignment));
+/// End to end: the distributed solution is feasible and within the
+/// certified ratio of the exact optimum.
+#[test]
+fn solver_within_certificate() {
+    let mut rng = StdRng::seed_from_u64(0x55_66);
+    let mut checked = 0;
+    while checked < 40 {
+        let ilp = random_ilp_instance(&mut rng, false);
+        if ilp.check_feasible().is_err() {
+            continue;
+        }
+        checked += 1;
+        let out = IlpSolver::new(MwhvcConfig::new(0.5).unwrap())
+            .solve(&ilp)
+            .unwrap();
+        assert!(ilp.is_feasible(&out.assignment));
         let exact = solve_ilp_exact(&ilp, 2_000_000);
-        prop_assume!(exact.optimal);
-        prop_assert!(exact.cost <= out.cost);
+        if !exact.optimal {
+            continue;
+        }
+        assert!(exact.cost <= out.cost);
         // The dual certificate bounds the true ratio.
         if exact.cost > 0 {
             let true_ratio = out.cost as f64 / exact.cost as f64;
-            prop_assert!(true_ratio <= out.certified_ratio() + 1e-9);
+            assert!(true_ratio <= out.certified_ratio() + 1e-9);
             let rank_bound = f64::from(out.zo_stats.rank.max(1)) + 0.5;
-            prop_assert!(out.certified_ratio() <= rank_bound + 1e-9);
+            assert!(out.certified_ratio() <= rank_bound + 1e-9);
         }
     }
 }

@@ -1,99 +1,128 @@
-//! Property-based tests (proptest): on arbitrary random hypergraphs and
-//! parameters, every paper invariant holds at every iteration, the output
-//! is a feasible (f+ε)-approximate cover, and the distributed run matches
-//! the reference exactly.
+//! Property-based tests (seeded random): on arbitrary random hypergraphs
+//! and parameters, every paper invariant holds at every iteration, the
+//! output is a feasible (f+ε)-approximate cover, and the distributed run
+//! matches the reference exactly.
 
 use distributed_covering::core::{
-    approximation_holds, solve_reference, InvariantChecker, MwhvcConfig, MwhvcSolver,
-    NullObserver, Variant, DEFAULT_TOLERANCE,
+    approximation_holds, solve_reference, InvariantChecker, MwhvcConfig, MwhvcSolver, NullObserver,
+    Variant, DEFAULT_TOLERANCE,
 };
 use distributed_covering::hypergraph::{Cover, Hypergraph, HypergraphBuilder, VertexId};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: an arbitrary hypergraph with n ∈ [1, 24] vertices, up to 40
-/// edges of size ≤ 5, and weights in [1, 2^16].
-fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
-    (1usize..=24)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(1u64..=65_536, n),
-                proptest::collection::vec(
-                    proptest::collection::vec(0usize..n, 1..=5),
-                    0..=40,
-                ),
-            )
-        })
-        .prop_map(|(weights, raw_edges)| {
-            let mut b = HypergraphBuilder::new();
-            for w in weights {
-                b.add_vertex(w);
-            }
-            for edge in raw_edges {
-                // Duplicates within an edge are deduplicated by the builder.
-                b.add_edge(edge.into_iter().map(VertexId::new))
-                    .expect("indices are in range");
-            }
-            b.build().expect("valid instance")
-        })
+/// An arbitrary hypergraph with n ∈ [1, 24] vertices, up to 40 edges of
+/// size ≤ 5, and weights in [1, 2^16].
+fn random_hypergraph(rng: &mut StdRng) -> Hypergraph {
+    let n = rng.gen_range(1usize..=24);
+    let mut b = HypergraphBuilder::new();
+    for _ in 0..n {
+        b.add_vertex(rng.gen_range(1u64..=65_536));
+    }
+    for _ in 0..rng.gen_range(0usize..=40) {
+        let size = rng.gen_range(1usize..=5);
+        // Duplicates within an edge are deduplicated by the builder.
+        b.add_edge((0..size).map(|_| VertexId::new(rng.gen_range(0usize..n))))
+            .expect("indices are in range");
+    }
+    b.build().expect("valid instance")
 }
 
-fn arb_epsilon() -> impl Strategy<Value = f64> {
-    prop_oneof![Just(1.0), Just(0.5), Just(0.25), Just(0.1), Just(0.01)]
+const EPSILONS: [f64; 5] = [1.0, 0.5, 0.25, 0.1, 0.01];
+
+fn random_epsilon(rng: &mut StdRng) -> f64 {
+    EPSILONS[rng.gen_range(0usize..EPSILONS.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn cover_is_feasible_and_within_guarantee(g in arb_hypergraph(), eps in arb_epsilon()) {
+#[test]
+fn cover_is_feasible_and_within_guarantee() {
+    let mut rng = StdRng::seed_from_u64(0x1a_4b);
+    for case in 0..48 {
+        let g = random_hypergraph(&mut rng);
+        let eps = random_epsilon(&mut rng);
         let r = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).unwrap();
-        prop_assert!(g.m() == 0 || r.cover.is_cover_of(&g));
-        prop_assert!(approximation_holds(&g, r.weight, r.dual_total, eps, DEFAULT_TOLERANCE));
+        assert!(g.m() == 0 || r.cover.is_cover_of(&g), "case {case}");
+        assert!(
+            approximation_holds(&g, r.weight, r.dual_total, eps, DEFAULT_TOLERANCE),
+            "case {case} eps {eps}"
+        );
         // Duals are a feasible edge packing.
         for v in g.vertices() {
-            let sum: f64 = g.incident_edges(v).iter().map(|&e| r.duals[e.index()]).sum();
-            prop_assert!(sum <= g.weight(v) as f64 * (1.0 + DEFAULT_TOLERANCE));
+            let sum: f64 = g
+                .incident_edges(v)
+                .iter()
+                .map(|&e| r.duals[e.index()])
+                .sum();
+            assert!(
+                sum <= g.weight(v) as f64 * (1.0 + DEFAULT_TOLERANCE),
+                "case {case} vertex {v}"
+            );
         }
     }
+}
 
-    #[test]
-    fn every_iteration_invariant_holds(g in arb_hypergraph(), eps in arb_epsilon(),
-                                       halfbid in proptest::bool::ANY) {
-        let variant = if halfbid { Variant::HalfBid } else { Variant::Standard };
+#[test]
+fn every_iteration_invariant_holds() {
+    let mut rng = StdRng::seed_from_u64(0x2b_5c);
+    for case in 0..48 {
+        let g = random_hypergraph(&mut rng);
+        let eps = random_epsilon(&mut rng);
+        let variant = if rng.gen::<bool>() {
+            Variant::HalfBid
+        } else {
+            Variant::Standard
+        };
         let cfg = MwhvcConfig::new(eps).unwrap().with_variant(variant);
         let mut checker = InvariantChecker::new(&g, &cfg);
         let _ = solve_reference(&g, &cfg, &mut checker).unwrap();
-        prop_assert!(
+        assert!(
             checker.violations().is_empty(),
-            "violations: {:?}",
+            "case {case}: violations: {:?}",
             checker.violations()
         );
     }
+}
 
-    #[test]
-    fn distributed_matches_reference(g in arb_hypergraph(), eps in arb_epsilon()) {
+#[test]
+fn distributed_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0x3c_6d);
+    for case in 0..48 {
+        let g = random_hypergraph(&mut rng);
+        let eps = random_epsilon(&mut rng);
         let cfg = MwhvcConfig::new(eps).unwrap();
         let dist = MwhvcSolver::new(cfg.clone()).solve(&g).unwrap();
         let refr = solve_reference(&g, &cfg, &mut NullObserver).unwrap();
-        prop_assert_eq!(dist.cover, refr.cover);
-        prop_assert_eq!(dist.levels, refr.levels);
-        prop_assert_eq!(dist.duals, refr.duals);
-        prop_assert_eq!(dist.iterations, refr.iterations);
+        assert_eq!(dist.cover, refr.cover, "case {case}");
+        assert_eq!(dist.levels, refr.levels, "case {case}");
+        assert_eq!(dist.duals, refr.duals, "case {case}");
+        assert_eq!(dist.iterations, refr.iterations, "case {case}");
     }
+}
 
-    #[test]
-    fn pruning_preserves_covers(g in arb_hypergraph()) {
-        prop_assume!(g.m() > 0);
+#[test]
+fn pruning_preserves_covers() {
+    let mut rng = StdRng::seed_from_u64(0x4d_7e);
+    let mut checked = 0;
+    while checked < 48 {
+        let g = random_hypergraph(&mut rng);
+        if g.m() == 0 {
+            continue;
+        }
+        checked += 1;
         let mut c = Cover::full(g.n());
         c.prune_redundant(&g);
-        prop_assert!(c.is_cover_of(&g));
+        assert!(c.is_cover_of(&g));
     }
+}
 
-    #[test]
-    fn format_roundtrip(g in arb_hypergraph()) {
-        use distributed_covering::hypergraph::format;
+#[test]
+fn format_roundtrip() {
+    use distributed_covering::hypergraph::format;
+    let mut rng = StdRng::seed_from_u64(0x5e_8f);
+    for case in 0..48 {
+        let g = random_hypergraph(&mut rng);
         let text = format::serialize(&g);
         let g2 = format::parse(&text).unwrap();
-        prop_assert_eq!(g, g2);
+        assert_eq!(g, g2, "case {case}");
     }
 }

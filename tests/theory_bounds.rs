@@ -39,7 +39,10 @@ fn theorem8_iteration_bound_holds() {
                 "Theorem 8 violated: {} > {bound} (f={f}, eps={eps}, alpha={alpha})",
                 r.iterations
             );
-            assert!(r.report.rounds <= round_bound(f as u32, g.max_degree(), eps, alpha, Variant::Standard));
+            assert!(
+                r.report.rounds
+                    <= round_bound(f as u32, g.max_degree(), eps, alpha, Variant::Standard)
+            );
         }
     }
 }
@@ -77,7 +80,10 @@ fn congest_budget_respected() {
             n: 300,
             m: 700,
             rank: 3,
-            weights: WeightDist::Uniform { min: 1, max: 1_000_000 },
+            weights: WeightDist::Uniform {
+                min: 1,
+                max: 1_000_000,
+            },
         },
         &mut rng,
     );
