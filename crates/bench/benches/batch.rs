@@ -1,0 +1,199 @@
+//! **Batch-serving throughput benchmark** — the serving-layer perf record.
+//!
+//! Serves a 64-instance mixed workload (varying n, m, rank, and weight
+//! scale) three ways and compares instance throughput:
+//!
+//! * `naive_parallel_loop_8t` — the pre-session serving shape: one
+//!   `MwhvcSolver::solve_parallel(g, 8)` call per instance, paying a full
+//!   worker-pool spawn/teardown and fresh engine arenas every time;
+//! * `sequential_loop` — one `solve` per instance on a single thread (the
+//!   zero-parallelism reference point);
+//! * `session_batch_8t` — `SolveSession::solve_batch` on a long-lived
+//!   session: one persistent 8-worker pool, recycled per-worker arenas,
+//!   instance-level parallelism with dynamic load balancing.
+//!
+//! Every batch result is asserted **bit-identical** to a per-instance
+//! `solve` before any timing is reported. Set
+//! `BENCH_BATCH_JSON=/path/BENCH_batch.json` to write the machine-readable
+//! record (see `scripts/bench_batch.sh`).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dcover_core::{MwhvcConfig, MwhvcSolver, SolveSession};
+use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
+use dcover_hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const INSTANCES: usize = 64;
+const THREADS: usize = 8;
+const EPSILON: f64 = 0.5;
+
+/// The 64-instance mixed workload: small-to-mid instances of varying rank
+/// and weight scale — the request-stream regime where per-solve setup
+/// (pool spawn, arena growth) dominates unless amortized.
+fn workload() -> Vec<Hypergraph> {
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    (0..INSTANCES)
+        .map(|i| {
+            random_uniform(
+                &RandomUniform {
+                    n: 60 + (i * 29) % 240,
+                    m: 120 + (i * 67) % 560,
+                    rank: 2 + i % 3,
+                    weights: WeightDist::Uniform {
+                        min: 1,
+                        max: 10 + (i as u64 * 13) % 990,
+                    },
+                },
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+/// One warm-up run, then the best of three timed runs, as instances/sec.
+fn measure<F: FnMut() -> usize>(mut run: F) -> f64 {
+    black_box(run());
+    let mut best = 0f64;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let solved = black_box(run());
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(solved as f64 / secs);
+    }
+    best
+}
+
+fn assert_bit_identical(instances: &[Hypergraph], session: &mut SolveSession) {
+    let solver = MwhvcSolver::with_epsilon(EPSILON).expect("valid epsilon");
+    let batch = session.solve_batch(instances);
+    for (i, (g, res)) in instances.iter().zip(&batch).enumerate() {
+        let individual = solver.solve(g).expect("solvable instance");
+        let batched = res.as_ref().expect("batch entry solves");
+        assert_eq!(batched.cover, individual.cover, "instance {i}: covers");
+        assert_eq!(batched.duals, individual.duals, "instance {i}: duals");
+        assert_eq!(batched.levels, individual.levels, "instance {i}: levels");
+        assert_eq!(batched.report, individual.report, "instance {i}: reports");
+    }
+}
+
+struct ModeStat {
+    name: &'static str,
+    instances_per_sec: f64,
+    speedup_vs_naive: f64,
+}
+
+fn bench_batch_serving(c: &mut Criterion) {
+    let instances = workload();
+    let solver = MwhvcSolver::with_epsilon(EPSILON).expect("valid epsilon");
+    let mut session = SolveSession::new(MwhvcConfig::new(EPSILON).expect("valid epsilon"), THREADS);
+
+    // Correctness gate before any timing: batch == per-instance solve.
+    assert_bit_identical(&instances, &mut session);
+
+    let mut group = c.benchmark_group("batch_serving_64");
+    group.sample_size(10);
+    group.bench_function("naive_parallel_loop_8t", |b| {
+        b.iter(|| {
+            instances
+                .iter()
+                .map(|g| solver.solve_parallel(g, THREADS).expect("solves").weight)
+                .sum::<u64>()
+        });
+    });
+    group.bench_function("sequential_loop", |b| {
+        b.iter(|| {
+            instances
+                .iter()
+                .map(|g| solver.solve(g).expect("solves").weight)
+                .sum::<u64>()
+        });
+    });
+    group.bench_function("session_batch_8t", |b| {
+        b.iter(|| {
+            session
+                .solve_batch(&instances)
+                .iter()
+                .map(|r| r.as_ref().expect("solves").weight)
+                .sum::<u64>()
+        });
+    });
+    group.finish();
+
+    let naive = measure(|| {
+        instances
+            .iter()
+            .map(|g| {
+                solver.solve_parallel(g, THREADS).expect("solves");
+            })
+            .count()
+    });
+    let sequential = measure(|| {
+        instances
+            .iter()
+            .map(|g| {
+                solver.solve(g).expect("solves");
+            })
+            .count()
+    });
+    let batch = measure(|| {
+        session
+            .solve_batch(&instances)
+            .iter()
+            .filter(|r| r.is_ok())
+            .count()
+    });
+
+    let stats = [
+        ModeStat {
+            name: "naive_parallel_loop_8t",
+            instances_per_sec: naive,
+            speedup_vs_naive: 1.0,
+        },
+        ModeStat {
+            name: "sequential_loop",
+            instances_per_sec: sequential,
+            speedup_vs_naive: sequential / naive,
+        },
+        ModeStat {
+            name: "session_batch_8t",
+            instances_per_sec: batch,
+            speedup_vs_naive: batch / naive,
+        },
+    ];
+
+    println!("\n== batch serving ({INSTANCES} mixed instances, {THREADS} threads) ==");
+    for s in &stats {
+        println!(
+            "{:<24} {:>10.1} instances/sec  ({:.2}x vs naive loop)",
+            s.name, s.instances_per_sec, s.speedup_vs_naive
+        );
+    }
+
+    if let Ok(path) = std::env::var("BENCH_BATCH_JSON") {
+        let mut json = String::from("{\n  \"benchmark\": \"batch_serving\",\n");
+        json.push_str(&format!(
+            "  \"instances\": {INSTANCES},\n  \"threads\": {THREADS},\n  \"epsilon\": {EPSILON},\n  \"bit_identical_to_solve\": true,\n  \"modes\": [\n"
+        ));
+        for (i, s) in stats.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"instances_per_sec\": {:.1}, \"speedup_vs_naive\": {:.3}}}{}\n",
+                s.name,
+                s.instances_per_sec,
+                s.speedup_vs_naive,
+                if i + 1 < stats.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(json.as_bytes()))
+            .expect("write BENCH_BATCH_JSON");
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_batch_serving);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Minimal long-option argument parsing (the build environment has no
+//! crates.io access, so no `clap`): `--name value`, `--name=value`, bare
+//! switches, positionals, and `-` as a positional meaning stdin/stdout.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments for one subcommand.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Non-option arguments, in order.
+    pub positional: Vec<String>,
+    switches: Vec<String>,
+    values: BTreeMap<String, String>,
+}
+
+impl Parsed {
+    /// Whether a boolean switch (e.g. `--json`) was given.
+    #[must_use]
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// The raw value of a `--name value` option, if given.
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Parses an option's value, or returns `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the value does not parse.
+    pub fn value_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value `{raw}` for --{name}")),
+        }
+    }
+
+    /// Parses a required option's value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the option is missing or malformed.
+    pub fn required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let raw = self
+            .value(name)
+            .ok_or_else(|| format!("missing required option --{name}"))?;
+        raw.parse()
+            .map_err(|_| format!("invalid value `{raw}` for --{name}"))
+    }
+}
+
+/// Parses `args` against the allowed `switches` (boolean) and `valued`
+/// (take one value) long options. Short aliases: `-o` for `--out`.
+///
+/// # Errors
+///
+/// Returns a usage message on unknown options or missing values.
+pub fn parse(args: &[String], switches: &[&str], valued: &[&str]) -> Result<Parsed, String> {
+    let mut parsed = Parsed::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let arg = if arg == "-o" { "--out" } else { arg.as_str() };
+        if let Some(name) = arg.strip_prefix("--") {
+            if let Some((key, value)) = name.split_once('=') {
+                if valued.contains(&key) {
+                    parsed.values.insert(key.to_string(), value.to_string());
+                } else {
+                    return Err(format!("unknown option --{key}"));
+                }
+            } else if switches.contains(&name) {
+                parsed.switches.push(name.to_string());
+            } else if valued.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option --{name} needs a value"))?;
+                parsed.values.insert(name.to_string(), value.clone());
+            } else {
+                return Err(format!("unknown option --{name}"));
+            }
+        } else if arg.len() > 1 && arg.starts_with('-') {
+            return Err(format!("unknown option {arg}"));
+        } else {
+            parsed.positional.push(arg.to_string());
+        }
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn positional_switch_and_value_forms() {
+        let p = parse(
+            &strs(&["a.mwhvc", "--json", "--eps", "0.5", "--threads=8", "-"]),
+            &["json"],
+            &["eps", "threads"],
+        )
+        .unwrap();
+        assert_eq!(p.positional, vec!["a.mwhvc", "-"]);
+        assert!(p.switch("json"));
+        assert_eq!(p.value("eps"), Some("0.5"));
+        assert_eq!(p.value_or::<usize>("threads", 1).unwrap(), 8);
+        assert_eq!(p.value_or::<f64>("missing", 2.5).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn o_is_an_alias_for_out() {
+        let p = parse(&strs(&["-o", "x.mwhvc"]), &[], &["out"]).unwrap();
+        assert_eq!(p.value("out"), Some("x.mwhvc"));
+    }
+
+    #[test]
+    fn errors_are_usage_messages() {
+        assert!(parse(&strs(&["--nope"]), &["json"], &[]).is_err());
+        assert!(parse(&strs(&["--eps"]), &[], &["eps"]).is_err());
+        assert!(parse(&strs(&["-x"]), &[], &[]).is_err());
+        let p = parse(&strs(&["--eps", "zzz"]), &[], &["eps"]).unwrap();
+        assert!(p.value_or::<f64>("eps", 1.0).is_err());
+        assert!(p.required::<usize>("threads").is_err());
+    }
+}

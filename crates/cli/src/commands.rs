@@ -1,0 +1,325 @@
+//! The three subcommands: `solve`, `batch`, `gen`.
+
+use std::io::Read as _;
+use std::time::Instant;
+
+use dcover_core::{CoverResult, MwhvcConfig, MwhvcSolver, SolveSession, Variant};
+use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
+use dcover_hypergraph::{format, Hypergraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args;
+use crate::json::{array, Obj};
+use crate::Failure;
+
+fn usage(msg: String) -> Failure {
+    Failure::Usage(msg)
+}
+
+fn runtime(msg: String) -> Failure {
+    Failure::Runtime(msg)
+}
+
+/// Reads an instance from a path (or stdin for `-`).
+fn read_instance(path: &str) -> Result<Hypergraph, Failure> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| runtime(format!("reading stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| runtime(format!("{path}: {e}")))?
+    };
+    format::parse(&text).map_err(|e| runtime(format!("{path}: {e}")))
+}
+
+fn config_from(parsed: &args::Parsed) -> Result<MwhvcConfig, Failure> {
+    let eps: f64 = parsed.value_or("eps", 0.5).map_err(usage)?;
+    let mut config = MwhvcConfig::new(eps).map_err(|e| usage(e.to_string()))?;
+    match parsed.value("variant") {
+        None | Some("standard") => {}
+        Some("half-bid") => config = config.with_variant(Variant::HalfBid),
+        Some(other) => {
+            return Err(usage(format!(
+                "unknown variant `{other}` (expected `standard` or `half-bid`)"
+            )))
+        }
+    }
+    Ok(config)
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn instance_json(file: &str, g: &Hypergraph) -> String {
+    Obj::new()
+        .str("file", file)
+        .num("n", g.n())
+        .num("m", g.m())
+        .num("rank", g.rank())
+        .num("max_degree", g.max_degree())
+        .build()
+}
+
+fn result_json(r: &CoverResult) -> String {
+    Obj::new()
+        .num("weight", r.weight)
+        .num("cover_size", r.cover.len())
+        .float("dual_total", r.dual_total)
+        .float("ratio_upper_bound", r.ratio_upper_bound())
+        .num("iterations", r.iterations)
+        .num("rounds", r.rounds())
+        .num("messages", r.report.total_messages)
+        .num("bits", r.report.total_bits)
+        .num("max_link_bits", r.report.max_link_bits)
+        .build()
+}
+
+fn print_result_human(file: &str, g: &Hypergraph, r: &CoverResult, eps: f64, wall_ms: f64) {
+    println!(
+        "instance  : {file} (n={} m={} rank={} max_degree={})",
+        g.n(),
+        g.m(),
+        g.rank(),
+        g.max_degree()
+    );
+    println!(
+        "epsilon   : {eps} (guarantee f+eps = {})",
+        g.rank() as f64 + eps
+    );
+    println!(
+        "cover     : weight {}, {} of {} vertices",
+        r.weight,
+        r.cover.len(),
+        g.n()
+    );
+    println!(
+        "certified : ratio <= {:.4} (dual lower bound {:.3})",
+        r.ratio_upper_bound(),
+        r.dual_total
+    );
+    println!(
+        "rounds    : {} ({} iterations), {} messages, {} bits (max {} bits/link/round)",
+        r.rounds(),
+        r.iterations,
+        r.report.total_messages,
+        r.report.total_bits,
+        r.report.max_link_bits
+    );
+    println!("time      : {wall_ms:.2} ms");
+}
+
+/// `dcover solve FILE [--eps E] [--threads N] [--variant V] [--json]`
+pub fn solve(raw: &[String]) -> Result<(), Failure> {
+    let parsed = args::parse(raw, &["json"], &["eps", "threads", "variant"]).map_err(usage)?;
+    let [file] = parsed.positional.as_slice() else {
+        return Err(usage(format!(
+            "solve takes exactly one instance file, got {}",
+            parsed.positional.len()
+        )));
+    };
+    let config = config_from(&parsed)?;
+    let eps = config.epsilon();
+    let threads: usize = parsed.value_or("threads", 0).map_err(usage)?;
+    let g = read_instance(file)?;
+    let solver = MwhvcSolver::new(config);
+    let start = Instant::now();
+    let result = if threads <= 1 {
+        solver.solve(&g)
+    } else {
+        solver.solve_parallel(&g, threads)
+    }
+    .map_err(|e| runtime(format!("{file}: {e}")))?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    if parsed.switch("json") {
+        let report = Obj::new()
+            .raw("instance", &instance_json(file, &g))
+            .float("epsilon", eps)
+            .num("threads", threads.max(1))
+            .raw("result", &result_json(&result))
+            .float("wall_ms", wall_ms)
+            .build();
+        println!("{report}");
+    } else {
+        print_result_human(file, &g, &result, eps, wall_ms);
+    }
+    Ok(())
+}
+
+/// `dcover batch FILE... [--eps E] [--threads N] [--variant V] [--json]`
+pub fn batch(raw: &[String]) -> Result<(), Failure> {
+    let parsed = args::parse(raw, &["json"], &["eps", "threads", "variant"]).map_err(usage)?;
+    if parsed.positional.is_empty() {
+        return Err(usage("batch needs at least one instance file".to_string()));
+    }
+    let config = config_from(&parsed)?;
+    let eps = config.epsilon();
+    let threads: usize = parsed
+        .value_or("threads", default_threads())
+        .map_err(usage)?;
+    if threads == 0 {
+        return Err(usage("--threads must be at least 1".to_string()));
+    }
+
+    // Parse everything up front; a file that does not parse is a failed
+    // entry, not a fatal error (the serving layer must not be crashable by
+    // one bad input). Parsed instances move straight into the solvable
+    // list — only the per-file parse outcome is kept for re-alignment.
+    let mut solvable: Vec<Hypergraph> = Vec::new();
+    let mut parse_errors: Vec<Option<String>> = Vec::new();
+    for file in &parsed.positional {
+        match read_instance(file) {
+            Ok(g) => {
+                solvable.push(g);
+                parse_errors.push(None);
+            }
+            Err(Failure::Runtime(msg) | Failure::Usage(msg)) => {
+                parse_errors.push(Some(msg));
+            }
+        }
+    }
+
+    let mut session = SolveSession::new(config, threads);
+    let start = Instant::now();
+    let solved = session.solve_batch_owned(solvable);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Re-align solved results with the original file list.
+    let mut solved_iter = solved.into_iter();
+    let mut entries: Vec<(String, Result<CoverResult, String>)> = Vec::new();
+    for (file, parse_error) in parsed.positional.iter().zip(&parse_errors) {
+        let outcome = match parse_error {
+            None => solved_iter
+                .next()
+                .expect("one result per parsed instance")
+                .map_err(|e| e.to_string()),
+            Some(msg) => Err(msg.clone()),
+        };
+        entries.push((file.clone(), outcome));
+    }
+
+    let ok = entries.iter().filter(|(_, r)| r.is_ok()).count();
+    let failed = entries.len() - ok;
+    let total_weight: u64 = entries
+        .iter()
+        .filter_map(|(_, r)| r.as_ref().ok().map(|c| c.weight))
+        .sum();
+    let throughput = if wall_ms > 0.0 {
+        ok as f64 / (wall_ms / 1e3)
+    } else {
+        f64::INFINITY
+    };
+
+    if parsed.switch("json") {
+        let items = array(entries.iter().map(|(file, outcome)| {
+            match outcome {
+                Ok(r) => Obj::new()
+                    .str("file", file)
+                    .bool("ok", true)
+                    .raw("result", &result_json(r))
+                    .build(),
+                Err(msg) => Obj::new()
+                    .str("file", file)
+                    .bool("ok", false)
+                    .str("error", msg)
+                    .build(),
+            }
+        }));
+        let report = Obj::new()
+            .num("instances", entries.len())
+            .num("ok", ok)
+            .num("failed", failed)
+            .float("epsilon", eps)
+            .num("threads", threads)
+            .num("total_weight", total_weight)
+            .float("wall_ms", wall_ms)
+            .float("instances_per_sec", throughput)
+            .raw("results", &items)
+            .build();
+        println!("{report}");
+    } else {
+        for (i, (file, outcome)) in entries.iter().enumerate() {
+            match outcome {
+                Ok(r) => println!(
+                    "[{i}] {file}: weight {}, {} rounds, ratio <= {:.4}",
+                    r.weight,
+                    r.rounds(),
+                    r.ratio_upper_bound()
+                ),
+                Err(msg) => println!("[{i}] {file}: FAILED ({msg})"),
+            }
+        }
+        println!(
+            "batch     : {} instances, {ok} ok, {failed} failed, {wall_ms:.2} ms, {throughput:.1} instances/sec, {threads} threads",
+            entries.len()
+        );
+    }
+    if failed > 0 {
+        return Err(runtime(format!(
+            "{failed} of {} instances failed",
+            entries.len()
+        )));
+    }
+    Ok(())
+}
+
+/// `dcover gen uniform --n N --m M --rank F [--seed S] [--min-weight W]
+/// [--max-weight W] [--out FILE]`
+pub fn gen(raw: &[String]) -> Result<(), Failure> {
+    let parsed = args::parse(
+        raw,
+        &[],
+        &["n", "m", "rank", "seed", "min-weight", "max-weight", "out"],
+    )
+    .map_err(usage)?;
+    let [family] = parsed.positional.as_slice() else {
+        return Err(usage(
+            "gen takes exactly one family (currently: `uniform`)".to_string(),
+        ));
+    };
+    if family != "uniform" {
+        return Err(usage(format!(
+            "unknown family `{family}` (currently: `uniform`)"
+        )));
+    }
+    let n: usize = parsed.required("n").map_err(usage)?;
+    let m: usize = parsed.required("m").map_err(usage)?;
+    let rank: usize = parsed.value_or("rank", 3).map_err(usage)?;
+    let seed: u64 = parsed.value_or("seed", 1).map_err(usage)?;
+    let min_weight: u64 = parsed.value_or("min-weight", 1).map_err(usage)?;
+    let max_weight: u64 = parsed.value_or("max-weight", 100).map_err(usage)?;
+    if n == 0 || rank == 0 {
+        return Err(usage("--n and --rank must be positive".to_string()));
+    }
+    if min_weight == 0 || min_weight > max_weight {
+        return Err(usage(
+            "weights need 0 < --min-weight <= --max-weight".to_string(),
+        ));
+    }
+
+    let g = random_uniform(
+        &RandomUniform {
+            n,
+            m,
+            rank,
+            weights: WeightDist::Uniform {
+                min: min_weight,
+                max: max_weight,
+            },
+        },
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let text = format::serialize(&g);
+    match parsed.value("out") {
+        None | Some("-") => print!("{text}"),
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| runtime(format!("{path}: {e}")))?;
+            eprintln!("wrote {path} (n={n} m={m} rank={rank} seed={seed})");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Minimal JSON emission (no serde offline): string escaping plus a small
+//! object/array builder producing deterministic, human-diffable output.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as the *contents* of a JSON string literal.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON object under construction.
+#[derive(Debug, Default)]
+pub struct Obj {
+    fields: Vec<String>,
+}
+
+impl Obj {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push(format!("\"{}\": \"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds an integer or other plain-`Display` numeric field.
+    #[must_use]
+    pub fn num<T: std::fmt::Display>(mut self, key: &str, value: T) -> Self {
+        self.fields.push(format!("\"{}\": {value}", escape(key)));
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite, which JSON cannot carry).
+    #[must_use]
+    pub fn float(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push(format!("\"{}\": {rendered}", escape(key)));
+        self
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push(format!("\"{}\": {value}", escape(key)));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (nested object or array).
+    #[must_use]
+    pub fn raw(mut self, key: &str, rendered: &str) -> Self {
+        self.fields.push(format!("\"{}\": {rendered}", escape(key)));
+        self
+    }
+
+    /// Renders the object.
+    #[must_use]
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.fields.join(", "))
+    }
+}
+
+/// Renders a JSON array from pre-rendered element values.
+#[must_use]
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials_and_control_chars() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\n\t\r"), "x\\n\\t\\r");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("héllo"), "héllo");
+    }
+
+    #[test]
+    fn object_and_array_render() {
+        let inner = Obj::new().num("k", 3).build();
+        let obj = Obj::new()
+            .str("name", "a\"b")
+            .num("count", 42u64)
+            .float("ratio", 1.5)
+            .float("bad", f64::NAN)
+            .bool("ok", true)
+            .raw("nested", &inner)
+            .build();
+        assert_eq!(
+            obj,
+            "{\"name\": \"a\\\"b\", \"count\": 42, \"ratio\": 1.5, \"bad\": null, \"ok\": true, \"nested\": {\"k\": 3}}"
+        );
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1, 2]");
+        assert_eq!(array(std::iter::empty::<String>()), "[]");
+    }
+}

@@ -1,0 +1,76 @@
+//! `dcover` — the command-line serving entry point of the
+//! `distributed-covering` workspace.
+//!
+//! Three subcommands over the DIMACS-flavoured instance format of
+//! [`dcover_hypergraph::format`]:
+//!
+//! * `dcover solve FILE` — solve one instance (sequential or
+//!   chunk-parallel) and report the certified cover;
+//! * `dcover batch FILE...` — solve many instances concurrently on one
+//!   [`SolveSession`](dcover_core::SolveSession) (persistent worker pool,
+//!   recycled engine arenas, per-instance error isolation);
+//! * `dcover gen` — generate seeded random instances.
+//!
+//! `--json` switches `solve`/`batch` to machine-readable reports. The
+//! binary is dependency-free (hand-rolled argument parsing and JSON
+//! emission) because the build environment is offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+mod commands;
+pub mod json;
+
+/// Why a command did not succeed: a usage error (exit code 2) or a runtime
+/// failure (exit code 1).
+#[derive(Debug)]
+pub enum Failure {
+    /// Bad invocation; the message explains the expected shape.
+    Usage(String),
+    /// The command ran but failed (I/O, parse, or solve error).
+    Runtime(String),
+}
+
+const USAGE: &str = "\
+dcover — distributed covering (MWHVC) solver CLI
+
+USAGE:
+    dcover solve FILE [--eps E] [--threads N] [--variant standard|half-bid] [--json]
+    dcover batch FILE... [--eps E] [--threads N] [--variant standard|half-bid] [--json]
+    dcover gen uniform --n N --m M [--rank F] [--seed S]
+                       [--min-weight W] [--max-weight W] [--out FILE]
+
+    FILE may be `-` for stdin. `batch` defaults --threads to the machine's
+    available parallelism and serves all instances from one persistent
+    worker pool; failed instances are reported per entry and make the exit
+    code non-zero without aborting the rest of the batch.
+";
+
+/// Runs the CLI against `args` (everything after the program name) and
+/// returns the process exit code.
+#[must_use]
+pub fn run(args: &[String]) -> i32 {
+    let outcome = match args.first().map(String::as_str) {
+        None | Some("help" | "--help" | "-h") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some("solve") => commands::solve(&args[1..]),
+        Some("batch") => commands::batch(&args[1..]),
+        Some("gen") => commands::gen(&args[1..]),
+        Some(other) => Err(Failure::Usage(format!("unknown subcommand `{other}`"))),
+    };
+    match outcome {
+        Ok(()) => 0,
+        Err(Failure::Runtime(msg)) => {
+            eprintln!("dcover: {msg}");
+            1
+        }
+        Err(Failure::Usage(msg)) => {
+            eprintln!("dcover: {msg}");
+            eprint!("{USAGE}");
+            2
+        }
+    }
+}

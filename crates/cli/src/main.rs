@@ -1,0 +1,6 @@
+//! Thin binary wrapper around [`dcover_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dcover_cli::run(&args));
+}

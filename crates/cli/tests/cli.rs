@@ -1,0 +1,130 @@
+//! Integration tests driving the real `dcover` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn dcover(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dcover"))
+        .args(args)
+        .output()
+        .expect("run dcover binary")
+}
+
+fn sample_path() -> String {
+    // crates/cli -> workspace root.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("data/sample.mwhvc");
+    root.to_string_lossy().into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = dcover(&["--help"]);
+    assert!(out.status.success());
+    assert!(stdout_of(&out).contains("USAGE"));
+}
+
+#[test]
+fn solve_sample_human_and_json() {
+    let sample = sample_path();
+    let human = dcover(&["solve", &sample, "--eps", "0.5"]);
+    assert!(human.status.success(), "{human:?}");
+    let text = stdout_of(&human);
+    assert!(text.contains("cover"), "{text}");
+    assert!(text.contains("ratio <="), "{text}");
+
+    let json = dcover(&["solve", &sample, "--eps", "0.5", "--json"]);
+    assert!(json.status.success());
+    let text = stdout_of(&json);
+    assert!(text.contains("\"weight\":"), "{text}");
+    assert!(text.contains("\"rounds\":"), "{text}");
+    assert!(text.contains("\"ratio_upper_bound\":"), "{text}");
+
+    // Parallel solve agrees on the certified weight (bit-identical engine).
+    let par = dcover(&["solve", &sample, "--eps", "0.5", "--threads", "4", "--json"]);
+    assert!(par.status.success());
+    let get_weight = |s: &str| -> String {
+        let i = s.find("\"weight\": ").expect("weight field") + 10;
+        s[i..].chars().take_while(char::is_ascii_digit).collect()
+    };
+    assert_eq!(get_weight(&text), get_weight(&stdout_of(&par)));
+}
+
+#[test]
+fn gen_then_solve_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("dcover-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gen.mwhvc");
+    let path_str = path.to_string_lossy().into_owned();
+    let gen = dcover(&[
+        "gen", "uniform", "--n", "40", "--m", "90", "--rank", "3", "--seed", "7", "--out",
+        &path_str,
+    ]);
+    assert!(gen.status.success(), "{gen:?}");
+    let solve = dcover(&["solve", &path_str, "--json"]);
+    assert!(solve.status.success(), "{solve:?}");
+    assert!(stdout_of(&solve).contains("\"n\": 40"));
+    // Same seed, same instance: deterministic generation.
+    let gen2 = dcover(&[
+        "gen", "uniform", "--n", "40", "--m", "90", "--rank", "3", "--seed", "7",
+    ]);
+    assert!(gen2.status.success());
+    assert_eq!(
+        stdout_of(&gen2),
+        std::fs::read_to_string(&path).unwrap(),
+        "gen must be deterministic per seed"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_solves_many_files_and_isolates_failures() {
+    let sample = sample_path();
+    let ok = dcover(&[
+        "batch",
+        &sample,
+        &sample,
+        &sample,
+        "--threads",
+        "2",
+        "--json",
+    ]);
+    assert!(ok.status.success(), "{ok:?}");
+    let text = stdout_of(&ok);
+    assert!(text.contains("\"instances\": 3"), "{text}");
+    assert!(text.contains("\"failed\": 0"), "{text}");
+    assert!(text.contains("\"instances_per_sec\":"), "{text}");
+
+    // One missing file: its entry fails, the others still solve, and the
+    // exit code is non-zero.
+    let mixed = dcover(&[
+        "batch",
+        &sample,
+        "/nonexistent.mwhvc",
+        "--threads",
+        "2",
+        "--json",
+    ]);
+    assert_eq!(mixed.status.code(), Some(1));
+    let text = stdout_of(&mixed);
+    assert!(text.contains("\"ok\": 1"), "{text}");
+    assert!(text.contains("\"failed\": 1"), "{text}");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    assert_eq!(dcover(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(dcover(&["solve"]).status.code(), Some(2));
+    assert_eq!(dcover(&["gen", "uniform"]).status.code(), Some(2));
+    assert_eq!(dcover(&["solve", "x", "--nope"]).status.code(), Some(2));
+    // Runtime failure (unreadable file) exits 1.
+    assert_eq!(
+        dcover(&["solve", "/nonexistent.mwhvc"]).status.code(),
+        Some(1)
+    );
+}

@@ -88,6 +88,10 @@ pub(crate) struct ChunkState<P: Process> {
     pub tally: SendTally,
     /// Nodes of this chunk that halted in the current round.
     pub newly_halted: u32,
+    /// First CONGEST violation observed at delivery (a duplicate same-port
+    /// send). Recorded instead of panicking so the scheduler can surface a
+    /// typed [`SimError`]; once set, the chunk stops stepping.
+    pub delivery_error: Option<SimError>,
     /// Per local node: first local slot (CSR offsets rebased to the chunk;
     /// length `nodes.len() + 1`).
     local_offsets: Vec<u32>,
@@ -126,8 +130,47 @@ pub(crate) fn chunk_boundaries(topo: &Topology, num_chunks: usize) -> Vec<usize>
 }
 
 impl<P: Process> ChunkState<P> {
+    /// A chunk with no nodes, no slots, and no routing tables — the state an
+    /// [`EngineArena`] holds between solves. Every buffer is empty but, for
+    /// a recycled chunk, retains its capacity.
+    pub(crate) fn empty() -> Self {
+        Self {
+            first_node: 0,
+            nodes: Vec::new(),
+            halted: Vec::new(),
+            worklist: Vec::new(),
+            cur: Vec::new(),
+            nxt: Vec::new(),
+            dirty_cur: Vec::new(),
+            dirty_nxt: Vec::new(),
+            stage: Vec::new(),
+            tally: SendTally::default(),
+            newly_halted: 0,
+            delivery_error: None,
+            local_offsets: Vec::new(),
+            slot_node: Vec::new(),
+            dest_chunk: Vec::new(),
+            dest_local: Vec::new(),
+        }
+    }
+
     /// Builds the chunk for nodes `bounds[index]..bounds[index + 1]`.
+    /// (Production paths go through [`ChunkState::rebuild`] on a recycled
+    /// chunk; building from scratch remains as the test oracle.)
+    #[cfg(test)]
     pub(crate) fn build(topo: &Topology, bounds: &[usize], index: usize) -> Self {
+        let mut chunk = Self::empty();
+        chunk.rebuild(topo, bounds, index);
+        chunk
+    }
+
+    /// Re-derives every per-topology table for a (possibly different)
+    /// topology **in place**, reusing the capacity of every buffer — mailbox
+    /// slots, dirty lists, worklist, staging buckets and routing tables all
+    /// keep their allocations across solves. `nodes` is cleared; the caller
+    /// refills it. The result is logically identical to
+    /// [`ChunkState::build`] for the same arguments.
+    pub(crate) fn rebuild(&mut self, topo: &Topology, bounds: &[usize], index: usize) {
         let num_chunks = bounds.len() - 1;
         let (start, end) = (bounds[index], bounds[index + 1]);
         let slot_bases: Vec<usize> = bounds
@@ -143,38 +186,44 @@ impl<P: Process> ChunkState<P> {
         let slot_base = slot_bases[index];
         let num_slots = slot_bases[index + 1] - slot_base;
 
-        let mut local_offsets = Vec::with_capacity(end - start + 1);
-        let mut slot_node = Vec::with_capacity(num_slots);
-        let mut dest_chunk = Vec::with_capacity(num_slots);
-        let mut dest_local = Vec::with_capacity(num_slots);
-        local_offsets.push(0);
+        self.first_node = start;
+        self.nodes.clear();
+        self.halted.clear();
+        self.halted.resize(end - start, false);
+        self.worklist.clear();
+        self.worklist.extend(0..(end - start) as u32);
+        self.cur.clear();
+        self.cur.resize_with(num_slots, || None);
+        self.nxt.clear();
+        self.nxt.resize_with(num_slots, || None);
+        self.dirty_cur.clear();
+        self.dirty_nxt.clear();
+        // Keep existing bucket capacity; only adjust the bucket count.
+        for bucket in &mut self.stage {
+            bucket.clear();
+        }
+        self.stage.truncate(num_chunks);
+        while self.stage.len() < num_chunks {
+            self.stage.push(Vec::new());
+        }
+        self.tally.clear();
+        self.newly_halted = 0;
+        self.delivery_error = None;
+
+        self.local_offsets.clear();
+        self.slot_node.clear();
+        self.dest_chunk.clear();
+        self.dest_local.clear();
+        self.local_offsets.push(0);
         for (lu, u) in (start..end).enumerate() {
             for p in 0..topo.degree(u) {
-                slot_node.push(lu as u32);
+                self.slot_node.push(lu as u32);
                 let recip = topo.reciprocal_slot(u, p);
                 let c = slot_bases[1..=num_chunks].partition_point(|&b| b <= recip);
-                dest_chunk.push(c as u32);
-                dest_local.push((recip - slot_bases[c]) as u32);
+                self.dest_chunk.push(c as u32);
+                self.dest_local.push((recip - slot_bases[c]) as u32);
             }
-            local_offsets.push(slot_node.len() as u32);
-        }
-
-        Self {
-            first_node: start,
-            nodes: Vec::new(),
-            halted: vec![false; end - start],
-            worklist: (0..(end - start) as u32).collect(),
-            cur: (0..num_slots).map(|_| None).collect(),
-            nxt: (0..num_slots).map(|_| None).collect(),
-            dirty_cur: Vec::new(),
-            dirty_nxt: Vec::new(),
-            stage: (0..num_chunks).map(|_| Vec::new()).collect(),
-            tally: SendTally::default(),
-            newly_halted: 0,
-            local_offsets,
-            slot_node,
-            dest_chunk,
-            dest_local,
+            self.local_offsets.push(self.slot_node.len() as u32);
         }
     }
 
@@ -182,6 +231,69 @@ impl<P: Process> ChunkState<P> {
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.halted.len()
+    }
+
+    /// Scans destination-local slot indices of *undelivered* staged mail
+    /// addressed to this chunk for a duplicate — exactly the check
+    /// [`phase_deliver`] would perform, including skipping halted
+    /// receivers. Used by the parallel scheduler on terminal paths (round
+    /// limit, all-halted) where the deferred delivery will never run, so a
+    /// final-round duplicate send still surfaces as
+    /// [`SimError::DuplicateSend`] instead of being masked.
+    pub(crate) fn scan_undelivered_duplicate(
+        &self,
+        staged_slots: impl Iterator<Item = u32>,
+        sent_round: u64,
+    ) -> Option<SimError> {
+        let mut seen = vec![false; self.cur.len()];
+        for lslot in staged_slots {
+            let ls = lslot as usize;
+            let receiver = self.slot_node[ls] as usize;
+            if self.halted[receiver] {
+                continue;
+            }
+            if seen[ls] {
+                return Some(SimError::DuplicateSend {
+                    round: sent_round,
+                    receiver: self.first_node + receiver,
+                    port: ls - self.local_offsets[receiver] as usize,
+                });
+            }
+            seen[ls] = true;
+        }
+        None
+    }
+}
+
+/// A reusable bundle of round-engine buffers: the mailbox slot arena (both
+/// buffers), dirty lists, active worklist, staging buckets, and routing
+/// tables of one engine chunk.
+///
+/// Build one with [`EngineArena::new`], hand it to
+/// [`Simulator::with_arena`](crate::Simulator::with_arena), and recover it
+/// with [`Simulator::into_arena`](crate::Simulator::into_arena): every
+/// buffer keeps its capacity across solves, so a stream of solves on
+/// same-sized instances performs no steady-state arena allocations. A
+/// [`SimPool`](crate::SimPool) keeps one arena parked per worker for
+/// batch serving.
+#[derive(Debug)]
+pub struct EngineArena<P: Process> {
+    pub(crate) chunk: Box<ChunkState<P>>,
+}
+
+impl<P: Process> EngineArena<P> {
+    /// An empty arena (no capacity yet; it grows on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            chunk: Box::new(ChunkState::empty()),
+        }
+    }
+}
+
+impl<P: Process> Default for EngineArena<P> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -202,6 +314,7 @@ pub(crate) fn phase_step<P: Process>(
         stage,
         tally,
         newly_halted,
+        delivery_error,
         local_offsets,
         dest_chunk,
         dest_local,
@@ -209,6 +322,11 @@ pub(crate) fn phase_step<P: Process>(
     } = chunk;
     tally.clear();
     *newly_halted = 0;
+    if delivery_error.is_some() {
+        // The previous delivery observed a protocol violation; the run is
+        // aborting, so don't step node programs against the corrupt inbox.
+        return;
+    }
     for &lu_raw in worklist.iter() {
         let lu = lu_raw as usize;
         let lo = local_offsets[lu] as usize;
@@ -243,13 +361,16 @@ pub(crate) fn phase_step<P: Process>(
 /// receivers, then swap the buffers. Buckets are drained but keep their
 /// capacity; the caller returns them to their owners.
 ///
-/// # Panics
-///
-/// Panics if two messages land on the same slot in one round — a protocol
-/// bug (CONGEST permits one message per directed link per round).
+/// Two messages landing on the same slot in one round violate CONGEST (one
+/// message per directed link per round). The first message wins, the
+/// duplicate is dropped, and the violation is recorded in
+/// `chunk.delivery_error` as [`SimError::DuplicateSend`] for the scheduler
+/// to surface — a bad node program must yield a typed error, not a crash.
+/// `sent_round` is the round in which the offending messages were sent.
 pub(crate) fn phase_deliver<P: Process>(
     chunk: &mut ChunkState<P>,
     inbound: &mut [Vec<(u32, P::Msg)>],
+    sent_round: u64,
 ) {
     for bucket in inbound.iter_mut() {
         for (lslot, msg) in bucket.drain(..) {
@@ -259,13 +380,17 @@ pub(crate) fn phase_deliver<P: Process>(
                 // Already charged by the sender; the program is gone.
                 continue;
             }
-            assert!(
-                chunk.nxt[ls].replace(msg).is_none(),
-                "duplicate message on one link in one round: node {} port {} \
-                 (CONGEST permits one message per directed link per round)",
-                chunk.first_node + receiver,
-                ls - chunk.local_offsets[receiver] as usize,
-            );
+            if chunk.nxt[ls].is_some() {
+                if chunk.delivery_error.is_none() {
+                    chunk.delivery_error = Some(SimError::DuplicateSend {
+                        round: sent_round,
+                        receiver: chunk.first_node + receiver,
+                        port: ls - chunk.local_offsets[receiver] as usize,
+                    });
+                }
+                continue;
+            }
+            chunk.nxt[ls] = Some(msg);
             chunk.dirty_nxt.push(lslot);
         }
     }

@@ -19,6 +19,19 @@ pub enum SimError {
         /// Nodes still running when the limit was hit.
         active: usize,
     },
+    /// A node program sent two messages over the same directed link in one
+    /// round — a CONGEST violation (one message per directed link per
+    /// round). The first message is kept, the duplicate dropped, and the
+    /// run aborts with this error so a serving layer is never crashed by
+    /// one bad node program.
+    DuplicateSend {
+        /// The round in which the duplicate was *sent*.
+        round: u64,
+        /// The receiving node of the doubly-used link.
+        receiver: NodeId,
+        /// The receiver-side port of the link.
+        port: Port,
+    },
     /// A link carried more bits in one round than the configured
     /// [`BitBudget`](crate::BitBudget) allows — a CONGEST violation.
     BudgetExceeded {
@@ -41,6 +54,15 @@ impl fmt::Display for SimError {
             SimError::RoundLimit { limit, active } => write!(
                 f,
                 "round limit {limit} reached with {active} nodes still active"
+            ),
+            SimError::DuplicateSend {
+                round,
+                receiver,
+                port,
+            } => write!(
+                f,
+                "duplicate message on one link in one round: node {receiver} port {port} in round {round} \
+                 (CONGEST permits one message per directed link per round)"
             ),
             SimError::BudgetExceeded {
                 round,
@@ -81,6 +103,13 @@ mod tests {
         };
         assert!(e.to_string().contains("99 bits"));
         assert!(e.to_string().contains("budget 32"));
+        let e = SimError::DuplicateSend {
+            round: 7,
+            receiver: 4,
+            port: 2,
+        };
+        assert!(e.to_string().contains("duplicate message"));
+        assert!(e.to_string().contains("node 4 port 2"));
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! active worklists. The parallel scheduler keeps its workers parked on
 //! channels between rounds — no per-round thread spawning — and moves
 //! chunk state to workers by value, so the whole engine is safe Rust with
-//! no locks. See the [`engine`]-module documentation in the source for the
+//! no locks. See the `engine`-module documentation in the source for the
 //! layout, phase structure, determinism contract, and the steady-state
 //! zero-allocation guarantee (enforced by `tests/zero_alloc.rs`).
 //!
@@ -43,8 +43,19 @@
 //! identical port-indexed inboxes, metrics are sums/maxima merged in
 //! ascending node order, and message delivery is structural. One message
 //! per directed link per round is enforced (a duplicate same-port send
-//! panics at delivery); mail addressed to halted nodes is charged exactly
-//! once — on the send side — and dropped at delivery.
+//! aborts the run with the typed [`SimError::DuplicateSend`] — a bad node
+//! program yields an error, never a crash); mail addressed to halted nodes
+//! is charged exactly once — on the send side — and dropped at delivery.
+//!
+//! # Serving many instances
+//!
+//! For workloads of many independent instances, a [`SimPool`] keeps one
+//! set of worker threads and one reusable [`EngineArena`] per worker
+//! alive across solves: hand the pool to
+//! [`ParallelSimulator::with_pool`] for a single chunk-parallel solve, or
+//! fan whole instances out with [`SimPool::run_tasks`] (each task runs a
+//! sequential [`Simulator::with_arena`] solve against its worker's
+//! recycled arena).
 //!
 //! # Example: broadcast-and-halt
 //!
@@ -82,14 +93,17 @@ mod error;
 mod message;
 mod metrics;
 mod parallel;
+mod pool;
 mod process;
 mod sim;
 mod topology;
 
+pub use engine::EngineArena;
 pub use error::SimError;
 pub use message::{bits_for_range, bits_for_value, Message};
 pub use metrics::{BitBudget, RoundMetrics, SimReport};
 pub use parallel::ParallelSimulator;
+pub use pool::SimPool;
 pub use process::{Ctx, Inbox, InboxIter, Incoming, Process, Status};
 pub use sim::Simulator;
 pub use topology::{NodeId, Port, Topology};

@@ -6,14 +6,19 @@
 //!
 //! # Persistent worker pool
 //!
-//! Workers are spawned **once** at construction and parked on their job
-//! channel between rounds — there is no per-round thread spawn (the old
-//! engine paid a `crossbeam::thread::scope` per round). Each worker owns a
-//! contiguous chunk of nodes *by value while it works on it*: per phase the
-//! scheduler moves the boxed [`ChunkState`] to the worker and receives it
-//! back, so all mutation is single-owner and the whole pool is safe Rust
-//! with zero locks and zero steady-state allocation (channel buffers are
-//! bounded and pre-allocated; chunk moves are pointer-sized).
+//! Workers are spawned **once** and parked on their job channel between
+//! rounds — there is no per-round thread spawn (the old engine paid a
+//! `crossbeam::thread::scope` per round). The pool is a [`SimPool`]: either
+//! spawned privately by [`ParallelSimulator::new`], or handed in by a
+//! serving layer via [`ParallelSimulator::with_pool`] and recovered —
+//! together with the engine arenas, capacity intact — via
+//! [`ParallelSimulator::into_pool`], so a stream of solves reuses both the
+//! threads and the arenas. Each worker owns a contiguous chunk of nodes *by
+//! value while it works on it*: per phase the scheduler moves the boxed
+//! [`ChunkState`] to the worker and receives it back, so all mutation is
+//! single-owner and the whole pool is safe Rust with zero locks and zero
+//! steady-state allocation (channel buffers are bounded and pre-allocated;
+//! chunk moves are pointer-sized).
 //!
 //! Per round the scheduler routes the buckets staged in the previous
 //! round to their destination chunks (swapping each fresh bucket for last
@@ -22,134 +27,12 @@
 //! step the current round, reply. One barrier per round, two channel
 //! messages per worker.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::thread::JoinHandle;
-
-use crate::engine::{chunk_boundaries, finish_round, phase_deliver, phase_step, ChunkState};
+use crate::engine::{chunk_boundaries, finish_round, ChunkState, EngineArena};
 use crate::error::SimError;
 use crate::metrics::{BitBudget, RoundMetrics, SimReport};
+use crate::pool::{Buckets, Job, Reply, SimPool};
 use crate::process::{Process, SendTally};
 use crate::topology::{NodeId, Topology};
-
-/// Per-destination staging buckets: `buckets[s]` holds the messages chunk
-/// `s` staged for one destination chunk, as `(destination-local slot,
-/// payload)` pairs.
-type Buckets<M> = Vec<Vec<(u32, M)>>;
-
-/// Work order for a parked worker: one fused job per round.
-enum Job<P: Process> {
-    /// Run [`phase_deliver`] with the inbound buckets staged in the
-    /// *previous* round (one per source chunk, ascending), then
-    /// [`phase_step`] the current round, and send everything back.
-    ///
-    /// Fusing delivery of round `r - 1` with the stepping of round `r`
-    /// into a single dispatch halves the channel round-trips per round.
-    /// It is observationally identical to deliver-then-return: delivery
-    /// only feeds round `r`'s inboxes, and the halted flags it consults
-    /// were final when round `r - 1` finished stepping.
-    Round {
-        chunk: Box<ChunkState<P>>,
-        inbound: Buckets<P::Msg>,
-        round: u64,
-        budget: Option<BitBudget>,
-    },
-    /// Exit the worker loop.
-    Stop,
-}
-
-/// A finished job, tagged with the worker index.
-enum Reply<P: Process> {
-    /// The round ran to completion; chunk and drained buckets come home.
-    Done {
-        chunk: Box<ChunkState<P>>,
-        inbound: Buckets<P::Msg>,
-    },
-    /// The node program (or the engine's own protocol-bug assert) panicked
-    /// on the worker; the payload is re-raised on the scheduler thread.
-    /// Without this the scheduler would deadlock: the other workers stay
-    /// parked holding live reply senders, so `recv()` would never error.
-    Panicked(Box<dyn std::any::Any + Send>),
-}
-
-/// The persistent pool: one parked thread per chunk.
-struct Pool<P: Process> {
-    txs: Vec<SyncSender<Job<P>>>,
-    rx: Receiver<(usize, Reply<P>)>,
-    handles: Vec<JoinHandle<()>>,
-}
-
-impl<P: Process + 'static> Pool<P> {
-    fn spawn(workers: usize) -> Self {
-        let (reply_tx, rx) = sync_channel::<(usize, Reply<P>)>(workers);
-        let mut txs = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let (tx, job_rx) = sync_channel::<Job<P>>(1);
-            let out = reply_tx.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("congest-worker-{w}"))
-                    .spawn(move || {
-                        while let Ok(job) = job_rx.recv() {
-                            match job {
-                                Job::Round {
-                                    mut chunk,
-                                    mut inbound,
-                                    round,
-                                    budget,
-                                } => {
-                                    // Catch node-program panics so they can
-                                    // be re-raised on the scheduler thread
-                                    // (state is discarded via the panic, so
-                                    // the unwind-safety assertion is sound).
-                                    let run = std::panic::catch_unwind(
-                                        std::panic::AssertUnwindSafe(|| {
-                                            phase_deliver(&mut chunk, &mut inbound);
-                                            phase_step(&mut chunk, round, budget);
-                                        }),
-                                    );
-                                    let reply = match run {
-                                        Ok(()) => Reply::Done { chunk, inbound },
-                                        Err(payload) => Reply::Panicked(payload),
-                                    };
-                                    if out.send((w, reply)).is_err() {
-                                        return;
-                                    }
-                                }
-                                Job::Stop => return,
-                            }
-                        }
-                    })
-                    .expect("spawn worker thread"),
-            );
-            txs.push(tx);
-        }
-        Self { txs, rx, handles }
-    }
-}
-
-impl<P: Process> Drop for Pool<P> {
-    fn drop(&mut self) {
-        for tx in &self.txs {
-            // A worker that already exited (e.g. after panicking) just
-            // leaves a closed channel behind; that is fine.
-            let _ = tx.send(Job::Stop);
-        }
-        for handle in self.handles.drain(..) {
-            // Swallow worker panics during teardown: the panic that matters
-            // already surfaced as a recv error on the scheduler side.
-            let _ = handle.join();
-        }
-    }
-}
-
-impl<P: Process> std::fmt::Debug for Pool<P> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Pool")
-            .field("workers", &self.handles.len())
-            .finish()
-    }
-}
 
 /// Parallel round scheduler with sequential-identical semantics.
 ///
@@ -181,13 +64,15 @@ impl<P: Process> std::fmt::Debug for Pool<P> {
 #[derive(Debug)]
 pub struct ParallelSimulator<P: Process + 'static> {
     topo: Topology,
-    /// Node-range starts per chunk (length `workers + 1`).
+    /// Node-range starts per chunk (length `chunks.len() + 1`).
     bounds: Vec<usize>,
-    /// Chunk states; `None` while a chunk is out at a worker.
+    /// Chunk states; `None` while a chunk is out at a worker. At most
+    /// `pool.workers()` chunks exist; a small instance on a big pool uses
+    /// only the first `chunks.len()` workers.
     chunks: Vec<Option<Box<ChunkState<P>>>>,
-    /// Reusable per-destination inbound containers (capacity `workers`).
+    /// Reusable per-destination inbound containers (capacity `chunks`).
     inbound_pool: Vec<Option<Buckets<P::Msg>>>,
-    pool: Pool<P>,
+    pool: SimPool<P>,
     active: usize,
     round: u64,
     report: SimReport,
@@ -196,25 +81,45 @@ pub struct ParallelSimulator<P: Process + 'static> {
 }
 
 impl<P: Process + 'static> ParallelSimulator<P> {
-    /// Creates a parallel simulator using up to `threads` persistent worker
-    /// threads (capped at the node count).
+    /// Creates a parallel simulator with a freshly spawned pool of up to
+    /// `threads` persistent worker threads (capped at the node count).
     ///
     /// # Panics
     ///
     /// Panics if `nodes.len() != topo.len()` or `threads == 0`.
     #[must_use]
     pub fn new(topo: Topology, nodes: Vec<P>, threads: usize) -> Self {
-        assert_eq!(nodes.len(), topo.len(), "need exactly one program per node");
         assert!(threads > 0, "need at least one worker thread");
+        let workers = threads.min(nodes.len()).max(1);
+        Self::with_pool(topo, nodes, SimPool::new(workers))
+    }
+
+    /// Creates a parallel simulator on an **existing** pool, recycling the
+    /// workers' engine arenas as this instance's chunks (mailbox slots,
+    /// dirty lists, worklists and staging buckets keep their capacity from
+    /// previous solves). Recover the pool — and the arenas — with
+    /// [`into_pool`](Self::into_pool).
+    ///
+    /// The instance is split into `min(pool.workers(), nodes.len())`
+    /// chunks; on a pool larger than the instance the surplus workers stay
+    /// parked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != topo.len()`.
+    #[must_use]
+    pub fn with_pool(topo: Topology, nodes: Vec<P>, mut pool: SimPool<P>) -> Self {
+        assert_eq!(nodes.len(), topo.len(), "need exactly one program per node");
         let n = nodes.len();
-        let workers = threads.min(n).max(1);
+        let workers = pool.workers().min(n).max(1);
         let bounds = chunk_boundaries(&topo, workers);
         let mut nodes = nodes;
         let mut chunks = Vec::with_capacity(workers);
         for index in (0..workers).rev() {
-            let mut chunk = ChunkState::build(&topo, &bounds, index);
-            chunk.nodes = nodes.split_off(bounds[index]);
-            chunks.push(Some(Box::new(chunk)));
+            let mut arena = pool.arenas[index].take().unwrap_or_default();
+            arena.chunk.rebuild(&topo, &bounds, index);
+            arena.chunk.nodes = nodes.split_off(bounds[index]);
+            chunks.push(Some(arena.chunk));
         }
         chunks.reverse();
         let inbound_pool = (0..workers)
@@ -225,7 +130,7 @@ impl<P: Process + 'static> ParallelSimulator<P> {
             bounds,
             chunks,
             inbound_pool,
-            pool: Pool::spawn(workers),
+            pool,
             active: n,
             round: 0,
             report: SimReport::default(),
@@ -248,7 +153,7 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         self
     }
 
-    /// Number of worker threads (= chunks).
+    /// Number of chunks this instance is split into (= workers in use).
     #[must_use]
     pub fn workers(&self) -> usize {
         self.chunks.len()
@@ -285,24 +190,41 @@ impl<P: Process + 'static> ParallelSimulator<P> {
     }
 
     /// Consumes the simulator, returning node programs (ascending id order)
-    /// and the report.
+    /// and the report. The pool (and its arenas) are dropped; use
+    /// [`into_pool`](Self::into_pool) to keep them.
     #[must_use]
-    pub fn into_parts(mut self) -> (Vec<P>, SimReport) {
+    pub fn into_parts(self) -> (Vec<P>, SimReport) {
+        let (nodes, report, _pool) = self.into_pool();
+        (nodes, report)
+    }
+
+    /// Consumes the simulator, returning the node programs (ascending id
+    /// order), the report, and the worker pool with every engine arena
+    /// parked back in place — ready for the next solve.
+    #[must_use]
+    pub fn into_pool(mut self) -> (Vec<P>, SimReport, SimPool<P>) {
         let mut nodes = Vec::with_capacity(self.bounds[self.chunks.len()]);
-        for slot in &mut self.chunks {
-            let chunk = slot.as_mut().expect("chunk is home");
+        for (index, slot) in self.chunks.iter_mut().enumerate() {
+            let mut chunk = slot.take().expect("chunk is home");
             nodes.append(&mut chunk.nodes);
+            self.pool.arenas[index] = Some(EngineArena { chunk });
         }
         let mut report = self.report.clone();
         report.all_halted = self.active == 0;
-        (nodes, report)
+        let Self { pool, .. } = self;
+        (nodes, report, pool)
     }
 
     /// Executes one synchronous round on the worker pool.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::BudgetExceeded`] on a CONGEST violation.
+    /// Returns [`SimError::BudgetExceeded`] on a CONGEST bandwidth
+    /// violation, or [`SimError::DuplicateSend`] if the *previous* round
+    /// sent two messages over one directed link (delivery happens at the
+    /// start of the next dispatch, so the violation surfaces one `step`
+    /// later than in the sequential scheduler; `run` reports it either
+    /// way).
     ///
     /// # Panics
     ///
@@ -338,7 +260,7 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         for w in 0..workers {
             let chunk = self.chunks[w].take().expect("chunk is home");
             let inbound = self.inbound_pool[w].take().expect("container is home");
-            self.pool.txs[w]
+            self.pool.pool.txs[w]
                 .send(Job::Round {
                     chunk,
                     inbound,
@@ -348,7 +270,7 @@ impl<P: Process + 'static> ParallelSimulator<P> {
                 .expect("worker alive");
         }
         for _ in 0..workers {
-            let (w, reply) = self.pool.rx.recv().expect("worker pool alive");
+            let (w, reply) = self.pool.pool.rx.recv().expect("worker pool alive");
             match reply {
                 Reply::Done { chunk, inbound } => {
                     self.chunks[w] = Some(chunk);
@@ -357,6 +279,20 @@ impl<P: Process + 'static> ParallelSimulator<P> {
                 // Re-raise a node-program panic on the caller's thread. The
                 // simulator is poisoned afterwards (the chunk is gone).
                 Reply::Panicked(payload) => std::panic::resume_unwind(payload),
+                Reply::TaskDone { .. } => unreachable!("no task jobs in flight during a round"),
+            }
+        }
+
+        // Surface delivery-time CONGEST violations (duplicate same-port
+        // sends from the previous round) before this round's accounting.
+        // Chunks are scanned in ascending node order; when several
+        // violations coexist in one round the reported one may differ
+        // from the sequential scheduler's pick (which detects in send
+        // order, same-step) — both always report *a* violation.
+        for slot in &self.chunks {
+            let chunk = slot.as_ref().expect("chunk is home");
+            if let Some(err) = chunk.delivery_error.clone() {
+                return Err(err);
             }
         }
 
@@ -382,15 +318,49 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         Ok(rm)
     }
 
+    /// Checks the staged-but-undelivered mail of the last executed round
+    /// for a duplicate same-port send. When the round limit trips, the
+    /// fused deliver-next-round dispatch never runs, so without this check
+    /// a final-round violation that the sequential scheduler reports
+    /// (delivery is same-step there) would be masked as `RoundLimit`.
+    /// (The all-halted exit needs no such check: every receiver is halted
+    /// then, and both schedulers drop mail to halted receivers before the
+    /// duplicate check.)
+    fn undelivered_duplicate(&self) -> Option<SimError> {
+        let sent_round = self.round.checked_sub(1)?;
+        let workers = self.chunks.len();
+        for d in 0..workers {
+            let dest = self.chunks[d].as_ref().expect("chunk is home");
+            let staged = (0..workers).flat_map(|s| {
+                let src = self.chunks[s].as_ref().expect("chunk is home");
+                src.stage[d].iter().map(|&(lslot, _)| lslot)
+            });
+            if let Some(err) = dest.scan_undelivered_duplicate(staged, sent_round) {
+                return Some(err);
+            }
+        }
+        None
+    }
+
     /// Runs until every node halts.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::RoundLimit`] if not all nodes halted within
-    /// `max_rounds`, or [`SimError::BudgetExceeded`] on a CONGEST violation.
+    /// `max_rounds`, or [`SimError::BudgetExceeded`] /
+    /// [`SimError::DuplicateSend`] on a CONGEST violation. A duplicate
+    /// send in the round right before the limit is reported too, even
+    /// though its delivery dispatch never runs. Both schedulers error on
+    /// the same protocols; when several violations coexist in one round,
+    /// *which* one is reported may differ (delivery is deferred by one
+    /// dispatch here, so e.g. a same-round budget overflow can win over a
+    /// duplicate send that the sequential scheduler reports first).
     pub fn run(&mut self, max_rounds: u64) -> Result<SimReport, SimError> {
         while self.active > 0 {
             if self.round >= max_rounds {
+                if let Some(err) = self.undelivered_duplicate() {
+                    return Err(err);
+                }
                 return Err(SimError::RoundLimit {
                     limit: max_rounds,
                     active: self.active,
@@ -464,6 +434,39 @@ mod tests {
     }
 
     #[test]
+    fn pooled_solves_reuse_threads_and_stay_identical() {
+        // One pool, a stream of different-topology instances: results must
+        // match a fresh ParallelSimulator (and thus the sequential
+        // scheduler) on every solve.
+        let mut pool: SimPool<Gossip> = SimPool::new(4);
+        for round_trip in 0..6 {
+            let n = 11 + 3 * round_trip;
+            let make_nodes = || -> Vec<Gossip> {
+                (0..n)
+                    .map(|i| Gossip {
+                        value: (i * 7 + round_trip) as u64,
+                        acc: 0,
+                        hops: 4,
+                    })
+                    .collect()
+            };
+            let mut fresh = ParallelSimulator::new(ring(n), make_nodes(), 4);
+            let fresh_report = fresh.run(100).unwrap();
+
+            let mut pooled = ParallelSimulator::with_pool(ring(n), make_nodes(), pool);
+            let pooled_report = pooled.run(100).unwrap();
+            assert_eq!(pooled_report, fresh_report, "solve {round_trip}");
+            let (pooled_nodes, _, recovered) = pooled.into_pool();
+            let (fresh_nodes, _) = fresh.into_parts();
+            for (a, b) in pooled_nodes.iter().zip(&fresh_nodes) {
+                assert_eq!(a.acc, b.acc);
+            }
+            pool = recovered;
+            assert_eq!(pool.workers(), 4);
+        }
+    }
+
+    #[test]
     fn budget_enforced_in_parallel() {
         struct Big;
         impl Process for Big {
@@ -511,6 +514,25 @@ mod tests {
         assert_eq!(sim.workers(), 3);
         let report = sim.run(10).unwrap();
         assert!(report.all_halted);
+    }
+
+    #[test]
+    fn big_pool_small_instance_uses_prefix_of_workers() {
+        let pool: SimPool<Gossip> = SimPool::new(8);
+        let n = 3;
+        let nodes: Vec<Gossip> = (0..n)
+            .map(|i| Gossip {
+                value: i as u64,
+                acc: 0,
+                hops: 2,
+            })
+            .collect();
+        let mut sim = ParallelSimulator::with_pool(ring(n), nodes, pool);
+        assert_eq!(sim.workers(), 3);
+        let report = sim.run(10).unwrap();
+        assert!(report.all_halted);
+        let (_, _, pool) = sim.into_pool();
+        assert_eq!(pool.workers(), 8);
     }
 
     #[test]
@@ -562,11 +584,12 @@ mod tests {
         assert!(msg.contains("boom at node 5"), "got: {msg}");
     }
 
-    /// The engine's duplicate same-port-send assert fires on a worker in
-    /// parallel mode; it must reach the caller like in the sequential
-    /// scheduler.
+    /// The duplicate same-port-send violation is detected at delivery on a
+    /// worker; it must reach the caller as a typed error, like in the
+    /// sequential scheduler (one `step` later here, since delivery fuses
+    /// into the next round's dispatch).
     #[test]
-    fn duplicate_send_panics_in_parallel_too() {
+    fn duplicate_send_is_error_in_parallel_too() {
         struct Double;
         impl Process for Double {
             type Msg = u64;
@@ -582,12 +605,60 @@ mod tests {
         }
         let nodes = (0..6).map(|_| Double).collect();
         let mut sim = ParallelSimulator::new(ring(6), nodes, 3);
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sim.step().and_then(|_| sim.step())
-        }))
-        .expect_err("duplicate send must panic");
-        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("duplicate message"), "got: {msg}");
+        let err = sim.run(10).unwrap_err();
+        assert!(
+            matches!(err, SimError::DuplicateSend { round: 0, .. }),
+            "got {err:?}"
+        );
+    }
+
+    /// A duplicate send in the last round *before the limit* must surface
+    /// as DuplicateSend, not be masked by RoundLimit: its delivery
+    /// dispatch never runs, so `run` checks the undelivered stage.
+    #[test]
+    fn duplicate_send_in_final_round_beats_round_limit() {
+        struct Double;
+        impl Process for Double {
+            type Msg = u64;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+                if ctx.round() == 0 {
+                    ctx.send(0, 1);
+                    ctx.send(0, 2);
+                }
+                Status::Running
+            }
+        }
+        let nodes = (0..6).map(|_| Double).collect();
+        let mut sim = ParallelSimulator::new(ring(6), nodes, 3);
+        let err = sim.run(1).unwrap_err();
+        assert!(
+            matches!(err, SimError::DuplicateSend { round: 0, .. }),
+            "got {err:?}"
+        );
+    }
+
+    /// Both schedulers agree that duplicates addressed to *halted*
+    /// receivers are dropped without an error (the halted check precedes
+    /// the duplicate check at delivery), so a run where everyone
+    /// double-sends and immediately halts is clean in both.
+    #[test]
+    fn duplicate_send_to_halted_receivers_is_dropped_in_both_schedulers() {
+        #[derive(Clone)]
+        struct DoubleAndQuit;
+        impl Process for DoubleAndQuit {
+            type Msg = u64;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+                ctx.send(0, 1);
+                ctx.send(0, 2);
+                Status::Halted
+            }
+        }
+        let mut seq = Simulator::new(ring(5), vec![DoubleAndQuit; 5]);
+        let seq_report = seq.run(10).unwrap();
+        let mut par = ParallelSimulator::new(ring(5), vec![DoubleAndQuit; 5], 2);
+        let par_report = par.run(10).unwrap();
+        assert_eq!(par_report, seq_report);
+        assert!(par_report.all_halted);
     }
 
     #[test]

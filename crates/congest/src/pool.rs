@@ -1,0 +1,453 @@
+//! The persistent worker pool shared by the parallel round scheduler and
+//! the batch-serving task API.
+//!
+//! One [`Pool`] owns a set of parked worker threads. Two kinds of work run
+//! on it:
+//!
+//! * **Round jobs** — [`ParallelSimulator`](crate::ParallelSimulator) moves
+//!   one engine chunk per worker and drives the fused deliver+step dispatch
+//!   of the round loop (chunk-level parallelism within one instance);
+//! * **Task jobs** — [`SimPool::run_tasks`] schedules arbitrary closures
+//!   over the workers, handing each the worker's persistent
+//!   [`EngineArena`] (instance-level parallelism across a batch; each
+//!   worker typically runs a whole sequential solve per task, reusing its
+//!   arena's capacity from task to task).
+//!
+//! A serving layer keeps **one** `SimPool` alive and alternates freely
+//! between the two modes: hand the pool to a `ParallelSimulator` via
+//! [`ParallelSimulator::with_pool`](crate::ParallelSimulator::with_pool)
+//! and recover it with
+//! [`ParallelSimulator::into_pool`](crate::ParallelSimulator::into_pool),
+//! or fan a batch out with [`SimPool::run_tasks`]. Threads are spawned
+//! once, at pool construction.
+
+use std::any::Any;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use crate::engine::{phase_deliver, phase_step, ChunkState, EngineArena};
+use crate::metrics::BitBudget;
+use crate::process::Process;
+
+/// Per-destination staging buckets: `buckets[s]` holds the messages chunk
+/// `s` staged for one destination chunk, as `(destination-local slot,
+/// payload)` pairs.
+pub(crate) type Buckets<M> = Vec<Vec<(u32, M)>>;
+
+/// Type-erased task result (downcast by [`SimPool::run_tasks`]).
+type TaskResult = Box<dyn Any + Send>;
+
+/// A task closure run against the worker's persistent arena.
+type TaskFn<P> = Box<dyn FnOnce(&mut EngineArena<P>) -> TaskResult + Send>;
+
+/// Work order for a parked worker.
+pub(crate) enum Job<P: Process> {
+    /// Run [`phase_deliver`] with the inbound buckets staged in the
+    /// *previous* round (one per source chunk, ascending), then
+    /// [`phase_step`] the current round, and send everything back.
+    ///
+    /// Fusing delivery of round `r - 1` with the stepping of round `r`
+    /// into a single dispatch halves the channel round-trips per round.
+    /// It is observationally identical to deliver-then-return: delivery
+    /// only feeds round `r`'s inboxes, and the halted flags it consults
+    /// were final when round `r - 1` finished stepping.
+    Round {
+        /// The chunk, moved to the worker for the duration of the round.
+        chunk: Box<ChunkState<P>>,
+        /// Buckets staged for this chunk in the previous round.
+        inbound: Buckets<P::Msg>,
+        /// The round being stepped.
+        round: u64,
+        /// Per-link bit budget, if enforced.
+        budget: Option<BitBudget>,
+    },
+    /// Run a closure against the worker's reusable engine arena (moved to
+    /// the worker with the job, returned with the reply).
+    Task {
+        /// The worker's arena, out for the duration of the task.
+        arena: EngineArena<P>,
+        /// The work itself.
+        run: TaskFn<P>,
+    },
+    /// Exit the worker loop.
+    Stop,
+}
+
+/// A finished job, tagged with the worker index.
+pub(crate) enum Reply<P: Process> {
+    /// The round ran to completion; chunk and drained buckets come home.
+    Done {
+        /// The chunk, back from the worker.
+        chunk: Box<ChunkState<P>>,
+        /// The drained buckets, capacity intact.
+        inbound: Buckets<P::Msg>,
+    },
+    /// A task ran to completion; arena and result come home.
+    TaskDone {
+        /// The worker's arena, back for the next task.
+        arena: EngineArena<P>,
+        /// The type-erased task return value.
+        result: TaskResult,
+    },
+    /// The node program (or the engine's own protocol-bug assert) panicked
+    /// on the worker; the payload is re-raised on the scheduler thread.
+    /// Without this the scheduler would deadlock: the other workers stay
+    /// parked holding live reply senders, so `recv()` would never error.
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// The persistent pool: one parked thread per worker.
+pub(crate) struct Pool<P: Process> {
+    pub(crate) txs: Vec<SyncSender<Job<P>>>,
+    pub(crate) rx: Receiver<(usize, Reply<P>)>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<P: Process + 'static> Pool<P> {
+    pub(crate) fn spawn(workers: usize) -> Self {
+        let (reply_tx, rx) = sync_channel::<(usize, Reply<P>)>(workers);
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, job_rx) = sync_channel::<Job<P>>(1);
+            let out = reply_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("congest-worker-{w}"))
+                    .spawn(move || {
+                        while let Ok(job) = job_rx.recv() {
+                            let reply = match job {
+                                Job::Round {
+                                    mut chunk,
+                                    mut inbound,
+                                    round,
+                                    budget,
+                                } => {
+                                    // Catch node-program panics so they can
+                                    // be re-raised on the scheduler thread
+                                    // (state is discarded via the panic, so
+                                    // the unwind-safety assertion is sound).
+                                    let run = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            phase_deliver(
+                                                &mut chunk,
+                                                &mut inbound,
+                                                round.saturating_sub(1),
+                                            );
+                                            phase_step(&mut chunk, round, budget);
+                                        }),
+                                    );
+                                    match run {
+                                        Ok(()) => Reply::Done { chunk, inbound },
+                                        Err(payload) => Reply::Panicked(payload),
+                                    }
+                                }
+                                Job::Task { mut arena, run } => {
+                                    let out = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| run(&mut arena)),
+                                    );
+                                    match out {
+                                        Ok(result) => Reply::TaskDone { arena, result },
+                                        // The arena dies with the panicking
+                                        // task; the pool rebuilds it lazily.
+                                        Err(payload) => Reply::Panicked(payload),
+                                    }
+                                }
+                                Job::Stop => return,
+                            };
+                            if out.send((w, reply)).is_err() {
+                                return;
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+            txs.push(tx);
+        }
+        Self { txs, rx, handles }
+    }
+}
+
+impl<P: Process> Drop for Pool<P> {
+    fn drop(&mut self) {
+        for tx in &self.txs {
+            // A worker that already exited (e.g. after panicking) just
+            // leaves a closed channel behind; that is fine.
+            let _ = tx.send(Job::Stop);
+        }
+        for handle in self.handles.drain(..) {
+            // Swallow worker panics during teardown: the panic that matters
+            // already surfaced as a recv error on the scheduler side.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<P: Process> std::fmt::Debug for Pool<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+/// A persistent simulation worker pool with one reusable [`EngineArena`]
+/// per worker — the resource a serving layer keeps alive across solves.
+///
+/// Threads spawn once, at construction, and park on their job channels
+/// between uses. The pool serves two modes:
+///
+/// * **Single instance, chunk-parallel** — hand the pool to
+///   [`ParallelSimulator::with_pool`](crate::ParallelSimulator::with_pool);
+///   the simulator recycles the workers' arenas as its engine chunks and
+///   returns them (capacity intact) via
+///   [`into_pool`](crate::ParallelSimulator::into_pool).
+/// * **Many instances, task-parallel** — [`SimPool::run_tasks`] fans
+///   closures out over the workers; each receives `&mut` its worker's
+///   arena, so a task that runs a whole sequential solve (see
+///   [`Simulator::with_arena`](crate::Simulator::with_arena)) reuses
+///   mailbox-slot, dirty-list, worklist and staging capacity from the
+///   worker's previous task.
+///
+/// # Examples
+///
+/// ```
+/// use dcover_congest::{EngineArena, SimPool};
+/// use dcover_congest::{Ctx, Process, Status};
+///
+/// struct Nop;
+/// impl Process for Nop {
+///     type Msg = u64;
+///     fn on_round(&mut self, _ctx: &mut Ctx<'_, u64>) -> Status {
+///         Status::Halted
+///     }
+/// }
+///
+/// let mut pool: SimPool<Nop> = SimPool::new(4);
+/// let tasks: Vec<_> = (0..16)
+///     .map(|i| move |_arena: &mut EngineArena<Nop>| i * i)
+///     .collect();
+/// let squares = pool.run_tasks(tasks);
+/// assert_eq!(squares[7], 49);
+/// ```
+#[derive(Debug)]
+pub struct SimPool<P: Process + 'static> {
+    pub(crate) pool: Pool<P>,
+    /// One reusable arena per worker; `None` while out at the worker (or
+    /// lost to a panicking task — rebuilt lazily on the next dispatch).
+    pub(crate) arenas: Vec<Option<EngineArena<P>>>,
+}
+
+impl<P: Process + 'static> SimPool<P> {
+    /// Spawns a pool of `threads` persistent workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        Self {
+            pool: Pool::spawn(threads),
+            arenas: (0..threads).map(|_| Some(EngineArena::new())).collect(),
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.arenas.len()
+    }
+
+    /// Runs every task on the pool, each against its worker's persistent
+    /// arena, and returns the results in task order.
+    ///
+    /// Tasks are dispatched dynamically: each worker takes the next
+    /// unstarted task as soon as it finishes its current one, so a mixed
+    /// batch (cheap and expensive tasks) load-balances itself.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first task panic on the calling thread, after every
+    /// in-flight task has drained (the pool stays usable afterwards).
+    pub fn run_tasks<T, F>(&mut self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
+    {
+        let total = tasks.len();
+        let mut results: Vec<Option<T>> = Vec::with_capacity(total);
+        results.resize_with(total, || None);
+        let mut queue = tasks.into_iter().enumerate();
+        let mut current: Vec<Option<usize>> = vec![None; self.workers()];
+        let mut outstanding = 0usize;
+        for w in 0..self.workers() {
+            match queue.next() {
+                Some((idx, f)) => {
+                    self.dispatch(w, idx, f, &mut current);
+                    outstanding += 1;
+                }
+                None => break,
+            }
+        }
+        let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+        while outstanding > 0 {
+            let (w, reply) = self.pool.rx.recv().expect("worker pool alive");
+            outstanding -= 1;
+            match reply {
+                Reply::TaskDone { arena, result } => {
+                    let idx = current[w].take().expect("worker had a task");
+                    self.arenas[w] = Some(arena);
+                    let value = result
+                        .downcast::<T>()
+                        .expect("task returns the declared type");
+                    results[idx] = Some(*value);
+                    if panic_payload.is_none() {
+                        if let Some((idx, f)) = queue.next() {
+                            self.dispatch(w, idx, f, &mut current);
+                            outstanding += 1;
+                        }
+                    }
+                }
+                Reply::Panicked(payload) => {
+                    current[w] = None;
+                    if panic_payload.is_none() {
+                        panic_payload = Some(payload);
+                    }
+                }
+                Reply::Done { .. } => unreachable!("no round jobs in flight during run_tasks"),
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every task ran"))
+            .collect()
+    }
+
+    fn dispatch<T, F>(&mut self, w: usize, idx: usize, f: F, current: &mut [Option<usize>])
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
+    {
+        let arena = self.arenas[w].take().unwrap_or_default();
+        current[w] = Some(idx);
+        let run: TaskFn<P> = Box::new(move |a| Box::new(f(a)) as TaskResult);
+        self.pool.txs[w]
+            .send(Job::Task { arena, run })
+            .expect("worker alive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{Ctx, Status};
+    use crate::sim::Simulator;
+    use crate::topology::Topology;
+
+    struct Echo {
+        heard: u64,
+    }
+    impl Process for Echo {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Status {
+            if ctx.round() == 0 {
+                ctx.broadcast(ctx.node() as u64 + 1);
+                Status::Running
+            } else {
+                self.heard = ctx.inbox().iter().map(|i| i.msg).sum();
+                Status::Halted
+            }
+        }
+    }
+
+    #[test]
+    fn tasks_return_in_task_order_and_load_balance() {
+        let mut pool: SimPool<Echo> = SimPool::new(3);
+        let tasks: Vec<_> = (0..20u64)
+            .map(|i| {
+                move |_arena: &mut EngineArena<Echo>| {
+                    if i % 5 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i * 10
+                }
+            })
+            .collect();
+        let out = pool.run_tasks(tasks);
+        assert_eq!(out, (0..20u64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn arenas_are_reused_across_tasks_for_whole_solves() {
+        let mut pool: SimPool<Echo> = SimPool::new(2);
+        let tasks: Vec<_> = (0..8)
+            .map(|t| {
+                move |arena: &mut EngineArena<Echo>| {
+                    let n = 4 + t % 3;
+                    let links: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+                    let topo = Topology::from_links(n, &links);
+                    let nodes = (0..n).map(|_| Echo { heard: 0 }).collect();
+                    let taken = std::mem::take(arena);
+                    let mut sim = Simulator::with_arena(topo, nodes, taken);
+                    let report = sim.run(10).unwrap();
+                    let (nodes, _, back) = sim.into_arena();
+                    *arena = back;
+                    (report.rounds, nodes[0].heard)
+                }
+            })
+            .collect();
+        let out = pool.run_tasks(tasks);
+        for (t, (rounds, heard)) in out.into_iter().enumerate() {
+            assert_eq!(rounds, 2, "task {t}");
+            let n = 4 + t % 3;
+            // Node 0's ring neighbors are 1 and n-1; messages carry id+1.
+            assert_eq!(heard, 2 + n as u64, "task {t}");
+        }
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let mut pool: SimPool<Echo> = SimPool::new(2);
+        let out: Vec<u32> = pool.run_tasks(Vec::<fn(&mut EngineArena<Echo>) -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let mut pool: SimPool<Echo> = SimPool::new(8);
+        let tasks: Vec<_> = (0..3u32)
+            .map(|i| move |_a: &mut EngineArena<Echo>| i)
+            .collect();
+        assert_eq!(pool.run_tasks(tasks), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        let mut pool: SimPool<Echo> = SimPool::new(2);
+        let tasks: Vec<_> = (0..6u32)
+            .map(|i| {
+                move |_a: &mut EngineArena<Echo>| {
+                    assert!(i != 3, "task 3 exploded");
+                    i
+                }
+            })
+            .collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run_tasks(tasks)))
+            .expect_err("task panic must surface");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("task 3 exploded"), "got: {msg}");
+        // The pool remains usable: the lost arena is rebuilt lazily.
+        let tasks: Vec<_> = (0..4u32)
+            .map(|i| move |_a: &mut EngineArena<Echo>| i + 100)
+            .collect();
+        assert_eq!(pool.run_tasks(tasks), vec![100, 101, 102, 103]);
+    }
+}

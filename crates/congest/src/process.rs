@@ -330,7 +330,9 @@ impl<'a, M: Message> Ctx<'a, M> {
     ///
     /// CONGEST permits one message per directed link per round: sending
     /// twice on the same port in one round is a protocol bug, and the
-    /// engine panics when the duplicate is delivered.
+    /// engine aborts the run with
+    /// [`SimError::DuplicateSend`](crate::SimError::DuplicateSend) when the
+    /// duplicate is delivered.
     ///
     /// # Panics
     ///

@@ -8,7 +8,9 @@
 //! arena layout, the determinism contract, and the zero-allocation
 //! guarantee.
 
-use crate::engine::{chunk_boundaries, finish_round, phase_deliver, phase_step, ChunkState};
+use crate::engine::{
+    chunk_boundaries, finish_round, phase_deliver, phase_step, ChunkState, EngineArena,
+};
 use crate::error::SimError;
 use crate::metrics::{BitBudget, RoundMetrics, SimReport};
 use crate::process::Process;
@@ -51,7 +53,7 @@ use crate::topology::{NodeId, Topology};
 #[derive(Debug)]
 pub struct Simulator<P: Process> {
     topo: Topology,
-    chunk: ChunkState<P>,
+    chunk: Box<ChunkState<P>>,
     active: usize,
     round: u64,
     report: SimReport,
@@ -67,10 +69,25 @@ impl<P: Process> Simulator<P> {
     /// Panics if `nodes.len() != topo.len()`.
     #[must_use]
     pub fn new(topo: Topology, nodes: Vec<P>) -> Self {
+        Self::with_arena(topo, nodes, EngineArena::new())
+    }
+
+    /// Creates a simulator that recycles `arena`'s buffers — mailbox
+    /// slots, dirty lists, worklist, staging buckets and routing tables
+    /// all keep the capacity they grew in previous solves. Results are
+    /// bit-identical to [`Simulator::new`]; recover the arena afterwards
+    /// with [`into_arena`](Self::into_arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != topo.len()`.
+    #[must_use]
+    pub fn with_arena(topo: Topology, nodes: Vec<P>, arena: EngineArena<P>) -> Self {
         assert_eq!(nodes.len(), topo.len(), "need exactly one program per node");
         let n = nodes.len();
         let bounds = chunk_boundaries(&topo, 1);
-        let mut chunk = ChunkState::build(&topo, &bounds, 0);
+        let mut chunk = arena.chunk;
+        chunk.rebuild(&topo, &bounds, 0);
         chunk.nodes = nodes;
         Self {
             topo,
@@ -142,9 +159,19 @@ impl<P: Process> Simulator<P> {
     /// local state) and the report.
     #[must_use]
     pub fn into_parts(self) -> (Vec<P>, SimReport) {
+        let (nodes, report, _arena) = self.into_arena();
+        (nodes, report)
+    }
+
+    /// Consumes the simulator, returning the node programs, the report,
+    /// and the engine arena (every buffer's capacity intact) for reuse by
+    /// a later [`Simulator::with_arena`].
+    #[must_use]
+    pub fn into_arena(mut self) -> (Vec<P>, SimReport, EngineArena<P>) {
+        let nodes = std::mem::take(&mut self.chunk.nodes);
         let mut report = self.report;
         report.all_halted = self.active == 0;
-        (self.chunk.nodes, report)
+        (nodes, report, EngineArena { chunk: self.chunk })
     }
 
     /// Executes one synchronous round.
@@ -152,15 +179,19 @@ impl<P: Process> Simulator<P> {
     /// # Errors
     ///
     /// Returns [`SimError::BudgetExceeded`] if a link overflows the
-    /// configured budget.
+    /// configured budget, or [`SimError::DuplicateSend`] if a node sent
+    /// two messages over one directed link this round.
     pub fn step(&mut self) -> Result<RoundMetrics, SimError> {
         let active_at_start = self.active;
         phase_step(&mut self.chunk, self.round, self.budget);
         self.active -= self.chunk.newly_halted as usize;
         // Single chunk: its one staging bucket is also its inbound bucket.
         let mut inbound = std::mem::take(&mut self.chunk.stage);
-        phase_deliver(&mut self.chunk, &mut inbound);
+        phase_deliver(&mut self.chunk, &mut inbound, self.round);
         self.chunk.stage = inbound;
+        if let Some(err) = self.chunk.delivery_error.clone() {
+            return Err(err);
+        }
         let rm = finish_round(
             &self.topo,
             &self.chunk.tally,
@@ -475,7 +506,8 @@ mod tests {
     }
 
     /// Sends twice on the same port in one round — a CONGEST violation the
-    /// engine turns into a panic at delivery.
+    /// engine turns into a typed error at delivery (a serving layer must
+    /// not be crashable by one bad node program).
     struct DoubleSender;
     impl Process for DoubleSender {
         type Msg = u64;
@@ -491,11 +523,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate message")]
-    fn duplicate_same_port_send_panics() {
+    fn duplicate_same_port_send_is_typed_error() {
         let topo = Topology::from_links(2, &[(0, 1)]);
         let mut sim = Simulator::new(topo, vec![DoubleSender, DoubleSender]);
-        let _ = sim.step();
+        let err = sim.step().unwrap_err();
+        assert_eq!(
+            err,
+            SimError::DuplicateSend {
+                round: 0,
+                receiver: 1,
+                port: 0
+            }
+        );
+        // The simulator is poisoned: further steps keep reporting it.
+        assert!(matches!(
+            sim.step().unwrap_err(),
+            SimError::DuplicateSend { .. }
+        ));
+    }
+
+    /// Arena-recycled solves must be bit-identical to fresh ones.
+    #[test]
+    fn arena_reuse_is_bit_identical() {
+        use crate::engine::EngineArena;
+        let make = |n: usize| {
+            let links: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+            let topo = Topology::from_links(n, &links);
+            let nodes: Vec<MaxFlood> = (0..n).map(|i| MaxFlood::new(i, n as u32)).collect();
+            (topo, nodes)
+        };
+        let mut arena = EngineArena::new();
+        for n in [8usize, 5, 12, 8] {
+            let (topo, nodes) = make(n);
+            let mut fresh = Simulator::new(topo, nodes).with_trace(true);
+            let fresh_report = fresh.run(200).unwrap();
+
+            let (topo, nodes) = make(n);
+            let mut recycled = Simulator::with_arena(topo, nodes, arena).with_trace(true);
+            let recycled_report = recycled.run(200).unwrap();
+            assert_eq!(recycled_report, fresh_report, "n = {n}");
+            for id in 0..n {
+                assert_eq!(recycled.node(id).known, fresh.node(id).known);
+            }
+            let (_, _, back) = recycled.into_arena();
+            arena = back;
+        }
     }
 
     /// Parallel links between the same pair are distinct ports and carry

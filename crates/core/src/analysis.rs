@@ -17,6 +17,10 @@ use crate::params::{z_levels, Variant};
 ///   increments;
 /// * `+2` covers iteration 0 and the final covering iteration.
 ///
+/// All arithmetic **saturates** at `u64::MAX`: extreme but legal parameters
+/// (huge rank or α, tiny ε driving `z` up) produce a pinned bound instead
+/// of wrapping (release) or panicking (debug).
+///
 /// # Panics
 ///
 /// Panics if `alpha < 2`, `f == 0`, or `eps` outside `(0, 1]`.
@@ -26,24 +30,30 @@ pub fn iteration_bound(f: u32, delta: u32, eps: f64, alpha: u32, variant: Varian
     let z = u64::from(z_levels(f, eps));
     let f = u64::from(f.max(1));
     let delta = f64::from(delta.max(2));
-    let raises = (delta.log2() + (f * z) as f64) / f64::from(alpha).log2();
+    // The raise count is computed in floats (`f·z` as a product of floats:
+    // the u64 product could already overflow); the final cast saturates.
+    let raises = (delta.log2() + f as f64 * z as f64) / f64::from(alpha).log2();
     let stuck_per_level = match variant {
-        Variant::Standard => u64::from(alpha) + 1,
-        Variant::HalfBid => 2 * u64::from(alpha) + 2,
+        Variant::Standard => u64::from(alpha).saturating_add(1),
+        Variant::HalfBid => u64::from(alpha).saturating_mul(2).saturating_add(2),
     };
-    raises.ceil() as u64 + f * z * stuck_per_level + 2
+    (raises.ceil() as u64)
+        .saturating_add(f.saturating_mul(z).saturating_mul(stuck_per_level))
+        .saturating_add(2)
 }
 
 /// Upper bound on *communication rounds*: 2 initialization rounds plus 4
 /// rounds per iteration (the constant-round iteration structure of §3.2 /
-/// Appendix B).
+/// Appendix B). Saturates at `u64::MAX` like [`iteration_bound`].
 ///
 /// # Panics
 ///
 /// Panics if `alpha < 2`, `f == 0`, or `eps` outside `(0, 1]`.
 #[must_use]
 pub fn round_bound(f: u32, delta: u32, eps: f64, alpha: u32, variant: Variant) -> u64 {
-    2 + 4 * iteration_bound(f, delta, eps, alpha, variant)
+    iteration_bound(f, delta, eps, alpha, variant)
+        .saturating_mul(4)
+        .saturating_add(2)
 }
 
 /// The asymptotic *shape* of Theorem 9's round complexity,
@@ -66,7 +76,7 @@ pub fn theorem9_shape(f: u32, delta: u32, eps: f64, gamma: f64) -> f64 {
 }
 
 /// The `O(log Δ / log log Δ)` lower-bound shape of Kuhn–Moscibroda–
-/// Wattenhofer (reference [19] of the paper) that Theorem 9 matches: any
+/// Wattenhofer (reference \[19\] of the paper) that Theorem 9 matches: any
 /// constant-factor approximation needs `Ω(log Δ / log log Δ)` rounds.
 ///
 /// # Panics
@@ -113,6 +123,26 @@ mod tests {
         // Just sanity-check both are positive and different.
         assert_ne!(small_alpha, big_alpha);
         assert!(small_alpha > 0 && big_alpha > 0);
+    }
+
+    #[test]
+    fn extreme_params_saturate_instead_of_overflowing() {
+        // Huge-but-legal parameters used to overflow `f · z · stuck` in
+        // `u64` (a debug-mode panic, silent wrap in release). They must pin
+        // at u64::MAX instead.
+        let it = iteration_bound(u32::MAX, u32::MAX, 1e-9, u32::MAX, Variant::HalfBid);
+        assert_eq!(it, u64::MAX);
+        assert_eq!(
+            round_bound(u32::MAX, u32::MAX, 1e-9, u32::MAX, Variant::HalfBid),
+            u64::MAX
+        );
+        // Tiny ε (large z) with a huge α, Standard variant.
+        let it = iteration_bound(u32::MAX, 2, f64::MIN_POSITIVE, u32::MAX, Variant::Standard);
+        assert_eq!(it, u64::MAX);
+        // Large-but-not-saturating parameters stay monotone (no wrap).
+        let a = iteration_bound(1000, 1 << 20, 1e-6, 1 << 20, Variant::HalfBid);
+        let b = iteration_bound(1000, 1 << 20, 1e-6, 1 << 21, Variant::HalfBid);
+        assert!(b >= a, "{b} < {a}: wrapped");
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   [`InvariantChecker`].
 //! * [`analysis`] — explicit versions of the paper's round bounds
 //!   (Theorem 8/9) used to validate measured complexity.
+//! * [`SolveSession`] — the batch-serving layer: one persistent worker
+//!   pool and recycled engine arenas shared across solves, with
+//!   [`SolveSession::solve_batch`] scheduling many independent instances
+//!   concurrently (bit-identical to per-instance solves).
 //!
 //! # Example
 //!
@@ -61,6 +65,7 @@ mod observer;
 mod params;
 pub mod protocol;
 mod reference;
+mod session;
 mod solver;
 
 pub use certificate::{Certificate, CertificateError};
@@ -72,4 +77,5 @@ pub use protocol::{
     build_network, iteration_of_round, iterations_of_rounds, MwhvcMsg, MwhvcNode, NodeRole,
 };
 pub use reference::{solve_reference, ReferenceResult};
+pub use session::SolveSession;
 pub use solver::{CoverResult, MwhvcSolver};

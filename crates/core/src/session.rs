@@ -1,0 +1,309 @@
+//! Batched multi-instance serving: a reusable solve session.
+//!
+//! [`MwhvcSolver::solve`](crate::MwhvcSolver::solve) is fast *per solve*,
+//! but a serving workload — a stream of independent instances — pays its
+//! setup costs over and over: every call rebuilds the topology, re-grows
+//! every engine arena, and (in parallel mode) spins a whole worker pool up
+//! and back down. [`SolveSession`] amortizes all of that: it owns **one**
+//! persistent [`SimPool`] worker pool and one reusable [`EngineArena`] per
+//! worker (mailbox slots, dirty lists, worklists and staging buckets keep
+//! their capacity across solves), and serves two shapes of traffic:
+//!
+//! * [`solve`](SolveSession::solve) — one instance, chunk-parallel across
+//!   the pool (PR 1's parallelism, minus the pool spawn/teardown and arena
+//!   growth);
+//! * [`solve_batch`](SolveSession::solve_batch) — many instances,
+//!   **instance-parallel**: each worker runs whole sequential solves
+//!   against its recycled arena, pulling the next instance as soon as it
+//!   finishes the current one (dynamic load balancing over mixed sizes).
+//!
+//! Results are **bit-identical** to per-instance
+//! [`MwhvcSolver::solve`](crate::MwhvcSolver::solve) in both modes — the
+//! schedulers share one engine with a determinism contract, and arenas
+//! only recycle capacity, never state. One bad instance in a batch yields
+//! its own `Err` entry; it cannot crash the session or poison its
+//! neighbors.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcover_core::{MwhvcConfig, SolveSession};
+//! use dcover_hypergraph::from_weighted_edge_lists;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut session = SolveSession::new(MwhvcConfig::new(0.5)?, 4);
+//! let a = from_weighted_edge_lists(&[10, 1, 10], &[&[0, 1], &[1, 2]])?;
+//! let b = from_weighted_edge_lists(&[2, 3], &[&[0, 1]])?;
+//! let results = session.solve_batch(&[a, b]);
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(results[0].as_ref().unwrap().weight, 1);
+//! assert_eq!(results[1].as_ref().unwrap().weight, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use dcover_congest::{EngineArena, ParallelSimulator, SimPool};
+use dcover_hypergraph::Hypergraph;
+
+use crate::error::SolveError;
+use crate::params::MwhvcConfig;
+use crate::protocol::{build_network, MwhvcNode};
+use crate::solver::{CoverResult, MwhvcSolver};
+
+/// A reusable serving session: one persistent worker pool plus one
+/// recycled engine arena per worker, shared by every solve made through
+/// it. See the module-level docs for the serving model.
+#[derive(Debug)]
+pub struct SolveSession {
+    solver: MwhvcSolver,
+    threads: usize,
+    /// The pool; `None` only transiently (while a solve is borrowing it)
+    /// or after a worker died to a panic (rebuilt lazily).
+    pool: Option<SimPool<MwhvcNode>>,
+}
+
+impl SolveSession {
+    /// Creates a session with `threads` persistent workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn new(config: MwhvcConfig, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        Self {
+            solver: MwhvcSolver::new(config),
+            threads,
+            pool: Some(SimPool::new(threads)),
+        }
+    }
+
+    /// Creates a session with the given ε and default settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::InvalidEpsilon`] unless `0 < epsilon ≤ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_epsilon(epsilon: f64, threads: usize) -> Result<Self, SolveError> {
+        Ok(Self::new(MwhvcConfig::new(epsilon)?, threads))
+    }
+
+    /// The session's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MwhvcConfig {
+        self.solver.config()
+    }
+
+    /// Number of persistent worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn take_pool(&mut self) -> SimPool<MwhvcNode> {
+        self.pool
+            .take()
+            .unwrap_or_else(|| SimPool::new(self.threads))
+    }
+
+    /// Solves one instance, chunk-parallel across the session's pool.
+    ///
+    /// Identical semantics (and bit-identical results) to
+    /// [`MwhvcSolver::solve`] / [`solve_parallel`](MwhvcSolver::solve_parallel),
+    /// but the worker threads and engine arenas are reused from the
+    /// session instead of being rebuilt per call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MwhvcSolver::solve`]. The session (pool and arenas)
+    /// remains valid and reusable after an error.
+    pub fn solve(&mut self, g: &Hypergraph) -> Result<CoverResult, SolveError> {
+        self.solver.validate(g)?;
+        if g.n() == 0 {
+            return Ok(CoverResult::empty());
+        }
+        let (topo, nodes) = build_network(g, self.solver.config());
+        let limit = self.solver.round_limit(g);
+        let mut sim = ParallelSimulator::with_pool(topo, nodes, self.take_pool())
+            .with_budget(self.solver.budget_for(g))
+            .with_trace(self.solver.config().trace());
+        let run = sim.run(limit);
+        let (nodes, report, pool) = sim.into_pool();
+        self.pool = Some(pool);
+        run?;
+        Ok(self.solver.assemble(g, &nodes, report))
+    }
+
+    /// Solves a batch of independent instances concurrently over the
+    /// session's pool — instance-level parallelism layered on the shared
+    /// workers. Each worker runs whole sequential solves against its
+    /// recycled arena and takes the next pending instance as soon as it
+    /// finishes one, so mixed workloads load-balance dynamically.
+    ///
+    /// Returns one entry per instance, in input order. Every `Ok` result
+    /// is bit-identical to what per-instance [`MwhvcSolver::solve`] would
+    /// return; every invalid instance yields its own `Err` without
+    /// affecting the others.
+    ///
+    /// Tasks must outlive the borrow of `instances` (they run on pool
+    /// threads), so this clones each instance; callers that can give up
+    /// ownership should use [`solve_batch_owned`](Self::solve_batch_owned)
+    /// to skip the copies.
+    pub fn solve_batch(
+        &mut self,
+        instances: &[Hypergraph],
+    ) -> Vec<Result<CoverResult, SolveError>> {
+        self.solve_batch_owned(instances.to_vec())
+    }
+
+    /// Like [`solve_batch`](Self::solve_batch), but takes the instances by
+    /// value: each moves into its task, so no instance is deep-copied.
+    pub fn solve_batch_owned(
+        &mut self,
+        instances: Vec<Hypergraph>,
+    ) -> Vec<Result<CoverResult, SolveError>> {
+        let mut pool = self.take_pool();
+        let tasks: Vec<_> = instances
+            .into_iter()
+            .map(|g| {
+                let solver = self.solver.clone();
+                move |arena: &mut EngineArena<MwhvcNode>| solver.solve_with_arena(&g, arena)
+            })
+            .collect();
+        let results = pool.run_tasks(tasks);
+        self.pool = Some(pool);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
+    use dcover_hypergraph::{from_edge_lists, from_weighted_edge_lists};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mixed_instances(count: usize, seed: u64) -> Vec<Hypergraph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|i| {
+                random_uniform(
+                    &RandomUniform {
+                        n: 20 + (i * 7) % 40,
+                        m: 40 + (i * 13) % 90,
+                        rank: 2 + i % 3,
+                        weights: WeightDist::Uniform {
+                            min: 1,
+                            max: 5 + (i as u64 % 20),
+                        },
+                    },
+                    &mut rng,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_are_bit_identical_to_per_instance_solve() {
+        let instances = mixed_instances(12, 3);
+        let solver = MwhvcSolver::with_epsilon(0.5).unwrap();
+        let mut session = SolveSession::with_epsilon(0.5, 4).unwrap();
+        let batch = session.solve_batch(&instances);
+        assert_eq!(batch.len(), instances.len());
+        for (i, (g, res)) in instances.iter().zip(&batch).enumerate() {
+            let individual = solver.solve(g).unwrap();
+            let batched = res.as_ref().unwrap();
+            assert_eq!(batched.cover, individual.cover, "instance {i}");
+            assert_eq!(batched.duals, individual.duals, "instance {i}");
+            assert_eq!(batched.levels, individual.levels, "instance {i}");
+            assert_eq!(batched.weight, individual.weight, "instance {i}");
+            assert_eq!(batched.report, individual.report, "instance {i}");
+        }
+    }
+
+    #[test]
+    fn session_solve_matches_solver_solve() {
+        let instances = mixed_instances(5, 9);
+        let solver = MwhvcSolver::with_epsilon(0.25).unwrap();
+        let mut session = SolveSession::with_epsilon(0.25, 3).unwrap();
+        for g in &instances {
+            let a = solver.solve(g).unwrap();
+            let b = session.solve(g).unwrap();
+            assert_eq!(a.cover, b.cover);
+            assert_eq!(a.duals, b.duals);
+            assert_eq!(a.levels, b.levels);
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn owned_batch_matches_borrowed_batch() {
+        let instances = mixed_instances(6, 21);
+        let mut session = SolveSession::with_epsilon(0.5, 3).unwrap();
+        let borrowed = session.solve_batch(&instances);
+        let owned = session.solve_batch_owned(instances);
+        for (a, b) in borrowed.iter().zip(&owned) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.cover, b.cover);
+            assert_eq!(a.duals, b.duals);
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn bad_instance_in_batch_fails_alone() {
+        let good = from_weighted_edge_lists(&[2, 3], &[&[0, 1]]).unwrap();
+        let oversized = from_weighted_edge_lists(&[1 << 60, 1], &[&[0, 1]]).unwrap();
+        let mut session = SolveSession::with_epsilon(0.5, 2).unwrap();
+        let results = session.solve_batch(&[good.clone(), oversized, good.clone()]);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(SolveError::WeightTooLarge { vertex: 0, .. })
+        ));
+        assert!(results[2].is_ok());
+        // The session stays serviceable afterwards.
+        assert!(session.solve(&good).is_ok());
+    }
+
+    #[test]
+    fn session_survives_solve_error() {
+        let oversized = from_weighted_edge_lists(&[1 << 60, 1], &[&[0, 1]]).unwrap();
+        let good = from_edge_lists(3, &[&[0, 1], &[1, 2]]).unwrap();
+        let mut session = SolveSession::with_epsilon(0.5, 2).unwrap();
+        assert!(session.solve(&oversized).is_err());
+        let r = session.solve(&good).unwrap();
+        assert!(r.cover.is_cover_of(&good));
+    }
+
+    #[test]
+    fn empty_batch_and_empty_instance() {
+        let mut session = SolveSession::with_epsilon(0.5, 2).unwrap();
+        assert!(session.solve_batch(&[]).is_empty());
+        let empty = from_edge_lists(0, &[]).unwrap();
+        let results = session.solve_batch(std::slice::from_ref(&empty));
+        assert_eq!(results[0].as_ref().unwrap().weight, 0);
+        assert_eq!(session.solve(&empty).unwrap().iterations, 0);
+    }
+
+    #[test]
+    fn repeated_batches_reuse_the_same_pool() {
+        // Many batches through one session: results stay correct while
+        // arenas recycle across batches (this is the serving loop shape).
+        let mut session = SolveSession::with_epsilon(1.0, 4).unwrap();
+        for round in 0..3 {
+            let instances = mixed_instances(8, 100 + round);
+            let results = session.solve_batch(&instances);
+            for (g, r) in instances.iter().zip(&results) {
+                let r = r.as_ref().unwrap();
+                assert!(r.cover.is_cover_of(g));
+                let bound = g.rank().max(1) as f64 + 1.0;
+                assert!(r.ratio_upper_bound() <= bound + 1e-9);
+            }
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! The user-facing solver: runs the distributed protocol on the CONGEST
 //! simulator and assembles the result.
 
-use dcover_congest::{BitBudget, ParallelSimulator, SimReport, Simulator};
+use dcover_congest::{BitBudget, EngineArena, ParallelSimulator, SimReport, Simulator};
 use dcover_hypergraph::{Cover, Hypergraph};
 
 use crate::analysis;
@@ -56,6 +56,19 @@ impl CoverResult {
     #[must_use]
     pub fn rounds(&self) -> u64 {
         self.report.rounds
+    }
+
+    /// The result of solving the empty instance.
+    pub(crate) fn empty() -> Self {
+        CoverResult {
+            cover: Cover::empty(0),
+            duals: Vec::new(),
+            levels: Vec::new(),
+            weight: 0,
+            dual_total: 0.0,
+            iterations: 0,
+            report: SimReport::default(),
+        }
     }
 }
 
@@ -113,7 +126,41 @@ impl MwhvcSolver {
     /// [`SolveError::Sim`] if the simulation violates the CONGEST bit budget
     /// or the round limit (both indicate bugs or deliberately tight limits).
     pub fn solve(&self, g: &Hypergraph) -> Result<CoverResult, SolveError> {
-        self.solve_impl(g, None)
+        let mut arena = EngineArena::new();
+        self.solve_with_arena(g, &mut arena)
+    }
+
+    /// Like [`solve`](Self::solve), but recycles the buffers of `arena`
+    /// across calls (mailbox slots, dirty lists, worklists and staging
+    /// buckets keep their capacity), which is what a serving loop wants.
+    /// Results are bit-identical to [`solve`](Self::solve).
+    /// [`SolveSession::solve_batch`](crate::SolveSession::solve_batch)
+    /// drives this from a worker pool with one arena per worker.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve). On error the arena is still
+    /// recovered and reusable.
+    pub fn solve_with_arena(
+        &self,
+        g: &Hypergraph,
+        arena: &mut EngineArena<MwhvcNode>,
+    ) -> Result<CoverResult, SolveError> {
+        self.validate(g)?;
+        if g.n() == 0 {
+            return Ok(CoverResult::empty());
+        }
+        let (topo, nodes) = build_network(g, &self.config);
+        let limit = self.round_limit(g);
+        let taken = std::mem::take(arena);
+        let mut sim = Simulator::with_arena(topo, nodes, taken)
+            .with_budget(self.budget_for(g))
+            .with_trace(self.config.trace());
+        let run = sim.run(limit);
+        let (nodes, report, recovered) = sim.into_arena();
+        *arena = recovered;
+        run?;
+        Ok(self.assemble(g, &nodes, report))
     }
 
     /// Runs the protocol on the thread-pool scheduler with identical
@@ -132,11 +179,24 @@ impl MwhvcSolver {
         threads: usize,
     ) -> Result<CoverResult, SolveError> {
         assert!(threads > 0, "need at least one worker thread");
-        self.solve_impl(g, Some(threads))
+        self.validate(g)?;
+        if g.n() == 0 {
+            return Ok(CoverResult::empty());
+        }
+        let (topo, nodes) = build_network(g, &self.config);
+        let limit = self.round_limit(g);
+        let mut sim = ParallelSimulator::new(topo, nodes, threads)
+            .with_budget(self.budget_for(g))
+            .with_trace(self.config.trace());
+        sim.run(limit)?;
+        let (nodes, report) = sim.into_parts();
+        Ok(self.assemble(g, &nodes, report))
     }
 
     /// The round limit used for `g` (configured override or the Theorem 8
-    /// bound times a safety factor).
+    /// bound times a safety factor). Saturates at `u64::MAX` for extreme
+    /// but legal configurations (huge fixed α, tiny ε) instead of
+    /// overflowing.
     #[must_use]
     pub fn round_limit(&self, g: &Hypergraph) -> u64 {
         if let Some(limit) = self.config.max_rounds() {
@@ -157,7 +217,9 @@ impl MwhvcSolver {
             self.config.variant(),
         );
         let per_edge = raises_bound.max(stuck_bound);
-        ROUND_LIMIT_SAFETY * (2 + 4 * per_edge) + 64
+        ROUND_LIMIT_SAFETY
+            .saturating_mul(per_edge.saturating_mul(4).saturating_add(2))
+            .saturating_add(64)
     }
 
     /// The largest α any edge resolves under the configured policy.
@@ -180,11 +242,8 @@ impl MwhvcSolver {
         }
     }
 
-    fn solve_impl(
-        &self,
-        g: &Hypergraph,
-        threads: Option<usize>,
-    ) -> Result<CoverResult, SolveError> {
+    /// Rejects weights beyond the exact-`f64` range before any solve.
+    pub(crate) fn validate(&self, g: &Hypergraph) -> Result<(), SolveError> {
         for v in g.vertices() {
             let w = g.weight(v);
             if w > MAX_EXACT_WEIGHT {
@@ -194,48 +253,25 @@ impl MwhvcSolver {
                 });
             }
         }
-        if g.n() == 0 {
-            return Ok(CoverResult {
-                cover: Cover::empty(0),
-                duals: Vec::new(),
-                levels: Vec::new(),
-                weight: 0,
-                dual_total: 0.0,
-                iterations: 0,
-                report: SimReport::default(),
-            });
-        }
+        Ok(())
+    }
 
-        let (topo, nodes) = build_network(g, &self.config);
-        let budget = self
-            .config
+    /// The bit budget used for `g` (configured override or the CONGEST
+    /// convention for the bipartite communication network).
+    pub(crate) fn budget_for(&self, g: &Hypergraph) -> BitBudget {
+        self.config
             .budget()
-            .unwrap_or_else(|| BitBudget::congest(g.n() + g.m(), 32));
-        let limit = self.round_limit(g);
-
-        let (nodes, report) = match threads {
-            None => {
-                let mut sim = Simulator::new(topo, nodes)
-                    .with_budget(budget)
-                    .with_trace(self.config.trace());
-                sim.run(limit)?;
-                sim.into_parts()
-            }
-            Some(t) => {
-                let mut sim = ParallelSimulator::new(topo, nodes, t)
-                    .with_budget(budget)
-                    .with_trace(self.config.trace());
-                sim.run(limit)?;
-                sim.into_parts()
-            }
-        };
-
-        Ok(self.assemble(g, &nodes, report))
+            .unwrap_or_else(|| BitBudget::congest(g.n() + g.m(), 32))
     }
 
     /// Extracts the cover, levels, and per-edge duals from the final node
     /// states.
-    fn assemble(&self, g: &Hypergraph, nodes: &[MwhvcNode], report: SimReport) -> CoverResult {
+    pub(crate) fn assemble(
+        &self,
+        g: &Hypergraph,
+        nodes: &[MwhvcNode],
+        report: SimReport,
+    ) -> CoverResult {
         let n = g.n();
         let mut cover = Cover::empty(n);
         let mut levels = vec![0u32; n];
@@ -390,6 +426,44 @@ mod tests {
         let r = MwhvcSolver::new(cfg).solve(&g).unwrap();
         assert!(r.cover.is_cover_of(&g));
         assert!(r.ratio_upper_bound() <= 3.5 + 1e-9);
+    }
+
+    #[test]
+    fn arena_recycled_solves_match_fresh_solves() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut arena = EngineArena::new();
+        let s = solver(0.5);
+        for trial in 0..4 {
+            let g = random_uniform(
+                &RandomUniform {
+                    n: 30 + 5 * trial,
+                    m: 70 + 11 * trial,
+                    rank: 2 + trial % 3,
+                    weights: WeightDist::Uniform { min: 1, max: 12 },
+                },
+                &mut rng,
+            );
+            let fresh = s.solve(&g).unwrap();
+            let recycled = s.solve_with_arena(&g, &mut arena).unwrap();
+            assert_eq!(fresh.cover, recycled.cover, "trial {trial}");
+            assert_eq!(fresh.duals, recycled.duals, "trial {trial}");
+            assert_eq!(fresh.levels, recycled.levels, "trial {trial}");
+            assert_eq!(fresh.report, recycled.report, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn round_limit_saturates_for_extreme_configs() {
+        // A huge fixed α and a tiny ε must pin the automatic limit at
+        // u64::MAX (or at least not overflow in debug builds).
+        let cfg = MwhvcConfig::new(1e-12)
+            .unwrap()
+            .with_alpha(crate::params::AlphaPolicy::Fixed(u32::MAX))
+            .with_variant(Variant::HalfBid);
+        let s = MwhvcSolver::new(cfg);
+        let g = from_edge_lists(3, &[&[0, 1, 2]]).unwrap();
+        let limit = s.round_limit(&g);
+        assert!(limit >= analysis::round_bound(3, 1, 1e-12, u32::MAX, Variant::HalfBid));
     }
 
     #[test]

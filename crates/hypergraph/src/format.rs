@@ -80,13 +80,18 @@ pub fn parse(text: &str) -> Result<Hypergraph, ParseError> {
                 }
                 let n = parse_num(fields.next(), line_no, "vertex count")?;
                 let m = parse_num(fields.next(), line_no, "edge count")?;
+                reject_trailing(fields.next(), line_no, "p")?;
                 header = Some((n, m));
             }
             Some("v") => {
                 if header.is_none() {
                     return Err(ParseError::MissingHeader);
                 }
-                let w: u64 = parse_num(fields.next(), line_no, "weight")? as u64;
+                // Weights are parsed as `u64` directly: going through `usize`
+                // would reject (or, worse, truncate) weights above
+                // `usize::MAX` on 32-bit targets.
+                let w: u64 = parse_num(fields.next(), line_no, "weight")?;
+                reject_trailing(fields.next(), line_no, "v")?;
                 weights.push(w);
             }
             Some("e") => {
@@ -144,7 +149,11 @@ pub fn parse(text: &str) -> Result<Hypergraph, ParseError> {
     Ok(b.build()?)
 }
 
-fn parse_num(field: Option<&str>, line: usize, what: &str) -> Result<usize, ParseError> {
+fn parse_num<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, ParseError> {
     let field = field.ok_or_else(|| ParseError::Malformed {
         line,
         reason: format!("missing {what}"),
@@ -153,6 +162,18 @@ fn parse_num(field: Option<&str>, line: usize, what: &str) -> Result<usize, Pars
         line,
         reason: format!("bad {what} `{field}`"),
     })
+}
+
+/// `p` and `v` records have a fixed arity; extra fields are a malformed
+/// line, not silently ignored data (`v 5 6` must not parse as weight 5).
+fn reject_trailing(field: Option<&str>, line: usize, record: &str) -> Result<(), ParseError> {
+    match field {
+        None => Ok(()),
+        Some(extra) => Err(ParseError::Malformed {
+            line,
+            reason: format!("trailing field `{extra}` after `{record}` record"),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +230,38 @@ mod tests {
             parse("p mwhvc 1 1\nv 1\ne zero\n").unwrap_err(),
             ParseError::Malformed { line: 3, .. }
         ));
+    }
+
+    #[test]
+    fn weights_parse_as_u64_not_usize() {
+        // Weights above u32::MAX (i.e. above usize::MAX on 32-bit targets)
+        // must survive parsing exactly — regression for the old
+        // parse-as-usize-then-cast path.
+        let big = (1u64 << 52) + 12_345;
+        let text = format!("p mwhvc 2 1\nv {big}\nv 7\ne 0 1\n");
+        let g = parse(&text).unwrap();
+        assert_eq!(g.weight(VertexId::new(0)), big);
+        let text2 = serialize(&g);
+        assert_eq!(parse(&text2).unwrap(), g);
+    }
+
+    #[test]
+    fn trailing_garbage_on_v_record_rejected() {
+        // `v 5 6` used to silently parse as weight 5, dropping the 6.
+        let err = parse("p mwhvc 1 0\nv 5 6\n").unwrap_err();
+        assert!(
+            matches!(err, ParseError::Malformed { line: 2, ref reason } if reason.contains("trailing")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_on_p_record_rejected() {
+        let err = parse("p mwhvc 1 0 9\nv 1\n").unwrap_err();
+        assert!(
+            matches!(err, ParseError::Malformed { line: 1, ref reason } if reason.contains("trailing")),
+            "got {err:?}"
+        );
     }
 
     #[test]

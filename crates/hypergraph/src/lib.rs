@@ -16,7 +16,7 @@
 //!   with hypergraph vertex cover;
 //! * [`generators`] — seeded random / structured / geometric instance
 //!   families;
-//! * [`format`] — a DIMACS-flavoured plain-text instance format.
+//! * [`mod@format`] — a DIMACS-flavoured plain-text instance format.
 //!
 //! # Quick example
 //!

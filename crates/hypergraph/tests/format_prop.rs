@@ -1,0 +1,115 @@
+//! Property-style suite for the plain-text instance format: `parse` must
+//! never panic on arbitrary input (malformed, truncated, or byte-mangled),
+//! and `parse ∘ serialize` must be the identity on valid instances.
+//!
+//! Uses the workspace's seeded-rand convention (no proptest offline): each
+//! property runs over a few hundred seeded random cases, so failures are
+//! reproducible from the seed in the assertion message.
+
+use dcover_hypergraph::generators::{random_mixed_rank, random_uniform, RandomUniform, WeightDist};
+use dcover_hypergraph::{format, Hypergraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(rng: &mut StdRng) -> Hypergraph {
+    if rng.gen_bool(0.5) {
+        random_uniform(
+            &RandomUniform {
+                n: rng.gen_range(1usize..40),
+                m: rng.gen_range(0usize..60),
+                rank: rng.gen_range(1usize..5),
+                weights: WeightDist::Uniform {
+                    min: 1,
+                    max: rng.gen_range(1u64..1 << 40),
+                },
+            },
+            rng,
+        )
+    } else {
+        let n = rng.gen_range(1usize..30);
+        let m = rng.gen_range(0usize..40);
+        random_mixed_rank(n, m, 1, 4, &WeightDist::Uniform { min: 1, max: 100 }, rng)
+    }
+}
+
+#[test]
+fn serialize_parse_roundtrips_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(0xF0_12AD);
+    for case in 0..200 {
+        let g = random_instance(&mut rng);
+        let text = format::serialize(&g);
+        let parsed = format::parse(&text)
+            .unwrap_or_else(|e| panic!("case {case}: serialized instance failed to parse: {e}"));
+        assert_eq!(parsed, g, "case {case}: roundtrip changed the instance");
+    }
+}
+
+#[test]
+fn parse_never_panics_on_random_bytes() {
+    let mut rng = StdRng::seed_from_u64(0xBAD_F00D);
+    let alphabet: Vec<char> = "pvce 0123456789-+\n\t mwhvc\u{fffd}xéあ".chars().collect();
+    for _case in 0..500 {
+        let len = rng.gen_range(0usize..200);
+        let text: String = (0..len)
+            .map(|_| alphabet[rng.gen_range(0usize..alphabet.len())])
+            .collect();
+        // Any outcome is fine except a panic.
+        let _ = format::parse(&text);
+    }
+}
+
+#[test]
+fn parse_never_panics_on_mutated_valid_instances() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..300 {
+        let g = random_instance(&mut rng);
+        let mut bytes = format::serialize(&g).into_bytes();
+        if bytes.is_empty() {
+            continue;
+        }
+        // Flip, delete, or duplicate a few random bytes.
+        for _ in 0..rng.gen_range(1usize..6) {
+            let i = rng.gen_range(0usize..bytes.len());
+            match rng.gen_range(0u32..3) {
+                0 => bytes[i] = bytes[i].wrapping_add(rng.gen_range(1u8..255)),
+                1 => {
+                    bytes.remove(i);
+                    if bytes.is_empty() {
+                        break;
+                    }
+                }
+                _ => {
+                    let b = bytes[i];
+                    bytes.insert(i, b);
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        // Must not panic; and if it still parses, the result must be a
+        // structurally valid hypergraph.
+        if let Ok(parsed) = format::parse(&text) {
+            assert!(parsed.n() > 0 || parsed.m() == 0, "case {case}");
+            for e in parsed.edges() {
+                for &v in parsed.edge(e) {
+                    assert!(v.index() < parsed.n(), "case {case}: dangling vertex");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncations_of_valid_instances_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0x7A7A);
+    for _case in 0..100 {
+        let g = random_instance(&mut rng);
+        let text = format::serialize(&g);
+        for cut in 0..text.len().min(80) {
+            let _ = format::parse(&text[..cut]);
+        }
+        // Also cut from the front (drops the header).
+        for skip in 0..text.len().min(40) {
+            let _ = format::parse(&text[skip..]);
+        }
+    }
+}

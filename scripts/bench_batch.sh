@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Runs the batch-serving throughput benchmark and writes BENCH_batch.json
+# (instances/sec for SolveSession::solve_batch vs a naive per-instance
+# solve_parallel loop on a 64-instance mixed workload; batch outputs are
+# asserted bit-identical to individual solves before timing) at the
+# repository root. Usage: scripts/bench_batch.sh [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_batch.json}"
+BENCH_BATCH_JSON="$(pwd)/$OUT" cargo bench -p dcover-bench --bench batch
+echo "--- $OUT ---"
+cat "$OUT"

@@ -1,0 +1,137 @@
+//! End-to-end batch-serving equivalence: `SolveSession::solve_batch` must
+//! return, for every instance of a mixed workload, results **bit-identical**
+//! to per-instance `MwhvcSolver::solve` (covers, duals, levels, weights,
+//! and full `SimReport`s), across configurations and repeated batches on
+//! one session — the serving-layer analogue of the scheduler determinism
+//! contract.
+
+use distributed_covering::core::{MwhvcConfig, MwhvcSolver, SolveSession, Variant};
+use distributed_covering::hypergraph::generators::{
+    random_mixed_rank, random_uniform, structured, RandomUniform, WeightDist,
+};
+use distributed_covering::hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A mixed serving workload: uniform and mixed-rank random instances of
+/// varying size, plus structured extremal shapes.
+fn workload(count: usize, seed: u64) -> Vec<Hypergraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| match i % 4 {
+            0 | 1 => random_uniform(
+                &RandomUniform {
+                    n: 20 + (i * 11) % 60,
+                    m: 30 + (i * 17) % 120,
+                    rank: 2 + i % 3,
+                    weights: WeightDist::Uniform {
+                        min: 1,
+                        max: 4 + (i as u64 * 3) % 40,
+                    },
+                },
+                &mut rng,
+            ),
+            2 => {
+                let n = 15 + (i * 7) % 35;
+                let m = 25 + (i * 5) % 50;
+                random_mixed_rank(
+                    n,
+                    m,
+                    1,
+                    4,
+                    &WeightDist::Uniform { min: 1, max: 9 },
+                    &mut rng,
+                )
+            }
+            _ => {
+                if rng.gen_bool(0.5) {
+                    structured::star(6 + i % 20, 3, 1 + (i as u64 % 5))
+                } else {
+                    structured::cycle(5 + i % 25)
+                }
+            }
+        })
+        .collect()
+}
+
+fn assert_bit_identical(
+    a: &distributed_covering::core::CoverResult,
+    b: &distributed_covering::core::CoverResult,
+    ctx: &str,
+) {
+    assert_eq!(a.cover, b.cover, "{ctx}: covers differ");
+    assert_eq!(a.duals, b.duals, "{ctx}: duals differ");
+    assert_eq!(a.levels, b.levels, "{ctx}: levels differ");
+    assert_eq!(a.weight, b.weight, "{ctx}: weights differ");
+    assert_eq!(
+        a.dual_total.to_bits(),
+        b.dual_total.to_bits(),
+        "{ctx}: dual totals differ"
+    );
+    assert_eq!(a.iterations, b.iterations, "{ctx}: iteration counts differ");
+    assert_eq!(a.report, b.report, "{ctx}: reports differ");
+}
+
+#[test]
+fn solve_batch_is_bit_identical_to_per_instance_solve() {
+    let instances = workload(24, 42);
+    for (eps, threads) in [(1.0, 1usize), (0.5, 4), (0.25, 8)] {
+        let solver = MwhvcSolver::with_epsilon(eps).unwrap();
+        let mut session = SolveSession::with_epsilon(eps, threads).unwrap();
+        let batch = session.solve_batch(&instances);
+        assert_eq!(batch.len(), instances.len());
+        for (i, (g, res)) in instances.iter().zip(&batch).enumerate() {
+            let individual = solver.solve(g).unwrap();
+            let batched = res
+                .as_ref()
+                .unwrap_or_else(|e| panic!("instance {i} failed in batch: {e}"));
+            assert_bit_identical(
+                batched,
+                &individual,
+                &format!("eps={eps} t={threads} i={i}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_batches_on_one_session_stay_identical() {
+    // The arenas have warm capacity from batch 1; batches 2..n must still
+    // be bit-identical to fresh solves (recycling must never leak state).
+    let solver = MwhvcSolver::with_epsilon(0.5).unwrap();
+    let mut session = SolveSession::with_epsilon(0.5, 4).unwrap();
+    for batch_no in 0..3 {
+        let instances = workload(10, 7_000 + batch_no);
+        let batch = session.solve_batch(&instances);
+        for (i, (g, res)) in instances.iter().zip(&batch).enumerate() {
+            let individual = solver.solve(g).unwrap();
+            assert_bit_identical(
+                res.as_ref().unwrap(),
+                &individual,
+                &format!("batch={batch_no} i={i}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn session_solve_and_batch_agree_with_solve_parallel() {
+    // All four entry points — solve, solve_parallel, session solve,
+    // session batch — one result.
+    let instances = workload(8, 99);
+    let cfg = MwhvcConfig::new(0.5)
+        .unwrap()
+        .with_variant(Variant::HalfBid);
+    let solver = MwhvcSolver::new(cfg.clone());
+    let mut session = SolveSession::new(cfg, 4);
+    let batch = session.solve_batch(&instances);
+    for (i, g) in instances.iter().enumerate() {
+        let a = solver.solve(g).unwrap();
+        let b = solver.solve_parallel(g, 4).unwrap();
+        let c = session.solve(g).unwrap();
+        let d = batch[i].as_ref().unwrap();
+        assert_bit_identical(&a, &b, &format!("solve vs solve_parallel i={i}"));
+        assert_bit_identical(&a, &c, &format!("solve vs session.solve i={i}"));
+        assert_bit_identical(&a, d, &format!("solve vs batch i={i}"));
+    }
+}
