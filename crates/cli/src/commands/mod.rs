@@ -1,28 +1,31 @@
-//! The three subcommands: `solve`, `batch`, `gen`.
+//! The `dcover` subcommands: `solve` and `batch` live here; the streaming
+//! server (`serve`), the certificate checker (`verify`), and the instance
+//! generators (`gen`) have their own submodules.
+
+pub mod gen;
+pub mod serve;
+pub mod verify;
 
 use std::io::Read as _;
 use std::time::Instant;
 
 use dcover_core::{CoverResult, MwhvcConfig, MwhvcSolver, SolveSession, Variant};
-use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
 use dcover_hypergraph::{format, Hypergraph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::args;
 use crate::json::{array, Obj};
 use crate::Failure;
 
-fn usage(msg: String) -> Failure {
+pub(crate) fn usage(msg: String) -> Failure {
     Failure::Usage(msg)
 }
 
-fn runtime(msg: String) -> Failure {
+pub(crate) fn runtime(msg: String) -> Failure {
     Failure::Runtime(msg)
 }
 
 /// Reads an instance from a path (or stdin for `-`).
-fn read_instance(path: &str) -> Result<Hypergraph, Failure> {
+pub(crate) fn read_instance(path: &str) -> Result<Hypergraph, Failure> {
     let text = if path == "-" {
         let mut buf = String::new();
         std::io::stdin()
@@ -35,7 +38,7 @@ fn read_instance(path: &str) -> Result<Hypergraph, Failure> {
     format::parse(&text).map_err(|e| runtime(format!("{path}: {e}")))
 }
 
-fn config_from(parsed: &args::Parsed) -> Result<MwhvcConfig, Failure> {
+pub(crate) fn config_from(parsed: &args::Parsed) -> Result<MwhvcConfig, Failure> {
     let eps: f64 = parsed.value_or("eps", 0.5).map_err(usage)?;
     let mut config = MwhvcConfig::new(eps).map_err(|e| usage(e.to_string()))?;
     match parsed.value("variant") {
@@ -50,11 +53,11 @@ fn config_from(parsed: &args::Parsed) -> Result<MwhvcConfig, Failure> {
     Ok(config)
 }
 
-fn default_threads() -> usize {
+pub(crate) fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-fn instance_json(file: &str, g: &Hypergraph) -> String {
+pub(crate) fn instance_json(file: &str, g: &Hypergraph) -> String {
     Obj::new()
         .str("file", file)
         .num("n", g.n())
@@ -64,7 +67,18 @@ fn instance_json(file: &str, g: &Hypergraph) -> String {
         .build()
 }
 
-fn result_json(r: &CoverResult) -> String {
+/// The solution part of a report: summary numbers plus the cover and the
+/// dual certificate, so a report is self-contained and `dcover verify`
+/// can re-check it against the instance.
+pub(crate) fn result_json(r: &CoverResult) -> String {
+    let cover = array(r.cover.iter().map(|v| v.index().to_string()));
+    let duals = array(r.duals.iter().map(|d| {
+        if d.is_finite() {
+            format!("{d}")
+        } else {
+            "null".to_string()
+        }
+    }));
     Obj::new()
         .num("weight", r.weight)
         .num("cover_size", r.cover.len())
@@ -75,6 +89,8 @@ fn result_json(r: &CoverResult) -> String {
         .num("messages", r.report.total_messages)
         .num("bits", r.report.total_bits)
         .num("max_link_bits", r.report.max_link_bits)
+        .raw("cover", &cover)
+        .raw("duals", &duals)
         .build()
 }
 
@@ -263,63 +279,6 @@ pub fn batch(raw: &[String]) -> Result<(), Failure> {
             "{failed} of {} instances failed",
             entries.len()
         )));
-    }
-    Ok(())
-}
-
-/// `dcover gen uniform --n N --m M --rank F [--seed S] [--min-weight W]
-/// [--max-weight W] [--out FILE]`
-pub fn gen(raw: &[String]) -> Result<(), Failure> {
-    let parsed = args::parse(
-        raw,
-        &[],
-        &["n", "m", "rank", "seed", "min-weight", "max-weight", "out"],
-    )
-    .map_err(usage)?;
-    let [family] = parsed.positional.as_slice() else {
-        return Err(usage(
-            "gen takes exactly one family (currently: `uniform`)".to_string(),
-        ));
-    };
-    if family != "uniform" {
-        return Err(usage(format!(
-            "unknown family `{family}` (currently: `uniform`)"
-        )));
-    }
-    let n: usize = parsed.required("n").map_err(usage)?;
-    let m: usize = parsed.required("m").map_err(usage)?;
-    let rank: usize = parsed.value_or("rank", 3).map_err(usage)?;
-    let seed: u64 = parsed.value_or("seed", 1).map_err(usage)?;
-    let min_weight: u64 = parsed.value_or("min-weight", 1).map_err(usage)?;
-    let max_weight: u64 = parsed.value_or("max-weight", 100).map_err(usage)?;
-    if n == 0 || rank == 0 {
-        return Err(usage("--n and --rank must be positive".to_string()));
-    }
-    if min_weight == 0 || min_weight > max_weight {
-        return Err(usage(
-            "weights need 0 < --min-weight <= --max-weight".to_string(),
-        ));
-    }
-
-    let g = random_uniform(
-        &RandomUniform {
-            n,
-            m,
-            rank,
-            weights: WeightDist::Uniform {
-                min: min_weight,
-                max: max_weight,
-            },
-        },
-        &mut StdRng::seed_from_u64(seed),
-    );
-    let text = format::serialize(&g);
-    match parsed.value("out") {
-        None | Some("-") => print!("{text}"),
-        Some(path) => {
-            std::fs::write(path, text).map_err(|e| runtime(format!("{path}: {e}")))?;
-            eprintln!("wrote {path} (n={n} m={m} rank={rank} seed={seed})");
-        }
     }
     Ok(())
 }

@@ -1,0 +1,211 @@
+//! `dcover serve` — the streaming front end over
+//! [`SolveService`](dcover_core::SolveService).
+//!
+//! Instances are read from **stdin as they arrive** (concatenated in the
+//! [`dcover_hypergraph::format`] text format — a new `p mwhvc n m` header
+//! starts the next instance) and submitted to the service the moment they
+//! parse; one JSON line per instance goes to stdout **in completion
+//! order**, tagged with a 0-based `seq` id in arrival order so a consumer
+//! can re-associate responses with requests. Solves overlap with reading:
+//! a slow instance does not block the results of fast ones submitted
+//! after it.
+//!
+//! The submission queue is bounded (`--queue`); when it fills, the reader
+//! applies natural backpressure by blocking on `submit` until a worker
+//! frees a slot — stdin is simply consumed more slowly instead of
+//! buffering without limit.
+
+use std::io::BufRead as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dcover_core::{SolveService, Ticket};
+use dcover_hypergraph::{format, Hypergraph};
+
+use super::{default_threads, result_json, runtime, usage};
+use crate::args;
+use crate::json::Obj;
+use crate::Failure;
+
+/// One submitted instance awaiting completion.
+struct Pending {
+    seq: u64,
+    ticket: Ticket,
+    g: Arc<Hypergraph>,
+    submitted: Instant,
+}
+
+/// Running totals for the stderr summary and the exit code.
+#[derive(Default)]
+struct Totals {
+    ok: usize,
+    failed: usize,
+}
+
+/// `dcover serve [--eps E] [--threads N] [--queue C] [--variant V]`
+pub fn serve(raw: &[String]) -> Result<(), Failure> {
+    let parsed = args::parse(raw, &[], &["eps", "threads", "queue", "variant"]).map_err(usage)?;
+    if !parsed.positional.is_empty() {
+        return Err(usage(
+            "serve reads instances from stdin and takes no positional arguments".to_string(),
+        ));
+    }
+    let config = super::config_from(&parsed)?;
+    let eps = config.epsilon();
+    let threads: usize = parsed
+        .value_or("threads", default_threads())
+        .map_err(usage)?;
+    if threads == 0 {
+        return Err(usage("--threads must be at least 1".to_string()));
+    }
+    let queue: usize = parsed.value_or("queue", 4 * threads).map_err(usage)?;
+    if queue == 0 {
+        return Err(usage("--queue must be at least 1".to_string()));
+    }
+
+    let service = SolveService::with_queue_capacity(config, threads, queue);
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut totals = Totals::default();
+    let mut next_seq: u64 = 0;
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    let mut have_header = false;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| runtime(format!("reading stdin: {e}")))?;
+        let is_header = line.split_whitespace().next() == Some("p");
+        if is_header && have_header {
+            submit(
+                &service,
+                &buffer,
+                eps,
+                &mut next_seq,
+                &mut pending,
+                &mut totals,
+            );
+            buffer.clear();
+            have_header = false;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        have_header |= is_header;
+        // Emit whatever has completed since the last line (completion
+        // order), without blocking the reader.
+        poll_completed(&mut pending, eps, &mut totals);
+    }
+    if buffer.lines().any(|l| {
+        let t = l.trim();
+        !t.is_empty() && !t.starts_with('c')
+    }) {
+        submit(
+            &service,
+            &buffer,
+            eps,
+            &mut next_seq,
+            &mut pending,
+            &mut totals,
+        );
+    }
+
+    // Stdin is exhausted: drain the in-flight solves, still emitting in
+    // completion order.
+    while !pending.is_empty() {
+        poll_completed(&mut pending, eps, &mut totals);
+        if !pending.is_empty() {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+    service.shutdown();
+
+    eprintln!(
+        "serve: {} instances, {} ok, {} failed ({threads} threads, queue {queue})",
+        totals.ok + totals.failed,
+        totals.ok,
+        totals.failed,
+    );
+    if totals.failed > 0 {
+        return Err(runtime(format!("{} instances failed", totals.failed)));
+    }
+    Ok(())
+}
+
+/// Parses one framed chunk and submits it; a parse failure emits its
+/// error line immediately (it never occupies a queue slot).
+fn submit(
+    service: &SolveService,
+    text: &str,
+    eps: f64,
+    next_seq: &mut u64,
+    pending: &mut Vec<Pending>,
+    totals: &mut Totals,
+) {
+    let seq = *next_seq;
+    *next_seq += 1;
+    match format::parse(text) {
+        Ok(g) => {
+            let g = Arc::new(g);
+            match service.submit(Arc::clone(&g), eps) {
+                Ok(ticket) => pending.push(Pending {
+                    seq,
+                    ticket,
+                    g,
+                    submitted: Instant::now(),
+                }),
+                Err(e) => emit_error(seq, &e.to_string(), totals),
+            }
+        }
+        Err(e) => emit_error(seq, &format!("stdin instance {seq}: {e}"), totals),
+    }
+}
+
+/// Emits every finished solve (non-blocking); unfinished tickets stay.
+fn poll_completed(pending: &mut Vec<Pending>, eps: f64, totals: &mut Totals) {
+    let mut still = Vec::with_capacity(pending.len());
+    for entry in pending.drain(..) {
+        let Pending {
+            seq,
+            ticket,
+            g,
+            submitted,
+        } = entry;
+        match ticket.try_wait() {
+            Ok(outcome) => {
+                let wall_ms = submitted.elapsed().as_secs_f64() * 1e3;
+                match outcome {
+                    Ok(result) => {
+                        let line = Obj::new()
+                            .num("seq", seq)
+                            .bool("ok", true)
+                            .num("n", g.n())
+                            .num("m", g.m())
+                            .num("rank", g.rank())
+                            .float("epsilon", eps)
+                            .raw("result", &result_json(&result))
+                            .float("latency_ms", wall_ms)
+                            .build();
+                        println!("{line}");
+                        totals.ok += 1;
+                    }
+                    Err(e) => emit_error(seq, &e.to_string(), totals),
+                }
+            }
+            Err(ticket) => still.push(Pending {
+                seq,
+                ticket,
+                g,
+                submitted,
+            }),
+        }
+    }
+    *pending = still;
+}
+
+fn emit_error(seq: u64, message: &str, totals: &mut Totals) {
+    let line = Obj::new()
+        .num("seq", seq)
+        .bool("ok", false)
+        .str("error", message)
+        .build();
+    println!("{line}");
+    totals.failed += 1;
+}

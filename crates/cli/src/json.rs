@@ -1,5 +1,7 @@
-//! Minimal JSON emission (no serde offline): string escaping plus a small
-//! object/array builder producing deterministic, human-diffable output.
+//! Minimal JSON emission and parsing (no serde offline): string escaping,
+//! a small object/array builder producing deterministic, human-diffable
+//! output, and a recursive-descent parser for reading reports back (the
+//! `verify` subcommand consumes `solve`/`serve` JSON output).
 
 use std::fmt::Write as _;
 
@@ -91,6 +93,239 @@ pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
     format!("[{}]", items.join(", "))
 }
 
+/// A parsed JSON value.
+///
+/// Numbers are kept as `f64` — every number this CLI emits (counts,
+/// weights ≤ 2⁵³, duals) round-trips exactly through `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks a key up in an object (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum container nesting the parser accepts. Reports this CLI emits
+/// nest three levels deep; the limit exists so a hostile report file hits
+/// a clean error instead of overflowing the stack (the parser recurses).
+const MAX_DEPTH: u32 = 128;
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+///
+/// # Errors
+///
+/// Returns a human-readable message with a byte offset on malformed
+/// input, or a depth error beyond 128 nested containers.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", *pos));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{word}` at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number chars");
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| "non-ascii \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        // Surrogate pairs are not emitted by this CLI;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte chars pass through).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Value, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +337,66 @@ mod tests {
         assert_eq!(escape("x\n\t\r"), "x\\n\\t\\r");
         assert_eq!(escape("\u{1}"), "\\u0001");
         assert_eq!(escape("héllo"), "héllo");
+    }
+
+    #[test]
+    fn parser_roundtrips_builder_output() {
+        let report = Obj::new()
+            .str("name", "a\"b\nc")
+            .num("count", 42u64)
+            .float("ratio", 1.5)
+            .float("nan", f64::NAN)
+            .bool("ok", true)
+            .raw("cover", &array(["1".to_string(), "3".to_string()]))
+            .raw("nested", &Obj::new().num("k", 3).build())
+            .build();
+        let v = parse(&report).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("a\"b\nc"));
+        assert_eq!(v.get("count").unwrap().as_f64(), Some(42.0));
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("nan").unwrap(), &Value::Null);
+        assert_eq!(v.get("ok").unwrap(), &Value::Bool(true));
+        let cover = v.get("cover").unwrap().as_array().unwrap();
+        assert_eq!(cover.len(), 2);
+        assert_eq!(cover[1].as_f64(), Some(3.0));
+        assert_eq!(
+            v.get("nested").unwrap().get("k").unwrap().as_f64(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn parser_handles_whitespace_escapes_and_errors() {
+        assert_eq!(parse(" null ").unwrap(), Value::Null);
+        assert_eq!(parse("[ ]").unwrap(), Value::Arr(vec![]));
+        assert_eq!(parse("{ }").unwrap(), Value::Obj(vec![]));
+        assert_eq!(parse("-2.5e3").unwrap(), Value::Num(-2500.0));
+        assert_eq!(
+            parse("\"\\u0041\\t\"").unwrap(),
+            Value::Str("A\t".to_string())
+        );
+        assert_eq!(parse("\"héllo\"").unwrap(), Value::Str("héllo".to_string()));
+        assert!(parse("").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("\"open").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("truthy").is_err());
+        // Hostile nesting hits the depth limit cleanly instead of
+        // overflowing the stack (verify consumes external files).
+        let deep = "[".repeat(200_000) + &"]".repeat(200_000);
+        let err = parse(&deep).expect_err("depth-limited");
+        assert!(err.contains("nesting deeper"), "{err}");
+    }
+
+    #[test]
+    fn duals_roundtrip_exactly_through_display() {
+        // `verify` re-reads duals the CLI printed with `{}`; Rust's float
+        // Display is shortest-roundtrip, so equality must be exact.
+        for d in [0.1, 1.0 / 3.0, 2.2250738585072014e-308, 12345.6789f64] {
+            let v = parse(&format!("{d}")).unwrap();
+            assert_eq!(v.as_f64(), Some(d));
+        }
     }
 
     #[test]

@@ -1,19 +1,30 @@
 //! `dcover` — the command-line serving entry point of the
 //! `distributed-covering` workspace.
 //!
-//! Three subcommands over the DIMACS-flavoured instance format of
+//! Five subcommands over the DIMACS-flavoured instance format of
 //! [`dcover_hypergraph::format`]:
 //!
 //! * `dcover solve FILE` — solve one instance (sequential or
 //!   chunk-parallel) and report the certified cover;
-//! * `dcover batch FILE...` — solve many instances concurrently on one
-//!   [`SolveSession`](dcover_core::SolveSession) (persistent worker pool,
-//!   recycled engine arenas, per-instance error isolation);
-//! * `dcover gen` — generate seeded random instances.
+//! * `dcover serve` — the streaming server: read instances from stdin as
+//!   they arrive, submit each to a
+//!   [`SolveService`](dcover_core::SolveService) (bounded queue,
+//!   backpressure, zero-copy `Arc` instances), and emit one JSON line per
+//!   result in completion order with sequence ids;
+//! * `dcover batch FILE...` — solve many pre-assembled files concurrently
+//!   on one [`SolveSession`](dcover_core::SolveSession) (persistent
+//!   worker pool, recycled engine arenas, per-instance error isolation);
+//! * `dcover verify INSTANCE REPORT` — re-check a solve report's
+//!   cover/dual certificate from first principles, exiting non-zero on
+//!   violation;
+//! * `dcover gen FAMILY` — generate instances across every library
+//!   family (random, geometric, structured), with seeds recorded in the
+//!   `--json` generation report.
 //!
-//! `--json` switches `solve`/`batch` to machine-readable reports. The
-//! binary is dependency-free (hand-rolled argument parsing and JSON
-//! emission) because the build environment is offline.
+//! `--json` switches `solve`/`batch`/`gen`/`verify` to machine-readable
+//! reports (`serve` is always JSON lines). The binary is dependency-free
+//! (hand-rolled argument parsing plus JSON emission *and* parsing)
+//! because the build environment is offline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,14 +48,27 @@ dcover — distributed covering (MWHVC) solver CLI
 
 USAGE:
     dcover solve FILE [--eps E] [--threads N] [--variant standard|half-bid] [--json]
+    dcover serve [--eps E] [--threads N] [--queue C] [--variant standard|half-bid]
     dcover batch FILE... [--eps E] [--threads N] [--variant standard|half-bid] [--json]
-    dcover gen uniform --n N --m M [--rank F] [--seed S]
-                       [--min-weight W] [--max-weight W] [--out FILE]
+    dcover verify INSTANCE REPORT [--eps E] [--json]
+    dcover gen FAMILY [family options] [--seed S]
+               [--min-weight W] [--max-weight W] [--out FILE] [--json]
 
-    FILE may be `-` for stdin. `batch` defaults --threads to the machine's
-    available parallelism and serves all instances from one persistent
-    worker pool; failed instances are reported per entry and make the exit
-    code non-zero without aborting the rest of the batch.
+    FILE may be `-` for stdin. `serve` reads a stream of instances from
+    stdin (each starting at its `p mwhvc n m` header), solves them on a
+    bounded submission queue (--queue, default 4x threads) with
+    backpressure, and prints one JSON line per result in completion order
+    with arrival-order `seq` ids. `batch` defaults --threads to the
+    machine's available parallelism and serves all instances from one
+    persistent worker pool; failed instances are reported per entry and
+    make the exit code non-zero without aborting the rest. `verify`
+    re-checks the cover and dual certificate inside a solve/serve JSON
+    report against the instance and exits non-zero on any violation.
+    `gen` families: uniform, mixed, planted, preferential, calibrated,
+    geometric, star, clique, path, cycle, sunflower, f-partite,
+    hyper-star (run `dcover gen` for per-family options); with --json the
+    generation report (family, seed, params, stats) goes to stdout and
+    the instance to --out FILE.
 ";
 
 /// Runs the CLI against `args` (everything after the program name) and
@@ -57,8 +81,10 @@ pub fn run(args: &[String]) -> i32 {
             Ok(())
         }
         Some("solve") => commands::solve(&args[1..]),
+        Some("serve") => commands::serve::serve(&args[1..]),
         Some("batch") => commands::batch(&args[1..]),
-        Some("gen") => commands::gen(&args[1..]),
+        Some("verify") => commands::verify::verify(&args[1..]),
+        Some("gen") => commands::gen::gen(&args[1..]),
         Some(other) => Err(Failure::Usage(format!("unknown subcommand `{other}`"))),
     };
     match outcome {

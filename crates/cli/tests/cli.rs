@@ -1,13 +1,32 @@
 //! Integration tests driving the real `dcover` binary.
 
+use std::io::Write as _;
 use std::path::PathBuf;
-use std::process::{Command, Output};
+use std::process::{Command, Output, Stdio};
 
 fn dcover(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_dcover"))
         .args(args)
         .output()
         .expect("run dcover binary")
+}
+
+/// Runs `dcover` with `input` piped through stdin.
+fn dcover_stdin(args: &[&str], input: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dcover"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dcover binary");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    child.wait_with_output().expect("run dcover binary")
 }
 
 fn sample_path() -> String {
@@ -114,6 +133,172 @@ fn batch_solves_many_files_and_isolates_failures() {
     let text = stdout_of(&mixed);
     assert!(text.contains("\"ok\": 1"), "{text}");
     assert!(text.contains("\"failed\": 1"), "{text}");
+}
+
+#[test]
+fn serve_streams_instances_in_completion_order_with_seq_ids() {
+    // Two instances concatenated on stdin; each must come back as one
+    // JSON line carrying its arrival-order seq id.
+    let stream = "c first\np mwhvc 3 2\nv 10\nv 1\nv 10\ne 0 1\ne 1 2\n\
+                  p mwhvc 2 1\nv 2\nv 3\ne 0 1\n";
+    let out = dcover_stdin(&["serve", "--eps", "0.5", "--threads", "2"], stream);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout_of(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one JSON line per instance: {text}");
+    let mut seqs: Vec<&str> = lines
+        .iter()
+        .map(|l| {
+            assert!(l.starts_with("{\"seq\": "), "JSON line: {l}");
+            assert!(l.contains("\"ok\": true"), "solved: {l}");
+            assert!(l.contains("\"cover\": ["), "carries the cover: {l}");
+            &l[8..9]
+        })
+        .collect();
+    seqs.sort_unstable();
+    assert_eq!(seqs, vec!["0", "1"]);
+    // The weight-1 middle vertex wins in the first instance.
+    let first = lines.iter().find(|l| l.contains("\"seq\": 0")).unwrap();
+    assert!(first.contains("\"weight\": 1"), "{first}");
+    let summary = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(summary.contains("2 ok, 0 failed"), "{summary}");
+}
+
+#[test]
+fn serve_isolates_a_malformed_instance() {
+    let stream = "p mwhvc 2 1\nv 2\nv 3\ne 0 1\n\
+                  p mwhvc 1 1\nv 0\ne 0\n\
+                  p mwhvc 2 1\nv 5\nv 6\ne 0 1\n";
+    let out = dcover_stdin(&["serve", "--threads", "1"], stream);
+    assert_eq!(out.status.code(), Some(1), "a failed instance exits 1");
+    let text = stdout_of(&out);
+    assert_eq!(text.lines().count(), 3, "{text}");
+    assert!(text.contains("\"ok\": false"), "{text}");
+    assert_eq!(text.matches("\"ok\": true").count(), 2, "{text}");
+}
+
+#[test]
+fn serve_empty_stdin_is_fine() {
+    let out = dcover_stdin(&["serve"], "");
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout_of(&out).is_empty());
+}
+
+#[test]
+fn verify_accepts_valid_reports_and_rejects_tampered_ones() {
+    let sample = sample_path();
+    let report = dcover(&["solve", &sample, "--eps", "0.5", "--json"]);
+    assert!(report.status.success());
+    let report_text = stdout_of(&report);
+
+    let dir = std::env::temp_dir().join(format!("dcover-verify-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let report_path = dir.join("report.json");
+    std::fs::write(&report_path, &report_text).unwrap();
+    let report_path = report_path.to_string_lossy().into_owned();
+
+    let ok = dcover(&["verify", &sample, &report_path, "--json"]);
+    assert!(ok.status.success(), "{ok:?}");
+    let text = stdout_of(&ok);
+    assert!(text.contains("\"ok\": true"), "{text}");
+    assert!(text.contains("\"within_guarantee\": true"), "{text}");
+
+    // Reports also verify when piped through stdin.
+    let piped = dcover_stdin(&["verify", &sample, "-"], &report_text);
+    assert!(piped.status.success(), "{piped:?}");
+
+    // Tampering: empty the cover -> uncovered edge, exit 1.
+    let tampered = regex_replace(&report_text, "\"cover\": [", "\"cover\": [999999");
+    let bad_path = dir.join("bad.json");
+    std::fs::write(&bad_path, tampered).unwrap();
+    let bad = dcover(&["verify", &sample, &bad_path.to_string_lossy()]);
+    assert_eq!(bad.status.code(), Some(1), "{bad:?}");
+
+    // A serve line verifies too (it carries epsilon + result).
+    let instance_text = std::fs::read_to_string(&sample).unwrap();
+    let served = dcover_stdin(&["serve", "--eps", "0.5"], &instance_text);
+    assert!(served.status.success());
+    let line = stdout_of(&served);
+    let piped = dcover_stdin(&["verify", &sample, "-"], &line);
+    assert!(piped.status.success(), "{piped:?}\nline: {line}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tiny literal substring replacement (keeps the test dependency-free).
+fn regex_replace(text: &str, needle: &str, replacement: &str) -> String {
+    text.replacen(needle, replacement, 1)
+}
+
+#[test]
+fn gen_families_produce_valid_instances_with_seeded_reports() {
+    let dir = std::env::temp_dir().join(format!("dcover-gen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cases: Vec<(&str, Vec<&str>)> = vec![
+        ("uniform", vec!["--n", "30", "--m", "60"]),
+        (
+            "mixed",
+            vec![
+                "--n",
+                "30",
+                "--m",
+                "50",
+                "--min-rank",
+                "2",
+                "--max-rank",
+                "4",
+            ],
+        ),
+        (
+            "planted",
+            vec!["--n", "40", "--m", "80", "--cover-size", "5"],
+        ),
+        ("preferential", vec!["--n", "30", "--m", "90"]),
+        ("calibrated", vec!["--delta", "5", "--copies", "2"]),
+        ("geometric", vec!["--points", "50", "--stations", "12"]),
+        ("star", vec!["--leaves", "9"]),
+        ("clique", vec!["--n", "7"]),
+        ("path", vec!["--n", "9"]),
+        ("cycle", vec!["--n", "9"]),
+        ("sunflower", vec!["--petals", "5", "--core", "2"]),
+        ("f-partite", vec!["--f", "3", "--group-size", "3"]),
+        ("hyper-star", vec!["--f", "3", "--delta", "6"]),
+    ];
+    for (family, extra) in cases {
+        let out_path = dir.join(format!("{family}.mwhvc"));
+        let out_str = out_path.to_string_lossy().into_owned();
+        let mut args = vec!["gen", family, "--seed", "11", "--json", "--out", &out_str];
+        args.extend(extra.iter());
+        let gen = dcover(&args);
+        assert!(gen.status.success(), "{family}: {gen:?}");
+        let report = stdout_of(&gen);
+        assert!(
+            report.contains(&format!("\"family\": \"{family}\"")),
+            "{report}"
+        );
+        assert!(report.contains("\"seed\": "), "seed recorded: {report}");
+        // The generated instance solves.
+        let solve = dcover(&["solve", &out_str, "--eps", "0.5"]);
+        assert!(solve.status.success(), "{family}: {solve:?}");
+    }
+    // Seeded families are deterministic per seed; deterministic families
+    // report a null seed.
+    let a = dcover(&["gen", "uniform", "--n", "25", "--m", "40", "--seed", "3"]);
+    let b = dcover(&["gen", "uniform", "--n", "25", "--m", "40", "--seed", "3"]);
+    assert_eq!(stdout_of(&a), stdout_of(&b));
+    let out_path = dir.join("det.mwhvc").to_string_lossy().into_owned();
+    let det = dcover(&["gen", "clique", "--n", "5", "--json", "--out", &out_path]);
+    assert!(stdout_of(&det).contains("\"seed\": null"), "{det:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_report_carries_cover_and_duals() {
+    let sample = sample_path();
+    let json = dcover(&["solve", &sample, "--json"]);
+    assert!(json.status.success());
+    let text = stdout_of(&json);
+    assert!(text.contains("\"cover\": ["), "{text}");
+    assert!(text.contains("\"duals\": ["), "{text}");
 }
 
 #[test]

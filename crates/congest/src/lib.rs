@@ -50,12 +50,14 @@
 //! # Serving many instances
 //!
 //! For workloads of many independent instances, a [`SimPool`] keeps one
-//! set of worker threads and one reusable [`EngineArena`] per worker
-//! alive across solves: hand the pool to
-//! [`ParallelSimulator::with_pool`] for a single chunk-parallel solve, or
-//! fan whole instances out with [`SimPool::run_tasks`] (each task runs a
-//! sequential [`Simulator::with_arena`] solve against its worker's
-//! recycled arena).
+//! set of worker threads pulling from one **shared bounded task queue**,
+//! with a free list of reusable [`EngineArena`]s, alive across solves:
+//! hand the pool to [`ParallelSimulator::with_pool`] for a single
+//! chunk-parallel solve, or submit whole-instance closures through a
+//! [`TaskQueue`] handle as requests arrive — each submission yields a
+//! [`TaskTicket`], a full queue reports backpressure
+//! ([`TrySubmitError::Full`]), and each task runs a sequential
+//! [`Simulator::with_arena`] solve against a recycled arena.
 //!
 //! # Example: broadcast-and-halt
 //!
@@ -103,7 +105,7 @@ pub use error::SimError;
 pub use message::{bits_for_range, bits_for_value, Message};
 pub use metrics::{BitBudget, RoundMetrics, SimReport};
 pub use parallel::ParallelSimulator;
-pub use pool::SimPool;
+pub use pool::{QueueClosed, SimPool, TaskQueue, TaskTicket, TrySubmitError};
 pub use process::{Ctx, Inbox, InboxIter, Incoming, Process, Status};
 pub use sim::Simulator;
 pub use topology::{NodeId, Port, Topology};

@@ -6,19 +6,20 @@
 //!
 //! # Persistent worker pool
 //!
-//! Workers are spawned **once** and parked on their job channel between
-//! rounds — there is no per-round thread spawn (the old engine paid a
-//! `crossbeam::thread::scope` per round). The pool is a [`SimPool`]: either
-//! spawned privately by [`ParallelSimulator::new`], or handed in by a
-//! serving layer via [`ParallelSimulator::with_pool`] and recovered —
-//! together with the engine arenas, capacity intact — via
+//! Workers are spawned **once** and block on the pool's shared job queue
+//! between rounds — there is no per-round thread spawn (the old engine
+//! paid a `crossbeam::thread::scope` per round). The pool is a
+//! [`SimPool`]: either spawned privately by [`ParallelSimulator::new`],
+//! or handed in by a serving layer via [`ParallelSimulator::with_pool`]
+//! and recovered — together with the engine arenas, capacity intact — via
 //! [`ParallelSimulator::into_pool`], so a stream of solves reuses both the
-//! threads and the arenas. Each worker owns a contiguous chunk of nodes *by
-//! value while it works on it*: per phase the scheduler moves the boxed
-//! [`ChunkState`] to the worker and receives it back, so all mutation is
-//! single-owner and the whole pool is safe Rust with zero locks and zero
-//! steady-state allocation (channel buffers are bounded and pre-allocated;
-//! chunk moves are pointer-sized).
+//! threads and the arenas. Round jobs are pushed with priority (ahead of
+//! any queued task submissions) and carry their chunk *by value*: the
+//! scheduler moves the boxed [`ChunkState`] to whichever worker pulls the
+//! job and receives it back tagged with its chunk index, so all mutation
+//! is single-owner and the steady-state round loop allocates nothing (the
+//! queue and reply channel reuse their buffers; chunk moves are
+//! pointer-sized).
 //!
 //! Per round the scheduler routes the buckets staged in the previous
 //! round to their destination chunks (swapping each fresh bucket for last
@@ -30,7 +31,7 @@
 use crate::engine::{chunk_boundaries, finish_round, ChunkState, EngineArena};
 use crate::error::SimError;
 use crate::metrics::{BitBudget, RoundMetrics, SimReport};
-use crate::pool::{Buckets, Job, Reply, SimPool};
+use crate::pool::{Buckets, Reply, SimPool};
 use crate::process::{Process, SendTally};
 use crate::topology::{NodeId, Topology};
 
@@ -108,7 +109,7 @@ impl<P: Process + 'static> ParallelSimulator<P> {
     ///
     /// Panics if `nodes.len() != topo.len()`.
     #[must_use]
-    pub fn with_pool(topo: Topology, nodes: Vec<P>, mut pool: SimPool<P>) -> Self {
+    pub fn with_pool(topo: Topology, nodes: Vec<P>, pool: SimPool<P>) -> Self {
         assert_eq!(nodes.len(), topo.len(), "need exactly one program per node");
         let n = nodes.len();
         let workers = pool.workers().min(n).max(1);
@@ -116,7 +117,7 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         let mut nodes = nodes;
         let mut chunks = Vec::with_capacity(workers);
         for index in (0..workers).rev() {
-            let mut arena = pool.arenas[index].take().unwrap_or_default();
+            let mut arena = pool.take_arena();
             arena.chunk.rebuild(&topo, &bounds, index);
             arena.chunk.nodes = nodes.split_off(bounds[index]);
             chunks.push(Some(arena.chunk));
@@ -204,10 +205,10 @@ impl<P: Process + 'static> ParallelSimulator<P> {
     #[must_use]
     pub fn into_pool(mut self) -> (Vec<P>, SimReport, SimPool<P>) {
         let mut nodes = Vec::with_capacity(self.bounds[self.chunks.len()]);
-        for (index, slot) in self.chunks.iter_mut().enumerate() {
+        for slot in &mut self.chunks {
             let mut chunk = slot.take().expect("chunk is home");
             nodes.append(&mut chunk.nodes);
-            self.pool.arenas[index] = Some(EngineArena { chunk });
+            self.pool.put_arena(EngineArena { chunk });
         }
         let mut report = self.report.clone();
         report.all_halted = self.active == 0;
@@ -256,30 +257,28 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         }
 
         // One fused dispatch per chunk: deliver the previous round, step
-        // this one.
+        // this one. Round jobs enter the shared queue with priority, so
+        // they are never starved behind queued task submissions; any
+        // worker may run any chunk (the chunk index rides along).
         for w in 0..workers {
             let chunk = self.chunks[w].take().expect("chunk is home");
             let inbound = self.inbound_pool[w].take().expect("container is home");
-            self.pool.pool.txs[w]
-                .send(Job::Round {
-                    chunk,
-                    inbound,
-                    round: self.round,
-                    budget: self.budget,
-                })
-                .expect("worker alive");
+            self.pool
+                .send_round(w, chunk, inbound, self.round, self.budget);
         }
         for _ in 0..workers {
-            let (w, reply) = self.pool.pool.rx.recv().expect("worker pool alive");
-            match reply {
-                Reply::Done { chunk, inbound } => {
-                    self.chunks[w] = Some(chunk);
-                    self.inbound_pool[w] = Some(inbound);
+            match self.pool.recv_reply() {
+                Reply::Done {
+                    index,
+                    chunk,
+                    inbound,
+                } => {
+                    self.chunks[index] = Some(chunk);
+                    self.inbound_pool[index] = Some(inbound);
                 }
                 // Re-raise a node-program panic on the caller's thread. The
                 // simulator is poisoned afterwards (the chunk is gone).
                 Reply::Panicked(payload) => std::panic::resume_unwind(payload),
-                Reply::TaskDone { .. } => unreachable!("no task jobs in flight during a round"),
             }
         }
 

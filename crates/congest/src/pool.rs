@@ -1,28 +1,57 @@
 //! The persistent worker pool shared by the parallel round scheduler and
-//! the batch-serving task API.
+//! the queue-based serving layer.
 //!
-//! One [`Pool`] owns a set of parked worker threads. Two kinds of work run
-//! on it:
+//! One [`SimPool`] owns a set of worker threads that all pull from a
+//! **single shared job queue** (a bounded MPMC queue built from
+//! `Mutex<VecDeque>` + `Condvar` — std only). Two kinds of work flow
+//! through it:
 //!
-//! * **Round jobs** — [`ParallelSimulator`](crate::ParallelSimulator) moves
-//!   one engine chunk per worker and drives the fused deliver+step dispatch
-//!   of the round loop (chunk-level parallelism within one instance);
-//! * **Task jobs** — [`SimPool::run_tasks`] schedules arbitrary closures
-//!   over the workers, handing each the worker's persistent
-//!   [`EngineArena`] (instance-level parallelism across a batch; each
-//!   worker typically runs a whole sequential solve per task, reusing its
-//!   arena's capacity from task to task).
+//! * **Round jobs** — [`ParallelSimulator`](crate::ParallelSimulator)
+//!   pushes one job per engine chunk per round (chunk-level parallelism
+//!   within one instance). Round jobs are pushed to the *front* of the
+//!   queue so an in-flight chunk-parallel solve is never starved behind a
+//!   deep backlog of task submissions, and they never count against the
+//!   task-queue capacity.
+//! * **Task jobs** — whole-closure work items submitted through a
+//!   [`TaskQueue`] handle (instance-level parallelism across a request
+//!   stream). Each submission yields a [`TaskTicket`] that resolves when
+//!   some worker finishes the task; the queue is **bounded**, so
+//!   [`TaskQueue::try_submit`] reports [`TrySubmitError::Full`]
+//!   (backpressure) instead of growing without limit.
 //!
-//! A serving layer keeps **one** `SimPool` alive and alternates freely
-//! between the two modes: hand the pool to a `ParallelSimulator` via
-//! [`ParallelSimulator::with_pool`](crate::ParallelSimulator::with_pool)
-//! and recover it with
-//! [`ParallelSimulator::into_pool`](crate::ParallelSimulator::into_pool),
-//! or fan a batch out with [`SimPool::run_tasks`]. Threads are spawned
-//! once, at pool construction.
+//! Whichever worker goes idle next takes the next job — there is no
+//! per-worker mailbox and no per-batch fan-out: a serving layer submits
+//! tasks as requests arrive and the pool load-balances them dynamically.
+//!
+//! # Arena recycling
+//!
+//! The pool keeps a free list of [`EngineArena`]s (at most one per
+//! worker). A worker running a task job checks an arena out, lends it to
+//! the closure, and returns it afterwards, so mailbox-slot, dirty-list,
+//! worklist and staging capacity carries over from task to task. A task
+//! that panics forfeits its arena (its buffers may be mid-mutation); the
+//! free list simply refills with a fresh arena on demand.
+//!
+//! # Panic recovery
+//!
+//! A panicking *task* resolves only its own ticket —
+//! [`TaskTicket::wait`] returns the panic payload as an `Err` and every
+//! other queued or in-flight task proceeds untouched. A panicking *round
+//! job* is re-raised on the scheduler thread (the chunk is lost with it),
+//! exactly as in the sequential scheduler.
+//!
+//! # Shutdown
+//!
+//! Dropping the [`SimPool`] is a **graceful drain**: submissions are
+//! refused from that point on ([`TrySubmitError::Closed`]), every job
+//! already in the queue still runs, and the destructor joins the workers
+//! — so every issued ticket is resolved by the time `drop` returns.
 
 use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use crate::engine::{phase_deliver, phase_step, ChunkState, EngineArena};
@@ -34,24 +63,31 @@ use crate::process::Process;
 /// payload)` pairs.
 pub(crate) type Buckets<M> = Vec<Vec<(u32, M)>>;
 
-/// Type-erased task result (downcast by [`SimPool::run_tasks`]).
+/// Type-erased task result (downcast by [`TaskTicket::wait`]).
 type TaskResult = Box<dyn Any + Send>;
 
-/// A task closure run against the worker's persistent arena.
+/// Type-erased panic payload (what `catch_unwind` hands back).
+type PanicPayload = Box<dyn Any + Send>;
+
+/// A task closure run against a checked-out arena.
 type TaskFn<P> = Box<dyn FnOnce(&mut EngineArena<P>) -> TaskResult + Send>;
 
-/// Work order for a parked worker.
-pub(crate) enum Job<P: Process> {
+/// Work order pulled by a worker from the shared queue.
+enum Job<P: Process> {
     /// Run [`phase_deliver`] with the inbound buckets staged in the
     /// *previous* round (one per source chunk, ascending), then
-    /// [`phase_step`] the current round, and send everything back.
+    /// [`phase_step`] the current round, and send everything back on the
+    /// round-reply channel.
     ///
     /// Fusing delivery of round `r - 1` with the stepping of round `r`
-    /// into a single dispatch halves the channel round-trips per round.
-    /// It is observationally identical to deliver-then-return: delivery
-    /// only feeds round `r`'s inboxes, and the halted flags it consults
-    /// were final when round `r - 1` finished stepping.
+    /// into a single dispatch halves the hand-offs per round. It is
+    /// observationally identical to deliver-then-return: delivery only
+    /// feeds round `r`'s inboxes, and the halted flags it consults were
+    /// final when round `r - 1` finished stepping.
     Round {
+        /// Which chunk slot of the scheduler this is (echoed in the
+        /// reply; with a shared queue any worker may run any chunk).
+        index: usize,
         /// The chunk, moved to the worker for the duration of the round.
         chunk: Box<ChunkState<P>>,
         /// Buckets staged for this chunk in the previous round.
@@ -61,153 +97,460 @@ pub(crate) enum Job<P: Process> {
         /// Per-link bit budget, if enforced.
         budget: Option<BitBudget>,
     },
-    /// Run a closure against the worker's reusable engine arena (moved to
-    /// the worker with the job, returned with the reply).
-    Task {
-        /// The worker's arena, out for the duration of the task.
-        arena: EngineArena<P>,
-        /// The work itself.
-        run: TaskFn<P>,
-    },
-    /// Exit the worker loop.
-    Stop,
+    /// Run a queued task closure against a checked-out arena and resolve
+    /// its ticket.
+    Task(QueuedTask<P>),
 }
 
-/// A finished job, tagged with the worker index.
+/// A task waiting in the shared queue: the closure plus the completion
+/// slot its [`TaskTicket`] is watching.
+struct QueuedTask<P: Process> {
+    run: TaskFn<P>,
+    slot: Arc<TaskSlot>,
+}
+
+/// A finished round job (task jobs resolve through their ticket slots and
+/// never touch this channel).
 pub(crate) enum Reply<P: Process> {
     /// The round ran to completion; chunk and drained buckets come home.
     Done {
+        /// The chunk slot this belongs to (echoed from the job).
+        index: usize,
         /// The chunk, back from the worker.
         chunk: Box<ChunkState<P>>,
         /// The drained buckets, capacity intact.
         inbound: Buckets<P::Msg>,
     },
-    /// A task ran to completion; arena and result come home.
-    TaskDone {
-        /// The worker's arena, back for the next task.
-        arena: EngineArena<P>,
-        /// The type-erased task return value.
-        result: TaskResult,
-    },
     /// The node program (or the engine's own protocol-bug assert) panicked
     /// on the worker; the payload is re-raised on the scheduler thread.
     /// Without this the scheduler would deadlock: the other workers stay
     /// parked holding live reply senders, so `recv()` would never error.
-    Panicked(Box<dyn Any + Send>),
+    Panicked(PanicPayload),
 }
 
-/// The persistent pool: one parked thread per worker.
-pub(crate) struct Pool<P: Process> {
-    pub(crate) txs: Vec<SyncSender<Job<P>>>,
-    pub(crate) rx: Receiver<(usize, Reply<P>)>,
-    handles: Vec<JoinHandle<()>>,
+/// Mutex-guarded queue state.
+struct QueueState<P: Process> {
+    jobs: VecDeque<Job<P>>,
+    /// Number of `Job::Task` entries currently waiting in `jobs` (round
+    /// jobs are not counted and not bounded).
+    queued_tasks: usize,
+    /// Set by the pool destructor: refuse new submissions, drain what is
+    /// queued, then let the workers exit.
+    stop: bool,
 }
 
-impl<P: Process + 'static> Pool<P> {
-    pub(crate) fn spawn(workers: usize) -> Self {
-        let (reply_tx, rx) = sync_channel::<(usize, Reply<P>)>(workers);
-        let mut txs = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let (tx, job_rx) = sync_channel::<Job<P>>(1);
-            let out = reply_tx.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("congest-worker-{w}"))
-                    .spawn(move || {
-                        while let Ok(job) = job_rx.recv() {
-                            let reply = match job {
-                                Job::Round {
-                                    mut chunk,
-                                    mut inbound,
-                                    round,
-                                    budget,
-                                } => {
-                                    // Catch node-program panics so they can
-                                    // be re-raised on the scheduler thread
-                                    // (state is discarded via the panic, so
-                                    // the unwind-safety assertion is sound).
-                                    let run = std::panic::catch_unwind(
-                                        std::panic::AssertUnwindSafe(|| {
-                                            phase_deliver(
-                                                &mut chunk,
-                                                &mut inbound,
-                                                round.saturating_sub(1),
-                                            );
-                                            phase_step(&mut chunk, round, budget);
-                                        }),
-                                    );
-                                    match run {
-                                        Ok(()) => Reply::Done { chunk, inbound },
-                                        Err(payload) => Reply::Panicked(payload),
-                                    }
-                                }
-                                Job::Task { mut arena, run } => {
-                                    let out = std::panic::catch_unwind(
-                                        std::panic::AssertUnwindSafe(|| run(&mut arena)),
-                                    );
-                                    match out {
-                                        Ok(result) => Reply::TaskDone { arena, result },
-                                        // The arena dies with the panicking
-                                        // task; the pool rebuilds it lazily.
-                                        Err(payload) => Reply::Panicked(payload),
-                                    }
-                                }
-                                Job::Stop => return,
-                            };
-                            if out.send((w, reply)).is_err() {
-                                return;
-                            }
-                        }
-                    })
-                    .expect("spawn worker thread"),
-            );
-            txs.push(tx);
+/// State shared between the pool owner, every [`TaskQueue`] handle, and
+/// the workers.
+struct Shared<P: Process> {
+    state: Mutex<QueueState<P>>,
+    /// Signalled when a job is pushed (or stop is set).
+    not_empty: Condvar,
+    /// Signalled when a queued task is taken by a worker (a capacity slot
+    /// freed up).
+    not_full: Condvar,
+    /// Maximum number of *waiting* task jobs (running tasks don't count).
+    capacity: usize,
+    /// Recycled engine arenas, at most `max_arenas` parked at once.
+    arenas: Mutex<Vec<EngineArena<P>>>,
+    /// Free-list bound (= worker count; more arenas than workers can
+    /// never be in use simultaneously by task jobs).
+    max_arenas: usize,
+}
+
+impl<P: Process> Shared<P> {
+    /// Blocking pop: the worker side of the queue. Returns `None` when
+    /// the pool is stopping and the queue has drained.
+    fn pop(&self) -> Option<Job<P>> {
+        let mut state = self.state.lock().expect("queue mutex");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                if matches!(job, Job::Task(_)) {
+                    state.queued_tasks -= 1;
+                    self.not_full.notify_one();
+                }
+                return Some(job);
+            }
+            if state.stop {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue mutex");
         }
-        Self { txs, rx, handles }
+    }
+
+    /// Pushes a round job at the *front* of the queue (priority over
+    /// queued tasks; never bounded).
+    fn push_round(&self, job: Job<P>) {
+        let mut state = self.state.lock().expect("queue mutex");
+        state.jobs.push_front(job);
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocking task push: waits while the queue is at capacity. Returns
+    /// the task back if the pool has stopped.
+    fn push_task(&self, task: QueuedTask<P>) -> Result<(), QueuedTask<P>> {
+        let mut state = self.state.lock().expect("queue mutex");
+        loop {
+            if state.stop {
+                return Err(task);
+            }
+            if state.queued_tasks < self.capacity {
+                state.queued_tasks += 1;
+                state.jobs.push_back(Job::Task(task));
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue mutex");
+        }
+    }
+
+    /// Non-blocking task push.
+    fn try_push_task(&self, task: QueuedTask<P>) -> Result<(), (QueuedTask<P>, TrySubmitError)> {
+        let mut state = self.state.lock().expect("queue mutex");
+        if state.stop {
+            return Err((task, TrySubmitError::Closed));
+        }
+        if state.queued_tasks >= self.capacity {
+            return Err((task, TrySubmitError::Full));
+        }
+        state.queued_tasks += 1;
+        state.jobs.push_back(Job::Task(task));
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Checks an arena out of the free list (or builds a fresh one).
+    fn take_arena(&self) -> EngineArena<P> {
+        self.arenas
+            .lock()
+            .expect("arena mutex")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns an arena to the free list. At the bound, the *smallest*
+    /// arena is evicted rather than the incoming one: when task traffic
+    /// refills the list while a chunk-parallel solve is out with the big
+    /// warmed arenas, those arenas must not be dropped on return — their
+    /// grown capacity is exactly what the next solve wants to reuse.
+    fn put_arena(&self, arena: EngineArena<P>) {
+        let mut arenas = self.arenas.lock().expect("arena mutex");
+        if arenas.len() < self.max_arenas {
+            arenas.push(arena);
+            return;
+        }
+        let incoming = arena.chunk.cur.capacity();
+        if let Some((slot, smallest)) = arenas
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i, a.chunk.cur.capacity()))
+            .min_by_key(|&(_, cap)| cap)
+        {
+            if incoming > smallest {
+                arenas[slot] = arena;
+            }
+        }
     }
 }
 
-impl<P: Process> Drop for Pool<P> {
-    fn drop(&mut self) {
-        for tx in &self.txs {
-            // A worker that already exited (e.g. after panicking) just
-            // leaves a closed channel behind; that is fine.
-            let _ = tx.send(Job::Stop);
-        }
-        for handle in self.handles.drain(..) {
-            // Swallow worker panics during teardown: the panic that matters
-            // already surfaced as a recv error on the scheduler side.
-            let _ = handle.join();
+/// The worker body: pull jobs until the pool drains and stops.
+fn worker_loop<P: Process>(shared: &Shared<P>, replies: &SyncSender<Reply<P>>) {
+    while let Some(job) = shared.pop() {
+        match job {
+            Job::Round {
+                index,
+                mut chunk,
+                mut inbound,
+                round,
+                budget,
+            } => {
+                // Catch node-program panics so they can be re-raised on
+                // the scheduler thread (state is discarded via the panic,
+                // so the unwind-safety assertion is sound).
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    phase_deliver(&mut chunk, &mut inbound, round.saturating_sub(1));
+                    phase_step(&mut chunk, round, budget);
+                }));
+                let reply = match run {
+                    Ok(()) => Reply::Done {
+                        index,
+                        chunk,
+                        inbound,
+                    },
+                    Err(payload) => Reply::Panicked(payload),
+                };
+                if replies.send(reply).is_err() {
+                    return;
+                }
+            }
+            Job::Task(QueuedTask { run, slot }) => {
+                let arena = shared.take_arena();
+                // The arena moves into the closure: on panic it is torn
+                // down with the unwind (its buffers may be mid-mutation),
+                // on success it comes back out for the free list.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    let mut arena = arena;
+                    let result = run(&mut arena);
+                    (result, arena)
+                }));
+                let result = match outcome {
+                    Ok((result, arena)) => {
+                        shared.put_arena(arena);
+                        Ok(result)
+                    }
+                    Err(payload) => Err(payload),
+                };
+                slot.fill(result);
+            }
         }
     }
 }
 
-impl<P: Process> std::fmt::Debug for Pool<P> {
+/// Completion slot a [`TaskTicket`] waits on.
+struct TaskSlot {
+    done: Mutex<Option<Result<TaskResult, PanicPayload>>>,
+    cv: Condvar,
+}
+
+impl TaskSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(TaskSlot {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: Result<TaskResult, PanicPayload>) {
+        let mut done = self.done.lock().expect("slot mutex");
+        debug_assert!(done.is_none(), "a task completes exactly once");
+        *done = Some(result);
+        drop(done);
+        self.cv.notify_all();
+    }
+}
+
+/// A handle to one submitted task: redeem it for the task's return value
+/// with [`wait`](TaskTicket::wait) (blocking) or
+/// [`try_wait`](TaskTicket::try_wait) (non-blocking).
+///
+/// The ticket stays valid even after the pool shuts down — shutdown
+/// drains the queue, so every issued ticket resolves.
+pub struct TaskTicket<T> {
+    slot: Arc<TaskSlot>,
+    _result: PhantomData<fn() -> T>,
+}
+
+impl<T: Send + 'static> TaskTicket<T> {
+    /// Blocks until the task finishes and returns its result; a panicking
+    /// task yields `Err` with the panic payload (as
+    /// [`std::thread::Result`] does).
+    #[must_use = "a task panic is reported through the returned Result"]
+    pub fn wait(self) -> std::thread::Result<T> {
+        let mut done = self.slot.done.lock().expect("slot mutex");
+        loop {
+            if let Some(result) = done.take() {
+                return result.map(downcast_result);
+            }
+            done = self.slot.cv.wait(done).expect("slot mutex");
+        }
+    }
+
+    /// Non-blocking redemption: the result if the task has finished,
+    /// `Err(self)` (the ticket, still valid) if it is still queued or
+    /// running.
+    pub fn try_wait(self) -> Result<std::thread::Result<T>, Self> {
+        let taken = self.slot.done.lock().expect("slot mutex").take();
+        match taken {
+            Some(result) => Ok(result.map(downcast_result)),
+            None => Err(self),
+        }
+    }
+
+    /// Whether the task has finished (its result is ready to take).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.slot.done.lock().expect("slot mutex").is_some()
+    }
+}
+
+fn downcast_result<T: 'static>(boxed: TaskResult) -> T {
+    *boxed
+        .downcast::<T>()
+        .expect("task result downcasts to the submitted closure's return type")
+}
+
+impl<T> std::fmt::Debug for TaskTicket<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Pool")
-            .field("workers", &self.handles.len())
+        f.debug_struct("TaskTicket")
+            .field(
+                "done",
+                &self.slot.done.lock().expect("slot mutex").is_some(),
+            )
             .finish()
     }
 }
 
-/// A persistent simulation worker pool with one reusable [`EngineArena`]
-/// per worker — the resource a serving layer keeps alive across solves.
+/// Why [`TaskQueue::try_submit`] refused a task.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TrySubmitError {
+    /// The queue is at capacity — backpressure. Retry later (or call the
+    /// blocking [`TaskQueue::submit`]).
+    Full,
+    /// The pool has been dropped; no new work is accepted.
+    Closed,
+}
+
+impl std::fmt::Display for TrySubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySubmitError::Full => write!(f, "task queue is full (backpressure)"),
+            TrySubmitError::Closed => write!(f, "worker pool has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for TrySubmitError {}
+
+/// The pool has been dropped; the blocking [`TaskQueue::submit`] cannot
+/// enqueue any more work.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct QueueClosed;
+
+impl std::fmt::Display for QueueClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool has shut down")
+    }
+}
+
+impl std::error::Error for QueueClosed {}
+
+/// A cloneable submission handle to a [`SimPool`]'s shared task queue.
 ///
-/// Threads spawn once, at construction, and park on their job channels
-/// between uses. The pool serves two modes:
+/// Any number of threads may hold handles and submit concurrently; the
+/// pool's workers pull tasks in FIFO order. The handle does not keep the
+/// workers alive — once the owning [`SimPool`] is dropped, submissions
+/// fail with [`QueueClosed`] / [`TrySubmitError::Closed`] (tickets issued
+/// before the drop still resolve, because the drop drains the queue).
+pub struct TaskQueue<P: Process> {
+    shared: Arc<Shared<P>>,
+}
+
+impl<P: Process> Clone for TaskQueue<P> {
+    fn clone(&self) -> Self {
+        TaskQueue {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<P: Process> std::fmt::Debug for TaskQueue<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let queued = self.shared.state.lock().expect("queue mutex").queued_tasks;
+        f.debug_struct("TaskQueue")
+            .field("capacity", &self.shared.capacity)
+            .field("queued", &queued)
+            .finish()
+    }
+}
+
+impl<P: Process + 'static> TaskQueue<P> {
+    /// Submits a task, **blocking while the queue is at capacity**, and
+    /// returns the ticket to redeem for its result. The closure receives
+    /// a recycled [`EngineArena`] (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueClosed`] (dropping the closure unrun) if the pool
+    /// has shut down.
+    pub fn submit<T, F>(&self, f: F) -> Result<TaskTicket<T>, QueueClosed>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
+    {
+        let (task, ticket) = package(f);
+        match self.shared.push_task(task) {
+            Ok(()) => Ok(ticket),
+            Err(_task) => Err(QueueClosed),
+        }
+    }
+
+    /// Non-blocking submission: enqueues the task only if a capacity slot
+    /// is free **right now**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrySubmitError::Full`] (backpressure) when the queue is
+    /// at capacity, or [`TrySubmitError::Closed`] when the pool has shut
+    /// down; the closure is dropped unrun in both cases.
+    pub fn try_submit<T, F>(&self, f: F) -> Result<TaskTicket<T>, TrySubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
+    {
+        let (task, ticket) = package(f);
+        match self.shared.try_push_task(task) {
+            Ok(()) => Ok(ticket),
+            Err((_task, err)) => Err(err),
+        }
+    }
+
+    /// The queue's task capacity (waiting tasks; running tasks do not
+    /// count against it).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Number of tasks currently waiting in the queue (excludes tasks a
+    /// worker has already picked up).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("queue mutex").queued_tasks
+    }
+}
+
+/// Boxes a typed closure into a queued task plus its ticket.
+fn package<P, T, F>(f: F) -> (QueuedTask<P>, TaskTicket<T>)
+where
+    P: Process,
+    T: Send + 'static,
+    F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
+{
+    let slot = TaskSlot::new();
+    let task = QueuedTask {
+        run: Box::new(move |arena| Box::new(f(arena)) as TaskResult),
+        slot: Arc::clone(&slot),
+    };
+    (
+        task,
+        TaskTicket {
+            slot,
+            _result: PhantomData,
+        },
+    )
+}
+
+/// A persistent simulation worker pool around one shared bounded task
+/// queue — the resource a serving layer keeps alive across solves.
+///
+/// Threads spawn once, at construction, and block on the queue between
+/// jobs. The pool serves two modes, freely interleaved:
 ///
 /// * **Single instance, chunk-parallel** — hand the pool to
 ///   [`ParallelSimulator::with_pool`](crate::ParallelSimulator::with_pool);
-///   the simulator recycles the workers' arenas as its engine chunks and
-///   returns them (capacity intact) via
+///   the simulator recycles pooled arenas as its engine chunks, pushes
+///   one (priority) round job per chunk per round, and returns everything
+///   (capacity intact) via
 ///   [`into_pool`](crate::ParallelSimulator::into_pool).
-/// * **Many instances, task-parallel** — [`SimPool::run_tasks`] fans
-///   closures out over the workers; each receives `&mut` its worker's
-///   arena, so a task that runs a whole sequential solve (see
+/// * **Many instances, task-parallel** — submit closures through
+///   [`queue`](SimPool::queue) / [`submit`](SimPool::submit) as they
+///   arrive; whichever worker frees up first takes the oldest waiting
+///   task. A task that runs a whole sequential solve (see
 ///   [`Simulator::with_arena`](crate::Simulator::with_arena)) reuses
 ///   mailbox-slot, dirty-list, worklist and staging capacity from the
-///   worker's previous task.
+///   arena it checks out.
 ///
 /// # Examples
 ///
@@ -223,121 +566,223 @@ impl<P: Process> std::fmt::Debug for Pool<P> {
 ///     }
 /// }
 ///
-/// let mut pool: SimPool<Nop> = SimPool::new(4);
-/// let tasks: Vec<_> = (0..16)
-///     .map(|i| move |_arena: &mut EngineArena<Nop>| i * i)
+/// let pool: SimPool<Nop> = SimPool::new(4);
+/// let tickets: Vec<_> = (0..16u64)
+///     .map(|i| pool.submit(move |_arena: &mut EngineArena<Nop>| i * i).unwrap())
 ///     .collect();
-/// let squares = pool.run_tasks(tasks);
+/// let squares: Vec<u64> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
 /// assert_eq!(squares[7], 49);
 /// ```
-#[derive(Debug)]
 pub struct SimPool<P: Process + 'static> {
-    pub(crate) pool: Pool<P>,
-    /// One reusable arena per worker; `None` while out at the worker (or
-    /// lost to a panicking task — rebuilt lazily on the next dispatch).
-    pub(crate) arenas: Vec<Option<EngineArena<P>>>,
+    shared: Arc<Shared<P>>,
+    rx: Receiver<Reply<P>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl<P: Process> std::fmt::Debug for SimPool<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimPool")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.shared.capacity)
+            .finish()
+    }
 }
 
 impl<P: Process + 'static> SimPool<P> {
-    /// Spawns a pool of `threads` persistent workers.
+    /// Spawns a pool of `threads` persistent workers with the default
+    /// task-queue capacity of `4 × threads` waiting tasks.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     #[must_use]
     pub fn new(threads: usize) -> Self {
+        Self::with_queue_capacity(threads, 4 * threads.max(1))
+    }
+
+    /// Spawns a pool of `threads` persistent workers whose shared task
+    /// queue holds at most `capacity` **waiting** tasks (tasks a worker
+    /// has picked up no longer count). A full queue makes
+    /// [`try_submit`](TaskQueue::try_submit) report backpressure and the
+    /// blocking [`submit`](TaskQueue::submit) wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `capacity == 0`.
+    #[must_use]
+    pub fn with_queue_capacity(threads: usize, capacity: usize) -> Self {
         assert!(threads > 0, "need at least one worker thread");
+        assert!(
+            capacity > 0,
+            "task queue needs capacity for at least one task"
+        );
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                queued_tasks: 0,
+                stop: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            arenas: Mutex::new((0..threads).map(|_| EngineArena::new()).collect()),
+            max_arenas: threads,
+        });
+        let (reply_tx, rx) = sync_channel::<Reply<P>>(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let shared = Arc::clone(&shared);
+            let replies = reply_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("congest-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, &replies))
+                    .expect("spawn worker thread"),
+            );
+        }
         Self {
-            pool: Pool::spawn(threads),
-            arenas: (0..threads).map(|_| Some(EngineArena::new())).collect(),
+            shared,
+            rx,
+            handles,
+            workers: threads,
         }
     }
 
     /// Number of worker threads.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.arenas.len()
+        self.workers
     }
 
-    /// Runs every task on the pool, each against its worker's persistent
-    /// arena, and returns the results in task order.
+    /// A cloneable submission handle to the shared task queue. Handles
+    /// may be held by any number of threads and outlive borrows of the
+    /// pool itself (submissions after the pool is dropped fail cleanly).
+    #[must_use]
+    pub fn queue(&self) -> TaskQueue<P> {
+        TaskQueue {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Submits one task (blocking while the queue is full); shorthand for
+    /// [`queue()`](Self::queue)`.submit(f)`.
     ///
-    /// Tasks are dispatched dynamically: each worker takes the next
-    /// unstarted task as soon as it finishes its current one, so a mixed
-    /// batch (cheap and expensive tasks) load-balances itself.
+    /// # Errors
+    ///
+    /// Returns [`QueueClosed`] if the pool has shut down (impossible
+    /// while you hold the pool itself).
+    pub fn submit<T, F>(&self, f: F) -> Result<TaskTicket<T>, QueueClosed>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
+    {
+        self.queue().submit(f)
+    }
+
+    /// Non-blocking submission; shorthand for
+    /// [`queue()`](Self::queue)`.try_submit(f)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrySubmitError::Full`] under backpressure.
+    pub fn try_submit<T, F>(&self, f: F) -> Result<TaskTicket<T>, TrySubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
+    {
+        self.queue().try_submit(f)
+    }
+
+    /// Runs every task on the pool and returns the results in task order:
+    /// submits them all through the shared queue, then waits on the
+    /// tickets. Workers pull tasks dynamically, so a mixed batch (cheap
+    /// and expensive tasks) load-balances itself.
     ///
     /// # Panics
     ///
-    /// Re-raises the first task panic on the calling thread, after every
-    /// in-flight task has drained (the pool stays usable afterwards).
+    /// Re-raises the first task panic (in task order) on the calling
+    /// thread, after every task has run (the pool stays usable
+    /// afterwards).
     pub fn run_tasks<T, F>(&mut self, tasks: Vec<F>) -> Vec<T>
     where
         T: Send + 'static,
         F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
     {
-        let total = tasks.len();
-        let mut results: Vec<Option<T>> = Vec::with_capacity(total);
-        results.resize_with(total, || None);
-        let mut queue = tasks.into_iter().enumerate();
-        let mut current: Vec<Option<usize>> = vec![None; self.workers()];
-        let mut outstanding = 0usize;
-        for w in 0..self.workers() {
-            match queue.next() {
-                Some((idx, f)) => {
-                    self.dispatch(w, idx, f, &mut current);
-                    outstanding += 1;
-                }
-                None => break,
-            }
-        }
-        let mut panic_payload: Option<Box<dyn Any + Send>> = None;
-        while outstanding > 0 {
-            let (w, reply) = self.pool.rx.recv().expect("worker pool alive");
-            outstanding -= 1;
-            match reply {
-                Reply::TaskDone { arena, result } => {
-                    let idx = current[w].take().expect("worker had a task");
-                    self.arenas[w] = Some(arena);
-                    let value = result
-                        .downcast::<T>()
-                        .expect("task returns the declared type");
-                    results[idx] = Some(*value);
-                    if panic_payload.is_none() {
-                        if let Some((idx, f)) = queue.next() {
-                            self.dispatch(w, idx, f, &mut current);
-                            outstanding += 1;
-                        }
-                    }
-                }
-                Reply::Panicked(payload) => {
-                    current[w] = None;
+        let queue = self.queue();
+        let tickets: Vec<TaskTicket<T>> = tasks
+            .into_iter()
+            .map(|f| queue.submit(f).expect("own pool is open"))
+            .collect();
+        let mut results = Vec::with_capacity(tickets.len());
+        let mut panic_payload: Option<PanicPayload> = None;
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(value) => results.push(value),
+                Err(payload) => {
                     if panic_payload.is_none() {
                         panic_payload = Some(payload);
                     }
                 }
-                Reply::Done { .. } => unreachable!("no round jobs in flight during run_tasks"),
             }
         }
         if let Some(payload) = panic_payload {
             std::panic::resume_unwind(payload);
         }
         results
-            .into_iter()
-            .map(|r| r.expect("every task ran"))
-            .collect()
     }
 
-    fn dispatch<T, F>(&mut self, w: usize, idx: usize, f: F, current: &mut [Option<usize>])
-    where
-        T: Send + 'static,
-        F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
-    {
-        let arena = self.arenas[w].take().unwrap_or_default();
-        current[w] = Some(idx);
-        let run: TaskFn<P> = Box::new(move |a| Box::new(f(a)) as TaskResult);
-        self.pool.txs[w]
-            .send(Job::Task { arena, run })
-            .expect("worker alive");
+    /// Checks an arena out of the pool's free list (or builds a fresh
+    /// one). Used by the parallel scheduler to seed its chunks.
+    pub(crate) fn take_arena(&self) -> EngineArena<P> {
+        self.shared.take_arena()
+    }
+
+    /// Parks an arena back in the free list.
+    pub(crate) fn put_arena(&self, arena: EngineArena<P>) {
+        self.shared.put_arena(arena)
+    }
+
+    /// Pushes one priority round job for chunk `index`.
+    pub(crate) fn send_round(
+        &self,
+        index: usize,
+        chunk: Box<ChunkState<P>>,
+        inbound: Buckets<P::Msg>,
+        round: u64,
+        budget: Option<BitBudget>,
+    ) {
+        self.shared.push_round(Job::Round {
+            index,
+            chunk,
+            inbound,
+            round,
+            budget,
+        });
+    }
+
+    /// Receives the next finished round job.
+    pub(crate) fn recv_reply(&self) -> Reply<P> {
+        self.rx.recv().expect("worker pool alive")
+    }
+}
+
+impl<P: Process + 'static> Drop for SimPool<P> {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue mutex");
+            state.stop = true;
+        }
+        // Wake every parked worker (to observe `stop`) and every blocked
+        // submitter (to observe closure).
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for handle in self.handles.drain(..) {
+            // Swallow worker panics during teardown: the panic that
+            // matters already surfaced through a ticket or the round-reply
+            // channel.
+            let _ = handle.join();
+        }
     }
 }
 
@@ -361,6 +806,26 @@ mod tests {
                 self.heard = ctx.inbox().iter().map(|i| i.msg).sum();
                 Status::Halted
             }
+        }
+    }
+
+    /// A gate tasks can block on, to hold workers busy deterministically.
+    fn gate() -> (Arc<(Mutex<bool>, Condvar)>, impl Fn() + Send + 'static) {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let release = {
+            let gate = Arc::clone(&gate);
+            move || {
+                *gate.0.lock().unwrap() = true;
+                gate.1.notify_all();
+            }
+        };
+        (gate, release)
+    }
+
+    fn wait_on(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        let mut open = gate.0.lock().unwrap();
+        while !*open {
+            open = gate.1.wait(open).unwrap();
         }
     }
 
@@ -449,5 +914,143 @@ mod tests {
             .map(|i| move |_a: &mut EngineArena<Echo>| i + 100)
             .collect();
         assert_eq!(pool.run_tasks(tasks), vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn panic_fails_only_its_own_ticket() {
+        let pool: SimPool<Echo> = SimPool::new(2);
+        let boom = pool
+            .submit(|_a: &mut EngineArena<Echo>| -> u32 { panic!("isolated boom") })
+            .unwrap();
+        let fine: Vec<_> = (0..4u32)
+            .map(|i| pool.submit(move |_a: &mut EngineArena<Echo>| i).unwrap())
+            .collect();
+        let payload = boom.wait().expect_err("panicking ticket yields Err");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"isolated boom"));
+        for (i, t) in fine.into_iter().enumerate() {
+            assert_eq!(t.wait().unwrap(), i as u32, "neighbor ticket {i}");
+        }
+    }
+
+    #[test]
+    fn try_submit_reports_backpressure_without_blocking() {
+        // One worker, capacity 2. Gate the worker, fill the queue: the
+        // third try_submit must fail *immediately* with Full.
+        let (g, release) = gate();
+        let pool: SimPool<Echo> = SimPool::with_queue_capacity(1, 2);
+        let busy = {
+            let g = Arc::clone(&g);
+            pool.submit(move |_a: &mut EngineArena<Echo>| {
+                wait_on(&g);
+                0u32
+            })
+            .unwrap()
+        };
+        // Wait until the worker has *dequeued* the gate task, so exactly
+        // two capacity slots are open.
+        while pool.queue().queued() > 0 {
+            std::thread::yield_now();
+        }
+        let q1 = pool.try_submit(|_a: &mut EngineArena<Echo>| 1u32).unwrap();
+        let q2 = pool.try_submit(|_a: &mut EngineArena<Echo>| 2u32).unwrap();
+        let start = std::time::Instant::now();
+        let err = pool
+            .try_submit(|_a: &mut EngineArena<Echo>| 3u32)
+            .expect_err("queue is full");
+        assert_eq!(err, TrySubmitError::Full);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "try_submit must not block"
+        );
+        assert!(!q1.is_done());
+        release();
+        assert_eq!(busy.wait().unwrap(), 0);
+        assert_eq!(q1.wait().unwrap(), 1);
+        assert_eq!(q2.wait().unwrap(), 2);
+    }
+
+    #[test]
+    fn drop_drains_queued_tasks_and_resolves_all_tickets() {
+        let (g, release) = gate();
+        let pool: SimPool<Echo> = SimPool::with_queue_capacity(1, 8);
+        let mut tickets = Vec::new();
+        {
+            let g = Arc::clone(&g);
+            tickets.push(
+                pool.submit(move |_a: &mut EngineArena<Echo>| {
+                    wait_on(&g);
+                    0u32
+                })
+                .unwrap(),
+            );
+        }
+        for i in 1..5u32 {
+            tickets.push(pool.submit(move |_a: &mut EngineArena<Echo>| i).unwrap());
+        }
+        let queue = pool.queue();
+        // Release the gate shortly after drop starts draining.
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            release();
+        });
+        drop(pool);
+        releaser.join().unwrap();
+        // Drop drained everything: every ticket resolves instantly.
+        for (i, t) in tickets.into_iter().enumerate() {
+            let value = t.try_wait().expect("resolved by drain").unwrap();
+            assert_eq!(value, i as u32);
+        }
+        // And the queue handle now refuses work.
+        assert_eq!(
+            queue
+                .try_submit(|_a: &mut EngineArena<Echo>| 9u32)
+                .expect_err("closed"),
+            TrySubmitError::Closed
+        );
+        assert!(queue.submit(|_a: &mut EngineArena<Echo>| 9u32).is_err());
+    }
+
+    #[test]
+    fn put_arena_keeps_the_biggest_arenas_at_the_bound() {
+        // Free list at its bound (1 worker => 1 slot, filled at spawn):
+        // returning a *bigger* arena must evict the small one, not be
+        // dropped (the chunk-parallel solve path returns warmed arenas
+        // while task traffic may have refilled the list).
+        let pool: SimPool<Echo> = SimPool::new(1);
+        let mut big = EngineArena::<Echo>::new();
+        big.chunk.cur.reserve(4096);
+        let want = big.chunk.cur.capacity();
+        pool.put_arena(big);
+        let got = pool.take_arena();
+        assert!(
+            got.chunk.cur.capacity() >= want,
+            "bound eviction must keep the warmed arena ({} < {want})",
+            got.chunk.cur.capacity()
+        );
+        // And a smaller arena does not evict a bigger parked one.
+        pool.put_arena(got);
+        pool.put_arena(EngineArena::new());
+        assert!(pool.take_arena().chunk.cur.capacity() >= want);
+    }
+
+    #[test]
+    fn tickets_resolve_in_completion_not_submission_order() {
+        let (g, release) = gate();
+        let pool: SimPool<Echo> = SimPool::new(2);
+        // First task blocks on the gate; the second finishes immediately.
+        let slow = {
+            let g = Arc::clone(&g);
+            pool.submit(move |_a: &mut EngineArena<Echo>| {
+                wait_on(&g);
+                "slow"
+            })
+            .unwrap()
+        };
+        let fast = pool.submit(|_a: &mut EngineArena<Echo>| "fast").unwrap();
+        let fast = fast.wait().unwrap();
+        assert_eq!(fast, "fast");
+        assert!(!slow.is_done(), "slow task still gated");
+        release();
+        assert_eq!(slow.wait().unwrap(), "slow");
     }
 }

@@ -27,6 +27,17 @@ pub enum SolveError {
     /// violated or the Theorem 8 round bound was exceeded — both indicate a
     /// bug (or a deliberately tightened limit).
     Sim(SimError),
+    /// The solve task panicked on a worker of a
+    /// [`SolveService`](crate::SolveService). The panic is confined to the
+    /// one submission that caused it — every other ticket, and the service
+    /// itself, keeps working.
+    Panicked {
+        /// Best-effort rendering of the panic payload.
+        message: String,
+    },
+    /// The submission was handed to a [`SolveService`](crate::SolveService)
+    /// that has already been [shut down](crate::SolveService::shutdown).
+    ShutDown,
 }
 
 impl fmt::Display for SolveError {
@@ -40,6 +51,10 @@ impl fmt::Display for SolveError {
                 "vertex {vertex} has weight {weight} which exceeds 2^53; dual arithmetic would lose exactness"
             ),
             SolveError::Sim(e) => write!(f, "simulation failed: {e}"),
+            SolveError::Panicked { message } => {
+                write!(f, "solve task panicked on a service worker: {message}")
+            }
+            SolveError::ShutDown => write!(f, "solve service has been shut down"),
         }
     }
 }

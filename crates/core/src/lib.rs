@@ -27,10 +27,16 @@
 //!   [`InvariantChecker`].
 //! * [`analysis`] — explicit versions of the paper's round bounds
 //!   (Theorem 8/9) used to validate measured complexity.
-//! * [`SolveSession`] — the batch-serving layer: one persistent worker
-//!   pool and recycled engine arenas shared across solves, with
-//!   [`SolveSession::solve_batch`] scheduling many independent instances
-//!   concurrently (bit-identical to per-instance solves).
+//! * [`SolveService`] — the asynchronous serving layer: a bounded
+//!   submission queue with backpressure in front of one persistent worker
+//!   pool. [`SolveService::submit`] takes a shared `Arc<Hypergraph>`
+//!   (zero-copy) and returns a [`Ticket`] to redeem for the result;
+//!   [`SolveService::try_submit`] sheds load instead of blocking;
+//!   [`SolveService::shutdown`] drains gracefully.
+//! * [`SolveSession`] — the batch-shaped façade over the same service:
+//!   [`SolveSession::solve_batch`] submits many independent instances and
+//!   redeems their tickets in input order (bit-identical to per-instance
+//!   solves).
 //!
 //! # Example
 //!
@@ -65,6 +71,7 @@ mod observer;
 mod params;
 pub mod protocol;
 mod reference;
+mod service;
 mod session;
 mod solver;
 
@@ -77,5 +84,6 @@ pub use protocol::{
     build_network, iteration_of_round, iterations_of_rounds, MwhvcMsg, MwhvcNode, NodeRole,
 };
 pub use reference::{solve_reference, ReferenceResult};
+pub use service::{SolveService, SubmitError, Ticket};
 pub use session::SolveSession;
 pub use solver::{CoverResult, MwhvcSolver};

@@ -201,6 +201,21 @@ impl MwhvcConfig {
         Self::new((1.0 / denom).min(1.0))
     }
 
+    /// Replaces the ε while keeping every other setting (α policy,
+    /// variant, budget, trace, round limit) — how a serving layer derives
+    /// a per-request configuration from its base configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::InvalidEpsilon`] unless `0 < epsilon ≤ 1`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Result<Self, SolveError> {
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(SolveError::InvalidEpsilon { value: epsilon });
+        }
+        self.epsilon = epsilon;
+        Ok(self)
+    }
+
     /// Sets the α policy.
     #[must_use]
     pub fn with_alpha(mut self, alpha: AlphaPolicy) -> Self {

@@ -1,0 +1,698 @@
+//! The asynchronous solve service: a submission queue with backpressure
+//! in front of one persistent worker pool.
+//!
+//! [`SolveSession::solve_batch`](crate::SolveSession::solve_batch) serves
+//! *pre-assembled* batches; a real server receives instances **as they
+//! arrive**. [`SolveService`] is that front door:
+//!
+//! * [`submit`](SolveService::submit) hands in one shared read-only
+//!   instance (`Arc<Hypergraph>` — **never deep-copied**, see below) and
+//!   returns a [`Ticket`] immediately; the solve runs on whichever pool
+//!   worker frees up first. When the bounded queue is full, `submit`
+//!   blocks until a slot opens.
+//! * [`try_submit`](SolveService::try_submit) never blocks: a full queue
+//!   is reported as [`SubmitError::Backpressure`], so an ingestion loop
+//!   can shed or defer load instead of stalling.
+//! * [`Ticket::wait`] / [`Ticket::try_wait`] redeem a submission for its
+//!   [`CoverResult`], which is **bit-identical** to what a standalone
+//!   [`MwhvcSolver::solve`](crate::MwhvcSolver::solve) returns for the
+//!   same instance and ε.
+//! * [`shutdown`](SolveService::shutdown) closes the queue (subsequent
+//!   submissions fail with [`SubmitError::ShutDown`]), **drains** every
+//!   queued and in-flight solve, and joins the workers — every ticket
+//!   issued before the shutdown still resolves.
+//!
+//! # Zero-copy instances
+//!
+//! The service threads the `Arc<Hypergraph>` through to the solver layer
+//! untouched: the queue stores the `Arc` handle, the worker borrows
+//! `&Hypergraph` out of it for the solve, and no code path clones the
+//! underlying instance data. `dcover_hypergraph::clone_count()` observes
+//! deep clones process-wide, and `tests/zero_copy.rs` pins this guarantee.
+//!
+//! # Error isolation
+//!
+//! A bad instance (oversized weights, tightened limits) resolves its own
+//! ticket with an `Err` and nothing else; even a *panicking* solve task is
+//! confined to its ticket ([`SolveError::Panicked`]) — the pool worker
+//! survives and every other submission proceeds.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dcover_core::SolveService;
+//! use dcover_hypergraph::from_weighted_edge_lists;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = SolveService::with_epsilon(0.5, 2)?;
+//! let g = Arc::new(from_weighted_edge_lists(&[10, 1, 10], &[&[0, 1], &[1, 2]])?);
+//! // Submit as requests arrive; redeem tickets whenever convenient.
+//! let a = service.submit(Arc::clone(&g), 0.5)?;
+//! let b = service.submit(Arc::clone(&g), 1.0)?;
+//! assert_eq!(a.wait()?.weight, 1);
+//! assert_eq!(b.wait()?.weight, 1);
+//! service.shutdown();
+//! assert!(service.submit(g, 0.5).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dcover_congest::{EngineArena, SimPool, TaskQueue, TaskTicket, TrySubmitError};
+use dcover_hypergraph::Hypergraph;
+
+use crate::error::SolveError;
+use crate::params::MwhvcConfig;
+use crate::protocol::MwhvcNode;
+use crate::solver::{CoverResult, MwhvcSolver};
+
+/// Why a submission was refused at the service door. (Problems *inside*
+/// the solve — bad weights, limit violations — are not submission errors;
+/// they resolve the ticket with a [`SolveError`] instead.)
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// The bounded submission queue is at capacity
+    /// ([`try_submit`](SolveService::try_submit) only — the blocking
+    /// [`submit`](SolveService::submit) waits instead). Retry later, shed
+    /// the request, or fall back to blocking submission.
+    Backpressure {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The service has been [shut down](SolveService::shutdown); no new
+    /// work is accepted.
+    ShutDown,
+    /// The request itself is invalid (e.g. ε outside `(0, 1]`); nothing
+    /// was enqueued.
+    Invalid(SolveError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Backpressure { capacity } => {
+                write!(f, "submission queue is full ({capacity} waiting)")
+            }
+            SubmitError::ShutDown => write!(f, "solve service has been shut down"),
+            SubmitError::Invalid(e) => write!(f, "invalid submission: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SubmitError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A pending solve: redeem with [`wait`](Ticket::wait) (blocking) or
+/// [`try_wait`](Ticket::try_wait) (polling). Tickets outlive the service
+/// — shutdown drains the queue, so every issued ticket resolves.
+#[derive(Debug)]
+pub struct Ticket {
+    seq: u64,
+    inner: TaskTicket<Result<CoverResult, SolveError>>,
+}
+
+impl Ticket {
+    /// The submission's sequence id: unique per service, 0-based, and
+    /// monotone in submission order *as observed by each submitting
+    /// thread* — which for a single-threaded ingestion loop (the `dcover
+    /// serve` shape) is exactly arrival order, letting a caller that
+    /// redeems tickets in completion order re-associate results with
+    /// requests. When several threads submit concurrently, ids stay
+    /// unique but the interleaving between threads is unspecified (the
+    /// id is drawn from an atomic counter after the enqueue).
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether the solve has finished (a `wait` would not block).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    /// Blocks until the solve finishes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`MwhvcSolver::solve`] would return for this instance, or
+    /// [`SolveError::Panicked`] if the solve task panicked on its worker.
+    pub fn wait(self) -> Result<CoverResult, SolveError> {
+        match self.inner.wait() {
+            Ok(result) => result,
+            Err(payload) => Err(SolveError::Panicked {
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
+    /// Non-blocking redemption: `Ok(result)` if the solve has finished,
+    /// `Err(self)` (the ticket, still valid) if it is still queued or
+    /// running.
+    #[allow(clippy::missing_errors_doc)] // Err is "not ready", not a failure
+    pub fn try_wait(self) -> Result<Result<CoverResult, SolveError>, Ticket> {
+        let seq = self.seq;
+        match self.inner.try_wait() {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(payload)) => Ok(Err(SolveError::Panicked {
+                message: panic_message(payload.as_ref()),
+            })),
+            Err(inner) => Err(Ticket { seq, inner }),
+        }
+    }
+}
+
+/// Best-effort rendering of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// An asynchronous MWHVC solve service: one persistent worker pool behind
+/// a bounded submission queue. See the module docs for the serving model.
+#[derive(Debug)]
+pub struct SolveService {
+    base: MwhvcConfig,
+    threads: usize,
+    queue_capacity: usize,
+    /// The pool; `None` after [`shutdown`](Self::shutdown), transiently
+    /// while a [`SolveSession`](crate::SolveSession) borrows it for a
+    /// chunk-parallel solve, or after a poisoned solve destroyed it (a
+    /// node-program panic unwinds through the borrowed pool). Submission
+    /// handles are derived from the *current* pool per call — see
+    /// [`current_queue`](Self::current_queue) — so the service revives
+    /// itself after a poisoning instead of going permanently stale.
+    pool: Mutex<Option<SimPool<MwhvcNode>>>,
+    /// Next sequence id.
+    seq: AtomicU64,
+    /// Cleared by [`shutdown`](Self::shutdown): refuse new submissions.
+    open: AtomicBool,
+}
+
+impl SolveService {
+    /// Starts a service with `threads` persistent workers and the default
+    /// submission-queue capacity of `4 × threads` waiting instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn new(config: MwhvcConfig, threads: usize) -> Self {
+        Self::with_queue_capacity(config, threads, 4 * threads.max(1))
+    }
+
+    /// Starts a service whose bounded queue holds at most `capacity`
+    /// **waiting** instances (instances a worker has started solving no
+    /// longer count). A full queue blocks [`submit`](Self::submit) and
+    /// makes [`try_submit`](Self::try_submit) report
+    /// [`SubmitError::Backpressure`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `capacity == 0`.
+    #[must_use]
+    pub fn with_queue_capacity(config: MwhvcConfig, threads: usize, capacity: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        let pool = SimPool::with_queue_capacity(threads, capacity);
+        Self {
+            base: config,
+            threads,
+            queue_capacity: capacity,
+            pool: Mutex::new(Some(pool)),
+            seq: AtomicU64::new(0),
+            open: AtomicBool::new(true),
+        }
+    }
+
+    /// Starts a service with the given base ε and default settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::InvalidEpsilon`] unless `0 < epsilon ≤ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_epsilon(epsilon: f64, threads: usize) -> Result<Self, SolveError> {
+        Ok(Self::new(MwhvcConfig::new(epsilon)?, threads))
+    }
+
+    /// The service's base configuration (per-submission ε overrides it;
+    /// every other setting — α policy, variant, budget, trace, round
+    /// limit — is inherited by every solve).
+    #[must_use]
+    pub fn config(&self) -> &MwhvcConfig {
+        &self.base
+    }
+
+    /// Number of persistent worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The submission queue's capacity (waiting instances).
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Number of submissions currently waiting in the queue (excludes
+    /// solves a worker has already started; 0 after shutdown).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.pool
+            .lock()
+            .expect("pool mutex")
+            .as_ref()
+            .map_or(0, |pool| pool.queue().queued())
+    }
+
+    /// Whether the service still accepts submissions.
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        self.open.load(Ordering::Acquire)
+    }
+
+    /// Submits one instance with the given ε, **blocking while the queue
+    /// is at capacity**, and returns the ticket for its result. The
+    /// `Arc<Hypergraph>` payload is shared, never deep-copied — submit the
+    /// same instance any number of times for the cost of a refcount.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] for a bad ε, [`SubmitError::ShutDown`]
+    /// after [`shutdown`](Self::shutdown). (Never
+    /// [`SubmitError::Backpressure`] — this variant waits instead.)
+    pub fn submit(&self, g: Arc<Hypergraph>, epsilon: f64) -> Result<Ticket, SubmitError> {
+        let solver = self.solver_for(epsilon)?;
+        self.submit_task(move |arena| solver.solve_with_arena(&g, arena))
+    }
+
+    /// Non-blocking submission: enqueues only if a queue slot is free
+    /// right now. The `Arc` handle is cloned (a refcount increment — the
+    /// instance data is never copied), so the caller keeps its handle for
+    /// a later retry.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Backpressure`] when the queue is full, otherwise as
+    /// [`submit`](Self::submit).
+    pub fn try_submit(&self, g: &Arc<Hypergraph>, epsilon: f64) -> Result<Ticket, SubmitError> {
+        let solver = self.solver_for(epsilon)?;
+        let g = Arc::clone(g);
+        self.try_submit_task(move |arena| solver.solve_with_arena(&g, arena))
+    }
+
+    /// Gracefully shuts the service down: close the queue (subsequent
+    /// submissions fail with [`SubmitError::ShutDown`]), **drain** every
+    /// queued and in-flight solve, and join the workers. Every ticket
+    /// issued before this call resolves by the time `shutdown` returns.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.open.store(false, Ordering::Release);
+        let pool = self.pool.lock().expect("pool mutex").take();
+        // Dropping the pool performs the drain-and-join.
+        drop(pool);
+    }
+
+    /// The per-request solver: base configuration with `epsilon` swapped
+    /// in.
+    fn solver_for(&self, epsilon: f64) -> Result<MwhvcSolver, SubmitError> {
+        let config = self
+            .base
+            .clone()
+            .with_epsilon(epsilon)
+            .map_err(SubmitError::Invalid)?;
+        Ok(MwhvcSolver::new(config))
+    }
+
+    /// A submission handle to the **current** pool's queue, reviving the
+    /// pool if it is gone while the service is still open (a node-program
+    /// panic during a chunk-parallel solve unwinds through the borrowed
+    /// pool and destroys it — the service must not stay wedged). The
+    /// handle is cloned out under the lock; the potentially-blocking
+    /// submit itself runs with no service lock held.
+    fn current_queue(&self) -> Result<TaskQueue<MwhvcNode>, SubmitError> {
+        let mut slot = self.pool.lock().expect("pool mutex");
+        // Checked under the pool lock so a revive cannot race a
+        // concurrent shutdown's pool takedown.
+        if !self.is_open() {
+            return Err(SubmitError::ShutDown);
+        }
+        if let Some(pool) = slot.as_ref() {
+            return Ok(pool.queue());
+        }
+        let pool = SimPool::with_queue_capacity(self.threads, self.queue_capacity);
+        let queue = pool.queue();
+        *slot = Some(pool);
+        Ok(queue)
+    }
+
+    /// Blocking enqueue of an arbitrary solve task (the typed `submit` is
+    /// a thin wrapper; tests inject gated or panicking tasks here).
+    fn submit_task<F>(&self, f: F) -> Result<Ticket, SubmitError>
+    where
+        F: FnOnce(&mut EngineArena<MwhvcNode>) -> Result<CoverResult, SolveError> + Send + 'static,
+    {
+        let inner = self
+            .current_queue()?
+            .submit(f)
+            .map_err(|_| SubmitError::ShutDown)?;
+        Ok(self.ticket(inner))
+    }
+
+    /// Non-blocking enqueue of an arbitrary solve task.
+    fn try_submit_task<F>(&self, f: F) -> Result<Ticket, SubmitError>
+    where
+        F: FnOnce(&mut EngineArena<MwhvcNode>) -> Result<CoverResult, SolveError> + Send + 'static,
+    {
+        let inner = self.current_queue()?.try_submit(f).map_err(|e| match e {
+            TrySubmitError::Full => SubmitError::Backpressure {
+                capacity: self.queue_capacity,
+            },
+            TrySubmitError::Closed => SubmitError::ShutDown,
+        })?;
+        Ok(self.ticket(inner))
+    }
+
+    fn ticket(&self, inner: TaskTicket<Result<CoverResult, SolveError>>) -> Ticket {
+        Ticket {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            inner,
+        }
+    }
+
+    /// Borrows the worker pool for a chunk-parallel single-instance solve
+    /// (see [`SolveSession::solve`](crate::SolveSession::solve)). Queued
+    /// task submissions keep flowing to the workers meanwhile — round
+    /// jobs take priority in the shared queue. Rebuilds the pool if it is
+    /// gone (after a shutdown the rebuilt pool serves round jobs only;
+    /// the closed submission queue stays closed).
+    pub(crate) fn take_pool(&self) -> SimPool<MwhvcNode> {
+        self.pool
+            .lock()
+            .expect("pool mutex")
+            .take()
+            .unwrap_or_else(|| SimPool::with_queue_capacity(self.threads, self.queue_capacity))
+    }
+
+    /// Returns the pool after a chunk-parallel solve.
+    pub(crate) fn put_pool(&self, pool: SimPool<MwhvcNode>) {
+        *self.pool.lock().expect("pool mutex") = Some(pool);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcover_hypergraph::from_weighted_edge_lists;
+    use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Condvar;
+
+    fn tiny() -> Arc<Hypergraph> {
+        Arc::new(from_weighted_edge_lists(&[10, 1, 10], &[&[0, 1], &[1, 2]]).unwrap())
+    }
+
+    /// A gate the injected tasks block on, to pin queue states
+    /// deterministically.
+    struct Gate(Mutex<bool>, Condvar);
+
+    impl Gate {
+        fn new() -> Arc<Self> {
+            Arc::new(Gate(Mutex::new(false), Condvar::new()))
+        }
+        fn release(&self) {
+            *self.0.lock().unwrap() = true;
+            self.1.notify_all();
+        }
+        fn wait(&self) {
+            let mut open = self.0.lock().unwrap();
+            while !*open {
+                open = self.1.wait(open).unwrap();
+            }
+        }
+    }
+
+    /// Occupies every worker with a gated task and waits until all of
+    /// them have been *picked up* (queue drained), so subsequent
+    /// submissions fill the queue deterministically.
+    fn occupy_workers(service: &SolveService, gate: &Arc<Gate>) -> Vec<Ticket> {
+        let tickets: Vec<Ticket> = (0..service.threads())
+            .map(|_| {
+                let gate = Arc::clone(gate);
+                service
+                    .submit_task(move |_arena| {
+                        gate.wait();
+                        Ok(CoverResult::empty())
+                    })
+                    .unwrap()
+            })
+            .collect();
+        while service.queued() > 0 {
+            std::thread::yield_now();
+        }
+        tickets
+    }
+
+    #[test]
+    fn backpressure_is_reported_without_blocking() {
+        let gate = Gate::new();
+        let service = SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 2);
+        let busy = occupy_workers(&service, &gate);
+        let g = tiny();
+        let q1 = service.try_submit(&g, 0.5).unwrap();
+        let q2 = service.try_submit(&g, 0.5).unwrap();
+        let start = std::time::Instant::now();
+        let err = service.try_submit(&g, 0.5).expect_err("queue is full");
+        assert_eq!(err, SubmitError::Backpressure { capacity: 2 });
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "try_submit must not block"
+        );
+        // The rejected submission consumed no sequence id slot in the
+        // queue; releasing the gate lets everything finish.
+        gate.release();
+        for t in busy {
+            t.wait().unwrap();
+        }
+        assert!(q1.wait().unwrap().cover.is_cover_of(&g));
+        assert!(q2.wait().unwrap().cover.is_cover_of(&g));
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_tickets() {
+        let gate = Gate::new();
+        let service = SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 8);
+        let busy = occupy_workers(&service, &gate);
+        let g = tiny();
+        let queued: Vec<Ticket> = (0..3)
+            .map(|_| service.submit(Arc::clone(&g), 0.5).unwrap())
+            .collect();
+        // Release the gate from another thread while shutdown drains.
+        let releaser = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                gate.release();
+            })
+        };
+        service.shutdown();
+        releaser.join().unwrap();
+        assert!(!service.is_open());
+        // Every ticket issued before shutdown resolved during the drain.
+        for t in busy {
+            assert!(t.is_done(), "gated ticket drained");
+            t.wait().unwrap();
+        }
+        for t in queued {
+            assert!(t.is_done(), "queued ticket drained");
+            assert!(t.wait().unwrap().cover.is_cover_of(&g));
+        }
+        // And the door is closed now.
+        assert_eq!(
+            service.submit(Arc::clone(&g), 0.5).expect_err("closed"),
+            SubmitError::ShutDown
+        );
+        assert_eq!(
+            service.try_submit(&g, 0.5).expect_err("closed"),
+            SubmitError::ShutDown
+        );
+        // Idempotent.
+        service.shutdown();
+    }
+
+    #[test]
+    fn panicking_task_fails_only_its_own_ticket() {
+        let service = SolveService::with_epsilon(0.5, 2).unwrap();
+        let g = tiny();
+        let before = service.submit(Arc::clone(&g), 0.5).unwrap();
+        let bomb = service
+            .submit_task(|_arena| panic!("instance 7 exploded"))
+            .unwrap();
+        let after = service.submit(Arc::clone(&g), 0.5).unwrap();
+        let err = bomb.wait().expect_err("panic surfaces as SolveError");
+        match err {
+            SolveError::Panicked { message } => {
+                assert!(message.contains("instance 7 exploded"), "got: {message}")
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert!(before.wait().unwrap().cover.is_cover_of(&g));
+        assert!(after.wait().unwrap().cover.is_cover_of(&g));
+        // The service keeps serving afterwards.
+        assert!(service.submit(g, 0.5).unwrap().wait().is_ok());
+    }
+
+    #[test]
+    fn results_are_bit_identical_to_standalone_solver() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let service = SolveService::with_epsilon(0.5, 3).unwrap();
+        for i in 0..10 {
+            let g = Arc::new(random_uniform(
+                &RandomUniform {
+                    n: 20 + i * 5,
+                    m: 40 + i * 11,
+                    rank: 2 + i % 3,
+                    weights: WeightDist::Uniform { min: 1, max: 9 },
+                },
+                &mut rng,
+            ));
+            let eps = [0.25, 0.5, 1.0][i % 3];
+            let ticket = service.submit(Arc::clone(&g), eps).unwrap();
+            let served = ticket.wait().unwrap();
+            let solo = MwhvcSolver::with_epsilon(eps).unwrap().solve(&g).unwrap();
+            assert_eq!(served.cover, solo.cover, "instance {i}");
+            assert_eq!(served.duals, solo.duals, "instance {i}");
+            assert_eq!(served.levels, solo.levels, "instance {i}");
+            assert_eq!(served.report, solo.report, "instance {i}");
+        }
+    }
+
+    #[test]
+    fn per_submission_epsilon_overrides_base() {
+        let service = SolveService::with_epsilon(1.0, 2).unwrap();
+        let g = tiny();
+        let tight = service
+            .submit(Arc::clone(&g), 0.05)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let solo = MwhvcSolver::with_epsilon(0.05).unwrap().solve(&g).unwrap();
+        assert_eq!(tight.duals, solo.duals);
+        assert_eq!(tight.report, solo.report);
+        // Invalid ε is refused at the door.
+        assert!(matches!(
+            service.submit(Arc::clone(&g), 0.0),
+            Err(SubmitError::Invalid(SolveError::InvalidEpsilon { .. }))
+        ));
+        assert!(matches!(
+            service.try_submit(&g, 7.0),
+            Err(SubmitError::Invalid(SolveError::InvalidEpsilon { .. }))
+        ));
+    }
+
+    #[test]
+    fn bad_instance_resolves_its_own_ticket_only() {
+        let service = SolveService::with_epsilon(0.5, 2).unwrap();
+        let good = tiny();
+        let oversized = Arc::new(from_weighted_edge_lists(&[1 << 60, 1], &[&[0, 1]]).unwrap());
+        let a = service.submit(Arc::clone(&good), 0.5).unwrap();
+        let b = service.submit(oversized, 0.5).unwrap();
+        let c = service.submit(Arc::clone(&good), 0.5).unwrap();
+        assert!(a.wait().is_ok());
+        assert!(matches!(
+            b.wait(),
+            Err(SolveError::WeightTooLarge { vertex: 0, .. })
+        ));
+        assert!(c.wait().is_ok());
+    }
+
+    #[test]
+    fn sequence_ids_count_successful_submissions() {
+        let gate = Gate::new();
+        let service = SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 1);
+        let busy = occupy_workers(&service, &gate);
+        let g = tiny();
+        let t1 = service.try_submit(&g, 0.5).unwrap();
+        assert!(service.try_submit(&g, 0.5).is_err()); // rejected: no seq id
+        gate.release();
+        let t2 = service.submit(Arc::clone(&g), 0.5).unwrap();
+        assert_eq!(t1.seq(), busy.len() as u64);
+        assert_eq!(t2.seq(), t1.seq() + 1);
+        for t in busy {
+            t.wait().unwrap();
+        }
+        t1.wait().unwrap();
+        t2.wait().unwrap();
+    }
+
+    #[test]
+    fn service_revives_after_a_poisoned_chunk_parallel_solve() {
+        // A node-program panic inside SolveSession::solve unwinds through
+        // the borrowed pool and destroys it. Replicate that (take the
+        // pool out and drop it without putting one back): the service
+        // must revive on the next submission, not stay wedged rejecting
+        // everything while is_open() still says true.
+        let service = SolveService::with_epsilon(0.5, 2).unwrap();
+        drop(service.take_pool());
+        assert!(service.is_open());
+        assert_eq!(service.queued(), 0);
+        let g = tiny();
+        let t = service.submit(Arc::clone(&g), 0.5).unwrap();
+        assert!(t.wait().unwrap().cover.is_cover_of(&g));
+        let t = service.try_submit(&g, 0.5).unwrap();
+        assert!(t.wait().is_ok());
+        // Shutdown still closes the revived pool for good.
+        service.shutdown();
+        assert_eq!(
+            service.submit(g, 0.5).expect_err("closed"),
+            SubmitError::ShutDown
+        );
+    }
+
+    #[test]
+    fn try_wait_polls_until_done() {
+        let gate = Gate::new();
+        let service = SolveService::with_epsilon(0.5, 1).unwrap();
+        let busy = occupy_workers(&service, &gate);
+        let g = tiny();
+        let mut ticket = service.submit(Arc::clone(&g), 0.5).unwrap();
+        ticket = ticket
+            .try_wait()
+            .expect_err("still gated behind the worker");
+        assert!(!ticket.is_done());
+        gate.release();
+        for t in busy {
+            t.wait().unwrap();
+        }
+        // The solve is tiny; poll until it lands.
+        loop {
+            match ticket.try_wait() {
+                Ok(result) => {
+                    assert!(result.unwrap().cover.is_cover_of(&g));
+                    break;
+                }
+                Err(t) => {
+                    ticket = t;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}

@@ -1,28 +1,42 @@
 //! Batched multi-instance serving: a reusable solve session.
 //!
-//! [`MwhvcSolver::solve`](crate::MwhvcSolver::solve) is fast *per solve*,
-//! but a serving workload — a stream of independent instances — pays its
-//! setup costs over and over: every call rebuilds the topology, re-grows
-//! every engine arena, and (in parallel mode) spins a whole worker pool up
-//! and back down. [`SolveSession`] amortizes all of that: it owns **one**
-//! persistent [`SimPool`] worker pool and one reusable [`EngineArena`] per
-//! worker (mailbox slots, dirty lists, worklists and staging buckets keep
-//! their capacity across solves), and serves two shapes of traffic:
+//! [`SolveSession`] is the batch-shaped façade over the queue-based
+//! [`SolveService`](crate::SolveService): it owns one service (and thus
+//! one persistent [`SimPool`](dcover_congest::SimPool) worker pool with
+//! recycled engine arenas) and serves two shapes of traffic:
 //!
 //! * [`solve`](SolveSession::solve) — one instance, chunk-parallel across
-//!   the pool (PR 1's parallelism, minus the pool spawn/teardown and arena
-//!   growth);
-//! * [`solve_batch`](SolveSession::solve_batch) — many instances,
-//!   **instance-parallel**: each worker runs whole sequential solves
-//!   against its recycled arena, pulling the next instance as soon as it
-//!   finishes the current one (dynamic load balancing over mixed sizes).
+//!   the pool (the worker threads and arenas are reused from the session
+//!   instead of being rebuilt per call);
+//! * [`solve_batch`](SolveSession::solve_batch) /
+//!   [`solve_batch_owned`](SolveSession::solve_batch_owned) /
+//!   [`solve_batch_shared`](SolveSession::solve_batch_shared) — many
+//!   instances, **instance-parallel**: each is submitted to the service
+//!   queue and the tickets are redeemed in input order. Workers pull the
+//!   next instance as soon as they finish the current one (dynamic load
+//!   balancing over mixed sizes).
+//!
+//! The batch calls are thin wrappers: one `submit` per instance plus one
+//! `wait` per ticket — callers that want results in *completion* order,
+//! non-blocking ingestion, or backpressure handling should use the
+//! [`SolveService`](crate::SolveService) API directly.
 //!
 //! Results are **bit-identical** to per-instance
-//! [`MwhvcSolver::solve`](crate::MwhvcSolver::solve) in both modes — the
+//! [`MwhvcSolver::solve`](crate::MwhvcSolver::solve) in every mode — the
 //! schedulers share one engine with a determinism contract, and arenas
 //! only recycle capacity, never state. One bad instance in a batch yields
 //! its own `Err` entry; it cannot crash the session or poison its
 //! neighbors.
+//!
+//! Instance-copy costs by entry point: [`solve_batch`] clones each
+//! instance out of the borrowed slice (tasks need `'static` payloads);
+//! [`solve_batch_owned`] moves the instances in (no deep copies);
+//! [`solve_batch_shared`] shares `Arc<Hypergraph>` handles (no deep
+//! copies, and the caller keeps the instances).
+//!
+//! [`solve_batch`]: SolveSession::solve_batch
+//! [`solve_batch_owned`]: SolveSession::solve_batch_owned
+//! [`solve_batch_shared`]: SolveSession::solve_batch_shared
 //!
 //! # Examples
 //!
@@ -42,24 +56,24 @@
 //! # }
 //! ```
 
-use dcover_congest::{EngineArena, ParallelSimulator, SimPool};
+use std::sync::Arc;
+
+use dcover_congest::ParallelSimulator;
 use dcover_hypergraph::Hypergraph;
 
 use crate::error::SolveError;
 use crate::params::MwhvcConfig;
-use crate::protocol::{build_network, MwhvcNode};
+use crate::protocol::build_network;
+use crate::service::{SolveService, SubmitError, Ticket};
 use crate::solver::{CoverResult, MwhvcSolver};
 
-/// A reusable serving session: one persistent worker pool plus one
-/// recycled engine arena per worker, shared by every solve made through
-/// it. See the module-level docs for the serving model.
+/// A reusable serving session: the batch-shaped façade over one
+/// [`SolveService`] (one persistent worker pool, recycled engine arenas).
+/// See the module-level docs for the serving model.
 #[derive(Debug)]
 pub struct SolveSession {
     solver: MwhvcSolver,
-    threads: usize,
-    /// The pool; `None` only transiently (while a solve is borrowing it)
-    /// or after a worker died to a panic (rebuilt lazily).
-    pool: Option<SimPool<MwhvcNode>>,
+    service: SolveService,
 }
 
 impl SolveSession {
@@ -70,11 +84,9 @@ impl SolveSession {
     /// Panics if `threads == 0`.
     #[must_use]
     pub fn new(config: MwhvcConfig, threads: usize) -> Self {
-        assert!(threads > 0, "need at least one worker thread");
         Self {
-            solver: MwhvcSolver::new(config),
-            threads,
-            pool: Some(SimPool::new(threads)),
+            solver: MwhvcSolver::new(config.clone()),
+            service: SolveService::new(config, threads),
         }
     }
 
@@ -100,13 +112,15 @@ impl SolveSession {
     /// Number of persistent worker threads.
     #[must_use]
     pub fn threads(&self) -> usize {
-        self.threads
+        self.service.threads()
     }
 
-    fn take_pool(&mut self) -> SimPool<MwhvcNode> {
-        self.pool
-            .take()
-            .unwrap_or_else(|| SimPool::new(self.threads))
+    /// The underlying queue-based service, for callers that want to mix
+    /// batch calls with asynchronous submission (non-blocking ingestion,
+    /// backpressure, completion-order redemption) on the same pool.
+    #[must_use]
+    pub fn service(&self) -> &SolveService {
+        &self.service
     }
 
     /// Solves one instance, chunk-parallel across the session's pool.
@@ -127,21 +141,19 @@ impl SolveSession {
         }
         let (topo, nodes) = build_network(g, self.solver.config());
         let limit = self.solver.round_limit(g);
-        let mut sim = ParallelSimulator::with_pool(topo, nodes, self.take_pool())
+        let mut sim = ParallelSimulator::with_pool(topo, nodes, self.service.take_pool())
             .with_budget(self.solver.budget_for(g))
             .with_trace(self.solver.config().trace());
         let run = sim.run(limit);
         let (nodes, report, pool) = sim.into_pool();
-        self.pool = Some(pool);
+        self.service.put_pool(pool);
         run?;
         Ok(self.solver.assemble(g, &nodes, report))
     }
 
     /// Solves a batch of independent instances concurrently over the
-    /// session's pool — instance-level parallelism layered on the shared
-    /// workers. Each worker runs whole sequential solves against its
-    /// recycled arena and takes the next pending instance as soon as it
-    /// finishes one, so mixed workloads load-balance dynamically.
+    /// session's pool — a thin wrapper that submits every instance to the
+    /// [`SolveService`] queue and redeems the tickets in input order.
     ///
     /// Returns one entry per instance, in input order. Every `Ok` result
     /// is bit-identical to what per-instance [`MwhvcSolver::solve`] would
@@ -150,8 +162,10 @@ impl SolveSession {
     ///
     /// Tasks must outlive the borrow of `instances` (they run on pool
     /// threads), so this clones each instance; callers that can give up
-    /// ownership should use [`solve_batch_owned`](Self::solve_batch_owned)
-    /// to skip the copies.
+    /// ownership should use [`solve_batch_owned`](Self::solve_batch_owned),
+    /// and callers already holding `Arc<Hypergraph>`s should use
+    /// [`solve_batch_shared`](Self::solve_batch_shared) — both skip the
+    /// copies.
     pub fn solve_batch(
         &mut self,
         instances: &[Hypergraph],
@@ -165,17 +179,50 @@ impl SolveSession {
         &mut self,
         instances: Vec<Hypergraph>,
     ) -> Vec<Result<CoverResult, SolveError>> {
-        let mut pool = self.take_pool();
-        let tasks: Vec<_> = instances
+        self.redeem(
+            instances
+                .into_iter()
+                .map(|g| self.submit_one(Arc::new(g)))
+                .collect(),
+        )
+    }
+
+    /// Like [`solve_batch`](Self::solve_batch) for instances the caller
+    /// already shares: submits each `Arc<Hypergraph>` handle **zero-copy**
+    /// (a refcount increment per instance; the payload is never cloned)
+    /// and leaves the caller's handles untouched.
+    pub fn solve_batch_shared(
+        &mut self,
+        instances: &[Arc<Hypergraph>],
+    ) -> Vec<Result<CoverResult, SolveError>> {
+        self.redeem(
+            instances
+                .iter()
+                .map(|g| self.submit_one(Arc::clone(g)))
+                .collect(),
+        )
+    }
+
+    /// Blocking submit of one batch entry under the session's ε.
+    fn submit_one(&self, g: Arc<Hypergraph>) -> Result<Ticket, SubmitError> {
+        self.service.submit(g, self.solver.config().epsilon())
+    }
+
+    /// Waits the batch tickets out in input order.
+    fn redeem(
+        &self,
+        tickets: Vec<Result<Ticket, SubmitError>>,
+    ) -> Vec<Result<CoverResult, SolveError>> {
+        tickets
             .into_iter()
-            .map(|g| {
-                let solver = self.solver.clone();
-                move |arena: &mut EngineArena<MwhvcNode>| solver.solve_with_arena(&g, arena)
+            .map(|ticket| match ticket {
+                Ok(t) => t.wait(),
+                // Only possible if the inner service was shut down
+                // through `service()` — surface it per entry.
+                Err(SubmitError::Invalid(e)) => Err(e),
+                Err(_) => Err(SolveError::ShutDown),
             })
-            .collect();
-        let results = pool.run_tasks(tasks);
-        self.pool = Some(pool);
-        results
+            .collect()
     }
 }
 
@@ -241,16 +288,26 @@ mod tests {
     }
 
     #[test]
-    fn owned_batch_matches_borrowed_batch() {
+    fn owned_and_shared_batches_match_borrowed_batch() {
         let instances = mixed_instances(6, 21);
         let mut session = SolveSession::with_epsilon(0.5, 3).unwrap();
         let borrowed = session.solve_batch(&instances);
+        let shared_instances: Vec<Arc<Hypergraph>> =
+            instances.iter().cloned().map(Arc::new).collect();
+        let shared = session.solve_batch_shared(&shared_instances);
         let owned = session.solve_batch_owned(instances);
-        for (a, b) in borrowed.iter().zip(&owned) {
-            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        for ((a, b), c) in borrowed.iter().zip(&owned).zip(&shared) {
+            let (a, b, c) = (
+                a.as_ref().unwrap(),
+                b.as_ref().unwrap(),
+                c.as_ref().unwrap(),
+            );
             assert_eq!(a.cover, b.cover);
             assert_eq!(a.duals, b.duals);
             assert_eq!(a.report, b.report);
+            assert_eq!(a.cover, c.cover);
+            assert_eq!(a.duals, c.duals);
+            assert_eq!(a.report, c.report);
         }
     }
 
@@ -305,5 +362,20 @@ mod tests {
                 assert!(r.ratio_upper_bound() <= bound + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn batch_after_service_shutdown_reports_per_entry() {
+        let mut session = SolveSession::with_epsilon(0.5, 2).unwrap();
+        session.service().shutdown();
+        let results = session.solve_batch(&mixed_instances(3, 5));
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(matches!(r, Err(SolveError::ShutDown)), "got {r:?}");
+        }
+        // Chunk-parallel solve still works (the rebuilt pool serves round
+        // jobs even though the submission queue stays closed).
+        let g = from_edge_lists(3, &[&[0, 1], &[1, 2]]).unwrap();
+        assert!(session.solve(&g).is_ok());
     }
 }

@@ -44,7 +44,7 @@ use crate::ids::{EdgeId, IdRange, VertexId};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Hypergraph {
     weights: Vec<u64>,
     /// CSR offsets into `edge_vertices`; length `m + 1`.
@@ -57,6 +57,39 @@ pub struct Hypergraph {
     vertex_edges: Vec<EdgeId>,
     rank: u32,
     max_degree: u32,
+}
+
+/// Process-wide count of deep [`Hypergraph`] clones (see [`clone_count`]).
+static CLONES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Number of deep [`Hypergraph`] clones performed by this process so far.
+///
+/// Zero-copy serving paths (e.g. submitting `Arc<Hypergraph>` instances to
+/// a solve service) are expected to leave this counter untouched; tests
+/// and benchmarks snapshot it around the code under scrutiny to *prove*
+/// that no instance payload was copied. The counter is monotone and
+/// global, so concurrent clones elsewhere in the process inflate it —
+/// assert "did not grow", not exact values, unless the test is isolated.
+#[must_use]
+pub fn clone_count() -> u64 {
+    CLONES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+impl Clone for Hypergraph {
+    fn clone(&self) -> Self {
+        // Deep copies of instances are the enemy of the serving layer;
+        // count them so tests can pin "this path never clones".
+        CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Hypergraph {
+            weights: self.weights.clone(),
+            edge_offsets: self.edge_offsets.clone(),
+            edge_vertices: self.edge_vertices.clone(),
+            vertex_offsets: self.vertex_offsets.clone(),
+            vertex_edges: self.vertex_edges.clone(),
+            rank: self.rank,
+            max_degree: self.max_degree,
+        }
+    }
 }
 
 impl Hypergraph {

@@ -57,7 +57,7 @@ mod stats;
 pub use builder::{from_edge_lists, from_weighted_edge_lists, HypergraphBuilder};
 pub use cover::Cover;
 pub use error::{BuildError, ParseError};
-pub use hypergraph::Hypergraph;
+pub use hypergraph::{clone_count, Hypergraph};
 pub use ids::{EdgeId, IdRange, VertexId};
 pub use set_system::{edge_to_element, SetSystem};
 pub use stats::InstanceStats;

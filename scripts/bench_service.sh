@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs the queued-serving throughput benchmark and writes BENCH_service.json
+# (instances/sec for SolveService queued submission vs the SolveSession
+# batch wrapper and a sequential loop on a 64-instance mixed workload,
+# plus a queue-depth/backpressure sweep over capacities 1..64; queued
+# outputs are asserted bit-identical to individual solves before timing)
+# at the repository root. Usage: scripts/bench_service.sh [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_service.json}"
+BENCH_SERVICE_JSON="$(pwd)/$OUT" cargo bench -p dcover-bench --bench service
+echo "--- $OUT ---"
+cat "$OUT"

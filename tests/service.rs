@@ -1,0 +1,192 @@
+//! End-to-end tests of the asynchronous serving stack through its public
+//! API: `SolveService` submission/backpressure/shutdown semantics and the
+//! `SolveSession` batch wrappers layered on top.
+//!
+//! (Deterministic queue-state tests — gated workers, panic injection —
+//! live in `crates/core/src/service.rs` where tasks can be fabricated;
+//! these tests drive real solves only.)
+
+use std::sync::Arc;
+
+use dcover_core::{MwhvcSolver, SolveService, SolveSession, SubmitError};
+use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
+use dcover_hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mixed_instances(count: usize, seed: u64) -> Vec<Arc<Hypergraph>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            Arc::new(random_uniform(
+                &RandomUniform {
+                    n: 20 + (i * 13) % 60,
+                    m: 40 + (i * 29) % 120,
+                    rank: 2 + i % 3,
+                    weights: WeightDist::Uniform {
+                        min: 1,
+                        max: 4 + (i as u64 * 7) % 40,
+                    },
+                },
+                &mut rng,
+            ))
+        })
+        .collect()
+}
+
+#[test]
+fn streamed_submissions_are_bit_identical_to_sequential_solves() {
+    let instances = mixed_instances(24, 1);
+    let service = SolveService::with_epsilon(0.5, 4).unwrap();
+    let solver = MwhvcSolver::with_epsilon(0.5).unwrap();
+    // Submit everything up front (queue capacity 16 < 24: the blocking
+    // submit absorbs the overflow), then redeem in submission order.
+    let tickets: Vec<_> = instances
+        .iter()
+        .map(|g| service.submit(Arc::clone(g), 0.5).unwrap())
+        .collect();
+    for (i, (g, t)) in instances.iter().zip(tickets).enumerate() {
+        assert_eq!(t.seq(), i as u64, "arrival-order sequence ids");
+        let served = t.wait().unwrap();
+        let solo = solver.solve(g).unwrap();
+        assert_eq!(served.cover, solo.cover, "instance {i}");
+        assert_eq!(served.duals, solo.duals, "instance {i}");
+        assert_eq!(served.levels, solo.levels, "instance {i}");
+        assert_eq!(served.report, solo.report, "instance {i}");
+    }
+}
+
+#[test]
+fn completion_order_redemption_covers_every_submission() {
+    // Redeem with try_wait polling (the `dcover serve` loop shape): every
+    // seq id must come back exactly once, whatever order solves finish.
+    let instances = mixed_instances(12, 2);
+    let service = SolveService::with_epsilon(1.0, 3).unwrap();
+    let mut pending: Vec<_> = instances
+        .iter()
+        .map(|g| service.submit(Arc::clone(g), 1.0).unwrap())
+        .collect();
+    let mut seen = vec![false; pending.len()];
+    while !pending.is_empty() {
+        let mut still = Vec::with_capacity(pending.len());
+        for t in pending {
+            let seq = t.seq() as usize;
+            match t.try_wait() {
+                Ok(result) => {
+                    assert!(!seen[seq], "seq {seq} delivered twice");
+                    seen[seq] = true;
+                    assert!(result.unwrap().cover.is_cover_of(&instances[seq]));
+                }
+                Err(t) => still.push(t),
+            }
+        }
+        pending = still;
+        std::thread::yield_now();
+    }
+    assert!(seen.iter().all(|&s| s), "every submission completed");
+}
+
+#[test]
+fn shutdown_resolves_every_outstanding_ticket_then_refuses_work() {
+    let instances = mixed_instances(10, 3);
+    let service = SolveService::with_epsilon(0.5, 2).unwrap();
+    let tickets: Vec<_> = instances
+        .iter()
+        .map(|g| service.submit(Arc::clone(g), 0.5).unwrap())
+        .collect();
+    service.shutdown();
+    for (g, t) in instances.iter().zip(tickets) {
+        assert!(t.is_done(), "shutdown drained in-flight work");
+        assert!(t.wait().unwrap().cover.is_cover_of(g));
+    }
+    assert!(matches!(
+        service.submit(Arc::clone(&instances[0]), 0.5),
+        Err(SubmitError::ShutDown)
+    ));
+}
+
+#[test]
+fn try_submit_backpressure_surfaces_under_load() {
+    // A tiny queue on one worker under a burst of large instances must
+    // hit Backpressure at least once; retrying with the blocking submit
+    // still serves everything. (Deterministic single-rejection tests live
+    // in the core crate; this exercises the public retry loop.)
+    let big: Vec<Arc<Hypergraph>> = mixed_instances(1, 4)
+        .into_iter()
+        .map(|_| {
+            let mut rng = StdRng::seed_from_u64(9);
+            Arc::new(random_uniform(
+                &RandomUniform {
+                    n: 400,
+                    m: 900,
+                    rank: 3,
+                    weights: WeightDist::Uniform { min: 1, max: 50 },
+                },
+                &mut rng,
+            ))
+        })
+        .collect();
+    let g = &big[0];
+    let service =
+        SolveService::with_queue_capacity(dcover_core::MwhvcConfig::new(0.5).unwrap(), 1, 1);
+    let mut tickets = Vec::new();
+    let mut rejections = 0usize;
+    for _ in 0..12 {
+        match service.try_submit(g, 0.5) {
+            Ok(t) => tickets.push(t),
+            Err(SubmitError::Backpressure { capacity }) => {
+                assert_eq!(capacity, 1);
+                rejections += 1;
+                tickets.push(service.submit(Arc::clone(g), 0.5).unwrap());
+            }
+            Err(other) => panic!("unexpected submit error: {other:?}"),
+        }
+    }
+    assert!(rejections > 0, "a 1-deep queue must push back on a burst");
+    for t in tickets {
+        assert!(t.wait().unwrap().cover.is_cover_of(g));
+    }
+}
+
+#[test]
+fn batch_wrappers_match_direct_service_submission() {
+    let instances = mixed_instances(10, 5);
+    let mut session = SolveSession::with_epsilon(0.5, 3).unwrap();
+    let direct: Vec<_> = {
+        let tickets: Vec<_> = instances
+            .iter()
+            .map(|g| session.service().submit(Arc::clone(g), 0.5).unwrap())
+            .collect();
+        tickets.into_iter().map(|t| t.wait().unwrap()).collect()
+    };
+    let batched = session.solve_batch_shared(&instances);
+    for (i, (d, b)) in direct.iter().zip(&batched).enumerate() {
+        let b = b.as_ref().unwrap();
+        assert_eq!(d.cover, b.cover, "instance {i}");
+        assert_eq!(d.duals, b.duals, "instance {i}");
+        assert_eq!(d.report, b.report, "instance {i}");
+    }
+}
+
+#[test]
+fn mixed_epsilons_share_one_service() {
+    let instances = mixed_instances(9, 6);
+    let service = SolveService::with_epsilon(0.5, 3).unwrap();
+    let epsilons = [0.1, 0.5, 1.0];
+    let tickets: Vec<_> = instances
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let eps = epsilons[i % 3];
+            (eps, service.submit(Arc::clone(g), eps).unwrap())
+        })
+        .collect();
+    for ((eps, t), g) in tickets.into_iter().zip(&instances) {
+        let served = t.wait().unwrap();
+        let solo = MwhvcSolver::with_epsilon(eps).unwrap().solve(g).unwrap();
+        assert_eq!(served.duals, solo.duals, "eps {eps}");
+        assert_eq!(served.report, solo.report, "eps {eps}");
+        let bound = g.rank().max(1) as f64 + eps;
+        assert!(served.ratio_upper_bound() <= bound + 1e-9);
+    }
+}

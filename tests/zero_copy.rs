@@ -1,0 +1,92 @@
+//! Proves the `Arc<Hypergraph>` serving path is **zero-copy**: submitting
+//! an instance to the solve service (or a shared batch) never deep-clones
+//! the hypergraph payload.
+//!
+//! `dcover_hypergraph::clone_count()` counts every deep `Hypergraph`
+//! clone process-wide. The counter is global, so this file holds exactly
+//! one test: the no-clone window must not race with other tests that
+//! legitimately clone.
+
+use std::sync::Arc;
+
+use dcover_core::{MwhvcSolver, SolveService, SolveSession};
+use dcover_hypergraph::clone_count;
+use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn arc_submission_paths_never_clone_the_instance_payload() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let g = Arc::new(random_uniform(
+        &RandomUniform {
+            n: 60,
+            m: 140,
+            rank: 3,
+            weights: WeightDist::Uniform { min: 1, max: 30 },
+        },
+        &mut rng,
+    ));
+    let reference = MwhvcSolver::with_epsilon(0.5)
+        .unwrap()
+        .solve(&g)
+        .expect("reference solve");
+
+    // --- SolveService::submit / try_submit: zero deep clones. ---
+    let service = SolveService::with_epsilon(0.5, 4).unwrap();
+    let before = clone_count();
+    let tickets: Vec<_> = (0..16)
+        .map(|i| {
+            if i % 2 == 0 {
+                service.submit(Arc::clone(&g), 0.5).unwrap()
+            } else {
+                service.try_submit(&g, 0.5).unwrap()
+            }
+        })
+        .collect();
+    for t in tickets {
+        let r = t.wait().unwrap();
+        assert_eq!(r.cover, reference.cover);
+        assert_eq!(r.duals, reference.duals);
+    }
+    assert_eq!(
+        clone_count() - before,
+        0,
+        "service submission deep-cloned an Arc'd instance"
+    );
+
+    // --- SolveSession::solve_batch_shared: zero deep clones. ---
+    let mut session = SolveSession::with_epsilon(0.5, 4).unwrap();
+    let shared: Vec<Arc<dcover_hypergraph::Hypergraph>> = (0..8).map(|_| Arc::clone(&g)).collect();
+    let before = clone_count();
+    let results = session.solve_batch_shared(&shared);
+    for r in &results {
+        assert_eq!(r.as_ref().unwrap().cover, reference.cover);
+    }
+    assert_eq!(
+        clone_count() - before,
+        0,
+        "solve_batch_shared deep-cloned an Arc'd instance"
+    );
+    drop(shared);
+    drop(service);
+    drop(session);
+
+    // Every Arc handle the serving layers took has been released: the
+    // caller's handle is the only one left (no hidden retained copies).
+    assert_eq!(Arc::strong_count(&g), 1);
+
+    // Contrast: the borrowed-slice batch documents one clone per
+    // instance (tasks need 'static payloads), which is exactly why the
+    // Arc paths above exist.
+    let mut session = SolveSession::with_epsilon(0.5, 2).unwrap();
+    let slice = [Arc::try_unwrap(g).expect("sole owner")];
+    let before = clone_count();
+    let results = session.solve_batch(&slice);
+    assert!(results[0].is_ok());
+    assert_eq!(
+        clone_count() - before,
+        1,
+        "the slice path clones exactly once per instance"
+    );
+}
