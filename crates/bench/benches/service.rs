@@ -9,7 +9,8 @@
 //!   single thread (the zero-parallelism reference point);
 //! * `session_batch_8t` — the PR 2 batch API,
 //!   `SolveSession::solve_batch` over a borrowed slice (now a thin
-//!   wrapper over the service queue; pays one instance clone per entry);
+//!   wrapper over the service queue; zero-copy since the hypergraph
+//!   payload moved behind a shared allocation);
 //! * `service_queued_8t` — queued submission: `SolveService::submit` of
 //!   `Arc<Hypergraph>` handles as a request stream (zero-copy), tickets
 //!   redeemed afterwards.

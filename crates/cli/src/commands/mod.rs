@@ -9,11 +9,11 @@ pub mod verify;
 use std::io::Read as _;
 use std::time::Instant;
 
-use dcover_core::{CoverResult, MwhvcConfig, MwhvcSolver, SolveSession, Variant};
+use dcover_core::{CoverResult, MwhvcConfig, MwhvcSolver, SolveSession, Variant, WarmState};
 use dcover_hypergraph::{format, Hypergraph};
 
 use crate::args;
-use crate::json::{array, Obj};
+use crate::json::{array, Obj, Value};
 use crate::Failure;
 
 pub(crate) fn usage(msg: String) -> Failure {
@@ -67,9 +67,10 @@ pub(crate) fn instance_json(file: &str, g: &Hypergraph) -> String {
         .build()
 }
 
-/// The solution part of a report: summary numbers plus the cover and the
-/// dual certificate, so a report is self-contained and `dcover verify`
-/// can re-check it against the instance.
+/// The solution part of a report: summary numbers plus the cover, the
+/// dual certificate, and the vertex levels, so a report is self-contained
+/// — `dcover verify` re-checks it against the instance and `dcover solve
+/// --warm-from` seeds an incremental re-solve from it.
 pub(crate) fn result_json(r: &CoverResult) -> String {
     let cover = array(r.cover.iter().map(|v| v.index().to_string()));
     let duals = array(r.duals.iter().map(|d| {
@@ -79,6 +80,7 @@ pub(crate) fn result_json(r: &CoverResult) -> String {
             "null".to_string()
         }
     }));
+    let levels = array(r.levels.iter().map(u32::to_string));
     Obj::new()
         .num("weight", r.weight)
         .num("cover_size", r.cover.len())
@@ -91,6 +93,7 @@ pub(crate) fn result_json(r: &CoverResult) -> String {
         .num("max_link_bits", r.report.max_link_bits)
         .raw("cover", &cover)
         .raw("duals", &duals)
+        .raw("levels", &levels)
         .build()
 }
 
@@ -128,25 +131,127 @@ fn print_result_human(file: &str, g: &Hypergraph, r: &CoverResult, eps: f64, wal
     println!("time      : {wall_ms:.2} ms");
 }
 
-/// `dcover solve FILE [--eps E] [--threads N] [--variant V] [--json]`
+/// Reads the dual vector out of a report's `result` (must be all finite
+/// numbers). Shared between `verify` and `solve --warm-from`.
+pub(crate) fn extract_duals(value: Option<&Value>) -> Result<Vec<f64>, Failure> {
+    let items = value
+        .and_then(Value::as_array)
+        .ok_or_else(|| runtime("report has no `duals` array in its result".to_string()))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .filter(|d| d.is_finite())
+                .ok_or_else(|| runtime("non-finite entry in `duals`".to_string()))
+        })
+        .collect()
+}
+
+/// Reads the vertex-level vector out of a report's `result` (must be
+/// non-negative integers).
+pub(crate) fn extract_levels(value: Option<&Value>) -> Result<Vec<u32>, Failure> {
+    let items = value.and_then(Value::as_array).ok_or_else(|| {
+        runtime(
+            "report has no `levels` array in its result (produced before warm-start support?)"
+                .to_string(),
+        )
+    })?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .filter(|x| x.fract() == 0.0 && *x >= 0.0)
+                .map(|x| x as u32)
+                .ok_or_else(|| runtime("non-integer entry in `levels`".to_string()))
+        })
+        .collect()
+}
+
+/// Loads a warm seed (duals + levels, and the ε the report was produced
+/// with) out of a `--json` solve/serve report.
+fn warm_from_report(path: &str) -> Result<(WarmState, Option<f64>), Failure> {
+    let text = std::fs::read_to_string(path).map_err(|e| runtime(format!("{path}: {e}")))?;
+    // Serve reports are JSONL; take the (single) line the caller chose.
+    let report =
+        crate::json::parse(text.trim()).map_err(|e| runtime(format!("{path}: bad JSON: {e}")))?;
+    let result = report.get("result").unwrap_or(&report);
+    let duals = extract_duals(result.get("duals")).map_err(|e| prefix_path(path, e))?;
+    let levels = extract_levels(result.get("levels")).map_err(|e| prefix_path(path, e))?;
+    let epsilon = report.get("epsilon").and_then(Value::as_f64);
+    Ok((WarmState::from_parts(duals, levels), epsilon))
+}
+
+fn prefix_path(path: &str, failure: Failure) -> Failure {
+    match failure {
+        Failure::Runtime(m) => Failure::Runtime(format!("{path}: {m}")),
+        Failure::Usage(m) => Failure::Usage(format!("{path}: {m}")),
+    }
+}
+
+/// `dcover solve FILE [--eps E] [--threads N] [--variant V]
+/// [--warm-from REPORT] [--json]`
 pub fn solve(raw: &[String]) -> Result<(), Failure> {
-    let parsed = args::parse(raw, &["json"], &["eps", "threads", "variant"]).map_err(usage)?;
+    let parsed =
+        args::parse(raw, &["json"], &["eps", "threads", "variant", "warm-from"]).map_err(usage)?;
+    let json = parsed.switch("json");
+    solve_inner(&parsed).inspect_err(|failure| {
+        // With --json, failures become machine-readable error objects on
+        // stdout (the exit code still signals them), so a pipeline driving
+        // many solves can parse every outcome uniformly.
+        if json {
+            let (kind, msg) = match failure {
+                Failure::Usage(m) => ("usage", m),
+                Failure::Runtime(m) => ("runtime", m),
+            };
+            println!(
+                "{}",
+                Obj::new()
+                    .bool("ok", false)
+                    .str("kind", kind)
+                    .str("error", msg)
+                    .build()
+            );
+        }
+    })
+}
+
+fn solve_inner(parsed: &args::Parsed) -> Result<(), Failure> {
     let [file] = parsed.positional.as_slice() else {
         return Err(usage(format!(
             "solve takes exactly one instance file, got {}",
             parsed.positional.len()
         )));
     };
-    let config = config_from(&parsed)?;
+    let warm = match parsed.value("warm-from") {
+        Some(report_path) => Some(warm_from_report(report_path)?),
+        None => None,
+    };
+    if warm.is_some() && parsed.value_or("threads", 0).map_err(usage)? > 1 {
+        return Err(usage(
+            "--warm-from runs on the sequential scheduler; drop --threads (or use a cold solve \
+             for chunk parallelism)"
+                .to_string(),
+        ));
+    }
+    let mut config = config_from(parsed)?;
+    // Without an explicit --eps, a warm re-solve inherits the ε of the
+    // report it seeds from, preserving the (f + ε) guarantee of the chain.
+    if parsed.value("eps").is_none() {
+        if let Some((_, Some(report_eps))) = &warm {
+            config = config
+                .with_epsilon(*report_eps)
+                .map_err(|e| runtime(format!("report epsilon: {e}")))?;
+        }
+    }
     let eps = config.epsilon();
     let threads: usize = parsed.value_or("threads", 0).map_err(usage)?;
     let g = read_instance(file)?;
     let solver = MwhvcSolver::new(config);
     let start = Instant::now();
-    let result = if threads <= 1 {
-        solver.solve(&g)
-    } else {
-        solver.solve_parallel(&g, threads)
+    let result = match &warm {
+        Some((state, _)) => solver.solve_warm(&g, state),
+        None if threads <= 1 => solver.solve(&g),
+        None => solver.solve_parallel(&g, threads),
     }
     .map_err(|e| runtime(format!("{file}: {e}")))?;
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -156,11 +261,18 @@ pub fn solve(raw: &[String]) -> Result<(), Failure> {
             .raw("instance", &instance_json(file, &g))
             .float("epsilon", eps)
             .num("threads", threads.max(1))
+            .bool("warm", warm.is_some())
             .raw("result", &result_json(&result))
             .float("wall_ms", wall_ms)
             .build();
         println!("{report}");
     } else {
+        if warm.is_some() {
+            println!(
+                "warm-start: seeded from {}",
+                parsed.value("warm-from").unwrap_or("-")
+            );
+        }
         print_result_human(file, &g, &result, eps, wall_ms);
     }
     Ok(())

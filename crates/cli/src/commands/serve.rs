@@ -2,19 +2,32 @@
 //! [`SolveService`](dcover_core::SolveService).
 //!
 //! Instances are read from **stdin as they arrive** (concatenated in the
-//! [`dcover_hypergraph::format`] text format — a new `p mwhvc n m` header
-//! starts the next instance) and submitted to the service the moment they
-//! parse; one JSON line per instance goes to stdout **in completion
-//! order**, tagged with a 0-based `seq` id in arrival order so a consumer
-//! can re-associate responses with requests. Solves overlap with reading:
-//! a slow instance does not block the results of fast ones submitted
-//! after it.
+//! [`dcover_hypergraph::format`] text format — a new `p …` header starts
+//! the next record) and submitted to the service the moment they parse;
+//! one JSON line per record goes to stdout **in completion order**,
+//! tagged with a 0-based `seq` id in arrival order so a consumer can
+//! re-associate responses with requests. Solves overlap with reading: a
+//! slow instance does not block the results of fast ones submitted after
+//! it.
+//!
+//! Two record kinds share the stream:
+//!
+//! * `p mwhvc n m` — a full instance, cold-solved as before;
+//! * `p delta <base> <r> <a> <w> [eps]` — a **revision** of the record
+//!   whose `seq` is `<base>`: the service applies the edge/weight delta
+//!   to the cached predecessor and **warm-starts** the re-solve from its
+//!   dual packing ([`SolveService::submit_delta`]). Deltas chain — a
+//!   delta may reference an earlier delta's `seq`. If the base is still
+//!   in flight when its delta arrives, the reader waits for it (a
+//!   revision cannot be resolved before its predecessor). Result lines
+//!   for revisions carry `"warm": true` and `"base": <seq>`.
 //!
 //! The submission queue is bounded (`--queue`); when it fills, the reader
 //! applies natural backpressure by blocking on `submit` until a worker
 //! frees a slot — stdin is simply consumed more slowly instead of
 //! buffering without limit.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::BufRead as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -27,19 +40,57 @@ use crate::args;
 use crate::json::Obj;
 use crate::Failure;
 
-/// One submitted instance awaiting completion.
+/// One submitted record awaiting completion.
 struct Pending {
     seq: u64,
+    /// The service-side sequence id (what later deltas resolve against).
+    service_seq: u64,
+    /// The revision this record applied to, for warm submissions.
+    base: Option<u64>,
+    /// The ε this record was solved with (deltas may override the
+    /// stream's ε per record).
+    eps: f64,
     ticket: Ticket,
     g: Arc<Hypergraph>,
     submitted: Instant,
 }
+
+/// What became of an already-emitted record, kept so later delta records
+/// can resolve their base `seq`.
+enum Outcome {
+    /// Solved fine; deltas may warm-start against this service seq. `eps`
+    /// is the ε the record was actually solved with (a chained delta
+    /// without its own override inherits it — not the stream default).
+    Solved { service_seq: u64, eps: f64 },
+    /// Parse, submit, or solve failure — deltas against it are refused.
+    Failed,
+}
+
+/// How many record outcomes the reader retains for base resolution. The
+/// service's own result cache (256 entries by default) is the real
+/// warm-start horizon — outcomes past `OUTCOME_RETENTION` could only
+/// ever resolve to `UnknownBase` anyway, and an unbounded map would grow
+/// forever in the long-running server shape this command exists for.
+const OUTCOME_RETENTION: usize = 1024;
 
 /// Running totals for the stderr summary and the exit code.
 #[derive(Default)]
 struct Totals {
     ok: usize,
     failed: usize,
+    warm: usize,
+}
+
+/// The reader-side stream state: everything the emit/poll helpers touch.
+struct Stream {
+    service: SolveService,
+    eps: f64,
+    next_seq: u64,
+    pending: Vec<Pending>,
+    /// Bounded at [`OUTCOME_RETENTION`]; insertion order in `outcome_log`.
+    outcomes: HashMap<u64, Outcome>,
+    outcome_log: VecDeque<u64>,
+    totals: Totals,
 }
 
 /// `dcover serve [--eps E] [--threads N] [--queue C] [--variant V]`
@@ -63,10 +114,15 @@ pub fn serve(raw: &[String]) -> Result<(), Failure> {
         return Err(usage("--queue must be at least 1".to_string()));
     }
 
-    let service = SolveService::with_queue_capacity(config, threads, queue);
-    let mut pending: Vec<Pending> = Vec::new();
-    let mut totals = Totals::default();
-    let mut next_seq: u64 = 0;
+    let mut stream = Stream {
+        service: SolveService::with_queue_capacity(config, threads, queue),
+        eps,
+        next_seq: 0,
+        pending: Vec::new(),
+        outcomes: HashMap::new(),
+        outcome_log: VecDeque::new(),
+        totals: Totals::default(),
+    };
 
     let stdin = std::io::stdin();
     let mut buffer = String::new();
@@ -75,14 +131,7 @@ pub fn serve(raw: &[String]) -> Result<(), Failure> {
         let line = line.map_err(|e| runtime(format!("reading stdin: {e}")))?;
         let is_header = line.split_whitespace().next() == Some("p");
         if is_header && have_header {
-            submit(
-                &service,
-                &buffer,
-                eps,
-                &mut next_seq,
-                &mut pending,
-                &mut totals,
-            );
+            stream.submit(&buffer);
             buffer.clear();
             have_header = false;
         }
@@ -91,121 +140,224 @@ pub fn serve(raw: &[String]) -> Result<(), Failure> {
         have_header |= is_header;
         // Emit whatever has completed since the last line (completion
         // order), without blocking the reader.
-        poll_completed(&mut pending, eps, &mut totals);
+        stream.poll_completed();
     }
     if buffer.lines().any(|l| {
         let t = l.trim();
         !t.is_empty() && !t.starts_with('c')
     }) {
-        submit(
-            &service,
-            &buffer,
-            eps,
-            &mut next_seq,
-            &mut pending,
-            &mut totals,
-        );
+        stream.submit(&buffer);
     }
 
     // Stdin is exhausted: drain the in-flight solves, still emitting in
     // completion order.
-    while !pending.is_empty() {
-        poll_completed(&mut pending, eps, &mut totals);
-        if !pending.is_empty() {
+    while !stream.pending.is_empty() {
+        stream.poll_completed();
+        if !stream.pending.is_empty() {
             std::thread::sleep(std::time::Duration::from_micros(200));
         }
     }
-    service.shutdown();
+    stream.service.shutdown();
 
+    let totals = &stream.totals;
     eprintln!(
-        "serve: {} instances, {} ok, {} failed ({threads} threads, queue {queue})",
+        "serve: {} records, {} ok ({} warm-started), {} failed ({threads} threads, queue {queue})",
         totals.ok + totals.failed,
         totals.ok,
+        totals.warm,
         totals.failed,
     );
     if totals.failed > 0 {
-        return Err(runtime(format!("{} instances failed", totals.failed)));
+        return Err(runtime(format!("{} records failed", totals.failed)));
     }
     Ok(())
 }
 
-/// Parses one framed chunk and submits it; a parse failure emits its
-/// error line immediately (it never occupies a queue slot).
-fn submit(
-    service: &SolveService,
-    text: &str,
-    eps: f64,
-    next_seq: &mut u64,
-    pending: &mut Vec<Pending>,
-    totals: &mut Totals,
-) {
-    let seq = *next_seq;
-    *next_seq += 1;
-    match format::parse(text) {
-        Ok(g) => {
-            let g = Arc::new(g);
-            match service.submit(Arc::clone(&g), eps) {
-                Ok(ticket) => pending.push(Pending {
-                    seq,
-                    ticket,
-                    g,
-                    submitted: Instant::now(),
-                }),
-                Err(e) => emit_error(seq, &e.to_string(), totals),
-            }
+impl Stream {
+    /// Parses one framed chunk (instance or delta record) and submits it;
+    /// a parse or submit failure emits its error line immediately (it
+    /// never occupies a queue slot).
+    fn submit(&mut self, text: &str) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let header_is_delta = text
+            .lines()
+            .find(|l| l.split_whitespace().next() == Some("p"))
+            .is_some_and(format::is_delta_header);
+        if header_is_delta {
+            self.submit_delta(seq, text);
+        } else {
+            self.submit_instance(seq, text);
         }
-        Err(e) => emit_error(seq, &format!("stdin instance {seq}: {e}"), totals),
     }
-}
 
-/// Emits every finished solve (non-blocking); unfinished tickets stay.
-fn poll_completed(pending: &mut Vec<Pending>, eps: f64, totals: &mut Totals) {
-    let mut still = Vec::with_capacity(pending.len());
-    for entry in pending.drain(..) {
-        let Pending {
-            seq,
-            ticket,
-            g,
-            submitted,
-        } = entry;
-        match ticket.try_wait() {
-            Ok(outcome) => {
-                let wall_ms = submitted.elapsed().as_secs_f64() * 1e3;
-                match outcome {
-                    Ok(result) => {
-                        let line = Obj::new()
-                            .num("seq", seq)
-                            .bool("ok", true)
-                            .num("n", g.n())
-                            .num("m", g.m())
-                            .num("rank", g.rank())
-                            .float("epsilon", eps)
-                            .raw("result", &result_json(&result))
-                            .float("latency_ms", wall_ms)
-                            .build();
-                        println!("{line}");
-                        totals.ok += 1;
-                    }
-                    Err(e) => emit_error(seq, &e.to_string(), totals),
+    fn submit_instance(&mut self, seq: u64, text: &str) {
+        match format::parse(text) {
+            Ok(g) => {
+                let g = Arc::new(g);
+                match self.service.submit(Arc::clone(&g), self.eps) {
+                    Ok(ticket) => self.pending.push(Pending {
+                        seq,
+                        service_seq: ticket.seq(),
+                        base: None,
+                        eps: self.eps,
+                        ticket,
+                        g,
+                        submitted: Instant::now(),
+                    }),
+                    Err(e) => self.emit_error(seq, &e.to_string()),
                 }
             }
-            Err(ticket) => still.push(Pending {
+            Err(e) => self.emit_error(seq, &format!("stdin record {seq}: {e}")),
+        }
+    }
+
+    /// A delta record: resolve the base (waiting out its solve if it is
+    /// still in flight — a revision needs its predecessor's duals), then
+    /// hand the delta to the service for a warm-started re-solve.
+    fn submit_delta(&mut self, seq: u64, text: &str) {
+        let record = match format::parse_delta(text) {
+            Ok(record) => record,
+            Err(e) => return self.emit_error(seq, &format!("stdin record {seq}: {e}")),
+        };
+        let base = record.base;
+        if base >= seq {
+            return self.emit_error(
                 seq,
+                &format!(
+                    "delta record {seq} references base {base}, which is not an earlier record"
+                ),
+            );
+        }
+        // Wait until the base record has resolved one way or the other.
+        while !self.outcomes.contains_key(&base) {
+            if !self.pending.iter().any(|p| p.seq == base) {
+                // Never submitted (its own parse/submit failed) — the
+                // outcome map would have it; this is a stream bug guard.
+                break;
+            }
+            self.poll_completed();
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        let (service_seq, base_eps) = match self.outcomes.get(&base) {
+            Some(Outcome::Solved { service_seq, eps }) => (*service_seq, *eps),
+            Some(Outcome::Failed) => {
+                return self.emit_error(
+                    seq,
+                    &format!("base record {base} failed; cannot warm-start from it"),
+                )
+            }
+            None => {
+                return self.emit_error(
+                    seq,
+                    &format!(
+                        "unknown base record {base} (never solved, or past the retention window)"
+                    ),
+                )
+            }
+        };
+        // Without an override the revision inherits the ε its *base* was
+        // solved with — the same resolution the service applies — so the
+        // emitted result line reports the ε actually used.
+        let eps = record.epsilon.unwrap_or(base_eps);
+        match self
+            .service
+            .submit_delta(service_seq, &record.delta, Some(eps))
+        {
+            Ok((ticket, g)) => self.pending.push(Pending {
+                seq,
+                service_seq: ticket.seq(),
+                base: Some(base),
+                eps,
+                ticket,
+                g,
+                submitted: Instant::now(),
+            }),
+            Err(e) => self.emit_error(seq, &e.to_string()),
+        }
+    }
+
+    /// Emits every finished solve (non-blocking); unfinished tickets stay.
+    fn poll_completed(&mut self) {
+        let drained: Vec<Pending> = self.pending.drain(..).collect();
+        let mut still = Vec::with_capacity(drained.len());
+        for entry in drained {
+            let Pending {
+                seq,
+                service_seq,
+                base,
+                eps,
                 ticket,
                 g,
                 submitted,
-            }),
+            } = entry;
+            match ticket.try_wait() {
+                Ok(outcome) => {
+                    let wall_ms = submitted.elapsed().as_secs_f64() * 1e3;
+                    match outcome {
+                        Ok(result) => {
+                            let mut line = Obj::new()
+                                .num("seq", seq)
+                                .bool("ok", true)
+                                .num("n", g.n())
+                                .num("m", g.m())
+                                .num("rank", g.rank())
+                                .float("epsilon", eps)
+                                .bool("warm", base.is_some());
+                            if let Some(base) = base {
+                                line = line.num("base", base);
+                            }
+                            let line = line
+                                .raw("result", &result_json(&result))
+                                .float("latency_ms", wall_ms)
+                                .build();
+                            println!("{line}");
+                            self.totals.ok += 1;
+                            if base.is_some() {
+                                self.totals.warm += 1;
+                            }
+                            self.record_outcome(seq, Outcome::Solved { service_seq, eps });
+                        }
+                        Err(e) => {
+                            self.emit_error(seq, &e.to_string());
+                        }
+                    }
+                }
+                Err(ticket) => still.push(Pending {
+                    seq,
+                    service_seq,
+                    base,
+                    eps,
+                    ticket,
+                    g,
+                    submitted,
+                }),
+            }
+        }
+        self.pending = still;
+    }
+
+    fn emit_error(&mut self, seq: u64, message: &str) {
+        let line = Obj::new()
+            .num("seq", seq)
+            .bool("ok", false)
+            .str("error", message)
+            .build();
+        println!("{line}");
+        self.totals.failed += 1;
+        self.record_outcome(seq, Outcome::Failed);
+    }
+
+    /// Records a record's outcome, evicting the oldest beyond
+    /// [`OUTCOME_RETENTION`] so a long-running stream stays bounded.
+    fn record_outcome(&mut self, seq: u64, outcome: Outcome) {
+        if self.outcomes.insert(seq, outcome).is_none() {
+            self.outcome_log.push_back(seq);
+            while self.outcome_log.len() > OUTCOME_RETENTION {
+                if let Some(old) = self.outcome_log.pop_front() {
+                    self.outcomes.remove(&old);
+                }
+            }
         }
     }
-    *pending = still;
-}
-
-fn emit_error(seq: u64, message: &str, totals: &mut Totals) {
-    let line = Obj::new()
-        .num("seq", seq)
-        .bool("ok", false)
-        .str("error", message)
-        .build();
-    println!("{line}");
-    totals.failed += 1;
 }

@@ -5,12 +5,16 @@
 //! [`dcover_hypergraph::format`]:
 //!
 //! * `dcover solve FILE` — solve one instance (sequential or
-//!   chunk-parallel) and report the certified cover;
-//! * `dcover serve` — the streaming server: read instances from stdin as
+//!   chunk-parallel) and report the certified cover; with
+//!   `--warm-from REPORT`, **warm-start** from a previous report's dual
+//!   state instead of solving from scratch;
+//! * `dcover serve` — the streaming server: read records from stdin as
 //!   they arrive, submit each to a
 //!   [`SolveService`](dcover_core::SolveService) (bounded queue,
 //!   backpressure, zero-copy `Arc` instances), and emit one JSON line per
-//!   result in completion order with sequence ids;
+//!   result in completion order with sequence ids. Streams mix full
+//!   instances with `p delta` **revision records** that reference an
+//!   earlier record's seq and are re-solved warm from its cached duals;
 //! * `dcover batch FILE...` — solve many pre-assembled files concurrently
 //!   on one [`SolveSession`](dcover_core::SolveSession) (persistent
 //!   worker pool, recycled engine arenas, per-instance error isolation);
@@ -47,18 +51,27 @@ const USAGE: &str = "\
 dcover — distributed covering (MWHVC) solver CLI
 
 USAGE:
-    dcover solve FILE [--eps E] [--threads N] [--variant standard|half-bid] [--json]
+    dcover solve FILE [--eps E] [--threads N] [--variant standard|half-bid]
+                 [--warm-from REPORT] [--json]
     dcover serve [--eps E] [--threads N] [--queue C] [--variant standard|half-bid]
     dcover batch FILE... [--eps E] [--threads N] [--variant standard|half-bid] [--json]
     dcover verify INSTANCE REPORT [--eps E] [--json]
     dcover gen FAMILY [family options] [--seed S]
                [--min-weight W] [--max-weight W] [--out FILE] [--json]
 
-    FILE may be `-` for stdin. `serve` reads a stream of instances from
-    stdin (each starting at its `p mwhvc n m` header), solves them on a
+    FILE may be `-` for stdin. `solve --warm-from REPORT` seeds the solve
+    from the duals/levels of a previous `--json` report of a (revision of
+    the) same instance instead of starting cold; without --eps the
+    report's epsilon is inherited. `serve` reads a stream of records from
+    stdin, each starting at its `p` header: `p mwhvc n m` starts a full
+    instance, `p delta BASE R A W [EPS]` a revision of the earlier record
+    whose seq is BASE (R `r` edge-removal ids, A `a` edge-insertion
+    lines, W `w` vertex re-weight lines) — revisions are re-solved
+    warm-started from the cached base result. Records are solved on a
     bounded submission queue (--queue, default 4x threads) with
-    backpressure, and prints one JSON line per result in completion order
-    with arrival-order `seq` ids. `batch` defaults --threads to the
+    backpressure, and one JSON line per result is printed in completion
+    order with arrival-order `seq` ids (warm results carry `warm: true`
+    and their `base` seq). `batch` defaults --threads to the
     machine's available parallelism and serves all instances from one
     persistent worker pool; failed instances are reported per entry and
     make the exit code non-zero without aborting the rest. `verify`

@@ -161,7 +161,100 @@ fn serve_streams_instances_in_completion_order_with_seq_ids() {
     let first = lines.iter().find(|l| l.contains("\"seq\": 0")).unwrap();
     assert!(first.contains("\"weight\": 1"), "{first}");
     let summary = String::from_utf8_lossy(&out.stderr).into_owned();
-    assert!(summary.contains("2 ok, 0 failed"), "{summary}");
+    assert!(
+        summary.contains("2 ok (0 warm-started), 0 failed"),
+        "{summary}"
+    );
+}
+
+#[test]
+fn serve_warm_starts_delta_records_against_prior_seqs() {
+    // One instance followed by two chained delta records: a revision of
+    // seq 0, then a revision of that revision (seq 1).
+    let stream = "p mwhvc 3 2\nv 10\nv 1\nv 10\ne 0 1\ne 1 2\n\
+                  p delta 0 0 1 1\na 0 2\nw 0 4\n\
+                  p delta 1 1 0 0\nr 2\n";
+    let out = dcover_stdin(&["serve", "--eps", "0.5", "--threads", "2"], stream);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout_of(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one JSON line per record: {text}");
+    for seq in 0..3 {
+        let line = lines
+            .iter()
+            .find(|l| l.starts_with(&format!("{{\"seq\": {seq},")))
+            .unwrap_or_else(|| panic!("no line for seq {seq}: {text}"));
+        assert!(line.contains("\"ok\": true"), "{line}");
+        assert!(line.contains("\"cover\": ["), "{line}");
+        assert!(line.contains("\"levels\": ["), "{line}");
+    }
+    let base = lines.iter().find(|l| l.contains("\"seq\": 0,")).unwrap();
+    assert!(base.contains("\"warm\": false"), "{base}");
+    assert!(base.contains("\"m\": 2"), "{base}");
+    let first = lines.iter().find(|l| l.contains("\"seq\": 1,")).unwrap();
+    assert!(first.contains("\"warm\": true"), "{first}");
+    assert!(first.contains("\"base\": 0"), "{first}");
+    assert!(
+        first.contains("\"m\": 3"),
+        "base had 2 edges, delta adds 1: {first}"
+    );
+    let second = lines.iter().find(|l| l.contains("\"seq\": 2,")).unwrap();
+    assert!(second.contains("\"warm\": true"), "{second}");
+    assert!(second.contains("\"base\": 1"), "{second}");
+    assert!(second.contains("\"m\": 2"), "{second}");
+    let summary = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(summary.contains("3 ok (2 warm-started)"), "{summary}");
+}
+
+#[test]
+fn chained_delta_inherits_its_bases_epsilon_not_the_stream_default() {
+    // Record 1 overrides ε to 0.25; record 2 chains off it with no
+    // override and must be solved — and *reported* — with 0.25, not the
+    // stream's 0.5 (the ε drives verify's β-tightness check downstream).
+    let stream = "p mwhvc 3 2\nv 10\nv 1\nv 10\ne 0 1\ne 1 2\n\
+                  p delta 0 0 0 0 0.25\n\
+                  p delta 1 0 0 0\n";
+    let out = dcover_stdin(&["serve", "--eps", "0.5", "--threads", "1"], stream);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout_of(&out);
+    let line = |seq: u64| {
+        text.lines()
+            .find(|l| l.starts_with(&format!("{{\"seq\": {seq},")))
+            .unwrap_or_else(|| panic!("no line for seq {seq}: {text}"))
+            .to_string()
+    };
+    assert!(line(0).contains("\"epsilon\": 0.5"), "{text}");
+    assert!(line(1).contains("\"epsilon\": 0.25"), "{text}");
+    assert!(line(2).contains("\"epsilon\": 0.25"), "{text}");
+}
+
+#[test]
+fn serve_rejects_bad_delta_records_without_crashing() {
+    // Delta referencing an unknown base, a delta with eps 0.0 (invalid),
+    // and a delta whose base record itself failed — each yields an error
+    // JSON line; the good records still solve.
+    let stream = "p mwhvc 2 1\nv 2\nv 3\ne 0 1\n\
+                  p delta 7 0 0 0\n\
+                  p delta 0 0 0 0 0.0\n\
+                  p mwhvc 1 1\nv 0\ne 0\n\
+                  p delta 3 0 0 0\n\
+                  p delta 0 0 0 0\n";
+    let out = dcover_stdin(&["serve", "--threads", "1"], stream);
+    assert_eq!(out.status.code(), Some(1), "failed records exit 1");
+    let text = stdout_of(&out);
+    assert_eq!(text.lines().count(), 6, "{text}");
+    assert_eq!(text.matches("\"ok\": true").count(), 2, "{text}");
+    assert_eq!(text.matches("\"ok\": false").count(), 4, "{text}");
+    let eps_line = text
+        .lines()
+        .find(|l| l.starts_with("{\"seq\": 2,"))
+        .unwrap();
+    assert!(eps_line.contains("epsilon"), "bad eps reported: {eps_line}");
+    let failed_base = text
+        .lines()
+        .find(|l| l.starts_with("{\"seq\": 4,"))
+        .unwrap();
+    assert!(failed_base.contains("cannot warm-start"), "{failed_base}");
 }
 
 #[test]
@@ -292,13 +385,98 @@ fn gen_families_produce_valid_instances_with_seeded_reports() {
 }
 
 #[test]
-fn solve_report_carries_cover_and_duals() {
+fn solve_report_carries_cover_duals_and_levels() {
     let sample = sample_path();
     let json = dcover(&["solve", &sample, "--json"]);
     assert!(json.status.success());
     let text = stdout_of(&json);
     assert!(text.contains("\"cover\": ["), "{text}");
     assert!(text.contains("\"duals\": ["), "{text}");
+    assert!(text.contains("\"levels\": ["), "{text}");
+}
+
+#[test]
+fn solve_warm_from_report_reproduces_the_cold_solution() {
+    let sample = sample_path();
+    let cold = dcover(&["solve", &sample, "--eps", "0.5", "--json"]);
+    assert!(cold.status.success());
+    let cold_text = stdout_of(&cold);
+
+    let dir = std::env::temp_dir().join(format!("dcover-warm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let report_path = dir.join("report.json");
+    std::fs::write(&report_path, &cold_text).unwrap();
+    let report_str = report_path.to_string_lossy().into_owned();
+
+    // Warm re-solve of the unchanged instance: same cover/duals, fewer
+    // rounds, epsilon inherited from the report.
+    let warm = dcover(&["solve", &sample, "--warm-from", &report_str, "--json"]);
+    assert!(warm.status.success(), "{warm:?}");
+    let warm_text = stdout_of(&warm);
+    assert!(warm_text.contains("\"warm\": true"), "{warm_text}");
+    assert!(warm_text.contains("\"epsilon\": 0.5"), "{warm_text}");
+    let field = |s: &str, key: &str| -> String {
+        let i = s.find(key).unwrap_or_else(|| panic!("{key} in {s}")) + key.len();
+        s[i..].chars().take_while(|c| *c != ']').collect()
+    };
+    assert_eq!(
+        field(&warm_text, "\"duals\": ["),
+        field(&cold_text, "\"duals\": ["),
+        "warm duals bit-identical on an unchanged instance"
+    );
+    assert_eq!(
+        field(&warm_text, "\"cover\": ["),
+        field(&cold_text, "\"cover\": ["),
+    );
+    // And the warm result verifies like any other report.
+    let warm_report = dir.join("warm.json");
+    std::fs::write(&warm_report, &warm_text).unwrap();
+    let ok = dcover(&["verify", &sample, &warm_report.to_string_lossy(), "--json"]);
+    assert!(ok.status.success(), "{ok:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_json_failures_emit_error_objects() {
+    let sample = sample_path();
+    // Invalid epsilon: error JSON on stdout, usage exit code, no panic.
+    let bad = dcover(&["solve", &sample, "--eps", "0", "--json"]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+    let text = stdout_of(&bad);
+    assert!(text.starts_with("{\"ok\": false"), "{text}");
+    assert!(text.contains("epsilon"), "{text}");
+    // Same for a runtime failure.
+    let bad = dcover(&["solve", "/nonexistent.mwhvc", "--json"]);
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(stdout_of(&bad).contains("\"ok\": false"));
+    // Without --json the human error path is unchanged (stderr only).
+    let bad = dcover(&["solve", &sample, "--eps", "0"]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(stdout_of(&bad).is_empty());
+}
+
+#[test]
+fn warm_from_refuses_thread_parallelism() {
+    // Warm solves run on the sequential scheduler; silently ignoring
+    // --threads would misreport the execution mode.
+    let sample = sample_path();
+    let report = dcover(&["solve", &sample, "--json"]);
+    let dir = std::env::temp_dir().join(format!("dcover-warmthreads-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("r.json");
+    std::fs::write(&path, stdout_of(&report)).unwrap();
+    let out = dcover(&[
+        "solve",
+        &sample,
+        "--warm-from",
+        &path.to_string_lossy(),
+        "--threads",
+        "4",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let msg = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(msg.contains("sequential scheduler"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -101,7 +101,14 @@ pub struct Certificate {
     pub duals: Vec<f64>,
     /// The ε the run was configured with (fixes β for the tightness check).
     pub epsilon: f64,
-    /// Verification tolerance for the floating-point checks.
+    /// Relative tolerance for the floating-point checks — shared with the
+    /// runtime invariant checkers as
+    /// [`DEFAULT_TOLERANCE`](crate::DEFAULT_TOLERANCE). Duals are
+    /// accumulated incrementally in `f64` (and warm starts additionally
+    /// clamp them with a multiply), so packing sums and β-tightness
+    /// thresholds attained with *equality* in exact arithmetic can drift
+    /// by a few ULPs in either direction; comparing exactly would reject
+    /// valid covers. Never set this to 0 for real verification.
     pub tolerance: f64,
 }
 
@@ -189,7 +196,7 @@ mod tests {
     use super::*;
     use crate::solver::MwhvcSolver;
     use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
-    use dcover_hypergraph::{from_edge_lists, VertexId};
+    use dcover_hypergraph::{from_edge_lists, from_weighted_edge_lists, VertexId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -269,6 +276,90 @@ mod tests {
             bad.verify(&g),
             Err(CertificateError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn accumulated_rounding_duals_verify_within_tolerance() {
+        // Regression: duals whose packing sum exceeds w(v), and whose
+        // tightness sum undershoots (1-β)·w(v), by a few ULPs of
+        // accumulated rounding — the kind of drift incremental f64
+        // accumulation and warm-start clamping produce. A relative
+        // tolerance must accept them; an exact comparison (tolerance 0)
+        // rejects them, which is exactly the bug this pins down.
+        let edge: &[usize] = &[0];
+        let g = from_weighted_edge_lists(&[7], &[edge; 7]).unwrap();
+        let mut cover = Cover::empty(1);
+        cover.insert(VertexId::new(0));
+
+        // Seven duals of 1 + 1ulp: the packing sum lands a hair above 7.
+        let over = 1.0 + f64::EPSILON;
+        let cert = Certificate {
+            cover: cover.clone(),
+            duals: vec![over; 7],
+            epsilon: 0.5,
+            tolerance: crate::invariants::DEFAULT_TOLERANCE,
+        };
+        let sum: f64 = cert.duals.iter().sum();
+        assert!(sum > 7.0, "the drift is real");
+        cert.verify(&g)
+            .expect("ULP-level packing drift is not a violation");
+        let mut exact = cert.clone();
+        exact.tolerance = 0.0;
+        assert!(
+            matches!(
+                exact.verify(&g),
+                Err(CertificateError::PackingViolated { .. })
+            ),
+            "exact comparison flags the same certificate"
+        );
+
+        // Duals summing a hair *below* the β-tightness threshold
+        // (1-β)·w = 6/1.5 · ... : f = 1, β = 0.5/1.5 = 1/3, threshold =
+        // 2/3 · 7. Divide it into 7 equal parts and shave one ULP each.
+        let threshold = (1.0 - 1.0 / 3.0) * 7.0;
+        let under = threshold / 7.0 * (1.0 - f64::EPSILON);
+        let cert = Certificate {
+            cover,
+            duals: vec![under; 7],
+            epsilon: 0.5,
+            tolerance: crate::invariants::DEFAULT_TOLERANCE,
+        };
+        let sum: f64 = cert.duals.iter().sum();
+        assert!(sum < threshold, "the drift is real");
+        cert.verify(&g)
+            .expect("ULP-level tightness drift is not a violation");
+        let mut exact = cert.clone();
+        exact.tolerance = 0.0;
+        assert!(
+            matches!(exact.verify(&g), Err(CertificateError::NotTight { .. })),
+            "exact comparison flags the same certificate"
+        );
+    }
+
+    #[test]
+    fn warm_started_clamped_duals_verify() {
+        // A warm seed clamped to Σδ = w(v) via a multiply (t = w/s) can
+        // leave the final packing sum within ULPs of w on both sides;
+        // the certificate must accept covers built on such duals.
+        use crate::warm::WarmState;
+        use dcover_hypergraph::{InstanceDelta, VertexId};
+        let g = from_edge_lists(4, &[&[0, 1], &[1, 2], &[2, 3], &[0, 3]]).unwrap();
+        let solver = MwhvcSolver::with_epsilon(0.25).unwrap();
+        let cold = solver.solve(&g).unwrap();
+        // Shrink a weight so the seeded packing must be clamped.
+        let delta = InstanceDelta {
+            set_weights: vec![(VertexId::new(1), 1)],
+            ..InstanceDelta::empty()
+        };
+        let out = delta.apply(&g).unwrap();
+        let warm = solver
+            .solve_warm(&out.graph, &WarmState::for_delta(&cold, &out))
+            .unwrap();
+        let cert = Certificate::from_result(&warm, 0.25);
+        let bound = cert
+            .verify(&out.graph)
+            .expect("clamped warm result verifies");
+        assert!(bound <= out.graph.rank() as f64 + 0.25 + 1e-9);
     }
 
     #[test]

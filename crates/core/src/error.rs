@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use dcover_congest::SimError;
+use dcover_hypergraph::DeltaError;
 
 /// Error produced when configuring or running the solver.
 #[derive(Clone, Debug, PartialEq)]
@@ -14,6 +15,25 @@ pub enum SolveError {
         /// The rejected value.
         value: f64,
     },
+    /// A fixed α must be at least 2 (the bid growth factor of §3.2; any
+    /// smaller value voids Theorem 8's termination argument).
+    InvalidAlpha {
+        /// The rejected multiplier.
+        alpha: u32,
+    },
+    /// Theorem 9's constant γ must be a positive finite number.
+    InvalidGamma {
+        /// The rejected value.
+        gamma: f64,
+    },
+    /// A warm state does not fit the instance it was applied to (wrong
+    /// dual/level vector length, or a negative/non-finite dual).
+    WarmMismatch {
+        /// Description of what didn't line up.
+        what: &'static str,
+    },
+    /// An instance delta could not be applied to its base instance.
+    Delta(DeltaError),
     /// A vertex weight exceeds 2⁵³, beyond which `f64` dual arithmetic is no
     /// longer exact on integers. The paper assumes `W = poly(n)`, so this
     /// never binds on sensible instances.
@@ -46,6 +66,16 @@ impl fmt::Display for SolveError {
             SolveError::InvalidEpsilon { value } => {
                 write!(f, "epsilon must be in (0, 1], got {value}")
             }
+            SolveError::InvalidAlpha { alpha } => {
+                write!(f, "fixed alpha must be at least 2, got {alpha}")
+            }
+            SolveError::InvalidGamma { gamma } => {
+                write!(f, "theorem 9 gamma must be positive and finite, got {gamma}")
+            }
+            SolveError::WarmMismatch { what } => {
+                write!(f, "warm state does not fit the instance: {what}")
+            }
+            SolveError::Delta(e) => write!(f, "delta failed to apply: {e}"),
             SolveError::WeightTooLarge { vertex, weight } => write!(
                 f,
                 "vertex {vertex} has weight {weight} which exceeds 2^53; dual arithmetic would lose exactness"
@@ -63,6 +93,7 @@ impl Error for SolveError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SolveError::Sim(e) => Some(e),
+            SolveError::Delta(e) => Some(e),
             _ => None,
         }
     }
@@ -71,6 +102,12 @@ impl Error for SolveError {
 impl From<SimError> for SolveError {
     fn from(e: SimError) -> Self {
         SolveError::Sim(e)
+    }
+}
+
+impl From<DeltaError> for SolveError {
+    fn from(e: DeltaError) -> Self {
+        SolveError::Delta(e)
     }
 }
 

@@ -74,16 +74,22 @@ mod reference;
 mod service;
 mod session;
 mod solver;
+mod warm;
 
 pub use certificate::{Certificate, CertificateError};
 pub use error::SolveError;
 pub use invariants::{approximation_holds, InvariantChecker, DEFAULT_TOLERANCE};
 pub use observer::{HistoryObserver, IterationSnapshot, IterationStats, NullObserver, Observer};
-pub use params::{beta, theorem9_alpha, z_levels, AlphaPolicy, MwhvcConfig, Variant};
+pub use params::{
+    beta, theorem9_alpha, try_beta, try_theorem9_alpha, try_z_levels, z_levels, AlphaPolicy,
+    MwhvcConfig, Variant,
+};
 pub use protocol::{
-    build_network, iteration_of_round, iterations_of_rounds, MwhvcMsg, MwhvcNode, NodeRole,
+    build_network, build_network_warm, iteration_of_round, iterations_of_rounds, MwhvcMsg,
+    MwhvcNode, NodeRole,
 };
 pub use reference::{solve_reference, ReferenceResult};
 pub use service::{SolveService, SubmitError, Ticket};
 pub use session::SolveSession;
 pub use solver::{CoverResult, MwhvcSolver};
+pub use warm::WarmState;

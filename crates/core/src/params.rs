@@ -20,7 +20,10 @@ use crate::error::SolveError;
 ///
 /// # Panics
 ///
-/// Panics if `f == 0` or `eps` is not in `(0, 1]`.
+/// Panics if `f == 0` or `eps` is not in `(0, 1]`. User-facing entry
+/// points never reach the panic: every solve path first runs
+/// [`MwhvcConfig::validate`], which turns the same conditions into typed
+/// [`SolveError`]s ([`try_beta`] is the checked form).
 #[must_use]
 pub fn beta(f: u32, eps: f64) -> f64 {
     assert!(f > 0, "rank must be positive");
@@ -28,16 +31,41 @@ pub fn beta(f: u32, eps: f64) -> f64 {
     eps / (f as f64 + eps)
 }
 
+/// Checked [`beta`]: rejects a bad ε as a typed error instead of
+/// panicking (`f` is derived from the instance, never user input, and is
+/// still asserted).
+///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidEpsilon`] unless `0 < eps ≤ 1`.
+pub fn try_beta(f: u32, eps: f64) -> Result<f64, SolveError> {
+    if !(eps > 0.0 && eps <= 1.0) {
+        return Err(SolveError::InvalidEpsilon { value: eps });
+    }
+    Ok(beta(f, eps))
+}
+
 /// Computes `z = ⌈log₂(1/β)⌉`, the level bound (paper §4.2). Note
 /// `z = O(log(f/ε))`.
 ///
 /// # Panics
 ///
-/// Panics if `f == 0` or `eps` is not in `(0, 1]`.
+/// Panics if `f == 0` or `eps` is not in `(0, 1]` (see [`beta`] on why
+/// solve paths cannot reach this; [`try_z_levels`] is the checked form).
 #[must_use]
 pub fn z_levels(f: u32, eps: f64) -> u32 {
     let b = beta(f, eps);
     (1.0 / b).log2().ceil() as u32
+}
+
+/// Checked [`z_levels`].
+///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidEpsilon`] unless `0 < eps ≤ 1`.
+pub fn try_z_levels(f: u32, eps: f64) -> Result<u32, SolveError> {
+    try_beta(f, eps)?;
+    Ok(z_levels(f, eps))
 }
 
 /// How the bid multiplier `α` is chosen.
@@ -73,6 +101,33 @@ impl AlphaPolicy {
         AlphaPolicy::Theorem9 { gamma: 0.001 }
     }
 
+    /// Validates the user-suppliable parameters of the policy, turning
+    /// what [`resolve`](Self::resolve) would panic on into typed errors.
+    /// Every solve entry point calls this (via [`MwhvcConfig::validate`])
+    /// before any α is resolved, so a bad fixed α or γ from a config,
+    /// CLI flag, or service submission surfaces as a [`SolveError`], never
+    /// a panic on a service worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::InvalidAlpha`] for a fixed `α < 2` and
+    /// [`SolveError::InvalidGamma`] for `γ ≤ 0`, NaN, or infinite γ.
+    pub fn validate(&self) -> Result<(), SolveError> {
+        match *self {
+            AlphaPolicy::Fixed(a) => {
+                if a < 2 {
+                    return Err(SolveError::InvalidAlpha { alpha: a });
+                }
+            }
+            AlphaPolicy::Theorem9 { gamma } | AlphaPolicy::LocalTheorem9 { gamma } => {
+                if !(gamma > 0.0 && gamma.is_finite()) {
+                    return Err(SolveError::InvalidGamma { gamma });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Resolves the multiplier for a hyperedge.
     ///
     /// `local_delta` is `Δ(e)` (local max degree over the edge's members);
@@ -102,12 +157,26 @@ impl Default for AlphaPolicy {
     }
 }
 
+/// Checked [`theorem9_alpha`].
+///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidGamma`] for `γ ≤ 0`, NaN, or infinite γ,
+/// and [`SolveError::InvalidEpsilon`] for ε outside `(0, 1]`.
+pub fn try_theorem9_alpha(f: u32, eps: f64, delta: u32, gamma: f64) -> Result<u32, SolveError> {
+    AlphaPolicy::Theorem9 { gamma }.validate()?;
+    try_beta(f, eps)?;
+    Ok(theorem9_alpha(f, eps, delta, gamma))
+}
+
 /// The α of Theorem 9 for maximum degree `delta`, rank `f`, slack `eps`,
 /// constant `gamma`, rounded to an integer ≥ 2.
 ///
 /// # Panics
 ///
-/// Panics if `gamma <= 0.0`, `f == 0`, or `eps` is outside `(0, 1]`.
+/// Panics if `gamma <= 0.0`, `f == 0`, or `eps` is outside `(0, 1]` (see
+/// [`beta`] on why solve paths cannot reach this;
+/// [`try_theorem9_alpha`] is the checked form).
 #[must_use]
 pub fn theorem9_alpha(f: u32, eps: f64, delta: u32, gamma: f64) -> u32 {
     assert!(gamma > 0.0, "gamma must be positive");
@@ -255,6 +324,26 @@ impl MwhvcConfig {
         self
     }
 
+    /// Re-validates every user-suppliable parameter as typed errors: ε in
+    /// `(0, 1]` (defensive — the constructors already enforce it) and the
+    /// α policy's fixed α / γ, which the builder setters deliberately do
+    /// **not** check so configs stay infallible to assemble. Every solve
+    /// entry point calls this before touching the instance, so no
+    /// user-supplied ε, α, or γ can panic a solve — it errors instead.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::InvalidEpsilon`], [`SolveError::InvalidAlpha`], or
+    /// [`SolveError::InvalidGamma`].
+    pub fn validate(&self) -> Result<(), SolveError> {
+        if !(self.epsilon > 0.0 && self.epsilon <= 1.0) {
+            return Err(SolveError::InvalidEpsilon {
+                value: self.epsilon,
+            });
+        }
+        self.alpha.validate()
+    }
+
     /// The approximation slack ε.
     #[must_use]
     pub fn epsilon(&self) -> f64 {
@@ -384,5 +473,53 @@ mod tests {
     fn f_approximation_epsilon() {
         let cfg = MwhvcConfig::f_approximation(100, 10).unwrap();
         assert!((cfg.epsilon() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn checked_variants_return_typed_errors() {
+        use crate::SolveError;
+        assert!(matches!(
+            try_beta(2, 0.0),
+            Err(SolveError::InvalidEpsilon { .. })
+        ));
+        assert!(matches!(
+            try_z_levels(2, f64::NAN),
+            Err(SolveError::InvalidEpsilon { .. })
+        ));
+        assert!(matches!(
+            try_theorem9_alpha(2, 0.5, 10, 0.0),
+            Err(SolveError::InvalidGamma { .. })
+        ));
+        assert!(matches!(
+            try_theorem9_alpha(2, 0.5, 10, f64::INFINITY),
+            Err(SolveError::InvalidGamma { .. })
+        ));
+        assert_eq!(try_beta(2, 1.0).unwrap(), beta(2, 1.0));
+        assert_eq!(try_z_levels(2, 0.1).unwrap(), z_levels(2, 0.1));
+        assert_eq!(
+            try_theorem9_alpha(1, 1.0, 1 << 20, 0.001).unwrap(),
+            theorem9_alpha(1, 1.0, 1 << 20, 0.001)
+        );
+    }
+
+    #[test]
+    fn policy_and_config_validation() {
+        use crate::SolveError;
+        assert_eq!(
+            AlphaPolicy::Fixed(1).validate(),
+            Err(SolveError::InvalidAlpha { alpha: 1 })
+        );
+        assert!(AlphaPolicy::Fixed(2).validate().is_ok());
+        assert!(matches!(
+            (AlphaPolicy::LocalTheorem9 { gamma: -1.0 }).validate(),
+            Err(SolveError::InvalidGamma { .. })
+        ));
+        assert!(AlphaPolicy::theorem9().validate().is_ok());
+        let good = MwhvcConfig::new(0.5).unwrap();
+        assert!(good.validate().is_ok());
+        let bad = MwhvcConfig::new(0.5)
+            .unwrap()
+            .with_alpha(AlphaPolicy::Fixed(0));
+        assert_eq!(bad.validate(), Err(SolveError::InvalidAlpha { alpha: 0 }));
     }
 }

@@ -22,6 +22,9 @@ pub(crate) struct EdgeNode {
     /// Resolved at round 1; 0 until then.
     alpha: u32,
     covered: bool,
+    /// Warm-started runs receive seeded levels in round 0 and ship the
+    /// matching pre-halving count with the initial bid.
+    warm: bool,
 }
 
 impl EdgeNode {
@@ -41,6 +44,22 @@ impl EdgeNode {
             global_delta,
             alpha: 0,
             covered: false,
+            warm: false,
+        }
+    }
+
+    /// An edge of a warm-started network (identical coordination role; the
+    /// only difference is the init-round message vocabulary).
+    pub(crate) fn new_warm(
+        size: usize,
+        policy: AlphaPolicy,
+        f: u32,
+        eps: f64,
+        global_delta: u32,
+    ) -> Self {
+        Self {
+            warm: true,
+            ..Self::new(size, policy, f, eps, global_delta)
         }
     }
 
@@ -72,15 +91,33 @@ impl EdgeNode {
 
     /// Iteration 0: find `v* = argmin w(v)/|E(v)|` (exact integer
     /// comparison, ties to the lowest port) and announce it with α(e).
+    /// Warm runs additionally aggregate the members' seeded levels into
+    /// the pre-halving count `Σ_{u∈e} ℓ(u)` that every member applies to
+    /// the initial bid.
     fn round1(&mut self, ctx: &mut Ctx<'_, MwhvcMsg>) -> Status {
         debug_assert_eq!(ctx.inbox().len(), self.size);
         let mut best: Option<(u64, u64)> = None;
         let mut local_delta = 0u64;
+        let mut halvings = 0u32;
         // Inbox is port-sorted, so "first strictly smaller wins" is the
         // lowest-port tie-break.
         for item in ctx.inbox() {
-            let MwhvcMsg::WeightDeg { weight, degree } = item.msg else {
-                unreachable!("round 1 inbox must be WeightDeg, got {:?}", item.msg);
+            let (weight, degree) = match (self.warm, item.msg) {
+                (false, MwhvcMsg::WeightDeg { weight, degree }) => (weight, degree),
+                (
+                    true,
+                    MwhvcMsg::WeightDegWarm {
+                        weight,
+                        degree,
+                        level,
+                    },
+                ) => {
+                    halvings = halvings.saturating_add(level);
+                    (weight, degree)
+                }
+                (warm, other) => {
+                    unreachable!("round 1 inbox wrong for warm={warm}: {other:?}")
+                }
             };
             local_delta = local_delta.max(degree);
             match best {
@@ -99,11 +136,20 @@ impl EdgeNode {
             u32::try_from(local_delta).unwrap_or(u32::MAX),
             self.global_delta,
         );
-        ctx.broadcast(MwhvcMsg::MinNorm {
-            weight,
-            degree,
-            alpha: self.alpha,
-        });
+        if self.warm {
+            ctx.broadcast(MwhvcMsg::MinNormWarm {
+                weight,
+                degree,
+                alpha: self.alpha,
+                halvings,
+            });
+        } else {
+            ctx.broadcast(MwhvcMsg::MinNorm {
+                weight,
+                degree,
+                alpha: self.alpha,
+            });
+        }
         Status::Running
     }
 

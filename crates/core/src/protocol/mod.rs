@@ -28,7 +28,7 @@ pub(crate) mod node;
 pub(crate) mod vertex;
 
 pub use msg::MwhvcMsg;
-pub use node::{build_network, MwhvcNode, NodeRole};
+pub use node::{build_network, build_network_warm, MwhvcNode, NodeRole};
 
 /// Rounds consumed by initialization (iteration 0).
 pub(crate) const INIT_ROUNDS: u64 = 2;

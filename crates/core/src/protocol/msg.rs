@@ -2,7 +2,7 @@
 
 use dcover_congest::{bits_for_value, Message};
 
-/// Tag bits distinguishing the nine message kinds.
+/// Tag bits distinguishing the eleven message kinds.
 const TAG_BITS: u64 = 4;
 
 /// Messages of Algorithm MWHVC. Every payload is `O(log n)` bits under the
@@ -29,6 +29,33 @@ pub enum MwhvcMsg {
         degree: u64,
         /// `α(e)` under the configured policy.
         alpha: u32,
+    },
+    /// Round 0 in a **warm-started** run, vertex → edge: weight, degree,
+    /// and the level the vertex was seeded at (so edges can pre-halve
+    /// their bids to match the seeded duals — the same pacing the paper's
+    /// step 3d applies online).
+    WeightDegWarm {
+        /// `w(v)`.
+        weight: u64,
+        /// `|E(v)|`.
+        degree: u64,
+        /// The seeded level `ℓ(v)` (≤ z).
+        level: u32,
+    },
+    /// Round 1 in a **warm-started** run, edge → vertex: like
+    /// [`MinNorm`](MwhvcMsg::MinNorm) plus the total seeded halvings
+    /// `Σ_{u∈e} ℓ(u)`, so every member reconstructs the identical
+    /// pre-halved bid `bid₀(e)·2^{−Σℓ}` (the bid the cold protocol would
+    /// have reached after the same level raises).
+    MinNormWarm {
+        /// `w(v*)`.
+        weight: u64,
+        /// `|E(v*)|`.
+        degree: u64,
+        /// `α(e)` under the configured policy.
+        alpha: u32,
+        /// Total seeded halvings `Σ_{u∈e} ℓ(u)` (≤ f·z).
+        halvings: u32,
     },
     /// V1, vertex → edge: the vertex became β-tight and joined the cover
     /// (step 3a).
@@ -78,6 +105,26 @@ impl Message for MwhvcMsg {
                         + bits_for_value(degree)
                         + bits_for_value(u64::from(alpha))
                 }
+                MwhvcMsg::WeightDegWarm {
+                    weight,
+                    degree,
+                    level,
+                } => {
+                    bits_for_value(weight)
+                        + bits_for_value(degree)
+                        + bits_for_value(u64::from(level))
+                }
+                MwhvcMsg::MinNormWarm {
+                    weight,
+                    degree,
+                    alpha,
+                    halvings,
+                } => {
+                    bits_for_value(weight)
+                        + bits_for_value(degree)
+                        + bits_for_value(u64::from(alpha))
+                        + bits_for_value(u64::from(halvings))
+                }
                 MwhvcMsg::Join | MwhvcMsg::Covered | MwhvcMsg::Raise | MwhvcMsg::Stuck => 0,
                 MwhvcMsg::LevelInc { count } | MwhvcMsg::Halved { count } => {
                     bits_for_value(u64::from(count))
@@ -121,5 +168,31 @@ mod tests {
     fn count_messages_log_sized() {
         assert_eq!(MwhvcMsg::LevelInc { count: 0 }.bit_size(), TAG_BITS + 1);
         assert_eq!(MwhvcMsg::Halved { count: 1000 }.bit_size(), TAG_BITS + 10);
+    }
+
+    #[test]
+    fn warm_messages_cost_their_extra_field() {
+        let cold = MwhvcMsg::WeightDeg {
+            weight: 9,
+            degree: 4,
+        };
+        let warm = MwhvcMsg::WeightDegWarm {
+            weight: 9,
+            degree: 4,
+            level: 5,
+        };
+        assert_eq!(warm.bit_size(), cold.bit_size() + 3);
+        let cold = MwhvcMsg::MinNorm {
+            weight: 9,
+            degree: 4,
+            alpha: 2,
+        };
+        let warm = MwhvcMsg::MinNormWarm {
+            weight: 9,
+            degree: 4,
+            alpha: 2,
+            halvings: 15,
+        };
+        assert_eq!(warm.bit_size(), cold.bit_size() + 4);
     }
 }

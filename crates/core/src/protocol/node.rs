@@ -153,6 +153,63 @@ pub fn build_network(g: &Hypergraph, config: &MwhvcConfig) -> (Topology, Vec<Mwh
     (topo, nodes)
 }
 
+/// Like [`build_network`], but seeds every vertex with a previous solve's
+/// dual packing and level (see
+/// [`MwhvcSolver::solve_warm`](crate::MwhvcSolver::solve_warm)).
+///
+/// `duals` holds one seeded dual per hyperedge of `g` (0 for edges with no
+/// predecessor) and `levels` one level per vertex; the caller must already
+/// have clamped the duals to a feasible packing and the levels to `≤ z` —
+/// this function only distributes the per-edge values to the members'
+/// port-aligned replicas.
+///
+/// # Panics
+///
+/// Panics if `duals`/`levels` do not match the instance's edge/vertex
+/// counts (the solver validates shapes before calling).
+#[must_use]
+pub fn build_network_warm(
+    g: &Hypergraph,
+    config: &MwhvcConfig,
+    duals: &[f64],
+    levels: &[u32],
+) -> (Topology, Vec<MwhvcNode>) {
+    assert_eq!(duals.len(), g.m(), "one seeded dual per hyperedge");
+    assert_eq!(levels.len(), g.n(), "one seeded level per vertex");
+    let topo = Topology::bipartite_incidence(g);
+    let f = g.rank().max(1);
+    let eps = config.epsilon();
+    let b = beta(f, eps);
+    let z = z_levels(f, eps);
+    let mut nodes = Vec::with_capacity(g.n() + g.m());
+    for v in g.vertices() {
+        let port_duals: Vec<f64> = g
+            .incident_edges(v)
+            .iter()
+            .map(|&e| duals[e.index()])
+            .collect();
+        nodes.push(MwhvcNode(Inner::Vertex(VertexNode::new_warm(
+            g.weight(v),
+            g.degree(v),
+            b,
+            z,
+            config.variant(),
+            levels[v.index()],
+            port_duals,
+        ))));
+    }
+    for e in g.edges() {
+        nodes.push(MwhvcNode(Inner::Edge(EdgeNode::new_warm(
+            g.edge_size(e),
+            config.alpha(),
+            f,
+            eps,
+            g.max_degree(),
+        ))));
+    }
+    (topo, nodes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,6 +45,9 @@ pub(crate) struct VertexNode {
     dual_sum: f64,
     level: u32,
     outcome: VertexOutcome,
+    /// Warm-started runs seed `duals`/`dual_sum`/`level` from a previous
+    /// solve and exchange the warm init messages instead of the cold ones.
+    warm: bool,
 }
 
 impl VertexNode {
@@ -64,6 +67,42 @@ impl VertexNode {
             dual_sum: 0.0,
             level: 0,
             outcome: VertexOutcome::Undecided,
+            warm: false,
+        }
+    }
+
+    /// A vertex seeded from a previous solve: per-port duals (aligned with
+    /// `E(v)` order; new edges at 0) and the level carried over. The
+    /// caller (the solver's warm path) has already clamped the duals to a
+    /// feasible packing and the level to `≤ z`.
+    pub(crate) fn new_warm(
+        weight: u64,
+        degree: usize,
+        beta: f64,
+        z: u32,
+        variant: Variant,
+        level: u32,
+        duals: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(duals.len(), degree);
+        debug_assert!(level <= z);
+        let dual_sum = duals.iter().sum();
+        Self {
+            weight_int: weight,
+            weight: weight as f64,
+            degree,
+            beta,
+            z,
+            variant,
+            bids: vec![0.0; degree],
+            duals,
+            alphas: vec![2; degree],
+            live: vec![true; degree],
+            live_count: degree,
+            dual_sum,
+            level,
+            outcome: VertexOutcome::Undecided,
+            warm: true,
         }
     }
 
@@ -95,10 +134,18 @@ impl VertexNode {
                 self.outcome = VertexOutcome::AllCovered;
                 return Status::Halted;
             }
-            ctx.broadcast(MwhvcMsg::WeightDeg {
-                weight: self.weight_int,
-                degree: self.degree as u64,
-            });
+            if self.warm {
+                ctx.broadcast(MwhvcMsg::WeightDegWarm {
+                    weight: self.weight_int,
+                    degree: self.degree as u64,
+                    level: self.level,
+                });
+            } else {
+                ctx.broadcast(MwhvcMsg::WeightDeg {
+                    weight: self.weight_int,
+                    degree: self.degree as u64,
+                });
+            }
             return Status::Running;
         }
         if round == 1 {
@@ -115,7 +162,30 @@ impl VertexNode {
     /// V1: absorb dual increments (or the initial bids at round 2), then the
     /// β-tightness check (3a), then level increments (3d).
     fn phase_v1(&mut self, ctx: &mut Ctx<'_, MwhvcMsg>) -> Status {
-        if ctx.round() == INIT_ROUNDS {
+        if ctx.round() == INIT_ROUNDS && self.warm {
+            // Warm iteration 0: the duals are already seeded; only the bid
+            // replicas need reconstructing, pre-halved by the seeded
+            // levels of *all* members (shipped by the edge as `halvings`)
+            // so bid growth resumes at the pace the seeded packing
+            // implies. Nothing is added to δ here: for surviving edges the
+            // seeded value IS the dual, and freshly inserted edges start
+            // at δ = 0 and earn their first increment through the regular
+            // raise cycle — keeping every replica in exact agreement.
+            debug_assert_eq!(ctx.inbox().len(), self.degree);
+            for item in ctx.inbox() {
+                let MwhvcMsg::MinNormWarm {
+                    weight,
+                    degree,
+                    alpha,
+                    halvings,
+                } = item.msg
+                else {
+                    unreachable!("warm round 2 inbox must be MinNormWarm, got {:?}", item.msg);
+                };
+                self.bids[item.port] = apply_halvings(initial_bid(weight, degree), halvings);
+                self.alphas[item.port] = alpha;
+            }
+        } else if ctx.round() == INIT_ROUNDS {
             // Iteration 0 results: every edge reported its minimum
             // normalized weight; reconstruct bid0 and δ0 locally.
             debug_assert_eq!(ctx.inbox().len(), self.degree);

@@ -17,6 +17,13 @@
 //!   [`CoverResult`], which is **bit-identical** to what a standalone
 //!   [`MwhvcSolver::solve`](crate::MwhvcSolver::solve) returns for the
 //!   same instance and ε.
+//! * [`submit_delta`](SolveService::submit_delta) hands in a **revision**
+//!   of an earlier submission (an
+//!   [`InstanceDelta`](dcover_hypergraph::InstanceDelta) referencing its
+//!   [`Ticket::seq`]): the service resolves the cached predecessor, applies
+//!   the delta, and **warm-starts** the re-solve from the predecessor's
+//!   dual packing ([`MwhvcSolver::solve_warm`]) instead of solving from
+//!   scratch.
 //! * [`shutdown`](SolveService::shutdown) closes the queue (subsequent
 //!   submissions fail with [`SubmitError::ShutDown`]), **drains** every
 //!   queued and in-flight solve, and joins the workers — every ticket
@@ -26,9 +33,10 @@
 //!
 //! The service threads the `Arc<Hypergraph>` through to the solver layer
 //! untouched: the queue stores the `Arc` handle, the worker borrows
-//! `&Hypergraph` out of it for the solve, and no code path clones the
-//! underlying instance data. `dcover_hypergraph::clone_count()` observes
-//! deep clones process-wide, and `tests/zero_copy.rs` pins this guarantee.
+//! `&Hypergraph` out of it for the solve, and no code path copies the
+//! underlying instance data (the delta result cache retains the handle,
+//! not a copy). `dcover_hypergraph::clone_count()` observes payload
+//! copies process-wide, and `tests/zero_copy.rs` pins this guarantee.
 //!
 //! # Error isolation
 //!
@@ -58,16 +66,22 @@
 //! # }
 //! ```
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use dcover_congest::{EngineArena, SimPool, TaskQueue, TaskTicket, TrySubmitError};
-use dcover_hypergraph::Hypergraph;
+use dcover_hypergraph::{Hypergraph, InstanceDelta};
 
 use crate::error::SolveError;
 use crate::params::MwhvcConfig;
 use crate::protocol::MwhvcNode;
 use crate::solver::{CoverResult, MwhvcSolver};
+use crate::warm::WarmState;
+
+/// Default number of completed solves the service retains for
+/// [`submit_delta`](SolveService::submit_delta) to warm-start against.
+const DEFAULT_RESULT_CACHE: usize = 256;
 
 /// Why a submission was refused at the service door. (Problems *inside*
 /// the solve — bad weights, limit violations — are not submission errors;
@@ -89,6 +103,14 @@ pub enum SubmitError {
     /// The request itself is invalid (e.g. ε outside `(0, 1]`); nothing
     /// was enqueued.
     Invalid(SolveError),
+    /// A [`submit_delta`](SolveService::submit_delta) referenced a base
+    /// revision the service does not hold: the sequence id was never
+    /// issued, its solve failed or has not completed yet, or its entry
+    /// was evicted from the bounded result cache.
+    UnknownBase {
+        /// The sequence id that could not be resolved.
+        seq: u64,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -99,6 +121,10 @@ impl std::fmt::Display for SubmitError {
             }
             SubmitError::ShutDown => write!(f, "solve service has been shut down"),
             SubmitError::Invalid(e) => write!(f, "invalid submission: {e}"),
+            SubmitError::UnknownBase { seq } => write!(
+                f,
+                "no cached result for base revision {seq} (not completed, failed, or evicted)"
+            ),
         }
     }
 }
@@ -127,9 +153,13 @@ impl Ticket {
     /// thread* — which for a single-threaded ingestion loop (the `dcover
     /// serve` shape) is exactly arrival order, letting a caller that
     /// redeems tickets in completion order re-associate results with
-    /// requests. When several threads submit concurrently, ids stay
-    /// unique but the interleaving between threads is unspecified (the
-    /// id is drawn from an atomic counter after the enqueue).
+    /// requests. This id is also the handle
+    /// [`submit_delta`](SolveService::submit_delta) resolves a revision's
+    /// predecessor by. When several threads submit concurrently, ids stay
+    /// unique but the interleaving between threads is unspecified. The id
+    /// is drawn from an atomic counter *before* the enqueue (the solve
+    /// task must know it to register its result for warm-starting), so a
+    /// refused non-blocking submission leaves a gap in the sequence.
     #[must_use]
     pub fn seq(&self) -> u64 {
         self.seq
@@ -181,6 +211,52 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
+/// One completed solve retained so later deltas can warm-start from it.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    graph: Arc<Hypergraph>,
+    result: Arc<CoverResult>,
+    epsilon: f64,
+}
+
+/// Bounded seq-keyed store of completed solves, evicting the
+/// oldest-inserted entry at capacity. Workers insert on completion;
+/// [`SolveService::submit_delta`] resolves predecessors out of it.
+#[derive(Debug)]
+struct ResultCache {
+    capacity: usize,
+    map: HashMap<u64, CacheEntry>,
+    order: VecDeque<u64>,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn insert(&mut self, seq: u64, entry: CacheEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(seq, entry).is_none() {
+            self.order.push_back(seq);
+            while self.map.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn get(&self, seq: u64) -> Option<CacheEntry> {
+        self.map.get(&seq).cloned()
+    }
+}
+
 /// An asynchronous MWHVC solve service: one persistent worker pool behind
 /// a bounded submission queue. See the module docs for the serving model.
 #[derive(Debug)]
@@ -200,6 +276,9 @@ pub struct SolveService {
     seq: AtomicU64,
     /// Cleared by [`shutdown`](Self::shutdown): refuse new submissions.
     open: AtomicBool,
+    /// Completed solves retained for delta warm-starts, keyed by seq.
+    /// Shared with the in-flight solve tasks (they insert on success).
+    cache: Arc<Mutex<ResultCache>>,
 }
 
 impl SolveService {
@@ -234,7 +313,19 @@ impl SolveService {
             pool: Mutex::new(Some(pool)),
             seq: AtomicU64::new(0),
             open: AtomicBool::new(true),
+            cache: Arc::new(Mutex::new(ResultCache::new(DEFAULT_RESULT_CACHE))),
         }
+    }
+
+    /// Resizes the result cache backing
+    /// [`submit_delta`](Self::submit_delta) (default:
+    /// 256 completed solves; 0 disables retention entirely, making every
+    /// delta submission fail with [`SubmitError::UnknownBase`]). Consuming
+    /// builder style — call right after construction.
+    #[must_use]
+    pub fn with_result_cache(self, capacity: usize) -> Self {
+        self.cache.lock().expect("result cache mutex").capacity = capacity;
+        self
     }
 
     /// Starts a service with the given base ε and default settings.
@@ -299,7 +390,13 @@ impl SolveService {
     /// [`SubmitError::Backpressure`] — this variant waits instead.)
     pub fn submit(&self, g: Arc<Hypergraph>, epsilon: f64) -> Result<Ticket, SubmitError> {
         let solver = self.solver_for(epsilon)?;
-        self.submit_task(move |arena| solver.solve_with_arena(&g, arena))
+        let seq = self.next_seq();
+        let task = self.recorded_solve(seq, g, epsilon, solver, None);
+        let inner = self
+            .current_queue()?
+            .submit(task)
+            .map_err(|_| SubmitError::ShutDown)?;
+        Ok(Ticket { seq, inner })
     }
 
     /// Non-blocking submission: enqueues only if a queue slot is free
@@ -313,8 +410,68 @@ impl SolveService {
     /// [`submit`](Self::submit).
     pub fn try_submit(&self, g: &Arc<Hypergraph>, epsilon: f64) -> Result<Ticket, SubmitError> {
         let solver = self.solver_for(epsilon)?;
-        let g = Arc::clone(g);
-        self.try_submit_task(move |arena| solver.solve_with_arena(&g, arena))
+        let seq = self.next_seq();
+        let task = self.recorded_solve(seq, Arc::clone(g), epsilon, solver, None);
+        let inner = self
+            .current_queue()?
+            .try_submit(task)
+            .map_err(|e| match e {
+                TrySubmitError::Full => SubmitError::Backpressure {
+                    capacity: self.queue_capacity,
+                },
+                TrySubmitError::Closed => SubmitError::ShutDown,
+            })?;
+        Ok(Ticket { seq, inner })
+    }
+
+    /// Submits a **revision** of an earlier submission: the delta is
+    /// applied to the cached base instance and the re-solve is
+    /// **warm-started** from the base's dual packing
+    /// ([`MwhvcSolver::solve_warm`]) instead of solving from scratch.
+    /// Returns the ticket plus the revised instance (shared — deltas can
+    /// be chained by referencing this submission's seq in turn).
+    ///
+    /// `base_seq` is the [`Ticket::seq`] of any earlier submission whose
+    /// solve has **completed successfully** and is still in the bounded
+    /// result cache (see [`with_result_cache`](Self::with_result_cache)).
+    /// `epsilon` defaults to the base submission's ε, preserving the
+    /// `(f + ε)` guarantee across a revision chain.
+    ///
+    /// Blocks while the queue is at capacity, like
+    /// [`submit`](Self::submit).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownBase`] if `base_seq` cannot be resolved,
+    /// [`SubmitError::Invalid`] if the delta does not apply to the base
+    /// instance or the ε override is invalid, and
+    /// [`SubmitError::ShutDown`] after shutdown.
+    pub fn submit_delta(
+        &self,
+        base_seq: u64,
+        delta: &InstanceDelta,
+        epsilon: Option<f64>,
+    ) -> Result<(Ticket, Arc<Hypergraph>), SubmitError> {
+        let entry = self
+            .cache
+            .lock()
+            .expect("result cache mutex")
+            .get(base_seq)
+            .ok_or(SubmitError::UnknownBase { seq: base_seq })?;
+        let epsilon = epsilon.unwrap_or(entry.epsilon);
+        let solver = self.solver_for(epsilon)?;
+        let outcome = delta
+            .apply(&entry.graph)
+            .map_err(|e| SubmitError::Invalid(SolveError::Delta(e)))?;
+        let warm = WarmState::for_delta(&entry.result, &outcome);
+        let g = Arc::new(outcome.graph);
+        let seq = self.next_seq();
+        let task = self.recorded_solve(seq, Arc::clone(&g), epsilon, solver, Some(warm));
+        let inner = self
+            .current_queue()?
+            .submit(task)
+            .map_err(|_| SubmitError::ShutDown)?;
+        Ok((Ticket { seq, inner }, g))
     }
 
     /// Gracefully shuts the service down: close the queue (subsequent
@@ -362,38 +519,65 @@ impl SolveService {
         Ok(queue)
     }
 
+    /// Draws the next sequence id. Ids are allocated before the enqueue so
+    /// the solve task knows the key to record its result under.
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The solve task for one submission: runs the (cold or warm) solve
+    /// on the worker's arena and, on success, records the result in the
+    /// delta cache under `seq` before the ticket resolves — so once a
+    /// caller has observed a submission's completion, a delta referencing
+    /// its seq is guaranteed to find it (bounded-cache eviction aside).
+    fn recorded_solve(
+        &self,
+        seq: u64,
+        g: Arc<Hypergraph>,
+        epsilon: f64,
+        solver: MwhvcSolver,
+        warm: Option<WarmState>,
+    ) -> impl FnOnce(&mut EngineArena<MwhvcNode>) -> Result<CoverResult, SolveError> + Send + 'static
+    {
+        let cache = Arc::clone(&self.cache);
+        move |arena| {
+            let result = match &warm {
+                None => solver.solve_with_arena(&g, arena),
+                Some(warm) => solver.solve_warm_with_arena(&g, warm, arena),
+            };
+            if let Ok(r) = &result {
+                // Check the capacity before paying for the result copy, so
+                // a service with retention disabled (`with_result_cache(0)`)
+                // adds nothing to the pure-streaming hot path beyond one
+                // uncontended lock.
+                let enabled = cache.lock().expect("result cache mutex").capacity > 0;
+                if enabled {
+                    let entry = CacheEntry {
+                        graph: Arc::clone(&g),
+                        result: Arc::new(r.clone()),
+                        epsilon,
+                    };
+                    cache.lock().expect("result cache mutex").insert(seq, entry);
+                }
+            }
+            result
+        }
+    }
+
     /// Blocking enqueue of an arbitrary solve task (the typed `submit` is
-    /// a thin wrapper; tests inject gated or panicking tasks here).
+    /// a wrapper that additionally records its result for delta
+    /// warm-starts; tests inject gated or panicking tasks here).
+    #[cfg(test)]
     fn submit_task<F>(&self, f: F) -> Result<Ticket, SubmitError>
     where
         F: FnOnce(&mut EngineArena<MwhvcNode>) -> Result<CoverResult, SolveError> + Send + 'static,
     {
+        let seq = self.next_seq();
         let inner = self
             .current_queue()?
             .submit(f)
             .map_err(|_| SubmitError::ShutDown)?;
-        Ok(self.ticket(inner))
-    }
-
-    /// Non-blocking enqueue of an arbitrary solve task.
-    fn try_submit_task<F>(&self, f: F) -> Result<Ticket, SubmitError>
-    where
-        F: FnOnce(&mut EngineArena<MwhvcNode>) -> Result<CoverResult, SolveError> + Send + 'static,
-    {
-        let inner = self.current_queue()?.try_submit(f).map_err(|e| match e {
-            TrySubmitError::Full => SubmitError::Backpressure {
-                capacity: self.queue_capacity,
-            },
-            TrySubmitError::Closed => SubmitError::ShutDown,
-        })?;
-        Ok(self.ticket(inner))
-    }
-
-    fn ticket(&self, inner: TaskTicket<Result<CoverResult, SolveError>>) -> Ticket {
-        Ticket {
-            seq: self.seq.fetch_add(1, Ordering::Relaxed),
-            inner,
-        }
+        Ok(Ticket { seq, inner })
     }
 
     /// Borrows the worker pool for a chunk-parallel single-instance solve
@@ -485,8 +669,8 @@ mod tests {
             start.elapsed() < std::time::Duration::from_secs(1),
             "try_submit must not block"
         );
-        // The rejected submission consumed no sequence id slot in the
-        // queue; releasing the gate lets everything finish.
+        // The rejected submission consumed no queue slot; releasing the
+        // gate lets everything finish.
         gate.release();
         for t in busy {
             t.wait().unwrap();
@@ -624,17 +808,20 @@ mod tests {
     }
 
     #[test]
-    fn sequence_ids_count_successful_submissions() {
+    fn sequence_ids_are_unique_and_monotone() {
         let gate = Gate::new();
         let service = SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 1);
         let busy = occupy_workers(&service, &gate);
         let g = tiny();
         let t1 = service.try_submit(&g, 0.5).unwrap();
-        assert!(service.try_submit(&g, 0.5).is_err()); // rejected: no seq id
+        // A rejected submission leaves a gap (the id is drawn before the
+        // enqueue so the task can record its result under it), but never
+        // a duplicate.
+        assert!(service.try_submit(&g, 0.5).is_err());
         gate.release();
         let t2 = service.submit(Arc::clone(&g), 0.5).unwrap();
         assert_eq!(t1.seq(), busy.len() as u64);
-        assert_eq!(t2.seq(), t1.seq() + 1);
+        assert_eq!(t2.seq(), t1.seq() + 2);
         for t in busy {
             t.wait().unwrap();
         }
@@ -664,6 +851,160 @@ mod tests {
             service.submit(g, 0.5).expect_err("closed"),
             SubmitError::ShutDown
         );
+    }
+
+    #[test]
+    fn submit_delta_warm_starts_against_the_cached_predecessor() {
+        use crate::warm::WarmState;
+        use dcover_hypergraph::{EdgeId, InstanceDelta, VertexId};
+        let mut rng = StdRng::seed_from_u64(91);
+        let g = Arc::new(random_uniform(
+            &RandomUniform {
+                n: 30,
+                m: 80,
+                rank: 3,
+                weights: WeightDist::Uniform { min: 1, max: 20 },
+            },
+            &mut rng,
+        ));
+        let service = SolveService::with_epsilon(0.5, 2).unwrap();
+        let base = service.submit(Arc::clone(&g), 0.5).unwrap();
+        let base_seq = base.seq();
+        let base_result = base.wait().unwrap();
+
+        let delta = InstanceDelta {
+            remove_edges: vec![EdgeId::new(5)],
+            add_edges: vec![vec![VertexId::new(1), VertexId::new(4)]],
+            set_weights: vec![(VertexId::new(2), 50)],
+        };
+        let (ticket, revised) = service.submit_delta(base_seq, &delta, None).unwrap();
+        let revised_seq = ticket.seq();
+        let served = ticket.wait().unwrap();
+
+        // Bit-identical to driving the warm path by hand.
+        let out = delta.apply(&g).unwrap();
+        assert_eq!(*revised, out.graph);
+        let direct = MwhvcSolver::with_epsilon(0.5)
+            .unwrap()
+            .solve_warm(&out.graph, &WarmState::for_delta(&base_result, &out))
+            .unwrap();
+        assert_eq!(served.cover, direct.cover);
+        assert_eq!(served.duals, direct.duals);
+        assert_eq!(served.levels, direct.levels);
+        assert_eq!(served.report, direct.report);
+
+        // Deltas chain: revise the revision.
+        let delta2 = InstanceDelta {
+            set_weights: vec![(VertexId::new(9), 1)],
+            ..InstanceDelta::empty()
+        };
+        let (ticket2, revised2) = service.submit_delta(revised_seq, &delta2, None).unwrap();
+        let chained = ticket2.wait().unwrap();
+        assert!(chained.cover.is_cover_of(&revised2));
+    }
+
+    #[test]
+    fn submit_delta_error_paths() {
+        use dcover_hypergraph::{EdgeId, InstanceDelta};
+        let service = SolveService::with_epsilon(0.5, 1).unwrap();
+        let g = tiny();
+
+        // Unknown base: never submitted.
+        assert_eq!(
+            service
+                .submit_delta(99, &InstanceDelta::empty(), None)
+                .unwrap_err(),
+            SubmitError::UnknownBase { seq: 99 }
+        );
+
+        let base = service.submit(Arc::clone(&g), 0.5).unwrap();
+        let seq = base.seq();
+        base.wait().unwrap();
+
+        // A delta that does not apply to the base instance.
+        let bad = InstanceDelta {
+            remove_edges: vec![EdgeId::new(42)],
+            ..InstanceDelta::empty()
+        };
+        assert!(matches!(
+            service.submit_delta(seq, &bad, None),
+            Err(SubmitError::Invalid(SolveError::Delta(_)))
+        ));
+
+        // A bad ε override is refused at the door, like submit's.
+        assert!(matches!(
+            service.submit_delta(seq, &InstanceDelta::empty(), Some(0.0)),
+            Err(SubmitError::Invalid(SolveError::InvalidEpsilon { .. }))
+        ));
+
+        // A failed solve is never cached: its seq is not a valid base.
+        let oversized = Arc::new(from_weighted_edge_lists(&[1 << 60, 1], &[&[0, 1]]).unwrap());
+        let bad_ticket = service.submit(oversized, 0.5).unwrap();
+        let bad_seq = bad_ticket.seq();
+        assert!(bad_ticket.wait().is_err());
+        assert_eq!(
+            service
+                .submit_delta(bad_seq, &InstanceDelta::empty(), None)
+                .unwrap_err(),
+            SubmitError::UnknownBase { seq: bad_seq }
+        );
+
+        // After shutdown the door is closed for deltas too.
+        service.shutdown();
+        assert!(matches!(
+            service.submit_delta(seq, &InstanceDelta::empty(), None),
+            Err(SubmitError::ShutDown)
+        ));
+    }
+
+    #[test]
+    fn result_cache_is_bounded_and_evicts_oldest() {
+        use dcover_hypergraph::InstanceDelta;
+        let service = SolveService::with_epsilon(0.5, 1)
+            .unwrap()
+            .with_result_cache(2);
+        let g = tiny();
+        let seqs: Vec<u64> = (0..3)
+            .map(|_| {
+                let t = service.submit(Arc::clone(&g), 0.5).unwrap();
+                let seq = t.seq();
+                t.wait().unwrap();
+                seq
+            })
+            .collect();
+        // Oldest entry evicted; the two newest still resolve.
+        assert_eq!(
+            service
+                .submit_delta(seqs[0], &InstanceDelta::empty(), None)
+                .unwrap_err(),
+            SubmitError::UnknownBase { seq: seqs[0] }
+        );
+        for &seq in &seqs[1..] {
+            let (t, _) = service
+                .submit_delta(seq, &InstanceDelta::empty(), None)
+                .unwrap();
+            t.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn delta_epsilon_defaults_to_the_base_submissions_epsilon() {
+        use dcover_hypergraph::InstanceDelta;
+        let service = SolveService::with_epsilon(1.0, 2).unwrap();
+        let g = tiny();
+        let base = service.submit(Arc::clone(&g), 0.25).unwrap();
+        let seq = base.seq();
+        let cold = base.wait().unwrap();
+        let (t, _) = service
+            .submit_delta(seq, &InstanceDelta::empty(), None)
+            .unwrap();
+        let warm = t.wait().unwrap();
+        // Same ε as the base (0.25), not the service base ε (1.0): the
+        // empty-delta warm result is bit-identical to the 0.25 cold one.
+        assert_eq!(warm.cover, cold.cover);
+        assert_eq!(warm.duals, cold.duals);
+        assert_eq!(warm.levels, cold.levels);
+        assert_eq!(warm.dual_total, cold.dual_total);
     }
 
     #[test]

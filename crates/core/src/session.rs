@@ -28,11 +28,14 @@
 //! its own `Err` entry; it cannot crash the session or poison its
 //! neighbors.
 //!
-//! Instance-copy costs by entry point: [`solve_batch`] clones each
-//! instance out of the borrowed slice (tasks need `'static` payloads);
-//! [`solve_batch_owned`] moves the instances in (no deep copies);
-//! [`solve_batch_shared`] shares `Arc<Hypergraph>` handles (no deep
-//! copies, and the caller keeps the instances).
+//! Every batch entry point is **zero-copy** in instance data: the
+//! hypergraph's CSR payload lives behind a shared allocation, so
+//! [`solve_batch`] hands each borrowed instance to its task as a cheap
+//! shared handle (`Hypergraph::clone` is a refcount bump — the PR 3
+//! "1 clone/instance" limitation is gone), [`solve_batch_owned`] moves
+//! the instances in, and [`solve_batch_shared`] shares the caller's
+//! `Arc<Hypergraph>` handles. `tests/zero_copy.rs` pins all three paths
+//! at exactly zero payload copies.
 //!
 //! [`solve_batch`]: SolveSession::solve_batch
 //! [`solve_batch_owned`]: SolveSession::solve_batch_owned
@@ -161,16 +164,23 @@ impl SolveSession {
     /// affecting the others.
     ///
     /// Tasks must outlive the borrow of `instances` (they run on pool
-    /// threads), so this clones each instance; callers that can give up
-    /// ownership should use [`solve_batch_owned`](Self::solve_batch_owned),
-    /// and callers already holding `Arc<Hypergraph>`s should use
-    /// [`solve_batch_shared`](Self::solve_batch_shared) — both skip the
-    /// copies.
+    /// threads), so each instance is Arc-wrapped internally — a refcount
+    /// bump per entry, **never a copy of the instance data** (the CSR
+    /// payload is shared behind the handle). Callers that can give up
+    /// ownership may use [`solve_batch_owned`](Self::solve_batch_owned),
+    /// and callers already holding `Arc<Hypergraph>`s may use
+    /// [`solve_batch_shared`](Self::solve_batch_shared); all three paths
+    /// are equally zero-copy.
     pub fn solve_batch(
         &mut self,
         instances: &[Hypergraph],
     ) -> Vec<Result<CoverResult, SolveError>> {
-        self.solve_batch_owned(instances.to_vec())
+        self.redeem(
+            instances
+                .iter()
+                .map(|g| self.submit_one(Arc::new(g.clone())))
+                .collect(),
+        )
     }
 
     /// Like [`solve_batch`](Self::solve_batch), but takes the instances by

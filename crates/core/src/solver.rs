@@ -6,8 +6,9 @@ use dcover_hypergraph::{Cover, Hypergraph};
 
 use crate::analysis;
 use crate::error::SolveError;
-use crate::params::{AlphaPolicy, MwhvcConfig};
-use crate::protocol::{build_network, iterations_of_rounds, MwhvcNode};
+use crate::params::{z_levels, AlphaPolicy, MwhvcConfig};
+use crate::protocol::{build_network, build_network_warm, iterations_of_rounds, MwhvcNode};
+use crate::warm::{clamped_seed, WarmState};
 
 /// Largest weight for which `f64` represents integers exactly.
 const MAX_EXACT_WEIGHT: u64 = 1 << 53;
@@ -163,6 +164,92 @@ impl MwhvcSolver {
         Ok(self.assemble(g, &nodes, report))
     }
 
+    /// Warm-started solve: runs the protocol **seeded** with a previous
+    /// solve's dual packing and levels instead of from zero — the
+    /// incremental path for instance revisions (see
+    /// [`WarmState::for_delta`]).
+    ///
+    /// The initialization rounds differ from a cold solve only in what
+    /// they ship: vertices announce their seeded level alongside weight
+    /// and degree, and edges return the initial bid pre-halved by the
+    /// members' seeded levels (`bid₀·2^{−Σℓ}` — the value the cold
+    /// protocol would have reached after the same level raises, so
+    /// Claim 1's `Σ bid ≤ 2^{−(ℓ+1)}w` holds from the first iteration).
+    /// Seeded duals are **not** re-absorbed; surviving edges keep their
+    /// packing, inserted edges start at 0, and the usual level-raising
+    /// rounds run from that state. Consequences:
+    ///
+    /// * every result still passes
+    ///   [`Certificate::verify`](crate::Certificate::verify) — cover
+    ///   members only join β-tight, and the seeded packing is clamped to
+    ///   feasibility first (see [`WarmState`]);
+    /// * a warm solve of an **unchanged** instance reproduces the cold
+    ///   result bit-for-bit (cover, duals, levels, weight, dual total) in
+    ///   a handful of rounds: every previous cover member is still tight
+    ///   and re-joins immediately, which covers every edge;
+    /// * freshly inserted edges can legitimately end with `δ(e) = 0`
+    ///   (covered by an already-tight member before ever bidding), so
+    ///   unlike cold results, warm duals are only guaranteed
+    ///   non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve), plus
+    /// [`SolveError::WarmMismatch`] if `warm` does not fit `g` (wrong
+    /// vector lengths, negative or non-finite dual).
+    pub fn solve_warm(&self, g: &Hypergraph, warm: &WarmState) -> Result<CoverResult, SolveError> {
+        let mut arena = EngineArena::new();
+        self.solve_warm_with_arena(g, warm, &mut arena)
+    }
+
+    /// Like [`solve_warm`](Self::solve_warm), but recycles `arena` across
+    /// calls — the serving-loop shape (one warm solve per revision on a
+    /// pool worker).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve_warm`](Self::solve_warm). On error the arena is
+    /// still recovered and reusable.
+    pub fn solve_warm_with_arena(
+        &self,
+        g: &Hypergraph,
+        warm: &WarmState,
+        arena: &mut EngineArena<MwhvcNode>,
+    ) -> Result<CoverResult, SolveError> {
+        self.validate(g)?;
+        if warm.duals().len() != g.m() {
+            return Err(SolveError::WarmMismatch {
+                what: "dual count vs edge count",
+            });
+        }
+        if warm.levels().len() != g.n() {
+            return Err(SolveError::WarmMismatch {
+                what: "level count vs vertex count",
+            });
+        }
+        if warm.duals().iter().any(|d| !d.is_finite() || *d < 0.0) {
+            return Err(SolveError::WarmMismatch {
+                what: "duals must be finite and non-negative",
+            });
+        }
+        if g.n() == 0 {
+            return Ok(CoverResult::empty());
+        }
+        let z = z_levels(g.rank().max(1), self.config.epsilon());
+        let (duals, levels) = clamped_seed(g, warm, z);
+        let (topo, nodes) = build_network_warm(g, &self.config, &duals, &levels);
+        let limit = self.round_limit(g);
+        let taken = std::mem::take(arena);
+        let mut sim = Simulator::with_arena(topo, nodes, taken)
+            .with_budget(self.budget_for(g))
+            .with_trace(self.config.trace());
+        let run = sim.run(limit);
+        let (nodes, report, recovered) = sim.into_arena();
+        *arena = recovered;
+        run?;
+        Ok(self.assemble(g, &nodes, report))
+    }
+
     /// Runs the protocol on the thread-pool scheduler with identical
     /// semantics (and therefore identical results).
     ///
@@ -242,8 +329,12 @@ impl MwhvcSolver {
         }
     }
 
-    /// Rejects weights beyond the exact-`f64` range before any solve.
+    /// Rejects invalid configurations (bad fixed α or γ — ε is validated
+    /// at construction, but the α policy setters are infallible) and
+    /// weights beyond the exact-`f64` range before any solve, so no
+    /// user-supplied parameter can panic a solve path.
     pub(crate) fn validate(&self, g: &Hypergraph) -> Result<(), SolveError> {
+        self.config.validate()?;
         for v in g.vertices() {
             let w = g.weight(v);
             if w > MAX_EXACT_WEIGHT {
@@ -464,6 +555,117 @@ mod tests {
         let g = from_edge_lists(3, &[&[0, 1, 2]]).unwrap();
         let limit = s.round_limit(&g);
         assert!(limit >= analysis::round_bound(3, 1, 1e-12, u32::MAX, Variant::HalfBid));
+    }
+
+    #[test]
+    fn warm_resolve_of_unchanged_instance_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for (f, eps) in [(2usize, 1.0), (3, 0.5), (4, 0.25)] {
+            let g = random_uniform(
+                &RandomUniform {
+                    n: 50,
+                    m: 130,
+                    rank: f,
+                    weights: WeightDist::Uniform { min: 1, max: 40 },
+                },
+                &mut rng,
+            );
+            let s = solver(eps);
+            let cold = s.solve(&g).unwrap();
+            let warm = s
+                .solve_warm(&g, &crate::warm::WarmState::from_result(&cold))
+                .unwrap();
+            assert_eq!(warm.cover, cold.cover, "f={f} eps={eps}");
+            assert_eq!(warm.duals, cold.duals, "f={f} eps={eps}");
+            assert_eq!(warm.levels, cold.levels, "f={f} eps={eps}");
+            assert_eq!(warm.weight, cold.weight, "f={f} eps={eps}");
+            assert_eq!(warm.dual_total, cold.dual_total, "f={f} eps={eps}");
+            // The whole point: the warm run converges in O(1) rounds.
+            assert!(
+                warm.rounds() < cold.rounds() || cold.rounds() <= 6,
+                "warm {} vs cold {}",
+                warm.rounds(),
+                cold.rounds()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_solve_after_revision_is_certified() {
+        use dcover_hypergraph::{EdgeId, InstanceDelta, VertexId};
+        let mut rng = StdRng::seed_from_u64(32);
+        let g = random_uniform(
+            &RandomUniform {
+                n: 40,
+                m: 100,
+                rank: 3,
+                weights: WeightDist::Uniform { min: 1, max: 30 },
+            },
+            &mut rng,
+        );
+        let s = solver(0.5);
+        let cold = s.solve(&g).unwrap();
+        let delta = InstanceDelta {
+            remove_edges: vec![EdgeId::new(3), EdgeId::new(77)],
+            add_edges: vec![
+                vec![VertexId::new(0), VertexId::new(5), VertexId::new(9)],
+                vec![VertexId::new(11), VertexId::new(2)],
+            ],
+            set_weights: vec![(VertexId::new(7), 1), (VertexId::new(20), 200)],
+        };
+        let out = delta.apply(&g).unwrap();
+        let warm = s
+            .solve_warm(&out.graph, &crate::warm::WarmState::for_delta(&cold, &out))
+            .unwrap();
+        assert!(warm.cover.is_cover_of(&out.graph));
+        let cert = crate::Certificate::from_result(&warm, 0.5);
+        let bound = cert.verify(&out.graph).expect("warm result certifies");
+        assert!(bound <= out.graph.rank() as f64 + 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn warm_shape_mismatches_are_typed_errors() {
+        let g = from_weighted_edge_lists(&[2, 3], &[&[0, 1]]).unwrap();
+        let s = solver(0.5);
+        let r = s.solve(&g).unwrap();
+        let bad = crate::warm::WarmState::from_parts(vec![0.1, 0.2], r.levels.clone());
+        assert!(matches!(
+            s.solve_warm(&g, &bad),
+            Err(SolveError::WarmMismatch { .. })
+        ));
+        let bad = crate::warm::WarmState::from_parts(r.duals.clone(), vec![0; 9]);
+        assert!(matches!(
+            s.solve_warm(&g, &bad),
+            Err(SolveError::WarmMismatch { .. })
+        ));
+        let bad = crate::warm::WarmState::from_parts(vec![-0.5], r.levels.clone());
+        assert!(matches!(
+            s.solve_warm(&g, &bad),
+            Err(SolveError::WarmMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_alpha_and_gamma_error_instead_of_panicking() {
+        let g = from_edge_lists(3, &[&[0, 1], &[1, 2]]).unwrap();
+        let cfg = MwhvcConfig::new(0.5)
+            .unwrap()
+            .with_alpha(crate::params::AlphaPolicy::Fixed(1));
+        assert!(matches!(
+            MwhvcSolver::new(cfg).solve(&g),
+            Err(SolveError::InvalidAlpha { alpha: 1 })
+        ));
+        let cfg = MwhvcConfig::new(0.5)
+            .unwrap()
+            .with_alpha(crate::params::AlphaPolicy::Theorem9 { gamma: -0.5 });
+        assert!(matches!(
+            MwhvcSolver::new(cfg.clone()).solve(&g),
+            Err(SolveError::InvalidGamma { .. })
+        ));
+        assert!(matches!(
+            MwhvcSolver::new(cfg).solve_parallel(&g, 2),
+            Err(SolveError::InvalidGamma { .. })
+        ));
     }
 
     #[test]

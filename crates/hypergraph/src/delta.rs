@@ -1,0 +1,414 @@
+//! Instance revisions: typed edge/weight deltas between hypergraphs.
+//!
+//! Serving workloads rarely present unrelated instances — they present
+//! *revisions*: the same hypergraph with a few hyperedges inserted or
+//! removed and a few weights adjusted. [`InstanceDelta`] describes such a
+//! revision; [`InstanceDelta::apply`] produces the revised [`Hypergraph`]
+//! **plus the edge-id mapping between the two revisions**
+//! ([`DeltaOutcome::predecessor`] / [`DeltaOutcome::survivor`]), which is
+//! exactly what a warm-started solver needs to carry a dual edge packing
+//! from one revision to the next (the paper's duals are per-edge, so the
+//! mapping says which duals survive).
+//!
+//! The vertex set is fixed across a delta: covering instances identify
+//! vertices with physical agents (paper §2), and a vanished agent is
+//! modelled by removing its edges, not its id.
+//!
+//! # Edge ordering
+//!
+//! `apply` keeps surviving edges in their original relative order and
+//! appends inserted edges after them. Edge *identity* is tracked exactly
+//! through the mapping; edge *indices* are compacted, so a delta followed
+//! by its [`inverse`](InstanceDelta::inverse) restores the same set of
+//! edges (weights, members, multiplicities) but may permute edge indices.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcover_hypergraph::{from_weighted_edge_lists, EdgeId, InstanceDelta, VertexId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = from_weighted_edge_lists(&[5, 1, 4], &[&[0, 1], &[1, 2]])?;
+//! let delta = InstanceDelta {
+//!     remove_edges: vec![EdgeId::new(0)],
+//!     add_edges: vec![vec![VertexId::new(0), VertexId::new(2)]],
+//!     set_weights: vec![(VertexId::new(1), 9)],
+//! };
+//! let out = delta.apply(&g)?;
+//! assert_eq!(out.graph.m(), 2);
+//! assert_eq!(out.graph.weight(VertexId::new(1)), 9);
+//! // Old edge 1 survived as new edge 0; new edge 1 is freshly inserted.
+//! assert_eq!(out.predecessor, vec![Some(EdgeId::new(1)), None]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::error::BuildError;
+use crate::hypergraph::Hypergraph;
+use crate::ids::{EdgeId, VertexId};
+use crate::HypergraphBuilder;
+
+/// A revision of a hypergraph instance: hyperedges to remove, hyperedges
+/// to insert, and vertex weights to change. The vertex set is fixed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InstanceDelta {
+    /// Edge ids (of the *base* instance) to remove. Must be in range and
+    /// free of duplicates.
+    pub remove_edges: Vec<EdgeId>,
+    /// Member lists of hyperedges to insert (validated like
+    /// [`HypergraphBuilder::add_edge`]: non-empty after deduplication,
+    /// vertex ids in range).
+    pub add_edges: Vec<Vec<VertexId>>,
+    /// `(vertex, new_weight)` pairs. Vertices must be in range and listed
+    /// at most once; weights must be positive.
+    pub set_weights: Vec<(VertexId, u64)>,
+}
+
+/// The result of applying an [`InstanceDelta`]: the revised hypergraph
+/// plus the edge-id mapping in both directions.
+#[derive(Clone, Debug)]
+pub struct DeltaOutcome {
+    /// The revised instance.
+    pub graph: Hypergraph,
+    /// For every edge of the revised instance, the edge of the base
+    /// instance it survived from (`None` for freshly inserted edges).
+    pub predecessor: Vec<Option<EdgeId>>,
+    /// For every edge of the base instance, the id it survived as in the
+    /// revised instance (`None` for removed edges).
+    pub survivor: Vec<Option<EdgeId>>,
+}
+
+/// Why a delta could not be applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeltaError {
+    /// A removal referenced an edge id outside the base instance.
+    UnknownEdge {
+        /// The out-of-range edge index.
+        edge: usize,
+        /// Number of edges in the base instance.
+        m: usize,
+    },
+    /// The same edge id appeared twice in `remove_edges`.
+    DuplicateRemoval {
+        /// The repeated edge index.
+        edge: usize,
+    },
+    /// A weight change referenced a vertex outside the base instance.
+    UnknownVertex {
+        /// The out-of-range vertex index.
+        vertex: usize,
+        /// Number of vertices in the base instance.
+        n: usize,
+    },
+    /// The same vertex appeared twice in `set_weights`.
+    DuplicateWeight {
+        /// The repeated vertex index.
+        vertex: usize,
+    },
+    /// A weight change set a weight to zero (weights are `w : V → N+`).
+    ZeroWeight {
+        /// The offending vertex index.
+        vertex: usize,
+    },
+    /// An inserted edge failed hypergraph validation (empty after
+    /// deduplication, or a member out of range).
+    Invalid(BuildError),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::UnknownEdge { edge, m } => {
+                write!(f, "delta removes edge {edge} but the base has {m} edges")
+            }
+            DeltaError::DuplicateRemoval { edge } => {
+                write!(f, "delta removes edge {edge} twice")
+            }
+            DeltaError::UnknownVertex { vertex, n } => write!(
+                f,
+                "delta re-weights vertex {vertex} but the base has {n} vertices"
+            ),
+            DeltaError::DuplicateWeight { vertex } => {
+                write!(f, "delta re-weights vertex {vertex} twice")
+            }
+            DeltaError::ZeroWeight { vertex } => write!(
+                f,
+                "delta sets vertex {vertex} to weight zero; weights must be positive"
+            ),
+            DeltaError::Invalid(e) => write!(f, "inserted edge is invalid: {e}"),
+        }
+    }
+}
+
+impl Error for DeltaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeltaError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for DeltaError {
+    fn from(e: BuildError) -> Self {
+        DeltaError::Invalid(e)
+    }
+}
+
+impl InstanceDelta {
+    /// The delta that changes nothing.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Whether the delta changes nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remove_edges.is_empty() && self.add_edges.is_empty() && self.set_weights.is_empty()
+    }
+
+    /// Applies the delta to `base`, producing the revised instance and the
+    /// edge-id mapping between the revisions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeltaError`] if a removal or weight change references
+    /// ids outside `base`, a removal or weight change repeats an id, a
+    /// weight is zero, or an inserted edge fails validation. On error the
+    /// base instance is untouched (it always is — `apply` never mutates).
+    pub fn apply(&self, base: &Hypergraph) -> Result<DeltaOutcome, DeltaError> {
+        let n = base.n();
+        let m = base.m();
+
+        let mut removed = vec![false; m];
+        for &e in &self.remove_edges {
+            if e.index() >= m {
+                return Err(DeltaError::UnknownEdge { edge: e.index(), m });
+            }
+            if removed[e.index()] {
+                return Err(DeltaError::DuplicateRemoval { edge: e.index() });
+            }
+            removed[e.index()] = true;
+        }
+
+        let mut weights: Vec<u64> = base.weights().to_vec();
+        let mut reweighted = vec![false; n];
+        for &(v, w) in &self.set_weights {
+            if v.index() >= n {
+                return Err(DeltaError::UnknownVertex {
+                    vertex: v.index(),
+                    n,
+                });
+            }
+            if reweighted[v.index()] {
+                return Err(DeltaError::DuplicateWeight { vertex: v.index() });
+            }
+            if w == 0 {
+                return Err(DeltaError::ZeroWeight { vertex: v.index() });
+            }
+            reweighted[v.index()] = true;
+            weights[v.index()] = w;
+        }
+
+        let mut b = HypergraphBuilder::with_capacity(n, m - self.remove_edges.len());
+        for &w in &weights {
+            b.add_vertex(w);
+        }
+        let mut predecessor = Vec::with_capacity(m - self.remove_edges.len());
+        let mut survivor = vec![None; m];
+        for e in base.edges() {
+            if removed[e.index()] {
+                continue;
+            }
+            let new_id = b.add_edge(base.edge(e).iter().copied())?;
+            survivor[e.index()] = Some(new_id);
+            predecessor.push(Some(e));
+        }
+        for members in &self.add_edges {
+            b.add_edge(members.iter().copied())?;
+            predecessor.push(None);
+        }
+        let graph = b.build()?;
+        Ok(DeltaOutcome {
+            graph,
+            predecessor,
+            survivor,
+        })
+    }
+
+    /// The delta that undoes this one: applied to `outcome.graph`, it
+    /// removes the inserted edges, re-inserts the removed ones (with their
+    /// original member lists from `base`), and restores the original
+    /// weights. The round trip restores the same *set* of hyperedges; see
+    /// the module docs on edge ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base`/`outcome` do not belong to this delta (e.g. a
+    /// removed edge id is out of range for `base`).
+    #[must_use]
+    pub fn inverse(&self, base: &Hypergraph, outcome: &DeltaOutcome) -> InstanceDelta {
+        let survivors = outcome.graph.m() - self.add_edges.len();
+        InstanceDelta {
+            remove_edges: (survivors..outcome.graph.m()).map(EdgeId::new).collect(),
+            add_edges: self
+                .remove_edges
+                .iter()
+                .map(|&e| base.edge(e).to_vec())
+                .collect(),
+            set_weights: self
+                .set_weights
+                .iter()
+                .map(|&(v, _)| (v, base.weight(v)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_weighted_edge_lists;
+
+    fn base() -> Hypergraph {
+        from_weighted_edge_lists(&[5, 1, 4, 7], &[&[0, 1], &[1, 2], &[2, 3], &[0, 3]]).unwrap()
+    }
+
+    #[test]
+    fn empty_delta_is_identity_with_identity_mapping() {
+        let g = base();
+        let out = InstanceDelta::empty().apply(&g).unwrap();
+        assert!(InstanceDelta::empty().is_empty());
+        assert_eq!(out.graph, g);
+        for e in g.edges() {
+            assert_eq!(out.predecessor[e.index()], Some(e));
+            assert_eq!(out.survivor[e.index()], Some(e));
+        }
+    }
+
+    #[test]
+    fn apply_removes_inserts_and_reweights() {
+        let g = base();
+        let delta = InstanceDelta {
+            remove_edges: vec![EdgeId::new(1), EdgeId::new(3)],
+            add_edges: vec![vec![VertexId::new(1), VertexId::new(3)]],
+            set_weights: vec![(VertexId::new(0), 2)],
+        };
+        let out = delta.apply(&g).unwrap();
+        assert_eq!(out.graph.m(), 3);
+        assert_eq!(out.graph.weight(VertexId::new(0)), 2);
+        assert_eq!(
+            out.predecessor,
+            vec![Some(EdgeId::new(0)), Some(EdgeId::new(2)), None]
+        );
+        assert_eq!(
+            out.survivor,
+            vec![Some(EdgeId::new(0)), None, Some(EdgeId::new(1)), None]
+        );
+        // Surviving edges keep their member lists.
+        assert_eq!(out.graph.edge(EdgeId::new(1)), g.edge(EdgeId::new(2)));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = base();
+        let bad = InstanceDelta {
+            remove_edges: vec![EdgeId::new(9)],
+            ..InstanceDelta::empty()
+        };
+        assert_eq!(
+            bad.apply(&g).unwrap_err(),
+            DeltaError::UnknownEdge { edge: 9, m: 4 }
+        );
+        let bad = InstanceDelta {
+            remove_edges: vec![EdgeId::new(1), EdgeId::new(1)],
+            ..InstanceDelta::empty()
+        };
+        assert_eq!(
+            bad.apply(&g).unwrap_err(),
+            DeltaError::DuplicateRemoval { edge: 1 }
+        );
+        let bad = InstanceDelta {
+            set_weights: vec![(VertexId::new(9), 1)],
+            ..InstanceDelta::empty()
+        };
+        assert_eq!(
+            bad.apply(&g).unwrap_err(),
+            DeltaError::UnknownVertex { vertex: 9, n: 4 }
+        );
+        let bad = InstanceDelta {
+            set_weights: vec![(VertexId::new(1), 2), (VertexId::new(1), 3)],
+            ..InstanceDelta::empty()
+        };
+        assert_eq!(
+            bad.apply(&g).unwrap_err(),
+            DeltaError::DuplicateWeight { vertex: 1 }
+        );
+        let bad = InstanceDelta {
+            set_weights: vec![(VertexId::new(1), 0)],
+            ..InstanceDelta::empty()
+        };
+        assert_eq!(
+            bad.apply(&g).unwrap_err(),
+            DeltaError::ZeroWeight { vertex: 1 }
+        );
+        let bad = InstanceDelta {
+            add_edges: vec![vec![VertexId::new(99)]],
+            ..InstanceDelta::empty()
+        };
+        assert!(matches!(
+            bad.apply(&g).unwrap_err(),
+            DeltaError::Invalid(BuildError::UnknownVertex { .. })
+        ));
+        let bad = InstanceDelta {
+            add_edges: vec![vec![]],
+            ..InstanceDelta::empty()
+        };
+        assert!(matches!(
+            bad.apply(&g).unwrap_err(),
+            DeltaError::Invalid(BuildError::EmptyEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_restores_weights_and_edge_multiset() {
+        let g = base();
+        let delta = InstanceDelta {
+            remove_edges: vec![EdgeId::new(0), EdgeId::new(2)],
+            add_edges: vec![
+                vec![VertexId::new(0), VertexId::new(2)],
+                vec![VertexId::new(3)],
+            ],
+            set_weights: vec![(VertexId::new(2), 100)],
+        };
+        let out = delta.apply(&g).unwrap();
+        let back = delta.inverse(&g, &out).apply(&out.graph).unwrap();
+        assert_eq!(back.graph.weights(), g.weights());
+        let canonical = |h: &Hypergraph| {
+            let mut edges: Vec<Vec<usize>> = h
+                .edges()
+                .map(|e| h.edge(e).iter().map(|v| v.index()).collect())
+                .collect();
+            edges.sort();
+            edges
+        };
+        assert_eq!(canonical(&back.graph), canonical(&g));
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(DeltaError::UnknownEdge { edge: 3, m: 2 }
+            .to_string()
+            .contains("edge 3"));
+        assert!(DeltaError::ZeroWeight { vertex: 1 }
+            .to_string()
+            .contains("positive"));
+        let e = DeltaError::from(BuildError::EmptyEdge { edge: 0 });
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -6,6 +6,14 @@
 //! needed constantly by covering algorithms (edges poll their vertices,
 //! vertices poll their edges), so we pay the memory up front and keep lookups
 //! allocation-free.
+//!
+//! The CSR payload lives behind one shared allocation: instances are
+//! immutable after construction, so [`Hypergraph::clone`] is a reference
+//! count increment, never a copy of the incidence data. That makes every
+//! serving path (batched, queued, warm-started) zero-copy by construction
+//! — see [`clone_count`].
+
+use std::sync::Arc;
 
 use crate::ids::{EdgeId, IdRange, VertexId};
 
@@ -44,8 +52,15 @@ use crate::ids::{EdgeId, IdRange, VertexId};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Hypergraph {
+    inner: Arc<Payload>,
+}
+
+/// The owned CSR data of a hypergraph, shared by every handle cloned from
+/// the same construction.
+#[derive(Debug, PartialEq, Eq)]
+struct Payload {
     weights: Vec<u64>,
     /// CSR offsets into `edge_vertices`; length `m + 1`.
     edge_offsets: Vec<u32>,
@@ -59,40 +74,68 @@ pub struct Hypergraph {
     max_degree: u32,
 }
 
-/// Process-wide count of deep [`Hypergraph`] clones (see [`clone_count`]).
+/// Process-wide count of deep [`Hypergraph`] payload copies (see
+/// [`clone_count`]).
 static CLONES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
-/// Number of deep [`Hypergraph`] clones performed by this process so far.
+/// Number of deep [`Hypergraph`] payload copies performed by this process
+/// so far.
 ///
-/// Zero-copy serving paths (e.g. submitting `Arc<Hypergraph>` instances to
-/// a solve service) are expected to leave this counter untouched; tests
-/// and benchmarks snapshot it around the code under scrutiny to *prove*
-/// that no instance payload was copied. The counter is monotone and
-/// global, so concurrent clones elsewhere in the process inflate it —
-/// assert "did not grow", not exact values, unless the test is isolated.
+/// Since the CSR payload moved behind a shared allocation,
+/// [`Hypergraph::clone`] is a reference-count increment and **never**
+/// copies the instance data — only [`Hypergraph::deep_clone`] does, and
+/// only it bumps this counter. Serving paths are expected to leave the
+/// counter untouched; tests and benchmarks snapshot it around the code
+/// under scrutiny to *prove* that no instance payload was copied. The
+/// counter is monotone and global, so concurrent deep copies elsewhere in
+/// the process inflate it — assert "did not grow", not exact values,
+/// unless the test is isolated.
 #[must_use]
 pub fn clone_count() -> u64 {
     CLONES.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 impl Clone for Hypergraph {
+    /// Cheap by construction: bumps the payload's reference count. The
+    /// incidence data is immutable and shared, never copied.
     fn clone(&self) -> Self {
-        // Deep copies of instances are the enemy of the serving layer;
-        // count them so tests can pin "this path never clones".
-        CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Hypergraph {
-            weights: self.weights.clone(),
-            edge_offsets: self.edge_offsets.clone(),
-            edge_vertices: self.edge_vertices.clone(),
-            vertex_offsets: self.vertex_offsets.clone(),
-            vertex_edges: self.vertex_edges.clone(),
-            rank: self.rank,
-            max_degree: self.max_degree,
+            inner: Arc::clone(&self.inner),
         }
     }
 }
 
+impl PartialEq for Hypergraph {
+    fn eq(&self, other: &Self) -> bool {
+        // Handles cloned from the same construction share the payload.
+        Arc::ptr_eq(&self.inner, &other.inner) || *self.inner == *other.inner
+    }
+}
+
+impl Eq for Hypergraph {}
+
 impl Hypergraph {
+    /// Copies the full CSR payload into a fresh allocation (the only
+    /// operation that duplicates instance data; counted by
+    /// [`clone_count`]). Ordinary [`clone`](Clone::clone) shares the
+    /// payload instead — deep copies exist only for tests and for callers
+    /// that deliberately want an unshared allocation.
+    #[must_use]
+    pub fn deep_clone(&self) -> Self {
+        CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Hypergraph {
+            inner: Arc::new(Payload {
+                weights: self.inner.weights.clone(),
+                edge_offsets: self.inner.edge_offsets.clone(),
+                edge_vertices: self.inner.edge_vertices.clone(),
+                vertex_offsets: self.inner.vertex_offsets.clone(),
+                vertex_edges: self.inner.vertex_edges.clone(),
+                rank: self.inner.rank,
+                max_degree: self.inner.max_degree,
+            }),
+        }
+    }
+
     /// Internal constructor used by the builder; assumes inputs were already
     /// validated (weights positive, vertex ids in range, no empty edge).
     pub(crate) fn from_validated_parts(weights: Vec<u64>, edges: Vec<Vec<VertexId>>) -> Self {
@@ -132,13 +175,15 @@ impl Hypergraph {
 
         let max_degree = degrees.iter().copied().max().unwrap_or(0);
         Self {
-            weights,
-            edge_offsets,
-            edge_vertices,
-            vertex_offsets,
-            vertex_edges,
-            rank,
-            max_degree,
+            inner: Arc::new(Payload {
+                weights,
+                edge_offsets,
+                edge_vertices,
+                vertex_offsets,
+                vertex_edges,
+                rank,
+                max_degree,
+            }),
         }
     }
 
@@ -146,14 +191,14 @@ impl Hypergraph {
     #[inline]
     #[must_use]
     pub fn n(&self) -> usize {
-        self.weights.len()
+        self.inner.weights.len()
     }
 
     /// Number of hyperedges `m = |E|`.
     #[inline]
     #[must_use]
     pub fn m(&self) -> usize {
-        self.edge_offsets.len() - 1
+        self.inner.edge_offsets.len() - 1
     }
 
     /// The rank `f`: the maximum number of vertices in any hyperedge
@@ -161,14 +206,14 @@ impl Hypergraph {
     #[inline]
     #[must_use]
     pub fn rank(&self) -> u32 {
-        self.rank
+        self.inner.rank
     }
 
     /// The maximum vertex degree `Δ` (0 for a hypergraph without edges).
     #[inline]
     #[must_use]
     pub fn max_degree(&self) -> u32 {
-        self.max_degree
+        self.inner.max_degree
     }
 
     /// The weight of vertex `v`.
@@ -179,14 +224,14 @@ impl Hypergraph {
     #[inline]
     #[must_use]
     pub fn weight(&self, v: VertexId) -> u64 {
-        self.weights[v.index()]
+        self.inner.weights[v.index()]
     }
 
     /// All vertex weights, indexed by vertex.
     #[inline]
     #[must_use]
     pub fn weights(&self) -> &[u64] {
-        &self.weights
+        &self.inner.weights
     }
 
     /// The member vertices of hyperedge `e`.
@@ -197,9 +242,9 @@ impl Hypergraph {
     #[inline]
     #[must_use]
     pub fn edge(&self, e: EdgeId) -> &[VertexId] {
-        let lo = self.edge_offsets[e.index()] as usize;
-        let hi = self.edge_offsets[e.index() + 1] as usize;
-        &self.edge_vertices[lo..hi]
+        let lo = self.inner.edge_offsets[e.index()] as usize;
+        let hi = self.inner.edge_offsets[e.index() + 1] as usize;
+        &self.inner.edge_vertices[lo..hi]
     }
 
     /// The hyperedges incident to vertex `v` (the set `E(v)` of the paper).
@@ -210,9 +255,9 @@ impl Hypergraph {
     #[inline]
     #[must_use]
     pub fn incident_edges(&self, v: VertexId) -> &[EdgeId] {
-        let lo = self.vertex_offsets[v.index()] as usize;
-        let hi = self.vertex_offsets[v.index() + 1] as usize;
-        &self.vertex_edges[lo..hi]
+        let lo = self.inner.vertex_offsets[v.index()] as usize;
+        let hi = self.inner.vertex_offsets[v.index() + 1] as usize;
+        &self.inner.vertex_edges[lo..hi]
     }
 
     /// The degree `|E(v)|` of vertex `v`.
@@ -244,13 +289,13 @@ impl Hypergraph {
     /// The smallest vertex weight; `None` if the hypergraph has no vertices.
     #[must_use]
     pub fn min_weight(&self) -> Option<u64> {
-        self.weights.iter().copied().min()
+        self.inner.weights.iter().copied().min()
     }
 
     /// The largest vertex weight; `None` if the hypergraph has no vertices.
     #[must_use]
     pub fn max_weight(&self) -> Option<u64> {
-        self.weights.iter().copied().max()
+        self.inner.weights.iter().copied().max()
     }
 
     /// The weight ratio `W = max_v w(v) / min_v w(v)` (1.0 for empty graphs).
@@ -265,7 +310,7 @@ impl Hypergraph {
     /// Sum of all vertex weights.
     #[must_use]
     pub fn total_weight(&self) -> u64 {
-        self.weights.iter().sum()
+        self.inner.weights.iter().sum()
     }
 
     /// Total incidence size `Σ_e |e| = Σ_v |E(v)|` (number of links in the
@@ -273,7 +318,7 @@ impl Hypergraph {
     #[inline]
     #[must_use]
     pub fn incidence_size(&self) -> usize {
-        self.edge_vertices.len()
+        self.inner.edge_vertices.len()
     }
 
     /// The *normalized weight* `w(v) / |E(v)|` of a vertex, the quantity
@@ -410,6 +455,18 @@ mod tests {
         assert_eq!(g.max_degree(), 0);
         assert_eq!(g.min_weight(), None);
         assert!((g.weight_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clone_is_shallow_and_deep_clone_is_counted() {
+        let g = triangle();
+        let before = crate::clone_count();
+        let shallow = g.clone();
+        assert_eq!(crate::clone_count(), before, "Clone must not copy data");
+        assert_eq!(shallow, g);
+        let deep = g.deep_clone();
+        assert!(crate::clone_count() > before, "deep_clone is counted");
+        assert_eq!(deep, g, "payload equality survives the copy");
     }
 
     #[test]

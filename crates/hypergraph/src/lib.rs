@@ -10,6 +10,10 @@
 //!   ([`Hypergraph::rank`]), maximum degree `Δ` ([`Hypergraph::max_degree`]),
 //!   and weight ratio `W` ([`Hypergraph::weight_ratio`]);
 //! * [`HypergraphBuilder`] — validated incremental construction;
+//! * [`InstanceDelta`] — typed instance revisions (edge insertions and
+//!   removals, weight changes) whose [`apply`](InstanceDelta::apply)
+//!   yields the revised instance plus the surviving-edge-id mapping that
+//!   warm-started re-solves seed their duals from;
 //! * [`Cover`] — bitset vertex covers with feasibility checking and weight
 //!   accounting;
 //! * [`SetSystem`] — weighted set cover instances and the §2 equivalence
@@ -45,6 +49,7 @@
 
 mod builder;
 mod cover;
+mod delta;
 mod error;
 pub mod format;
 pub mod generators;
@@ -56,6 +61,7 @@ mod stats;
 
 pub use builder::{from_edge_lists, from_weighted_edge_lists, HypergraphBuilder};
 pub use cover::Cover;
+pub use delta::{DeltaError, DeltaOutcome, InstanceDelta};
 pub use error::{BuildError, ParseError};
 pub use hypergraph::{clone_count, Hypergraph};
 pub use ids::{EdgeId, IdRange, VertexId};

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the warm-start mutation-stream benchmark and writes BENCH_warm.json
+# (revisions/sec for warm-chained incremental re-solves vs cold re-solves
+# of the same revision stream, plus the total-CONGEST-rounds ratio;
+# empty-delta warm results are asserted bit-identical to cold, and every
+# warm revision re-certified, before any timing) at the repository root.
+# Usage: scripts/bench_warm.sh [out.json]
+# Smoke mode (seconds instead of minutes, for CI bitrot checks):
+#   BENCH_WARM_SMOKE=1 scripts/bench_warm.sh /tmp/BENCH_warm_smoke.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_warm.json}"
+case "$OUT" in
+  /*) ABS="$OUT" ;;
+  *) ABS="$(pwd)/$OUT" ;;
+esac
+BENCH_WARM_JSON="$ABS" cargo bench -p dcover-bench --bench warm
+echo "--- $OUT ---"
+cat "$ABS"

@@ -1,11 +1,14 @@
-//! Proves the `Arc<Hypergraph>` serving path is **zero-copy**: submitting
-//! an instance to the solve service (or a shared batch) never deep-clones
-//! the hypergraph payload.
+//! Proves every serving path is **zero-copy**: submitting an instance to
+//! the solve service — shared, batched, or borrowed from a slice — never
+//! copies the hypergraph payload.
 //!
 //! `dcover_hypergraph::clone_count()` counts every deep `Hypergraph`
-//! clone process-wide. The counter is global, so this file holds exactly
-//! one test: the no-clone window must not race with other tests that
-//! legitimately clone.
+//! payload copy process-wide. Since the CSR payload moved behind a shared
+//! allocation, `Hypergraph::clone` itself is a refcount bump, which is
+//! what lets the borrowed-slice `solve_batch` path (pinned at 1
+//! copy/instance in PR 3) tighten to **0**. The counter is global, so
+//! this file holds exactly one test: the no-copy window must not race
+//! with other tests that legitimately deep-copy.
 
 use std::sync::Arc;
 
@@ -73,12 +76,14 @@ fn arc_submission_paths_never_clone_the_instance_payload() {
     drop(session);
 
     // Every Arc handle the serving layers took has been released: the
-    // caller's handle is the only one left (no hidden retained copies).
+    // caller's handle is the only one left (no hidden retained copies —
+    // including the service's delta result cache, which dies with it).
     assert_eq!(Arc::strong_count(&g), 1);
 
-    // Contrast: the borrowed-slice batch documents one clone per
-    // instance (tasks need 'static payloads), which is exactly why the
-    // Arc paths above exist.
+    // The borrowed-slice batch is now zero-copy too: each borrowed
+    // instance is Arc-wrapped as a shared handle (the payload lives
+    // behind its own shared allocation), closing PR 3's documented
+    // "1 clone/instance" limitation.
     let mut session = SolveSession::with_epsilon(0.5, 2).unwrap();
     let slice = [Arc::try_unwrap(g).expect("sole owner")];
     let before = clone_count();
@@ -86,7 +91,13 @@ fn arc_submission_paths_never_clone_the_instance_payload() {
     assert!(results[0].is_ok());
     assert_eq!(
         clone_count() - before,
-        1,
-        "the slice path clones exactly once per instance"
+        0,
+        "the slice path no longer copies instance payloads"
     );
+
+    // Deep copies still exist — but only on explicit request.
+    let before = clone_count();
+    let copy = slice[0].deep_clone();
+    assert_eq!(clone_count() - before, 1);
+    assert_eq!(copy, slice[0]);
 }
