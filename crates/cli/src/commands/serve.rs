@@ -22,6 +22,43 @@
 //!   revision cannot be resolved before its predecessor). Result lines
 //!   for revisions carry `"warm": true` and `"base": <seq>`.
 //!
+//! # Scheduling classes and deadlines
+//!
+//! `--class interactive|bulk` sets the stream-wide request class
+//! (default `bulk`) and `--deadline-ms N` a stream-wide queue deadline;
+//! both can be overridden **per record** with comment directives placed
+//! inside the record (they are ordinary `c` comment lines, so the
+//! instance format is unchanged):
+//!
+//! ```text
+//! p mwhvc 3 2
+//! c @class interactive
+//! c @deadline-ms 50
+//! v 10
+//! …
+//! ```
+//!
+//! Interactive records dequeue before queued bulk records (FIFO within a
+//! class). A record still queued when its deadline passes resolves as an
+//! `"ok": false, "expired": true` line **without occupying a worker** —
+//! deadline expiry is load-shedding, counted separately from failures
+//! and not reflected in the exit code.
+//!
+//! # Latency accounting
+//!
+//! Every result line carries `queue_ms` (time waiting in the submission
+//! queue) and `solve_ms` (time on the worker), fed from the service's
+//! per-ticket metrics, plus `parse_ms` (reader-side parse time, spent
+//! before submission). `latency_ms` is **defined as the sum
+//! `queue_ms + solve_ms`** — earlier versions reported one
+//! wall-clock-from-submission number that conflated queue wait with
+//! solve time and dropped parse time entirely.
+//!
+//! With `--metrics`, one final `{"metrics": …}` JSON line follows the
+//! last result: per-class submitted/completed/expired/rejected counters
+//! and queue-wait/solve-time quantiles (from the service's fixed-bucket
+//! histograms), the queue-depth high-water mark, and worker busy time.
+//!
 //! The submission queue is bounded (`--queue`); when it fills, the reader
 //! applies natural backpressure by blocking on `submit` until a worker
 //! frees a slot — stdin is simply consumed more slowly instead of
@@ -30,9 +67,12 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::BufRead as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use dcover_core::{SolveService, Ticket};
+use dcover_core::{
+    ClassMetrics, LatencyHistogram, RequestClass, ServiceMetrics, SolveError, SolveService,
+    SubmitOptions, Ticket,
+};
 use dcover_hypergraph::{format, Hypergraph};
 
 use super::{default_threads, result_json, runtime, usage};
@@ -50,9 +90,12 @@ struct Pending {
     /// The ε this record was solved with (deltas may override the
     /// stream's ε per record).
     eps: f64,
+    /// The request class this record was scheduled under.
+    class: RequestClass,
+    /// Reader-side parse time, spent before submission.
+    parse_ms: f64,
     ticket: Ticket,
     g: Arc<Hypergraph>,
-    submitted: Instant,
 }
 
 /// What became of an already-emitted record, kept so later delta records
@@ -62,7 +105,8 @@ enum Outcome {
     /// is the ε the record was actually solved with (a chained delta
     /// without its own override inherits it — not the stream default).
     Solved { service_seq: u64, eps: f64 },
-    /// Parse, submit, or solve failure — deltas against it are refused.
+    /// Parse, submit, solve, or deadline failure — deltas against it are
+    /// refused.
     Failed,
 }
 
@@ -78,6 +122,9 @@ const OUTCOME_RETENTION: usize = 1024;
 struct Totals {
     ok: usize,
     failed: usize,
+    /// Deadline expiries: load-shedding, not failures — reported but not
+    /// reflected in the exit code.
+    expired: usize,
     warm: usize,
 }
 
@@ -85,6 +132,10 @@ struct Totals {
 struct Stream {
     service: SolveService,
     eps: f64,
+    /// Stream-wide scheduling defaults (`--class` / `--deadline-ms`),
+    /// overridable per record by `c @class` / `c @deadline-ms`
+    /// directives.
+    defaults: SubmitOptions,
     next_seq: u64,
     pending: Vec<Pending>,
     /// Bounded at [`OUTCOME_RETENTION`]; insertion order in `outcome_log`.
@@ -93,9 +144,26 @@ struct Stream {
     totals: Totals,
 }
 
-/// `dcover serve [--eps E] [--threads N] [--queue C] [--variant V]`
+/// Parses a `--class` style value.
+fn parse_class(raw: &str) -> Result<RequestClass, String> {
+    match raw {
+        "interactive" => Ok(RequestClass::Interactive),
+        "bulk" => Ok(RequestClass::Bulk),
+        other => Err(format!(
+            "unknown class `{other}` (expected `interactive` or `bulk`)"
+        )),
+    }
+}
+
+/// `dcover serve [--eps E] [--threads N] [--queue C] [--variant V]
+/// [--class interactive|bulk] [--deadline-ms N] [--metrics]`
 pub fn serve(raw: &[String]) -> Result<(), Failure> {
-    let parsed = args::parse(raw, &[], &["eps", "threads", "queue", "variant"]).map_err(usage)?;
+    let parsed = args::parse(
+        raw,
+        &["metrics"],
+        &["eps", "threads", "queue", "variant", "class", "deadline-ms"],
+    )
+    .map_err(usage)?;
     if !parsed.positional.is_empty() {
         return Err(usage(
             "serve reads instances from stdin and takes no positional arguments".to_string(),
@@ -113,10 +181,25 @@ pub fn serve(raw: &[String]) -> Result<(), Failure> {
     if queue == 0 {
         return Err(usage("--queue must be at least 1".to_string()));
     }
+    let class = match parsed.value("class") {
+        None => RequestClass::Bulk,
+        Some(raw) => parse_class(raw).map_err(usage)?,
+    };
+    let deadline = match parsed.value("deadline-ms") {
+        None => None,
+        Some(raw) => {
+            let ms: u64 = raw
+                .parse()
+                .map_err(|_| usage(format!("invalid value `{raw}` for --deadline-ms")))?;
+            Some(Duration::from_millis(ms))
+        }
+    };
+    let emit_metrics = parsed.switch("metrics");
 
     let mut stream = Stream {
         service: SolveService::with_queue_capacity(config, threads, queue),
         eps,
+        defaults: SubmitOptions { class, deadline },
         next_seq: 0,
         pending: Vec::new(),
         outcomes: HashMap::new(),
@@ -159,12 +242,20 @@ pub fn serve(raw: &[String]) -> Result<(), Failure> {
     }
     stream.service.shutdown();
 
+    if emit_metrics {
+        println!(
+            "{}",
+            metrics_json(&stream.service.metrics(), &stream.totals)
+        );
+    }
+
     let totals = &stream.totals;
     eprintln!(
-        "serve: {} records, {} ok ({} warm-started), {} failed ({threads} threads, queue {queue})",
-        totals.ok + totals.failed,
+        "serve: {} records, {} ok ({} warm-started), {} expired, {} failed ({threads} threads, queue {queue})",
+        totals.ok + totals.failed + totals.expired,
         totals.ok,
         totals.warm,
+        totals.expired,
         totals.failed,
     );
     if totals.failed > 0 {
@@ -180,30 +271,66 @@ impl Stream {
     fn submit(&mut self, text: &str) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let opts = match self.record_options(text) {
+            Ok(opts) => opts,
+            Err(e) => return self.emit_error(seq, &format!("stdin record {seq}: {e}")),
+        };
         let header_is_delta = text
             .lines()
             .find(|l| l.split_whitespace().next() == Some("p"))
             .is_some_and(format::is_delta_header);
         if header_is_delta {
-            self.submit_delta(seq, text);
+            self.submit_delta(seq, text, opts);
         } else {
-            self.submit_instance(seq, text);
+            self.submit_instance(seq, text, opts);
         }
     }
 
-    fn submit_instance(&mut self, seq: u64, text: &str) {
-        match format::parse(text) {
+    /// Resolves the record's scheduling envelope: the stream-wide
+    /// `--class` / `--deadline-ms` defaults, overridden by `c @class` /
+    /// `c @deadline-ms` comment directives inside the record.
+    fn record_options(&self, text: &str) -> Result<SubmitOptions, String> {
+        let mut opts = self.defaults;
+        for line in text.lines() {
+            let mut words = line.split_whitespace();
+            if words.next() != Some("c") {
+                continue;
+            }
+            match words.next() {
+                Some("@class") => {
+                    let value = words.next().ok_or("`c @class` needs a value")?;
+                    opts.class = parse_class(value)?;
+                }
+                Some("@deadline-ms") => {
+                    let value = words.next().ok_or("`c @deadline-ms` needs a value")?;
+                    let ms: u64 = value
+                        .parse()
+                        .map_err(|_| format!("invalid `c @deadline-ms` value `{value}`"))?;
+                    opts.deadline = Some(Duration::from_millis(ms));
+                }
+                _ => {} // ordinary comment
+            }
+        }
+        Ok(opts)
+    }
+
+    fn submit_instance(&mut self, seq: u64, text: &str, opts: SubmitOptions) {
+        let parse_start = Instant::now();
+        let parsed = format::parse(text);
+        let parse_ms = parse_start.elapsed().as_secs_f64() * 1e3;
+        match parsed {
             Ok(g) => {
                 let g = Arc::new(g);
-                match self.service.submit(Arc::clone(&g), self.eps) {
+                match self.service.submit_with(Arc::clone(&g), self.eps, opts) {
                     Ok(ticket) => self.pending.push(Pending {
                         seq,
                         service_seq: ticket.seq(),
                         base: None,
                         eps: self.eps,
+                        class: opts.class,
+                        parse_ms,
                         ticket,
                         g,
-                        submitted: Instant::now(),
                     }),
                     Err(e) => self.emit_error(seq, &e.to_string()),
                 }
@@ -215,11 +342,13 @@ impl Stream {
     /// A delta record: resolve the base (waiting out its solve if it is
     /// still in flight — a revision needs its predecessor's duals), then
     /// hand the delta to the service for a warm-started re-solve.
-    fn submit_delta(&mut self, seq: u64, text: &str) {
+    fn submit_delta(&mut self, seq: u64, text: &str, opts: SubmitOptions) {
+        let parse_start = Instant::now();
         let record = match format::parse_delta(text) {
             Ok(record) => record,
             Err(e) => return self.emit_error(seq, &format!("stdin record {seq}: {e}")),
         };
+        let parse_ms = parse_start.elapsed().as_secs_f64() * 1e3;
         let base = record.base;
         if base >= seq {
             return self.emit_error(
@@ -262,16 +391,17 @@ impl Stream {
         let eps = record.epsilon.unwrap_or(base_eps);
         match self
             .service
-            .submit_delta(service_seq, &record.delta, Some(eps))
+            .submit_delta_with(service_seq, &record.delta, Some(eps), opts)
         {
             Ok((ticket, g)) => self.pending.push(Pending {
                 seq,
                 service_seq: ticket.seq(),
                 base: Some(base),
                 eps,
+                class: opts.class,
+                parse_ms,
                 ticket,
                 g,
-                submitted: Instant::now(),
             }),
             Err(e) => self.emit_error(seq, &e.to_string()),
         }
@@ -287,13 +417,15 @@ impl Stream {
                 service_seq,
                 base,
                 eps,
+                class,
+                parse_ms,
                 ticket,
                 g,
-                submitted,
             } = entry;
-            match ticket.try_wait() {
-                Ok(outcome) => {
-                    let wall_ms = submitted.elapsed().as_secs_f64() * 1e3;
+            match ticket.try_wait_timed() {
+                Ok((outcome, timing)) => {
+                    let queue_ms = timing.queue.as_secs_f64() * 1e3;
+                    let solve_ms = timing.run.as_secs_f64() * 1e3;
                     match outcome {
                         Ok(result) => {
                             let mut line = Obj::new()
@@ -303,13 +435,20 @@ impl Stream {
                                 .num("m", g.m())
                                 .num("rank", g.rank())
                                 .float("epsilon", eps)
+                                .str("class", class.name())
                                 .bool("warm", base.is_some());
                             if let Some(base) = base {
                                 line = line.num("base", base);
                             }
+                            // latency_ms is *defined* as queue_ms +
+                            // solve_ms; parse_ms is reader-side time spent
+                            // before submission and reported separately.
                             let line = line
                                 .raw("result", &result_json(&result))
-                                .float("latency_ms", wall_ms)
+                                .float("queue_ms", queue_ms)
+                                .float("solve_ms", solve_ms)
+                                .float("latency_ms", queue_ms + solve_ms)
+                                .float("parse_ms", parse_ms)
                                 .build();
                             println!("{line}");
                             self.totals.ok += 1;
@@ -317,6 +456,9 @@ impl Stream {
                                 self.totals.warm += 1;
                             }
                             self.record_outcome(seq, Outcome::Solved { service_seq, eps });
+                        }
+                        Err(SolveError::Expired { .. }) => {
+                            self.emit_expired(seq, class, queue_ms);
                         }
                         Err(e) => {
                             self.emit_error(seq, &e.to_string());
@@ -328,9 +470,10 @@ impl Stream {
                     service_seq,
                     base,
                     eps,
+                    class,
+                    parse_ms,
                     ticket,
                     g,
-                    submitted,
                 }),
             }
         }
@@ -348,6 +491,26 @@ impl Stream {
         self.record_outcome(seq, Outcome::Failed);
     }
 
+    /// A deadline miss: typed load-shedding, reported with its own field
+    /// (and counted apart from failures — it does not fail the exit
+    /// code).
+    fn emit_expired(&mut self, seq: u64, class: RequestClass, queue_ms: f64) {
+        let line = Obj::new()
+            .num("seq", seq)
+            .bool("ok", false)
+            .bool("expired", true)
+            .str("class", class.name())
+            .float("queue_ms", queue_ms)
+            .str(
+                "error",
+                "deadline expired while queued; the solve never ran",
+            )
+            .build();
+        println!("{line}");
+        self.totals.expired += 1;
+        self.record_outcome(seq, Outcome::Failed);
+    }
+
     /// Records a record's outcome, evicting the oldest beyond
     /// [`OUTCOME_RETENTION`] so a long-running stream stays bounded.
     fn record_outcome(&mut self, seq: u64, outcome: Outcome) {
@@ -360,4 +523,50 @@ impl Stream {
             }
         }
     }
+}
+
+/// Renders a latency histogram as quantile fields (milliseconds; `null`
+/// when the histogram is empty or the quantile falls in the open-ended
+/// last bucket).
+fn histogram_json(h: &LatencyHistogram) -> String {
+    let q = |q: f64| -> f64 {
+        match h.quantile(q) {
+            Some(d) if d != Duration::MAX => d.as_secs_f64() * 1e3,
+            _ => f64::NAN, // rendered as null by Obj::float
+        }
+    };
+    Obj::new()
+        .num("count", h.count())
+        .float("p50_ms", q(0.5))
+        .float("p90_ms", q(0.9))
+        .float("p99_ms", q(0.99))
+        .build()
+}
+
+fn class_json(c: &ClassMetrics) -> String {
+    Obj::new()
+        .num("submitted", c.submitted)
+        .num("completed", c.completed)
+        .num("expired", c.expired)
+        .num("rejected", c.rejected)
+        .num("panicked", c.panicked)
+        .raw("queue_wait", &histogram_json(&c.queue_wait))
+        .raw("solve_time", &histogram_json(&c.run_time))
+        .build()
+}
+
+/// The `--metrics` end-of-stream summary line.
+fn metrics_json(m: &ServiceMetrics, totals: &Totals) -> String {
+    let inner = Obj::new()
+        .num("records", totals.ok + totals.failed + totals.expired)
+        .num("ok", totals.ok)
+        .num("warm", totals.warm)
+        .num("expired", totals.expired)
+        .num("failed", totals.failed)
+        .raw("interactive", &class_json(&m.interactive))
+        .raw("bulk", &class_json(&m.bulk))
+        .num("queue_depth_high_water", m.queue_depth_high_water)
+        .float("worker_busy_ms", m.worker_busy.as_secs_f64() * 1e3)
+        .build();
+    Obj::new().raw("metrics", &inner).build()
 }

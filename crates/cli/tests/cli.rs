@@ -162,9 +162,104 @@ fn serve_streams_instances_in_completion_order_with_seq_ids() {
     assert!(first.contains("\"weight\": 1"), "{first}");
     let summary = String::from_utf8_lossy(&out.stderr).into_owned();
     assert!(
-        summary.contains("2 ok (0 warm-started), 0 failed"),
+        summary.contains("2 ok (0 warm-started), 0 expired, 0 failed"),
         "{summary}"
     );
+    // The latency split: queue_ms + solve_ms == latency_ms, parse_ms
+    // reported separately.
+    for l in &lines {
+        for field in ["queue_ms", "solve_ms", "latency_ms", "parse_ms"] {
+            assert!(l.contains(&format!("\"{field}\":")), "{field} in {l}");
+        }
+        assert!(l.contains("\"class\": \"bulk\""), "default class: {l}");
+    }
+}
+
+#[test]
+fn serve_class_flag_and_per_record_directives_schedule_records() {
+    // Stream default interactive; the second record overrides to bulk via
+    // a `c @class` directive. Both solve; the result lines echo the class.
+    let stream = "p mwhvc 3 2\nv 10\nv 1\nv 10\ne 0 1\ne 1 2\n\
+                  p mwhvc 2 1\nc @class bulk\nv 2\nv 3\ne 0 1\n";
+    let out = dcover_stdin(
+        &["serve", "--threads", "1", "--class", "interactive"],
+        stream,
+    );
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout_of(&out);
+    let line = |seq: u64| {
+        text.lines()
+            .find(|l| l.starts_with(&format!("{{\"seq\": {seq},")))
+            .unwrap_or_else(|| panic!("no line for seq {seq}: {text}"))
+            .to_string()
+    };
+    assert!(line(0).contains("\"class\": \"interactive\""), "{text}");
+    assert!(line(1).contains("\"class\": \"bulk\""), "{text}");
+    // A bad directive value is a record failure, not a crash.
+    let bad = dcover_stdin(
+        &["serve", "--threads", "1"],
+        "p mwhvc 2 1\nc @class warp\nv 2\nv 3\ne 0 1\n",
+    );
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(stdout_of(&bad).contains("unknown class"), "{bad:?}");
+    // And a bad --class flag is a usage error.
+    let usage = dcover_stdin(&["serve", "--class", "warp"], "");
+    assert!(!usage.status.success());
+}
+
+#[test]
+fn serve_metrics_emits_an_end_of_stream_summary() {
+    let stream = "p mwhvc 3 2\nc @class interactive\nv 10\nv 1\nv 10\ne 0 1\ne 1 2\n\
+                  p mwhvc 2 1\nv 2\nv 3\ne 0 1\n";
+    let out = dcover_stdin(&["serve", "--threads", "1", "--metrics"], stream);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout_of(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "2 results + 1 metrics line: {text}");
+    let metrics = lines.last().unwrap();
+    assert!(metrics.starts_with("{\"metrics\": {"), "{metrics}");
+    for field in [
+        "\"records\": 2",
+        "\"ok\": 2",
+        "\"interactive\": {\"submitted\": 1",
+        "\"bulk\": {\"submitted\": 1",
+        "queue_depth_high_water",
+        "worker_busy_ms",
+        "queue_wait",
+        "solve_time",
+        "p99_ms",
+    ] {
+        assert!(metrics.contains(field), "missing {field}: {metrics}");
+    }
+}
+
+#[test]
+fn serve_deadline_ms_zero_expires_queued_records_without_failing_the_stream() {
+    // Deadline 0: whichever records are still queued when a worker gets
+    // to them have (deterministically) missed the deadline — with one
+    // worker and three records, at least the trailing ones expire. The
+    // stream still exits 0: expiry is load-shedding, not failure.
+    let one = "p mwhvc 3 2\nv 10\nv 1\nv 10\ne 0 1\ne 1 2\n";
+    let stream = format!("{one}{one}{one}");
+    let out = dcover_stdin(
+        &["serve", "--threads", "1", "--deadline-ms", "0", "--metrics"],
+        &stream,
+    );
+    assert!(
+        out.status.success(),
+        "expiry must not fail the exit: {out:?}"
+    );
+    let text = stdout_of(&out);
+    let expired = text.matches("\"expired\": true").count();
+    let ok = text.matches("\"ok\": true").count();
+    assert_eq!(ok + expired, 3, "every record resolves: {text}");
+    assert!(expired >= 1, "a 0ms deadline must shed something: {text}");
+    for l in text.lines().filter(|l| l.contains("\"expired\": true")) {
+        assert!(l.contains("\"queue_ms\":"), "expired line has wait: {l}");
+        assert!(l.contains("never ran"), "{l}");
+    }
+    let summary = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(summary.contains(&format!("{expired} expired")), "{summary}");
 }
 
 #[test]

@@ -50,14 +50,21 @@
 //! # Serving many instances
 //!
 //! For workloads of many independent instances, a [`SimPool`] keeps one
-//! set of worker threads pulling from one **shared bounded task queue**,
-//! with a free list of reusable [`EngineArena`]s, alive across solves:
-//! hand the pool to [`ParallelSimulator::with_pool`] for a single
-//! chunk-parallel solve, or submit whole-instance closures through a
-//! [`TaskQueue`] handle as requests arrive — each submission yields a
+//! set of worker threads pulling from one **shared bounded multi-class
+//! task queue**, with a free list of reusable [`EngineArena`]s, alive
+//! across solves: hand the pool to [`ParallelSimulator::with_pool`] for a
+//! single chunk-parallel solve, or submit whole-instance closures through
+//! a [`TaskQueue`] handle as requests arrive — each submission yields a
 //! [`TaskTicket`], a full queue reports backpressure
 //! ([`TrySubmitError::Full`]), and each task runs a sequential
-//! [`Simulator::with_arena`] solve against a recycled arena.
+//! [`Simulator::with_arena`] solve against a recycled arena. Submissions
+//! carry a [`TaskClass`] (interactive tasks dequeue before bulk, FIFO
+//! within a class, round jobs first of all) and an optional deadline
+//! ([`TaskOptions`]) after which a still-queued task resolves as the
+//! typed [`TaskError::Expired`]; every pool records per-class
+//! queue-wait/run-time [`LatencyHistogram`]s, counters, queue-depth
+//! high-water and worker busy time into a shared [`SchedMetrics`] with
+//! zero allocation on the hot path.
 //!
 //! # Example: broadcast-and-halt
 //!
@@ -105,7 +112,10 @@ pub use error::SimError;
 pub use message::{bits_for_range, bits_for_value, Message};
 pub use metrics::{BitBudget, RoundMetrics, SimReport};
 pub use parallel::ParallelSimulator;
-pub use pool::{QueueClosed, SimPool, TaskQueue, TaskTicket, TrySubmitError};
+pub use pool::{
+    ClassMetrics, LatencyHistogram, QueueClosed, SchedMetrics, SimPool, TaskClass, TaskError,
+    TaskOptions, TaskQueue, TaskTicket, TaskTiming, TrySubmitError,
+};
 pub use process::{Ctx, Inbox, InboxIter, Incoming, Process, Status};
 pub use sim::Simulator;
 pub use topology::{NodeId, Port, Topology};

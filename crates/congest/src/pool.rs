@@ -2,26 +2,52 @@
 //! the queue-based serving layer.
 //!
 //! One [`SimPool`] owns a set of worker threads that all pull from a
-//! **single shared job queue** (a bounded MPMC queue built from
-//! `Mutex<VecDeque>` + `Condvar` — std only). Two kinds of work flow
-//! through it:
+//! **single shared job queue** (a small multi-class scheduler built from
+//! `Mutex` + `Condvar` — std only). Three kinds of work flow through it,
+//! in strict priority order:
 //!
 //! * **Round jobs** — [`ParallelSimulator`](crate::ParallelSimulator)
 //!   pushes one job per engine chunk per round (chunk-level parallelism
-//!   within one instance). Round jobs are pushed to the *front* of the
-//!   queue so an in-flight chunk-parallel solve is never starved behind a
-//!   deep backlog of task submissions, and they never count against the
-//!   task-queue capacity.
-//! * **Task jobs** — whole-closure work items submitted through a
-//!   [`TaskQueue`] handle (instance-level parallelism across a request
-//!   stream). Each submission yields a [`TaskTicket`] that resolves when
-//!   some worker finishes the task; the queue is **bounded**, so
-//!   [`TaskQueue::try_submit`] reports [`TrySubmitError::Full`]
-//!   (backpressure) instead of growing without limit.
+//!   within one instance). Round jobs have **absolute priority** over
+//!   every task class, so an in-flight chunk-parallel solve is never
+//!   starved behind a backlog of task submissions, and they never count
+//!   against the task-queue capacity.
+//! * **[`TaskClass::Interactive`] task jobs** — latency-sensitive
+//!   whole-closure work items. They dequeue **before** every queued bulk
+//!   task, FIFO among themselves.
+//! * **[`TaskClass::Bulk`] task jobs** — throughput traffic (the default
+//!   class). FIFO among themselves; only served while no interactive task
+//!   waits.
 //!
-//! Whichever worker goes idle next takes the next job — there is no
-//! per-worker mailbox and no per-batch fan-out: a serving layer submits
-//! tasks as requests arrive and the pool load-balances them dynamically.
+//! Task jobs are submitted through a [`TaskQueue`] handle (plain
+//! [`TaskQueue::submit`] enqueues a bulk task;
+//! [`TaskQueue::submit_with`] picks a [`TaskClass`] and an optional
+//! **deadline** via [`TaskOptions`]). Each submission yields a
+//! [`TaskTicket`] that resolves when some worker finishes the task; the
+//! queue is **bounded** across both classes, so
+//! [`TaskQueue::try_submit`] reports [`TrySubmitError::Full`]
+//! (backpressure) instead of growing without limit.
+//!
+//! # Deadlines
+//!
+//! A task submitted with a deadline that is still **queued** when the
+//! deadline passes resolves as the typed [`TaskError::Expired`] instead
+//! of occupying a worker: the worker that dequeues it spends O(1)
+//! discarding it and immediately pulls the next job. Expiry is checked at
+//! dequeue time — a task a worker has already started is never aborted.
+//!
+//! # Scheduler metrics
+//!
+//! Every pool records into a shared [`SchedMetrics`]: per-class
+//! submitted/completed/expired/rejected/panicked counters, per-class
+//! queue-wait and run-time **fixed-bucket latency histograms**
+//! ([`LatencyHistogram`]), the queue-depth high-water mark, and total
+//! worker busy time across task jobs. Recording is a handful of atomic
+//! adds — **zero allocation on the hot path**. Pass your own handle with
+//! [`SimPool::with_metrics`] to aggregate across pool rebuilds (round
+//! jobs are deliberately not clocked so the round hot path stays free of
+//! timer calls). Per-ticket timings are additionally available from
+//! [`TaskTicket::wait_timed`] as a [`TaskTiming`].
 //!
 //! # Arena recycling
 //!
@@ -35,24 +61,27 @@
 //! # Panic recovery
 //!
 //! A panicking *task* resolves only its own ticket —
-//! [`TaskTicket::wait`] returns the panic payload as an `Err` and every
-//! other queued or in-flight task proceeds untouched. A panicking *round
-//! job* is re-raised on the scheduler thread (the chunk is lost with it),
-//! exactly as in the sequential scheduler.
+//! [`TaskTicket::wait`] returns [`TaskError::Panicked`] with the panic
+//! payload and every other queued or in-flight task proceeds untouched. A
+//! panicking *round job* is re-raised on the scheduler thread (the chunk
+//! is lost with it), exactly as in the sequential scheduler.
 //!
 //! # Shutdown
 //!
 //! Dropping the [`SimPool`] is a **graceful drain**: submissions are
 //! refused from that point on ([`TrySubmitError::Closed`]), every job
-//! already in the queue still runs, and the destructor joins the workers
-//! — so every issued ticket is resolved by the time `drop` returns.
+//! already in the queue still runs (both classes; tasks past their
+//! deadline resolve as `Expired`), and the destructor joins the workers —
+//! so every issued ticket is resolved by the time `drop` returns.
 
 use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::engine::{phase_deliver, phase_step, ChunkState, EngineArena};
 use crate::metrics::BitBudget;
@@ -72,41 +101,407 @@ type PanicPayload = Box<dyn Any + Send>;
 /// A task closure run against a checked-out arena.
 type TaskFn<P> = Box<dyn FnOnce(&mut EngineArena<P>) -> TaskResult + Send>;
 
-/// Work order pulled by a worker from the shared queue.
-enum Job<P: Process> {
-    /// Run [`phase_deliver`] with the inbound buckets staged in the
-    /// *previous* round (one per source chunk, ascending), then
-    /// [`phase_step`] the current round, and send everything back on the
-    /// round-reply channel.
-    ///
-    /// Fusing delivery of round `r - 1` with the stepping of round `r`
-    /// into a single dispatch halves the hand-offs per round. It is
-    /// observationally identical to deliver-then-return: delivery only
-    /// feeds round `r`'s inboxes, and the halted flags it consults were
-    /// final when round `r - 1` finished stepping.
-    Round {
-        /// Which chunk slot of the scheduler this is (echoed in the
-        /// reply; with a shared queue any worker may run any chunk).
-        index: usize,
-        /// The chunk, moved to the worker for the duration of the round.
-        chunk: Box<ChunkState<P>>,
-        /// Buckets staged for this chunk in the previous round.
-        inbound: Buckets<P::Msg>,
-        /// The round being stepped.
-        round: u64,
-        /// Per-link bit budget, if enforced.
-        budget: Option<BitBudget>,
+/// The scheduling class of a submitted task job.
+///
+/// The pool's scheduler serves round jobs first, then every queued
+/// `Interactive` task (FIFO), then `Bulk` tasks (FIFO). The bounded task
+/// capacity is shared across both classes.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TaskClass {
+    /// Latency-sensitive traffic: dequeues before every queued bulk task.
+    Interactive,
+    /// Throughput traffic (the default): FIFO behind interactive tasks.
+    #[default]
+    Bulk,
+}
+
+impl TaskClass {
+    /// Number of task classes.
+    pub const COUNT: usize = 2;
+
+    /// Every class, in dequeue-priority order.
+    pub const ALL: [TaskClass; TaskClass::COUNT] = [TaskClass::Interactive, TaskClass::Bulk];
+
+    /// Dense index of this class (`Interactive` = 0, `Bulk` = 1), for
+    /// per-class tables like [`SchedMetrics`].
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            TaskClass::Interactive => 0,
+            TaskClass::Bulk => 1,
+        }
+    }
+
+    /// Lower-case display name (`"interactive"` / `"bulk"`).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            TaskClass::Interactive => "interactive",
+            TaskClass::Bulk => "bulk",
+        }
+    }
+}
+
+impl std::fmt::Display for TaskClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Scheduling options for one task submission
+/// ([`TaskQueue::submit_with`] / [`TaskQueue::try_submit_with`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaskOptions {
+    /// The scheduling class ([`TaskClass::Bulk`] by default).
+    pub class: TaskClass,
+    /// If set, a task still **queued** past this instant resolves as
+    /// [`TaskError::Expired`] instead of running (checked at dequeue; a
+    /// task a worker already started is never aborted).
+    pub deadline: Option<Instant>,
+}
+
+impl TaskOptions {
+    /// Options for an interactive-class submission without a deadline.
+    #[must_use]
+    pub fn interactive() -> Self {
+        TaskOptions {
+            class: TaskClass::Interactive,
+            ..TaskOptions::default()
+        }
+    }
+
+    /// Options for a bulk-class submission without a deadline (what the
+    /// plain [`TaskQueue::submit`] uses).
+    #[must_use]
+    pub fn bulk() -> Self {
+        TaskOptions::default()
+    }
+
+    /// Returns the options with the deadline set `from_now` in the
+    /// future.
+    #[must_use]
+    pub fn deadline_in(mut self, from_now: Duration) -> Self {
+        self.deadline = Some(Instant::now() + from_now);
+        self
+    }
+}
+
+/// Why a redeemed [`TaskTicket`] carries no result.
+pub enum TaskError {
+    /// The task closure panicked on its worker; the payload is what
+    /// `catch_unwind` returned (as [`std::thread::Result`] carries).
+    Panicked(PanicPayload),
+    /// The task's [`TaskOptions::deadline`] passed while it was still
+    /// queued; the closure was dropped unrun.
+    Expired {
+        /// How long the task sat in the queue before being discarded.
+        waited: Duration,
     },
-    /// Run a queued task closure against a checked-out arena and resolve
-    /// its ticket.
-    Task(QueuedTask<P>),
+}
+
+impl TaskError {
+    /// Whether this is a deadline expiry (as opposed to a panic).
+    #[must_use]
+    pub fn is_expired(&self) -> bool {
+        matches!(self, TaskError::Expired { .. })
+    }
+
+    /// The panic payload, if this is a panic.
+    #[must_use]
+    pub fn into_panic_payload(self) -> Option<PanicPayload> {
+        match self {
+            TaskError::Panicked(payload) => Some(payload),
+            TaskError::Expired { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Panicked(_) => f.debug_tuple("Panicked").field(&"<payload>").finish(),
+            TaskError::Expired { waited } => {
+                f.debug_struct("Expired").field("waited", waited).finish()
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Panicked(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic payload");
+                write!(f, "task panicked: {msg}")
+            }
+            TaskError::Expired { waited } => {
+                write!(f, "task deadline expired after {waited:?} in queue")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Per-ticket scheduling timings, reported by
+/// [`TaskTicket::wait_timed`] / [`TaskTicket::try_wait_timed`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaskTiming {
+    /// Time between enqueue and dequeue (for an expired task: between
+    /// enqueue and discard).
+    pub queue: Duration,
+    /// Time the closure ran on its worker (zero for an expired task).
+    pub run: Duration,
+}
+
+/// Number of buckets in a [`LatencyHistogram`].
+const LATENCY_BUCKETS: usize = 32;
+
+/// Bucket index for a duration: bucket 0 holds sub-microsecond values,
+/// bucket `i ≥ 1` holds `[2^(i−1), 2^i)` microseconds, and the last
+/// bucket absorbs everything beyond ~2^30 µs (≈ 18 minutes).
+fn latency_bucket(d: Duration) -> usize {
+    let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+    ((u64::BITS - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// A fixed-bucket latency histogram snapshot (log₂-spaced microsecond
+/// buckets). Recording happens lock-free inside [`SchedMetrics`]; this is
+/// the plain-data copy a snapshot hands out.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Observation count per bucket; see [`LatencyHistogram::bucket_upper_bound`]
+    /// for the bucket boundaries.
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Total number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Exclusive upper bound of bucket `i` (`Duration::MAX` for the last,
+    /// open-ended bucket). Bucket 0 is `< 1 µs`; bucket `i ≥ 1` covers
+    /// `[2^(i−1), 2^i)` µs.
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> Duration {
+        if i + 1 >= LATENCY_BUCKETS {
+            Duration::MAX
+        } else {
+            Duration::from_micros(1u64 << i)
+        }
+    }
+
+    /// Conservative (upper-bound) estimate of the `q`-quantile
+    /// (`0 < q ≤ 1`): the upper edge of the bucket holding the
+    /// `⌈q·count⌉`-th observation. `None` when the histogram is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let count = self.count();
+        if count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(Self::bucket_upper_bound(i));
+            }
+        }
+        None
+    }
+
+    /// Merges another histogram into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Lock-free histogram recorder backing [`SchedMetrics`].
+#[derive(Debug, Default)]
+struct AtomicHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl AtomicHistogram {
+    fn record(&self, d: Duration) {
+        self.buckets[latency_bucket(d)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        for (o, b) in out.buckets.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// Atomic per-class scheduler counters.
+#[derive(Debug, Default)]
+struct ClassCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    expired: AtomicU64,
+    rejected: AtomicU64,
+    panicked: AtomicU64,
+    queue_wait: AtomicHistogram,
+    run_time: AtomicHistogram,
+}
+
+/// Plain-data snapshot of one class's scheduler counters, from
+/// [`SchedMetrics::class`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassMetrics {
+    /// Tasks accepted into the queue.
+    pub submitted: u64,
+    /// Tasks whose closure ran to completion.
+    pub completed: u64,
+    /// Tasks discarded at dequeue because their deadline had passed.
+    pub expired: u64,
+    /// Non-blocking submissions refused with [`TrySubmitError::Full`].
+    pub rejected: u64,
+    /// Tasks whose closure panicked on a worker.
+    pub panicked: u64,
+    /// Queue-wait (enqueue → dequeue) distribution; includes expired
+    /// tasks, whose wait ended at the discard.
+    pub queue_wait: LatencyHistogram,
+    /// Closure run-time distribution (completed and panicked tasks).
+    pub run_time: LatencyHistogram,
+}
+
+/// Shared scheduler metrics: per-class counters and latency histograms,
+/// the queue-depth high-water mark, and total worker busy time over task
+/// jobs. Every recording is a handful of relaxed atomic adds — no
+/// allocation, no locks — so it sits on the serving hot path for free.
+///
+/// A pool created with [`SimPool::with_queue_capacity`] owns a fresh
+/// instance; hand one pool's handle (or a long-lived one of your own) to
+/// [`SimPool::with_metrics`] to aggregate across pool rebuilds. Round
+/// jobs are not clocked (the chunk-parallel round loop stays free of
+/// timer calls); `busy` covers task jobs only.
+#[derive(Debug, Default)]
+pub struct SchedMetrics {
+    classes: [ClassCounters; TaskClass::COUNT],
+    depth_high_water: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+impl SchedMetrics {
+    /// A fresh, all-zero metrics sink.
+    #[must_use]
+    pub fn new() -> Self {
+        SchedMetrics::default()
+    }
+
+    /// Snapshot of one class's counters and histograms.
+    #[must_use]
+    pub fn class(&self, class: TaskClass) -> ClassMetrics {
+        let c = &self.classes[class.index()];
+        ClassMetrics {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            panicked: c.panicked.load(Ordering::Relaxed),
+            queue_wait: c.queue_wait.snapshot(),
+            run_time: c.run_time.snapshot(),
+        }
+    }
+
+    /// Highest number of tasks ever waiting in the queue at once (both
+    /// classes combined).
+    #[must_use]
+    pub fn queue_depth_high_water(&self) -> u64 {
+        self.depth_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Total time workers spent running task closures (round jobs are not
+    /// clocked).
+    #[must_use]
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
+    }
+
+    fn record_submitted(&self, class: TaskClass, depth_now: usize) {
+        self.classes[class.index()]
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.depth_high_water
+            .fetch_max(depth_now as u64, Ordering::Relaxed);
+    }
+
+    fn record_rejected(&self, class: TaskClass) {
+        self.classes[class.index()]
+            .rejected
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_dequeued(&self, class: TaskClass, waited: Duration) {
+        self.classes[class.index()].queue_wait.record(waited);
+    }
+
+    fn record_expired(&self, class: TaskClass) {
+        self.classes[class.index()]
+            .expired
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_ran(&self, class: TaskClass, run: Duration, panicked: bool) {
+        let c = &self.classes[class.index()];
+        c.run_time.record(run);
+        if panicked {
+            c.panicked.fetch_add(1, Ordering::Relaxed);
+        } else {
+            c.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.busy_nanos.fetch_add(
+            u64::try_from(run.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// A chunk-parallel round job (absolute priority over task jobs).
+struct RoundJob<P: Process> {
+    /// Which chunk slot of the scheduler this is (echoed in the reply;
+    /// with a shared queue any worker may run any chunk).
+    index: usize,
+    /// The chunk, moved to the worker for the duration of the round.
+    chunk: Box<ChunkState<P>>,
+    /// Buckets staged for this chunk in the previous round.
+    inbound: Buckets<P::Msg>,
+    /// The round being stepped.
+    round: u64,
+    /// Per-link bit budget, if enforced.
+    budget: Option<BitBudget>,
 }
 
 /// A task waiting in the shared queue: the closure plus the completion
-/// slot its [`TaskTicket`] is watching.
+/// slot its [`TaskTicket`] is watching, and its scheduling envelope.
 struct QueuedTask<P: Process> {
     run: TaskFn<P>,
     slot: Arc<TaskSlot>,
+    class: TaskClass,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+}
+
+/// What a worker pulled from the queue.
+enum Popped<P: Process> {
+    Round(RoundJob<P>),
+    /// A live (non-expired) task plus its measured queue wait.
+    Task(QueuedTask<P>, Duration),
 }
 
 /// A finished round job (task jobs resolve through their ticket slots and
@@ -128,11 +523,13 @@ pub(crate) enum Reply<P: Process> {
     Panicked(PanicPayload),
 }
 
-/// Mutex-guarded queue state.
+/// Mutex-guarded queue state: round jobs plus one FIFO lane per task
+/// class, scanned in [`TaskClass::ALL`] priority order.
 struct QueueState<P: Process> {
-    jobs: VecDeque<Job<P>>,
-    /// Number of `Job::Task` entries currently waiting in `jobs` (round
-    /// jobs are not counted and not bounded).
+    rounds: VecDeque<RoundJob<P>>,
+    lanes: [VecDeque<QueuedTask<P>>; TaskClass::COUNT],
+    /// Number of tasks currently waiting across both lanes (round jobs
+    /// are not counted and not bounded).
     queued_tasks: usize,
     /// Set by the pool destructor: refuse new submissions, drain what is
     /// queued, then let the workers exit.
@@ -148,8 +545,11 @@ struct Shared<P: Process> {
     /// Signalled when a queued task is taken by a worker (a capacity slot
     /// freed up).
     not_full: Condvar,
-    /// Maximum number of *waiting* task jobs (running tasks don't count).
+    /// Maximum number of *waiting* task jobs across both classes (running
+    /// tasks don't count).
     capacity: usize,
+    /// Scheduler metrics sink (shared; possibly outliving this pool).
+    metrics: Arc<SchedMetrics>,
     /// Recycled engine arenas, at most `max_arenas` parked at once.
     arenas: Mutex<Vec<EngineArena<P>>>,
     /// Free-list bound (= worker count; more arenas than workers can
@@ -159,16 +559,49 @@ struct Shared<P: Process> {
 
 impl<P: Process> Shared<P> {
     /// Blocking pop: the worker side of the queue. Returns `None` when
-    /// the pool is stopping and the queue has drained.
-    fn pop(&self) -> Option<Job<P>> {
+    /// the pool is stopping and the queue has drained. Tasks whose
+    /// deadline passed while queued are resolved as
+    /// [`TaskError::Expired`] right here (their queue wait still
+    /// recorded) and never returned.
+    fn pop(&self) -> Option<Popped<P>> {
         let mut state = self.state.lock().expect("queue mutex");
         loop {
-            if let Some(job) = state.jobs.pop_front() {
-                if matches!(job, Job::Task(_)) {
-                    state.queued_tasks -= 1;
-                    self.not_full.notify_one();
+            if let Some(job) = state.rounds.pop_front() {
+                return Some(Popped::Round(job));
+            }
+            let mut task = None;
+            for class in TaskClass::ALL {
+                if let Some(t) = state.lanes[class.index()].pop_front() {
+                    task = Some(t);
+                    break;
                 }
-                return Some(job);
+            }
+            if let Some(task) = task {
+                state.queued_tasks -= 1;
+                self.not_full.notify_one();
+                let now = Instant::now();
+                let waited = now.saturating_duration_since(task.enqueued);
+                self.metrics.record_dequeued(task.class, waited);
+                if task.deadline.is_some_and(|d| now > d) {
+                    // Resolve the expiry *outside* the queue lock: the
+                    // ticket fill takes the slot mutex and wakes waiters,
+                    // and dropping the unrun closure frees whatever it
+                    // captured — neither may stall the other workers and
+                    // submitters parked on the queue.
+                    drop(state);
+                    self.metrics.record_expired(task.class);
+                    task.slot.fill(
+                        Err(TaskError::Expired { waited }),
+                        TaskTiming {
+                            queue: waited,
+                            run: Duration::ZERO,
+                        },
+                    );
+                    drop(task);
+                    state = self.state.lock().expect("queue mutex");
+                    continue;
+                }
+                return Some(Popped::Task(task, waited));
             }
             if state.stop {
                 return None;
@@ -177,11 +610,11 @@ impl<P: Process> Shared<P> {
         }
     }
 
-    /// Pushes a round job at the *front* of the queue (priority over
-    /// queued tasks; never bounded).
-    fn push_round(&self, job: Job<P>) {
+    /// Pushes a round job (priority over every queued task; never
+    /// bounded).
+    fn push_round(&self, job: RoundJob<P>) {
         let mut state = self.state.lock().expect("queue mutex");
-        state.jobs.push_front(job);
+        state.rounds.push_back(job);
         drop(state);
         self.not_empty.notify_one();
     }
@@ -196,7 +629,9 @@ impl<P: Process> Shared<P> {
             }
             if state.queued_tasks < self.capacity {
                 state.queued_tasks += 1;
-                state.jobs.push_back(Job::Task(task));
+                let depth = state.queued_tasks;
+                self.metrics.record_submitted(task.class, depth);
+                state.lanes[task.class.index()].push_back(task);
                 drop(state);
                 self.not_empty.notify_one();
                 return Ok(());
@@ -212,10 +647,13 @@ impl<P: Process> Shared<P> {
             return Err((task, TrySubmitError::Closed));
         }
         if state.queued_tasks >= self.capacity {
+            self.metrics.record_rejected(task.class);
             return Err((task, TrySubmitError::Full));
         }
         state.queued_tasks += 1;
-        state.jobs.push_back(Job::Task(task));
+        let depth = state.queued_tasks;
+        self.metrics.record_submitted(task.class, depth);
+        state.lanes[task.class.index()].push_back(task);
         drop(state);
         self.not_empty.notify_one();
         Ok(())
@@ -259,13 +697,13 @@ impl<P: Process> Shared<P> {
 fn worker_loop<P: Process>(shared: &Shared<P>, replies: &SyncSender<Reply<P>>) {
     while let Some(job) = shared.pop() {
         match job {
-            Job::Round {
+            Popped::Round(RoundJob {
                 index,
                 mut chunk,
                 mut inbound,
                 round,
                 budget,
-            } => {
+            }) => {
                 // Catch node-program panics so they can be re-raised on
                 // the scheduler thread (state is discarded via the panic,
                 // so the unwind-safety assertion is sound).
@@ -285,8 +723,14 @@ fn worker_loop<P: Process>(shared: &Shared<P>, replies: &SyncSender<Reply<P>>) {
                     return;
                 }
             }
-            Job::Task(QueuedTask { run, slot }) => {
+            Popped::Task(
+                QueuedTask {
+                    run, slot, class, ..
+                },
+                waited,
+            ) => {
                 let arena = shared.take_arena();
+                let started = Instant::now();
                 // The arena moves into the closure: on panic it is torn
                 // down with the unwind (its buffers may be mid-mutation),
                 // on success it comes back out for the free list.
@@ -295,14 +739,25 @@ fn worker_loop<P: Process>(shared: &Shared<P>, replies: &SyncSender<Reply<P>>) {
                     let result = run(&mut arena);
                     (result, arena)
                 }));
+                let ran = started.elapsed();
                 let result = match outcome {
                     Ok((result, arena)) => {
                         shared.put_arena(arena);
+                        shared.metrics.record_ran(class, ran, false);
                         Ok(result)
                     }
-                    Err(payload) => Err(payload),
+                    Err(payload) => {
+                        shared.metrics.record_ran(class, ran, true);
+                        Err(TaskError::Panicked(payload))
+                    }
                 };
-                slot.fill(result);
+                slot.fill(
+                    result,
+                    TaskTiming {
+                        queue: waited,
+                        run: ran,
+                    },
+                );
             }
         }
     }
@@ -310,7 +765,7 @@ fn worker_loop<P: Process>(shared: &Shared<P>, replies: &SyncSender<Reply<P>>) {
 
 /// Completion slot a [`TaskTicket`] waits on.
 struct TaskSlot {
-    done: Mutex<Option<Result<TaskResult, PanicPayload>>>,
+    done: Mutex<Option<(Result<TaskResult, TaskError>, TaskTiming)>>,
     cv: Condvar,
 }
 
@@ -322,10 +777,10 @@ impl TaskSlot {
         })
     }
 
-    fn fill(&self, result: Result<TaskResult, PanicPayload>) {
+    fn fill(&self, result: Result<TaskResult, TaskError>, timing: TaskTiming) {
         let mut done = self.done.lock().expect("slot mutex");
         debug_assert!(done.is_none(), "a task completes exactly once");
-        *done = Some(result);
+        *done = Some((result, timing));
         drop(done);
         self.cv.notify_all();
     }
@@ -333,7 +788,8 @@ impl TaskSlot {
 
 /// A handle to one submitted task: redeem it for the task's return value
 /// with [`wait`](TaskTicket::wait) (blocking) or
-/// [`try_wait`](TaskTicket::try_wait) (non-blocking).
+/// [`try_wait`](TaskTicket::try_wait) (non-blocking); the `_timed`
+/// variants additionally report the [`TaskTiming`].
 ///
 /// The ticket stays valid even after the pool shuts down — shutdown
 /// drains the queue, so every issued ticket resolves.
@@ -344,14 +800,21 @@ pub struct TaskTicket<T> {
 
 impl<T: Send + 'static> TaskTicket<T> {
     /// Blocks until the task finishes and returns its result; a panicking
-    /// task yields `Err` with the panic payload (as
-    /// [`std::thread::Result`] does).
-    #[must_use = "a task panic is reported through the returned Result"]
-    pub fn wait(self) -> std::thread::Result<T> {
+    /// task yields [`TaskError::Panicked`] and a deadline miss
+    /// [`TaskError::Expired`].
+    #[must_use = "a task panic or expiry is reported through the returned Result"]
+    pub fn wait(self) -> Result<T, TaskError> {
+        self.wait_timed().0
+    }
+
+    /// Like [`wait`](Self::wait), additionally reporting the task's
+    /// queue-wait and run time.
+    #[must_use = "a task panic or expiry is reported through the returned Result"]
+    pub fn wait_timed(self) -> (Result<T, TaskError>, TaskTiming) {
         let mut done = self.slot.done.lock().expect("slot mutex");
         loop {
-            if let Some(result) = done.take() {
-                return result.map(downcast_result);
+            if let Some((result, timing)) = done.take() {
+                return (result.map(downcast_result), timing);
             }
             done = self.slot.cv.wait(done).expect("slot mutex");
         }
@@ -360,10 +823,16 @@ impl<T: Send + 'static> TaskTicket<T> {
     /// Non-blocking redemption: the result if the task has finished,
     /// `Err(self)` (the ticket, still valid) if it is still queued or
     /// running.
-    pub fn try_wait(self) -> Result<std::thread::Result<T>, Self> {
+    pub fn try_wait(self) -> Result<Result<T, TaskError>, Self> {
+        self.try_wait_timed().map(|(result, _)| result)
+    }
+
+    /// Like [`try_wait`](Self::try_wait), additionally reporting the
+    /// task's queue-wait and run time on completion.
+    pub fn try_wait_timed(self) -> Result<(Result<T, TaskError>, TaskTiming), Self> {
         let taken = self.slot.done.lock().expect("slot mutex").take();
         match taken {
-            Some(result) => Ok(result.map(downcast_result)),
+            Some((result, timing)) => Ok((result.map(downcast_result), timing)),
             None => Err(self),
         }
     }
@@ -429,10 +898,11 @@ impl std::error::Error for QueueClosed {}
 /// A cloneable submission handle to a [`SimPool`]'s shared task queue.
 ///
 /// Any number of threads may hold handles and submit concurrently; the
-/// pool's workers pull tasks in FIFO order. The handle does not keep the
-/// workers alive — once the owning [`SimPool`] is dropped, submissions
-/// fail with [`QueueClosed`] / [`TrySubmitError::Closed`] (tickets issued
-/// before the drop still resolve, because the drop drains the queue).
+/// pool's workers pull interactive tasks before bulk tasks, FIFO within
+/// each class. The handle does not keep the workers alive — once the
+/// owning [`SimPool`] is dropped, submissions fail with [`QueueClosed`] /
+/// [`TrySubmitError::Closed`] (tickets issued before the drop still
+/// resolve, because the drop drains the queue).
 pub struct TaskQueue<P: Process> {
     shared: Arc<Shared<P>>,
 }
@@ -456,9 +926,10 @@ impl<P: Process> std::fmt::Debug for TaskQueue<P> {
 }
 
 impl<P: Process + 'static> TaskQueue<P> {
-    /// Submits a task, **blocking while the queue is at capacity**, and
-    /// returns the ticket to redeem for its result. The closure receives
-    /// a recycled [`EngineArena`] (see the module docs).
+    /// Submits a bulk-class task without a deadline, **blocking while the
+    /// queue is at capacity**, and returns the ticket to redeem for its
+    /// result. The closure receives a recycled [`EngineArena`] (see the
+    /// module docs).
     ///
     /// # Errors
     ///
@@ -469,15 +940,30 @@ impl<P: Process + 'static> TaskQueue<P> {
         T: Send + 'static,
         F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
     {
-        let (task, ticket) = package(f);
+        self.submit_with(TaskOptions::default(), f)
+    }
+
+    /// Submits a task under explicit [`TaskOptions`] (class and optional
+    /// deadline), blocking while the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueClosed`] (dropping the closure unrun) if the pool
+    /// has shut down.
+    pub fn submit_with<T, F>(&self, opts: TaskOptions, f: F) -> Result<TaskTicket<T>, QueueClosed>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
+    {
+        let (task, ticket) = package(opts, f);
         match self.shared.push_task(task) {
             Ok(()) => Ok(ticket),
             Err(_task) => Err(QueueClosed),
         }
     }
 
-    /// Non-blocking submission: enqueues the task only if a capacity slot
-    /// is free **right now**.
+    /// Non-blocking bulk-class submission: enqueues the task only if a
+    /// capacity slot is free **right now**.
     ///
     /// # Errors
     ///
@@ -489,22 +975,39 @@ impl<P: Process + 'static> TaskQueue<P> {
         T: Send + 'static,
         F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
     {
-        let (task, ticket) = package(f);
+        self.try_submit_with(TaskOptions::default(), f)
+    }
+
+    /// Non-blocking submission under explicit [`TaskOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`try_submit`](Self::try_submit).
+    pub fn try_submit_with<T, F>(
+        &self,
+        opts: TaskOptions,
+        f: F,
+    ) -> Result<TaskTicket<T>, TrySubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
+    {
+        let (task, ticket) = package(opts, f);
         match self.shared.try_push_task(task) {
             Ok(()) => Ok(ticket),
             Err((_task, err)) => Err(err),
         }
     }
 
-    /// The queue's task capacity (waiting tasks; running tasks do not
-    /// count against it).
+    /// The queue's task capacity (waiting tasks across both classes;
+    /// running tasks do not count against it).
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.shared.capacity
     }
 
-    /// Number of tasks currently waiting in the queue (excludes tasks a
-    /// worker has already picked up).
+    /// Number of tasks currently waiting in the queue (both classes;
+    /// excludes tasks a worker has already picked up).
     #[must_use]
     pub fn queued(&self) -> usize {
         self.shared.state.lock().expect("queue mutex").queued_tasks
@@ -512,7 +1015,7 @@ impl<P: Process + 'static> TaskQueue<P> {
 }
 
 /// Boxes a typed closure into a queued task plus its ticket.
-fn package<P, T, F>(f: F) -> (QueuedTask<P>, TaskTicket<T>)
+fn package<P, T, F>(opts: TaskOptions, f: F) -> (QueuedTask<P>, TaskTicket<T>)
 where
     P: Process,
     T: Send + 'static,
@@ -522,6 +1025,9 @@ where
     let task = QueuedTask {
         run: Box::new(move |arena| Box::new(f(arena)) as TaskResult),
         slot: Arc::clone(&slot),
+        class: opts.class,
+        deadline: opts.deadline,
+        enqueued: Instant::now(),
     };
     (
         task,
@@ -532,8 +1038,9 @@ where
     )
 }
 
-/// A persistent simulation worker pool around one shared bounded task
-/// queue — the resource a serving layer keeps alive across solves.
+/// A persistent simulation worker pool around one shared bounded
+/// multi-class task queue — the resource a serving layer keeps alive
+/// across solves.
 ///
 /// Threads spawn once, at construction, and block on the queue between
 /// jobs. The pool serves two modes, freely interleaved:
@@ -547,7 +1054,8 @@ where
 /// * **Many instances, task-parallel** — submit closures through
 ///   [`queue`](SimPool::queue) / [`submit`](SimPool::submit) as they
 ///   arrive; whichever worker frees up first takes the oldest waiting
-///   task. A task that runs a whole sequential solve (see
+///   task of the highest-priority class. A task that runs a whole
+///   sequential solve (see
 ///   [`Simulator::with_arena`](crate::Simulator::with_arena)) reuses
 ///   mailbox-slot, dirty-list, worklist and staging capacity from the
 ///   arena it checks out.
@@ -603,7 +1111,8 @@ impl<P: Process + 'static> SimPool<P> {
 
     /// Spawns a pool of `threads` persistent workers whose shared task
     /// queue holds at most `capacity` **waiting** tasks (tasks a worker
-    /// has picked up no longer count). A full queue makes
+    /// has picked up no longer count; the bound is shared across both
+    /// task classes). A full queue makes
     /// [`try_submit`](TaskQueue::try_submit) report backpressure and the
     /// blocking [`submit`](TaskQueue::submit) wait.
     ///
@@ -612,6 +1121,18 @@ impl<P: Process + 'static> SimPool<P> {
     /// Panics if `threads == 0` or `capacity == 0`.
     #[must_use]
     pub fn with_queue_capacity(threads: usize, capacity: usize) -> Self {
+        Self::with_metrics(threads, capacity, Arc::new(SchedMetrics::new()))
+    }
+
+    /// Like [`with_queue_capacity`](Self::with_queue_capacity), recording
+    /// into a caller-supplied [`SchedMetrics`] — use one long-lived
+    /// handle to aggregate scheduling metrics across pool rebuilds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `capacity == 0`.
+    #[must_use]
+    pub fn with_metrics(threads: usize, capacity: usize, metrics: Arc<SchedMetrics>) -> Self {
         assert!(threads > 0, "need at least one worker thread");
         assert!(
             capacity > 0,
@@ -619,13 +1140,15 @@ impl<P: Process + 'static> SimPool<P> {
         );
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                rounds: VecDeque::new(),
+                lanes: std::array::from_fn(|_| VecDeque::new()),
                 queued_tasks: 0,
                 stop: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
+            metrics,
             arenas: Mutex::new((0..threads).map(|_| EngineArena::new()).collect()),
             max_arenas: threads,
         });
@@ -655,6 +1178,13 @@ impl<P: Process + 'static> SimPool<P> {
         self.workers
     }
 
+    /// The scheduler-metrics handle this pool records into (shared; stays
+    /// valid after the pool is dropped).
+    #[must_use]
+    pub fn metrics(&self) -> Arc<SchedMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
     /// A cloneable submission handle to the shared task queue. Handles
     /// may be held by any number of threads and outlive borrows of the
     /// pool itself (submissions after the pool is dropped fail cleanly).
@@ -665,8 +1195,8 @@ impl<P: Process + 'static> SimPool<P> {
         }
     }
 
-    /// Submits one task (blocking while the queue is full); shorthand for
-    /// [`queue()`](Self::queue)`.submit(f)`.
+    /// Submits one bulk-class task (blocking while the queue is full);
+    /// shorthand for [`queue()`](Self::queue)`.submit(f)`.
     ///
     /// # Errors
     ///
@@ -680,7 +1210,21 @@ impl<P: Process + 'static> SimPool<P> {
         self.queue().submit(f)
     }
 
-    /// Non-blocking submission; shorthand for
+    /// Submits one task under explicit [`TaskOptions`]; shorthand for
+    /// [`queue()`](Self::queue)`.submit_with(opts, f)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueClosed`] if the pool has shut down.
+    pub fn submit_with<T, F>(&self, opts: TaskOptions, f: F) -> Result<TaskTicket<T>, QueueClosed>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
+    {
+        self.queue().submit_with(opts, f)
+    }
+
+    /// Non-blocking bulk-class submission; shorthand for
     /// [`queue()`](Self::queue)`.try_submit(f)`.
     ///
     /// # Errors
@@ -692,6 +1236,24 @@ impl<P: Process + 'static> SimPool<P> {
         F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
     {
         self.queue().try_submit(f)
+    }
+
+    /// Non-blocking submission under explicit [`TaskOptions`]; shorthand
+    /// for [`queue()`](Self::queue)`.try_submit_with(opts, f)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrySubmitError::Full`] under backpressure.
+    pub fn try_submit_with<T, F>(
+        &self,
+        opts: TaskOptions,
+        f: F,
+    ) -> Result<TaskTicket<T>, TrySubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
+    {
+        self.queue().try_submit_with(opts, f)
     }
 
     /// Runs every task on the pool and returns the results in task order:
@@ -719,10 +1281,13 @@ impl<P: Process + 'static> SimPool<P> {
         for ticket in tickets {
             match ticket.wait() {
                 Ok(value) => results.push(value),
-                Err(payload) => {
+                Err(TaskError::Panicked(payload)) => {
                     if panic_payload.is_none() {
                         panic_payload = Some(payload);
                     }
+                }
+                Err(TaskError::Expired { .. }) => {
+                    unreachable!("run_tasks submits without deadlines")
                 }
             }
         }
@@ -752,7 +1317,7 @@ impl<P: Process + 'static> SimPool<P> {
         round: u64,
         budget: Option<BitBudget>,
     ) {
-        self.shared.push_round(Job::Round {
+        self.shared.push_round(RoundJob {
             index,
             chunk,
             inbound,
@@ -809,23 +1374,43 @@ mod tests {
         }
     }
 
-    /// A gate tasks can block on, to hold workers busy deterministically.
-    fn gate() -> (Arc<(Mutex<bool>, Condvar)>, impl Fn() + Send + 'static) {
-        let gate = Arc::new((Mutex::new(false), Condvar::new()));
-        let release = {
-            let gate = Arc::clone(&gate);
-            move || {
-                *gate.0.lock().unwrap() = true;
-                gate.1.notify_all();
-            }
-        };
-        (gate, release)
+    /// A two-phase gate: tasks call [`Gate::arrive_and_wait`] (signalling
+    /// that a worker picked them up, then blocking), the test thread
+    /// waits for a given arrival count with [`Gate::await_arrivals`]
+    /// (condvar — no spinning) and opens the gate with [`Gate::release`].
+    struct Gate {
+        state: Mutex<(usize, bool)>,
+        cv: Condvar,
     }
 
-    fn wait_on(gate: &Arc<(Mutex<bool>, Condvar)>) {
-        let mut open = gate.0.lock().unwrap();
-        while !*open {
-            open = gate.1.wait(open).unwrap();
+    impl Gate {
+        fn new() -> Arc<Self> {
+            Arc::new(Gate {
+                state: Mutex::new((0, false)),
+                cv: Condvar::new(),
+            })
+        }
+
+        fn arrive_and_wait(&self) {
+            let mut state = self.state.lock().unwrap();
+            state.0 += 1;
+            self.cv.notify_all();
+            while !state.1 {
+                state = self.cv.wait(state).unwrap();
+            }
+        }
+
+        fn await_arrivals(&self, n: usize) {
+            let mut state = self.state.lock().unwrap();
+            while state.0 < n {
+                state = self.cv.wait(state).unwrap();
+            }
+        }
+
+        fn release(&self) {
+            let mut state = self.state.lock().unwrap();
+            state.1 = true;
+            self.cv.notify_all();
         }
     }
 
@@ -925,7 +1510,11 @@ mod tests {
         let fine: Vec<_> = (0..4u32)
             .map(|i| pool.submit(move |_a: &mut EngineArena<Echo>| i).unwrap())
             .collect();
-        let payload = boom.wait().expect_err("panicking ticket yields Err");
+        let payload = boom
+            .wait()
+            .expect_err("panicking ticket yields Err")
+            .into_panic_payload()
+            .expect("panic, not expiry");
         assert_eq!(payload.downcast_ref::<&str>(), Some(&"isolated boom"));
         for (i, t) in fine.into_iter().enumerate() {
             assert_eq!(t.wait().unwrap(), i as u32, "neighbor ticket {i}");
@@ -936,21 +1525,19 @@ mod tests {
     fn try_submit_reports_backpressure_without_blocking() {
         // One worker, capacity 2. Gate the worker, fill the queue: the
         // third try_submit must fail *immediately* with Full.
-        let (g, release) = gate();
+        let gate = Gate::new();
         let pool: SimPool<Echo> = SimPool::with_queue_capacity(1, 2);
         let busy = {
-            let g = Arc::clone(&g);
+            let gate = Arc::clone(&gate);
             pool.submit(move |_a: &mut EngineArena<Echo>| {
-                wait_on(&g);
+                gate.arrive_and_wait();
                 0u32
             })
             .unwrap()
         };
-        // Wait until the worker has *dequeued* the gate task, so exactly
-        // two capacity slots are open.
-        while pool.queue().queued() > 0 {
-            std::thread::yield_now();
-        }
+        // Wait (condvar, no spinning) until the worker has *dequeued* the
+        // gate task, so exactly two capacity slots are open.
+        gate.await_arrivals(1);
         let q1 = pool.try_submit(|_a: &mut EngineArena<Echo>| 1u32).unwrap();
         let q2 = pool.try_submit(|_a: &mut EngineArena<Echo>| 2u32).unwrap();
         let start = std::time::Instant::now();
@@ -963,22 +1550,126 @@ mod tests {
             "try_submit must not block"
         );
         assert!(!q1.is_done());
-        release();
+        gate.release();
         assert_eq!(busy.wait().unwrap(), 0);
         assert_eq!(q1.wait().unwrap(), 1);
         assert_eq!(q2.wait().unwrap(), 2);
+        // The refused submission shows up in the scheduler metrics.
+        let m = pool.metrics();
+        assert_eq!(m.class(TaskClass::Bulk).rejected, 1);
+        assert_eq!(m.class(TaskClass::Bulk).completed, 3);
+        assert!(m.queue_depth_high_water() >= 2);
+    }
+
+    #[test]
+    fn interactive_tasks_dequeue_before_bulk_fifo_within_class() {
+        // One gated worker; fill the queue with bulk then interactive
+        // tasks. Completion order must be: gate task, every interactive
+        // task (submission order), every bulk task (submission order).
+        let gate = Gate::new();
+        let pool: SimPool<Echo> = SimPool::with_queue_capacity(1, 8);
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let busy = {
+            let gate = Arc::clone(&gate);
+            pool.submit(move |_a: &mut EngineArena<Echo>| gate.arrive_and_wait())
+                .unwrap()
+        };
+        gate.await_arrivals(1);
+        let mut tickets = Vec::new();
+        for name in ["b1", "b2"] {
+            let order = Arc::clone(&order);
+            tickets.push(
+                pool.submit_with(TaskOptions::bulk(), move |_a: &mut EngineArena<Echo>| {
+                    order.lock().unwrap().push(name);
+                })
+                .unwrap(),
+            );
+        }
+        for name in ["i1", "i2"] {
+            let order = Arc::clone(&order);
+            tickets.push(
+                pool.submit_with(
+                    TaskOptions::interactive(),
+                    move |_a: &mut EngineArena<Echo>| {
+                        order.lock().unwrap().push(name);
+                    },
+                )
+                .unwrap(),
+            );
+        }
+        gate.release();
+        busy.wait().unwrap();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec!["i1", "i2", "b1", "b2"]);
+    }
+
+    #[test]
+    fn expired_tasks_resolve_without_running() {
+        // Gate the single worker, queue a task whose deadline passes
+        // while it waits: it must resolve as Expired without running, and
+        // a queued task without a deadline must still run.
+        let gate = Gate::new();
+        let pool: SimPool<Echo> = SimPool::with_queue_capacity(1, 4);
+        let busy = {
+            let gate = Arc::clone(&gate);
+            pool.submit(move |_a: &mut EngineArena<Echo>| gate.arrive_and_wait())
+                .unwrap()
+        };
+        gate.await_arrivals(1);
+        let doomed = pool
+            .submit_with(
+                TaskOptions::interactive().deadline_in(Duration::ZERO),
+                |_a: &mut EngineArena<Echo>| panic!("expired task must not run"),
+            )
+            .unwrap();
+        let alive = pool
+            .submit_with(TaskOptions::bulk(), |_a: &mut EngineArena<Echo>| 7u32)
+            .unwrap();
+        gate.release();
+        busy.wait().unwrap();
+        let (err, timing) = doomed.wait_timed();
+        match err.expect_err("deadline passed in queue") {
+            TaskError::Expired { waited } => assert_eq!(waited, timing.queue),
+            TaskError::Panicked(_) => panic!("expired task ran"),
+        }
+        assert_eq!(timing.run, Duration::ZERO);
+        assert_eq!(alive.wait().unwrap(), 7);
+        let m = pool.metrics();
+        assert_eq!(m.class(TaskClass::Interactive).expired, 1);
+        assert_eq!(m.class(TaskClass::Interactive).completed, 0);
+        assert_eq!(m.class(TaskClass::Bulk).expired, 0);
+    }
+
+    #[test]
+    fn a_deadline_in_the_future_does_not_expire() {
+        let pool: SimPool<Echo> = SimPool::new(1);
+        let t = pool
+            .submit_with(
+                TaskOptions::interactive().deadline_in(Duration::from_secs(3600)),
+                |_a: &mut EngineArena<Echo>| 11u32,
+            )
+            .unwrap();
+        let (result, _timing) = t.wait_timed();
+        assert_eq!(result.unwrap(), 11);
+        let m = pool.metrics();
+        assert_eq!(m.class(TaskClass::Interactive).expired, 0);
+        assert_eq!(m.class(TaskClass::Interactive).completed, 1);
+        assert_eq!(m.class(TaskClass::Interactive).queue_wait.count(), 1);
+        assert_eq!(m.class(TaskClass::Interactive).run_time.count(), 1);
     }
 
     #[test]
     fn drop_drains_queued_tasks_and_resolves_all_tickets() {
-        let (g, release) = gate();
+        let gate = Gate::new();
         let pool: SimPool<Echo> = SimPool::with_queue_capacity(1, 8);
         let mut tickets = Vec::new();
         {
-            let g = Arc::clone(&g);
+            let gate = Arc::clone(&gate);
             tickets.push(
                 pool.submit(move |_a: &mut EngineArena<Echo>| {
-                    wait_on(&g);
+                    gate.arrive_and_wait();
                     0u32
                 })
                 .unwrap(),
@@ -989,10 +1680,13 @@ mod tests {
         }
         let queue = pool.queue();
         // Release the gate shortly after drop starts draining.
-        let releaser = std::thread::spawn(move || {
-            std::thread::sleep(std::time::Duration::from_millis(20));
-            release();
-        });
+        let releaser = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                gate.release();
+            })
+        };
         drop(pool);
         releaser.join().unwrap();
         // Drop drained everything: every ticket resolves instantly.
@@ -1008,6 +1702,49 @@ mod tests {
             TrySubmitError::Closed
         );
         assert!(queue.submit(|_a: &mut EngineArena<Echo>| 9u32).is_err());
+    }
+
+    #[test]
+    fn drop_drains_both_classes_and_expires_stale_deadlines() {
+        let gate = Gate::new();
+        let pool: SimPool<Echo> = SimPool::with_queue_capacity(1, 8);
+        let busy = {
+            let gate = Arc::clone(&gate);
+            pool.submit(move |_a: &mut EngineArena<Echo>| gate.arrive_and_wait())
+                .unwrap()
+        };
+        gate.await_arrivals(1);
+        let bulk = pool
+            .submit_with(TaskOptions::bulk(), |_a: &mut EngineArena<Echo>| 1u32)
+            .unwrap();
+        let interactive = pool
+            .submit_with(TaskOptions::interactive(), |_a: &mut EngineArena<Echo>| {
+                2u32
+            })
+            .unwrap();
+        let doomed = pool
+            .submit_with(
+                TaskOptions::bulk().deadline_in(Duration::ZERO),
+                |_a: &mut EngineArena<Echo>| 3u32,
+            )
+            .unwrap();
+        let releaser = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                gate.release();
+            })
+        };
+        drop(pool);
+        releaser.join().unwrap();
+        busy.try_wait().expect("drained").unwrap();
+        assert_eq!(interactive.try_wait().expect("drained").unwrap(), 2);
+        assert_eq!(bulk.try_wait().expect("drained").unwrap(), 1);
+        assert!(doomed
+            .try_wait()
+            .expect("drained")
+            .expect_err("deadline long past")
+            .is_expired());
     }
 
     #[test]
@@ -1035,13 +1772,13 @@ mod tests {
 
     #[test]
     fn tickets_resolve_in_completion_not_submission_order() {
-        let (g, release) = gate();
+        let gate = Gate::new();
         let pool: SimPool<Echo> = SimPool::new(2);
         // First task blocks on the gate; the second finishes immediately.
         let slow = {
-            let g = Arc::clone(&g);
+            let gate = Arc::clone(&gate);
             pool.submit(move |_a: &mut EngineArena<Echo>| {
-                wait_on(&g);
+                gate.arrive_and_wait();
                 "slow"
             })
             .unwrap()
@@ -1050,7 +1787,31 @@ mod tests {
         let fast = fast.wait().unwrap();
         assert_eq!(fast, "fast");
         assert!(!slow.is_done(), "slow task still gated");
-        release();
+        gate.release();
         assert_eq!(slow.wait().unwrap(), "slow");
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_quantiles() {
+        assert_eq!(latency_bucket(Duration::ZERO), 0);
+        assert_eq!(latency_bucket(Duration::from_micros(1)), 1);
+        assert_eq!(latency_bucket(Duration::from_micros(2)), 2);
+        assert_eq!(latency_bucket(Duration::from_micros(3)), 2);
+        assert_eq!(latency_bucket(Duration::from_micros(1024)), 11);
+        assert_eq!(latency_bucket(Duration::from_secs(86_400)), 31);
+
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.99), None);
+        // 99 fast observations (bucket 1: [1, 2) µs), one slow (bucket 11).
+        h.buckets[1] = 99;
+        h.buckets[11] = 1;
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), Some(Duration::from_micros(2)));
+        assert_eq!(h.quantile(0.99), Some(Duration::from_micros(2)));
+        assert_eq!(h.quantile(1.0), Some(Duration::from_micros(2048)));
+        let mut other = LatencyHistogram::default();
+        other.buckets[1] = 1;
+        h.merge(&other);
+        assert_eq!(h.count(), 101);
     }
 }

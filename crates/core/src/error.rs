@@ -55,6 +55,16 @@ pub enum SolveError {
         /// Best-effort rendering of the panic payload.
         message: String,
     },
+    /// The submission's deadline
+    /// ([`SubmitOptions::deadline`](crate::SubmitOptions)) passed while it
+    /// was still queued; the solve never ran. Typed load-shedding, not a
+    /// solver failure — resubmit (or relax the deadline) if the result is
+    /// still wanted.
+    Expired {
+        /// How long the submission sat in the queue before being
+        /// discarded.
+        waited: std::time::Duration,
+    },
     /// The submission was handed to a [`SolveService`](crate::SolveService)
     /// that has already been [shut down](crate::SolveService::shutdown).
     ShutDown,
@@ -83,6 +93,13 @@ impl fmt::Display for SolveError {
             SolveError::Sim(e) => write!(f, "simulation failed: {e}"),
             SolveError::Panicked { message } => {
                 write!(f, "solve task panicked on a service worker: {message}")
+            }
+            SolveError::Expired { waited } => {
+                write!(
+                    f,
+                    "submission deadline expired after {:.3} ms in the queue; the solve never ran",
+                    waited.as_secs_f64() * 1e3
+                )
             }
             SolveError::ShutDown => write!(f, "solve service has been shut down"),
         }

@@ -77,6 +77,11 @@ mod solver;
 mod warm;
 
 pub use certificate::{Certificate, CertificateError};
+/// The scheduling class of a service submission (re-exported from the
+/// pool layer): `Interactive` requests dequeue before `Bulk` ones, FIFO
+/// within a class. See [`SubmitOptions`].
+pub use dcover_congest::TaskClass as RequestClass;
+pub use dcover_congest::{ClassMetrics, LatencyHistogram, TaskTiming};
 pub use error::SolveError;
 pub use invariants::{approximation_holds, InvariantChecker, DEFAULT_TOLERANCE};
 pub use observer::{HistoryObserver, IterationSnapshot, IterationStats, NullObserver, Observer};
@@ -89,7 +94,7 @@ pub use protocol::{
     MwhvcNode, NodeRole,
 };
 pub use reference::{solve_reference, ReferenceResult};
-pub use service::{SolveService, SubmitError, Ticket};
+pub use service::{ServiceMetrics, SolveService, SubmitError, SubmitOptions, Ticket};
 pub use session::SolveSession;
 pub use solver::{CoverResult, MwhvcSolver};
 pub use warm::WarmState;

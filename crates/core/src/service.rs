@@ -29,6 +29,33 @@
 //!   queued and in-flight solve, and joins the workers — every ticket
 //!   issued before the shutdown still resolves.
 //!
+//! # Request classes and deadlines
+//!
+//! The submission queue is a small multi-class scheduler, not a plain
+//! FIFO: [`submit_with`](SolveService::submit_with) /
+//! [`try_submit_with`](SolveService::try_submit_with) /
+//! [`submit_delta_with`](SolveService::submit_delta_with) take
+//! [`SubmitOptions`] carrying a [`RequestClass`](crate::RequestClass)
+//! (`Interactive` submissions dequeue before every queued `Bulk` one,
+//! FIFO within a class; chunk-parallel round jobs keep absolute priority)
+//! and an optional **deadline**. A submission still queued when its
+//! deadline passes resolves its ticket with the typed
+//! [`SolveError::Expired`] instead of occupying a worker. The plain
+//! `submit`/`try_submit`/`submit_delta` enqueue bulk-class work without a
+//! deadline — exactly the pre-class FIFO behaviour.
+//!
+//! # Observability
+//!
+//! [`SolveService::metrics`] returns a [`ServiceMetrics`] snapshot:
+//! per-class submitted/completed/expired/rejected counters, per-class
+//! queue-wait and solve-time fixed-bucket latency histograms
+//! ([`LatencyHistogram`](crate::LatencyHistogram)), the queue-depth
+//! high-water mark, and total worker busy time. Recording costs a few
+//! relaxed atomic adds per solve — zero allocation on the hot path — and
+//! survives pool rebuilds and [`shutdown`](SolveService::shutdown).
+//! Per-ticket timings come from [`Ticket::wait_timed`] /
+//! [`Ticket::try_wait_timed`] as [`TaskTiming`] values.
+//!
 //! # Zero-copy instances
 //!
 //! The service threads the `Arc<Hypergraph>` through to the solver layer
@@ -69,8 +96,12 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use dcover_congest::{EngineArena, SimPool, TaskQueue, TaskTicket, TrySubmitError};
+use dcover_congest::{
+    ClassMetrics, EngineArena, SchedMetrics, SimPool, TaskClass, TaskError, TaskOptions, TaskQueue,
+    TaskTicket, TaskTiming, TrySubmitError,
+};
 use dcover_hypergraph::{Hypergraph, InstanceDelta};
 
 use crate::error::SolveError;
@@ -138,9 +169,101 @@ impl std::error::Error for SubmitError {
     }
 }
 
+/// Scheduling options for one submission
+/// ([`SolveService::submit_with`] and friends).
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use dcover_core::SubmitOptions;
+///
+/// let opts = SubmitOptions::interactive().with_deadline(Duration::from_millis(50));
+/// assert_eq!(opts.deadline, Some(Duration::from_millis(50)));
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// The request class ([`RequestClass::Bulk`](crate::RequestClass) by
+    /// default — what the plain `submit`/`try_submit` use).
+    pub class: TaskClass,
+    /// If set, the maximum time the submission may spend **queued**,
+    /// measured from the submit call: past it, a still-queued solve
+    /// resolves as [`SolveError::Expired`] instead of running. A solve a
+    /// worker already started is never aborted.
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Interactive-class options without a deadline.
+    #[must_use]
+    pub fn interactive() -> Self {
+        SubmitOptions {
+            class: TaskClass::Interactive,
+            ..SubmitOptions::default()
+        }
+    }
+
+    /// Bulk-class options without a deadline (the default).
+    #[must_use]
+    pub fn bulk() -> Self {
+        SubmitOptions::default()
+    }
+
+    /// Returns the options with the queue deadline set.
+    #[must_use]
+    pub fn with_deadline(mut self, from_submit: Duration) -> Self {
+        self.deadline = Some(from_submit);
+        self
+    }
+
+    /// The pool-level scheduling envelope, with the relative deadline
+    /// anchored at "now" (the submit call).
+    fn task_options(self) -> TaskOptions {
+        TaskOptions {
+            class: self.class,
+            deadline: self.deadline.map(|d| Instant::now() + d),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service's scheduling metrics, from
+/// [`SolveService::metrics`].
+///
+/// Per-class [`ClassMetrics`] carry submitted/completed/expired/rejected
+/// counters plus queue-wait and solve-time latency histograms (the
+/// `run_time` histogram of a solve task **is** its solve time). Counters
+/// accumulate across pool rebuilds and survive
+/// [`shutdown`](SolveService::shutdown).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Interactive-class counters and histograms.
+    pub interactive: ClassMetrics,
+    /// Bulk-class counters and histograms.
+    pub bulk: ClassMetrics,
+    /// Highest number of submissions ever waiting in the queue at once
+    /// (both classes combined).
+    pub queue_depth_high_water: u64,
+    /// Total time workers spent running solve tasks (chunk-parallel round
+    /// jobs are not clocked).
+    pub worker_busy: Duration,
+}
+
+impl ServiceMetrics {
+    /// The snapshot for one request class.
+    #[must_use]
+    pub fn class(&self, class: TaskClass) -> &ClassMetrics {
+        match class {
+            TaskClass::Interactive => &self.interactive,
+            TaskClass::Bulk => &self.bulk,
+        }
+    }
+}
+
 /// A pending solve: redeem with [`wait`](Ticket::wait) (blocking) or
-/// [`try_wait`](Ticket::try_wait) (polling). Tickets outlive the service
-/// — shutdown drains the queue, so every issued ticket resolves.
+/// [`try_wait`](Ticket::try_wait) (polling); the `_timed` variants
+/// additionally report the per-ticket queue-wait and solve time. Tickets
+/// outlive the service — shutdown drains the queue, so every issued
+/// ticket resolves.
 #[derive(Debug)]
 pub struct Ticket {
     seq: u64,
@@ -175,15 +298,21 @@ impl Ticket {
     ///
     /// # Errors
     ///
-    /// Whatever [`MwhvcSolver::solve`] would return for this instance, or
-    /// [`SolveError::Panicked`] if the solve task panicked on its worker.
+    /// Whatever [`MwhvcSolver::solve`] would return for this instance,
+    /// [`SolveError::Panicked`] if the solve task panicked on its worker,
+    /// or [`SolveError::Expired`] if the submission's deadline passed
+    /// while it was still queued.
     pub fn wait(self) -> Result<CoverResult, SolveError> {
-        match self.inner.wait() {
-            Ok(result) => result,
-            Err(payload) => Err(SolveError::Panicked {
-                message: panic_message(payload.as_ref()),
-            }),
-        }
+        self.wait_timed().0
+    }
+
+    /// Like [`wait`](Self::wait), additionally reporting the ticket's
+    /// [`TaskTiming`]: `queue` is the time spent waiting in the
+    /// submission queue, `run` the solve time on the worker (zero for an
+    /// expired ticket).
+    pub fn wait_timed(self) -> (Result<CoverResult, SolveError>, TaskTiming) {
+        let (result, timing) = self.inner.wait_timed();
+        (flatten(result), timing)
     }
 
     /// Non-blocking redemption: `Ok(result)` if the solve has finished,
@@ -191,14 +320,31 @@ impl Ticket {
     /// running.
     #[allow(clippy::missing_errors_doc)] // Err is "not ready", not a failure
     pub fn try_wait(self) -> Result<Result<CoverResult, SolveError>, Ticket> {
+        self.try_wait_timed().map(|(result, _)| result)
+    }
+
+    /// Like [`try_wait`](Self::try_wait), additionally reporting the
+    /// ticket's [`TaskTiming`] on completion.
+    #[allow(clippy::missing_errors_doc)] // Err is "not ready", not a failure
+    pub fn try_wait_timed(self) -> Result<(Result<CoverResult, SolveError>, TaskTiming), Ticket> {
         let seq = self.seq;
-        match self.inner.try_wait() {
-            Ok(Ok(result)) => Ok(result),
-            Ok(Err(payload)) => Ok(Err(SolveError::Panicked {
-                message: panic_message(payload.as_ref()),
-            })),
+        match self.inner.try_wait_timed() {
+            Ok((result, timing)) => Ok((flatten(result), timing)),
             Err(inner) => Err(Ticket { seq, inner }),
         }
+    }
+}
+
+/// Collapses the pool-level task outcome into the service's error type.
+fn flatten(
+    result: Result<Result<CoverResult, SolveError>, TaskError>,
+) -> Result<CoverResult, SolveError> {
+    match result {
+        Ok(inner) => inner,
+        Err(TaskError::Panicked(payload)) => Err(SolveError::Panicked {
+            message: panic_message(payload.as_ref()),
+        }),
+        Err(TaskError::Expired { waited }) => Err(SolveError::Expired { waited }),
     }
 }
 
@@ -255,6 +401,27 @@ impl ResultCache {
     fn get(&self, seq: u64) -> Option<CacheEntry> {
         self.map.get(&seq).cloned()
     }
+
+    /// Rebounds the cache, evicting oldest-inserted entries down to the
+    /// new capacity (0 clears it entirely). Merely reassigning `capacity`
+    /// would leave already-inserted entries resident and resolvable past
+    /// the new bound.
+    fn resize(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        if capacity == 0 {
+            self.map.clear();
+            self.order.clear();
+            return;
+        }
+        while self.map.len() > capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
 }
 
 /// An asynchronous MWHVC solve service: one persistent worker pool behind
@@ -279,6 +446,10 @@ pub struct SolveService {
     /// Completed solves retained for delta warm-starts, keyed by seq.
     /// Shared with the in-flight solve tasks (they insert on success).
     cache: Arc<Mutex<ResultCache>>,
+    /// Scheduler metrics, shared with every pool this service builds (the
+    /// initial one, revivals, and take_pool rebuilds) so counters
+    /// accumulate across pool lifetimes.
+    metrics: Arc<SchedMetrics>,
 }
 
 impl SolveService {
@@ -305,7 +476,8 @@ impl SolveService {
     #[must_use]
     pub fn with_queue_capacity(config: MwhvcConfig, threads: usize, capacity: usize) -> Self {
         assert!(threads > 0, "need at least one worker thread");
-        let pool = SimPool::with_queue_capacity(threads, capacity);
+        let metrics = Arc::new(SchedMetrics::new());
+        let pool = SimPool::with_metrics(threads, capacity, Arc::clone(&metrics));
         Self {
             base: config,
             threads,
@@ -314,17 +486,24 @@ impl SolveService {
             seq: AtomicU64::new(0),
             open: AtomicBool::new(true),
             cache: Arc::new(Mutex::new(ResultCache::new(DEFAULT_RESULT_CACHE))),
+            metrics,
         }
     }
 
     /// Resizes the result cache backing
     /// [`submit_delta`](Self::submit_delta) (default:
     /// 256 completed solves; 0 disables retention entirely, making every
-    /// delta submission fail with [`SubmitError::UnknownBase`]). Consuming
-    /// builder style — call right after construction.
+    /// delta submission fail with [`SubmitError::UnknownBase`]).
+    /// Shrinking below the current population evicts the oldest-inserted
+    /// entries down to the new bound, and 0 clears every retained entry.
+    /// Consuming builder style — usually called right after construction,
+    /// but safe at any point.
     #[must_use]
     pub fn with_result_cache(self, capacity: usize) -> Self {
-        self.cache.lock().expect("result cache mutex").capacity = capacity;
+        self.cache
+            .lock()
+            .expect("result cache mutex")
+            .resize(capacity);
         self
     }
 
@@ -378,10 +557,28 @@ impl SolveService {
         self.open.load(Ordering::Acquire)
     }
 
-    /// Submits one instance with the given ε, **blocking while the queue
-    /// is at capacity**, and returns the ticket for its result. The
-    /// `Arc<Hypergraph>` payload is shared, never deep-copied — submit the
-    /// same instance any number of times for the cost of a refcount.
+    /// A point-in-time snapshot of the service's scheduling metrics:
+    /// per-class counters and queue-wait/solve-time latency histograms,
+    /// the queue-depth high-water mark, and total worker busy time.
+    /// Counters accumulate for the lifetime of the service (across pool
+    /// revivals) and remain readable after
+    /// [`shutdown`](Self::shutdown).
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            interactive: self.metrics.class(TaskClass::Interactive),
+            bulk: self.metrics.class(TaskClass::Bulk),
+            queue_depth_high_water: self.metrics.queue_depth_high_water(),
+            worker_busy: self.metrics.busy(),
+        }
+    }
+
+    /// Submits one bulk-class instance with the given ε, **blocking while
+    /// the queue is at capacity**, and returns the ticket for its result.
+    /// The `Arc<Hypergraph>` payload is shared, never deep-copied —
+    /// submit the same instance any number of times for the cost of a
+    /// refcount. Shorthand for [`submit_with`](Self::submit_with) with
+    /// default [`SubmitOptions`].
     ///
     /// # Errors
     ///
@@ -389,32 +586,65 @@ impl SolveService {
     /// after [`shutdown`](Self::shutdown). (Never
     /// [`SubmitError::Backpressure`] — this variant waits instead.)
     pub fn submit(&self, g: Arc<Hypergraph>, epsilon: f64) -> Result<Ticket, SubmitError> {
+        self.submit_with(g, epsilon, SubmitOptions::default())
+    }
+
+    /// Submits one instance under explicit [`SubmitOptions`] (request
+    /// class and optional queue deadline), blocking while the queue is at
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit); a deadline miss is *not* a submission
+    /// error — it resolves the ticket with [`SolveError::Expired`].
+    pub fn submit_with(
+        &self,
+        g: Arc<Hypergraph>,
+        epsilon: f64,
+        opts: SubmitOptions,
+    ) -> Result<Ticket, SubmitError> {
         let solver = self.solver_for(epsilon)?;
         let seq = self.next_seq();
         let task = self.recorded_solve(seq, g, epsilon, solver, None);
         let inner = self
             .current_queue()?
-            .submit(task)
+            .submit_with(opts.task_options(), task)
             .map_err(|_| SubmitError::ShutDown)?;
         Ok(Ticket { seq, inner })
     }
 
-    /// Non-blocking submission: enqueues only if a queue slot is free
-    /// right now. The `Arc` handle is cloned (a refcount increment — the
-    /// instance data is never copied), so the caller keeps its handle for
-    /// a later retry.
+    /// Non-blocking bulk-class submission: enqueues only if a queue slot
+    /// is free right now. The `Arc` handle is cloned (a refcount
+    /// increment — the instance data is never copied), so the caller
+    /// keeps its handle for a later retry. Shorthand for
+    /// [`try_submit_with`](Self::try_submit_with) with default
+    /// [`SubmitOptions`].
     ///
     /// # Errors
     ///
     /// [`SubmitError::Backpressure`] when the queue is full, otherwise as
     /// [`submit`](Self::submit).
     pub fn try_submit(&self, g: &Arc<Hypergraph>, epsilon: f64) -> Result<Ticket, SubmitError> {
+        self.try_submit_with(g, epsilon, SubmitOptions::default())
+    }
+
+    /// Non-blocking submission under explicit [`SubmitOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`try_submit`](Self::try_submit).
+    pub fn try_submit_with(
+        &self,
+        g: &Arc<Hypergraph>,
+        epsilon: f64,
+        opts: SubmitOptions,
+    ) -> Result<Ticket, SubmitError> {
         let solver = self.solver_for(epsilon)?;
         let seq = self.next_seq();
         let task = self.recorded_solve(seq, Arc::clone(g), epsilon, solver, None);
         let inner = self
             .current_queue()?
-            .try_submit(task)
+            .try_submit_with(opts.task_options(), task)
             .map_err(|e| match e {
                 TrySubmitError::Full => SubmitError::Backpressure {
                     capacity: self.queue_capacity,
@@ -452,6 +682,23 @@ impl SolveService {
         delta: &InstanceDelta,
         epsilon: Option<f64>,
     ) -> Result<(Ticket, Arc<Hypergraph>), SubmitError> {
+        self.submit_delta_with(base_seq, delta, epsilon, SubmitOptions::default())
+    }
+
+    /// [`submit_delta`](Self::submit_delta) under explicit
+    /// [`SubmitOptions`] (request class and optional queue deadline).
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_delta`](Self::submit_delta); a deadline miss resolves
+    /// the ticket with [`SolveError::Expired`].
+    pub fn submit_delta_with(
+        &self,
+        base_seq: u64,
+        delta: &InstanceDelta,
+        epsilon: Option<f64>,
+        opts: SubmitOptions,
+    ) -> Result<(Ticket, Arc<Hypergraph>), SubmitError> {
         let entry = self
             .cache
             .lock()
@@ -469,7 +716,7 @@ impl SolveService {
         let task = self.recorded_solve(seq, Arc::clone(&g), epsilon, solver, Some(warm));
         let inner = self
             .current_queue()?
-            .submit(task)
+            .submit_with(opts.task_options(), task)
             .map_err(|_| SubmitError::ShutDown)?;
         Ok((Ticket { seq, inner }, g))
     }
@@ -513,10 +760,16 @@ impl SolveService {
         if let Some(pool) = slot.as_ref() {
             return Ok(pool.queue());
         }
-        let pool = SimPool::with_queue_capacity(self.threads, self.queue_capacity);
+        let pool = self.build_pool();
         let queue = pool.queue();
         *slot = Some(pool);
         Ok(queue)
+    }
+
+    /// Builds a pool wired to this service's long-lived metrics sink, so
+    /// scheduling counters accumulate across pool rebuilds.
+    fn build_pool(&self) -> SimPool<MwhvcNode> {
+        SimPool::with_metrics(self.threads, self.queue_capacity, Arc::clone(&self.metrics))
     }
 
     /// Draws the next sequence id. Ids are allocated before the enqueue so
@@ -572,10 +825,20 @@ impl SolveService {
     where
         F: FnOnce(&mut EngineArena<MwhvcNode>) -> Result<CoverResult, SolveError> + Send + 'static,
     {
+        self.submit_task_with(SubmitOptions::default(), f)
+    }
+
+    /// [`submit_task`](Self::submit_task) under explicit options, for
+    /// deterministic class-scheduling tests.
+    #[cfg(test)]
+    fn submit_task_with<F>(&self, opts: SubmitOptions, f: F) -> Result<Ticket, SubmitError>
+    where
+        F: FnOnce(&mut EngineArena<MwhvcNode>) -> Result<CoverResult, SolveError> + Send + 'static,
+    {
         let seq = self.next_seq();
         let inner = self
             .current_queue()?
-            .submit(f)
+            .submit_with(opts.task_options(), f)
             .map_err(|_| SubmitError::ShutDown)?;
         Ok(Ticket { seq, inner })
     }
@@ -591,7 +854,7 @@ impl SolveService {
             .lock()
             .expect("pool mutex")
             .take()
-            .unwrap_or_else(|| SimPool::with_queue_capacity(self.threads, self.queue_capacity))
+            .unwrap_or_else(|| self.build_pool())
     }
 
     /// Returns the pool after a chunk-parallel solve.
@@ -613,44 +876,62 @@ mod tests {
         Arc::new(from_weighted_edge_lists(&[10, 1, 10], &[&[0, 1], &[1, 2]]).unwrap())
     }
 
-    /// A gate the injected tasks block on, to pin queue states
-    /// deterministically.
-    struct Gate(Mutex<bool>, Condvar);
+    /// A two-phase gate the injected tasks block on, to pin queue states
+    /// deterministically: a task calls [`Gate::arrive_and_wait`]
+    /// (signalling that a worker picked it up, then blocking until
+    /// release), the test thread waits for a given arrival count on the
+    /// condvar — no spinning, no burned core on 1-CPU CI.
+    struct Gate {
+        /// (arrived count, open flag).
+        state: Mutex<(usize, bool)>,
+        cv: Condvar,
+    }
 
     impl Gate {
         fn new() -> Arc<Self> {
-            Arc::new(Gate(Mutex::new(false), Condvar::new()))
+            Arc::new(Gate {
+                state: Mutex::new((0, false)),
+                cv: Condvar::new(),
+            })
         }
         fn release(&self) {
-            *self.0.lock().unwrap() = true;
-            self.1.notify_all();
+            let mut state = self.state.lock().unwrap();
+            state.1 = true;
+            self.cv.notify_all();
         }
-        fn wait(&self) {
-            let mut open = self.0.lock().unwrap();
-            while !*open {
-                open = self.1.wait(open).unwrap();
+        fn arrive_and_wait(&self) {
+            let mut state = self.state.lock().unwrap();
+            state.0 += 1;
+            self.cv.notify_all();
+            while !state.1 {
+                state = self.cv.wait(state).unwrap();
+            }
+        }
+        fn await_arrivals(&self, n: usize) {
+            let mut state = self.state.lock().unwrap();
+            while state.0 < n {
+                state = self.cv.wait(state).unwrap();
             }
         }
     }
 
-    /// Occupies every worker with a gated task and waits until all of
-    /// them have been *picked up* (queue drained), so subsequent
-    /// submissions fill the queue deterministically.
+    /// Occupies every worker with a gated task and waits (condvar-based —
+    /// the tasks themselves signal pickup) until all of them have been
+    /// *dequeued*, so subsequent submissions fill the queue
+    /// deterministically.
     fn occupy_workers(service: &SolveService, gate: &Arc<Gate>) -> Vec<Ticket> {
         let tickets: Vec<Ticket> = (0..service.threads())
             .map(|_| {
                 let gate = Arc::clone(gate);
                 service
                     .submit_task(move |_arena| {
-                        gate.wait();
+                        gate.arrive_and_wait();
                         Ok(CoverResult::empty())
                     })
                     .unwrap()
             })
             .collect();
-        while service.queued() > 0 {
-            std::thread::yield_now();
-        }
+        gate.await_arrivals(service.threads());
         tickets
     }
 
@@ -1035,5 +1316,243 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn interactive_submissions_dequeue_before_bulk_fifo_within_class() {
+        let gate = Gate::new();
+        let service = SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 8);
+        let busy = occupy_workers(&service, &gate);
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut tickets = Vec::new();
+        for name in ["b1", "b2"] {
+            let order = Arc::clone(&order);
+            tickets.push(
+                service
+                    .submit_task_with(SubmitOptions::bulk(), move |_arena| {
+                        order.lock().unwrap().push(name);
+                        Ok(CoverResult::empty())
+                    })
+                    .unwrap(),
+            );
+        }
+        for name in ["i1", "i2"] {
+            let order = Arc::clone(&order);
+            tickets.push(
+                service
+                    .submit_task_with(SubmitOptions::interactive(), move |_arena| {
+                        order.lock().unwrap().push(name);
+                        Ok(CoverResult::empty())
+                    })
+                    .unwrap(),
+            );
+        }
+        gate.release();
+        for t in busy.into_iter().chain(tickets) {
+            t.wait().unwrap();
+        }
+        // Interactive jumped the queued bulk work; FIFO within each class.
+        assert_eq!(*order.lock().unwrap(), vec!["i1", "i2", "b1", "b2"]);
+    }
+
+    #[test]
+    fn queued_submission_past_its_deadline_resolves_as_expired() {
+        let gate = Gate::new();
+        let service = SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 8);
+        let busy = occupy_workers(&service, &gate);
+        let g = tiny();
+        let doomed = service
+            .submit_with(
+                Arc::clone(&g),
+                0.5,
+                SubmitOptions::interactive().with_deadline(std::time::Duration::ZERO),
+            )
+            .unwrap();
+        let alive = service.submit(Arc::clone(&g), 0.5).unwrap();
+        gate.release();
+        for t in busy {
+            t.wait().unwrap();
+        }
+        let (result, timing) = doomed.wait_timed();
+        match result {
+            Err(SolveError::Expired { waited }) => assert_eq!(waited, timing.queue),
+            other => panic!("expected Expired, got {other:?}"),
+        }
+        assert_eq!(timing.run, std::time::Duration::ZERO, "solve never ran");
+        assert!(alive.wait().unwrap().cover.is_cover_of(&g));
+        let m = service.metrics();
+        assert_eq!(m.interactive.expired, 1);
+        assert_eq!(m.interactive.completed, 0);
+        assert_eq!(m.bulk.expired, 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_counts_classes_histograms_and_busy_time() {
+        let service = SolveService::with_epsilon(0.5, 2).unwrap();
+        let g = tiny();
+        let mut tickets = Vec::new();
+        for _ in 0..3 {
+            tickets.push(service.submit(Arc::clone(&g), 0.5).unwrap());
+        }
+        for _ in 0..2 {
+            tickets.push(
+                service
+                    .submit_with(Arc::clone(&g), 0.5, SubmitOptions::interactive())
+                    .unwrap(),
+            );
+        }
+        for t in tickets {
+            let (result, timing) = t.wait_timed();
+            result.unwrap();
+            assert!(timing.run > std::time::Duration::ZERO, "solve was clocked");
+        }
+        let m = service.metrics();
+        assert_eq!(m.bulk.submitted, 3);
+        assert_eq!(m.bulk.completed, 3);
+        assert_eq!(m.interactive.submitted, 2);
+        assert_eq!(m.interactive.completed, 2);
+        assert_eq!(m.bulk.queue_wait.count(), 3);
+        assert_eq!(m.bulk.run_time.count(), 3);
+        assert_eq!(m.interactive.run_time.count(), 2);
+        assert_eq!(m.interactive.expired + m.bulk.expired, 0);
+        assert!(m.queue_depth_high_water >= 1);
+        assert!(m.worker_busy > std::time::Duration::ZERO);
+        assert_eq!(m.class(TaskClass::Bulk).completed, 3);
+        // The snapshot stays readable after shutdown.
+        service.shutdown();
+        assert_eq!(service.metrics().bulk.completed, 3);
+    }
+
+    #[test]
+    fn metrics_accumulate_across_pool_revival() {
+        let service = SolveService::with_epsilon(0.5, 2).unwrap();
+        let g = tiny();
+        service.submit(Arc::clone(&g), 0.5).unwrap().wait().unwrap();
+        // Destroy the pool (the poisoned-solve shape); the revived pool
+        // must keep recording into the same metrics sink.
+        drop(service.take_pool());
+        service.submit(Arc::clone(&g), 0.5).unwrap().wait().unwrap();
+        let m = service.metrics();
+        assert_eq!(m.bulk.submitted, 2);
+        assert_eq!(m.bulk.completed, 2);
+    }
+
+    #[test]
+    fn backpressure_rejections_show_up_in_metrics() {
+        let gate = Gate::new();
+        let service = SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 1);
+        let busy = occupy_workers(&service, &gate);
+        let g = tiny();
+        let q = service.try_submit(&g, 0.5).unwrap();
+        assert!(matches!(
+            service.try_submit_with(&g, 0.5, SubmitOptions::interactive()),
+            Err(SubmitError::Backpressure { .. })
+        ));
+        gate.release();
+        for t in busy {
+            t.wait().unwrap();
+        }
+        q.wait().unwrap();
+        let m = service.metrics();
+        assert_eq!(m.interactive.rejected, 1);
+        assert_eq!(m.bulk.rejected, 0);
+    }
+
+    #[test]
+    fn shrinking_the_result_cache_evicts_resident_entries() {
+        // Regression: with_result_cache used to only reassign `capacity`,
+        // leaving already-inserted entries resident and resolvable past
+        // the new bound (and capacity 0 left everything behind).
+        use dcover_hypergraph::InstanceDelta;
+        let service = SolveService::with_epsilon(0.5, 1).unwrap();
+        let g = tiny();
+        let seqs: Vec<u64> = (0..3)
+            .map(|_| {
+                let t = service.submit(Arc::clone(&g), 0.5).unwrap();
+                let seq = t.seq();
+                t.wait().unwrap();
+                seq
+            })
+            .collect();
+        // Shrink below the population: only the newest entry survives.
+        let service = service.with_result_cache(1);
+        for &seq in &seqs[..2] {
+            assert_eq!(
+                service
+                    .submit_delta(seq, &InstanceDelta::empty(), None)
+                    .unwrap_err(),
+                SubmitError::UnknownBase { seq },
+                "entry {seq} must have been evicted by the shrink"
+            );
+        }
+        let (t, _) = service
+            .submit_delta(seqs[2], &InstanceDelta::empty(), None)
+            .unwrap();
+        let delta_seq = t.seq();
+        t.wait().unwrap();
+        // Capacity 0 clears the survivors (including the delta's own
+        // freshly recorded result) and disables retention entirely.
+        let service = service.with_result_cache(0);
+        for seq in [seqs[2], delta_seq] {
+            assert_eq!(
+                service
+                    .submit_delta(seq, &InstanceDelta::empty(), None)
+                    .unwrap_err(),
+                SubmitError::UnknownBase { seq }
+            );
+        }
+        let t = service.submit(Arc::clone(&g), 0.5).unwrap();
+        let seq = t.seq();
+        t.wait().unwrap();
+        assert_eq!(
+            service
+                .submit_delta(seq, &InstanceDelta::empty(), None)
+                .unwrap_err(),
+            SubmitError::UnknownBase { seq },
+            "capacity 0 retains nothing"
+        );
+    }
+
+    #[test]
+    fn growing_the_result_cache_keeps_resident_entries() {
+        use dcover_hypergraph::InstanceDelta;
+        let service = SolveService::with_epsilon(0.5, 1)
+            .unwrap()
+            .with_result_cache(2);
+        let g = tiny();
+        let t = service.submit(Arc::clone(&g), 0.5).unwrap();
+        let seq = t.seq();
+        t.wait().unwrap();
+        let service = service.with_result_cache(64);
+        let (t, _) = service
+            .submit_delta(seq, &InstanceDelta::empty(), None)
+            .unwrap();
+        t.wait().unwrap();
+    }
+
+    #[test]
+    fn delta_submissions_carry_class_and_deadline() {
+        use dcover_hypergraph::InstanceDelta;
+        let gate = Gate::new();
+        let service = SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 8);
+        let g = tiny();
+        let base = service.submit(Arc::clone(&g), 0.5).unwrap();
+        let base_seq = base.seq();
+        base.wait().unwrap();
+        let busy = occupy_workers(&service, &gate);
+        let (doomed, _) = service
+            .submit_delta_with(
+                base_seq,
+                &InstanceDelta::empty(),
+                None,
+                SubmitOptions::interactive().with_deadline(std::time::Duration::ZERO),
+            )
+            .unwrap();
+        gate.release();
+        for t in busy {
+            t.wait().unwrap();
+        }
+        assert!(matches!(doomed.wait(), Err(SolveError::Expired { .. })));
+        assert_eq!(service.metrics().interactive.expired, 1);
     }
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the class-scheduling latency benchmark and writes BENCH_sched.json
+# (interactive-request p50/p99 queue wait under a saturating bulk backlog,
+# FIFO submission vs the Interactive request class through the same
+# SolveService; solver outputs are asserted bit-identical between the two
+# schedules — and to per-instance solves — before any timing) at the
+# repository root. Usage: scripts/bench_sched.sh [out.json]
+# Smoke mode (seconds instead of minutes, for CI bitrot checks):
+#   BENCH_SCHED_SMOKE=1 scripts/bench_sched.sh /tmp/BENCH_sched_smoke.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_sched.json}"
+case "$OUT" in
+  /*) ABS="$OUT" ;;
+  *) ABS="$(pwd)/$OUT" ;;
+esac
+BENCH_SCHED_JSON="$ABS" cargo bench -p dcover-bench --bench sched
+echo "--- $OUT ---"
+cat "$ABS"

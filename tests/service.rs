@@ -7,8 +7,11 @@
 //! these tests drive real solves only.)
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use dcover_core::{MwhvcSolver, SolveService, SolveSession, SubmitError};
+use dcover_core::{
+    MwhvcSolver, RequestClass, SolveError, SolveService, SolveSession, SubmitError, SubmitOptions,
+};
 use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
 use dcover_hypergraph::Hypergraph;
 use rand::rngs::StdRng;
@@ -166,6 +169,221 @@ fn batch_wrappers_match_direct_service_submission() {
         assert_eq!(d.duals, b.duals, "instance {i}");
         assert_eq!(d.report, b.report, "instance {i}");
     }
+}
+
+#[test]
+fn interactive_class_jumps_the_bulk_backlog_fifo_within_class() {
+    // One worker, one long-running instance occupying it, then a bulk
+    // backlog and an interactive burst submitted while it runs. With a
+    // serial worker, per-ticket queue waits order exactly like dequeues:
+    // every interactive wait must undercut every bulk wait (class
+    // priority), and waits must increase in submission order within each
+    // class (FIFO).
+    let mut rng = StdRng::seed_from_u64(41);
+    let blocker = Arc::new(random_uniform(
+        &RandomUniform {
+            n: 700,
+            m: 1600,
+            rank: 3,
+            weights: WeightDist::Uniform { min: 1, max: 50 },
+        },
+        &mut rng,
+    ));
+    let small: Vec<Arc<Hypergraph>> = (0..12)
+        .map(|_| {
+            Arc::new(random_uniform(
+                &RandomUniform {
+                    n: 40,
+                    m: 90,
+                    rank: 3,
+                    weights: WeightDist::Uniform { min: 1, max: 9 },
+                },
+                &mut rng,
+            ))
+        })
+        .collect();
+    let service =
+        SolveService::with_queue_capacity(dcover_core::MwhvcConfig::new(0.5).unwrap(), 1, 64);
+    let gate = service.submit(Arc::clone(&blocker), 0.5).unwrap();
+    // Bulk submitted *before* interactive: priority, not arrival order,
+    // must decide the dequeue order.
+    let bulk: Vec<_> = small[..6]
+        .iter()
+        .map(|g| {
+            service
+                .submit_with(Arc::clone(g), 0.5, SubmitOptions::bulk())
+                .unwrap()
+        })
+        .collect();
+    let interactive: Vec<_> = small[6..]
+        .iter()
+        .map(|g| {
+            service
+                .submit_with(Arc::clone(g), 0.5, SubmitOptions::interactive())
+                .unwrap()
+        })
+        .collect();
+    gate.wait().unwrap();
+    let interactive_waits: Vec<Duration> = interactive
+        .into_iter()
+        .map(|t| {
+            let (result, timing) = t.wait_timed();
+            result.unwrap();
+            timing.queue
+        })
+        .collect();
+    let bulk_waits: Vec<Duration> = bulk
+        .into_iter()
+        .map(|t| {
+            let (result, timing) = t.wait_timed();
+            result.unwrap();
+            timing.queue
+        })
+        .collect();
+    let max_interactive = interactive_waits.iter().max().unwrap();
+    let min_bulk = bulk_waits.iter().min().unwrap();
+    assert!(
+        max_interactive < min_bulk,
+        "every interactive dequeue precedes every bulk dequeue \
+         (max interactive wait {max_interactive:?} vs min bulk wait {min_bulk:?})"
+    );
+    for waits in [&interactive_waits, &bulk_waits] {
+        for pair in waits.windows(2) {
+            assert!(pair[0] < pair[1], "FIFO within class: {waits:?}");
+        }
+    }
+    service.shutdown();
+}
+
+#[test]
+fn concurrent_mixed_class_submitters_every_ticket_resolves_exactly_once() {
+    // Four submitter threads (two interactive, two bulk) hammer a
+    // 2-worker service through a 2-deep queue with non-blocking
+    // submissions — every third attempt carrying an already-hopeless
+    // deadline — while the main thread shuts the service down mid-stream.
+    // Accounting must close exactly: every attempt either yielded a
+    // ticket (which resolves exactly once, as completed or expired) or
+    // was refused (backpressure / shutdown).
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = Arc::new(random_uniform(
+        &RandomUniform {
+            n: 150,
+            m: 400,
+            rank: 3,
+            weights: WeightDist::Uniform { min: 1, max: 20 },
+        },
+        &mut rng,
+    ));
+    let service = Arc::new(SolveService::with_queue_capacity(
+        dcover_core::MwhvcConfig::new(0.5).unwrap(),
+        2,
+        2,
+    ));
+
+    #[derive(Default)]
+    struct Tally {
+        completed: usize,
+        expired: usize,
+        backpressure: usize,
+        shut_down: usize,
+        zero_deadline_issued: usize,
+    }
+
+    let handles: Vec<_> = (0..4)
+        .map(|worker: usize| {
+            let service = Arc::clone(&service);
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || {
+                let class = if worker.is_multiple_of(2) {
+                    RequestClass::Interactive
+                } else {
+                    RequestClass::Bulk
+                };
+                let mut tally = Tally::default();
+                let mut tickets = Vec::new();
+                for attempt in 0..30 {
+                    let mut opts = SubmitOptions {
+                        class,
+                        deadline: None,
+                    };
+                    let doomed = attempt % 3 == 2;
+                    if doomed {
+                        opts = opts.with_deadline(Duration::ZERO);
+                    }
+                    match service.try_submit_with(&g, 0.5, opts) {
+                        Ok(t) => {
+                            if doomed {
+                                tally.zero_deadline_issued += 1;
+                            }
+                            tickets.push(t);
+                        }
+                        Err(SubmitError::Backpressure { capacity }) => {
+                            assert_eq!(capacity, 2);
+                            tally.backpressure += 1;
+                        }
+                        Err(SubmitError::ShutDown) => {
+                            // The door never reopens; count the rest of
+                            // the attempts as shed and stop submitting.
+                            tally.shut_down += 30 - attempt;
+                            break;
+                        }
+                        Err(other) => panic!("unexpected submit error: {other:?}"),
+                    }
+                }
+                (tally, tickets)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(25));
+    service.shutdown();
+
+    let mut total = Tally::default();
+    let mut attempts_accounted = 0usize;
+    for handle in handles {
+        let (tally, tickets) = handle.join().unwrap();
+        attempts_accounted += tickets.len() + tally.backpressure + tally.shut_down;
+        total.backpressure += tally.backpressure;
+        total.shut_down += tally.shut_down;
+        total.zero_deadline_issued += tally.zero_deadline_issued;
+        for t in tickets {
+            // Shutdown drained both classes: nothing is left hanging.
+            assert!(t.is_done(), "shutdown resolves every issued ticket");
+            match t.wait() {
+                Ok(result) => {
+                    assert!(result.cover.is_cover_of(&g));
+                    total.completed += 1;
+                }
+                Err(SolveError::Expired { .. }) => total.expired += 1,
+                Err(other) => panic!("unexpected solve outcome: {other:?}"),
+            }
+        }
+    }
+    // Every attempt resolved exactly once, one way or another.
+    assert_eq!(attempts_accounted, 4 * 30);
+    assert!(total.completed > 0, "some solves ran to completion");
+    assert!(
+        total.backpressure > 0,
+        "a 2-deep queue under 4 hammering submitters must push back"
+    );
+    if total.zero_deadline_issued > 0 {
+        assert!(
+            total.expired > 0,
+            "zero-deadline tickets were issued ({}) but none expired",
+            total.zero_deadline_issued
+        );
+    }
+    // The service's own accounting agrees with the caller's.
+    let m = service.metrics();
+    assert_eq!(
+        m.interactive.completed + m.bulk.completed,
+        total.completed as u64
+    );
+    assert_eq!(m.interactive.expired + m.bulk.expired, total.expired as u64);
+    assert_eq!(
+        m.interactive.rejected + m.bulk.rejected,
+        total.backpressure as u64
+    );
 }
 
 #[test]
