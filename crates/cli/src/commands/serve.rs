@@ -39,10 +39,35 @@
 //! ```
 //!
 //! Interactive records dequeue before queued bulk records (FIFO within a
-//! class). A record still queued when its deadline passes resolves as an
-//! `"ok": false, "expired": true` line **without occupying a worker** —
-//! deadline expiry is load-shedding, counted separately from failures
-//! and not reflected in the exit code.
+//! class). Deadlines cover the record's **whole lifecycle**: a record
+//! still queued when its deadline passes is discarded without occupying
+//! a worker, and one already solving stops cooperatively at its next
+//! round boundary — either way it resolves as an `"ok": false,
+//! "expired": true` line.
+//!
+//! # Cancellation, aging, and shedding
+//!
+//! * `c @cancel SEQ` — a standalone comment line (outside record bodies
+//!   it is processed the moment it is read, never buffered) abandons the
+//!   in-flight record with reader seq `SEQ`: still queued, it is
+//!   discarded; already solving, it stops at the next round boundary.
+//!   The record resolves as an `"ok": false, "cancelled": true` line. A
+//!   cancel that arrives after the solve finished is a no-op (the result
+//!   line is emitted normally).
+//! * `--bulk-max-wait-ms N` — anti-starvation aging: a bulk record
+//!   queued at least `N` ms is dequeued ahead of younger interactive
+//!   records, so an interactive flood cannot starve bulk forever.
+//! * `--shed-target-ms N` — SLO-driven admission control: while the
+//!   rolling interactive queue-wait p99 exceeds `N` ms, new bulk
+//!   records are **shed** at the door (an `"ok": false, "shed": true`
+//!   line; nothing is enqueued). Interactive records are never shed.
+//!
+//! # Exit-code contract
+//!
+//! The exit code reflects **failures only** (parse errors, solver
+//! errors, panics). Expired, cancelled, and shed records are load
+//! management doing its job — they are counted and reported separately
+//! (summary line and `--metrics`) and never fail the exit code.
 //!
 //! # Latency accounting
 //!
@@ -55,9 +80,11 @@
 //! solve time and dropped parse time entirely.
 //!
 //! With `--metrics`, one final `{"metrics": …}` JSON line follows the
-//! last result: per-class submitted/completed/expired/rejected counters
-//! and queue-wait/solve-time quantiles (from the service's fixed-bucket
-//! histograms), the queue-depth high-water mark, and worker busy time.
+//! last result: per-class
+//! submitted/completed/expired/cancelled/shed/rejected counters and
+//! queue-wait/solve-time quantiles (from the service's fixed-bucket
+//! histograms), the queue-depth high-water mark, worker busy time, and
+//! the rolling interactive queue-wait p99 (the shedding signal).
 //!
 //! The submission queue is bounded (`--queue`); when it fills, the reader
 //! applies natural backpressure by blocking on `submit` until a worker
@@ -71,7 +98,7 @@ use std::time::{Duration, Instant};
 
 use dcover_core::{
     ClassMetrics, LatencyHistogram, RequestClass, ServiceMetrics, SolveError, SolveService,
-    SubmitOptions, Ticket,
+    SubmitError, SubmitOptions, Ticket,
 };
 use dcover_hypergraph::{format, Hypergraph};
 
@@ -117,15 +144,26 @@ enum Outcome {
 /// forever in the long-running server shape this command exists for.
 const OUTCOME_RETENTION: usize = 1024;
 
-/// Running totals for the stderr summary and the exit code.
+/// Running totals for the stderr summary and the exit code. Only
+/// `failed` affects the exit code: expired, cancelled, and shed records
+/// are load management, counted and reported separately.
 #[derive(Default)]
 struct Totals {
     ok: usize,
     failed: usize,
-    /// Deadline expiries: load-shedding, not failures — reported but not
-    /// reflected in the exit code.
+    /// Deadline expiries (queued discard or mid-run stop).
     expired: usize,
+    /// Records abandoned by a `c @cancel SEQ` directive.
+    cancelled: usize,
+    /// Bulk records refused at the door by SLO shedding.
+    shed: usize,
     warm: usize,
+}
+
+impl Totals {
+    fn records(&self) -> usize {
+        self.ok + self.failed + self.expired + self.cancelled + self.shed
+    }
 }
 
 /// The reader-side stream state: everything the emit/poll helpers touch.
@@ -144,6 +182,14 @@ struct Stream {
     totals: Totals,
 }
 
+/// Recognizes a `c @cancel SEQ` directive line, returning the raw seq
+/// operand (empty if missing).
+fn cancel_directive(line: &str) -> Option<&str> {
+    let mut words = line.split_whitespace();
+    (words.next() == Some("c") && words.next() == Some("@cancel"))
+        .then(|| words.next().unwrap_or(""))
+}
+
 /// Parses a `--class` style value.
 fn parse_class(raw: &str) -> Result<RequestClass, String> {
     match raw {
@@ -156,12 +202,22 @@ fn parse_class(raw: &str) -> Result<RequestClass, String> {
 }
 
 /// `dcover serve [--eps E] [--threads N] [--queue C] [--variant V]
-/// [--class interactive|bulk] [--deadline-ms N] [--metrics]`
+/// [--class interactive|bulk] [--deadline-ms N] [--bulk-max-wait-ms N]
+/// [--shed-target-ms N] [--metrics]`
 pub fn serve(raw: &[String]) -> Result<(), Failure> {
     let parsed = args::parse(
         raw,
         &["metrics"],
-        &["eps", "threads", "queue", "variant", "class", "deadline-ms"],
+        &[
+            "eps",
+            "threads",
+            "queue",
+            "variant",
+            "class",
+            "deadline-ms",
+            "bulk-max-wait-ms",
+            "shed-target-ms",
+        ],
     )
     .map_err(usage)?;
     if !parsed.positional.is_empty() {
@@ -185,19 +241,31 @@ pub fn serve(raw: &[String]) -> Result<(), Failure> {
         None => RequestClass::Bulk,
         Some(raw) => parse_class(raw).map_err(usage)?,
     };
-    let deadline = match parsed.value("deadline-ms") {
-        None => None,
-        Some(raw) => {
-            let ms: u64 = raw
-                .parse()
-                .map_err(|_| usage(format!("invalid value `{raw}` for --deadline-ms")))?;
-            Some(Duration::from_millis(ms))
+    let ms_flag = |name: &str| -> Result<Option<Duration>, Failure> {
+        match parsed.value(name) {
+            None => Ok(None),
+            Some(raw) => {
+                let ms: u64 = raw
+                    .parse()
+                    .map_err(|_| usage(format!("invalid value `{raw}` for --{name}")))?;
+                Ok(Some(Duration::from_millis(ms)))
+            }
         }
     };
+    let deadline = ms_flag("deadline-ms")?;
+    let bulk_max_wait = ms_flag("bulk-max-wait-ms")?;
+    let shed_target = ms_flag("shed-target-ms")?;
     let emit_metrics = parsed.switch("metrics");
 
+    let mut service = SolveService::with_queue_capacity(config, threads, queue);
+    if let Some(bound) = bulk_max_wait {
+        service = service.with_bulk_max_wait(bound);
+    }
+    if let Some(target) = shed_target {
+        service = service.with_shed_target(target);
+    }
     let mut stream = Stream {
-        service: SolveService::with_queue_capacity(config, threads, queue),
+        service,
         eps,
         defaults: SubmitOptions { class, deadline },
         next_seq: 0,
@@ -212,6 +280,14 @@ pub fn serve(raw: &[String]) -> Result<(), Failure> {
     let mut have_header = false;
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| runtime(format!("reading stdin: {e}")))?;
+        // Cancellation is time-sensitive: a `c @cancel SEQ` line acts the
+        // moment it is read (even between the lines of a record) and is
+        // never buffered into a record body.
+        if let Some(target) = cancel_directive(&line) {
+            stream.cancel(target);
+            stream.poll_completed();
+            continue;
+        }
         let is_header = line.split_whitespace().next() == Some("p");
         if is_header && have_header {
             stream.submit(&buffer);
@@ -251,13 +327,18 @@ pub fn serve(raw: &[String]) -> Result<(), Failure> {
 
     let totals = &stream.totals;
     eprintln!(
-        "serve: {} records, {} ok ({} warm-started), {} expired, {} failed ({threads} threads, queue {queue})",
-        totals.ok + totals.failed + totals.expired,
+        "serve: {} records, {} ok ({} warm-started), {} expired, {} cancelled, {} shed, {} failed ({threads} threads, queue {queue})",
+        totals.records(),
         totals.ok,
         totals.warm,
         totals.expired,
+        totals.cancelled,
+        totals.shed,
         totals.failed,
     );
+    // Exit-code contract: only genuine failures (parse/solver errors,
+    // panics) fail the run — expired, cancelled, and shed records are
+    // load management, not errors.
     if totals.failed > 0 {
         return Err(runtime(format!("{} records failed", totals.failed)));
     }
@@ -283,6 +364,24 @@ impl Stream {
             self.submit_delta(seq, text, opts);
         } else {
             self.submit_instance(seq, text, opts);
+        }
+    }
+
+    /// Handles a `c @cancel SEQ` directive: cooperatively abandons the
+    /// pending record with that reader seq (still queued → discarded;
+    /// already solving → stopped at its next round boundary). A seq that
+    /// is unknown or already resolved is a benign no-op — the cancel
+    /// simply lost the race.
+    fn cancel(&mut self, raw: &str) {
+        match raw.parse::<u64>() {
+            Ok(seq) => {
+                if let Some(p) = self.pending.iter().find(|p| p.seq == seq) {
+                    p.ticket.cancel();
+                }
+            }
+            Err(_) => {
+                eprintln!("serve: ignoring malformed directive `c @cancel {raw}` (seq expected)");
+            }
         }
     }
 
@@ -332,6 +431,7 @@ impl Stream {
                         ticket,
                         g,
                     }),
+                    Err(SubmitError::Overloaded { .. }) => self.emit_shed(seq, opts.class),
                     Err(e) => self.emit_error(seq, &e.to_string()),
                 }
             }
@@ -403,6 +503,7 @@ impl Stream {
                 ticket,
                 g,
             }),
+            Err(SubmitError::Overloaded { .. }) => self.emit_shed(seq, opts.class),
             Err(e) => self.emit_error(seq, &e.to_string()),
         }
     }
@@ -460,6 +561,9 @@ impl Stream {
                         Err(SolveError::Expired { .. }) => {
                             self.emit_expired(seq, class, queue_ms);
                         }
+                        Err(SolveError::Cancelled) => {
+                            self.emit_cancelled(seq, class, queue_ms);
+                        }
                         Err(e) => {
                             self.emit_error(seq, &e.to_string());
                         }
@@ -491,9 +595,9 @@ impl Stream {
         self.record_outcome(seq, Outcome::Failed);
     }
 
-    /// A deadline miss: typed load-shedding, reported with its own field
-    /// (and counted apart from failures — it does not fail the exit
-    /// code).
+    /// A deadline miss: typed load management, reported with its own
+    /// field (and counted apart from failures — it does not fail the
+    /// exit code).
     fn emit_expired(&mut self, seq: u64, class: RequestClass, queue_ms: f64) {
         let line = Obj::new()
             .num("seq", seq)
@@ -503,11 +607,46 @@ impl Stream {
             .float("queue_ms", queue_ms)
             .str(
                 "error",
-                "deadline expired while queued; the solve never ran",
+                "deadline expired (discarded while queued, or stopped at a round boundary)",
             )
             .build();
         println!("{line}");
         self.totals.expired += 1;
+        self.record_outcome(seq, Outcome::Failed);
+    }
+
+    /// A `c @cancel` that landed: caller-requested abandonment, counted
+    /// apart from failures — it does not fail the exit code.
+    fn emit_cancelled(&mut self, seq: u64, class: RequestClass, queue_ms: f64) {
+        let line = Obj::new()
+            .num("seq", seq)
+            .bool("ok", false)
+            .bool("cancelled", true)
+            .str("class", class.name())
+            .float("queue_ms", queue_ms)
+            .str("error", "cancelled by `c @cancel` directive")
+            .build();
+        println!("{line}");
+        self.totals.cancelled += 1;
+        self.record_outcome(seq, Outcome::Failed);
+    }
+
+    /// A bulk record refused at the door by SLO shedding: overload
+    /// protection, counted apart from failures — it does not fail the
+    /// exit code.
+    fn emit_shed(&mut self, seq: u64, class: RequestClass) {
+        let line = Obj::new()
+            .num("seq", seq)
+            .bool("ok", false)
+            .bool("shed", true)
+            .str("class", class.name())
+            .str(
+                "error",
+                "shed at admission: interactive queue-wait p99 over the shed target",
+            )
+            .build();
+        println!("{line}");
+        self.totals.shed += 1;
         self.record_outcome(seq, Outcome::Failed);
     }
 
@@ -548,6 +687,8 @@ fn class_json(c: &ClassMetrics) -> String {
         .num("submitted", c.submitted)
         .num("completed", c.completed)
         .num("expired", c.expired)
+        .num("cancelled", c.cancelled)
+        .num("shed", c.shed)
         .num("rejected", c.rejected)
         .num("panicked", c.panicked)
         .raw("queue_wait", &histogram_json(&c.queue_wait))
@@ -558,15 +699,22 @@ fn class_json(c: &ClassMetrics) -> String {
 /// The `--metrics` end-of-stream summary line.
 fn metrics_json(m: &ServiceMetrics, totals: &Totals) -> String {
     let inner = Obj::new()
-        .num("records", totals.ok + totals.failed + totals.expired)
+        .num("records", totals.records())
         .num("ok", totals.ok)
         .num("warm", totals.warm)
         .num("expired", totals.expired)
+        .num("cancelled", totals.cancelled)
+        .num("shed", totals.shed)
         .num("failed", totals.failed)
         .raw("interactive", &class_json(&m.interactive))
         .raw("bulk", &class_json(&m.bulk))
         .num("queue_depth_high_water", m.queue_depth_high_water)
         .float("worker_busy_ms", m.worker_busy.as_secs_f64() * 1e3)
+        .float(
+            "interactive_wait_p99_ms",
+            m.interactive_wait_p99
+                .map_or(f64::NAN, |d| d.as_secs_f64() * 1e3),
+        )
         .build();
     Obj::new().raw("metrics", &inner).build()
 }

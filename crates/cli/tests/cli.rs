@@ -162,7 +162,7 @@ fn serve_streams_instances_in_completion_order_with_seq_ids() {
     assert!(first.contains("\"weight\": 1"), "{first}");
     let summary = String::from_utf8_lossy(&out.stderr).into_owned();
     assert!(
-        summary.contains("2 ok (0 warm-started), 0 expired, 0 failed"),
+        summary.contains("2 ok (0 warm-started), 0 expired, 0 cancelled, 0 shed, 0 failed"),
         "{summary}"
     );
     // The latency split: queue_ms + solve_ms == latency_ms, parse_ms
@@ -256,10 +256,131 @@ fn serve_deadline_ms_zero_expires_queued_records_without_failing_the_stream() {
     assert!(expired >= 1, "a 0ms deadline must shed something: {text}");
     for l in text.lines().filter(|l| l.contains("\"expired\": true")) {
         assert!(l.contains("\"queue_ms\":"), "expired line has wait: {l}");
-        assert!(l.contains("never ran"), "{l}");
+        assert!(l.contains("deadline expired"), "{l}");
     }
     let summary = String::from_utf8_lossy(&out.stderr).into_owned();
     assert!(summary.contains(&format!("{expired} expired")), "{summary}");
+}
+
+#[test]
+fn serve_cancel_directive_resolves_the_record_without_failing_the_stream() {
+    // A `c @cancel SEQ` line abandons the in-flight record it names:
+    // record 0 is big enough that the directive — read immediately
+    // after record 1's header frames and submits it — lands while it is
+    // still queued or solving. Cancellation is load management: the
+    // stream exits 0 and the cancelled record is counted apart from
+    // failures.
+    let dir = std::env::temp_dir().join("dcover-cancel-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let big = dir.join("big.mwhvc");
+    let out = dcover(&[
+        "gen",
+        "uniform",
+        "--n",
+        "2000",
+        "--m",
+        "10000",
+        "--rank",
+        "3",
+        "--seed",
+        "7",
+        "--out",
+        big.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let big = std::fs::read_to_string(&big).expect("generated instance");
+    let stream = format!("{big}p mwhvc 2 1\nv 2\nv 3\ne 0 1\nc @cancel 0\n");
+    let out = dcover_stdin(&["serve", "--threads", "1", "--metrics"], &stream);
+    assert!(
+        out.status.success(),
+        "cancel must not fail the exit: {out:?}"
+    );
+    let text = stdout_of(&out);
+    let cancelled = text
+        .lines()
+        .find(|l| l.contains("\"seq\": 0"))
+        .expect("record 0 resolves");
+    assert!(cancelled.contains("\"ok\": false"), "{cancelled}");
+    assert!(cancelled.contains("\"cancelled\": true"), "{cancelled}");
+    let small = text
+        .lines()
+        .find(|l| l.contains("\"seq\": 1"))
+        .expect("record 1 resolves");
+    assert!(small.contains("\"ok\": true"), "{small}");
+    let metrics = text
+        .lines()
+        .find(|l| l.starts_with("{\"metrics\""))
+        .expect("metrics line");
+    assert!(metrics.contains("\"cancelled\": 1"), "{metrics}");
+    assert!(metrics.contains("\"failed\": 0"), "{metrics}");
+    let summary = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(summary.contains("1 cancelled"), "{summary}");
+    assert!(summary.contains("0 failed"), "{summary}");
+}
+
+#[test]
+fn serve_sheds_bulk_records_while_a_queued_interactive_record_waits() {
+    // Shed target 0: any queued interactive wait trips admission
+    // control. Record 0 (interactive, big) occupies the only worker,
+    // record 1 (interactive, small) queues behind it, so record 2
+    // (bulk) — submitted at end of stream while record 1 still waits —
+    // is shed at the door. Shedding is load management: exit 0, counted
+    // apart from failures.
+    let dir = std::env::temp_dir().join("dcover-shed-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let big = dir.join("big.mwhvc");
+    let out = dcover(&[
+        "gen",
+        "uniform",
+        "--n",
+        "2000",
+        "--m",
+        "10000",
+        "--rank",
+        "3",
+        "--seed",
+        "9",
+        "--out",
+        big.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let mut big = std::fs::read_to_string(&big).expect("generated instance");
+    big.push_str("c @class interactive\n");
+    let stream = format!(
+        "{big}p mwhvc 3 2\nc @class interactive\nv 10\nv 1\nv 10\ne 0 1\ne 1 2\n\
+         p mwhvc 2 1\nv 2\nv 3\ne 0 1\n"
+    );
+    let out = dcover_stdin(
+        &[
+            "serve",
+            "--threads",
+            "1",
+            "--shed-target-ms",
+            "0",
+            "--metrics",
+        ],
+        &stream,
+    );
+    assert!(out.status.success(), "shed must not fail the exit: {out:?}");
+    let text = stdout_of(&out);
+    let shed = text
+        .lines()
+        .find(|l| l.contains("\"seq\": 2"))
+        .expect("record 2 resolves");
+    assert!(shed.contains("\"ok\": false"), "{shed}");
+    assert!(shed.contains("\"shed\": true"), "{shed}");
+    for seq in ["\"seq\": 0", "\"seq\": 1"] {
+        let l = text.lines().find(|l| l.contains(seq)).expect("resolves");
+        assert!(l.contains("\"ok\": true"), "interactive never shed: {l}");
+    }
+    let metrics = text
+        .lines()
+        .find(|l| l.starts_with("{\"metrics\""))
+        .expect("metrics line");
+    assert!(metrics.contains("\"shed\": 1"), "{metrics}");
+    assert!(metrics.contains("\"failed\": 0"), "{metrics}");
+    let summary = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(summary.contains("1 shed"), "{summary}");
 }
 
 #[test]

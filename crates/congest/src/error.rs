@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::cancel::InterruptReason;
 use crate::topology::{NodeId, Port};
 
 /// Error produced by a simulation run.
@@ -46,6 +47,20 @@ pub enum SimError {
         /// The configured budget.
         budget: u64,
     },
+    /// The run was stopped cooperatively at a round boundary by its
+    /// [`Interrupt`](crate::Interrupt) — a cancelled
+    /// [`CancelToken`](crate::CancelToken) or a passed deadline. Not a
+    /// protocol failure: every completed round is bit-identical to an
+    /// uninterrupted run, the simulation simply did not finish.
+    Interrupted {
+        /// Which interrupt condition fired.
+        reason: InterruptReason,
+        /// The round boundary at which the run stopped (that many rounds
+        /// completed).
+        round: u64,
+        /// Nodes still running when the run stopped.
+        active: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -73,6 +88,14 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "congest budget exceeded in round {round}: link into node {receiver} port {port} carried {bits} bits (budget {budget})"
+            ),
+            SimError::Interrupted {
+                reason,
+                round,
+                active,
+            } => write!(
+                f,
+                "run interrupted ({reason}) at round boundary {round} with {active} nodes still active"
             ),
         }
     }
@@ -110,6 +133,19 @@ mod tests {
         };
         assert!(e.to_string().contains("duplicate message"));
         assert!(e.to_string().contains("node 4 port 2"));
+        let e = SimError::Interrupted {
+            reason: InterruptReason::Cancelled,
+            round: 12,
+            active: 5,
+        };
+        assert!(e.to_string().contains("interrupted (cancelled)"));
+        assert!(e.to_string().contains("round boundary 12"));
+        let e = SimError::Interrupted {
+            reason: InterruptReason::DeadlinePassed,
+            round: 3,
+            active: 1,
+        };
+        assert!(e.to_string().contains("deadline passed"));
     }
 
     #[test]

@@ -59,12 +59,21 @@
 //! ([`TrySubmitError::Full`]), and each task runs a sequential
 //! [`Simulator::with_arena`] solve against a recycled arena. Submissions
 //! carry a [`TaskClass`] (interactive tasks dequeue before bulk, FIFO
-//! within a class, round jobs first of all) and an optional deadline
-//! ([`TaskOptions`]) after which a still-queued task resolves as the
-//! typed [`TaskError::Expired`]; every pool records per-class
-//! queue-wait/run-time [`LatencyHistogram`]s, counters, queue-depth
-//! high-water and worker busy time into a shared [`SchedMetrics`] with
-//! zero allocation on the hot path.
+//! within a class, round jobs first of all — with optional bulk **aging**
+//! via [`QueuePolicy`] so sustained interactive load cannot starve bulk
+//! traffic), an optional deadline after which a still-queued task
+//! resolves as the typed [`TaskError::Expired`], and an optional
+//! [`CancelToken`] ([`TaskOptions`]) that resolves a still-queued task as
+//! [`TaskError::Cancelled`]. In-flight solves cooperate too: hand the
+//! same token (and/or deadline) to a scheduler as an [`Interrupt`] and
+//! the run stops at its next round boundary with the typed
+//! [`SimError::Interrupted`]. Every pool records per-class
+//! queue-wait/run-time [`LatencyHistogram`]s, counters (including
+//! cancelled and shed), queue-depth high-water, worker busy time, and a
+//! rolling interactive queue-wait window
+//! ([`SchedMetrics::interactive_wait_p99`] — the SLO signal for admission
+//! control) into a shared [`SchedMetrics`] with zero allocation on the
+//! hot path.
 //!
 //! # Example: broadcast-and-halt
 //!
@@ -97,6 +106,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod builders;
+mod cancel;
 mod engine;
 mod error;
 mod message;
@@ -107,14 +117,15 @@ mod process;
 mod sim;
 mod topology;
 
+pub use cancel::{CancelToken, Interrupt, InterruptReason};
 pub use engine::EngineArena;
 pub use error::SimError;
 pub use message::{bits_for_range, bits_for_value, Message};
 pub use metrics::{BitBudget, RoundMetrics, SimReport};
 pub use parallel::ParallelSimulator;
 pub use pool::{
-    ClassMetrics, LatencyHistogram, QueueClosed, SchedMetrics, SimPool, TaskClass, TaskError,
-    TaskOptions, TaskQueue, TaskTicket, TaskTiming, TrySubmitError,
+    ClassMetrics, LatencyHistogram, QueueClosed, QueuePolicy, SchedMetrics, SimPool, TaskClass,
+    TaskError, TaskOptions, TaskQueue, TaskTicket, TaskTiming, TrySubmitError,
 };
 pub use process::{Ctx, Inbox, InboxIter, Incoming, Process, Status};
 pub use sim::Simulator;

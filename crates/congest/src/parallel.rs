@@ -28,6 +28,7 @@
 //! step the current round, reply. One barrier per round, two channel
 //! messages per worker.
 
+use crate::cancel::Interrupt;
 use crate::engine::{chunk_boundaries, finish_round, ChunkState, EngineArena};
 use crate::error::SimError;
 use crate::metrics::{BitBudget, RoundMetrics, SimReport};
@@ -79,6 +80,7 @@ pub struct ParallelSimulator<P: Process + 'static> {
     report: SimReport,
     trace: bool,
     budget: Option<BitBudget>,
+    interrupt: Option<Interrupt>,
 }
 
 impl<P: Process + 'static> ParallelSimulator<P> {
@@ -137,6 +139,7 @@ impl<P: Process + 'static> ParallelSimulator<P> {
             report: SimReport::default(),
             trace: false,
             budget: None,
+            interrupt: None,
         }
     }
 
@@ -151,6 +154,19 @@ impl<P: Process + 'static> ParallelSimulator<P> {
     #[must_use]
     pub fn with_budget(mut self, budget: BitBudget) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Attaches a cooperative [`Interrupt`] (cancel token and/or absolute
+    /// deadline): [`run`](Self::run) checks it **once per round**, between
+    /// dispatches, and stops with [`SimError::Interrupted`] at the first
+    /// round boundary where it has fired — identical semantics to
+    /// [`Simulator::with_interrupt`](crate::Simulator::with_interrupt).
+    /// Chunks stay home at that point, so
+    /// [`into_pool`](Self::into_pool) still recovers the pool and arenas.
+    #[must_use]
+    pub fn with_interrupt(mut self, interrupt: Interrupt) -> Self {
+        self.interrupt = Some(interrupt);
         self
     }
 
@@ -356,6 +372,13 @@ impl<P: Process + 'static> ParallelSimulator<P> {
     /// duplicate send that the sequential scheduler reports first).
     pub fn run(&mut self, max_rounds: u64) -> Result<SimReport, SimError> {
         while self.active > 0 {
+            if let Some(reason) = self.interrupt.as_ref().and_then(Interrupt::fired) {
+                return Err(SimError::Interrupted {
+                    reason,
+                    round: self.round,
+                    active: self.active,
+                });
+            }
             if self.round >= max_rounds {
                 if let Some(err) = self.undelivered_duplicate() {
                     return Err(err);
@@ -497,6 +520,37 @@ mod tests {
             sim.run(4),
             Err(SimError::RoundLimit { limit: 4, .. })
         ));
+    }
+
+    #[test]
+    fn cancel_interrupts_parallel_run_and_pool_survives() {
+        use crate::cancel::{CancelToken, Interrupt, InterruptReason};
+        struct Spin;
+        impl Process for Spin {
+            type Msg = ();
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>) -> Status {
+                Status::Running
+            }
+        }
+        let token = CancelToken::new();
+        token.cancel();
+        let mut sim = ParallelSimulator::new(ring(3), vec![Spin, Spin, Spin], 2)
+            .with_interrupt(Interrupt::new().with_token(token));
+        let err = sim.run(1_000_000).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Interrupted {
+                reason: InterruptReason::Cancelled,
+                round: 0,
+                active: 3
+            }
+        );
+        // The interrupt lands between dispatches, so the chunks are home
+        // and the pool (with its arenas) is still recoverable.
+        let (nodes, report, pool) = sim.into_pool();
+        assert_eq!(nodes.len(), 3);
+        assert!(!report.all_halted);
+        assert_eq!(pool.workers(), 2);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   task, FIFO among themselves.
 //! * **[`TaskClass::Bulk`] task jobs** — throughput traffic (the default
 //!   class). FIFO among themselves; only served while no interactive task
-//!   waits.
+//!   waits — unless a [`QueuePolicy::bulk_max_wait`] is configured, in
+//!   which case a bulk task that has aged past that bound is **promoted**
+//!   ahead of the interactive lane (anti-starvation under sustained
+//!   interactive load).
 //!
 //! Task jobs are submitted through a [`TaskQueue`] handle (plain
 //! [`TaskQueue::submit`] enqueues a bulk task;
@@ -28,13 +31,19 @@
 //! [`TaskQueue::try_submit`] reports [`TrySubmitError::Full`]
 //! (backpressure) instead of growing without limit.
 //!
-//! # Deadlines
+//! # Deadlines and cancellation
 //!
 //! A task submitted with a deadline that is still **queued** when the
 //! deadline passes resolves as the typed [`TaskError::Expired`] instead
 //! of occupying a worker: the worker that dequeues it spends O(1)
-//! discarding it and immediately pulls the next job. Expiry is checked at
-//! dequeue time — a task a worker has already started is never aborted.
+//! discarding it and immediately pulls the next job. Likewise a task
+//! whose [`CancelToken`] ([`TaskOptions::with_cancel`]) is cancelled
+//! while queued resolves as [`TaskError::Cancelled`] without running.
+//! Both are checked at dequeue time; the pool never aborts a closure a
+//! worker has already started — for in-flight cooperation, hand the same
+//! token to the simulation inside the closure as an
+//! [`Interrupt`](crate::Interrupt), which the schedulers check once per
+//! round.
 //!
 //! # Scheduler metrics
 //!
@@ -83,6 +92,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::cancel::CancelToken;
 use crate::engine::{phase_deliver, phase_step, ChunkState, EngineArena};
 use crate::metrics::BitBudget;
 use crate::process::Process;
@@ -150,14 +160,18 @@ impl std::fmt::Display for TaskClass {
 
 /// Scheduling options for one task submission
 /// ([`TaskQueue::submit_with`] / [`TaskQueue::try_submit_with`]).
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct TaskOptions {
     /// The scheduling class ([`TaskClass::Bulk`] by default).
     pub class: TaskClass,
     /// If set, a task still **queued** past this instant resolves as
-    /// [`TaskError::Expired`] instead of running (checked at dequeue; a
-    /// task a worker already started is never aborted).
+    /// [`TaskError::Expired`] instead of running (checked at dequeue;
+    /// the pool never aborts a closure a worker already started).
     pub deadline: Option<Instant>,
+    /// If set, a task still **queued** when the token is cancelled
+    /// resolves as [`TaskError::Cancelled`] instead of running (checked
+    /// at dequeue, like the deadline).
+    pub cancel: Option<CancelToken>,
 }
 
 impl TaskOptions {
@@ -184,6 +198,15 @@ impl TaskOptions {
         self.deadline = Some(Instant::now() + from_now);
         self
     }
+
+    /// Returns the options with a cancellation token attached: cancel
+    /// the token (or any clone of it) to have the task, if still queued,
+    /// resolve as [`TaskError::Cancelled`] without running.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
 }
 
 /// Why a redeemed [`TaskTicket`] carries no result.
@@ -197,13 +220,26 @@ pub enum TaskError {
         /// How long the task sat in the queue before being discarded.
         waited: Duration,
     },
+    /// The task's [`TaskOptions::cancel`] token was cancelled while it
+    /// was still queued; the closure was dropped unrun.
+    Cancelled {
+        /// How long the task sat in the queue before being discarded.
+        waited: Duration,
+    },
 }
 
 impl TaskError {
-    /// Whether this is a deadline expiry (as opposed to a panic).
+    /// Whether this is a deadline expiry (as opposed to a panic or a
+    /// cancellation).
     #[must_use]
     pub fn is_expired(&self) -> bool {
         matches!(self, TaskError::Expired { .. })
+    }
+
+    /// Whether this is a cancellation.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, TaskError::Cancelled { .. })
     }
 
     /// The panic payload, if this is a panic.
@@ -211,7 +247,7 @@ impl TaskError {
     pub fn into_panic_payload(self) -> Option<PanicPayload> {
         match self {
             TaskError::Panicked(payload) => Some(payload),
-            TaskError::Expired { .. } => None,
+            TaskError::Expired { .. } | TaskError::Cancelled { .. } => None,
         }
     }
 }
@@ -222,6 +258,9 @@ impl std::fmt::Debug for TaskError {
             TaskError::Panicked(_) => f.debug_tuple("Panicked").field(&"<payload>").finish(),
             TaskError::Expired { waited } => {
                 f.debug_struct("Expired").field("waited", waited).finish()
+            }
+            TaskError::Cancelled { waited } => {
+                f.debug_struct("Cancelled").field("waited", waited).finish()
             }
         }
     }
@@ -240,6 +279,9 @@ impl std::fmt::Display for TaskError {
             }
             TaskError::Expired { waited } => {
                 write!(f, "task deadline expired after {waited:?} in queue")
+            }
+            TaskError::Cancelled { waited } => {
+                write!(f, "task cancelled after {waited:?} in queue")
             }
         }
     }
@@ -353,10 +395,71 @@ struct ClassCounters {
     submitted: AtomicU64,
     completed: AtomicU64,
     expired: AtomicU64,
+    cancelled: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
     panicked: AtomicU64,
     queue_wait: AtomicHistogram,
     run_time: AtomicHistogram,
+}
+
+/// Number of samples in the rolling interactive queue-wait window.
+const WAIT_WINDOW: usize = 64;
+
+/// Rolling window of the most recent interactive queue waits, backing
+/// the SLO signal for admission control: a fixed ring of microsecond
+/// samples (stored `+1` so zero means "empty slot"), overwritten
+/// lock-free in dequeue order.
+struct WaitWindow {
+    samples: [AtomicU64; WAIT_WINDOW],
+    cursor: AtomicU64,
+}
+
+impl Default for WaitWindow {
+    fn default() -> Self {
+        WaitWindow {
+            samples: std::array::from_fn(|_| AtomicU64::new(0)),
+            cursor: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for WaitWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitWindow")
+            .field("cursor", &self.cursor.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl WaitWindow {
+    fn record(&self, waited: Duration) {
+        let micros = u64::try_from(waited.as_micros()).unwrap_or(u64::MAX - 1);
+        #[allow(clippy::cast_possible_truncation)]
+        let slot = (self.cursor.fetch_add(1, Ordering::Relaxed) % WAIT_WINDOW as u64) as usize;
+        self.samples[slot].store(micros.saturating_add(1), Ordering::Relaxed);
+    }
+
+    /// The p99 over the samples currently in the window (`None` while
+    /// empty). The copy-and-sort is bounded by [`WAIT_WINDOW`]; callers
+    /// are admission-control paths, not the worker hot path.
+    fn p99(&self) -> Option<Duration> {
+        let mut vals = [0u64; WAIT_WINDOW];
+        let mut n = 0;
+        for sample in &self.samples {
+            let v = sample.load(Ordering::Relaxed);
+            if v != 0 {
+                vals[n] = v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        vals[..n].sort_unstable();
+        let rank = (n * 99).div_ceil(100).max(1);
+        Some(Duration::from_micros(vals[rank - 1] - 1))
+    }
 }
 
 /// Plain-data snapshot of one class's scheduler counters, from
@@ -369,8 +472,18 @@ pub struct ClassMetrics {
     pub completed: u64,
     /// Tasks discarded at dequeue because their deadline had passed.
     pub expired: u64,
+    /// Tasks discarded at dequeue because their [`CancelToken`] was
+    /// cancelled while they were queued. A solve that stops *mid-run*
+    /// via an [`Interrupt`](crate::Interrupt) counts as `completed` here
+    /// (its worker ran it); the cancellation shows up in the task's own
+    /// result.
+    pub cancelled: u64,
     /// Non-blocking submissions refused with [`TrySubmitError::Full`].
     pub rejected: u64,
+    /// Submissions refused by SLO admission control before reaching the
+    /// queue (recorded by a serving layer via
+    /// [`SchedMetrics::record_shed`]; the pool itself never sheds).
+    pub shed: u64,
     /// Tasks whose closure panicked on a worker.
     pub panicked: u64,
     /// Queue-wait (enqueue → dequeue) distribution; includes expired
@@ -395,6 +508,7 @@ pub struct SchedMetrics {
     classes: [ClassCounters; TaskClass::COUNT],
     depth_high_water: AtomicU64,
     busy_nanos: AtomicU64,
+    interactive_waits: WaitWindow,
 }
 
 impl SchedMetrics {
@@ -412,7 +526,9 @@ impl SchedMetrics {
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             expired: c.expired.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
             panicked: c.panicked.load(Ordering::Relaxed),
             queue_wait: c.queue_wait.snapshot(),
             run_time: c.run_time.snapshot(),
@@ -433,6 +549,28 @@ impl SchedMetrics {
         Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
     }
 
+    /// Rolling p99 of the most recent interactive queue waits (a fixed
+    /// window of the last 64 interactive dequeues, expiries and
+    /// cancellations included). `None` until the first interactive task
+    /// is dequeued. Unlike the cumulative [`ClassMetrics::queue_wait`]
+    /// histogram, this *forgets* old traffic, so it tracks the current
+    /// load level — the signal SLO-driven admission control keys off.
+    #[must_use]
+    pub fn interactive_wait_p99(&self) -> Option<Duration> {
+        self.interactive_waits.p99()
+    }
+
+    /// Records a submission refused by SLO admission control **before**
+    /// it reached the queue. The pool never calls this itself — a
+    /// serving layer that sheds load on top of the pool does, so shed
+    /// traffic stays distinct from queue-full `rejected` traffic in the
+    /// same [`ClassMetrics`].
+    pub fn record_shed(&self, class: TaskClass) {
+        self.classes[class.index()]
+            .shed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     fn record_submitted(&self, class: TaskClass, depth_now: usize) {
         self.classes[class.index()]
             .submitted
@@ -449,11 +587,20 @@ impl SchedMetrics {
 
     fn record_dequeued(&self, class: TaskClass, waited: Duration) {
         self.classes[class.index()].queue_wait.record(waited);
+        if class == TaskClass::Interactive {
+            self.interactive_waits.record(waited);
+        }
     }
 
     fn record_expired(&self, class: TaskClass) {
         self.classes[class.index()]
             .expired
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_cancelled(&self, class: TaskClass) {
+        self.classes[class.index()]
+            .cancelled
             .fetch_add(1, Ordering::Relaxed);
     }
 
@@ -494,6 +641,7 @@ struct QueuedTask<P: Process> {
     slot: Arc<TaskSlot>,
     class: TaskClass,
     deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
     enqueued: Instant,
 }
 
@@ -523,6 +671,34 @@ pub(crate) enum Reply<P: Process> {
     Panicked(PanicPayload),
 }
 
+/// Scheduling-policy knobs for a [`SimPool`]'s shared queue
+/// ([`SimPool::with_policy`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueuePolicy {
+    /// Bulk anti-starvation bound: a queued [`TaskClass::Bulk`] task
+    /// that has waited at least this long is **promoted** — the next
+    /// free worker takes it ahead of the interactive lane (round jobs
+    /// keep absolute priority). `None` (the default) keeps strict
+    /// interactive-over-bulk priority, under which sustained
+    /// interactive load can starve bulk traffic indefinitely.
+    pub bulk_max_wait: Option<Duration>,
+}
+
+impl QueuePolicy {
+    /// The default policy: strict class priority, no aging.
+    #[must_use]
+    pub fn new() -> Self {
+        QueuePolicy::default()
+    }
+
+    /// Returns the policy with bulk aging enabled at the given bound.
+    #[must_use]
+    pub fn with_bulk_max_wait(mut self, bound: Duration) -> Self {
+        self.bulk_max_wait = Some(bound);
+        self
+    }
+}
+
 /// Mutex-guarded queue state: round jobs plus one FIFO lane per task
 /// class, scanned in [`TaskClass::ALL`] priority order.
 struct QueueState<P: Process> {
@@ -550,6 +726,8 @@ struct Shared<P: Process> {
     capacity: usize,
     /// Scheduler metrics sink (shared; possibly outliving this pool).
     metrics: Arc<SchedMetrics>,
+    /// Scheduling-policy knobs (bulk aging).
+    policy: QueuePolicy,
     /// Recycled engine arenas, at most `max_arenas` parked at once.
     arenas: Mutex<Vec<EngineArena<P>>>,
     /// Free-list bound (= worker count; more arenas than workers can
@@ -560,20 +738,37 @@ struct Shared<P: Process> {
 impl<P: Process> Shared<P> {
     /// Blocking pop: the worker side of the queue. Returns `None` when
     /// the pool is stopping and the queue has drained. Tasks whose
-    /// deadline passed while queued are resolved as
-    /// [`TaskError::Expired`] right here (their queue wait still
-    /// recorded) and never returned.
+    /// deadline passed — or whose cancel token was cancelled — while
+    /// queued are resolved as [`TaskError::Expired`] /
+    /// [`TaskError::Cancelled`] right here (their queue wait still
+    /// recorded) and never returned. When the policy enables bulk aging,
+    /// a bulk-lane head older than the bound is served ahead of the
+    /// interactive lane.
     fn pop(&self) -> Option<Popped<P>> {
         let mut state = self.state.lock().expect("queue mutex");
         loop {
             if let Some(job) = state.rounds.pop_front() {
                 return Some(Popped::Round(job));
             }
+            // Anti-starvation: an aged bulk head jumps the interactive
+            // lane. FIFO within the bulk lane means its head is the
+            // oldest bulk task, so one front() check suffices.
             let mut task = None;
-            for class in TaskClass::ALL {
-                if let Some(t) = state.lanes[class.index()].pop_front() {
-                    task = Some(t);
-                    break;
+            if let Some(bound) = self.policy.bulk_max_wait {
+                let bulk = &mut state.lanes[TaskClass::Bulk.index()];
+                if bulk
+                    .front()
+                    .is_some_and(|head| head.enqueued.elapsed() >= bound)
+                {
+                    task = bulk.pop_front();
+                }
+            }
+            if task.is_none() {
+                for class in TaskClass::ALL {
+                    if let Some(t) = state.lanes[class.index()].pop_front() {
+                        task = Some(t);
+                        break;
+                    }
                 }
             }
             if let Some(task) = task {
@@ -582,16 +777,27 @@ impl<P: Process> Shared<P> {
                 let now = Instant::now();
                 let waited = now.saturating_duration_since(task.enqueued);
                 self.metrics.record_dequeued(task.class, waited);
-                if task.deadline.is_some_and(|d| now > d) {
-                    // Resolve the expiry *outside* the queue lock: the
-                    // ticket fill takes the slot mutex and wakes waiters,
-                    // and dropping the unrun closure frees whatever it
-                    // captured — neither may stall the other workers and
-                    // submitters parked on the queue.
-                    drop(state);
+                // A task that is both cancelled and past its deadline
+                // resolves as Cancelled: the explicit abandon is more
+                // specific than the deadline it raced. Either way the
+                // resolution happens *outside* the queue lock: the
+                // ticket fill takes the slot mutex and wakes waiters,
+                // and dropping the unrun closure frees whatever it
+                // captured — neither may stall the other workers and
+                // submitters parked on the queue.
+                let discard = if task.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    self.metrics.record_cancelled(task.class);
+                    Some(TaskError::Cancelled { waited })
+                } else if task.deadline.is_some_and(|d| now >= d) {
                     self.metrics.record_expired(task.class);
+                    Some(TaskError::Expired { waited })
+                } else {
+                    None
+                };
+                if let Some(err) = discard {
+                    drop(state);
                     task.slot.fill(
-                        Err(TaskError::Expired { waited }),
+                        Err(err),
                         TaskTiming {
                             queue: waited,
                             run: Duration::ZERO,
@@ -1012,6 +1218,23 @@ impl<P: Process + 'static> TaskQueue<P> {
     pub fn queued(&self) -> usize {
         self.shared.state.lock().expect("queue mutex").queued_tasks
     }
+
+    /// How long the oldest still-queued task of `class` has been
+    /// waiting (the lane head's age); `None` when that lane is empty.
+    /// FIFO within a lane makes the head its oldest entry, so one
+    /// `front()` check suffices.
+    ///
+    /// This is a **leading** congestion signal: dequeue-side latency
+    /// metrics (such as [`SchedMetrics::interactive_wait_p99`]) only
+    /// update when tasks of the class actually leave the queue — which
+    /// is precisely what stops happening while the class is starved.
+    #[must_use]
+    pub fn oldest_queued_wait(&self, class: TaskClass) -> Option<Duration> {
+        let state = self.shared.state.lock().expect("queue mutex");
+        state.lanes[class.index()]
+            .front()
+            .map(|head| head.enqueued.elapsed())
+    }
 }
 
 /// Boxes a typed closure into a queued task plus its ticket.
@@ -1027,6 +1250,7 @@ where
         slot: Arc::clone(&slot),
         class: opts.class,
         deadline: opts.deadline,
+        cancel: opts.cancel,
         enqueued: Instant::now(),
     };
     (
@@ -1133,6 +1357,22 @@ impl<P: Process + 'static> SimPool<P> {
     /// Panics if `threads == 0` or `capacity == 0`.
     #[must_use]
     pub fn with_metrics(threads: usize, capacity: usize, metrics: Arc<SchedMetrics>) -> Self {
+        Self::with_policy(threads, capacity, metrics, QueuePolicy::default())
+    }
+
+    /// Like [`with_metrics`](Self::with_metrics), with explicit
+    /// scheduling-policy knobs ([`QueuePolicy`]) — notably bulk aging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `capacity == 0`.
+    #[must_use]
+    pub fn with_policy(
+        threads: usize,
+        capacity: usize,
+        metrics: Arc<SchedMetrics>,
+        policy: QueuePolicy,
+    ) -> Self {
         assert!(threads > 0, "need at least one worker thread");
         assert!(
             capacity > 0,
@@ -1149,6 +1389,7 @@ impl<P: Process + 'static> SimPool<P> {
             not_full: Condvar::new(),
             capacity,
             metrics,
+            policy,
             arenas: Mutex::new((0..threads).map(|_| EngineArena::new()).collect()),
             max_arenas: threads,
         });
@@ -1286,8 +1527,8 @@ impl<P: Process + 'static> SimPool<P> {
                         panic_payload = Some(payload);
                     }
                 }
-                Err(TaskError::Expired { .. }) => {
-                    unreachable!("run_tasks submits without deadlines")
+                Err(TaskError::Expired { .. }) | Err(TaskError::Cancelled { .. }) => {
+                    unreachable!("run_tasks submits without deadlines or cancel tokens")
                 }
             }
         }
@@ -1632,7 +1873,7 @@ mod tests {
         let (err, timing) = doomed.wait_timed();
         match err.expect_err("deadline passed in queue") {
             TaskError::Expired { waited } => assert_eq!(waited, timing.queue),
-            TaskError::Panicked(_) => panic!("expired task ran"),
+            other => panic!("expected Expired, got {other:?}"),
         }
         assert_eq!(timing.run, Duration::ZERO);
         assert_eq!(alive.wait().unwrap(), 7);
@@ -1813,5 +2054,226 @@ mod tests {
         other.buckets[1] = 1;
         h.merge(&other);
         assert_eq!(h.count(), 101);
+    }
+
+    #[test]
+    fn cancelled_tasks_resolve_without_running() {
+        // Gate the single worker, queue a task, cancel its token while
+        // it waits: it must resolve as Cancelled without running, and a
+        // later task must still run.
+        let gate = Gate::new();
+        let pool: SimPool<Echo> = SimPool::with_queue_capacity(1, 4);
+        let busy = {
+            let gate = Arc::clone(&gate);
+            pool.submit(move |_a: &mut EngineArena<Echo>| gate.arrive_and_wait())
+                .unwrap()
+        };
+        gate.await_arrivals(1);
+        let token = CancelToken::new();
+        let doomed = pool
+            .submit_with(
+                TaskOptions::interactive().with_cancel(token.clone()),
+                |_a: &mut EngineArena<Echo>| panic!("cancelled task must not run"),
+            )
+            .unwrap();
+        let alive = pool
+            .submit_with(TaskOptions::bulk(), |_a: &mut EngineArena<Echo>| 7u32)
+            .unwrap();
+        token.cancel();
+        gate.release();
+        busy.wait().unwrap();
+        let (err, timing) = doomed.wait_timed();
+        match err.expect_err("cancelled in queue") {
+            TaskError::Cancelled { waited } => assert_eq!(waited, timing.queue),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert_eq!(timing.run, Duration::ZERO);
+        assert_eq!(alive.wait().unwrap(), 7);
+        let m = pool.metrics();
+        assert_eq!(m.class(TaskClass::Interactive).cancelled, 1);
+        assert_eq!(m.class(TaskClass::Interactive).completed, 0);
+        assert_eq!(m.class(TaskClass::Interactive).expired, 0);
+    }
+
+    #[test]
+    fn cancel_beats_deadline_when_both_hold() {
+        let gate = Gate::new();
+        let pool: SimPool<Echo> = SimPool::with_queue_capacity(1, 4);
+        let busy = {
+            let gate = Arc::clone(&gate);
+            pool.submit(move |_a: &mut EngineArena<Echo>| gate.arrive_and_wait())
+                .unwrap()
+        };
+        gate.await_arrivals(1);
+        let token = CancelToken::new();
+        token.cancel();
+        let doomed = pool
+            .submit_with(
+                TaskOptions::bulk()
+                    .deadline_in(Duration::ZERO)
+                    .with_cancel(token),
+                |_a: &mut EngineArena<Echo>| 1u32,
+            )
+            .unwrap();
+        gate.release();
+        busy.wait().unwrap();
+        assert!(doomed.wait().expect_err("discarded").is_cancelled());
+        let m = pool.metrics();
+        assert_eq!(m.class(TaskClass::Bulk).cancelled, 1);
+        assert_eq!(m.class(TaskClass::Bulk).expired, 0);
+    }
+
+    #[test]
+    fn a_cancelled_running_task_still_completes() {
+        // Cancelling after a worker picked the task up does nothing at
+        // the pool level: the closure runs to completion and the ticket
+        // resolves Ok — exactly once, with no Cancelled count.
+        let gate = Gate::new();
+        let pool: SimPool<Echo> = SimPool::new(1);
+        let token = CancelToken::new();
+        let running = {
+            let gate = Arc::clone(&gate);
+            pool.submit_with(
+                TaskOptions::bulk().with_cancel(token.clone()),
+                move |_a: &mut EngineArena<Echo>| {
+                    gate.arrive_and_wait();
+                    42u32
+                },
+            )
+            .unwrap()
+        };
+        gate.await_arrivals(1);
+        token.cancel();
+        gate.release();
+        assert_eq!(running.wait().unwrap(), 42);
+        assert_eq!(pool.metrics().class(TaskClass::Bulk).cancelled, 0);
+    }
+
+    /// Regression for the dequeue-time comparison (`now >= d`, not
+    /// `now > d`): a zero-duration deadline must expire deterministically
+    /// even when the dequeue lands on the same clock tick as the
+    /// submission.
+    #[test]
+    fn zero_deadline_expires_even_on_an_idle_pool() {
+        let pool: SimPool<Echo> = SimPool::new(1);
+        for _ in 0..32 {
+            let t = pool
+                .submit_with(
+                    TaskOptions::bulk().deadline_in(Duration::ZERO),
+                    |_a: &mut EngineArena<Echo>| 1u32,
+                )
+                .unwrap();
+            assert!(t.wait().expect_err("zero deadline").is_expired());
+        }
+    }
+
+    #[test]
+    fn bulk_aging_promotes_an_aged_bulk_task_over_interactive() {
+        // Aging bound of zero: every queued bulk head counts as aged, so
+        // dequeue order becomes pure FIFO across classes. Without aging
+        // the interactive task would always run first.
+        let gate = Gate::new();
+        let pool: SimPool<Echo> = SimPool::with_policy(
+            1,
+            8,
+            Arc::new(SchedMetrics::new()),
+            QueuePolicy::new().with_bulk_max_wait(Duration::ZERO),
+        );
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let busy = {
+            let gate = Arc::clone(&gate);
+            pool.submit(move |_a: &mut EngineArena<Echo>| gate.arrive_and_wait())
+                .unwrap()
+        };
+        gate.await_arrivals(1);
+        let mut tickets = Vec::new();
+        for (name, opts) in [
+            ("b1", TaskOptions::bulk()),
+            ("i1", TaskOptions::interactive()),
+            ("b2", TaskOptions::bulk()),
+        ] {
+            let order = Arc::clone(&order);
+            tickets.push(
+                pool.submit_with(opts, move |_a: &mut EngineArena<Echo>| {
+                    order.lock().unwrap().push(name);
+                })
+                .unwrap(),
+            );
+        }
+        gate.release();
+        busy.wait().unwrap();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec!["b1", "b2", "i1"]);
+    }
+
+    #[test]
+    fn a_generous_aging_bound_preserves_strict_priority() {
+        let gate = Gate::new();
+        let pool: SimPool<Echo> = SimPool::with_policy(
+            1,
+            8,
+            Arc::new(SchedMetrics::new()),
+            QueuePolicy::new().with_bulk_max_wait(Duration::from_secs(3600)),
+        );
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let busy = {
+            let gate = Arc::clone(&gate);
+            pool.submit(move |_a: &mut EngineArena<Echo>| gate.arrive_and_wait())
+                .unwrap()
+        };
+        gate.await_arrivals(1);
+        let mut tickets = Vec::new();
+        for (name, opts) in [
+            ("b1", TaskOptions::bulk()),
+            ("i1", TaskOptions::interactive()),
+        ] {
+            let order = Arc::clone(&order);
+            tickets.push(
+                pool.submit_with(opts, move |_a: &mut EngineArena<Echo>| {
+                    order.lock().unwrap().push(name);
+                })
+                .unwrap(),
+            );
+        }
+        gate.release();
+        busy.wait().unwrap();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec!["i1", "b1"]);
+    }
+
+    #[test]
+    fn rolling_interactive_wait_p99_tracks_recent_traffic_only() {
+        let m = SchedMetrics::new();
+        assert_eq!(m.interactive_wait_p99(), None);
+        // Bulk dequeues never touch the interactive window.
+        m.record_dequeued(TaskClass::Bulk, Duration::from_millis(500));
+        assert_eq!(m.interactive_wait_p99(), None);
+        // Fill the window with slow waits, then overwrite it with fast
+        // ones: the rolling p99 must forget the old traffic (the
+        // cumulative histogram would not).
+        for _ in 0..WAIT_WINDOW {
+            m.record_dequeued(TaskClass::Interactive, Duration::from_millis(200));
+        }
+        assert!(m.interactive_wait_p99().unwrap() >= Duration::from_millis(200));
+        for _ in 0..WAIT_WINDOW {
+            m.record_dequeued(TaskClass::Interactive, Duration::from_micros(50));
+        }
+        assert!(m.interactive_wait_p99().unwrap() < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn shed_counter_is_distinct_from_rejected() {
+        let m = SchedMetrics::new();
+        m.record_shed(TaskClass::Bulk);
+        m.record_shed(TaskClass::Bulk);
+        m.record_rejected(TaskClass::Bulk);
+        let bulk = m.class(TaskClass::Bulk);
+        assert_eq!(bulk.shed, 2);
+        assert_eq!(bulk.rejected, 1);
+        assert_eq!(m.class(TaskClass::Interactive).shed, 0);
     }
 }

@@ -8,6 +8,7 @@
 //! arena layout, the determinism contract, and the zero-allocation
 //! guarantee.
 
+use crate::cancel::Interrupt;
 use crate::engine::{
     chunk_boundaries, finish_round, phase_deliver, phase_step, ChunkState, EngineArena,
 };
@@ -59,6 +60,7 @@ pub struct Simulator<P: Process> {
     report: SimReport,
     trace: bool,
     budget: Option<BitBudget>,
+    interrupt: Option<Interrupt>,
 }
 
 impl<P: Process> Simulator<P> {
@@ -97,6 +99,7 @@ impl<P: Process> Simulator<P> {
             report: SimReport::default(),
             trace: false,
             budget: None,
+            interrupt: None,
         }
     }
 
@@ -112,6 +115,19 @@ impl<P: Process> Simulator<P> {
     #[must_use]
     pub fn with_budget(mut self, budget: BitBudget) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Attaches a cooperative [`Interrupt`] (cancel token and/or absolute
+    /// deadline): [`run`](Self::run) checks it **once per round**, between
+    /// rounds, and stops with [`SimError::Interrupted`] at the first round
+    /// boundary where it has fired. Every completed round stays
+    /// bit-identical to an uninterrupted run; [`step`](Self::step) does
+    /// not check (callers driving rounds by hand poll the interrupt
+    /// themselves).
+    #[must_use]
+    pub fn with_interrupt(mut self, interrupt: Interrupt) -> Self {
+        self.interrupt = Some(interrupt);
         self
     }
 
@@ -209,9 +225,19 @@ impl<P: Process> Simulator<P> {
     /// # Errors
     ///
     /// Returns [`SimError::RoundLimit`] if not all nodes halted within
-    /// `max_rounds`, or [`SimError::BudgetExceeded`] on a CONGEST violation.
+    /// `max_rounds`, [`SimError::BudgetExceeded`] on a CONGEST violation,
+    /// or [`SimError::Interrupted`] when a configured
+    /// [`with_interrupt`](Self::with_interrupt) condition fires between
+    /// rounds.
     pub fn run(&mut self, max_rounds: u64) -> Result<SimReport, SimError> {
         while self.active > 0 {
+            if let Some(reason) = self.interrupt.as_ref().and_then(Interrupt::fired) {
+                return Err(SimError::Interrupted {
+                    reason,
+                    round: self.round,
+                    active: self.active,
+                });
+            }
             if self.round >= max_rounds {
                 return Err(SimError::RoundLimit {
                     limit: max_rounds,
@@ -386,6 +412,71 @@ mod tests {
             }
         );
         assert_eq!(sim.round(), 5);
+    }
+
+    #[test]
+    fn a_cancelled_token_interrupts_before_the_first_round() {
+        use crate::cancel::{CancelToken, Interrupt, InterruptReason};
+        // A pre-cancelled token on a never-halting protocol: the run must
+        // stop immediately at round boundary 0 — not spin to the round
+        // limit — with the typed Interrupted error.
+        let token = CancelToken::new();
+        token.cancel();
+        let topo = Topology::from_links(2, &[(0, 1)]);
+        let mut sim = Simulator::new(topo, vec![Spinner, Spinner])
+            .with_interrupt(Interrupt::new().with_token(token));
+        let err = sim.run(1_000_000).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Interrupted {
+                reason: InterruptReason::Cancelled,
+                round: 0,
+                active: 2
+            }
+        );
+        assert_eq!(sim.round(), 0, "no round ran after the cancel");
+    }
+
+    #[test]
+    fn a_past_deadline_interrupts_a_never_halting_run() {
+        use crate::cancel::{Interrupt, InterruptReason};
+        use std::time::{Duration, Instant};
+        let topo = Topology::from_links(2, &[(0, 1)]);
+        let mut sim = Simulator::new(topo, vec![Spinner, Spinner]).with_interrupt(
+            Interrupt::new().with_deadline(Instant::now() - Duration::from_secs(1)),
+        );
+        let err = sim.run(1_000_000).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::Interrupted {
+                    reason: InterruptReason::DeadlinePassed,
+                    round: 0,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn an_unfired_interrupt_changes_nothing() {
+        use crate::cancel::{CancelToken, Interrupt};
+        use std::time::{Duration, Instant};
+        let n = 8;
+        let topo = path_topology(n);
+        let nodes: Vec<MaxFlood> = (0..n).map(|i| MaxFlood::new(i, n as u32)).collect();
+        let mut plain = Simulator::new(path_topology(n), nodes).with_trace(true);
+        let plain_report = plain.run(100).unwrap();
+
+        let nodes: Vec<MaxFlood> = (0..n).map(|i| MaxFlood::new(i, n as u32)).collect();
+        let mut interruptible = Simulator::new(topo, nodes).with_trace(true).with_interrupt(
+            Interrupt::new()
+                .with_token(CancelToken::new())
+                .with_deadline(Instant::now() + Duration::from_secs(3600)),
+        );
+        let report = interruptible.run(100).unwrap();
+        assert_eq!(report, plain_report, "interrupt checks must not perturb");
     }
 
     /// Halts immediately; neighbor keeps sending to it.

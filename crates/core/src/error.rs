@@ -56,15 +56,21 @@ pub enum SolveError {
         message: String,
     },
     /// The submission's deadline
-    /// ([`SubmitOptions::deadline`](crate::SubmitOptions)) passed while it
-    /// was still queued; the solve never ran. Typed load-shedding, not a
-    /// solver failure — resubmit (or relax the deadline) if the result is
-    /// still wanted.
+    /// ([`SubmitOptions::deadline`](crate::SubmitOptions)) passed — either
+    /// while it was still queued (the solve never ran) or mid-run (the
+    /// solve stopped cooperatively at its next round boundary). Typed load
+    /// management, not a solver failure — resubmit (or relax the deadline)
+    /// if the result is still wanted.
     Expired {
-        /// How long the submission sat in the queue before being
-        /// discarded.
+        /// Time from submission until the ticket was discarded or the run
+        /// stopped.
         waited: std::time::Duration,
     },
+    /// The submission was abandoned via
+    /// [`Ticket::cancel`](crate::Ticket::cancel): either discarded while
+    /// still queued, or stopped cooperatively at the next round boundary
+    /// if already running. Never a failure — the caller asked for it.
+    Cancelled,
     /// The submission was handed to a [`SolveService`](crate::SolveService)
     /// that has already been [shut down](crate::SolveService::shutdown).
     ShutDown,
@@ -97,9 +103,12 @@ impl fmt::Display for SolveError {
             SolveError::Expired { waited } => {
                 write!(
                     f,
-                    "submission deadline expired after {:.3} ms in the queue; the solve never ran",
+                    "submission deadline expired {:.3} ms after submit (discarded in the queue or stopped at a round boundary)",
                     waited.as_secs_f64() * 1e3
                 )
+            }
+            SolveError::Cancelled => {
+                write!(f, "submission was cancelled by its caller")
             }
             SolveError::ShutDown => write!(f, "solve service has been shut down"),
         }

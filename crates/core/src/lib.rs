@@ -81,7 +81,9 @@ pub use certificate::{Certificate, CertificateError};
 /// pool layer): `Interactive` requests dequeue before `Bulk` ones, FIFO
 /// within a class. See [`SubmitOptions`].
 pub use dcover_congest::TaskClass as RequestClass;
-pub use dcover_congest::{ClassMetrics, LatencyHistogram, TaskTiming};
+pub use dcover_congest::{
+    CancelToken, ClassMetrics, Interrupt, InterruptReason, LatencyHistogram, TaskTiming,
+};
 pub use error::SolveError;
 pub use invariants::{approximation_holds, InvariantChecker, DEFAULT_TOLERANCE};
 pub use observer::{HistoryObserver, IterationSnapshot, IterationStats, NullObserver, Observer};

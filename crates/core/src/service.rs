@@ -29,7 +29,7 @@
 //!   queued and in-flight solve, and joins the workers — every ticket
 //!   issued before the shutdown still resolves.
 //!
-//! # Request classes and deadlines
+//! # Request classes, deadlines, and cancellation
 //!
 //! The submission queue is a small multi-class scheduler, not a plain
 //! FIFO: [`submit_with`](SolveService::submit_with) /
@@ -38,11 +38,33 @@
 //! [`SubmitOptions`] carrying a [`RequestClass`](crate::RequestClass)
 //! (`Interactive` submissions dequeue before every queued `Bulk` one,
 //! FIFO within a class; chunk-parallel round jobs keep absolute priority)
-//! and an optional **deadline**. A submission still queued when its
-//! deadline passes resolves its ticket with the typed
-//! [`SolveError::Expired`] instead of occupying a worker. The plain
-//! `submit`/`try_submit`/`submit_delta` enqueue bulk-class work without a
-//! deadline — exactly the pre-class FIFO behaviour.
+//! and an optional **full-lifecycle deadline**: a submission still
+//! queued when its deadline passes resolves its ticket with the typed
+//! [`SolveError::Expired`] instead of occupying a worker, and a solve
+//! already **running** when it passes stops cooperatively at its next
+//! round boundary and resolves the same way. [`Ticket::cancel`] abandons
+//! a submission with identical mechanics ([`SolveError::Cancelled`]).
+//! Every ticket still resolves exactly once; a cancel that races
+//! completion simply loses and the ticket resolves with the finished
+//! result. The plain `submit`/`try_submit`/`submit_delta` enqueue
+//! bulk-class work without a deadline — exactly the pre-class FIFO
+//! behaviour.
+//!
+//! # Overload protection
+//!
+//! Two opt-in knobs keep the service healthy under sustained pressure:
+//!
+//! * **Bulk aging** ([`with_bulk_max_wait`](SolveService::with_bulk_max_wait)):
+//!   a queued bulk submission that has waited past the bound is dequeued
+//!   ahead of younger interactive work, so a flood of interactive
+//!   traffic cannot starve bulk forever.
+//! * **SLO-driven shedding** ([`with_shed_target`](SolveService::with_shed_target)):
+//!   while the interactive queue-wait signal — the rolling dequeue p99,
+//!   or the age of the oldest still-queued interactive submission when
+//!   dequeues stall — is above the target, new bulk submissions are
+//!   refused with the typed [`SubmitError::Overloaded`] — load
+//!   management at the door, keeping interactive latency bounded
+//!   instead of letting the backlog grow.
 //!
 //! # Observability
 //!
@@ -99,8 +121,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dcover_congest::{
-    ClassMetrics, EngineArena, SchedMetrics, SimPool, TaskClass, TaskError, TaskOptions, TaskQueue,
-    TaskTicket, TaskTiming, TrySubmitError,
+    CancelToken, ClassMetrics, EngineArena, Interrupt, InterruptReason, QueuePolicy, SchedMetrics,
+    SimError, SimPool, TaskClass, TaskError, TaskOptions, TaskQueue, TaskTicket, TaskTiming,
+    TrySubmitError,
 };
 use dcover_hypergraph::{Hypergraph, InstanceDelta};
 
@@ -131,6 +154,19 @@ pub enum SubmitError {
     /// The service has been [shut down](SolveService::shutdown); no new
     /// work is accepted.
     ShutDown,
+    /// The submission was **shed** at admission: a shed target is
+    /// configured ([`SolveService::with_shed_target`]) and the
+    /// interactive queue-wait signal — the rolling dequeue p99, or the
+    /// age of the oldest still-queued interactive submission when
+    /// dequeues stall — is above it, so new bulk-class work is refused
+    /// to protect interactive latency. Load management, not a failure —
+    /// back off and resubmit when the service catches up. Interactive
+    /// submissions are never shed.
+    Overloaded {
+        /// The interactive queue-wait signal value that tripped the
+        /// shed (whichever of the two views was larger).
+        interactive_wait_p99: Duration,
+    },
     /// The request itself is invalid (e.g. ε outside `(0, 1]`); nothing
     /// was enqueued.
     Invalid(SolveError),
@@ -151,6 +187,13 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "submission queue is full ({capacity} waiting)")
             }
             SubmitError::ShutDown => write!(f, "solve service has been shut down"),
+            SubmitError::Overloaded {
+                interactive_wait_p99,
+            } => write!(
+                f,
+                "service is overloaded (interactive queue-wait signal {:.3} ms over target); bulk submission shed",
+                interactive_wait_p99.as_secs_f64() * 1e3
+            ),
             SubmitError::Invalid(e) => write!(f, "invalid submission: {e}"),
             SubmitError::UnknownBase { seq } => write!(
                 f,
@@ -186,10 +229,11 @@ pub struct SubmitOptions {
     /// The request class ([`RequestClass::Bulk`](crate::RequestClass) by
     /// default — what the plain `submit`/`try_submit` use).
     pub class: TaskClass,
-    /// If set, the maximum time the submission may spend **queued**,
-    /// measured from the submit call: past it, a still-queued solve
-    /// resolves as [`SolveError::Expired`] instead of running. A solve a
-    /// worker already started is never aborted.
+    /// If set, the submission's **full-lifecycle** deadline, measured
+    /// from the submit call. A solve still queued past it is discarded
+    /// without running; a solve a worker already started stops
+    /// cooperatively at its next round boundary. Either way the ticket
+    /// resolves as the typed [`SolveError::Expired`].
     pub deadline: Option<Duration>,
 }
 
@@ -216,24 +260,55 @@ impl SubmitOptions {
         self
     }
 
-    /// The pool-level scheduling envelope, with the relative deadline
-    /// anchored at "now" (the submit call).
-    fn task_options(self) -> TaskOptions {
-        TaskOptions {
-            class: self.class,
-            deadline: self.deadline.map(|d| Instant::now() + d),
+    /// The submission's full scheduling envelope, anchored at "now" (the
+    /// submit call): the pool-level [`TaskOptions`] (queue class, absolute
+    /// deadline, cancel token) plus the in-run [`Interrupt`] carrying the
+    /// **same** token and deadline, so a cancel or an expiry is honoured
+    /// both while queued (discarded at dequeue) and mid-run (stopped at
+    /// the next round boundary).
+    fn envelope(self) -> SubmissionEnvelope {
+        let submitted = Instant::now();
+        let token = CancelToken::new();
+        let deadline = self.deadline.map(|d| submitted + d);
+        let mut interrupt = Interrupt::new().with_token(token.clone());
+        if let Some(d) = deadline {
+            interrupt = interrupt.with_deadline(d);
+        }
+        SubmissionEnvelope {
+            task: TaskOptions {
+                class: self.class,
+                deadline,
+                cancel: Some(token.clone()),
+            },
+            interrupt,
+            token,
+            submitted,
         }
     }
+}
+
+/// Everything one submission needs to be schedulable, cancellable, and
+/// deadline-bounded across its whole lifecycle (see
+/// [`SubmitOptions::envelope`]).
+struct SubmissionEnvelope {
+    /// Pool-level scheduling options (class, absolute deadline, token).
+    task: TaskOptions,
+    /// The in-run interrupt checked once per round by the simulator.
+    interrupt: Interrupt,
+    /// The shared cancel token, kept by the [`Ticket`].
+    token: CancelToken,
+    /// When the submit call happened (anchors `Expired::waited`).
+    submitted: Instant,
 }
 
 /// A point-in-time snapshot of the service's scheduling metrics, from
 /// [`SolveService::metrics`].
 ///
-/// Per-class [`ClassMetrics`] carry submitted/completed/expired/rejected
-/// counters plus queue-wait and solve-time latency histograms (the
-/// `run_time` histogram of a solve task **is** its solve time). Counters
-/// accumulate across pool rebuilds and survive
-/// [`shutdown`](SolveService::shutdown).
+/// Per-class [`ClassMetrics`] carry
+/// submitted/completed/expired/cancelled/shed/rejected counters plus
+/// queue-wait and solve-time latency histograms (the `run_time` histogram
+/// of a solve task **is** its solve time). Counters accumulate across
+/// pool rebuilds and survive [`shutdown`](SolveService::shutdown).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceMetrics {
     /// Interactive-class counters and histograms.
@@ -246,6 +321,11 @@ pub struct ServiceMetrics {
     /// Total time workers spent running solve tasks (chunk-parallel round
     /// jobs are not clocked).
     pub worker_busy: Duration,
+    /// Rolling p99 of recent interactive queue waits — the SLO signal
+    /// admission control sheds on
+    /// ([`SolveService::with_shed_target`]). `None` until an
+    /// interactive submission has been dequeued.
+    pub interactive_wait_p99: Option<Duration>,
 }
 
 impl ServiceMetrics {
@@ -268,6 +348,9 @@ impl ServiceMetrics {
 pub struct Ticket {
     seq: u64,
     inner: TaskTicket<Result<CoverResult, SolveError>>,
+    /// Shared with the queued task and the in-run interrupt; see
+    /// [`cancel`](Self::cancel).
+    cancel: CancelToken,
 }
 
 impl Ticket {
@@ -294,14 +377,25 @@ impl Ticket {
         self.inner.is_done()
     }
 
+    /// Abandons the submission **cooperatively**: a solve still queued is
+    /// discarded without running; a solve a worker already started stops
+    /// at its next round boundary. Either way the ticket still resolves
+    /// exactly once — with [`SolveError::Cancelled`], or with the normal
+    /// outcome if the solve finished before the cancel landed (the race
+    /// is benign and the result is valid). Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
     /// Blocks until the solve finishes and returns its result.
     ///
     /// # Errors
     ///
     /// Whatever [`MwhvcSolver::solve`] would return for this instance,
     /// [`SolveError::Panicked`] if the solve task panicked on its worker,
-    /// or [`SolveError::Expired`] if the submission's deadline passed
-    /// while it was still queued.
+    /// [`SolveError::Expired`] if the submission's deadline passed
+    /// (queued or mid-run), or [`SolveError::Cancelled`] if
+    /// [`cancel`](Self::cancel) landed before the solve finished.
     pub fn wait(self) -> Result<CoverResult, SolveError> {
         self.wait_timed().0
     }
@@ -328,9 +422,10 @@ impl Ticket {
     #[allow(clippy::missing_errors_doc)] // Err is "not ready", not a failure
     pub fn try_wait_timed(self) -> Result<(Result<CoverResult, SolveError>, TaskTiming), Ticket> {
         let seq = self.seq;
+        let cancel = self.cancel.clone();
         match self.inner.try_wait_timed() {
             Ok((result, timing)) => Ok((flatten(result), timing)),
-            Err(inner) => Err(Ticket { seq, inner }),
+            Err(inner) => Err(Ticket { seq, inner, cancel }),
         }
     }
 }
@@ -345,6 +440,7 @@ fn flatten(
             message: panic_message(payload.as_ref()),
         }),
         Err(TaskError::Expired { waited }) => Err(SolveError::Expired { waited }),
+        Err(TaskError::Cancelled { .. }) => Err(SolveError::Cancelled),
     }
 }
 
@@ -450,6 +546,34 @@ pub struct SolveService {
     /// initial one, revivals, and take_pool rebuilds) so counters
     /// accumulate across pool lifetimes.
     metrics: Arc<SchedMetrics>,
+    /// Queue policy handed to every pool this service builds (bulk
+    /// anti-starvation aging; see [`with_bulk_max_wait`](Self::with_bulk_max_wait)).
+    policy: QueuePolicy,
+    /// SLO-driven admission control: when set, bulk submissions are shed
+    /// with [`SubmitError::Overloaded`] while the interactive queue-wait
+    /// signal (rolling dequeue p99, or the oldest queued interactive
+    /// submission's age) is above this target.
+    shed_target: Option<Duration>,
+    /// Test-only fault-injection seam: runs on the worker after the task
+    /// was dequeued, immediately before the solve starts — used to pin
+    /// mid-run cancel/expiry states deterministically.
+    #[cfg(test)]
+    pre_solve: Mutex<PreSolveHook>,
+}
+
+/// Test-only fault-injection hook storage (newtype so the service can
+/// keep deriving `Debug`).
+#[cfg(test)]
+#[derive(Clone, Default)]
+struct PreSolveHook(Option<Arc<dyn Fn() + Send + Sync>>);
+
+#[cfg(test)]
+impl std::fmt::Debug for PreSolveHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("PreSolveHook")
+            .field(&self.0.as_ref().map(|_| "..."))
+            .finish()
+    }
 }
 
 impl SolveService {
@@ -477,17 +601,22 @@ impl SolveService {
     pub fn with_queue_capacity(config: MwhvcConfig, threads: usize, capacity: usize) -> Self {
         assert!(threads > 0, "need at least one worker thread");
         let metrics = Arc::new(SchedMetrics::new());
-        let pool = SimPool::with_metrics(threads, capacity, Arc::clone(&metrics));
-        Self {
+        let service = Self {
             base: config,
             threads,
             queue_capacity: capacity,
-            pool: Mutex::new(Some(pool)),
+            pool: Mutex::new(None),
             seq: AtomicU64::new(0),
             open: AtomicBool::new(true),
             cache: Arc::new(Mutex::new(ResultCache::new(DEFAULT_RESULT_CACHE))),
             metrics,
-        }
+            policy: QueuePolicy::default(),
+            shed_target: None,
+            #[cfg(test)]
+            pre_solve: Mutex::new(PreSolveHook::default()),
+        };
+        *service.pool.lock().expect("pool mutex") = Some(service.build_pool());
+        service
     }
 
     /// Resizes the result cache backing
@@ -504,6 +633,41 @@ impl SolveService {
             .lock()
             .expect("result cache mutex")
             .resize(capacity);
+        self
+    }
+
+    /// Enables bulk **anti-starvation aging**: a queued bulk submission
+    /// that has waited at least `bound` is dequeued ahead of younger
+    /// interactive work (strict class priority otherwise — the default,
+    /// equivalent to no bound). Consuming builder style — call before
+    /// submitting; the bound applies to every pool the service builds
+    /// from here on (including revivals), and the current idle pool is
+    /// rebuilt on the spot.
+    #[must_use]
+    pub fn with_bulk_max_wait(mut self, bound: Duration) -> Self {
+        self.policy = self.policy.with_bulk_max_wait(bound);
+        let rebuilt = self.build_pool();
+        *self.pool.lock().expect("pool mutex") = Some(rebuilt);
+        self
+    }
+
+    /// Enables **SLO-driven admission control**: while the interactive
+    /// queue-wait signal exceeds `target`, new bulk submissions are
+    /// refused with the typed [`SubmitError::Overloaded`] (and counted
+    /// as `shed` in [`ServiceMetrics`]) instead of deepening the
+    /// backlog. Interactive submissions are never shed.
+    ///
+    /// The signal is the larger of two views of the same quantity: the
+    /// rolling dequeue-side p99
+    /// ([`ServiceMetrics::interactive_wait_p99`]) and the age of the
+    /// oldest **still-queued** interactive submission. The second,
+    /// leading view matters under severe overload: dequeue-side
+    /// percentiles only update when interactive work actually leaves
+    /// the queue, which is exactly what stops happening while it is
+    /// starved behind an aged bulk backlog. Consuming builder style.
+    #[must_use]
+    pub fn with_shed_target(mut self, target: Duration) -> Self {
+        self.shed_target = Some(target);
         self
     }
 
@@ -570,6 +734,38 @@ impl SolveService {
             bulk: self.metrics.class(TaskClass::Bulk),
             queue_depth_high_water: self.metrics.queue_depth_high_water(),
             worker_busy: self.metrics.busy(),
+            interactive_wait_p99: self.metrics.interactive_wait_p99(),
+        }
+    }
+
+    /// Admission control (the shed gate): refuses a bulk-class submission
+    /// while the interactive queue-wait signal is above the configured
+    /// target. Interactive work always passes.
+    ///
+    /// The signal is the larger of the rolling dequeue-side p99 and the
+    /// age of the oldest still-queued interactive submission — the
+    /// rolling view alone stalls under starvation (nothing dequeues, so
+    /// nothing is recorded) precisely when shedding is most needed.
+    fn admit(&self, class: TaskClass) -> Result<(), SubmitError> {
+        if class != TaskClass::Bulk {
+            return Ok(());
+        }
+        let Some(target) = self.shed_target else {
+            return Ok(());
+        };
+        let rolling = self.metrics.interactive_wait_p99();
+        let queued_head = self
+            .current_queue()
+            .ok()
+            .and_then(|q| q.oldest_queued_wait(TaskClass::Interactive));
+        match rolling.into_iter().chain(queued_head).max() {
+            Some(signal) if signal > target => {
+                self.metrics.record_shed(class);
+                Err(SubmitError::Overloaded {
+                    interactive_wait_p99: signal,
+                })
+            }
+            _ => Ok(()),
         }
     }
 
@@ -583,7 +779,8 @@ impl SolveService {
     /// # Errors
     ///
     /// [`SubmitError::Invalid`] for a bad ε, [`SubmitError::ShutDown`]
-    /// after [`shutdown`](Self::shutdown). (Never
+    /// after [`shutdown`](Self::shutdown), [`SubmitError::Overloaded`]
+    /// while admission control is shedding bulk work. (Never
     /// [`SubmitError::Backpressure`] — this variant waits instead.)
     pub fn submit(&self, g: Arc<Hypergraph>, epsilon: f64) -> Result<Ticket, SubmitError> {
         self.submit_with(g, epsilon, SubmitOptions::default())
@@ -595,8 +792,11 @@ impl SolveService {
     ///
     /// # Errors
     ///
-    /// As [`submit`](Self::submit); a deadline miss is *not* a submission
-    /// error — it resolves the ticket with [`SolveError::Expired`].
+    /// As [`submit`](Self::submit), plus [`SubmitError::Overloaded`] for
+    /// a bulk submission shed by admission control
+    /// ([`with_shed_target`](Self::with_shed_target)). A deadline miss is
+    /// *not* a submission error — it resolves the ticket with
+    /// [`SolveError::Expired`].
     pub fn submit_with(
         &self,
         g: Arc<Hypergraph>,
@@ -604,13 +804,20 @@ impl SolveService {
         opts: SubmitOptions,
     ) -> Result<Ticket, SubmitError> {
         let solver = self.solver_for(epsilon)?;
+        self.admit(opts.class)?;
         let seq = self.next_seq();
-        let task = self.recorded_solve(seq, g, epsilon, solver, None);
+        let envelope = opts.envelope();
+        let token = envelope.token.clone();
+        let task = self.recorded_solve(seq, g, epsilon, solver, None, &envelope);
         let inner = self
             .current_queue()?
-            .submit_with(opts.task_options(), task)
+            .submit_with(envelope.task, task)
             .map_err(|_| SubmitError::ShutDown)?;
-        Ok(Ticket { seq, inner })
+        Ok(Ticket {
+            seq,
+            inner,
+            cancel: token,
+        })
     }
 
     /// Non-blocking bulk-class submission: enqueues only if a queue slot
@@ -640,18 +847,25 @@ impl SolveService {
         opts: SubmitOptions,
     ) -> Result<Ticket, SubmitError> {
         let solver = self.solver_for(epsilon)?;
+        self.admit(opts.class)?;
         let seq = self.next_seq();
-        let task = self.recorded_solve(seq, Arc::clone(g), epsilon, solver, None);
+        let envelope = opts.envelope();
+        let token = envelope.token.clone();
+        let task = self.recorded_solve(seq, Arc::clone(g), epsilon, solver, None, &envelope);
         let inner = self
             .current_queue()?
-            .try_submit_with(opts.task_options(), task)
+            .try_submit_with(envelope.task, task)
             .map_err(|e| match e {
                 TrySubmitError::Full => SubmitError::Backpressure {
                     capacity: self.queue_capacity,
                 },
                 TrySubmitError::Closed => SubmitError::ShutDown,
             })?;
-        Ok(Ticket { seq, inner })
+        Ok(Ticket {
+            seq,
+            inner,
+            cancel: token,
+        })
     }
 
     /// Submits a **revision** of an earlier submission: the delta is
@@ -707,18 +921,28 @@ impl SolveService {
             .ok_or(SubmitError::UnknownBase { seq: base_seq })?;
         let epsilon = epsilon.unwrap_or(entry.epsilon);
         let solver = self.solver_for(epsilon)?;
+        self.admit(opts.class)?;
         let outcome = delta
             .apply(&entry.graph)
             .map_err(|e| SubmitError::Invalid(SolveError::Delta(e)))?;
         let warm = WarmState::for_delta(&entry.result, &outcome);
         let g = Arc::new(outcome.graph);
         let seq = self.next_seq();
-        let task = self.recorded_solve(seq, Arc::clone(&g), epsilon, solver, Some(warm));
+        let envelope = opts.envelope();
+        let token = envelope.token.clone();
+        let task = self.recorded_solve(seq, Arc::clone(&g), epsilon, solver, Some(warm), &envelope);
         let inner = self
             .current_queue()?
-            .submit_with(opts.task_options(), task)
+            .submit_with(envelope.task, task)
             .map_err(|_| SubmitError::ShutDown)?;
-        Ok((Ticket { seq, inner }, g))
+        Ok((
+            Ticket {
+                seq,
+                inner,
+                cancel: token,
+            },
+            g,
+        ))
     }
 
     /// Gracefully shuts the service down: close the queue (subsequent
@@ -769,7 +993,12 @@ impl SolveService {
     /// Builds a pool wired to this service's long-lived metrics sink, so
     /// scheduling counters accumulate across pool rebuilds.
     fn build_pool(&self) -> SimPool<MwhvcNode> {
-        SimPool::with_metrics(self.threads, self.queue_capacity, Arc::clone(&self.metrics))
+        SimPool::with_policy(
+            self.threads,
+            self.queue_capacity,
+            Arc::clone(&self.metrics),
+            self.policy,
+        )
     }
 
     /// Draws the next sequence id. Ids are allocated before the enqueue so
@@ -779,8 +1008,11 @@ impl SolveService {
     }
 
     /// The solve task for one submission: runs the (cold or warm) solve
-    /// on the worker's arena and, on success, records the result in the
-    /// delta cache under `seq` before the ticket resolves — so once a
+    /// on the worker's arena — under the submission's [`Interrupt`], so a
+    /// cancel or a deadline miss stops it cooperatively at the next round
+    /// boundary and resolves as the typed [`SolveError::Cancelled`] /
+    /// [`SolveError::Expired`] — and, on success, records the result in
+    /// the delta cache under `seq` before the ticket resolves — so once a
     /// caller has observed a submission's completion, a delta referencing
     /// its seq is guaranteed to find it (bounded-cache eviction aside).
     fn recorded_solve(
@@ -790,13 +1022,36 @@ impl SolveService {
         epsilon: f64,
         solver: MwhvcSolver,
         warm: Option<WarmState>,
+        envelope: &SubmissionEnvelope,
     ) -> impl FnOnce(&mut EngineArena<MwhvcNode>) -> Result<CoverResult, SolveError> + Send + 'static
     {
         let cache = Arc::clone(&self.cache);
+        let solver = solver.with_interrupt(envelope.interrupt.clone());
+        let submitted = envelope.submitted;
+        #[cfg(test)]
+        let hook = self
+            .pre_solve
+            .lock()
+            .expect("pre-solve hook mutex")
+            .0
+            .clone();
         move |arena| {
+            #[cfg(test)]
+            if let Some(hook) = &hook {
+                hook();
+            }
             let result = match &warm {
                 None => solver.solve_with_arena(&g, arena),
                 Some(warm) => solver.solve_warm_with_arena(&g, warm, arena),
+            };
+            let result = match result {
+                Err(SolveError::Sim(SimError::Interrupted { reason, .. })) => match reason {
+                    InterruptReason::Cancelled => Err(SolveError::Cancelled),
+                    InterruptReason::DeadlinePassed => Err(SolveError::Expired {
+                        waited: submitted.elapsed(),
+                    }),
+                },
+                other => other,
             };
             if let Ok(r) = &result {
                 // Check the capacity before paying for the result copy, so
@@ -836,11 +1091,25 @@ impl SolveService {
         F: FnOnce(&mut EngineArena<MwhvcNode>) -> Result<CoverResult, SolveError> + Send + 'static,
     {
         let seq = self.next_seq();
+        let envelope = opts.envelope();
+        let token = envelope.token.clone();
         let inner = self
             .current_queue()?
-            .submit_with(opts.task_options(), f)
+            .submit_with(envelope.task, f)
             .map_err(|_| SubmitError::ShutDown)?;
-        Ok(Ticket { seq, inner })
+        Ok(Ticket {
+            seq,
+            inner,
+            cancel: token,
+        })
+    }
+
+    /// Installs the test-only fault-injection hook: runs on the worker
+    /// after a task is dequeued, right before its solve starts. Applies
+    /// to submissions made *after* this call.
+    #[cfg(test)]
+    fn set_pre_solve(&self, hook: impl Fn() + Send + Sync + 'static) {
+        self.pre_solve.lock().expect("pre-solve hook mutex").0 = Some(Arc::new(hook));
     }
 
     /// Borrows the worker pool for a chunk-parallel single-instance solve
@@ -1387,6 +1656,251 @@ mod tests {
     }
 
     #[test]
+    fn cancelling_a_queued_submission_resolves_as_cancelled_without_running() {
+        let gate = Gate::new();
+        let service = SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 8);
+        let busy = occupy_workers(&service, &gate);
+        let g = tiny();
+        let doomed = service
+            .submit_with(Arc::clone(&g), 0.5, SubmitOptions::interactive())
+            .unwrap();
+        let alive = service.submit(Arc::clone(&g), 0.5).unwrap();
+        doomed.cancel();
+        doomed.cancel(); // idempotent
+        gate.release();
+        for t in busy {
+            t.wait().unwrap();
+        }
+        let (result, timing) = doomed.wait_timed();
+        assert!(matches!(result, Err(SolveError::Cancelled)), "{result:?}");
+        assert_eq!(timing.run, std::time::Duration::ZERO, "solve never ran");
+        assert!(alive.wait().unwrap().cover.is_cover_of(&g));
+        let m = service.metrics();
+        assert_eq!(m.interactive.cancelled, 1);
+        assert_eq!(m.interactive.completed, 0);
+        assert_eq!(m.interactive.expired, 0);
+    }
+
+    #[test]
+    fn cancelling_a_running_solve_stops_it_at_a_round_boundary() {
+        let gate = Gate::new();
+        let service = SolveService::with_epsilon(0.5, 1).unwrap();
+        {
+            let gate = Arc::clone(&gate);
+            service.set_pre_solve(move || gate.arrive_and_wait());
+        }
+        let g = tiny();
+        let t = service
+            .submit_with(Arc::clone(&g), 0.5, SubmitOptions::interactive())
+            .unwrap();
+        // The worker has dequeued the task and sits inside it, about to
+        // start the solve; the cancel lands mid-task.
+        gate.await_arrivals(1);
+        t.cancel();
+        gate.release();
+        assert!(matches!(t.wait(), Err(SolveError::Cancelled)));
+        // A mid-run stop is a *completed* task at the pool level (its
+        // worker ran it); the pool-level cancelled counter only counts
+        // queued discards.
+        let m = service.metrics();
+        assert_eq!(m.interactive.completed, 1);
+        assert_eq!(m.interactive.cancelled, 0);
+    }
+
+    #[test]
+    fn a_deadline_that_passes_mid_run_resolves_as_typed_expired() {
+        // The acceptance shape: the solve is already on a worker when its
+        // deadline passes; it must stop at the next round boundary and
+        // resolve as Expired — not run to completion, not panic.
+        let gate = Gate::new();
+        let service = SolveService::with_epsilon(0.5, 1).unwrap();
+        {
+            let gate = Arc::clone(&gate);
+            service.set_pre_solve(move || gate.arrive_and_wait());
+        }
+        let g = tiny();
+        let deadline = std::time::Duration::from_millis(300);
+        let t = service
+            .submit_with(
+                Arc::clone(&g),
+                0.5,
+                SubmitOptions::interactive().with_deadline(deadline),
+            )
+            .unwrap();
+        // Dequeued (and past the dequeue-time deadline check) well before
+        // the deadline; the hook holds the solve while the deadline passes.
+        gate.await_arrivals(1);
+        std::thread::sleep(deadline + std::time::Duration::from_millis(50));
+        gate.release();
+        let (result, timing) = t.wait_timed();
+        match result {
+            Err(SolveError::Expired { waited }) => {
+                assert!(waited >= deadline, "full-lifecycle wait, got {waited:?}")
+            }
+            other => panic!("expected Expired, got {other:?}"),
+        }
+        assert!(
+            timing.run > std::time::Duration::ZERO,
+            "stopped mid-run, not discarded from the queue"
+        );
+        let m = service.metrics();
+        assert_eq!(m.interactive.expired, 0, "no queued-expiry was recorded");
+        assert_eq!(m.interactive.completed, 1);
+    }
+
+    #[test]
+    fn a_cancel_that_loses_the_race_resolves_with_the_finished_result() {
+        let service = SolveService::with_epsilon(0.5, 1).unwrap();
+        let g = tiny();
+        let t = service.submit(Arc::clone(&g), 0.5).unwrap();
+        while !t.is_done() {
+            std::thread::yield_now();
+        }
+        // The solve already finished; the cancel is a no-op and the
+        // ticket resolves exactly once, with the valid result.
+        t.cancel();
+        assert!(t.wait().unwrap().cover.is_cover_of(&g));
+    }
+
+    #[test]
+    fn bulk_submissions_are_shed_while_interactive_p99_exceeds_target() {
+        use dcover_hypergraph::InstanceDelta;
+        let gate = Gate::new();
+        let service = SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 8)
+            .with_shed_target(std::time::Duration::from_millis(1));
+        let g = tiny();
+        // Solve one instance before the overload so a delta base exists.
+        let base = service.submit(Arc::clone(&g), 0.5).unwrap();
+        let base_seq = base.seq();
+        base.wait().unwrap();
+        // Manufacture a slow interactive queue wait: the submission sits
+        // behind a gated worker for ≥10 ms before being dequeued.
+        let busy = occupy_workers(&service, &gate);
+        let slow = service
+            .submit_with(Arc::clone(&g), 0.5, SubmitOptions::interactive())
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        gate.release();
+        for t in busy {
+            t.wait().unwrap();
+        }
+        slow.wait().unwrap();
+        // The rolling p99 now reflects the ≥10 ms wait: bulk is shed on
+        // every submission path, interactive still passes.
+        assert!(matches!(
+            service.try_submit(&g, 0.5),
+            Err(SubmitError::Overloaded { .. })
+        ));
+        assert!(matches!(
+            service.submit(Arc::clone(&g), 0.5),
+            Err(SubmitError::Overloaded { .. })
+        ));
+        assert!(matches!(
+            service.submit_delta(base_seq, &InstanceDelta::empty(), None),
+            Err(SubmitError::Overloaded { .. })
+        ));
+        service
+            .submit_with(Arc::clone(&g), 0.5, SubmitOptions::interactive())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let m = service.metrics();
+        assert_eq!(m.bulk.shed, 3);
+        assert_eq!(m.interactive.shed, 0);
+        assert!(m.interactive_wait_p99.unwrap() >= std::time::Duration::from_millis(1));
+    }
+
+    #[test]
+    fn a_starved_queued_interactive_submission_sheds_bulk_before_any_dequeue() {
+        // The rolling dequeue-side p99 cannot trip while interactive
+        // work is starved (nothing dequeues, nothing is recorded): the
+        // age of the oldest *queued* interactive submission must carry
+        // the signal on its own.
+        let gate = Gate::new();
+        let service = SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 8)
+            .with_shed_target(std::time::Duration::from_millis(5));
+        let g = tiny();
+        let busy = occupy_workers(&service, &gate);
+        // Queued behind the gated worker: it never dequeues during the
+        // overload, so the rolling p99 stays empty.
+        let starved = service
+            .submit_with(Arc::clone(&g), 0.5, SubmitOptions::interactive())
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(service.metrics().interactive_wait_p99.is_none());
+        match service.try_submit(&g, 0.5) {
+            Err(SubmitError::Overloaded {
+                interactive_wait_p99,
+            }) => assert!(interactive_wait_p99 >= std::time::Duration::from_millis(5)),
+            other => panic!("expected Overloaded from the queued-head signal, got {other:?}"),
+        }
+        gate.release();
+        for t in busy {
+            t.wait().unwrap();
+        }
+        starved.wait().unwrap();
+        let m = service.metrics();
+        assert_eq!(m.bulk.shed, 1);
+        // With the lane drained, the gate reopens: the rolling p99 now
+        // holds one large sample, but the head-age component is gone —
+        // admission follows whichever view is currently larger.
+        assert!(m.interactive_wait_p99.unwrap() >= std::time::Duration::from_millis(5));
+    }
+
+    #[test]
+    fn without_a_shed_target_bulk_is_never_shed() {
+        let gate = Gate::new();
+        let service = SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 8);
+        let g = tiny();
+        let busy = occupy_workers(&service, &gate);
+        let slow = service
+            .submit_with(Arc::clone(&g), 0.5, SubmitOptions::interactive())
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        gate.release();
+        for t in busy {
+            t.wait().unwrap();
+        }
+        slow.wait().unwrap();
+        let t = service.try_submit(&g, 0.5).expect("no shedding configured");
+        t.wait().unwrap();
+        assert_eq!(service.metrics().bulk.shed, 0);
+    }
+
+    #[test]
+    fn bulk_aging_promotes_starved_bulk_work_over_interactive() {
+        let gate = Gate::new();
+        let service = SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 8)
+            .with_bulk_max_wait(std::time::Duration::ZERO);
+        let busy = occupy_workers(&service, &gate);
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut tickets = Vec::new();
+        for (name, opts) in [
+            ("b1", SubmitOptions::bulk()),
+            ("i1", SubmitOptions::interactive()),
+        ] {
+            let order = Arc::clone(&order);
+            tickets.push(
+                service
+                    .submit_task_with(opts, move |_arena| {
+                        order.lock().unwrap().push(name);
+                        Ok(CoverResult::empty())
+                    })
+                    .unwrap(),
+            );
+        }
+        gate.release();
+        for t in busy.into_iter().chain(tickets) {
+            t.wait().unwrap();
+        }
+        // With a zero aging bound the queued bulk task is instantly
+        // "aged" and beats the younger interactive submission (strict
+        // class priority would run i1 first — see
+        // interactive_submissions_dequeue_before_bulk_fifo_within_class).
+        assert_eq!(*order.lock().unwrap(), vec!["b1", "i1"]);
+    }
+
+    #[test]
     fn metrics_snapshot_counts_classes_histograms_and_busy_time() {
         let service = SolveService::with_epsilon(0.5, 2).unwrap();
         let g = tiny();
@@ -1425,16 +1939,42 @@ mod tests {
 
     #[test]
     fn metrics_accumulate_across_pool_revival() {
+        // Regression (node-program-panic shape): a panic during a
+        // chunk-parallel solve unwinds through the borrowed pool and
+        // destroys it; the revived pool must keep recording into the
+        // same shared SchedMetrics sink, and every counter recorded
+        // before the revival — including the cancellation and shedding
+        // counters — must survive it.
+        let gate = Gate::new();
         let service = SolveService::with_epsilon(0.5, 2).unwrap();
         let g = tiny();
         service.submit(Arc::clone(&g), 0.5).unwrap().wait().unwrap();
+        // A queued interactive cancel and a shed, recorded pre-revival.
+        let busy = occupy_workers(&service, &gate);
+        let doomed = service
+            .submit_with(Arc::clone(&g), 0.5, SubmitOptions::interactive())
+            .unwrap();
+        doomed.cancel();
+        service.metrics.record_shed(TaskClass::Bulk);
+        gate.release();
+        for t in busy {
+            t.wait().unwrap();
+        }
+        assert!(matches!(doomed.wait(), Err(SolveError::Cancelled)));
         // Destroy the pool (the poisoned-solve shape); the revived pool
         // must keep recording into the same metrics sink.
         drop(service.take_pool());
         service.submit(Arc::clone(&g), 0.5).unwrap().wait().unwrap();
         let m = service.metrics();
-        assert_eq!(m.bulk.submitted, 2);
-        assert_eq!(m.bulk.completed, 2);
+        // occupy_workers injected `threads` bulk tasks alongside the two
+        // real bulk submissions.
+        let injected = service.threads() as u64;
+        assert_eq!(m.bulk.submitted, 2 + injected);
+        assert_eq!(m.bulk.completed, 2 + injected);
+        assert_eq!(m.bulk.shed, 1);
+        assert_eq!(m.interactive.submitted, 1);
+        assert_eq!(m.interactive.cancelled, 1);
+        assert_eq!(m.interactive.completed, 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The user-facing solver: runs the distributed protocol on the CONGEST
 //! simulator and assembles the result.
 
-use dcover_congest::{BitBudget, EngineArena, ParallelSimulator, SimReport, Simulator};
+use dcover_congest::{BitBudget, EngineArena, Interrupt, ParallelSimulator, SimReport, Simulator};
 use dcover_hypergraph::{Cover, Hypergraph};
 
 use crate::analysis;
@@ -95,13 +95,19 @@ impl CoverResult {
 #[derive(Clone, Debug)]
 pub struct MwhvcSolver {
     config: MwhvcConfig,
+    /// Cooperative interrupt checked by the simulators once per round;
+    /// `None` for an uninterruptible solve.
+    interrupt: Option<Interrupt>,
 }
 
 impl MwhvcSolver {
     /// Creates a solver with an explicit configuration.
     #[must_use]
     pub fn new(config: MwhvcConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            interrupt: None,
+        }
     }
 
     /// Creates a solver with the given ε and default settings.
@@ -117,6 +123,18 @@ impl MwhvcSolver {
     #[must_use]
     pub fn config(&self) -> &MwhvcConfig {
         &self.config
+    }
+
+    /// Attaches a cooperative [`Interrupt`] (cancel token and/or absolute
+    /// deadline) to every solve made through this solver: the schedulers
+    /// check it once per CONGEST round, and a fired interrupt stops the
+    /// run at the next round boundary with the typed
+    /// [`SolveError::Sim`]`(`[`SimError::Interrupted`](dcover_congest::SimError::Interrupted)`)`.
+    /// Completed rounds stay bit-identical to an uninterrupted run.
+    #[must_use]
+    pub fn with_interrupt(mut self, interrupt: Interrupt) -> Self {
+        self.interrupt = Some(interrupt);
+        self
     }
 
     /// Runs the protocol on the deterministic sequential scheduler.
@@ -157,6 +175,9 @@ impl MwhvcSolver {
         let mut sim = Simulator::with_arena(topo, nodes, taken)
             .with_budget(self.budget_for(g))
             .with_trace(self.config.trace());
+        if let Some(interrupt) = &self.interrupt {
+            sim = sim.with_interrupt(interrupt.clone());
+        }
         let run = sim.run(limit);
         let (nodes, report, recovered) = sim.into_arena();
         *arena = recovered;
@@ -243,6 +264,9 @@ impl MwhvcSolver {
         let mut sim = Simulator::with_arena(topo, nodes, taken)
             .with_budget(self.budget_for(g))
             .with_trace(self.config.trace());
+        if let Some(interrupt) = &self.interrupt {
+            sim = sim.with_interrupt(interrupt.clone());
+        }
         let run = sim.run(limit);
         let (nodes, report, recovered) = sim.into_arena();
         *arena = recovered;
@@ -275,6 +299,9 @@ impl MwhvcSolver {
         let mut sim = ParallelSimulator::new(topo, nodes, threads)
             .with_budget(self.budget_for(g))
             .with_trace(self.config.trace());
+        if let Some(interrupt) = &self.interrupt {
+            sim = sim.with_interrupt(interrupt.clone());
+        }
         sim.run(limit)?;
         let (nodes, report) = sim.into_parts();
         Ok(self.assemble(g, &nodes, report))
@@ -451,6 +478,31 @@ mod tests {
         assert!(r.cover.is_empty());
         assert_eq!(r.weight, 0);
         assert!(r.report.all_halted);
+    }
+
+    #[test]
+    fn a_fired_interrupt_stops_every_solve_path_before_the_first_round() {
+        use dcover_congest::{CancelToken, Interrupt, InterruptReason, SimError};
+        let g = from_edge_lists(3, &[&[0, 1], &[1, 2], &[2, 0]]).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let s = solver(0.5).with_interrupt(Interrupt::new().with_token(token));
+        for result in [s.solve(&g), s.solve_parallel(&g, 2)] {
+            match result {
+                Err(SolveError::Sim(SimError::Interrupted { reason, round, .. })) => {
+                    assert_eq!(reason, InterruptReason::Cancelled);
+                    assert_eq!(round, 0, "stopped at the first round boundary");
+                }
+                other => panic!("expected Interrupted, got {other:?}"),
+            }
+        }
+        // An unfired interrupt changes nothing: bit-identical result.
+        let idle = solver(0.5).with_interrupt(Interrupt::new().with_token(CancelToken::new()));
+        let plain = solver(0.5).solve(&g).unwrap();
+        let watched = idle.solve(&g).unwrap();
+        assert_eq!(plain.cover, watched.cover);
+        assert_eq!(plain.duals, watched.duals);
+        assert_eq!(plain.report, watched.report);
     }
 
     #[test]

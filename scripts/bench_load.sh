@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the open-loop load benchmark and writes BENCH_load.json (interactive
+# queue-wait p50/p99 as a function of offered bulk load — the
+# latency-vs-offered-load curve — with and without SLO-driven bulk
+# shedding; anti-starvation aging is active in both modes, and the record
+# asserts shedding bounds the interactive p99 at the saturating point) at
+# the repository root. Usage: scripts/bench_load.sh [out.json]
+# Smoke mode (seconds instead of minutes, for CI bitrot checks):
+#   BENCH_LOAD_SMOKE=1 scripts/bench_load.sh /tmp/BENCH_load_smoke.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_load.json}"
+case "$OUT" in
+  /*) ABS="$OUT" ;;
+  *) ABS="$(pwd)/$OUT" ;;
+esac
+BENCH_LOAD_JSON="$ABS" cargo bench -p dcover-bench --bench load
+echo "--- $OUT ---"
+cat "$ABS"

@@ -258,12 +258,14 @@ fn interactive_class_jumps_the_bulk_backlog_fifo_within_class() {
 #[test]
 fn concurrent_mixed_class_submitters_every_ticket_resolves_exactly_once() {
     // Four submitter threads (two interactive, two bulk) hammer a
-    // 2-worker service through a 2-deep queue with non-blocking
-    // submissions — every third attempt carrying an already-hopeless
-    // deadline — while the main thread shuts the service down mid-stream.
+    // 2-worker service — with SLO shedding and bulk aging armed —
+    // through a 2-deep queue with non-blocking submissions. Attempts
+    // cycle through the whole outcome matrix: every third carries an
+    // already-hopeless deadline, every third is cancelled right after
+    // submission, and the main thread shuts the service down mid-stream.
     // Accounting must close exactly: every attempt either yielded a
-    // ticket (which resolves exactly once, as completed or expired) or
-    // was refused (backpressure / shutdown).
+    // ticket (which resolves exactly once — completed, expired, or
+    // cancelled) or was refused (backpressure / shed / shutdown).
     let mut rng = StdRng::seed_from_u64(42);
     let g = Arc::new(random_uniform(
         &RandomUniform {
@@ -274,17 +276,20 @@ fn concurrent_mixed_class_submitters_every_ticket_resolves_exactly_once() {
         },
         &mut rng,
     ));
-    let service = Arc::new(SolveService::with_queue_capacity(
-        dcover_core::MwhvcConfig::new(0.5).unwrap(),
-        2,
-        2,
-    ));
+    let service = Arc::new(
+        SolveService::with_queue_capacity(dcover_core::MwhvcConfig::new(0.5).unwrap(), 2, 2)
+            .with_shed_target(Duration::from_micros(1))
+            .with_bulk_max_wait(Duration::from_millis(5)),
+    );
 
     #[derive(Default)]
     struct Tally {
         completed: usize,
         expired: usize,
+        cancelled_queued: usize,
+        cancelled_mid_run: usize,
         backpressure: usize,
+        shed: usize,
         shut_down: usize,
         zero_deadline_issued: usize,
     }
@@ -306,6 +311,9 @@ fn concurrent_mixed_class_submitters_every_ticket_resolves_exactly_once() {
                         class,
                         deadline: None,
                     };
+                    // Disjoint three-way split of the attempts: cancelled
+                    // after submission / plain / hopeless deadline.
+                    let cancel_me = attempt % 3 == 0;
                     let doomed = attempt % 3 == 2;
                     if doomed {
                         opts = opts.with_deadline(Duration::ZERO);
@@ -315,15 +323,22 @@ fn concurrent_mixed_class_submitters_every_ticket_resolves_exactly_once() {
                             if doomed {
                                 tally.zero_deadline_issued += 1;
                             }
+                            if cancel_me {
+                                t.cancel();
+                            }
                             tickets.push(t);
                         }
                         Err(SubmitError::Backpressure { capacity }) => {
                             assert_eq!(capacity, 2);
                             tally.backpressure += 1;
                         }
+                        Err(SubmitError::Overloaded { .. }) => {
+                            assert_eq!(class, RequestClass::Bulk, "only bulk is shed");
+                            tally.shed += 1;
+                        }
                         Err(SubmitError::ShutDown) => {
                             // The door never reopens; count the rest of
-                            // the attempts as shed and stop submitting.
+                            // the attempts as refused and stop submitting.
                             tally.shut_down += 30 - attempt;
                             break;
                         }
@@ -342,19 +357,32 @@ fn concurrent_mixed_class_submitters_every_ticket_resolves_exactly_once() {
     let mut attempts_accounted = 0usize;
     for handle in handles {
         let (tally, tickets) = handle.join().unwrap();
-        attempts_accounted += tickets.len() + tally.backpressure + tally.shut_down;
+        attempts_accounted += tickets.len() + tally.backpressure + tally.shed + tally.shut_down;
         total.backpressure += tally.backpressure;
+        total.shed += tally.shed;
         total.shut_down += tally.shut_down;
         total.zero_deadline_issued += tally.zero_deadline_issued;
         for t in tickets {
             // Shutdown drained both classes: nothing is left hanging.
             assert!(t.is_done(), "shutdown resolves every issued ticket");
-            match t.wait() {
+            let (result, timing) = t.wait_timed();
+            match result {
                 Ok(result) => {
                     assert!(result.cover.is_cover_of(&g));
                     total.completed += 1;
                 }
                 Err(SolveError::Expired { .. }) => total.expired += 1,
+                // A cancel that landed while the ticket was queued never
+                // ran (zero run time); one that landed mid-run stopped a
+                // worker at a round boundary. A cancel that lost the race
+                // outright resolves Ok above — all three are legal.
+                Err(SolveError::Cancelled) => {
+                    if timing.run == Duration::ZERO {
+                        total.cancelled_queued += 1;
+                    } else {
+                        total.cancelled_mid_run += 1;
+                    }
+                }
                 Err(other) => panic!("unexpected solve outcome: {other:?}"),
             }
         }
@@ -366,6 +394,10 @@ fn concurrent_mixed_class_submitters_every_ticket_resolves_exactly_once() {
         total.backpressure > 0,
         "a 2-deep queue under 4 hammering submitters must push back"
     );
+    assert!(
+        total.cancelled_queued + total.cancelled_mid_run > 0,
+        "with a third of the attempts cancelled at submit, some must resolve Cancelled"
+    );
     if total.zero_deadline_issued > 0 {
         assert!(
             total.expired > 0,
@@ -373,17 +405,25 @@ fn concurrent_mixed_class_submitters_every_ticket_resolves_exactly_once() {
             total.zero_deadline_issued
         );
     }
-    // The service's own accounting agrees with the caller's.
+    // The service's own accounting agrees with the caller's. At the pool
+    // level a mid-run cancel is a *completed* task (its worker ran it);
+    // the pool's cancelled counter only counts queued discards.
     let m = service.metrics();
     assert_eq!(
         m.interactive.completed + m.bulk.completed,
-        total.completed as u64
+        (total.completed + total.cancelled_mid_run) as u64
     );
     assert_eq!(m.interactive.expired + m.bulk.expired, total.expired as u64);
+    assert_eq!(
+        m.interactive.cancelled + m.bulk.cancelled,
+        total.cancelled_queued as u64
+    );
     assert_eq!(
         m.interactive.rejected + m.bulk.rejected,
         total.backpressure as u64
     );
+    assert_eq!(m.interactive.shed, 0, "interactive is never shed");
+    assert_eq!(m.bulk.shed, total.shed as u64);
 }
 
 #[test]
