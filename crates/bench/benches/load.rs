@@ -245,6 +245,8 @@ fn run_point(
     let start = Instant::now();
     for a in &arrivals {
         if let Some(sleep) = a.at.checked_sub(start.elapsed()) {
+            // wall-clock: open-loop load generation — pace submissions to
+            // the arrival schedule; not a synchronization point.
             std::thread::sleep(sleep);
         }
         let g = match a.class {

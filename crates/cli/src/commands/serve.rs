@@ -313,6 +313,9 @@ pub fn serve(raw: &[String]) -> Result<(), Failure> {
     while !stream.pending.is_empty() {
         stream.poll_completed();
         if !stream.pending.is_empty() {
+            // wall-clock: poll backoff — tickets expose only non-blocking
+            // try_wait, so the drain loop naps between sweeps instead of
+            // burning a core.
             std::thread::sleep(std::time::Duration::from_micros(200));
         }
     }
@@ -466,6 +469,8 @@ impl Stream {
                 break;
             }
             self.poll_completed();
+            // wall-clock: poll backoff between try_wait sweeps while the
+            // base solve is still in flight (see the drain loop above).
             std::thread::sleep(std::time::Duration::from_micros(200));
         }
         let (service_seq, base_eps) = match self.outcomes.get(&base) {

@@ -1,0 +1,949 @@
+//! Execution engine: virtual threads, the baton-passing scheduler, the
+//! bounded-preemption DFS and random-walk strategies, and failure detection.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Exploration mode.
+#[derive(Clone, Debug)]
+pub enum Mode {
+    /// Bounded-preemption depth-first search over scheduling decisions.
+    Exhaustive,
+    /// Seeded random walk: `iterations` executions, uniform choice at every
+    /// decision point, no preemption bound.
+    Random { seed: u64, iterations: usize },
+    /// Re-run exactly one recorded schedule (as printed by a failure).
+    Replay(Vec<usize>),
+}
+
+/// Checker configuration. `Default` is exhaustive DFS with a preemption
+/// bound of 2 and a 4000-execution cap.
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub mode: Mode,
+    /// Maximum involuntary context switches per execution (Exhaustive only).
+    pub preemption_bound: usize,
+    /// Cap on executions for Exhaustive mode; the search reports
+    /// `complete = false` if the cap is hit before the space is exhausted.
+    pub max_executions: usize,
+    /// Livelock guard: maximum scheduling points in a single execution.
+    pub max_steps: usize,
+    /// Whether model atomics are scheduling points. Disabling shrinks the
+    /// state space for scenarios dominated by metrics counters.
+    pub yield_on_atomics: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            mode: Mode::Exhaustive,
+            preemption_bound: 2,
+            max_executions: 4000,
+            max_steps: 50_000,
+            yield_on_atomics: true,
+        }
+    }
+}
+
+impl Config {
+    pub fn exhaustive(preemption_bound: usize, max_executions: usize) -> Self {
+        Config {
+            mode: Mode::Exhaustive,
+            preemption_bound,
+            max_executions,
+            ..Config::default()
+        }
+    }
+
+    pub fn random(seed: u64, iterations: usize) -> Self {
+        Config {
+            mode: Mode::Random { seed, iterations },
+            ..Config::default()
+        }
+    }
+}
+
+/// What went wrong in a failing execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Unfinished threads exist but none can run.
+    Deadlock,
+    /// Deadlock where some blocked waiter sits on a condvar that *was*
+    /// notified — the wakeup raced past it.
+    LostWakeup,
+    /// A virtual thread panicked (assertion failure, explicit panic, ...).
+    Panic,
+    /// `max_steps` scheduling points elapsed without completion.
+    StepLimit,
+}
+
+/// A failing execution: kind, human-readable detail, and the schedule
+/// (decision indices) that reproduces it via [`Mode::Replay`].
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    pub schedule: Vec<usize>,
+    /// 0-based index of the failing execution within the run.
+    pub execution: usize,
+}
+
+/// Summary of an exploration run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of distinct executions (interleavings) performed.
+    pub executions: usize,
+    /// Exhaustive mode only: the bounded search space was fully explored.
+    pub complete: bool,
+    /// Replay divergences (recorded choice out of range for the runnable
+    /// set actually observed — scenario is not deterministic).
+    pub divergences: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+/// Payload used to unwind virtual threads when an execution is aborted
+/// (failure found or run torn down). Recognized and swallowed by the engine.
+struct AbortToken;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar { cv: usize, mutex: usize },
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct Trd {
+    state: TState,
+    name: String,
+}
+
+#[derive(Default)]
+struct MutexState {
+    owner: Option<usize>,
+}
+
+#[derive(Default)]
+struct CvState {
+    /// FIFO of (tid) parked in `wait`; their mutex id lives in their TState.
+    waiters: Vec<usize>,
+    /// Total notify_one/notify_all calls this execution (for lost-wakeup
+    /// classification).
+    notifies: u64,
+}
+
+/// One recorded scheduling decision (only recorded when |runnable| > 1).
+struct Decision {
+    runnable: Vec<usize>,
+    /// Position of the yielding thread within `runnable`, if it could have
+    /// kept running.
+    current_idx: Option<usize>,
+    chosen: usize,
+    preemptions_before: usize,
+}
+
+struct Inner {
+    threads: Vec<Trd>,
+    unfinished: usize,
+    /// Currently scheduled thread; `usize::MAX` once the execution is over.
+    active: usize,
+    steps: usize,
+    preemptions: usize,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CvState>,
+    decisions: Vec<Decision>,
+    /// Schedule prefix to replay (DFS backtracking / Replay mode).
+    prefix: Vec<usize>,
+    cursor: usize,
+    divergences: usize,
+    random: Option<u64>,
+    max_steps: usize,
+    yield_on_atomics: bool,
+    failure: Option<Failure>,
+    abort: bool,
+    execution: usize,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Shared {
+    inner: StdMutex<Inner>,
+    cv: StdCondvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Handle>> = const { RefCell::new(None) };
+}
+
+/// Per-OS-thread handle into the execution (thread id + shared state).
+#[derive(Clone)]
+pub(crate) struct Handle {
+    shared: Arc<Shared>,
+    tid: usize,
+}
+
+/// True while the calling OS thread is a virtual thread of an active
+/// exploration. Model primitives use this to pick model vs passthrough
+/// behaviour.
+pub fn in_execution() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+pub(crate) fn current() -> Option<Handle> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(h: Option<Handle>) {
+    CURRENT.with(|c| *c.borrow_mut() = h);
+}
+
+impl Shared {
+    fn lock(&self) -> StdMutexGuard<'_, Inner> {
+        // Poison-tolerant: virtual threads unwind (AbortToken) from inside
+        // engine critical sections during teardown; the state is still sound.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn runnable_set(inner: &Inner) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (tid, t) in inner.threads.iter().enumerate() {
+        let ok = match t.state {
+            TState::Runnable => true,
+            TState::BlockedMutex(m) => inner.mutexes[m].owner.is_none(),
+            TState::BlockedCondvar { .. } => false,
+            TState::BlockedJoin(target) => inner.threads[target].state == TState::Finished,
+            TState::Finished => false,
+        };
+        if ok {
+            out.push(tid);
+        }
+    }
+    out
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x.max(1);
+    x
+}
+
+fn record_failure(inner: &mut Inner, kind: FailureKind, message: String) {
+    if inner.failure.is_none() {
+        let schedule = inner.decisions.iter().map(|d| d.chosen).collect();
+        inner.failure = Some(Failure {
+            kind,
+            message,
+            schedule,
+            execution: inner.execution,
+        });
+    }
+    inner.abort = true;
+}
+
+fn describe_blocked(inner: &Inner) -> String {
+    let mut parts = Vec::new();
+    for (tid, t) in inner.threads.iter().enumerate() {
+        if t.state == TState::Finished {
+            continue;
+        }
+        let what = match t.state {
+            TState::Runnable => "runnable".to_string(),
+            TState::BlockedMutex(m) => format!("blocked on mutex #{m}"),
+            TState::BlockedCondvar { cv, mutex } => {
+                format!("waiting on condvar #{cv} (mutex #{mutex})")
+            }
+            TState::BlockedJoin(target) => format!("joining thread {target}"),
+            TState::Finished => unreachable!(),
+        };
+        parts.push(format!("thread {tid} `{}` {what}", t.name));
+    }
+    parts.join("; ")
+}
+
+/// Pick the next active thread. Called by the currently-active thread `me`
+/// at every scheduling point (after updating its own state). Handles
+/// completion and deadlock detection.
+fn schedule_next(shared: &Shared, inner: &mut Inner, me: usize) {
+    if inner.abort {
+        return;
+    }
+    let runnable = runnable_set(inner);
+    if runnable.is_empty() {
+        if inner.unfinished == 0 {
+            inner.active = usize::MAX;
+        } else {
+            let lost_wakeup = inner.threads.iter().any(|t| {
+                matches!(t.state, TState::BlockedCondvar { cv, .. } if inner.condvars[cv].notifies > 0)
+            });
+            let kind = if lost_wakeup {
+                FailureKind::LostWakeup
+            } else {
+                FailureKind::Deadlock
+            };
+            let message = format!(
+                "{} unfinished thread(s), none runnable: {}",
+                inner.unfinished,
+                describe_blocked(inner)
+            );
+            record_failure(inner, kind, message);
+        }
+        shared.cv.notify_all();
+        return;
+    }
+
+    let idx = if runnable.len() == 1 {
+        0
+    } else {
+        let current_idx = runnable.iter().position(|&t| t == me);
+        let k = inner.cursor;
+        inner.cursor += 1;
+        let chosen = if k < inner.prefix.len() {
+            let want = inner.prefix[k];
+            if want < runnable.len() {
+                want
+            } else {
+                inner.divergences += 1;
+                runnable.len() - 1
+            }
+        } else if let Some(rng) = inner.random.as_mut() {
+            (xorshift(rng) % runnable.len() as u64) as usize
+        } else {
+            // DFS default: keep running the current thread (no preemption);
+            // if it blocked, fall back to the lowest-id runnable thread.
+            current_idx.unwrap_or(0)
+        };
+        inner.decisions.push(Decision {
+            runnable: runnable.clone(),
+            current_idx,
+            chosen,
+            preemptions_before: inner.preemptions,
+        });
+        if let Some(ci) = current_idx {
+            if chosen != ci {
+                inner.preemptions += 1;
+            }
+        }
+        chosen
+    };
+
+    let next = runnable[idx];
+    inner.active = next;
+    if next != me {
+        shared.cv.notify_all();
+    }
+}
+
+impl Handle {
+    fn unwind_abort(&self) -> ! {
+        resume_unwind(Box::new(AbortToken))
+    }
+
+    /// Park until this thread is scheduled again (or the execution aborts).
+    fn park<'a>(&'a self, mut inner: StdMutexGuard<'a, Inner>) -> StdMutexGuard<'a, Inner> {
+        loop {
+            if inner.abort {
+                drop(inner);
+                self.unwind_abort();
+            }
+            if inner.active == self.tid {
+                return inner;
+            }
+            inner = self
+                .shared
+                .cv
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A plain scheduling point: count a step, let the strategy pick who
+    /// runs next, park until it is this thread again.
+    pub(crate) fn yield_point(&self) {
+        let mut inner = self.shared.lock();
+        if inner.abort {
+            drop(inner);
+            self.unwind_abort();
+        }
+        inner.steps += 1;
+        if inner.steps > inner.max_steps {
+            let msg = format!("exceeded {} scheduling points (livelock?)", inner.max_steps);
+            record_failure(&mut inner, FailureKind::StepLimit, msg);
+            self.shared.cv.notify_all();
+            drop(inner);
+            self.unwind_abort();
+        }
+        schedule_next(&self.shared, &mut inner, self.tid);
+        let _inner = self.park(inner);
+    }
+
+    pub(crate) fn atomic_point(&self) {
+        if std::thread::panicking() {
+            return;
+        }
+        let do_yield = {
+            let inner = self.shared.lock();
+            inner.yield_on_atomics
+        };
+        if do_yield {
+            self.yield_point();
+        }
+    }
+
+    pub(crate) fn same_exec(&self, other: &Handle) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
+    }
+
+    pub(crate) fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Undo a `register_thread` whose OS spawn failed; the parent stays
+    /// active, so no rescheduling happens.
+    pub(crate) fn rollback_spawn(&self) {
+        let mut inner = self.shared.lock();
+        inner.threads[self.tid].state = TState::Finished;
+        inner.unfinished -= 1;
+    }
+
+    // -- panic-tolerant variants ------------------------------------------
+    //
+    // Called from destructors running while a virtual thread is unwinding
+    // (`std::thread::panicking()`): they never unwind themselves (a second
+    // panic would abort the process) and never wait on an aborted execution.
+    // Unwind paths therefore execute atomically with respect to the model —
+    // their internal interleavings are not explored, which is fine: the
+    // execution is either already failing or tearing down.
+
+    /// Park without unwinding; returns `true` if the execution aborted
+    /// while parked (caller should proceed in degraded mode).
+    fn park_tolerant<'a>(
+        &'a self,
+        mut inner: StdMutexGuard<'a, Inner>,
+    ) -> (StdMutexGuard<'a, Inner>, bool) {
+        loop {
+            if inner.abort {
+                return (inner, true);
+            }
+            if inner.active == self.tid {
+                return (inner, false);
+            }
+            inner = self
+                .shared
+                .cv
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Acquire for unwinding threads. Returns `true` if model ownership was
+    /// actually taken (so the guard knows whether to model-release).
+    pub(crate) fn acquire_tolerant(&self, m: usize) -> bool {
+        let mut inner = self.shared.lock();
+        if inner.abort {
+            return false;
+        }
+        if inner.mutexes[m].owner.is_none() {
+            inner.mutexes[m].owner = Some(self.tid);
+            return true;
+        }
+        inner.threads[self.tid].state = TState::BlockedMutex(m);
+        schedule_next(&self.shared, &mut inner, self.tid);
+        let (mut inner, aborted) = self.park_tolerant(inner);
+        inner.threads[self.tid].state = TState::Runnable;
+        if aborted {
+            return false;
+        }
+        inner.mutexes[m].owner = Some(self.tid);
+        true
+    }
+
+    /// Notify for unwinding threads: performs the waiter transitions without
+    /// a scheduling point; no-op once aborted.
+    pub(crate) fn notify_tolerant(&self, cv: usize, all: bool) {
+        let mut inner = self.shared.lock();
+        if inner.abort {
+            return;
+        }
+        inner.condvars[cv].notifies += 1;
+        let n = if all {
+            inner.condvars[cv].waiters.len()
+        } else {
+            inner.condvars[cv].waiters.len().min(1)
+        };
+        for _ in 0..n {
+            let w = inner.condvars[cv].waiters.remove(0);
+            let m = match inner.threads[w].state {
+                TState::BlockedCondvar { mutex, .. } => mutex,
+                ref other => unreachable!("condvar waiter in state {other:?}"),
+            };
+            inner.threads[w].state = TState::BlockedMutex(m);
+        }
+    }
+
+    /// Join for unwinding threads: waits for the target without unwinding;
+    /// returns `false` (target result unavailable) once aborted.
+    pub(crate) fn join_tolerant(&self, target: usize) -> bool {
+        let mut inner = self.shared.lock();
+        if inner.abort {
+            return false;
+        }
+        if inner.threads[target].state == TState::Finished {
+            return true;
+        }
+        inner.threads[self.tid].state = TState::BlockedJoin(target);
+        schedule_next(&self.shared, &mut inner, self.tid);
+        let (mut inner, aborted) = self.park_tolerant(inner);
+        inner.threads[self.tid].state = TState::Runnable;
+        !aborted && inner.threads[target].state == TState::Finished
+    }
+
+    // -- mutexes ----------------------------------------------------------
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut inner = self.shared.lock();
+        inner.mutexes.push(MutexState::default());
+        inner.mutexes.len() - 1
+    }
+
+    pub(crate) fn acquire(&self, m: usize) {
+        self.yield_point();
+        let mut inner = self.shared.lock();
+        if inner.abort {
+            drop(inner);
+            self.unwind_abort();
+        }
+        if inner.mutexes[m].owner.is_none() {
+            inner.mutexes[m].owner = Some(self.tid);
+            return;
+        }
+        // Owned by someone else: block. The scheduler only picks us once the
+        // owner released, and nothing runs between that pick and us resuming.
+        inner.threads[self.tid].state = TState::BlockedMutex(m);
+        schedule_next(&self.shared, &mut inner, self.tid);
+        let mut inner = self.park(inner);
+        debug_assert!(inner.mutexes[m].owner.is_none());
+        inner.mutexes[m].owner = Some(self.tid);
+        inner.threads[self.tid].state = TState::Runnable;
+    }
+
+    pub(crate) fn release(&self, m: usize) {
+        // Not a scheduling point: the next acquire/wait on any thread is.
+        let mut inner = self.shared.lock();
+        debug_assert_eq!(inner.mutexes[m].owner, Some(self.tid));
+        inner.mutexes[m].owner = None;
+    }
+
+    // -- condvars ---------------------------------------------------------
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut inner = self.shared.lock();
+        inner.condvars.push(CvState::default());
+        inner.condvars.len() - 1
+    }
+
+    /// Atomically release mutex `m` and park on condvar `cv`; on return the
+    /// thread has been notified and holds `m` again.
+    pub(crate) fn condvar_wait(&self, cv: usize, m: usize) {
+        self.yield_point();
+        let mut inner = self.shared.lock();
+        if inner.abort {
+            drop(inner);
+            self.unwind_abort();
+        }
+        debug_assert_eq!(inner.mutexes[m].owner, Some(self.tid));
+        inner.mutexes[m].owner = None;
+        inner.condvars[cv].waiters.push(self.tid);
+        inner.threads[self.tid].state = TState::BlockedCondvar { cv, mutex: m };
+        schedule_next(&self.shared, &mut inner, self.tid);
+        // Woken only after a notify moved us to BlockedMutex(m) and the
+        // scheduler saw m free.
+        let mut inner = self.park(inner);
+        debug_assert!(inner.mutexes[m].owner.is_none());
+        inner.mutexes[m].owner = Some(self.tid);
+        inner.threads[self.tid].state = TState::Runnable;
+    }
+
+    pub(crate) fn condvar_notify(&self, cv: usize, all: bool) {
+        self.yield_point();
+        let mut inner = self.shared.lock();
+        inner.condvars[cv].notifies += 1;
+        let n = if all {
+            inner.condvars[cv].waiters.len()
+        } else {
+            inner.condvars[cv].waiters.len().min(1)
+        };
+        for _ in 0..n {
+            let w = inner.condvars[cv].waiters.remove(0);
+            let m = match inner.threads[w].state {
+                TState::BlockedCondvar { mutex, .. } => mutex,
+                ref other => unreachable!("condvar waiter in state {other:?}"),
+            };
+            inner.threads[w].state = TState::BlockedMutex(m);
+        }
+    }
+
+    // -- threads ----------------------------------------------------------
+
+    pub(crate) fn register_thread(&self, name: String) -> Handle {
+        let mut inner = self.shared.lock();
+        inner.threads.push(Trd {
+            state: TState::Runnable,
+            name,
+        });
+        inner.unfinished += 1;
+        Handle {
+            shared: Arc::clone(&self.shared),
+            tid: inner.threads.len() - 1,
+        }
+    }
+
+    pub(crate) fn push_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.shared.lock().os_handles.push(h);
+    }
+
+    /// Entry point of a freshly spawned virtual thread: park until first
+    /// scheduled. Returns false if the execution aborted before that.
+    pub(crate) fn wait_first_schedule(&self) -> bool {
+        let mut inner = self.shared.lock();
+        loop {
+            if inner.abort {
+                return false;
+            }
+            if inner.active == self.tid {
+                return true;
+            }
+            inner = self
+                .shared
+                .cv
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Mark this virtual thread finished and hand the baton on.
+    /// `panic_payload` carries a non-abort panic out of the thread body.
+    pub(crate) fn finish_thread(&self, panic_payload: Option<Box<dyn std::any::Any + Send>>) {
+        let mut inner = self.shared.lock();
+        inner.threads[self.tid].state = TState::Finished;
+        inner.unfinished -= 1;
+        if let Some(payload) = panic_payload {
+            let text = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            let msg = format!(
+                "thread {} `{}` panicked: {text}",
+                self.tid, inner.threads[self.tid].name
+            );
+            record_failure(&mut inner, FailureKind::Panic, msg);
+            self.shared.cv.notify_all();
+            return;
+        }
+        if !inner.abort {
+            schedule_next(&self.shared, &mut inner, self.tid);
+        }
+        self.shared.cv.notify_all();
+    }
+
+    pub(crate) fn join_thread(&self, target: usize) {
+        self.yield_point();
+        let mut inner = self.shared.lock();
+        if inner.abort {
+            drop(inner);
+            self.unwind_abort();
+        }
+        if inner.threads[target].state == TState::Finished {
+            return;
+        }
+        inner.threads[self.tid].state = TState::BlockedJoin(target);
+        schedule_next(&self.shared, &mut inner, self.tid);
+        let mut inner = self.park(inner);
+        inner.threads[self.tid].state = TState::Runnable;
+        debug_assert_eq!(inner.threads[target].state, TState::Finished);
+    }
+}
+
+/// True if `payload` is the engine's abort token.
+pub(crate) fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<AbortToken>().is_some()
+}
+
+// ---------------------------------------------------------------------------
+// DFS over scheduling decisions
+// ---------------------------------------------------------------------------
+
+/// One frontier frame per recorded decision of the last execution.
+struct Frame {
+    /// Choice taken in the execution that created/last used this frame.
+    choice: usize,
+    /// First run at this frame took the DFS default; alternatives are the
+    /// other indices in ascending order. `next_alt` is the scan position.
+    next_alt: usize,
+    default: usize,
+    len: usize,
+    current_in_runnable: Option<usize>,
+    preemptions_before: usize,
+}
+
+struct Dfs {
+    stack: Vec<Frame>,
+    bound: usize,
+}
+
+impl Dfs {
+    fn new(bound: usize) -> Self {
+        Dfs {
+            stack: Vec::new(),
+            bound,
+        }
+    }
+
+    /// Fold the decisions of the execution that just finished into the
+    /// frontier, then compute the next schedule prefix. Returns `None` when
+    /// the bounded space is exhausted.
+    fn advance(&mut self, decisions: &[Decision]) -> Option<Vec<usize>> {
+        // New decisions appear below the deepest frame we forced; record them.
+        for d in decisions.iter().skip(self.stack.len()) {
+            let default = d.current_idx.unwrap_or(0);
+            self.stack.push(Frame {
+                choice: d.chosen,
+                next_alt: 0,
+                default,
+                len: d.runnable.len(),
+                current_in_runnable: d.current_idx,
+                preemptions_before: d.preemptions_before,
+            });
+        }
+        // Backtrack to the deepest frame with an untried, in-bound alternative.
+        while let Some(top) = self.stack.last_mut() {
+            let mut found = None;
+            while top.next_alt < top.len {
+                let a = top.next_alt;
+                top.next_alt += 1;
+                if a == top.default {
+                    continue; // explored on the first visit
+                }
+                let cost = match top.current_in_runnable {
+                    Some(ci) if a != ci => top.preemptions_before + 1,
+                    _ => top.preemptions_before,
+                };
+                if cost <= self.bound {
+                    found = Some(a);
+                    break;
+                }
+            }
+            match found {
+                Some(a) => {
+                    top.choice = a;
+                    let prefix: Vec<usize> = self.stack.iter().map(|f| f.choice).collect();
+                    return Some(prefix);
+                }
+                None => {
+                    self.stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Explore `body` under `config`; panic (with a replayable schedule) on the
+/// first failing interleaving. Returns the exploration [`Report`].
+pub fn explore<F>(config: Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync,
+{
+    let (report, failure) = run(config, &body);
+    if let Some(f) = failure {
+        panic!(
+            "conc-check: {:?} on execution {} (after exploring {} interleaving(s))\n  {}\n  \
+             replay schedule: {:?}",
+            f.kind, f.execution, report.executions, f.message, f.schedule
+        );
+    }
+    report
+}
+
+/// Like [`explore`] but returns the failure instead of panicking — used by
+/// the checker's own known-bug fixtures.
+pub fn explore_find_bug<F>(config: Config, body: F) -> (Report, Option<Failure>)
+where
+    F: Fn() + Send + Sync,
+{
+    run(config, &body)
+}
+
+fn run<F>(config: Config, body: &F) -> (Report, Option<Failure>)
+where
+    F: Fn() + Send + Sync,
+{
+    assert!(
+        !in_execution(),
+        "conccheck::explore is not reentrant from inside an execution"
+    );
+    let mut dfs = Dfs::new(config.preemption_bound);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    let mut divergences = 0usize;
+    let (random_iters, replay_once) = match &config.mode {
+        Mode::Exhaustive => (None, false),
+        Mode::Random { iterations, .. } => (Some(*iterations), false),
+        Mode::Replay(sched) => {
+            prefix = sched.clone();
+            (None, true)
+        }
+    };
+
+    loop {
+        let shared = Arc::new(Shared {
+            inner: StdMutex::new(Inner {
+                threads: vec![Trd {
+                    state: TState::Runnable,
+                    name: "main".to_string(),
+                }],
+                unfinished: 1,
+                active: 0,
+                steps: 0,
+                preemptions: 0,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                decisions: Vec::new(),
+                prefix: prefix.clone(),
+                cursor: 0,
+                divergences: 0,
+                random: match &config.mode {
+                    Mode::Random { seed, .. } => Some(
+                        (seed ^ 0x9e37_79b9_7f4a_7c15)
+                            .wrapping_add((executions as u64).wrapping_mul(0x2545_f491_4f6c_dd1d))
+                            | 1,
+                    ),
+                    _ => None,
+                },
+                max_steps: config.max_steps,
+                yield_on_atomics: config.yield_on_atomics,
+                failure: None,
+                abort: false,
+                execution: executions,
+                os_handles: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        });
+        let driver = Handle {
+            shared: Arc::clone(&shared),
+            tid: 0,
+        };
+
+        set_current(Some(driver.clone()));
+        let body_result = catch_unwind(AssertUnwindSafe(body));
+        match body_result {
+            Ok(()) => driver.finish_thread(None),
+            Err(payload) if is_abort(payload.as_ref()) => driver.finish_thread(None),
+            Err(payload) => driver.finish_thread(Some(payload)),
+        }
+
+        // Wait for the remaining virtual threads to finish or fail.
+        {
+            let mut inner = shared.lock();
+            while inner.unfinished > 0 && inner.failure.is_none() {
+                inner = shared.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        // Tear down: release any parked threads and join all OS threads.
+        let os_handles = {
+            let mut inner = shared.lock();
+            inner.abort = true;
+            shared.cv.notify_all();
+            std::mem::take(&mut inner.os_handles)
+        };
+        for h in os_handles {
+            let _ = h.join();
+        }
+        set_current(None);
+
+        executions += 1;
+        let (failure, decisions, run_divergences) = {
+            let mut inner = shared.lock();
+            (
+                inner.failure.take(),
+                std::mem::take(&mut inner.decisions),
+                inner.divergences,
+            )
+        };
+        divergences += run_divergences;
+
+        if let Some(f) = failure {
+            let report = Report {
+                executions,
+                complete: false,
+                divergences,
+            };
+            return (report, Some(f));
+        }
+
+        match (&config.mode, random_iters) {
+            (Mode::Replay(_), _) => {
+                debug_assert!(replay_once);
+                return (
+                    Report {
+                        executions,
+                        complete: true,
+                        divergences,
+                    },
+                    None,
+                );
+            }
+            (Mode::Random { .. }, Some(iters)) => {
+                if executions >= iters {
+                    return (
+                        Report {
+                            executions,
+                            complete: false,
+                            divergences,
+                        },
+                        None,
+                    );
+                }
+            }
+            _ => {
+                // Exhaustive DFS.
+                if executions >= config.max_executions {
+                    return (
+                        Report {
+                            executions,
+                            complete: false,
+                            divergences,
+                        },
+                        None,
+                    );
+                }
+                match dfs.advance(&decisions) {
+                    Some(next) => prefix = next,
+                    None => {
+                        return (
+                            Report {
+                                executions,
+                                complete: true,
+                                divergences,
+                            },
+                            None,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! `dcover-conccheck` — an in-repo bounded model checker for the
+//! scheduler/service concurrency stack.
+//!
+//! The checker runs a closure (the *scenario body*) many times, forcing a
+//! different thread interleaving on each run. Concurrency inside the body
+//! must go through the model primitives in [`sync`], [`sync::atomic`], and
+//! [`thread`] (normally via the `dcover_congest::sync` facade compiled with
+//! `--cfg conc_check`). Every lock acquire, condvar wait/notify, atomic
+//! operation, spawn, and join is a *scheduling point*: exactly one virtual
+//! thread runs at a time (real OS threads passing a baton through one global
+//! mutex/condvar pair), and at each point where more than one thread could
+//! run, the active [`Strategy`](Mode) decides who goes next.
+//!
+//! Exploration modes:
+//!
+//! * **Exhaustive** — depth-first search over scheduling decisions with a
+//!   *preemption bound*: at most `preemption_bound` involuntary switches
+//!   (switching away from a thread that could have kept running) per
+//!   execution. Small bounds (2–3) are known to catch the vast majority of
+//!   real concurrency bugs while keeping the state space tractable.
+//! * **Random** — seeded xorshift random walk, uniform over the runnable
+//!   set at every decision point, no preemption bound. Used for scenarios
+//!   whose behaviour depends on wall-clock time and therefore cannot be
+//!   replayed deterministically.
+//! * **Replay** — re-run one recorded schedule (printed by a failure) for
+//!   debugging.
+//!
+//! Detected failures: **deadlock** (unfinished threads, none runnable),
+//! **lost wakeup** (a deadlock in which some thread is parked on a condvar
+//! that has been notified at least once — the notification raced past it),
+//! **panic** in any virtual thread (assertion hooks such as the pool's
+//! exactly-once ticket ledger surface this way), and a **step-limit** breach
+//! (livelock guard).
+//!
+//! The model is sequentially consistent: model atomics execute at `SeqCst`
+//! regardless of the ordering argument, so weak-memory reorderings are *not*
+//! explored. `conc-check` finds interleaving bugs (races on the order of
+//! lock/unlock/notify/check), not relaxed-ordering bugs; the latter are
+//! covered by the `Ordering` audit documented in `CONCURRENCY.md`.
+//!
+//! Outside of [`explore`] the model primitives degrade to plain `std::sync`
+//! behaviour, so code built with `--cfg conc_check` still runs normally.
+
+#![forbid(unsafe_code)]
+
+mod exec;
+pub mod sync;
+pub mod thread;
+
+pub use exec::{
+    explore, explore_find_bug, in_execution, Config, Failure, FailureKind, Mode, Report,
+};

@@ -1,0 +1,84 @@
+//! Model atomics: same API shape as `std::sync::atomic`, but every
+//! operation performed inside an execution is (optionally) a scheduling
+//! point, and all operations execute at `SeqCst` regardless of the
+//! requested ordering — the model is sequentially consistent and does not
+//! explore weak-memory reorderings. Outside an execution they are plain
+//! std atomics honouring the requested ordering.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::exec;
+use std::sync::atomic::{AtomicBool as StdAtomicBool, AtomicU64 as StdAtomicU64};
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ident, $prim:ty) => {
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(value: $prim) -> Self {
+                $name {
+                    inner: $std::new(value),
+                }
+            }
+
+            fn point(&self) {
+                if let Some(h) = exec::current() {
+                    h.atomic_point();
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $prim {
+                self.point();
+                if exec::in_execution() {
+                    self.inner.load(Ordering::SeqCst)
+                } else {
+                    self.inner.load(order)
+                }
+            }
+
+            pub fn store(&self, value: $prim, order: Ordering) {
+                self.point();
+                if exec::in_execution() {
+                    self.inner.store(value, Ordering::SeqCst)
+                } else {
+                    self.inner.store(value, order)
+                }
+            }
+
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                self.point();
+                if exec::in_execution() {
+                    self.inner.swap(value, Ordering::SeqCst)
+                } else {
+                    self.inner.swap(value, order)
+                }
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicBool, StdAtomicBool, bool);
+model_atomic!(AtomicU64, StdAtomicU64, u64);
+
+impl AtomicU64 {
+    pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        self.point();
+        if exec::in_execution() {
+            self.inner.fetch_add(value, Ordering::SeqCst)
+        } else {
+            self.inner.fetch_add(value, order)
+        }
+    }
+
+    pub fn fetch_max(&self, value: u64, order: Ordering) -> u64 {
+        self.point();
+        if exec::in_execution() {
+            self.inner.fetch_max(value, Ordering::SeqCst)
+        } else {
+            self.inner.fetch_max(value, order)
+        }
+    }
+}

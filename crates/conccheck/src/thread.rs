@@ -1,0 +1,127 @@
+//! Model threads: `spawn`/`Builder`/`JoinHandle` mirroring `std::thread`.
+//! Inside an execution the spawned closure becomes a virtual thread under
+//! scheduler control (backed by a real OS thread that the engine parks and
+//! wakes); outside it is a plain `std::thread::spawn`.
+
+use crate::exec::{self, is_abort, Handle};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+type Slot<T> = Arc<StdMutex<Option<std::thread::Result<T>>>>;
+
+enum Imp<T> {
+    Model { child: Handle, slot: Slot<T> },
+    Os(std::thread::JoinHandle<T>),
+}
+
+pub struct JoinHandle<T>(Imp<T>);
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Imp::Os(h) => h.join(),
+            Imp::Model { child, slot } => {
+                let me = exec::current()
+                    .expect("model JoinHandle joined from a thread outside the execution");
+                let finished = if std::thread::panicking() {
+                    me.join_tolerant(child.tid())
+                } else {
+                    me.join_thread(child.tid());
+                    true
+                };
+                let taken = if finished {
+                    slot.lock().unwrap_or_else(|e| e.into_inner()).take()
+                } else {
+                    None
+                };
+                // None: the child panicked (failure already recorded by the
+                // engine) or the execution is tearing down.
+                taken.unwrap_or_else(|| Err(Box::new("conc-check: thread result unavailable")))
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let name = self.name;
+        match exec::current() {
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = name {
+                    b = b.name(n);
+                }
+                b.spawn(f).map(|h| JoinHandle(Imp::Os(h)))
+            }
+            Some(parent) => {
+                let child =
+                    parent.register_thread(name.clone().unwrap_or_else(|| "vthread".to_string()));
+                let slot: Slot<T> = Arc::new(StdMutex::new(None));
+                let slot2 = Arc::clone(&slot);
+                let child2 = child.clone();
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = name {
+                    b = b.name(n);
+                }
+                let spawned = b.spawn(move || {
+                    exec::set_current(Some(child2.clone()));
+                    if !child2.wait_first_schedule() {
+                        // Aborted before ever running: balance the books.
+                        child2.rollback_spawn();
+                    } else {
+                        match catch_unwind(AssertUnwindSafe(f)) {
+                            Ok(value) => {
+                                *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(value));
+                                child2.finish_thread(None);
+                            }
+                            Err(payload) if is_abort(payload.as_ref()) => {
+                                child2.finish_thread(None);
+                            }
+                            Err(payload) => {
+                                child2.finish_thread(Some(payload));
+                            }
+                        }
+                    }
+                    exec::set_current(None);
+                });
+                match spawned {
+                    Ok(os) => {
+                        parent.push_os_handle(os);
+                        Ok(JoinHandle(Imp::Model { child, slot }))
+                    }
+                    Err(e) => {
+                        child.rollback_spawn();
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}

@@ -1,0 +1,210 @@
+//! Known-bug fixtures: the checker must find each seeded bug within the
+//! preemption bound, and report nothing on a correct program. These run
+//! under the normal test harness (tier-1) — the model primitives are used
+//! directly, no `--cfg conc_check` needed.
+
+use dcover_conccheck::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use dcover_conccheck::sync::{Condvar, Mutex};
+use dcover_conccheck::{explore, explore_find_bug, thread, Config, FailureKind, Mode};
+use std::sync::Arc;
+
+/// A deliberately racy two-thread counter: read-modify-write through a
+/// non-atomic load/store pair. The checker must produce an interleaving
+/// where one increment is lost, caught by the final assertion.
+#[test]
+fn detects_racy_counter() {
+    let (report, failure) = explore_find_bug(Config::exhaustive(2, 2000), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                // Racy: load then store instead of fetch_add.
+                let v = counter.load(Ordering::SeqCst);
+                counter.store(v + 1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "an increment was lost");
+    });
+    let failure = failure.expect("checker must find the lost increment");
+    assert_eq!(failure.kind, FailureKind::Panic, "{failure:?}");
+    assert!(
+        failure.message.contains("an increment was lost"),
+        "{failure:?}"
+    );
+    assert!(report.executions >= 2, "needs >1 interleaving to manifest");
+
+    // The failing schedule must reproduce deterministically.
+    let (_, replayed) = explore_find_bug(
+        Config {
+            mode: Mode::Replay(failure.schedule.clone()),
+            ..Config::default()
+        },
+        || {
+            let counter = Arc::new(AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let counter = Arc::clone(&counter);
+                handles.push(thread::spawn(move || {
+                    let v = counter.load(Ordering::SeqCst);
+                    counter.store(v + 1, Ordering::SeqCst);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "an increment was lost");
+        },
+    );
+    assert_eq!(
+        replayed.expect("replay must reproduce the failure").kind,
+        FailureKind::Panic
+    );
+}
+
+/// Lost wakeup: the waiter decides to sleep based on a flag read *before*
+/// taking the lock, so the notify can land in the window between the read
+/// and the wait — after which nobody ever notifies again.
+#[test]
+fn detects_lost_wakeup() {
+    let (_, failure) = explore_find_bug(Config::exhaustive(2, 2000), || {
+        let ready = Arc::new(AtomicBool::new(false));
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+
+        let notifier = {
+            let ready = Arc::clone(&ready);
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                ready.store(true, Ordering::SeqCst);
+                pair.1.notify_one();
+            })
+        };
+
+        if !ready.load(Ordering::SeqCst) {
+            // Buggy: the check happened outside the lock, and the wait is
+            // unconditional — a notify between the check and here is lost.
+            let guard = pair.0.lock().unwrap();
+            drop(pair.1.wait(guard).unwrap());
+        }
+        notifier.join().unwrap();
+    });
+    let failure = failure.expect("checker must find the lost wakeup");
+    assert_eq!(failure.kind, FailureKind::LostWakeup, "{failure:?}");
+}
+
+/// Classic ABBA deadlock: two threads taking two locks in opposite orders.
+#[test]
+fn detects_abba_deadlock() {
+    let (_, failure) = explore_find_bug(Config::exhaustive(2, 2000), || {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let t = {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                let ga = a.lock().unwrap();
+                let gb = b.lock().unwrap();
+                drop((ga, gb));
+            })
+        };
+        let gb = b.lock().unwrap();
+        let ga = a.lock().unwrap();
+        drop((gb, ga));
+        t.join().unwrap();
+    });
+    let failure = failure.expect("checker must find the ABBA deadlock");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{failure:?}");
+    assert!(failure.message.contains("blocked on mutex"), "{failure:?}");
+}
+
+/// The same shapes written correctly must come up clean — no false
+/// positives, and exhaustive mode must actually finish.
+#[test]
+fn clean_fixture_no_false_positives() {
+    let report = explore(Config::exhaustive(2, 20_000), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let signaller = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                *pair.0.lock().unwrap() = true;
+                pair.1.notify_all();
+            })
+        };
+
+        // Correct condvar discipline: condition checked under the lock.
+        let mut done = pair.0.lock().unwrap();
+        while !*done {
+            done = pair.1.wait(done).unwrap();
+        }
+        drop(done);
+
+        for h in handles {
+            h.join().unwrap();
+        }
+        signaller.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    });
+    assert!(
+        report.complete,
+        "state space should be exhausted: {report:?}"
+    );
+    assert!(report.executions > 10, "should explore many interleavings");
+}
+
+/// Random mode finds the racy counter too (depth without exhaustion).
+#[test]
+fn random_mode_detects_racy_counter() {
+    let (_, failure) = explore_find_bug(Config::random(0xDC0DE5, 300), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                let v = counter.load(Ordering::SeqCst);
+                counter.store(v + 1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "an increment was lost");
+    });
+    assert!(failure.is_some(), "random walk should hit the race");
+}
+
+/// Model primitives degrade to plain std behaviour outside `explore`.
+#[test]
+fn passthrough_outside_execution() {
+    let m = Arc::new(Mutex::new(0u32));
+    let cv = Arc::new(Condvar::new());
+    let flag = Arc::new(AtomicBool::new(false));
+    let t = {
+        let m = Arc::clone(&m);
+        let cv = Arc::clone(&cv);
+        let flag = Arc::clone(&flag);
+        thread::spawn(move || {
+            *m.lock().unwrap() = 7;
+            flag.store(true, Ordering::Release);
+            cv.notify_all();
+        })
+    };
+    let mut g = m.lock().unwrap();
+    while *g != 7 {
+        g = cv.wait(g).unwrap();
+    }
+    drop(g);
+    t.join().unwrap();
+    assert!(flag.load(Ordering::Acquire));
+}

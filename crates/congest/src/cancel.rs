@@ -13,7 +13,7 @@
 //! untouched — every completed round is bit-identical to an uninterrupted
 //! run.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 

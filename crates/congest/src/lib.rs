@@ -115,17 +115,20 @@ mod parallel;
 mod pool;
 mod process;
 mod sim;
+pub mod sync;
 mod topology;
 
 pub use cancel::{CancelToken, Interrupt, InterruptReason};
 pub use engine::EngineArena;
 pub use error::SimError;
 pub use message::{bits_for_range, bits_for_value, Message};
-pub use metrics::{BitBudget, RoundMetrics, SimReport};
+pub use metrics::{
+    BitBudget, ClassMetrics, LatencyHistogram, RoundMetrics, SchedMetrics, SimReport,
+};
 pub use parallel::ParallelSimulator;
 pub use pool::{
-    ClassMetrics, LatencyHistogram, QueueClosed, QueuePolicy, SchedMetrics, SimPool, TaskClass,
-    TaskError, TaskOptions, TaskQueue, TaskTicket, TaskTiming, TrySubmitError,
+    QueueClosed, QueuePolicy, SimPool, TaskClass, TaskError, TaskOptions, TaskQueue, TaskTicket,
+    TaskTiming, TrySubmitError,
 };
 pub use process::{Ctx, Inbox, InboxIter, Incoming, Process, Status};
 pub use sim::Simulator;

@@ -50,7 +50,8 @@
 //! Every pool records into a shared [`SchedMetrics`]: per-class
 //! submitted/completed/expired/rejected/panicked counters, per-class
 //! queue-wait and run-time **fixed-bucket latency histograms**
-//! ([`LatencyHistogram`]), the queue-depth high-water mark, and total
+//! ([`LatencyHistogram`](crate::LatencyHistogram)), the queue-depth
+//! high-water mark, and total
 //! worker busy time across task jobs. Recording is a handful of atomic
 //! adds — **zero allocation on the hot path**. Pass your own handle with
 //! [`SimPool::with_metrics`] to aggregate across pool rebuilds (round
@@ -86,16 +87,16 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::cancel::CancelToken;
 use crate::engine::{phase_deliver, phase_step, ChunkState, EngineArena};
-use crate::metrics::BitBudget;
+use crate::metrics::{BitBudget, SchedMetrics};
 use crate::process::Process;
+use crate::sync::thread::JoinHandle;
+use crate::sync::{Condvar, Mutex};
 
 /// Per-destination staging buckets: `buckets[s]` holds the messages chunk
 /// `s` staged for one destination chunk, as `(destination-local slot,
@@ -298,325 +299,6 @@ pub struct TaskTiming {
     pub queue: Duration,
     /// Time the closure ran on its worker (zero for an expired task).
     pub run: Duration,
-}
-
-/// Number of buckets in a [`LatencyHistogram`].
-const LATENCY_BUCKETS: usize = 32;
-
-/// Bucket index for a duration: bucket 0 holds sub-microsecond values,
-/// bucket `i ≥ 1` holds `[2^(i−1), 2^i)` microseconds, and the last
-/// bucket absorbs everything beyond ~2^30 µs (≈ 18 minutes).
-fn latency_bucket(d: Duration) -> usize {
-    let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
-    ((u64::BITS - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
-}
-
-/// A fixed-bucket latency histogram snapshot (log₂-spaced microsecond
-/// buckets). Recording happens lock-free inside [`SchedMetrics`]; this is
-/// the plain-data copy a snapshot hands out.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    /// Observation count per bucket; see [`LatencyHistogram::bucket_upper_bound`]
-    /// for the bucket boundaries.
-    pub buckets: [u64; LATENCY_BUCKETS],
-}
-
-impl LatencyHistogram {
-    /// Total number of recorded observations.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
-    }
-
-    /// Exclusive upper bound of bucket `i` (`Duration::MAX` for the last,
-    /// open-ended bucket). Bucket 0 is `< 1 µs`; bucket `i ≥ 1` covers
-    /// `[2^(i−1), 2^i)` µs.
-    #[must_use]
-    pub fn bucket_upper_bound(i: usize) -> Duration {
-        if i + 1 >= LATENCY_BUCKETS {
-            Duration::MAX
-        } else {
-            Duration::from_micros(1u64 << i)
-        }
-    }
-
-    /// Conservative (upper-bound) estimate of the `q`-quantile
-    /// (`0 < q ≤ 1`): the upper edge of the bucket holding the
-    /// `⌈q·count⌉`-th observation. `None` when the histogram is empty.
-    #[must_use]
-    pub fn quantile(&self, q: f64) -> Option<Duration> {
-        let count = self.count();
-        if count == 0 || !(0.0..=1.0).contains(&q) {
-            return None;
-        }
-        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return Some(Self::bucket_upper_bound(i));
-            }
-        }
-        None
-    }
-
-    /// Merges another histogram into this one (bucket-wise sum).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-    }
-}
-
-/// Lock-free histogram recorder backing [`SchedMetrics`].
-#[derive(Debug, Default)]
-struct AtomicHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-}
-
-impl AtomicHistogram {
-    fn record(&self, d: Duration) {
-        self.buckets[latency_bucket(d)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn snapshot(&self) -> LatencyHistogram {
-        let mut out = LatencyHistogram::default();
-        for (o, b) in out.buckets.iter_mut().zip(self.buckets.iter()) {
-            *o = b.load(Ordering::Relaxed);
-        }
-        out
-    }
-}
-
-/// Atomic per-class scheduler counters.
-#[derive(Debug, Default)]
-struct ClassCounters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    expired: AtomicU64,
-    cancelled: AtomicU64,
-    rejected: AtomicU64,
-    shed: AtomicU64,
-    panicked: AtomicU64,
-    queue_wait: AtomicHistogram,
-    run_time: AtomicHistogram,
-}
-
-/// Number of samples in the rolling interactive queue-wait window.
-const WAIT_WINDOW: usize = 64;
-
-/// Rolling window of the most recent interactive queue waits, backing
-/// the SLO signal for admission control: a fixed ring of microsecond
-/// samples (stored `+1` so zero means "empty slot"), overwritten
-/// lock-free in dequeue order.
-struct WaitWindow {
-    samples: [AtomicU64; WAIT_WINDOW],
-    cursor: AtomicU64,
-}
-
-impl Default for WaitWindow {
-    fn default() -> Self {
-        WaitWindow {
-            samples: std::array::from_fn(|_| AtomicU64::new(0)),
-            cursor: AtomicU64::new(0),
-        }
-    }
-}
-
-impl std::fmt::Debug for WaitWindow {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WaitWindow")
-            .field("cursor", &self.cursor.load(Ordering::Relaxed))
-            .finish()
-    }
-}
-
-impl WaitWindow {
-    fn record(&self, waited: Duration) {
-        let micros = u64::try_from(waited.as_micros()).unwrap_or(u64::MAX - 1);
-        #[allow(clippy::cast_possible_truncation)]
-        let slot = (self.cursor.fetch_add(1, Ordering::Relaxed) % WAIT_WINDOW as u64) as usize;
-        self.samples[slot].store(micros.saturating_add(1), Ordering::Relaxed);
-    }
-
-    /// The p99 over the samples currently in the window (`None` while
-    /// empty). The copy-and-sort is bounded by [`WAIT_WINDOW`]; callers
-    /// are admission-control paths, not the worker hot path.
-    fn p99(&self) -> Option<Duration> {
-        let mut vals = [0u64; WAIT_WINDOW];
-        let mut n = 0;
-        for sample in &self.samples {
-            let v = sample.load(Ordering::Relaxed);
-            if v != 0 {
-                vals[n] = v;
-                n += 1;
-            }
-        }
-        if n == 0 {
-            return None;
-        }
-        vals[..n].sort_unstable();
-        let rank = (n * 99).div_ceil(100).max(1);
-        Some(Duration::from_micros(vals[rank - 1] - 1))
-    }
-}
-
-/// Plain-data snapshot of one class's scheduler counters, from
-/// [`SchedMetrics::class`].
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
-pub struct ClassMetrics {
-    /// Tasks accepted into the queue.
-    pub submitted: u64,
-    /// Tasks whose closure ran to completion.
-    pub completed: u64,
-    /// Tasks discarded at dequeue because their deadline had passed.
-    pub expired: u64,
-    /// Tasks discarded at dequeue because their [`CancelToken`] was
-    /// cancelled while they were queued. A solve that stops *mid-run*
-    /// via an [`Interrupt`](crate::Interrupt) counts as `completed` here
-    /// (its worker ran it); the cancellation shows up in the task's own
-    /// result.
-    pub cancelled: u64,
-    /// Non-blocking submissions refused with [`TrySubmitError::Full`].
-    pub rejected: u64,
-    /// Submissions refused by SLO admission control before reaching the
-    /// queue (recorded by a serving layer via
-    /// [`SchedMetrics::record_shed`]; the pool itself never sheds).
-    pub shed: u64,
-    /// Tasks whose closure panicked on a worker.
-    pub panicked: u64,
-    /// Queue-wait (enqueue → dequeue) distribution; includes expired
-    /// tasks, whose wait ended at the discard.
-    pub queue_wait: LatencyHistogram,
-    /// Closure run-time distribution (completed and panicked tasks).
-    pub run_time: LatencyHistogram,
-}
-
-/// Shared scheduler metrics: per-class counters and latency histograms,
-/// the queue-depth high-water mark, and total worker busy time over task
-/// jobs. Every recording is a handful of relaxed atomic adds — no
-/// allocation, no locks — so it sits on the serving hot path for free.
-///
-/// A pool created with [`SimPool::with_queue_capacity`] owns a fresh
-/// instance; hand one pool's handle (or a long-lived one of your own) to
-/// [`SimPool::with_metrics`] to aggregate across pool rebuilds. Round
-/// jobs are not clocked (the chunk-parallel round loop stays free of
-/// timer calls); `busy` covers task jobs only.
-#[derive(Debug, Default)]
-pub struct SchedMetrics {
-    classes: [ClassCounters; TaskClass::COUNT],
-    depth_high_water: AtomicU64,
-    busy_nanos: AtomicU64,
-    interactive_waits: WaitWindow,
-}
-
-impl SchedMetrics {
-    /// A fresh, all-zero metrics sink.
-    #[must_use]
-    pub fn new() -> Self {
-        SchedMetrics::default()
-    }
-
-    /// Snapshot of one class's counters and histograms.
-    #[must_use]
-    pub fn class(&self, class: TaskClass) -> ClassMetrics {
-        let c = &self.classes[class.index()];
-        ClassMetrics {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            expired: c.expired.load(Ordering::Relaxed),
-            cancelled: c.cancelled.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            shed: c.shed.load(Ordering::Relaxed),
-            panicked: c.panicked.load(Ordering::Relaxed),
-            queue_wait: c.queue_wait.snapshot(),
-            run_time: c.run_time.snapshot(),
-        }
-    }
-
-    /// Highest number of tasks ever waiting in the queue at once (both
-    /// classes combined).
-    #[must_use]
-    pub fn queue_depth_high_water(&self) -> u64 {
-        self.depth_high_water.load(Ordering::Relaxed)
-    }
-
-    /// Total time workers spent running task closures (round jobs are not
-    /// clocked).
-    #[must_use]
-    pub fn busy(&self) -> Duration {
-        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
-    }
-
-    /// Rolling p99 of the most recent interactive queue waits (a fixed
-    /// window of the last 64 interactive dequeues, expiries and
-    /// cancellations included). `None` until the first interactive task
-    /// is dequeued. Unlike the cumulative [`ClassMetrics::queue_wait`]
-    /// histogram, this *forgets* old traffic, so it tracks the current
-    /// load level — the signal SLO-driven admission control keys off.
-    #[must_use]
-    pub fn interactive_wait_p99(&self) -> Option<Duration> {
-        self.interactive_waits.p99()
-    }
-
-    /// Records a submission refused by SLO admission control **before**
-    /// it reached the queue. The pool never calls this itself — a
-    /// serving layer that sheds load on top of the pool does, so shed
-    /// traffic stays distinct from queue-full `rejected` traffic in the
-    /// same [`ClassMetrics`].
-    pub fn record_shed(&self, class: TaskClass) {
-        self.classes[class.index()]
-            .shed
-            .fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn record_submitted(&self, class: TaskClass, depth_now: usize) {
-        self.classes[class.index()]
-            .submitted
-            .fetch_add(1, Ordering::Relaxed);
-        self.depth_high_water
-            .fetch_max(depth_now as u64, Ordering::Relaxed);
-    }
-
-    fn record_rejected(&self, class: TaskClass) {
-        self.classes[class.index()]
-            .rejected
-            .fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn record_dequeued(&self, class: TaskClass, waited: Duration) {
-        self.classes[class.index()].queue_wait.record(waited);
-        if class == TaskClass::Interactive {
-            self.interactive_waits.record(waited);
-        }
-    }
-
-    fn record_expired(&self, class: TaskClass) {
-        self.classes[class.index()]
-            .expired
-            .fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn record_cancelled(&self, class: TaskClass) {
-        self.classes[class.index()]
-            .cancelled
-            .fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn record_ran(&self, class: TaskClass, run: Duration, panicked: bool) {
-        let c = &self.classes[class.index()];
-        c.run_time.record(run);
-        if panicked {
-            c.panicked.fetch_add(1, Ordering::Relaxed);
-        } else {
-            c.completed.fetch_add(1, Ordering::Relaxed);
-        }
-        self.busy_nanos.fetch_add(
-            u64::try_from(run.as_nanos()).unwrap_or(u64::MAX),
-            Ordering::Relaxed,
-        );
-    }
 }
 
 /// A chunk-parallel round job (absolute priority over task jobs).
@@ -985,7 +667,10 @@ impl TaskSlot {
 
     fn fill(&self, result: Result<TaskResult, TaskError>, timing: TaskTiming) {
         let mut done = self.done.lock().expect("slot mutex");
-        debug_assert!(done.is_none(), "a task completes exactly once");
+        // Exactly-once ticket ledger: a hard assert (not debug_assert) so
+        // the conc-check scenarios catch a double resolution as a panic in
+        // any build profile.
+        assert!(done.is_none(), "a task completes exactly once");
         *done = Some((result, timing));
         drop(done);
         self.cv.notify_all();
@@ -1399,7 +1084,7 @@ impl<P: Process + 'static> SimPool<P> {
             let shared = Arc::clone(&shared);
             let replies = reply_tx.clone();
             handles.push(
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("congest-worker-{w}"))
                     .spawn(move || worker_loop(&shared, &replies))
                     .expect("spawn worker thread"),
@@ -1662,6 +1347,9 @@ mod tests {
             .map(|i| {
                 move |_arena: &mut EngineArena<Echo>| {
                     if i % 5 == 0 {
+                        // wall-clock: models an uneven task duration so
+                        // workers finish out of submission order; not a
+                        // synchronization point.
                         std::thread::sleep(std::time::Duration::from_millis(2));
                     }
                     i * 10
@@ -1920,13 +1608,15 @@ mod tests {
             tickets.push(pool.submit(move |_a: &mut EngineArena<Echo>| i).unwrap());
         }
         let queue = pool.queue();
-        // Release the gate shortly after drop starts draining.
+        // Wait (condvar, no sleep) until the worker is parked inside the
+        // gated task, then release from a helper thread while `drop`
+        // blocks on the drain. Whether the release lands before or after
+        // `drop` closes the queue, every ticket must resolve by the time
+        // `drop` returns.
+        gate.await_arrivals(1);
         let releaser = {
             let gate = Arc::clone(&gate);
-            std::thread::spawn(move || {
-                std::thread::sleep(std::time::Duration::from_millis(20));
-                gate.release();
-            })
+            crate::sync::thread::spawn(move || gate.release())
         };
         drop(pool);
         releaser.join().unwrap();
@@ -1969,12 +1659,12 @@ mod tests {
                 |_a: &mut EngineArena<Echo>| 3u32,
             )
             .unwrap();
+        // The worker is already parked inside `busy` (await_arrivals
+        // above); release from a helper thread while `drop` blocks on the
+        // drain — no sleep needed, the drain itself is the rendezvous.
         let releaser = {
             let gate = Arc::clone(&gate);
-            std::thread::spawn(move || {
-                std::thread::sleep(std::time::Duration::from_millis(20));
-                gate.release();
-            })
+            crate::sync::thread::spawn(move || gate.release())
         };
         drop(pool);
         releaser.join().unwrap();
@@ -2030,30 +1720,6 @@ mod tests {
         assert!(!slow.is_done(), "slow task still gated");
         gate.release();
         assert_eq!(slow.wait().unwrap(), "slow");
-    }
-
-    #[test]
-    fn latency_histogram_buckets_and_quantiles() {
-        assert_eq!(latency_bucket(Duration::ZERO), 0);
-        assert_eq!(latency_bucket(Duration::from_micros(1)), 1);
-        assert_eq!(latency_bucket(Duration::from_micros(2)), 2);
-        assert_eq!(latency_bucket(Duration::from_micros(3)), 2);
-        assert_eq!(latency_bucket(Duration::from_micros(1024)), 11);
-        assert_eq!(latency_bucket(Duration::from_secs(86_400)), 31);
-
-        let mut h = LatencyHistogram::default();
-        assert_eq!(h.quantile(0.99), None);
-        // 99 fast observations (bucket 1: [1, 2) µs), one slow (bucket 11).
-        h.buckets[1] = 99;
-        h.buckets[11] = 1;
-        assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile(0.5), Some(Duration::from_micros(2)));
-        assert_eq!(h.quantile(0.99), Some(Duration::from_micros(2)));
-        assert_eq!(h.quantile(1.0), Some(Duration::from_micros(2048)));
-        let mut other = LatencyHistogram::default();
-        other.buckets[1] = 1;
-        h.merge(&other);
-        assert_eq!(h.count(), 101);
     }
 
     #[test]
@@ -2243,37 +1909,5 @@ mod tests {
             t.wait().unwrap();
         }
         assert_eq!(*order.lock().unwrap(), vec!["i1", "b1"]);
-    }
-
-    #[test]
-    fn rolling_interactive_wait_p99_tracks_recent_traffic_only() {
-        let m = SchedMetrics::new();
-        assert_eq!(m.interactive_wait_p99(), None);
-        // Bulk dequeues never touch the interactive window.
-        m.record_dequeued(TaskClass::Bulk, Duration::from_millis(500));
-        assert_eq!(m.interactive_wait_p99(), None);
-        // Fill the window with slow waits, then overwrite it with fast
-        // ones: the rolling p99 must forget the old traffic (the
-        // cumulative histogram would not).
-        for _ in 0..WAIT_WINDOW {
-            m.record_dequeued(TaskClass::Interactive, Duration::from_millis(200));
-        }
-        assert!(m.interactive_wait_p99().unwrap() >= Duration::from_millis(200));
-        for _ in 0..WAIT_WINDOW {
-            m.record_dequeued(TaskClass::Interactive, Duration::from_micros(50));
-        }
-        assert!(m.interactive_wait_p99().unwrap() < Duration::from_millis(1));
-    }
-
-    #[test]
-    fn shed_counter_is_distinct_from_rejected() {
-        let m = SchedMetrics::new();
-        m.record_shed(TaskClass::Bulk);
-        m.record_shed(TaskClass::Bulk);
-        m.record_rejected(TaskClass::Bulk);
-        let bulk = m.class(TaskClass::Bulk);
-        assert_eq!(bulk.shed, 2);
-        assert_eq!(bulk.rejected, 1);
-        assert_eq!(m.class(TaskClass::Interactive).shed, 0);
     }
 }

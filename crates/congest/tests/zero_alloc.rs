@@ -22,6 +22,8 @@ static ALLOCS: AtomicU64 = AtomicU64::new(0);
 // this is test-only code, delegating straight to `System`.
 unsafe impl GlobalAlloc for Counting {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // relaxed: allocation tally; each test reads only its own
+        // thread's window, no ordering needed (see `allocs`).
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
@@ -29,6 +31,7 @@ unsafe impl GlobalAlloc for Counting {
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // relaxed: allocation tally, as in `alloc` above.
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
@@ -38,6 +41,8 @@ unsafe impl GlobalAlloc for Counting {
 static GLOBAL: Counting = Counting;
 
 fn allocs() -> u64 {
+    // relaxed: the measured region runs on the reading thread (or joins
+    // the workers first), so program order already sequences the reads.
     ALLOCS.load(Ordering::Relaxed)
 }
 

@@ -116,9 +116,11 @@
 //! ```
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use dcover_congest::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use dcover_congest::sync::Mutex;
 
 use dcover_congest::{
     CancelToken, ClassMetrics, EngineArena, Interrupt, InterruptReason, QueuePolicy, SchedMetrics,
@@ -1004,6 +1006,9 @@ impl SolveService {
     /// Draws the next sequence id. Ids are allocated before the enqueue so
     /// the solve task knows the key to record its result under.
     fn next_seq(&self) -> u64 {
+        // relaxed: only uniqueness/atomicity of the counter matters; the
+        // id is handed to the solve task through the queue's mutex, which
+        // provides the happens-before edge.
         self.seq.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -1135,11 +1140,11 @@ impl SolveService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcover_congest::sync::Condvar;
     use dcover_hypergraph::from_weighted_edge_lists;
     use dcover_hypergraph::generators::{random_uniform, RandomUniform, WeightDist};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::sync::Condvar;
 
     fn tiny() -> Arc<Hypergraph> {
         Arc::new(from_weighted_edge_lists(&[10, 1, 10], &[&[0, 1], &[1, 2]]).unwrap())
@@ -1238,13 +1243,13 @@ mod tests {
         let queued: Vec<Ticket> = (0..3)
             .map(|_| service.submit(Arc::clone(&g), 0.5).unwrap())
             .collect();
-        // Release the gate from another thread while shutdown drains.
+        // The workers are already parked inside the gated tasks
+        // (`occupy_workers` waited on the condvar); release from a helper
+        // thread while `shutdown` blocks on the drain — the drain itself
+        // is the rendezvous, no sleep needed.
         let releaser = {
             let gate = Arc::clone(&gate);
-            std::thread::spawn(move || {
-                std::thread::sleep(std::time::Duration::from_millis(20));
-                gate.release();
-            })
+            dcover_congest::sync::thread::spawn(move || gate.release())
         };
         service.shutdown();
         releaser.join().unwrap();
@@ -1730,6 +1735,8 @@ mod tests {
         // Dequeued (and past the dequeue-time deadline check) well before
         // the deadline; the hook holds the solve while the deadline passes.
         gate.await_arrivals(1);
+        // wall-clock: real time must pass the deadline while the hook
+        // holds the solve; not a synchronization point.
         std::thread::sleep(deadline + std::time::Duration::from_millis(50));
         gate.release();
         let (result, timing) = t.wait_timed();
@@ -1779,6 +1786,8 @@ mod tests {
         let slow = service
             .submit_with(Arc::clone(&g), 0.5, SubmitOptions::interactive())
             .unwrap();
+        // wall-clock: the submission must accumulate ≥10 ms of real
+        // queue-wait to push the rolling p99 over the 1 ms shed target.
         std::thread::sleep(std::time::Duration::from_millis(10));
         gate.release();
         for t in busy {
@@ -1826,6 +1835,8 @@ mod tests {
         let starved = service
             .submit_with(Arc::clone(&g), 0.5, SubmitOptions::interactive())
             .unwrap();
+        // wall-clock: the queued head must age ≥20 ms of real time so its
+        // age alone exceeds the 5 ms shed target.
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert!(service.metrics().interactive_wait_p99.is_none());
         match service.try_submit(&g, 0.5) {
@@ -1856,6 +1867,8 @@ mod tests {
         let slow = service
             .submit_with(Arc::clone(&g), 0.5, SubmitOptions::interactive())
             .unwrap();
+        // wall-clock: accumulates a real ≥5 ms queue wait to prove even a
+        // large p99 sample sheds nothing when no target is configured.
         std::thread::sleep(std::time::Duration::from_millis(5));
         gate.release();
         for t in busy {
@@ -2094,5 +2107,181 @@ mod tests {
         }
         assert!(matches!(doomed.wait(), Err(SolveError::Expired { .. })));
         assert_eq!(service.metrics().interactive.expired, 1);
+    }
+}
+
+/// Model-checked interleaving scenarios for the service layer, compiled
+/// only under `RUSTFLAGS="--cfg conc_check"` (the `dcover_congest::sync`
+/// facade then routes every sync operation through the `dcover_conccheck`
+/// scheduler). They live in a unit-test module because they inject faults
+/// through the test-only [`SolveService::set_pre_solve`] hook.
+///
+/// Run with:
+///
+/// ```text
+/// RUSTFLAGS="--cfg conc_check" cargo test -p dcover-core --lib conc_check
+/// ```
+#[cfg(all(test, conc_check))]
+mod conc_check_tests {
+    use super::*;
+    use dcover_conccheck::{explore, Config};
+    use dcover_congest::sync::atomic::AtomicBool;
+    use dcover_congest::sync::thread;
+    use dcover_hypergraph::from_weighted_edge_lists;
+
+    fn tiny() -> Arc<Hypergraph> {
+        Arc::new(from_weighted_edge_lists(&[10, 1, 10], &[&[0, 1], &[1, 2]]).unwrap())
+    }
+
+    /// Per-scenario exploration floor; together with the three pool
+    /// scenarios in `dcover-congest` the suite sums past the
+    /// 10 000-interleaving acceptance bar.
+    const FLOOR: usize = 1500;
+
+    /// Extra seeded random iterations per scenario, on top of the floor —
+    /// CI's conc-check job sets this to 5000.
+    fn extra_random_iters() -> usize {
+        std::env::var("CONC_CHECK_RANDOM_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// Bounded-exhaustive pass capped at `floor`, topped up with a seeded
+    /// random walk so the scenario always explores at least `floor`
+    /// interleavings, plus any `CONC_CHECK_RANDOM_ITERS` requested by the
+    /// environment.
+    fn explore_at_least<F: Fn() + Send + Sync>(floor: usize, seed: u64, body: F) -> usize {
+        let first = explore(Config::exhaustive(2, floor), &body);
+        let mut total = first.executions;
+        if total < floor {
+            total += explore(Config::random(seed, floor - total), &body).executions;
+        }
+        let extra = extra_random_iters();
+        if extra > 0 {
+            total += explore(Config::random(seed ^ 0xA5A5, extra), &body).executions;
+        }
+        total
+    }
+
+    /// Ledger identity for one class snapshot: every accepted submission
+    /// resolved exactly one way (`rejected`/`shed` never enter the queue
+    /// and sit outside the sum).
+    fn assert_identity(c: &ClassMetrics, class: TaskClass) {
+        assert_eq!(
+            c.submitted,
+            c.completed + c.expired + c.cancelled + c.panicked,
+            "ledger identity violated for {class:?}"
+        );
+    }
+
+    /// One injected solve panic races two concurrent submitters on a
+    /// single worker: exactly one ticket resolves as `Panicked`, the
+    /// worker survives (a third submission completes), and the drained
+    /// ledger balances with `panicked == 1`.
+    #[test]
+    fn panic_revival_under_concurrent_submitters() {
+        let total = explore_at_least(FLOOR, 0xBADCA11, || {
+            let service = Arc::new(SolveService::with_queue_capacity(
+                MwhvcConfig::new(0.5).unwrap(),
+                1,
+                8,
+            ));
+            let poison = Arc::new(AtomicBool::new(true));
+            {
+                let poison = Arc::clone(&poison);
+                service.set_pre_solve(move || {
+                    if poison.swap(false, Ordering::SeqCst) {
+                        panic!("injected solve panic");
+                    }
+                });
+            }
+            let g = tiny();
+            let submitter = {
+                let service = Arc::clone(&service);
+                let g = Arc::clone(&g);
+                thread::spawn(move || service.submit(g, 0.5).unwrap())
+            };
+            let a = service.submit(Arc::clone(&g), 0.5).unwrap();
+            let b = submitter.join().unwrap();
+            let ra = a.wait();
+            let rb = b.wait();
+            let panicked = [&ra, &rb]
+                .iter()
+                .filter(|r| matches!(r, Err(SolveError::Panicked { .. })))
+                .count();
+            assert_eq!(panicked, 1, "exactly one dequeue hits the poison");
+            for res in [ra, rb].into_iter().flatten() {
+                assert!(res.cover.is_cover_of(&g));
+            }
+            // Revival: the worker that caught the panic still serves.
+            let revived = service.submit(Arc::clone(&g), 0.5).unwrap();
+            assert!(revived
+                .wait()
+                .expect("poison consumed")
+                .cover
+                .is_cover_of(&g));
+            service.shutdown();
+            let m = service.metrics();
+            assert_eq!(m.bulk.submitted, 3);
+            assert_eq!(m.bulk.panicked, 1);
+            assert_eq!(m.bulk.completed, 2);
+            assert_identity(&m.bulk, TaskClass::Bulk);
+            assert_identity(&m.interactive, TaskClass::Interactive);
+        });
+        assert!(total >= FLOOR, "explored only {total} interleavings");
+    }
+
+    /// The admission gate's shed read (rolling p99 + queued-head age)
+    /// races bulk submission and the drain. The shed branch depends on
+    /// real wall-clock waits, so this scenario runs seeded random walks
+    /// only — a replayed exhaustive schedule would diverge on the timing
+    /// branch. Whichever branch each interleaving takes, every accepted
+    /// ticket resolves exactly once and the ledger balances.
+    #[test]
+    fn shed_gate_read_races_bulk_aging() {
+        let report = explore(
+            Config::random(0x5EDA6E, FLOOR + extra_random_iters()),
+            || {
+                let service = Arc::new(
+                    SolveService::with_queue_capacity(MwhvcConfig::new(0.5).unwrap(), 1, 8)
+                        .with_shed_target(Duration::from_nanos(1))
+                        .with_bulk_max_wait(Duration::ZERO),
+                );
+                let g = tiny();
+                let interactive = service
+                    .submit_with(Arc::clone(&g), 0.5, SubmitOptions::interactive())
+                    .unwrap();
+                let submitter = {
+                    let service = Arc::clone(&service);
+                    let g = Arc::clone(&g);
+                    thread::spawn(move || service.submit_with(g, 0.5, SubmitOptions::bulk()))
+                };
+                let bulk = submitter.join().unwrap();
+                service.shutdown();
+                assert!(interactive
+                    .wait()
+                    .expect("interactive is never shed")
+                    .cover
+                    .is_cover_of(&g));
+                match bulk {
+                    Ok(ticket) => {
+                        assert!(ticket
+                            .wait()
+                            .expect("accepted work drains")
+                            .cover
+                            .is_cover_of(&g));
+                    }
+                    Err(SubmitError::Overloaded { .. }) => {}
+                    Err(other) => panic!("unexpected submit error: {other:?}"),
+                }
+                let m = service.metrics();
+                assert_identity(&m.bulk, TaskClass::Bulk);
+                assert_identity(&m.interactive, TaskClass::Interactive);
+                assert_eq!(m.interactive.submitted, 1);
+                assert_eq!(m.bulk.submitted + m.bulk.shed, 1);
+            },
+        );
+        assert!(report.executions >= FLOOR);
     }
 }

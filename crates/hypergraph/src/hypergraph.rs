@@ -92,6 +92,9 @@ static CLONES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(
 /// unless the test is isolated.
 #[must_use]
 pub fn clone_count() -> u64 {
+    // relaxed: monotone diagnostic counter; readers only assert
+    // "did not grow" around code they ran themselves, so no
+    // cross-thread ordering is needed.
     CLONES.load(std::sync::atomic::Ordering::Relaxed)
 }
 
@@ -122,6 +125,8 @@ impl Hypergraph {
     /// that deliberately want an unshared allocation.
     #[must_use]
     pub fn deep_clone(&self) -> Self {
+        // relaxed: monotone diagnostic counter (see `clone_count`);
+        // atomicity of the increment is all that matters.
         CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Hypergraph {
             inner: Arc::new(Payload {

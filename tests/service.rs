@@ -350,6 +350,9 @@ fn concurrent_mixed_class_submitters_every_ticket_resolves_exactly_once() {
         })
         .collect();
 
+    // wall-clock: let the submitter threads generate ~25 ms of real
+    // traffic before shutdown; the exact overlap is the point of the test,
+    // not a synchronization condition.
     std::thread::sleep(Duration::from_millis(25));
     service.shutdown();
 
