@@ -9,7 +9,9 @@ pub mod verify;
 use std::io::Read as _;
 use std::time::Instant;
 
-use dcover_core::{CoverResult, MwhvcConfig, MwhvcSolver, SolveSession, Variant, WarmState};
+use dcover_core::{
+    CoverResult, MwhvcConfig, MwhvcSolver, PartitionPolicy, SolveSession, Variant, WarmState,
+};
 use dcover_hypergraph::{format, Hypergraph};
 
 use crate::args;
@@ -49,6 +51,10 @@ pub(crate) fn config_from(parsed: &args::Parsed) -> Result<MwhvcConfig, Failure>
                 "unknown variant `{other}` (expected `standard` or `half-bid`)"
             )))
         }
+    }
+    if let Some(raw) = parsed.value("partition") {
+        let policy: PartitionPolicy = raw.parse().map_err(usage)?;
+        config = config.with_partition(policy);
     }
     Ok(config)
 }
@@ -91,6 +97,8 @@ pub(crate) fn result_json(r: &CoverResult) -> String {
         .num("messages", r.report.total_messages)
         .num("bits", r.report.total_bits)
         .num("max_link_bits", r.report.max_link_bits)
+        .num("intra_chunk_messages", r.report.intra_chunk_messages)
+        .num("cross_chunk_messages", r.report.cross_chunk_messages)
         .raw("cover", &cover)
         .raw("duals", &duals)
         .raw("levels", &levels)
@@ -189,10 +197,14 @@ fn prefix_path(path: &str, failure: Failure) -> Failure {
 }
 
 /// `dcover solve FILE [--eps E] [--threads N] [--variant V]
-/// [--warm-from REPORT] [--json]`
+/// [--partition P] [--warm-from REPORT] [--json]`
 pub fn solve(raw: &[String]) -> Result<(), Failure> {
-    let parsed =
-        args::parse(raw, &["json"], &["eps", "threads", "variant", "warm-from"]).map_err(usage)?;
+    let parsed = args::parse(
+        raw,
+        &["json"],
+        &["eps", "threads", "variant", "partition", "warm-from"],
+    )
+    .map_err(usage)?;
     let json = parsed.switch("json");
     solve_inner(&parsed).inspect_err(|failure| {
         // With --json, failures become machine-readable error objects on
@@ -278,9 +290,11 @@ fn solve_inner(parsed: &args::Parsed) -> Result<(), Failure> {
     Ok(())
 }
 
-/// `dcover batch FILE... [--eps E] [--threads N] [--variant V] [--json]`
+/// `dcover batch FILE... [--eps E] [--threads N] [--variant V]
+/// [--partition P] [--json]`
 pub fn batch(raw: &[String]) -> Result<(), Failure> {
-    let parsed = args::parse(raw, &["json"], &["eps", "threads", "variant"]).map_err(usage)?;
+    let parsed =
+        args::parse(raw, &["json"], &["eps", "threads", "variant", "partition"]).map_err(usage)?;
     if parsed.positional.is_empty() {
         return Err(usage("batch needs at least one instance file".to_string()));
     }

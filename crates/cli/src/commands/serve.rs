@@ -202,8 +202,8 @@ fn parse_class(raw: &str) -> Result<RequestClass, String> {
 }
 
 /// `dcover serve [--eps E] [--threads N] [--queue C] [--variant V]
-/// [--class interactive|bulk] [--deadline-ms N] [--bulk-max-wait-ms N]
-/// [--shed-target-ms N] [--metrics]`
+/// [--partition P] [--class interactive|bulk] [--deadline-ms N]
+/// [--bulk-max-wait-ms N] [--shed-target-ms N] [--metrics]`
 pub fn serve(raw: &[String]) -> Result<(), Failure> {
     let parsed = args::parse(
         raw,
@@ -213,6 +213,7 @@ pub fn serve(raw: &[String]) -> Result<(), Failure> {
             "threads",
             "queue",
             "variant",
+            "partition",
             "class",
             "deadline-ms",
             "bulk-max-wait-ms",
@@ -696,6 +697,8 @@ fn class_json(c: &ClassMetrics) -> String {
         .num("shed", c.shed)
         .num("rejected", c.rejected)
         .num("panicked", c.panicked)
+        .num("intra_chunk_messages", c.intra_chunk_messages)
+        .num("cross_chunk_messages", c.cross_chunk_messages)
         .raw("queue_wait", &histogram_json(&c.queue_wait))
         .raw("solve_time", &histogram_json(&c.run_time))
         .build()

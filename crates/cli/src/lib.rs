@@ -52,9 +52,11 @@ dcover — distributed covering (MWHVC) solver CLI
 
 USAGE:
     dcover solve FILE [--eps E] [--threads N] [--variant standard|half-bid]
-                 [--warm-from REPORT] [--json]
+                 [--partition contiguous|locality] [--warm-from REPORT] [--json]
     dcover serve [--eps E] [--threads N] [--queue C] [--variant standard|half-bid]
-    dcover batch FILE... [--eps E] [--threads N] [--variant standard|half-bid] [--json]
+                 [--partition contiguous|locality]
+    dcover batch FILE... [--eps E] [--threads N] [--variant standard|half-bid]
+                 [--partition contiguous|locality] [--json]
     dcover verify INSTANCE REPORT [--eps E] [--json]
     dcover gen FAMILY [family options] [--seed S]
                [--min-weight W] [--max-weight W] [--out FILE] [--json]
@@ -62,7 +64,11 @@ USAGE:
     FILE may be `-` for stdin. `solve --warm-from REPORT` seeds the solve
     from the duals/levels of a previous `--json` report of a (revision of
     the) same instance instead of starting cold; without --eps the
-    report's epsilon is inherited. `serve` reads a stream of records from
+    report's epsilon is inherited. `--partition` picks the parallel
+    scheduler's chunk placement (default `contiguous`; `locality`
+    clusters connected nodes so most messages stay inside one worker's
+    chunk — results are bit-identical either way, and the JSON reports
+    the intra/cross-chunk message split). `serve` reads a stream of records from
     stdin, each starting at its `p` header: `p mwhvc n m` starts a full
     instance, `p delta BASE R A W [EPS]` a revision of the earlier record
     whose seq is BASE (R `r` edge-removal ids, A `a` edge-insertion

@@ -18,20 +18,39 @@
 //!
 //! # Chunks and the two phases
 //!
-//! Nodes are partitioned into contiguous chunks (one per worker; the
-//! sequential scheduler is the 1-chunk special case). Each round runs two
+//! Nodes are partitioned into chunks (one per worker; the sequential
+//! scheduler is the 1-chunk special case): a contiguous range of
+//! *positions* in the arrangement chosen by a
+//! [`Partition`](crate::partition::Partition) — the original id order
+//! under `PartitionPolicy::Contiguous`, a breadth-first locality
+//! arrangement under `PartitionPolicy::Locality`. The chunk remembers the
+//! original id of every node it hosts (`global_ids`), so node programs
+//! observe their true ids regardless of placement. Each round runs two
 //! phases:
 //!
-//! 1. [`phase_step`] — every chunk steps its active nodes in ascending id
-//!    order. Sends are *staged* into per-destination-chunk buckets as
-//!    `(destination slot, payload)` pairs and accounted on the send side
-//!    ([`SendTally`](crate::process::SendTally)); inboxes are consumed and
-//!    their dirty slots cleared.
+//! 1. [`phase_step`] — every chunk steps its active nodes in ascending
+//!    position order. Sends whose destination slot lies in the sender's
+//!    own chunk take the **intra-chunk fast path**: a direct write into
+//!    the chunk's `nxt` mailbox buffer, no staging. Cross-chunk sends are
+//!    *staged* into per-destination-chunk buckets as `(destination slot,
+//!    payload)` pairs. Both are accounted on the send side
+//!    ([`SendTally`](crate::process::SendTally), which also tracks the
+//!    intra/cross split); inboxes are consumed and their dirty slots
+//!    cleared.
 //! 2. [`phase_deliver`] — every chunk drains the buckets addressed to it
 //!    (in ascending source-chunk order) into its `nxt` buffer, dropping
 //!    mail addressed to halted nodes (already charged at send time — mail
 //!    to halted nodes is counted exactly once, by the sender), then swaps
 //!    its buffers.
+//!
+//! A fast-path write to a receiver that halts (or already halted) is
+//! equivalent to the dropped bucket delivery: the slot belongs to a node
+//! that is never stepped again, so the message is never read, and the
+//! unconditional dirty-slot sweep clears it. A fast-path write to an
+//! *occupied* slot is a duplicate same-port send; the duplicate falls
+//! back to the sender chunk's own staging bucket so [`phase_deliver`]
+//! applies the canonical halted-before-duplicate check and reports the
+//! identical typed error in the identical round.
 //!
 //! Writes are chunk-local in both phases, so the parallel scheduler needs
 //! no locks and no `unsafe`: chunk state simply moves to a worker and back.
@@ -56,17 +75,25 @@
 
 use crate::error::SimError;
 use crate::metrics::{BitBudget, RoundMetrics};
-use crate::process::{Ctx, Process, SendTally, Status};
+use crate::partition::Partition;
+use crate::process::{Ctx, Process, SendTally, StagedSends, Status, LOCAL_CHUNK};
 use crate::topology::Topology;
 
 /// Everything one worker needs to run its share of a round: the node
-/// programs of a contiguous id range, their mailbox slots (both buffers),
-/// the active worklist, staging buckets, and the precomputed routing
-/// tables. Moves wholesale between the scheduler and a worker thread.
+/// programs of a contiguous position range of the partition arrangement,
+/// their mailbox slots (both buffers), the active worklist, staging
+/// buckets, and the precomputed routing tables. Moves wholesale between
+/// the scheduler and a worker thread.
 #[derive(Debug)]
 pub(crate) struct ChunkState<P: Process> {
-    /// Global id of the first node in this chunk.
-    pub first_node: usize,
+    /// This chunk's index — the staging bucket fast-path duplicates fall
+    /// back to.
+    pub chunk_index: usize,
+    /// Original (global) node id per local node. Under the identity
+    /// arrangement this is just `first_position + lu`; under a locality
+    /// arrangement it is the permutation restricted to this chunk. Node
+    /// programs, error reports, and result scatter all use it.
+    pub global_ids: Vec<u32>,
     /// Node programs, indexed by local id.
     pub nodes: Vec<P>,
     /// Halted flag per local node.
@@ -97,36 +124,11 @@ pub(crate) struct ChunkState<P: Process> {
     local_offsets: Vec<u32>,
     /// Per local slot: owning local node (for the halted-receiver check).
     slot_node: Vec<u32>,
-    /// Per local slot, viewed as a *sender* port: destination chunk.
+    /// Per local slot, viewed as a *sender* port: destination chunk, or
+    /// [`LOCAL_CHUNK`] when the destination lies in this chunk (fast path).
     dest_chunk: Vec<u32>,
     /// Per local slot, viewed as a *sender* port: destination-local slot.
     dest_local: Vec<u32>,
-}
-
-/// Node-range boundaries for `num_chunks` chunks over `topo`, balanced by
-/// port count (the true per-round work), monotone, covering `0..n`.
-pub(crate) fn chunk_boundaries(topo: &Topology, num_chunks: usize) -> Vec<usize> {
-    let n = topo.len();
-    let total = topo.total_ports();
-    let mut prefix = Vec::with_capacity(n + 1);
-    prefix.push(0usize);
-    for u in 0..n {
-        prefix.push(prefix[u] + topo.degree(u) + 1);
-    }
-    // The +1 per node keeps zero-degree nodes from collapsing into one
-    // chunk and makes the boundaries well-defined on edgeless topologies.
-    let weight_total = total + n;
-    let mut bounds = Vec::with_capacity(num_chunks + 1);
-    for i in 0..=num_chunks {
-        let target = weight_total * i / num_chunks.max(1);
-        bounds.push(prefix.partition_point(|&w| w < target).min(n));
-    }
-    bounds[0] = 0;
-    bounds[num_chunks] = n;
-    for i in 1..num_chunks {
-        bounds[i] = bounds[i].max(bounds[i - 1]);
-    }
-    bounds
 }
 
 impl<P: Process> ChunkState<P> {
@@ -135,7 +137,8 @@ impl<P: Process> ChunkState<P> {
     /// a recycled chunk, retains its capacity.
     pub(crate) fn empty() -> Self {
         Self {
-            first_node: 0,
+            chunk_index: 0,
+            global_ids: Vec::new(),
             nodes: Vec::new(),
             halted: Vec::new(),
             worklist: Vec::new(),
@@ -154,39 +157,34 @@ impl<P: Process> ChunkState<P> {
         }
     }
 
-    /// Builds the chunk for nodes `bounds[index]..bounds[index + 1]`.
-    /// (Production paths go through [`ChunkState::rebuild`] on a recycled
-    /// chunk; building from scratch remains as the test oracle.)
+    /// Builds the chunk at `index` of `part`. (Production paths go through
+    /// [`ChunkState::rebuild`] on a recycled chunk; building from scratch
+    /// remains as the test oracle.)
     #[cfg(test)]
-    pub(crate) fn build(topo: &Topology, bounds: &[usize], index: usize) -> Self {
+    pub(crate) fn build(topo: &Topology, part: &Partition, index: usize) -> Self {
         let mut chunk = Self::empty();
-        chunk.rebuild(topo, bounds, index);
+        chunk.rebuild(topo, part, index);
         chunk
     }
 
     /// Re-derives every per-topology table for a (possibly different)
-    /// topology **in place**, reusing the capacity of every buffer — mailbox
-    /// slots, dirty lists, worklist, staging buckets and routing tables all
-    /// keep their allocations across solves. `nodes` is cleared; the caller
-    /// refills it. The result is logically identical to
-    /// [`ChunkState::build`] for the same arguments.
-    pub(crate) fn rebuild(&mut self, topo: &Topology, bounds: &[usize], index: usize) {
-        let num_chunks = bounds.len() - 1;
+    /// topology and partition **in place**, reusing the capacity of every
+    /// buffer — mailbox slots, dirty lists, worklist, staging buckets and
+    /// routing tables all keep their allocations across solves. `nodes` is
+    /// cleared; the caller refills it *in position order*. The result is
+    /// logically identical to [`ChunkState::build`] for the same arguments.
+    pub(crate) fn rebuild(&mut self, topo: &Topology, part: &Partition, index: usize) {
+        let num_chunks = part.num_chunks();
+        let bounds = part.bounds();
         let (start, end) = (bounds[index], bounds[index + 1]);
-        let slot_bases: Vec<usize> = bounds
-            .iter()
-            .map(|&b| {
-                if b == 0 {
-                    0
-                } else {
-                    topo.slot_range(b - 1).end
-                }
-            })
-            .collect();
+        let slot_bases: Vec<usize> = bounds.iter().map(|&b| part.slot_offset(b)).collect();
         let slot_base = slot_bases[index];
         let num_slots = slot_bases[index + 1] - slot_base;
 
-        self.first_node = start;
+        self.chunk_index = index;
+        self.global_ids.clear();
+        self.global_ids
+            .extend((start..end).map(|pos| part.node_at(pos) as u32));
         self.nodes.clear();
         self.halted.clear();
         self.halted.resize(end - start, false);
@@ -215,12 +213,17 @@ impl<P: Process> ChunkState<P> {
         self.dest_chunk.clear();
         self.dest_local.clear();
         self.local_offsets.push(0);
-        for (lu, u) in (start..end).enumerate() {
+        for (lu, pos) in (start..end).enumerate() {
+            let u = part.node_at(pos);
             for p in 0..topo.degree(u) {
                 self.slot_node.push(lu as u32);
-                let recip = topo.reciprocal_slot(u, p);
+                // The peer's receiving slot, in the *arrangement's* arena
+                // layout: its chunk decides staging vs the fast path.
+                let (v, q) = topo.peer(u, p);
+                let recip = part.slot_offset(part.position(v)) + q;
                 let c = slot_bases[1..=num_chunks].partition_point(|&b| b <= recip);
-                self.dest_chunk.push(c as u32);
+                self.dest_chunk
+                    .push(if c == index { LOCAL_CHUNK } else { c as u32 });
                 self.dest_local.push((recip - slot_bases[c]) as u32);
             }
             self.local_offsets.push(self.slot_node.len() as u32);
@@ -246,6 +249,16 @@ impl<P: Process> ChunkState<P> {
         sent_round: u64,
     ) -> Option<SimError> {
         let mut seen = vec![false; self.cur.len()];
+        // Intra-chunk fast-path messages from `sent_round` were written
+        // straight into `nxt` during the step phase; `dirty_nxt` lists
+        // exactly those slots at this point (the deferred delivery that
+        // would have swapped them away never ran). Seed them so a staged
+        // duplicate colliding with a fast-path delivery is still caught.
+        // Seeding halted receivers' slots is harmless: staged mail to
+        // halted receivers is skipped before `seen` is consulted.
+        for &lslot in &self.dirty_nxt {
+            seen[lslot as usize] = true;
+        }
         for lslot in staged_slots {
             let ls = lslot as usize;
             let receiver = self.slot_node[ls] as usize;
@@ -255,7 +268,7 @@ impl<P: Process> ChunkState<P> {
             if seen[ls] {
                 return Some(SimError::DuplicateSend {
                     round: sent_round,
-                    receiver: self.first_node + receiver,
+                    receiver: self.global_ids[receiver] as usize,
                     port: ls - self.local_offsets[receiver] as usize,
                 });
             }
@@ -297,20 +310,25 @@ impl<P: Process> Default for EngineArena<P> {
     }
 }
 
-/// Phase 1 of a round: step every active node of `chunk`, staging sends
-/// and consuming inboxes. Mutates only chunk-local state.
+/// Phase 1 of a round: step every active node of `chunk`, writing
+/// intra-chunk sends straight into the local `nxt` mailbox (fast path),
+/// staging cross-chunk sends, and consuming inboxes. Mutates only
+/// chunk-local state.
 pub(crate) fn phase_step<P: Process>(
     chunk: &mut ChunkState<P>,
     round: u64,
     budget: Option<BitBudget>,
 ) {
     let ChunkState {
-        first_node,
+        chunk_index,
+        global_ids,
         nodes,
         halted,
         worklist,
         cur,
+        nxt,
         dirty_cur,
+        dirty_nxt,
         stage,
         tally,
         newly_halted,
@@ -333,13 +351,18 @@ pub(crate) fn phase_step<P: Process>(
         let hi = local_offsets[lu + 1] as usize;
         let mut ctx = Ctx::staged(
             round,
-            *first_node + lu,
+            global_ids[lu] as usize,
             &cur[lo..hi],
-            stage,
-            &dest_chunk[lo..hi],
-            &dest_local[lo..hi],
-            tally,
-            budget,
+            StagedSends {
+                buckets: stage.as_mut_slice(),
+                dest_chunk: &dest_chunk[lo..hi],
+                dest_local: &dest_local[lo..hi],
+                nxt: nxt.as_mut_slice(),
+                dirty_nxt: &mut *dirty_nxt,
+                self_bucket: *chunk_index,
+                tally: &mut *tally,
+                budget,
+            },
         );
         if nodes[lu].on_round(&mut ctx) == Status::Halted {
             halted[lu] = true;
@@ -384,7 +407,7 @@ pub(crate) fn phase_deliver<P: Process>(
                 if chunk.delivery_error.is_none() {
                     chunk.delivery_error = Some(SimError::DuplicateSend {
                         round: sent_round,
-                        receiver: chunk.first_node + receiver,
+                        receiver: chunk.global_ids[receiver] as usize,
                         port: ls - chunk.local_offsets[receiver] as usize,
                     });
                 }
@@ -430,63 +453,69 @@ pub(crate) fn finish_round(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn boundaries_cover_and_are_monotone() {
-        let topo = crate::builders::star(9);
-        for t in 1..=6 {
-            let b = chunk_boundaries(&topo, t);
-            assert_eq!(b.len(), t + 1);
-            assert_eq!(b[0], 0);
-            assert_eq!(b[t], topo.len());
-            assert!(b.windows(2).all(|w| w[0] <= w[1]));
-        }
-    }
+    use crate::partition::PartitionPolicy;
 
     #[test]
     fn chunks_partition_slots() {
         let topo = crate::builders::grid(5, 7);
-        let bounds = chunk_boundaries(&topo, 4);
-        let mut total_nodes = 0;
-        let mut total_slots = 0;
-        for i in 0..4 {
-            let c: ChunkState<DummyProc> = ChunkState::build(&topo, &bounds, i);
-            total_nodes += c.len();
-            total_slots += c.cur.len();
-            assert_eq!(c.cur.len(), c.slot_node.len());
-            assert_eq!(*c.local_offsets.last().unwrap() as usize, c.cur.len());
+        for policy in [PartitionPolicy::Contiguous, PartitionPolicy::Locality] {
+            let part = Partition::new(&topo, 4, policy);
+            let mut total_nodes = 0;
+            let mut total_slots = 0;
+            for i in 0..4 {
+                let c: ChunkState<DummyProc> = ChunkState::build(&topo, &part, i);
+                total_nodes += c.len();
+                total_slots += c.cur.len();
+                assert_eq!(c.cur.len(), c.slot_node.len());
+                assert_eq!(*c.local_offsets.last().unwrap() as usize, c.cur.len());
+            }
+            assert_eq!(total_nodes, topo.len());
+            assert_eq!(total_slots, topo.total_ports());
         }
-        assert_eq!(total_nodes, topo.len());
-        assert_eq!(total_slots, topo.total_ports());
     }
 
     #[test]
     fn routing_tables_invert_reciprocal_slots() {
         let topo = crate::builders::complete(6);
-        let bounds = chunk_boundaries(&topo, 3);
-        let chunks: Vec<ChunkState<DummyProc>> = (0..3)
-            .map(|i| ChunkState::build(&topo, &bounds, i))
-            .collect();
-        let slot_bases: Vec<usize> = bounds
-            .iter()
-            .map(|&b| {
-                if b == 0 {
-                    0
-                } else {
-                    topo.slot_range(b - 1).end
+        for policy in [PartitionPolicy::Contiguous, PartitionPolicy::Locality] {
+            let part = Partition::new(&topo, 3, policy);
+            let chunks: Vec<ChunkState<DummyProc>> =
+                (0..3).map(|i| ChunkState::build(&topo, &part, i)).collect();
+            let bounds = part.bounds();
+            let slot_bases: Vec<usize> = bounds.iter().map(|&b| part.slot_offset(b)).collect();
+            for (ci, chunk) in chunks.iter().enumerate() {
+                for ls in 0..chunk.cur.len() {
+                    // Recover the owning (node, port) from the arrangement
+                    // layout, then check the routing entry addresses the
+                    // peer's slot in the same layout.
+                    let gslot = slot_bases[ci] + ls;
+                    let pos = (0..part.len())
+                        .find(|&p| part.slot_offset(p) <= gslot && gslot < part.slot_offset(p + 1))
+                        .unwrap();
+                    let u = part.node_at(pos);
+                    let p = gslot - part.slot_offset(pos);
+                    let (v, q) = topo.peer(u, p);
+                    let recip = part.slot_offset(part.position(v)) + q;
+                    let raw = chunk.dest_chunk[ls];
+                    let dc = if raw == LOCAL_CHUNK { ci } else { raw as usize };
+                    let dl = chunk.dest_local[ls] as usize;
+                    assert_eq!(slot_bases[dc] + dl, recip, "slot ({u}, {p})");
+                    // The sentinel marks exactly the intra-chunk targets.
+                    let target_in_chunk =
+                        bounds[ci] <= part.position(v) && part.position(v) < bounds[ci + 1];
+                    assert_eq!(raw == LOCAL_CHUNK, target_in_chunk, "slot ({u}, {p})");
                 }
-            })
-            .collect();
-        for (ci, chunk) in chunks.iter().enumerate() {
-            for ls in 0..chunk.cur.len() {
-                let gslot = slot_bases[ci] + ls;
-                let (u, p) = topo.slot_owner(gslot);
-                let recip = topo.reciprocal_slot(u, p);
-                let dc = chunk.dest_chunk[ls] as usize;
-                let dl = chunk.dest_local[ls] as usize;
-                assert_eq!(slot_bases[dc] + dl, recip, "slot ({u}, {p})");
             }
         }
+    }
+
+    #[test]
+    fn single_chunk_routes_everything_through_the_fast_path() {
+        let topo = crate::builders::grid(3, 4);
+        let part = Partition::contiguous(&topo, 1);
+        let c: ChunkState<DummyProc> = ChunkState::build(&topo, &part, 0);
+        assert!(c.dest_chunk.iter().all(|&d| d == LOCAL_CHUNK));
+        assert_eq!(c.global_ids, (0..topo.len() as u32).collect::<Vec<_>>());
     }
 
     /// Minimal process for table tests (never stepped).

@@ -112,6 +112,7 @@ mod error;
 mod message;
 mod metrics;
 mod parallel;
+mod partition;
 mod pool;
 mod process;
 mod sim;
@@ -126,6 +127,7 @@ pub use metrics::{
     BitBudget, ClassMetrics, LatencyHistogram, RoundMetrics, SchedMetrics, SimReport,
 };
 pub use parallel::ParallelSimulator;
+pub use partition::PartitionPolicy;
 pub use pool::{
     QueueClosed, QueuePolicy, SimPool, TaskClass, TaskError, TaskOptions, TaskQueue, TaskTicket,
     TaskTiming, TrySubmitError,

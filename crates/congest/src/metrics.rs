@@ -30,7 +30,15 @@ pub struct RoundMetrics {
 }
 
 /// Aggregate statistics for an entire simulation run.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// Equality (`PartialEq`) covers the protocol-level quantities only — the
+/// determinism contract. The chunk-placement split
+/// ([`intra_chunk_messages`](Self::intra_chunk_messages) /
+/// [`cross_chunk_messages`](Self::cross_chunk_messages)) is *scheduler
+/// observability*: it depends on the thread count and partition policy by
+/// design (a sequential run is one chunk, so everything is intra-chunk)
+/// and is deliberately excluded from equality.
+#[derive(Clone, Debug, Default)]
 pub struct SimReport {
     /// Number of rounds executed.
     pub rounds: u64,
@@ -42,9 +50,28 @@ pub struct SimReport {
     pub max_link_bits: u64,
     /// Whether every node halted by the end of the run.
     pub all_halted: bool,
+    /// Messages delivered within the sending chunk (the engine's
+    /// intra-chunk fast path — no staging-bucket round trip). Excluded
+    /// from equality; see the type docs.
+    pub intra_chunk_messages: u64,
+    /// Messages that crossed a chunk boundary through the staging
+    /// buckets. The quantity the locality partition policy minimizes.
+    /// Excluded from equality; see the type docs.
+    pub cross_chunk_messages: u64,
     /// Per-round trace; populated only when tracing is enabled on the
     /// simulator (it costs memory on long runs).
     pub per_round: Option<Vec<RoundMetrics>>,
+}
+
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+            && self.total_messages == other.total_messages
+            && self.total_bits == other.total_bits
+            && self.max_link_bits == other.max_link_bits
+            && self.all_halted == other.all_halted
+            && self.per_round == other.per_round
+    }
 }
 
 impl SimReport {
@@ -57,6 +84,27 @@ impl SimReport {
         self.max_link_bits = self.max_link_bits.max(rm.max_link_bits);
         if trace {
             self.per_round.get_or_insert_with(Vec::new).push(rm);
+        }
+    }
+
+    /// Folds one round's chunk-placement split into the aggregate:
+    /// `messages` sent in total, of which `cross` crossed a chunk
+    /// boundary.
+    pub(crate) fn record_cut(&mut self, messages: u64, cross: u64) {
+        self.cross_chunk_messages += cross;
+        self.intra_chunk_messages += messages - cross;
+    }
+
+    /// Fraction of messages that crossed a chunk boundary (0 for runs
+    /// that sent nothing — including every sequential run, which is a
+    /// single chunk).
+    #[must_use]
+    pub fn cross_fraction(&self) -> f64 {
+        let total = self.intra_chunk_messages + self.cross_chunk_messages;
+        if total == 0 {
+            0.0
+        } else {
+            self.cross_chunk_messages as f64 / total as f64
         }
     }
 
@@ -159,6 +207,23 @@ mod tests {
         let mut r = SimReport::default();
         r.absorb(RoundMetrics::default(), false);
         assert!(r.per_round.is_none());
+    }
+
+    #[test]
+    fn cut_split_accumulates_but_stays_outside_equality() {
+        let mut a = SimReport::default();
+        let mut b = a.clone();
+        a.record_cut(10, 4);
+        a.record_cut(6, 0);
+        assert_eq!(a.intra_chunk_messages, 12);
+        assert_eq!(a.cross_chunk_messages, 4);
+        assert!((a.cross_fraction() - 0.25).abs() < 1e-12);
+        // The determinism contract compares protocol-level quantities
+        // only: a parallel report with a different placement split still
+        // equals the sequential one.
+        b.record_cut(16, 16);
+        assert_eq!(a, b);
+        assert_eq!(SimReport::default().cross_fraction(), 0.0);
     }
 
     #[test]
@@ -279,6 +344,8 @@ struct ClassCounters {
     rejected: AtomicU64,
     shed: AtomicU64,
     panicked: AtomicU64,
+    intra_chunk_msgs: AtomicU64,
+    cross_chunk_msgs: AtomicU64,
     queue_wait: AtomicHistogram,
     run_time: AtomicHistogram,
 }
@@ -381,6 +448,15 @@ pub struct ClassMetrics {
     pub shed: u64,
     /// Tasks whose closure panicked on a worker.
     pub panicked: u64,
+    /// Simulator messages delivered within their sending chunk across
+    /// this class's completed solves (recorded by a serving layer via
+    /// [`SchedMetrics::record_cut`] from each solve's
+    /// [`SimReport`] split).
+    pub intra_chunk_messages: u64,
+    /// Simulator messages that crossed a chunk boundary across this
+    /// class's completed solves — the cut the locality partition policy
+    /// minimizes.
+    pub cross_chunk_messages: u64,
     /// Queue-wait (enqueue → dequeue) distribution; includes expired
     /// tasks, whose wait ended at the discard.
     pub queue_wait: LatencyHistogram,
@@ -444,6 +520,8 @@ impl SchedMetrics {
             rejected: c.rejected.load(Ordering::Relaxed),
             shed: c.shed.load(Ordering::Relaxed),
             panicked: c.panicked.load(Ordering::Relaxed),
+            intra_chunk_messages: c.intra_chunk_msgs.load(Ordering::Relaxed),
+            cross_chunk_messages: c.cross_chunk_msgs.load(Ordering::Relaxed),
             queue_wait: c.queue_wait.snapshot(),
             run_time: c.run_time.snapshot(),
         }
@@ -487,6 +565,20 @@ impl SchedMetrics {
         self.classes[class.index()]
             .shed
             .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds a finished solve's chunk-placement message split (from its
+    /// [`SimReport`]) into this class's cumulative counters. Called by a
+    /// serving layer after each successful solve; metrics-only — these
+    /// counters sit outside the ledger identity and outside the
+    /// model-checked scenarios.
+    pub fn record_cut(&self, class: TaskClass, intra: u64, cross: u64) {
+        let c = &self.classes[class.index()];
+        // relaxed: independent monotonic counters for observability only
+        // (outside the ledger identity; never a synchronization carrier —
+        // snapshots tolerate observing the two adds in any order).
+        c.intra_chunk_msgs.fetch_add(intra, Ordering::Relaxed);
+        c.cross_chunk_msgs.fetch_add(cross, Ordering::Relaxed);
     }
 
     pub(crate) fn record_submitted(&self, class: TaskClass, depth_now: usize) {
@@ -607,5 +699,17 @@ mod sched_tests {
         assert_eq!(bulk.shed, 2);
         assert_eq!(bulk.rejected, 1);
         assert_eq!(m.class(TaskClass::Interactive).shed, 0);
+    }
+
+    #[test]
+    fn cut_counters_accumulate_per_class() {
+        let m = SchedMetrics::new();
+        m.record_cut(TaskClass::Interactive, 10, 2);
+        m.record_cut(TaskClass::Interactive, 5, 0);
+        let i = m.class(TaskClass::Interactive);
+        assert_eq!(i.intra_chunk_messages, 15);
+        assert_eq!(i.cross_chunk_messages, 2);
+        assert_eq!(m.class(TaskClass::Bulk).intra_chunk_messages, 0);
+        assert_eq!(m.class(TaskClass::Bulk).cross_chunk_messages, 0);
     }
 }

@@ -26,12 +26,18 @@
 //! round's drained one, so bucket capacity is never re-grown), then makes
 //! **one fused dispatch per chunk**: deliver the previous round's mail,
 //! step the current round, reply. One barrier per round, two channel
-//! messages per worker.
+//! messages per worker. Only *cross-chunk* mail rides the buckets:
+//! messages whose destination lies in the sender's own chunk are written
+//! straight into the chunk's next-round mailbox during the step (the
+//! intra-chunk fast path), so a [`PartitionPolicy::Locality`] chunking —
+//! which clusters connected nodes — shrinks the per-round cross-thread
+//! traffic to the true boundary cut. [`SimReport`] records the split.
 
 use crate::cancel::Interrupt;
-use crate::engine::{chunk_boundaries, finish_round, ChunkState, EngineArena};
+use crate::engine::{finish_round, ChunkState, EngineArena};
 use crate::error::SimError;
 use crate::metrics::{BitBudget, RoundMetrics, SimReport};
+use crate::partition::{Partition, PartitionPolicy};
 use crate::pool::{Buckets, Reply, SimPool};
 use crate::process::{Process, SendTally};
 use crate::topology::{NodeId, Topology};
@@ -66,8 +72,8 @@ use crate::topology::{NodeId, Topology};
 #[derive(Debug)]
 pub struct ParallelSimulator<P: Process + 'static> {
     topo: Topology,
-    /// Node-range starts per chunk (length `chunks.len() + 1`).
-    bounds: Vec<usize>,
+    /// The node arrangement and chunk cuts this instance runs under.
+    part: Partition,
     /// Chunk states; `None` while a chunk is out at a worker. At most
     /// `pool.workers()` chunks exist; a small instance on a big pool uses
     /// only the first `chunks.len()` workers.
@@ -92,9 +98,27 @@ impl<P: Process + 'static> ParallelSimulator<P> {
     /// Panics if `nodes.len() != topo.len()` or `threads == 0`.
     #[must_use]
     pub fn new(topo: Topology, nodes: Vec<P>, threads: usize) -> Self {
+        Self::with_partition(topo, nodes, threads, PartitionPolicy::Contiguous)
+    }
+
+    /// Like [`new`](Self::new), but chunking the instance under an
+    /// explicit [`PartitionPolicy`]. Placement never changes results —
+    /// only which worker steps a node and how much mail crosses chunks
+    /// (see [`SimReport::cross_fraction`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != topo.len()` or `threads == 0`.
+    #[must_use]
+    pub fn with_partition(
+        topo: Topology,
+        nodes: Vec<P>,
+        threads: usize,
+        policy: PartitionPolicy,
+    ) -> Self {
         assert!(threads > 0, "need at least one worker thread");
         let workers = threads.min(nodes.len()).max(1);
-        Self::with_pool(topo, nodes, SimPool::new(workers))
+        Self::with_pool_partition(topo, nodes, SimPool::new(workers), policy)
     }
 
     /// Creates a parallel simulator on an **existing** pool, recycling the
@@ -112,25 +136,59 @@ impl<P: Process + 'static> ParallelSimulator<P> {
     /// Panics if `nodes.len() != topo.len()`.
     #[must_use]
     pub fn with_pool(topo: Topology, nodes: Vec<P>, pool: SimPool<P>) -> Self {
+        Self::with_pool_partition(topo, nodes, pool, PartitionPolicy::Contiguous)
+    }
+
+    /// Like [`with_pool`](Self::with_pool), but chunking the instance
+    /// under an explicit [`PartitionPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != topo.len()`.
+    #[must_use]
+    pub fn with_pool_partition(
+        topo: Topology,
+        nodes: Vec<P>,
+        pool: SimPool<P>,
+        policy: PartitionPolicy,
+    ) -> Self {
         assert_eq!(nodes.len(), topo.len(), "need exactly one program per node");
         let n = nodes.len();
         let workers = pool.workers().min(n).max(1);
-        let bounds = chunk_boundaries(&topo, workers);
-        let mut nodes = nodes;
+        let part = Partition::new(&topo, workers, policy);
         let mut chunks = Vec::with_capacity(workers);
-        for index in (0..workers).rev() {
-            let mut arena = pool.take_arena();
-            arena.chunk.rebuild(&topo, &bounds, index);
-            arena.chunk.nodes = nodes.split_off(bounds[index]);
-            chunks.push(Some(arena.chunk));
+        if part.is_identity() {
+            // Identity arrangement: chunk ranges are id ranges, so the
+            // node vector splits off in place, no per-node moves.
+            let mut nodes = nodes;
+            for index in (0..workers).rev() {
+                let mut arena = pool.take_arena();
+                arena.chunk.rebuild(&topo, &part, index);
+                arena.chunk.nodes = nodes.split_off(part.bounds()[index]);
+                chunks.push(Some(arena.chunk));
+            }
+            chunks.reverse();
+        } else {
+            // Permuted arrangement: gather each chunk's programs by
+            // position. `global_ids` remembers the inverse for
+            // [`into_pool`](Self::into_pool)'s scatter.
+            let mut slots: Vec<Option<P>> = nodes.into_iter().map(Some).collect();
+            for index in 0..workers {
+                let mut arena = pool.take_arena();
+                arena.chunk.rebuild(&topo, &part, index);
+                let (start, end) = (part.bounds()[index], part.bounds()[index + 1]);
+                arena.chunk.nodes.extend(
+                    (start..end).map(|pos| slots[part.node_at(pos)].take().expect("placed once")),
+                );
+                chunks.push(Some(arena.chunk));
+            }
         }
-        chunks.reverse();
         let inbound_pool = (0..workers)
             .map(|_| Some(Vec::with_capacity(workers)))
             .collect();
         Self {
             topo,
-            bounds,
+            part,
             chunks,
             inbound_pool,
             pool,
@@ -201,9 +259,11 @@ impl<P: Process + 'static> ParallelSimulator<P> {
     /// Panics if `id` is out of range.
     #[must_use]
     pub fn node(&self, id: NodeId) -> &P {
-        let c = self.bounds[1..].partition_point(|&b| b <= id);
+        let pos = self.part.position(id);
+        let bounds = self.part.bounds();
+        let c = bounds[1..].partition_point(|&b| b <= pos);
         let chunk = self.chunks[c].as_ref().expect("chunk is home");
-        &chunk.nodes[id - self.bounds[c]]
+        &chunk.nodes[pos - bounds[c]]
     }
 
     /// Consumes the simulator, returning node programs (ascending id order)
@@ -220,12 +280,36 @@ impl<P: Process + 'static> ParallelSimulator<P> {
     /// parked back in place — ready for the next solve.
     #[must_use]
     pub fn into_pool(mut self) -> (Vec<P>, SimReport, SimPool<P>) {
-        let mut nodes = Vec::with_capacity(self.bounds[self.chunks.len()]);
-        for slot in &mut self.chunks {
-            let mut chunk = slot.take().expect("chunk is home");
-            nodes.append(&mut chunk.nodes);
-            self.pool.put_arena(EngineArena { chunk });
-        }
+        let n = self.part.len();
+        let nodes = if self.part.is_identity() {
+            let mut nodes = Vec::with_capacity(n);
+            for slot in &mut self.chunks {
+                let mut chunk = slot.take().expect("chunk is home");
+                nodes.append(&mut chunk.nodes);
+                self.pool.put_arena(EngineArena { chunk });
+            }
+            nodes
+        } else {
+            // Scatter each chunk's programs back to original id order via
+            // the per-chunk `global_ids` table.
+            let mut out: Vec<Option<P>> = Vec::with_capacity(n);
+            out.resize_with(n, || None);
+            for slot in &mut self.chunks {
+                let mut chunk = slot.take().expect("chunk is home");
+                let ChunkState {
+                    nodes: chunk_nodes,
+                    global_ids,
+                    ..
+                } = &mut *chunk;
+                for (node, &gid) in chunk_nodes.drain(..).zip(global_ids.iter()) {
+                    out[gid as usize] = Some(node);
+                }
+                self.pool.put_arena(EngineArena { chunk });
+            }
+            out.into_iter()
+                .map(|slot| slot.expect("every node returned"))
+                .collect()
+        };
         let mut report = self.report.clone();
         report.all_halted = self.active == 0;
         let Self { pool, .. } = self;
@@ -330,6 +414,8 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         )?;
         self.round += 1;
         self.report.absorb(rm, self.trace);
+        self.report
+            .record_cut(merged.messages, merged.cross_messages);
         Ok(rm)
     }
 
@@ -712,6 +798,108 @@ mod tests {
         let par_report = par.run(10).unwrap();
         assert_eq!(par_report, seq_report);
         assert!(par_report.all_halted);
+    }
+
+    /// On the paper's bipartite incidence, the locality arrangement must
+    /// (a) stay bit-identical to the sequential scheduler, (b) hand nodes
+    /// back in original id order, and (c) actually shrink the cross-chunk
+    /// message volume relative to the contiguous split.
+    #[test]
+    fn locality_policy_is_bit_identical_and_cuts_cross_chunk_traffic() {
+        let g = dcover_hypergraph::generators::path(24);
+        let topo = || Topology::bipartite_incidence(&g);
+        let n = topo().len();
+        let make_nodes = || -> Vec<Gossip> {
+            (0..n)
+                .map(|i| Gossip {
+                    value: (i * 13) as u64 % 101,
+                    acc: 0,
+                    hops: 5,
+                })
+                .collect()
+        };
+        let mut seq = Simulator::new(topo(), make_nodes()).with_trace(true);
+        let seq_report = seq.run(100).unwrap();
+        assert_eq!(seq_report.cross_chunk_messages, 0, "one chunk, all intra");
+        for threads in [2usize, 4] {
+            let mut cont = ParallelSimulator::with_partition(
+                topo(),
+                make_nodes(),
+                threads,
+                PartitionPolicy::Contiguous,
+            )
+            .with_trace(true);
+            let cont_report = cont.run(100).unwrap();
+            let mut loc = ParallelSimulator::with_partition(
+                topo(),
+                make_nodes(),
+                threads,
+                PartitionPolicy::Locality,
+            )
+            .with_trace(true);
+            let loc_report = loc.run(100).unwrap();
+            assert_eq!(cont_report, seq_report, "contiguous, threads = {threads}");
+            assert_eq!(loc_report, seq_report, "locality, threads = {threads}");
+            for id in 0..n {
+                assert_eq!(loc.node(id).acc, seq.node(id).acc, "node {id}");
+            }
+            assert_eq!(
+                loc_report.intra_chunk_messages + loc_report.cross_chunk_messages,
+                loc_report.total_messages
+            );
+            assert!(
+                loc_report.cross_chunk_messages < cont_report.cross_chunk_messages,
+                "threads = {threads}: locality cut {} not below contiguous {}",
+                loc_report.cross_chunk_messages,
+                cont_report.cross_chunk_messages
+            );
+            let (nodes, _) = loc.into_parts();
+            for (i, node) in nodes.iter().enumerate() {
+                assert_eq!(node.value, (i * 13) as u64 % 101, "id order after scatter");
+            }
+        }
+    }
+
+    /// Arenas recycled through a pool must rebuild cleanly when solves
+    /// alternate partition policies (routing tables, global-id tables and
+    /// node gathering all change shape between policies).
+    #[test]
+    fn pooled_arena_reuse_across_policies_stays_identical() {
+        let g = dcover_hypergraph::generators::path(16);
+        let topo = || Topology::bipartite_incidence(&g);
+        let n = topo().len();
+        let make_nodes = || -> Vec<Gossip> {
+            (0..n)
+                .map(|i| Gossip {
+                    value: (i * 7) as u64,
+                    acc: 0,
+                    hops: 4,
+                })
+                .collect()
+        };
+        let mut pool: SimPool<Gossip> = SimPool::new(3);
+        let mut expected: Option<Vec<u64>> = None;
+        for (i, policy) in [
+            PartitionPolicy::Contiguous,
+            PartitionPolicy::Locality,
+            PartitionPolicy::Contiguous,
+            PartitionPolicy::Locality,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut sim =
+                ParallelSimulator::with_pool_partition(topo(), make_nodes(), pool, policy);
+            sim.run(100).unwrap();
+            let (nodes, report, recovered) = sim.into_pool();
+            pool = recovered;
+            assert!(report.all_halted);
+            let accs: Vec<u64> = nodes.iter().map(|g| g.acc).collect();
+            match &expected {
+                Some(e) => assert_eq!(&accs, e, "solve {i} under {policy}"),
+                None => expected = Some(accs),
+            }
+        }
     }
 
     #[test]

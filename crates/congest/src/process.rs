@@ -192,20 +192,47 @@ impl<M: Message> Iterator for InboxIter<'_, M> {
     }
 }
 
+/// Sentinel destination-chunk value marking a port whose receiving slot
+/// lies in the *sender's own* chunk: such messages take the intra-chunk
+/// fast path (a direct write into the local next-round mailbox) instead
+/// of the staging buckets.
+pub(crate) const LOCAL_CHUNK: u32 = u32::MAX;
+
+/// The engine-side send machinery a stepped node writes into: staging
+/// buckets for cross-chunk mail, the chunk's own next-round mailbox for
+/// the intra-chunk fast path, and send-side accounting.
+///
+/// `dest_chunk[p]` / `dest_local[p]` give, for the node's port `p`, the
+/// receiving chunk (or [`LOCAL_CHUNK`]) and its chunk-local slot index.
+#[derive(Debug)]
+pub(crate) struct StagedSends<'a, M> {
+    /// Per-destination-chunk staging buckets of `(chunk-local slot, payload)`.
+    pub buckets: &'a mut [Vec<(u32, M)>],
+    /// Port → receiving chunk index, [`LOCAL_CHUNK`] for intra-chunk ports.
+    pub dest_chunk: &'a [u32],
+    /// Port → chunk-local slot in the receiving chunk's mailbox.
+    pub dest_local: &'a [u32],
+    /// The sender chunk's next-round mailbox (fast-path destination).
+    pub nxt: &'a mut [Option<M>],
+    /// Occupied-slot list for `nxt`; fast-path writes append here so the
+    /// engine's sweep and round-limit duplicate scan see them.
+    pub dirty_nxt: &'a mut Vec<u32>,
+    /// The sender chunk's own index — the bucket a fast-path message falls
+    /// back to when its slot is already occupied (duplicate send), so the
+    /// canonical delivery-phase halted/duplicate checks still apply.
+    pub self_bucket: usize,
+    /// Send-side accounting for this chunk's current round.
+    pub tally: &'a mut SendTally,
+    /// Per-message bit budget, if one is enforced.
+    pub budget: Option<BitBudget>,
+}
+
 /// Where [`Ctx::send`] puts outgoing messages.
 #[derive(Debug)]
 enum OutboxRepr<'a, M> {
-    /// The engine path: stage messages into per-destination-chunk buckets as
-    /// `(destination slot, payload)`, with send-side metric accounting.
-    /// `dest_chunk[p]` / `dest_local[p]` give the receiving chunk and its
-    /// chunk-local slot index for this node's port `p`.
-    Staged {
-        buckets: &'a mut [Vec<(u32, M)>],
-        dest_chunk: &'a [u32],
-        dest_local: &'a [u32],
-        tally: &'a mut SendTally,
-        budget: Option<BitBudget>,
-    },
+    /// The engine path: per-destination-chunk staging plus the intra-chunk
+    /// fast path, with send-side metric accounting.
+    Staged(StagedSends<'a, M>),
     /// The unit-test path: collect raw `(port, message)` pairs.
     Collect(&'a mut Vec<(Port, M)>),
 }
@@ -217,6 +244,10 @@ enum OutboxRepr<'a, M> {
 pub(crate) struct SendTally {
     /// Messages sent.
     pub messages: u64,
+    /// Messages whose destination slot lies in a *different* chunk (the
+    /// staging-bucket path); `messages - cross_messages` took the
+    /// intra-chunk fast path.
+    pub cross_messages: u64,
     /// Total bits sent.
     pub bits: u64,
     /// Largest single-link payload.
@@ -234,6 +265,7 @@ impl SendTally {
     /// earliest violation.
     pub(crate) fn merge(&mut self, other: &SendTally) {
         self.messages += other.messages;
+        self.cross_messages += other.cross_messages;
         self.bits += other.bits;
         self.max_link_bits = self.max_link_bits.max(other.max_link_bits);
         if self.violation.is_none() {
@@ -274,30 +306,19 @@ impl<'a, M: Message> Ctx<'a, M> {
         }
     }
 
-    /// Engine-internal constructor over arena slots and staged buckets.
-    #[allow(clippy::too_many_arguments)]
+    /// Engine-internal constructor over arena slots and the send machinery.
     pub(crate) fn staged(
         round: u64,
         node: usize,
         inbox_slots: &'a [Option<M>],
-        buckets: &'a mut [Vec<(u32, M)>],
-        dest_chunk: &'a [u32],
-        dest_local: &'a [u32],
-        tally: &'a mut SendTally,
-        budget: Option<BitBudget>,
+        sends: StagedSends<'a, M>,
     ) -> Self {
         Self {
             round,
             node,
             degree: inbox_slots.len(),
             inbox: Inbox::from_slots(inbox_slots),
-            outbox: OutboxRepr::Staged {
-                buckets,
-                dest_chunk,
-                dest_local,
-                tally,
-                budget,
-            },
+            outbox: OutboxRepr::Staged(sends),
         }
     }
 
@@ -345,25 +366,38 @@ impl<'a, M: Message> Ctx<'a, M> {
             self.degree
         );
         match &mut self.outbox {
-            OutboxRepr::Staged {
-                buckets,
-                dest_chunk,
-                dest_local,
-                tally,
-                budget,
-            } => {
+            OutboxRepr::Staged(sends) => {
                 let bits = msg.bit_size();
-                tally.messages += 1;
-                tally.bits += bits;
-                tally.max_link_bits = tally.max_link_bits.max(bits);
-                if tally.violation.is_none() {
-                    if let Some(b) = budget {
+                sends.tally.messages += 1;
+                sends.tally.bits += bits;
+                sends.tally.max_link_bits = sends.tally.max_link_bits.max(bits);
+                if sends.tally.violation.is_none() {
+                    if let Some(b) = sends.budget {
                         if bits > b.bits() {
-                            tally.violation = Some((self.node, port, bits));
+                            sends.tally.violation = Some((self.node, port, bits));
                         }
                     }
                 }
-                buckets[dest_chunk[port] as usize].push((dest_local[port], msg));
+                let chunk = sends.dest_chunk[port];
+                let local = sends.dest_local[port];
+                if chunk == LOCAL_CHUNK {
+                    // Intra-chunk fast path: write straight into the local
+                    // next-round mailbox. An occupied slot means a duplicate
+                    // same-port send; route the duplicate through the
+                    // sender chunk's own staging bucket so the delivery
+                    // phase applies the canonical halted-before-duplicate
+                    // semantics (same error, same round, as cross-chunk).
+                    let slot = &mut sends.nxt[local as usize];
+                    if slot.is_none() {
+                        *slot = Some(msg);
+                        sends.dirty_nxt.push(local);
+                    } else {
+                        sends.buckets[sends.self_bucket].push((local, msg));
+                    }
+                } else {
+                    sends.tally.cross_messages += 1;
+                    sends.buckets[chunk as usize].push((local, msg));
+                }
             }
             OutboxRepr::Collect(out) => out.push((port, msg)),
         }

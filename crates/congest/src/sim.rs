@@ -9,11 +9,10 @@
 //! guarantee.
 
 use crate::cancel::Interrupt;
-use crate::engine::{
-    chunk_boundaries, finish_round, phase_deliver, phase_step, ChunkState, EngineArena,
-};
+use crate::engine::{finish_round, phase_deliver, phase_step, ChunkState, EngineArena};
 use crate::error::SimError;
 use crate::metrics::{BitBudget, RoundMetrics, SimReport};
+use crate::partition::Partition;
 use crate::process::Process;
 use crate::topology::{NodeId, Topology};
 
@@ -87,9 +86,9 @@ impl<P: Process> Simulator<P> {
     pub fn with_arena(topo: Topology, nodes: Vec<P>, arena: EngineArena<P>) -> Self {
         assert_eq!(nodes.len(), topo.len(), "need exactly one program per node");
         let n = nodes.len();
-        let bounds = chunk_boundaries(&topo, 1);
+        let part = Partition::contiguous(&topo, 1);
         let mut chunk = arena.chunk;
-        chunk.rebuild(&topo, &bounds, 0);
+        chunk.rebuild(&topo, &part, 0);
         chunk.nodes = nodes;
         Self {
             topo,
@@ -217,6 +216,8 @@ impl<P: Process> Simulator<P> {
         )?;
         self.round += 1;
         self.report.absorb(rm, self.trace);
+        self.report
+            .record_cut(self.chunk.tally.messages, self.chunk.tally.cross_messages);
         Ok(rm)
     }
 

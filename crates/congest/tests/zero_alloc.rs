@@ -11,7 +11,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use dcover_congest::{Ctx, ParallelSimulator, Process, Simulator, Status, Topology};
+use dcover_congest::{
+    Ctx, ParallelSimulator, PartitionPolicy, Process, Simulator, Status, Topology,
+};
 
 /// System allocator wrapper that counts allocations (and reallocations).
 struct Counting;
@@ -128,6 +130,32 @@ fn parallel_steady_state_allocates_nothing() {
     assert_eq!(
         during, 0,
         "parallel round loop allocated {during} times in 100 steady-state rounds"
+    );
+}
+
+#[test]
+fn locality_fast_path_steady_state_allocates_nothing() {
+    // Under the locality policy most grid neighbours land in the same
+    // chunk, so the measured loop exercises the intra-chunk fast path
+    // (direct mailbox writes + dirty-list pushes) rather than the
+    // staging buckets. The guarantee is the same: once the dirty lists
+    // and the residual cross-chunk buckets reach capacity, a broadcast
+    // round performs zero heap allocations.
+    let topo = grid_topology(20, 20);
+    let n = topo.len();
+    let mut sim =
+        ParallelSimulator::with_partition(topo, flood_nodes(n, 400), 4, PartitionPolicy::Locality);
+    for _ in 0..20 {
+        sim.step().unwrap();
+    }
+    let before = allocs();
+    for _ in 0..100 {
+        sim.step().unwrap();
+    }
+    let during = allocs() - before;
+    assert_eq!(
+        during, 0,
+        "locality fast-path round loop allocated {during} times in 100 steady-state rounds"
     );
 }
 

@@ -82,7 +82,8 @@ pub use certificate::{Certificate, CertificateError};
 /// within a class. See [`SubmitOptions`].
 pub use dcover_congest::TaskClass as RequestClass;
 pub use dcover_congest::{
-    CancelToken, ClassMetrics, Interrupt, InterruptReason, LatencyHistogram, TaskTiming,
+    CancelToken, ClassMetrics, Interrupt, InterruptReason, LatencyHistogram, PartitionPolicy,
+    TaskTiming,
 };
 pub use error::SolveError;
 pub use invariants::{approximation_holds, InvariantChecker, DEFAULT_TOLERANCE};

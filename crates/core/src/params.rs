@@ -12,7 +12,7 @@
 //! * `α ≥ 2` — the bid growth factor; Theorem 9 picks it from `Δ`, `f`, `ε`
 //!   to obtain the optimal `O(log Δ / log log Δ)` bound.
 
-use dcover_congest::BitBudget;
+use dcover_congest::{BitBudget, PartitionPolicy};
 
 use crate::error::SolveError;
 
@@ -230,6 +230,7 @@ pub struct MwhvcConfig {
     budget: Option<BitBudget>,
     trace: bool,
     max_rounds: Option<u64>,
+    partition: PartitionPolicy,
 }
 
 impl MwhvcConfig {
@@ -251,6 +252,7 @@ impl MwhvcConfig {
             budget: None,
             trace: false,
             max_rounds: None,
+            partition: PartitionPolicy::default(),
         })
     }
 
@@ -311,6 +313,20 @@ impl MwhvcConfig {
     #[must_use]
     pub fn with_trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Sets the chunk partition policy for parallel solves:
+    /// [`PartitionPolicy::Locality`] clusters connected nodes into the
+    /// same worker chunk so most messages take the engine's intra-chunk
+    /// fast path. Results are bit-identical either way (and identical to
+    /// sequential solves); the policy only affects scheduling and the
+    /// intra/cross-chunk message split reported in the
+    /// [`SimReport`](dcover_congest::SimReport). Sequential solves ignore
+    /// it (one chunk).
+    #[must_use]
+    pub fn with_partition(mut self, partition: PartitionPolicy) -> Self {
+        self.partition = partition;
         self
     }
 
@@ -378,6 +394,12 @@ impl MwhvcConfig {
     #[must_use]
     pub fn max_rounds(&self) -> Option<u64> {
         self.max_rounds
+    }
+
+    /// The chunk partition policy used by parallel solves.
+    #[must_use]
+    pub fn partition(&self) -> PartitionPolicy {
+        self.partition
     }
 }
 
@@ -452,12 +474,18 @@ mod tests {
             .with_alpha(AlphaPolicy::Fixed(2))
             .with_variant(Variant::HalfBid)
             .with_trace(true)
-            .with_max_rounds(99);
+            .with_max_rounds(99)
+            .with_partition(PartitionPolicy::Locality);
         assert_eq!(cfg.epsilon(), 0.5);
         assert_eq!(cfg.alpha(), AlphaPolicy::Fixed(2));
         assert_eq!(cfg.variant(), Variant::HalfBid);
         assert!(cfg.trace());
         assert_eq!(cfg.max_rounds(), Some(99));
+        assert_eq!(cfg.partition(), PartitionPolicy::Locality);
+        assert_eq!(
+            MwhvcConfig::new(0.5).unwrap().partition(),
+            PartitionPolicy::Contiguous
+        );
     }
 
     #[test]

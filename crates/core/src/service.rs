@@ -1031,6 +1031,8 @@ impl SolveService {
     ) -> impl FnOnce(&mut EngineArena<MwhvcNode>) -> Result<CoverResult, SolveError> + Send + 'static
     {
         let cache = Arc::clone(&self.cache);
+        let metrics = Arc::clone(&self.metrics);
+        let class = envelope.task.class;
         let solver = solver.with_interrupt(envelope.interrupt.clone());
         let submitted = envelope.submitted;
         #[cfg(test)]
@@ -1059,6 +1061,11 @@ impl SolveService {
                 other => other,
             };
             if let Ok(r) = &result {
+                metrics.record_cut(
+                    class,
+                    r.report.intra_chunk_messages,
+                    r.report.cross_chunk_messages,
+                );
                 // Check the capacity before paying for the result copy, so
                 // a service with retention disabled (`with_result_cache(0)`)
                 // adds nothing to the pure-streaming hot path beyond one

@@ -144,9 +144,14 @@ impl SolveSession {
         }
         let (topo, nodes) = build_network(g, self.solver.config());
         let limit = self.solver.round_limit(g);
-        let mut sim = ParallelSimulator::with_pool(topo, nodes, self.service.take_pool())
-            .with_budget(self.solver.budget_for(g))
-            .with_trace(self.solver.config().trace());
+        let mut sim = ParallelSimulator::with_pool_partition(
+            topo,
+            nodes,
+            self.service.take_pool(),
+            self.solver.config().partition(),
+        )
+        .with_budget(self.solver.budget_for(g))
+        .with_trace(self.solver.config().trace());
         let run = sim.run(limit);
         let (nodes, report, pool) = sim.into_pool();
         self.service.put_pool(pool);

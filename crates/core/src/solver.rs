@@ -296,9 +296,10 @@ impl MwhvcSolver {
         }
         let (topo, nodes) = build_network(g, &self.config);
         let limit = self.round_limit(g);
-        let mut sim = ParallelSimulator::new(topo, nodes, threads)
-            .with_budget(self.budget_for(g))
-            .with_trace(self.config.trace());
+        let mut sim =
+            ParallelSimulator::with_partition(topo, nodes, threads, self.config.partition())
+                .with_budget(self.budget_for(g))
+                .with_trace(self.config.trace());
         if let Some(interrupt) = &self.interrupt {
             sim = sim.with_interrupt(interrupt.clone());
         }

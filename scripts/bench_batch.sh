@@ -7,6 +7,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_batch.json}"
-BENCH_BATCH_JSON="$(pwd)/$OUT" cargo bench -p dcover-bench --bench batch
+case "$OUT" in
+  /*) ABS="$OUT" ;;
+  *) ABS="$(pwd)/$OUT" ;;
+esac
+BENCH_BATCH_JSON="$ABS" cargo bench -p dcover-bench --bench batch
 echo "--- $OUT ---"
-cat "$OUT"
+cat "$ABS"

@@ -5,6 +5,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_engine.json}"
-BENCH_ENGINE_JSON="$(pwd)/$OUT" cargo bench -p dcover-bench --bench engine
+case "$OUT" in
+  /*) ABS="$OUT" ;;
+  *) ABS="$(pwd)/$OUT" ;;
+esac
+BENCH_ENGINE_JSON="$ABS" cargo bench -p dcover-bench --bench engine
 echo "--- $OUT ---"
-cat "$OUT"
+cat "$ABS"

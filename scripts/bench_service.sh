@@ -8,6 +8,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_service.json}"
-BENCH_SERVICE_JSON="$(pwd)/$OUT" cargo bench -p dcover-bench --bench service
+case "$OUT" in
+  /*) ABS="$OUT" ;;
+  *) ABS="$(pwd)/$OUT" ;;
+esac
+BENCH_SERVICE_JSON="$ABS" cargo bench -p dcover-bench --bench service
 echo "--- $OUT ---"
-cat "$OUT"
+cat "$ABS"

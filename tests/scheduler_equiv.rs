@@ -1,14 +1,17 @@
 //! Scheduler equivalence property tests: the sequential `Simulator` and the
-//! `ParallelSimulator` (at 1, 2, and 8 threads) must produce bit-identical
-//! `SimReport`s, node states, covers, levels, and duals — on random and
-//! structured hypergraph instances and on the full MWHVC protocol stack.
-//! This is the determinism contract of the zero-allocation round engine.
+//! `ParallelSimulator` (at 1, 2, and 8 threads, under both chunk partition
+//! policies) must produce bit-identical `SimReport`s, node states, covers,
+//! levels, and duals — on every generator family and on the full MWHVC
+//! protocol stack. This is the determinism contract of the zero-allocation
+//! round engine: node placement may change which worker steps a node and
+//! which messages take the intra-chunk fast path, but never any result.
 
 use distributed_covering::congest::{
-    Ctx, ParallelSimulator, Process, SimReport, Simulator, Status, Topology,
+    Ctx, ParallelSimulator, PartitionPolicy, Process, SimReport, Simulator, Status, Topology,
 };
 use distributed_covering::core::{MwhvcConfig, MwhvcSolver};
 use distributed_covering::hypergraph::generators::{
+    calibrated_degree, coverage_instance, planted_cover, preferential_attachment,
     random_mixed_rank, random_uniform, structured, RandomUniform, WeightDist,
 };
 use distributed_covering::hypergraph::Hypergraph;
@@ -16,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const POLICIES: [PartitionPolicy; 2] = [PartitionPolicy::Contiguous, PartitionPolicy::Locality];
 
 /// A deterministic stateful protocol with data-dependent fan-out, used to
 /// compare raw scheduler behaviour on the bipartite incidence network.
@@ -59,8 +63,14 @@ fn run_seq(topo: &Topology, nodes: Vec<Churn>) -> (SimReport, Vec<u64>) {
     (report, states)
 }
 
-fn run_par(topo: &Topology, nodes: Vec<Churn>, threads: usize) -> (SimReport, Vec<u64>) {
-    let mut sim = ParallelSimulator::new(topo.clone(), nodes, threads).with_trace(true);
+fn run_par(
+    topo: &Topology,
+    nodes: Vec<Churn>,
+    threads: usize,
+    policy: PartitionPolicy,
+) -> (SimReport, Vec<u64>) {
+    let mut sim =
+        ParallelSimulator::with_partition(topo.clone(), nodes, threads, policy).with_trace(true);
     let report = sim.run(64).expect("terminates");
     let (nodes, _) = sim.into_parts();
     let states = nodes.iter().map(|n| n.state).collect();
@@ -78,15 +88,17 @@ fn assert_equivalent_on(topo: &Topology, label: &str) {
     };
     let (seq_report, seq_states) = run_seq(topo, make());
     for threads in THREAD_COUNTS {
-        let (par_report, par_states) = run_par(topo, make(), threads);
-        assert_eq!(
-            seq_report, par_report,
-            "{label}: report at {threads} threads"
-        );
-        assert_eq!(
-            seq_states, par_states,
-            "{label}: states at {threads} threads"
-        );
+        for policy in POLICIES {
+            let (par_report, par_states) = run_par(topo, make(), threads, policy);
+            assert_eq!(
+                seq_report, par_report,
+                "{label}: report at {threads} threads ({policy})"
+            );
+            assert_eq!(
+                seq_states, par_states,
+                "{label}: states at {threads} threads ({policy})"
+            );
+        }
     }
 }
 
@@ -117,12 +129,52 @@ fn instances() -> Vec<(String, Hypergraph)> {
         ),
     ));
     out.push((
+        "planted_cover".into(),
+        planted_cover(50, 110, 3, 8, 40, &mut rng).0,
+    ));
+    out.push((
+        "preferential_attachment".into(),
+        preferential_attachment(
+            48,
+            100,
+            3,
+            &WeightDist::Uniform { min: 1, max: 50 },
+            &mut rng,
+        ),
+    ));
+    out.push((
+        "calibrated_degree".into(),
+        calibrated_degree(3, 7, 4, &WeightDist::Uniform { min: 1, max: 20 }, &mut rng),
+    ));
+    out.push((
+        "geometric_coverage".into(),
+        coverage_instance(
+            40,
+            24,
+            0.22,
+            4,
+            &WeightDist::Uniform { min: 1, max: 30 },
+            &mut rng,
+        )
+        .system
+        .to_hypergraph()
+        .expect("coverage instances are valid"),
+    ));
+    out.push(("structured_star".into(), structured::star(20, 100, 3)));
+    out.push(("structured_clique".into(), structured::clique(11)));
+    out.push(("structured_path".into(), structured::path(30)));
+    out.push(("structured_cycle".into(), structured::cycle(28)));
+    out.push((
         "structured_sunflower".into(),
         structured::sunflower(9, 2, 4, 3, 1),
     ));
     out.push((
         "structured_f_partite".into(),
         structured::complete_f_partite(3, 5),
+    ));
+    out.push((
+        "structured_hyper_star".into(),
+        structured::hyper_star(3, 9, 50),
     ));
     out
 }
@@ -138,24 +190,34 @@ fn raw_schedulers_agree_on_incidence_networks() {
 #[test]
 fn mwhvc_protocol_identical_across_schedulers() {
     for (label, g) in instances() {
-        let solver = MwhvcSolver::new(MwhvcConfig::new(0.5).unwrap());
-        let seq = solver.solve(&g).expect(&label);
-        for threads in THREAD_COUNTS {
-            let par = solver.solve_parallel(&g, threads).expect(&label);
-            assert_eq!(seq.cover, par.cover, "{label}: cover at {threads} threads");
-            assert_eq!(
-                seq.levels, par.levels,
-                "{label}: levels at {threads} threads"
-            );
-            assert_eq!(seq.duals, par.duals, "{label}: duals at {threads} threads");
-            assert_eq!(
-                seq.report, par.report,
-                "{label}: SimReport at {threads} threads"
-            );
-            assert_eq!(
-                seq.iterations, par.iterations,
-                "{label}: iterations at {threads} threads"
-            );
+        let seq = MwhvcSolver::new(MwhvcConfig::new(0.5).unwrap())
+            .solve(&g)
+            .expect(&label);
+        for policy in POLICIES {
+            let solver = MwhvcSolver::new(MwhvcConfig::new(0.5).unwrap().with_partition(policy));
+            for threads in THREAD_COUNTS {
+                let par = solver.solve_parallel(&g, threads).expect(&label);
+                assert_eq!(
+                    seq.cover, par.cover,
+                    "{label}: cover at {threads} threads ({policy})"
+                );
+                assert_eq!(
+                    seq.levels, par.levels,
+                    "{label}: levels at {threads} threads ({policy})"
+                );
+                assert_eq!(
+                    seq.duals, par.duals,
+                    "{label}: duals at {threads} threads ({policy})"
+                );
+                assert_eq!(
+                    seq.report, par.report,
+                    "{label}: SimReport at {threads} threads ({policy})"
+                );
+                assert_eq!(
+                    seq.iterations, par.iterations,
+                    "{label}: iterations at {threads} threads ({policy})"
+                );
+            }
         }
     }
 }
