@@ -61,6 +61,17 @@ pub enum SimError {
         /// Nodes still running when the run stopped.
         active: usize,
     },
+    /// The worker pool's round-reply channel closed mid-round: every
+    /// worker thread died without returning the dispatched chunks
+    /// (thread spawn teardown or a crash outside the per-task panic
+    /// containment). The simulator is poisoned — the in-flight chunks are
+    /// gone — but the *scheduler thread* survives with a typed error
+    /// instead of a panic, so a serving layer can fail the one solve and
+    /// rebuild its pool. (Formerly an `expect("worker pool alive")`.)
+    SchedulerLost {
+        /// The round that was being dispatched when the pool vanished.
+        round: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -96,6 +107,10 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "run interrupted ({reason}) at round boundary {round} with {active} nodes still active"
+            ),
+            SimError::SchedulerLost { round } => write!(
+                f,
+                "worker pool lost while dispatching round {round}: every worker died without replying"
             ),
         }
     }

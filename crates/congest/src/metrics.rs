@@ -143,6 +143,9 @@ impl BitBudget {
     /// Panics if `bits == 0`.
     #[must_use]
     pub fn new(bits: u64) -> Self {
+        // invariant: documented precondition (see `# Panics`) on a
+        // construction-time config value — never reached from queue or
+        // round state; solve paths validate budgets before building one.
         assert!(bits > 0, "budget must be positive");
         Self { bits }
     }
@@ -155,6 +158,8 @@ impl BitBudget {
     /// Panics if `n == 0` or `c == 0`.
     #[must_use]
     pub fn congest(n: usize, c: u64) -> Self {
+        // invariant: documented precondition (see `# Panics`) on a
+        // construction-time config value, as in `new`.
         assert!(n > 0 && c > 0, "need nodes and a positive constant");
         let log = (usize::BITS - (n - 1).leading_zeros()).max(1) as u64;
         Self::new(c * log)
@@ -574,10 +579,11 @@ impl SchedMetrics {
     /// model-checked scenarios.
     pub fn record_cut(&self, class: TaskClass, intra: u64, cross: u64) {
         let c = &self.classes[class.index()];
-        // relaxed: independent monotonic counters for observability only
+        // relaxed: independent monotonic counter for observability only
         // (outside the ledger identity; never a synchronization carrier —
         // snapshots tolerate observing the two adds in any order).
         c.intra_chunk_msgs.fetch_add(intra, Ordering::Relaxed);
+        // relaxed: same argument as the intra-chunk counter above.
         c.cross_chunk_msgs.fetch_add(cross, Ordering::Relaxed);
     }
 

@@ -89,6 +89,19 @@ pub struct ParallelSimulator<P: Process + 'static> {
     interrupt: Option<Interrupt>,
 }
 
+/// Unwraps a chunk (or inbound-container) slot. Every slot access in
+/// this module funnels through here so the home/out argument lives in
+/// exactly one place.
+//
+// invariant: slots are `None` only while their chunk (or container) is
+// out on the worker pool *inside* `step` — every dispatch is matched by
+// a receive in the same call, and on the two early exits (a re-raised
+// node panic, `SchedulerLost`) the simulator is poisoned and never
+// stepped again. Everywhere else, everything is home.
+fn home<T>(slot: Option<T>) -> T {
+    slot.expect("chunk or inbound container is home")
+}
+
 impl<P: Process + 'static> ParallelSimulator<P> {
     /// Creates a parallel simulator with a freshly spawned pool of up to
     /// `threads` persistent worker threads (capped at the node count).
@@ -116,6 +129,9 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         threads: usize,
         policy: PartitionPolicy,
     ) -> Self {
+        // invariant: documented construction-time precondition (see
+        // `# Panics`) on a caller-supplied thread count — never reached
+        // from round or solve state.
         assert!(threads > 0, "need at least one worker thread");
         let workers = threads.min(nodes.len()).max(1);
         Self::with_pool_partition(topo, nodes, SimPool::new(workers), policy)
@@ -152,6 +168,9 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         pool: SimPool<P>,
         policy: PartitionPolicy,
     ) -> Self {
+        // invariant: documented construction-time precondition (see
+        // `# Panics`) tying the caller's program vector to its topology —
+        // checked before any chunk state exists.
         assert_eq!(nodes.len(), topo.len(), "need exactly one program per node");
         let n = nodes.len();
         let workers = pool.workers().min(n).max(1);
@@ -177,6 +196,9 @@ impl<P: Process + 'static> ParallelSimulator<P> {
                 let mut arena = pool.take_arena();
                 arena.chunk.rebuild(&topo, &part, index);
                 let (start, end) = (part.bounds()[index], part.bounds()[index + 1]);
+                // invariant: `Partition::new` produces a permutation of
+                // `0..n` — `node_at` visits every id exactly once, so no
+                // slot is taken twice.
                 arena.chunk.nodes.extend(
                     (start..end).map(|pos| slots[part.node_at(pos)].take().expect("placed once")),
                 );
@@ -262,7 +284,7 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         let pos = self.part.position(id);
         let bounds = self.part.bounds();
         let c = bounds[1..].partition_point(|&b| b <= pos);
-        let chunk = self.chunks[c].as_ref().expect("chunk is home");
+        let chunk = home(self.chunks[c].as_ref());
         &chunk.nodes[pos - bounds[c]]
     }
 
@@ -284,7 +306,7 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         let nodes = if self.part.is_identity() {
             let mut nodes = Vec::with_capacity(n);
             for slot in &mut self.chunks {
-                let mut chunk = slot.take().expect("chunk is home");
+                let mut chunk = home(slot.take());
                 nodes.append(&mut chunk.nodes);
                 self.pool.put_arena(EngineArena { chunk });
             }
@@ -295,7 +317,7 @@ impl<P: Process + 'static> ParallelSimulator<P> {
             let mut out: Vec<Option<P>> = Vec::with_capacity(n);
             out.resize_with(n, || None);
             for slot in &mut self.chunks {
-                let mut chunk = slot.take().expect("chunk is home");
+                let mut chunk = home(slot.take());
                 let ChunkState {
                     nodes: chunk_nodes,
                     global_ids,
@@ -306,6 +328,9 @@ impl<P: Process + 'static> ParallelSimulator<P> {
                 }
                 self.pool.put_arena(EngineArena { chunk });
             }
+            // invariant: the per-chunk `global_ids` tables are the
+            // inverse of the placement permutation above — the scatter
+            // fills every slot exactly once.
             out.into_iter()
                 .map(|slot| slot.expect("every node returned"))
                 .collect()
@@ -325,7 +350,9 @@ impl<P: Process + 'static> ParallelSimulator<P> {
     /// sent two messages over one directed link (delivery happens at the
     /// start of the next dispatch, so the violation surfaces one `step`
     /// later than in the sequential scheduler; `run` reports it either
-    /// way).
+    /// way). Returns [`SimError::SchedulerLost`] if every worker thread
+    /// died with this round's chunks still dispatched; the simulator is
+    /// poisoned afterwards.
     ///
     /// # Panics
     ///
@@ -340,16 +367,16 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         // slot arena: the chunk gets last round's drained bucket (capacity
         // intact) to stage into while its fresh bucket is out for delivery.
         for d in 0..workers {
-            let mut inbound = self.inbound_pool[d].take().expect("container is home");
+            let mut inbound = home(self.inbound_pool[d].take());
             if inbound.is_empty() {
                 // First round: nothing staged yet, hand out empty buckets.
                 for s in 0..workers {
-                    let src = self.chunks[s].as_mut().expect("chunk is home");
+                    let src = home(self.chunks[s].as_mut());
                     inbound.push(std::mem::take(&mut src.stage[d]));
                 }
             } else {
                 for (s, slot) in inbound.iter_mut().enumerate() {
-                    let src = self.chunks[s].as_mut().expect("chunk is home");
+                    let src = home(self.chunks[s].as_mut());
                     std::mem::swap(&mut src.stage[d], slot);
                 }
             }
@@ -361,13 +388,21 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         // they are never starved behind queued task submissions; any
         // worker may run any chunk (the chunk index rides along).
         for w in 0..workers {
-            let chunk = self.chunks[w].take().expect("chunk is home");
-            let inbound = self.inbound_pool[w].take().expect("container is home");
+            let chunk = home(self.chunks[w].take());
+            let inbound = home(self.inbound_pool[w].take());
             self.pool
                 .send_round(w, chunk, inbound, self.round, self.budget);
         }
         for _ in 0..workers {
-            match self.pool.recv_reply() {
+            // A closed reply channel means every worker thread died with
+            // this round's chunks still out — a typed error (the serving
+            // layer fails the solve and rebuilds its pool) rather than a
+            // scheduler panic. The simulator is poisoned afterwards.
+            let reply = self
+                .pool
+                .recv_reply()
+                .map_err(|_| SimError::SchedulerLost { round: self.round })?;
+            match reply {
                 Reply::Done {
                     index,
                     chunk,
@@ -389,7 +424,7 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         // from the sequential scheduler's pick (which detects in send
         // order, same-step) — both always report *a* violation.
         for slot in &self.chunks {
-            let chunk = slot.as_ref().expect("chunk is home");
+            let chunk = home(slot.as_ref());
             if let Some(err) = chunk.delivery_error.clone() {
                 return Err(err);
             }
@@ -400,7 +435,7 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         // (= node id order).
         let mut merged = SendTally::default();
         for slot in &mut self.chunks {
-            let chunk = slot.as_mut().expect("chunk is home");
+            let chunk = home(slot.as_mut());
             merged.merge(&chunk.tally);
             self.active -= chunk.newly_halted as usize;
         }
@@ -431,9 +466,9 @@ impl<P: Process + 'static> ParallelSimulator<P> {
         let sent_round = self.round.checked_sub(1)?;
         let workers = self.chunks.len();
         for d in 0..workers {
-            let dest = self.chunks[d].as_ref().expect("chunk is home");
+            let dest = home(self.chunks[d].as_ref());
             let staged = (0..workers).flat_map(|s| {
-                let src = self.chunks[s].as_ref().expect("chunk is home");
+                let src = home(self.chunks[s].as_ref());
                 src.stage[d].iter().map(|&(lslot, _)| lslot)
             });
             if let Some(err) = dest.scan_undelivered_duplicate(staged, sent_round) {

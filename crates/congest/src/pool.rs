@@ -96,7 +96,7 @@ use crate::engine::{phase_deliver, phase_step, ChunkState, EngineArena};
 use crate::metrics::{BitBudget, SchedMetrics};
 use crate::process::Process;
 use crate::sync::thread::JoinHandle;
-use crate::sync::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex, MutexGuard};
 
 /// Per-destination staging buckets: `buckets[s]` holds the messages chunk
 /// `s` staged for one destination chunk, as `(destination-local slot,
@@ -418,6 +418,30 @@ struct Shared<P: Process> {
 }
 
 impl<P: Process> Shared<P> {
+    /// Locks the queue state. Every queue-lock site in this module goes
+    /// through here so the poison argument lives in exactly one place.
+    //
+    // invariant: the queue mutex cannot be poisoned — no user code ever
+    // runs under it. Workers release it (`drop(state)`) before running
+    // task closures or filling ticket slots, submitters only move owned
+    // data into the lanes, and the bookkeeping under the lock is
+    // arithmetic on plain integers and VecDeque operations. A poison here
+    // is a scheduler bug, and halting on it is exactly what the
+    // conc-check scenarios need to observe.
+    fn locked(&self) -> MutexGuard<'_, QueueState<P>> {
+        self.state.lock().expect("queue mutex")
+    }
+
+    /// Locks the arena free list.
+    //
+    // invariant: the arena mutex cannot be poisoned — the critical
+    // sections below are Vec push/pop and capacity comparisons on owned
+    // arenas; user closures receive an arena only *after* it leaves the
+    // lock.
+    fn arenas_locked(&self) -> MutexGuard<'_, Vec<EngineArena<P>>> {
+        self.arenas.lock().expect("arena mutex")
+    }
+
     /// Blocking pop: the worker side of the queue. Returns `None` when
     /// the pool is stopping and the queue has drained. Tasks whose
     /// deadline passed — or whose cancel token was cancelled — while
@@ -427,7 +451,7 @@ impl<P: Process> Shared<P> {
     /// a bulk-lane head older than the bound is served ahead of the
     /// interactive lane.
     fn pop(&self) -> Option<Popped<P>> {
-        let mut state = self.state.lock().expect("queue mutex");
+        let mut state = self.locked();
         loop {
             if let Some(job) = state.rounds.pop_front() {
                 return Some(Popped::Round(job));
@@ -486,7 +510,7 @@ impl<P: Process> Shared<P> {
                         },
                     );
                     drop(task);
-                    state = self.state.lock().expect("queue mutex");
+                    state = self.locked();
                     continue;
                 }
                 return Some(Popped::Task(task, waited));
@@ -494,6 +518,9 @@ impl<P: Process> Shared<P> {
             if state.stop {
                 return None;
             }
+            // invariant: same argument as `locked` — waking from a
+            // condvar wait re-acquires the queue mutex, which no user
+            // code can poison.
             state = self.not_empty.wait(state).expect("queue mutex");
         }
     }
@@ -501,7 +528,7 @@ impl<P: Process> Shared<P> {
     /// Pushes a round job (priority over every queued task; never
     /// bounded).
     fn push_round(&self, job: RoundJob<P>) {
-        let mut state = self.state.lock().expect("queue mutex");
+        let mut state = self.locked();
         state.rounds.push_back(job);
         drop(state);
         self.not_empty.notify_one();
@@ -510,7 +537,7 @@ impl<P: Process> Shared<P> {
     /// Blocking task push: waits while the queue is at capacity. Returns
     /// the task back if the pool has stopped.
     fn push_task(&self, task: QueuedTask<P>) -> Result<(), QueuedTask<P>> {
-        let mut state = self.state.lock().expect("queue mutex");
+        let mut state = self.locked();
         loop {
             if state.stop {
                 return Err(task);
@@ -524,13 +551,15 @@ impl<P: Process> Shared<P> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
+            // invariant: same argument as `locked` — the re-acquired
+            // queue mutex is never poisoned.
             state = self.not_full.wait(state).expect("queue mutex");
         }
     }
 
     /// Non-blocking task push.
     fn try_push_task(&self, task: QueuedTask<P>) -> Result<(), (QueuedTask<P>, TrySubmitError)> {
-        let mut state = self.state.lock().expect("queue mutex");
+        let mut state = self.locked();
         if state.stop {
             return Err((task, TrySubmitError::Closed));
         }
@@ -549,11 +578,7 @@ impl<P: Process> Shared<P> {
 
     /// Checks an arena out of the free list (or builds a fresh one).
     fn take_arena(&self) -> EngineArena<P> {
-        self.arenas
-            .lock()
-            .expect("arena mutex")
-            .pop()
-            .unwrap_or_default()
+        self.arenas_locked().pop().unwrap_or_default()
     }
 
     /// Returns an arena to the free list. At the bound, the *smallest*
@@ -562,7 +587,7 @@ impl<P: Process> Shared<P> {
     /// warmed arenas, those arenas must not be dropped on return — their
     /// grown capacity is exactly what the next solve wants to reuse.
     fn put_arena(&self, arena: EngineArena<P>) {
-        let mut arenas = self.arenas.lock().expect("arena mutex");
+        let mut arenas = self.arenas_locked();
         if arenas.len() < self.max_arenas {
             arenas.push(arena);
             return;
@@ -665,11 +690,23 @@ impl TaskSlot {
         })
     }
 
+    /// Locks the completion slot. Every slot-lock site goes through here.
+    //
+    // invariant: the slot mutex cannot be poisoned — the critical
+    // sections are an Option take/store and an is_some check; no user
+    // code runs under it (the task closure finished before `fill` is
+    // called, and `wait` only moves the already-computed result out).
+    fn locked(&self) -> MutexGuard<'_, Option<(Result<TaskResult, TaskError>, TaskTiming)>> {
+        self.done.lock().expect("slot mutex")
+    }
+
     fn fill(&self, result: Result<TaskResult, TaskError>, timing: TaskTiming) {
-        let mut done = self.done.lock().expect("slot mutex");
-        // Exactly-once ticket ledger: a hard assert (not debug_assert) so
-        // the conc-check scenarios catch a double resolution as a panic in
-        // any build profile.
+        let mut done = self.locked();
+        // invariant: exactly-once ticket ledger — each QueuedTask holds
+        // the only filling reference to its slot, and the worker loop /
+        // discard path resolves it exactly once. A hard assert (not
+        // debug_assert) so the conc-check scenarios catch a double
+        // resolution as a panic in any build profile.
         assert!(done.is_none(), "a task completes exactly once");
         *done = Some((result, timing));
         drop(done);
@@ -702,11 +739,13 @@ impl<T: Send + 'static> TaskTicket<T> {
     /// queue-wait and run time.
     #[must_use = "a task panic or expiry is reported through the returned Result"]
     pub fn wait_timed(self) -> (Result<T, TaskError>, TaskTiming) {
-        let mut done = self.slot.done.lock().expect("slot mutex");
+        let mut done = self.slot.locked();
         loop {
             if let Some((result, timing)) = done.take() {
                 return (result.map(downcast_result), timing);
             }
+            // invariant: same argument as `TaskSlot::locked` — waking
+            // re-acquires the slot mutex, which no user code can poison.
             done = self.slot.cv.wait(done).expect("slot mutex");
         }
     }
@@ -721,7 +760,7 @@ impl<T: Send + 'static> TaskTicket<T> {
     /// Like [`try_wait`](Self::try_wait), additionally reporting the
     /// task's queue-wait and run time on completion.
     pub fn try_wait_timed(self) -> Result<(Result<T, TaskError>, TaskTiming), Self> {
-        let taken = self.slot.done.lock().expect("slot mutex").take();
+        let taken = self.slot.locked().take();
         match taken {
             Some((result, timing)) => Ok((result.map(downcast_result), timing)),
             None => Err(self),
@@ -731,11 +770,14 @@ impl<T: Send + 'static> TaskTicket<T> {
     /// Whether the task has finished (its result is ready to take).
     #[must_use]
     pub fn is_done(&self) -> bool {
-        self.slot.done.lock().expect("slot mutex").is_some()
+        self.slot.locked().is_some()
     }
 }
 
 fn downcast_result<T: 'static>(boxed: TaskResult) -> T {
+    // invariant: `package` creates the ticket and the boxing closure as a
+    // pair with the same `T`, and the slot is filled only by that
+    // closure's output — the downcast cannot meet any other type.
     *boxed
         .downcast::<T>()
         .expect("task result downcasts to the submitted closure's return type")
@@ -744,10 +786,7 @@ fn downcast_result<T: 'static>(boxed: TaskResult) -> T {
 impl<T> std::fmt::Debug for TaskTicket<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TaskTicket")
-            .field(
-                "done",
-                &self.slot.done.lock().expect("slot mutex").is_some(),
-            )
+            .field("done", &self.slot.locked().is_some())
             .finish()
     }
 }
@@ -808,7 +847,7 @@ impl<P: Process> Clone for TaskQueue<P> {
 
 impl<P: Process> std::fmt::Debug for TaskQueue<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let queued = self.shared.state.lock().expect("queue mutex").queued_tasks;
+        let queued = self.shared.locked().queued_tasks;
         f.debug_struct("TaskQueue")
             .field("capacity", &self.shared.capacity)
             .field("queued", &queued)
@@ -901,7 +940,7 @@ impl<P: Process + 'static> TaskQueue<P> {
     /// excludes tasks a worker has already picked up).
     #[must_use]
     pub fn queued(&self) -> usize {
-        self.shared.state.lock().expect("queue mutex").queued_tasks
+        self.shared.locked().queued_tasks
     }
 
     /// How long the oldest still-queued task of `class` has been
@@ -915,7 +954,7 @@ impl<P: Process + 'static> TaskQueue<P> {
     /// is precisely what stops happening while the class is starved.
     #[must_use]
     pub fn oldest_queued_wait(&self, class: TaskClass) -> Option<Duration> {
-        let state = self.shared.state.lock().expect("queue mutex");
+        let state = self.shared.locked();
         state.lanes[class.index()]
             .front()
             .map(|head| head.enqueued.elapsed())
@@ -1058,7 +1097,13 @@ impl<P: Process + 'static> SimPool<P> {
         metrics: Arc<SchedMetrics>,
         policy: QueuePolicy,
     ) -> Self {
+        // invariant: documented construction-time preconditions (see the
+        // `# Panics` sections on every constructor) on caller-supplied
+        // configuration — never reached from queue, round, or solve
+        // state.
         assert!(threads > 0, "need at least one worker thread");
+        // invariant: same as above — a documented `# Panics`
+        // precondition on caller-supplied configuration.
         assert!(
             capacity > 0,
             "task queue needs capacity for at least one task"
@@ -1083,6 +1128,11 @@ impl<P: Process + 'static> SimPool<P> {
         for w in 0..threads {
             let shared = Arc::clone(&shared);
             let replies = reply_tx.clone();
+            // invariant: OS thread spawn fails only on process-level
+            // resource exhaustion, at pool *construction* (service
+            // startup or explicit rebuild) — never mid-solve. There is
+            // nothing to roll back and no caller that could meaningfully
+            // continue without its workers.
             handles.push(
                 crate::sync::thread::Builder::new()
                     .name(format!("congest-worker-{w}"))
@@ -1198,6 +1248,9 @@ impl<P: Process + 'static> SimPool<P> {
         F: FnOnce(&mut EngineArena<P>) -> T + Send + 'static,
     {
         let queue = self.queue();
+        // invariant: `&mut self` proves the pool is alive — `submit` only
+        // fails after the destructor sets `stop`, which cannot run while
+        // this borrow exists.
         let tickets: Vec<TaskTicket<T>> = tasks
             .into_iter()
             .map(|f| queue.submit(f).expect("own pool is open"))
@@ -1213,6 +1266,9 @@ impl<P: Process + 'static> SimPool<P> {
                     }
                 }
                 Err(TaskError::Expired { .. }) | Err(TaskError::Cancelled { .. }) => {
+                    // invariant: `run_tasks` submits with
+                    // `TaskOptions::default()` — no deadline and no
+                    // cancel token — so neither resolution can occur.
                     unreachable!("run_tasks submits without deadlines or cancel tokens")
                 }
             }
@@ -1253,15 +1309,24 @@ impl<P: Process + 'static> SimPool<P> {
     }
 
     /// Receives the next finished round job.
-    pub(crate) fn recv_reply(&self) -> Reply<P> {
-        self.rx.recv().expect("worker pool alive")
+    ///
+    /// # Errors
+    ///
+    /// `Err` means every worker thread has exited with round jobs still
+    /// outstanding — the dispatched chunks are gone and the pool cannot
+    /// finish the round. The parallel scheduler surfaces this as
+    /// [`SimError::SchedulerLost`](crate::SimError::SchedulerLost)
+    /// instead of panicking, so a serving layer can fail the one solve
+    /// and rebuild its pool.
+    pub(crate) fn recv_reply(&self) -> Result<Reply<P>, std::sync::mpsc::RecvError> {
+        self.rx.recv()
     }
 }
 
 impl<P: Process + 'static> Drop for SimPool<P> {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("queue mutex");
+            let mut state = self.shared.locked();
             state.stop = true;
         }
         // Wake every parked worker (to observe `stop`) and every blocked

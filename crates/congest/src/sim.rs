@@ -84,6 +84,9 @@ impl<P: Process> Simulator<P> {
     /// Panics if `nodes.len() != topo.len()`.
     #[must_use]
     pub fn with_arena(topo: Topology, nodes: Vec<P>, arena: EngineArena<P>) -> Self {
+        // invariant: documented construction-time precondition (see
+        // `# Panics`) tying the caller's program vector to its topology —
+        // checked before any engine state exists.
         assert_eq!(nodes.len(), topo.len(), "need exactly one program per node");
         let n = nodes.len();
         let part = Partition::contiguous(&topo, 1);

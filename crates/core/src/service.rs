@@ -115,8 +115,8 @@
 //! # }
 //! ```
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 use dcover_congest::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -466,10 +466,15 @@ struct CacheEntry {
 /// Bounded seq-keyed store of completed solves, evicting the
 /// oldest-inserted entry at capacity. Workers insert on completion;
 /// [`SolveService::submit_delta`] resolves predecessors out of it.
+/// A `BTreeMap` rather than a hash map: eviction order comes from the
+/// explicit `order` deque either way, but the determinism lint bans hash
+/// collections in result-producing crates outright — deterministic
+/// iteration is then a structural property, not a promise that nobody
+/// ever iterates `map`.
 #[derive(Debug)]
 struct ResultCache {
     capacity: usize,
-    map: HashMap<u64, CacheEntry>,
+    map: BTreeMap<u64, CacheEntry>,
     order: VecDeque<u64>,
 }
 
@@ -477,7 +482,7 @@ impl ResultCache {
     fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: VecDeque::new(),
         }
     }
@@ -601,6 +606,10 @@ impl SolveService {
     /// Panics if `threads == 0` or `capacity == 0`.
     #[must_use]
     pub fn with_queue_capacity(config: MwhvcConfig, threads: usize, capacity: usize) -> Self {
+        // invariant: documented construction-time precondition (see
+        // `# Panics`) on a caller-supplied thread count — never reached
+        // from queue or solve state. (capacity == 0 panics one frame
+        // down, in `SimPool::with_policy`, with the same justification.)
         assert!(threads > 0, "need at least one worker thread");
         let metrics = Arc::new(SchedMetrics::new());
         let service = Self {
@@ -617,6 +626,9 @@ impl SolveService {
             #[cfg(test)]
             pre_solve: Mutex::new(PreSolveHook::default()),
         };
+        // invariant: the service was constructed in the statement above
+        // and has never been shared — no other thread can hold (let
+        // alone poison) its pool mutex.
         *service.pool.lock().expect("pool mutex") = Some(service.build_pool());
         service
     }
@@ -631,9 +643,13 @@ impl SolveService {
     /// but safe at any point.
     #[must_use]
     pub fn with_result_cache(self, capacity: usize) -> Self {
+        // A poisoned cache mutex (a worker panicked mid-record) must not
+        // turn a resize into a second panic: the cache's own state is
+        // a plain map plus its insertion-order queue, coherent after any
+        // interrupted insert, so recover the guard and resize anyway.
         self.cache
             .lock()
-            .expect("result cache mutex")
+            .unwrap_or_else(PoisonError::into_inner)
             .resize(capacity);
         self
     }
@@ -649,7 +665,10 @@ impl SolveService {
     pub fn with_bulk_max_wait(mut self, bound: Duration) -> Self {
         self.policy = self.policy.with_bulk_max_wait(bound);
         let rebuilt = self.build_pool();
-        *self.pool.lock().expect("pool mutex") = Some(rebuilt);
+        // Recover a poisoned slot rather than panic: the slot is a plain
+        // `Option` (coherent after any unwind) and it is being
+        // overwritten wholesale anyway.
+        *self.pool.lock().unwrap_or_else(PoisonError::into_inner) = Some(rebuilt);
         self
     }
 
@@ -710,11 +729,12 @@ impl SolveService {
     /// solves a worker has already started; 0 after shutdown).
     #[must_use]
     pub fn queued(&self) -> usize {
+        // Observability must not amplify a failure: a poisoned pool
+        // mutex reads as an empty queue instead of a second panic.
         self.pool
             .lock()
-            .expect("pool mutex")
-            .as_ref()
-            .map_or(0, |pool| pool.queue().queued())
+            .map(|slot| slot.as_ref().map_or(0, |pool| pool.queue().queued()))
+            .unwrap_or(0)
     }
 
     /// Whether the service still accepts submissions.
@@ -915,10 +935,16 @@ impl SolveService {
         epsilon: Option<f64>,
         opts: SubmitOptions,
     ) -> Result<(Ticket, Arc<Hypergraph>), SubmitError> {
+        // A poisoned cache mutex (a worker panicked mid-record) resolves
+        // as the typed `UnknownBase` rather than a second panic: the
+        // base entry genuinely cannot be *trusted* to be resolvable, and
+        // the caller's recovery — resubmit from scratch via `submit` —
+        // is the same as for an evicted base. (Formerly an
+        // `expect("result cache mutex")`.)
         let entry = self
             .cache
             .lock()
-            .expect("result cache mutex")
+            .map_err(|_| SubmitError::UnknownBase { seq: base_seq })?
             .get(base_seq)
             .ok_or(SubmitError::UnknownBase { seq: base_seq })?;
         let epsilon = epsilon.unwrap_or(entry.epsilon);
@@ -954,7 +980,14 @@ impl SolveService {
     /// Idempotent.
     pub fn shutdown(&self) {
         self.open.store(false, Ordering::Release);
-        let pool = self.pool.lock().expect("pool mutex").take();
+        // Recover a poisoned slot rather than panic: shutdown must always
+        // complete, and the slot (`Option<SimPool>`) is coherent after
+        // any unwind — taking the pool still drains and joins it.
+        let pool = self
+            .pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
         // Dropping the pool performs the drain-and-join.
         drop(pool);
     }
@@ -977,7 +1010,12 @@ impl SolveService {
     /// handle is cloned out under the lock; the potentially-blocking
     /// submit itself runs with no service lock held.
     fn current_queue(&self) -> Result<TaskQueue<MwhvcNode>, SubmitError> {
-        let mut slot = self.pool.lock().expect("pool mutex");
+        // A poisoned pool mutex (a thread panicked while holding the
+        // slot — e.g. a worker-spawn failure during a revive) refuses
+        // the submission with the typed `ShutDown` instead of
+        // propagating the panic to every subsequent submitter. (Formerly
+        // an `expect("pool mutex")`.)
+        let mut slot = self.pool.lock().map_err(|_| SubmitError::ShutDown)?;
         // Checked under the pool lock so a revive cannot race a
         // concurrent shutdown's pool takedown.
         if !self.is_open() {
@@ -1070,14 +1108,21 @@ impl SolveService {
                 // a service with retention disabled (`with_result_cache(0)`)
                 // adds nothing to the pure-streaming hot path beyond one
                 // uncontended lock.
-                let enabled = cache.lock().expect("result cache mutex").capacity > 0;
+                // On a poisoned cache mutex, skip recording instead of
+                // panicking the worker: the solve itself succeeded and
+                // its ticket must still resolve `Ok`; only future
+                // delta-warm-starts against this seq are lost (they fail
+                // with the typed `UnknownBase`).
+                let enabled = cache.lock().is_ok_and(|c| c.capacity > 0);
                 if enabled {
                     let entry = CacheEntry {
                         graph: Arc::clone(&g),
                         result: Arc::new(r.clone()),
                         epsilon,
                     };
-                    cache.lock().expect("result cache mutex").insert(seq, entry);
+                    if let Ok(mut cache) = cache.lock() {
+                        cache.insert(seq, entry);
+                    }
                 }
             }
             result
@@ -1131,16 +1176,20 @@ impl SolveService {
     /// gone (after a shutdown the rebuilt pool serves round jobs only;
     /// the closed submission queue stays closed).
     pub(crate) fn take_pool(&self) -> SimPool<MwhvcNode> {
+        // Recover a poisoned slot rather than panic: the slot is a plain
+        // `Option`, coherent after any unwind, and an empty one just
+        // means a fresh pool is built — the normal revive path.
         self.pool
             .lock()
-            .expect("pool mutex")
+            .unwrap_or_else(PoisonError::into_inner)
             .take()
             .unwrap_or_else(|| self.build_pool())
     }
 
     /// Returns the pool after a chunk-parallel solve.
     pub(crate) fn put_pool(&self, pool: SimPool<MwhvcNode>) {
-        *self.pool.lock().expect("pool mutex") = Some(pool);
+        // Same poison-recovery argument as `take_pool`.
+        *self.pool.lock().unwrap_or_else(PoisonError::into_inner) = Some(pool);
     }
 }
 

@@ -1,0 +1,227 @@
+//! Diagnostics: spans, severities, stable rule ids, human and JSON output.
+
+use std::fmt::Write as _;
+
+/// How a diagnostic affects the lint exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Inventory only — reported in `--json` (and `--verbose` human
+    /// output), never fails the build. Used for the slice-indexing
+    /// panic-surface inventory.
+    Info,
+    /// Should be fixed but does not fail the build.
+    Warning,
+    /// Fails the build.
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, anchored to a `file:line:col` span.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule id (see [`crate::rules`]).
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based character column.
+    pub col: usize,
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        rule: &'static str,
+        severity: Severity,
+        file: &str,
+        line: usize,
+        col: usize,
+        message: String,
+        snippet: &str,
+    ) -> Self {
+        Diagnostic {
+            rule,
+            severity,
+            file: file.to_owned(),
+            line,
+            col,
+            message,
+            snippet: snippet.trim().to_owned(),
+        }
+    }
+
+    pub fn render(&self) -> String {
+        format!(
+            "{}: {}:{}:{}: [{}] {}\n    | {}",
+            self.severity.as_str(),
+            self.file,
+            self.line,
+            self.col,
+            self.rule,
+            self.message,
+            self.snippet
+        )
+    }
+}
+
+/// Aggregate result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Sort for stable output: file, line, col, rule.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+        });
+    }
+
+    /// Human-readable rendering. `verbose` includes Info-severity
+    /// inventory entries; otherwise only warnings and errors print.
+    pub fn render_human(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            if d.severity == Severity::Info && !verbose {
+                continue;
+            }
+            let _ = writeln!(out, "{}", d.render());
+        }
+        let _ = writeln!(
+            out,
+            "xtask lint: {} files scanned, {} error(s), {} warning(s), {} inventory entr{}",
+            self.files_scanned,
+            self.error_count(),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+            if self.count(Severity::Info) == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        );
+        out
+    }
+
+    /// Machine-readable JSON (hand-rolled; the workspace is offline and
+    /// xtask stays dependency-free).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"snippet\": {}}}",
+                json_str(d.rule),
+                json_str(d.severity.as_str()),
+                json_str(&d.file),
+                d.line,
+                d.col,
+                json_str(&d.message),
+                json_str(&d.snippet),
+            );
+            out.push_str(if i + 1 < self.diagnostics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let _ = write!(
+            out,
+            "  ],\n  \"summary\": {{\"files_scanned\": {}, \"errors\": {}, \"warnings\": {}, \"info\": {}}}\n}}\n",
+            self.files_scanned,
+            self.error_count(),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        );
+        out
+    }
+}
+
+/// JSON string escaping (control chars, quotes, backslashes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_counts_and_sort() {
+        let mut r = Report::default();
+        r.diagnostics.push(Diagnostic::new(
+            "b-rule",
+            Severity::Error,
+            "z.rs",
+            2,
+            1,
+            "m".into(),
+            "s",
+        ));
+        r.diagnostics.push(Diagnostic::new(
+            "a-rule",
+            Severity::Info,
+            "a.rs",
+            1,
+            1,
+            "m".into(),
+            "s",
+        ));
+        r.sort();
+        assert_eq!(r.diagnostics[0].file, "a.rs");
+        assert_eq!(r.error_count(), 1);
+        let j = r.render_json();
+        assert!(j.contains("\"errors\": 1"));
+        assert!(j.contains("\"info\": 1"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Repo automation: a multi-pass static-analysis suite for the
+//! distributed-covering workspace.
+//!
+//! `cargo run -p xtask -- lint` runs seven passes over every `.rs` file
+//! (including xtask's own sources — the linter holds itself to the rules
+//! it enforces):
+//!
+//! | id                    | guards                                             |
+//! |-----------------------|----------------------------------------------------|
+//! | `sync-facade`         | conccheck interposition in ported modules          |
+//! | `relaxed-order`       | justified relaxed atomics                          |
+//! | `wall-clock-sleep`    | sleeps model time, never synchronize               |
+//! | `unsafe-code`         | no unsafe outside the allowlist                    |
+//! | `panic-surface`       | no unexamined panics in the serving path           |
+//! | `congest-conformance` | protocol code stays inside the CONGEST model       |
+//! | `determinism`         | no hash collections in result-producing crates     |
+//!
+//! The scanner is comment- and string-literal-aware (see [`scan`]), every
+//! diagnostic carries a `file:line:col` span and a stable rule id
+//! ([`diag`]), and sites can be waived inline with a mandatory reason
+//! ([`waiver`]). The full catalog lives in `ANALYSIS.md` at the repo root.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod rules;
+pub mod runner;
+pub mod scan;
+pub mod waiver;

@@ -1,83 +1,76 @@
-//! `cargo run -p xtask -- lint`: hand-rolled source-invariant scanner
-//! (no dependencies). Rules — see CONCURRENCY.md for rationale:
+//! `cargo run -p xtask -- lint [--json] [--verbose] [--rule <id>]`
 //!
-//! 1. Modules ported to the `dcover_congest::sync` facade must not use
-//!    `std::sync` `Mutex`/`Condvar`, raw `std::sync::atomic` types, or
-//!    `std::thread` spawn/Builder (`std::sync::Arc`, `std::sync::mpsc`,
-//!    and `std::sync::atomic::Ordering` stay allowed).
-//! 2. Every `Ordering::Relaxed` use needs a `// relaxed:` justification on
-//!    the same line or in the contiguous non-blank run of lines above
-//!    (one justification covers the statement cluster beneath it).
-//! 3. Every `thread::sleep` needs a `// wall-clock:` justification likewise
-//!    (sleeps must model wall-clock time, never act as synchronization).
-//! 4. `unsafe` is forbidden outside an explicit allowlist.
+//! Thin CLI over the [`xtask`] library: exit code 1 iff any
+//! Error-severity diagnostic was produced. `--json` prints the
+//! machine-readable report to stdout (human text goes to stderr so the
+//! JSON stream stays clean); `--verbose` includes the Info-severity
+//! slice-indexing inventory in human output; `--rule` restricts to one
+//! pass for focused runs.
 
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// Files ported to the sync facade (rule 1 applies).
-const FACADE_FILES: &[&str] = &[
-    "crates/congest/src/pool.rs",
-    "crates/congest/src/cancel.rs",
-    "crates/congest/src/metrics.rs",
-    "crates/core/src/service.rs",
-];
-
-/// Files allowed to contain `unsafe` (rule 4).
-const UNSAFE_ALLOWLIST: &[&str] = &[
-    // Test-only global allocator used by the zero-allocation assertions.
-    "crates/congest/tests/zero_alloc.rs",
-];
-
-/// Directories never scanned.
-const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
-
-/// The offline stand-ins for external crates mirror upstream APIs and are
-/// exempt from the style rules (but not from the unsafe rule).
-fn is_shim(rel: &str) -> bool {
-    rel.starts_with("crates/shims/")
-}
+use xtask::config::LintConfig;
+use xtask::runner::{run, LintOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- lint [--json] [--verbose] [--rule <id>]");
             ExitCode::FAILURE
         }
     }
 }
 
-fn lint() -> ExitCode {
-    let root = repo_root();
-    let mut files = Vec::new();
-    collect_rs_files(&root, &root, &mut files);
-    files.sort();
-
-    let mut violations = Vec::new();
-    for rel in &files {
-        let path = root.join(rel);
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                violations.push(format!("{rel}: unreadable: {e}"));
-                continue;
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut verbose = false;
+    let mut only_rule = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--verbose" => verbose = true,
+            "--rule" => match it.next() {
+                Some(r) => only_rule = Some(r.clone()),
+                None => {
+                    eprintln!("--rule needs an argument (a rule id; see ANALYSIS.md)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
             }
-        };
-        scan_file(rel, &text, &mut violations);
+        }
+    }
+    if let Some(r) = &only_rule {
+        if !xtask::rules::known_ids().contains(&r.as_str()) {
+            eprintln!(
+                "unknown rule `{r}` (known: {})",
+                xtask::rules::known_ids().join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
     }
 
-    if violations.is_empty() {
-        println!("xtask lint: {} files clean", files.len());
+    let root = repo_root();
+    let cfg = LintConfig::repo();
+    let report = run(&root, &cfg, &LintOptions { only_rule });
+
+    if json {
+        print!("{}", report.render_json());
+        eprint!("{}", report.render_human(false));
+    } else {
+        print!("{}", report.render_human(verbose));
+    }
+    if report.error_count() == 0 {
         ExitCode::SUCCESS
     } else {
-        let mut out = String::new();
-        for v in &violations {
-            let _ = writeln!(out, "  {v}");
-        }
-        eprintln!("xtask lint: {} violation(s):\n{out}", violations.len());
         ExitCode::FAILURE
     }
 }
@@ -90,119 +83,4 @@ fn repo_root() -> PathBuf {
         .parent()
         .expect("xtask has a parent")
         .to_path_buf()
-}
-
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
-    let entries = match std::fs::read_dir(dir) {
-        Ok(e) => e,
-        Err(_) => return,
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
-                continue;
-            }
-            collect_rs_files(root, &path, out);
-        } else if name.ends_with(".rs") {
-            if let Ok(rel) = path.strip_prefix(root) {
-                out.push(rel.to_string_lossy().replace('\\', "/"));
-            }
-        }
-    }
-}
-
-/// Strip a line comment tail (naive: does not parse strings, which is fine
-/// for the patterns below — none appear in string literals in this repo).
-fn code_of(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
-}
-
-/// True if the line, or any line in the contiguous non-blank run above it,
-/// carries `marker` — one justification comment covers the whole statement
-/// cluster beneath it (e.g. a struct literal of metric loads), and blank
-/// lines end its reach.
-fn annotated(lines: &[&str], idx: usize, marker: &str) -> bool {
-    if lines[idx].contains(marker) {
-        return true;
-    }
-    lines[..idx]
-        .iter()
-        .rev()
-        .take_while(|l| !l.trim().is_empty())
-        .any(|l| l.contains(marker))
-}
-
-fn scan_file(rel: &str, text: &str, violations: &mut Vec<String>) {
-    // The linter's own sources quote the forbidden patterns in diagnostics.
-    if rel.starts_with("xtask/") {
-        return;
-    }
-    let lines: Vec<&str> = text.lines().collect();
-    let facade = FACADE_FILES.contains(&rel);
-    let shim = is_shim(rel);
-    let conccheck = rel.starts_with("crates/conccheck/");
-
-    for (i, raw) in lines.iter().enumerate() {
-        let code = code_of(raw);
-        let lineno = i + 1;
-
-        // Rule 1: facade discipline in ported modules.
-        if facade {
-            let via_facade = code.contains("crate::sync") || code.contains("dcover_congest::sync");
-            let std_sync_primitive = (code.contains("std::sync::Mutex")
-                || code.contains("std::sync::Condvar")
-                || code.contains("std::sync::MutexGuard")
-                || code.contains("std::sync::atomic::Atomic")
-                || code.contains("sync::atomic::{"))
-                && !via_facade;
-            let std_thread_spawn = (code.contains("std::thread::spawn")
-                || code.contains("std::thread::Builder"))
-                && !via_facade;
-            if std_sync_primitive || std_thread_spawn {
-                violations.push(format!(
-                    "{rel}:{lineno}: ported module must use the dcover_congest::sync facade, \
-                     not raw std primitives: `{}`",
-                    raw.trim()
-                ));
-            }
-        }
-
-        // Rule 2: Relaxed orderings need justification.
-        if !shim
-            && !conccheck
-            && code.contains("Ordering::Relaxed")
-            && !annotated(&lines, i, "relaxed:")
-        {
-            violations.push(format!(
-                "{rel}:{lineno}: un-annotated Ordering::Relaxed (add a `// relaxed: ...` \
-                 justification): `{}`",
-                raw.trim()
-            ));
-        }
-
-        // Rule 3: sleeps must be wall-clock modelling, never synchronization.
-        if !shim && code.contains("thread::sleep") && !annotated(&lines, i, "wall-clock:") {
-            violations.push(format!(
-                "{rel}:{lineno}: thread::sleep without `// wall-clock: ...` annotation \
-                 (use the condvar Gate for synchronization): `{}`",
-                raw.trim()
-            ));
-        }
-
-        // Rule 4: unsafe only in allowlisted files.
-        if !UNSAFE_ALLOWLIST.contains(&rel)
-            && (code.contains("unsafe ") || code.contains("unsafe{"))
-        {
-            violations.push(format!(
-                "{rel}:{lineno}: `unsafe` outside the allowlist: `{}`",
-                raw.trim()
-            ));
-        }
-    }
 }

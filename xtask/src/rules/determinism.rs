@@ -1,0 +1,59 @@
+//! `determinism`: hash collections are banned in every result-producing
+//! crate, not just protocol code. `HashMap`/`HashSet` randomize iteration
+//! order per process (SipHash with a random key); any result, report, or
+//! eviction decision derived from iterating one is nondeterministic across
+//! runs, which breaks the repo's bit-identity contract (sequential ==
+//! parallel == warm-started replicas, asserted by the scheduler
+//! equivalence suite). Use `BTreeMap`/`BTreeSet`, a sorted `Vec`, or an
+//! index-keyed flat table instead.
+//!
+//! Scope: non-test code under the configured result-producing dirs, minus
+//! files in the conformance dirs (those are held to the stricter
+//! `congest-conformance` rule — one diagnostic per site, not two) and
+//! minus the explicit allowlist. Keyed-access-only uses (never iterated)
+//! can be waived per-site with a reason, but the default answer is a
+//! `BTreeMap`: the compiler cannot check "never iterated", and the next
+//! editor will not either.
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::find_tokens;
+use crate::scan::SourceFile;
+use crate::waiver::Waivers;
+
+pub const ID: &str = "determinism";
+
+pub fn check(sf: &SourceFile, cfg: &LintConfig, waivers: &Waivers, out: &mut Vec<Diagnostic>) {
+    if !LintConfig::in_dirs(&cfg.determinism_dirs, &sf.rel)
+        || LintConfig::in_dirs(&cfg.conformance_dirs, &sf.rel)
+        || cfg.determinism_allow.iter().any(|f| f == &sf.rel)
+        || cfg.is_shim(&sf.rel)
+    {
+        return;
+    }
+    for (i, code) in sf.masked.iter().enumerate() {
+        if sf.test_lines[i] {
+            continue;
+        }
+        for pat in ["HashMap", "HashSet"] {
+            for at in find_tokens(code, pat) {
+                if waivers.allows(ID, i) {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    &sf.rel,
+                    i + 1,
+                    sf.col(i, at),
+                    format!(
+                        "`{pat}` in a result-producing crate: iteration order is \
+                         process-random; use BTreeMap/BTreeSet or a sorted structure \
+                         (waivable per-site with a keyed-access-only argument)"
+                    ),
+                    &sf.lines[i],
+                ));
+            }
+        }
+    }
+}

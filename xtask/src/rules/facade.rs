@@ -1,0 +1,47 @@
+//! `sync-facade`: modules ported to the `dcover_congest::sync` facade must
+//! route every sync primitive through it, so the conccheck model checker
+//! can interpose under `--cfg conc_check`. `std::sync::Arc`,
+//! `std::sync::mpsc`, and `std::sync::atomic::Ordering` stay allowed —
+//! they are either state-free or re-exported unchanged by the facade.
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, Severity};
+use crate::scan::SourceFile;
+use crate::waiver::Waivers;
+
+pub const ID: &str = "sync-facade";
+
+const FORBIDDEN: &[&str] = &[
+    "std::sync::Mutex",
+    "std::sync::Condvar",
+    "std::sync::MutexGuard",
+    "std::sync::atomic::Atomic",
+    "sync::atomic::{",
+    "std::thread::spawn",
+    "std::thread::Builder",
+];
+
+pub fn check(sf: &SourceFile, cfg: &LintConfig, waivers: &Waivers, out: &mut Vec<Diagnostic>) {
+    if !cfg.facade_files.iter().any(|f| f == &sf.rel) {
+        return;
+    }
+    for (i, code) in sf.masked.iter().enumerate() {
+        let via_facade = code.contains("crate::sync") || code.contains("dcover_congest::sync");
+        if via_facade || waivers.allows(ID, i) {
+            continue;
+        }
+        for pat in FORBIDDEN {
+            if let Some(at) = code.find(pat) {
+                out.push(Diagnostic::new(
+                    ID,
+                    Severity::Error,
+                    &sf.rel,
+                    i + 1,
+                    sf.col(i, at),
+                    format!("ported module must use the dcover_congest::sync facade, not `{pat}`"),
+                    &sf.lines[i],
+                ));
+            }
+        }
+    }
+}

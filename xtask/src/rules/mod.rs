@@ -1,0 +1,119 @@
+//! The rule registry: seven passes over classified source files.
+//!
+//! Every rule has a stable kebab-case id (used in waivers, JSON output,
+//! and `--rule` filtering), a one-line summary, and a check function
+//! `fn(&SourceFile, &LintConfig, &Waivers, &mut Vec<Diagnostic>)`. Rules
+//! see only the masked (code-only) view of each line, so tokens inside
+//! strings and comments can never trigger them. See `ANALYSIS.md` at the
+//! repo root for the full catalog and extension guide.
+
+mod congest_conformance;
+mod determinism;
+mod facade;
+mod panic_surface;
+mod relaxed;
+mod unsafe_code;
+mod wallclock;
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::scan::SourceFile;
+use crate::waiver::Waivers;
+
+pub struct Rule {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub check: fn(&SourceFile, &LintConfig, &Waivers, &mut Vec<Diagnostic>),
+}
+
+/// All passes, in execution order.
+pub fn all() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: facade::ID,
+            summary: "modules ported to dcover_congest::sync must not use raw std primitives",
+            check: facade::check,
+        },
+        Rule {
+            id: relaxed::ID,
+            summary: "every Ordering::Relaxed needs a scoped `// relaxed:` justification",
+            check: relaxed::check,
+        },
+        Rule {
+            id: wallclock::ID,
+            summary: "every thread::sleep needs a scoped `// wall-clock:` justification",
+            check: wallclock::check,
+        },
+        Rule {
+            id: unsafe_code::ID,
+            summary: "`unsafe` is forbidden outside the explicit allowlist",
+            check: unsafe_code::check,
+        },
+        Rule {
+            id: panic_surface::ID,
+            summary: "serving-path panic sites need `// invariant:` or a typed error",
+            check: panic_surface::check,
+        },
+        Rule {
+            id: congest_conformance::ID,
+            summary: "protocol code must stay inside the CONGEST model contract",
+            check: congest_conformance::check,
+        },
+        Rule {
+            id: determinism::ID,
+            summary: "hash collections are banned in result-producing crates",
+            check: determinism::check,
+        },
+    ]
+}
+
+/// Rule ids valid in `lint: allow(...)` waivers.
+pub fn known_ids() -> Vec<&'static str> {
+    all().iter().map(|r| r.id).collect()
+}
+
+/// Byte offsets of `pat` in `line` where the match is token-delimited:
+/// the characters immediately before and after the match must not be
+/// identifier characters (so `assert!` does not match inside
+/// `debug_assert!`, and `HashMap` does not match `MyHashMapLike`).
+pub(crate) fn find_tokens(line: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(pat) {
+        let at = from + rel;
+        let left_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let right_ok = !line[at + pat.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if left_ok && right_ok {
+            out.push(at);
+        }
+        from = at + pat.len();
+    }
+    out
+}
+
+/// Like [`find_tokens`] but only requires the *left* boundary — for
+/// patterns that end mid-token on purpose (`.expect(` etc.).
+pub(crate) fn find_left_bounded(line: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(pat) {
+        let at = from + rel;
+        let left_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if left_ok {
+            out.push(at);
+        }
+        from = at + pat.len();
+    }
+    out
+}

@@ -1,0 +1,43 @@
+//! `relaxed-order`: every `Ordering::Relaxed` must carry a scoped
+//! `// relaxed: <why>` justification. Relaxed atomics are correct only
+//! under an argument about what orderings the surrounding code does *not*
+//! need; that argument belongs next to the site (see CONCURRENCY.md's
+//! relaxed audit). The marker covers exactly the statement cluster it
+//! heads — see [`crate::scan::marker_reach`].
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::find_tokens;
+use crate::scan::SourceFile;
+use crate::waiver::{marker_coverage, Waivers};
+
+pub const ID: &str = "relaxed-order";
+
+/// The conccheck crate implements the interposition layer itself: it maps
+/// every ordering to SeqCst by design and documents that, so per-site
+/// justifications there would be noise.
+const EXEMPT_PREFIX: &str = "crates/conccheck/";
+
+pub fn check(sf: &SourceFile, cfg: &LintConfig, waivers: &Waivers, out: &mut Vec<Diagnostic>) {
+    if cfg.is_shim(&sf.rel) || sf.rel.starts_with(EXEMPT_PREFIX) {
+        return;
+    }
+    let justified = marker_coverage(sf, "relaxed:");
+    for (i, code) in sf.masked.iter().enumerate() {
+        for at in find_tokens(code, "Ordering::Relaxed") {
+            if justified[i] || waivers.allows(ID, i) {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                ID,
+                Severity::Error,
+                &sf.rel,
+                i + 1,
+                sf.col(i, at),
+                "un-justified Ordering::Relaxed: head the statement with `// relaxed: <why>`"
+                    .into(),
+                &sf.lines[i],
+            ));
+        }
+    }
+}

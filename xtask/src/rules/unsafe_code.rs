@@ -1,0 +1,39 @@
+//! `unsafe-code`: `unsafe` is forbidden outside an explicit allowlist.
+//! The workspace is safe Rust end to end; the only allowlisted file is the
+//! test-only global allocator backing the zero-allocation assertions.
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::find_tokens;
+use crate::scan::SourceFile;
+use crate::waiver::Waivers;
+
+pub const ID: &str = "unsafe-code";
+
+pub fn check(sf: &SourceFile, cfg: &LintConfig, waivers: &Waivers, out: &mut Vec<Diagnostic>) {
+    if cfg.unsafe_allow.iter().any(|f| f == &sf.rel) {
+        return;
+    }
+    for (i, code) in sf.masked.iter().enumerate() {
+        for at in find_tokens(code, "unsafe") {
+            // `#![forbid(unsafe_code)]` and `forbid(unsafe ...)` mentions
+            // are the *ban*, not a use. `unsafe_code` is a distinct token
+            // (underscore) and never matches; `forbid(unsafe)` would.
+            if code.contains("forbid(unsafe") || code.contains("deny(unsafe") {
+                continue;
+            }
+            if waivers.allows(ID, i) {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                ID,
+                Severity::Error,
+                &sf.rel,
+                i + 1,
+                sf.col(i, at),
+                "`unsafe` outside the allowlist (see LintConfig::unsafe_allow)".into(),
+                &sf.lines[i],
+            ));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! `wall-clock-sleep`: every `thread::sleep` must carry a scoped
+//! `// wall-clock: <why>` justification. Sleeps may model wall-clock time
+//! (deadline expiry, pacing); they must never act as synchronization —
+//! that is what the condvar Gate is for, and sleep-as-sync is exactly the
+//! class of bug the conccheck explorer cannot see.
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::find_left_bounded;
+use crate::scan::SourceFile;
+use crate::waiver::{marker_coverage, Waivers};
+
+pub const ID: &str = "wall-clock-sleep";
+
+pub fn check(sf: &SourceFile, cfg: &LintConfig, waivers: &Waivers, out: &mut Vec<Diagnostic>) {
+    if cfg.is_shim(&sf.rel) {
+        return;
+    }
+    let justified = marker_coverage(sf, "wall-clock:");
+    for (i, code) in sf.masked.iter().enumerate() {
+        for at in find_left_bounded(code, "thread::sleep") {
+            if justified[i] || waivers.allows(ID, i) {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                ID,
+                Severity::Error,
+                &sf.rel,
+                i + 1,
+                sf.col(i, at),
+                "thread::sleep without `// wall-clock: <why>` (use the condvar Gate for \
+                 synchronization)"
+                    .into(),
+                &sf.lines[i],
+            ));
+        }
+    }
+}

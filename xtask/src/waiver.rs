@@ -1,0 +1,242 @@
+//! Inline waivers and justification markers.
+//!
+//! Two comment grammars let code opt out of a rule, both *scoped* (they
+//! cover only the statement cluster they head — see
+//! [`crate::scan::marker_reach`]) and both requiring a human-readable
+//! reason:
+//!
+//! * **Waivers** silence any rule by id:
+//!   `// lint: allow(<rule>[, <rule>…]) — <reason>`
+//!   The reason (after `—`, `--`, or a single `-`) is mandatory; a waiver
+//!   without one is itself a diagnostic (`waiver-syntax`), as is a waiver
+//!   naming an unknown rule. Waivers are the escape hatch of last resort —
+//!   rules with domain markers below should use those instead.
+//! * **Domain markers** are per-rule justification comments with their own
+//!   vocabulary: `// relaxed: <why>` (rule `relaxed-order`),
+//!   `// wall-clock: <why>` (rule `wall-clock-sleep`), and
+//!   `// invariant: <why>` (rule `panic-surface`). A marker with no text
+//!   after the colon does not count.
+//!
+//! Both only take effect in *regular* comments; doc comments are
+//! documentation, not lint metadata.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::scan::{marker_reach, SourceFile};
+
+/// Per-file waiver index: which (rule, line) pairs are waived.
+#[derive(Debug, Default)]
+pub struct Waivers {
+    /// `covered[i]` lists rule ids waived on line `i` (0-based).
+    covered: Vec<Vec<String>>,
+}
+
+impl Waivers {
+    /// True if `rule` is waived at 0-based line `line`.
+    pub fn allows(&self, rule: &str, line: usize) -> bool {
+        self.covered
+            .get(line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Parse all waivers in `sf`. Returns the coverage index plus syntax
+/// diagnostics (missing reason, unknown rule id, empty rule list).
+pub fn collect(sf: &SourceFile, known_rules: &[&str], out: &mut Vec<Diagnostic>) -> Waivers {
+    let mut w = Waivers {
+        covered: vec![Vec::new(); sf.lines.len()],
+    };
+    for (i, comment) in sf.comments.iter().enumerate() {
+        let Some(pos) = comment.find("lint:") else {
+            continue;
+        };
+        let body = comment[pos + "lint:".len()..].trim();
+        let lineno = i + 1;
+        let snippet = &sf.lines[i];
+        let Some(rest) = body.strip_prefix("allow(") else {
+            out.push(Diagnostic::new(
+                "waiver-syntax",
+                Severity::Error,
+                &sf.rel,
+                lineno,
+                sf.col(i, pos),
+                "malformed waiver: expected `lint: allow(<rule>[, <rule>…]) — <reason>`".into(),
+                snippet,
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            out.push(Diagnostic::new(
+                "waiver-syntax",
+                Severity::Error,
+                &sf.rel,
+                lineno,
+                sf.col(i, pos),
+                "malformed waiver: missing `)` in `lint: allow(...)`".into(),
+                snippet,
+            ));
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            out.push(Diagnostic::new(
+                "waiver-syntax",
+                Severity::Error,
+                &sf.rel,
+                lineno,
+                sf.col(i, pos),
+                "waiver names no rule: `lint: allow()` is empty".into(),
+                snippet,
+            ));
+            continue;
+        }
+        let mut bad = false;
+        for r in &rules {
+            if !known_rules.contains(&r.as_str()) {
+                out.push(Diagnostic::new(
+                    "waiver-syntax",
+                    Severity::Error,
+                    &sf.rel,
+                    lineno,
+                    sf.col(i, pos),
+                    format!(
+                        "waiver names unknown rule `{r}` (known: {})",
+                        known_rules.join(", ")
+                    ),
+                    snippet,
+                ));
+                bad = true;
+            }
+        }
+        // Reason: everything after `—`, `--`, or ` - ` following the `)`.
+        let tail = rest[close + 1..].trim();
+        let reason = tail
+            .strip_prefix('—')
+            .or_else(|| tail.strip_prefix("--"))
+            .or_else(|| tail.strip_prefix('-'))
+            .map(str::trim);
+        let reason_ok = matches!(reason, Some(r) if !r.is_empty());
+        if !reason_ok {
+            out.push(Diagnostic::new(
+                "waiver-syntax",
+                Severity::Error,
+                &sf.rel,
+                lineno,
+                sf.col(i, pos),
+                "waiver without a reason: append `— <why this is sound>`".into(),
+                snippet,
+            ));
+            continue;
+        }
+        if bad {
+            continue;
+        }
+        for line in marker_reach(sf, i) {
+            for r in &rules {
+                if !w.covered[line].contains(r) {
+                    w.covered[line].push(r.clone());
+                }
+            }
+        }
+    }
+    w
+}
+
+/// Per-line coverage of a domain marker (`relaxed:`, `wall-clock:`,
+/// `invariant:`): `true` where a marker with a non-empty justification
+/// reaches. Markers inside doc comments never count (the comment view
+/// already excludes them).
+pub fn marker_coverage(sf: &SourceFile, marker: &str) -> Vec<bool> {
+    let mut covered = vec![false; sf.lines.len()];
+    for (i, comment) in sf.comments.iter().enumerate() {
+        let Some(pos) = comment.find(marker) else {
+            continue;
+        };
+        // Require justification text after the marker word.
+        if comment[pos + marker.len()..].trim().is_empty() {
+            continue;
+        }
+        for line in marker_reach(sf, i) {
+            covered[line] = true;
+        }
+    }
+    covered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    const RULES: &[&str] = &["panic-surface", "determinism"];
+
+    fn run(text: &str) -> (Waivers, Vec<Diagnostic>) {
+        let sf = SourceFile::parse("t.rs", text);
+        let mut out = Vec::new();
+        let w = collect(&sf, RULES, &mut out);
+        (w, out)
+    }
+
+    #[test]
+    fn waiver_with_reason_covers_cluster() {
+        let (w, d) = run("// lint: allow(panic-surface) — lock can only poison if we already panicked\nlet g = m.lock().unwrap();\nlet x = other();\n");
+        assert!(d.is_empty());
+        assert!(w.allows("panic-surface", 1));
+        assert!(!w.allows("panic-surface", 2));
+        assert!(!w.allows("determinism", 1));
+    }
+
+    #[test]
+    fn waiver_ascii_dashes_accepted() {
+        let (w, d) = run("// lint: allow(determinism) -- keyed by u64, order never observed\nuse std::collections::HashMap;\n");
+        assert!(d.is_empty());
+        assert!(w.allows("determinism", 1));
+    }
+
+    #[test]
+    fn waiver_without_reason_rejected() {
+        let (w, d) = run("// lint: allow(panic-surface)\nlet g = m.lock().unwrap();\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "waiver-syntax");
+        assert!(!w.allows("panic-surface", 1));
+    }
+
+    #[test]
+    fn waiver_unknown_rule_rejected() {
+        let (_, d) = run("// lint: allow(no-such-rule) — because\nx();\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn waiver_multiple_rules() {
+        let (w, d) = run("// lint: allow(panic-surface, determinism) — test helper\nstuff();\n");
+        assert!(d.is_empty());
+        assert!(w.allows("panic-surface", 1));
+        assert!(w.allows("determinism", 1));
+    }
+
+    #[test]
+    fn marker_requires_text() {
+        let sf = SourceFile::parse(
+            "t.rs",
+            "// invariant:\nx.unwrap();\n// invariant: slot filled at spawn\ny.unwrap();\n",
+        );
+        let cov = marker_coverage(&sf, "invariant:");
+        assert!(!cov[1]);
+        assert!(cov[3]);
+    }
+
+    #[test]
+    fn marker_in_doc_comment_ignored() {
+        let sf = SourceFile::parse(
+            "t.rs",
+            "/// invariant: this is documentation\nx.unwrap();\n",
+        );
+        let cov = marker_coverage(&sf, "invariant:");
+        assert!(!cov[1]);
+    }
+}

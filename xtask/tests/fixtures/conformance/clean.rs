@@ -1,0 +1,13 @@
+//! Fixture: a protocol module inside the CONGEST contract.
+use std::collections::BTreeMap;
+
+pub struct Vote {
+    pub level: u32,
+    pub bits: u8,
+}
+
+impl Message for Vote {}
+
+fn tally(m: &BTreeMap<u32, u32>) -> u32 {
+    m.len() as u32
+}

@@ -1,0 +1,19 @@
+//! Fixture: CONGEST violations.
+use std::collections::HashMap;
+use std::time::Instant;
+
+static mut ROUNDS: u64 = 0;
+
+pub struct Gossip {
+    pub seen: Vec<u32>,
+}
+
+impl Message for Gossip {}
+
+fn now_secs(_start: Instant) -> u64 {
+    Instant::now().elapsed().as_secs()
+}
+
+fn index() -> HashMap<u32, u32> {
+    HashMap::new()
+}

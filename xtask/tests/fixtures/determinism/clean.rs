@@ -1,0 +1,6 @@
+//! Fixture: ordered collections in a result-producing crate.
+use std::collections::BTreeMap;
+
+fn cache() -> BTreeMap<u64, u64> {
+    BTreeMap::new()
+}

@@ -1,0 +1,6 @@
+//! Fixture: hash collection in a result-producing crate.
+use std::collections::HashMap;
+
+fn cache() -> HashMap<u64, u64> {
+    HashMap::new()
+}

@@ -1,0 +1,3 @@
+//! Fixture: keyed-access-only waiver with a reason.
+// lint: allow(determinism) — fixture: keyed access only, never iterated
+use std::collections::HashMap;

@@ -1,0 +1,8 @@
+//! Fixture: a ported module routing primitives through the facade.
+use crate::sync::{Condvar, Mutex};
+
+fn guarded(m: &Mutex<u32>, cv: &Condvar) {
+    let g = m.lock();
+    drop(g);
+    cv.notify_all();
+}

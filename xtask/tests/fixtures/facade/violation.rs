@@ -1,0 +1,6 @@
+//! Fixture: raw std primitive in a ported module.
+use std::sync::Mutex;
+
+fn make() -> Mutex<u32> {
+    Mutex::new(0)
+}

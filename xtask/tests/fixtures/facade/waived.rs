@@ -1,0 +1,7 @@
+//! Fixture: a reasoned waiver silences the facade rule.
+// lint: allow(sync-facade) — fixture demonstrating a reasoned waiver
+use std::sync::Mutex;
+
+fn make() -> Mutex<u32> {
+    Mutex::new(0)
+}

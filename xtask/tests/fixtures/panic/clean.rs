@@ -1,0 +1,10 @@
+//! Fixture: serving-path panic sites with scoped justifications.
+fn first(v: &[u8]) -> u8 {
+    // invariant: caller guarantees non-empty input (fixture).
+    *v.first().expect("non-empty")
+}
+
+#[cfg(test)]
+fn in_tests_only(v: &[u8]) -> u8 {
+    v.first().unwrap().wrapping_add(1)
+}

@@ -1,0 +1,5 @@
+//! Fixture: waiver with a reason silences panic-surface.
+fn first(v: &[u8]) -> u8 {
+    // lint: allow(panic-surface) — fixture demonstrating the waiver path
+    *v.first().unwrap()
+}

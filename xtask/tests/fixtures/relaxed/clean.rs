@@ -1,0 +1,7 @@
+//! Fixture: justified relaxed ordering.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(c: &AtomicU64) {
+    // relaxed: independent monotonic counter; no ordering needed.
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,8 @@
+//! Fixture: a marker must not leak past its statement cluster.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(a: &AtomicU64, b: &AtomicU64) {
+    // relaxed: counter `a` is monotonic observability only.
+    a.fetch_add(1, Ordering::Relaxed);
+    b.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,6 @@
+//! Fixture: un-justified relaxed ordering.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

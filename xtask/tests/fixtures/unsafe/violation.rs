@@ -1,0 +1,4 @@
+//! Fixture: `unsafe` outside the allowlist.
+fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,3 @@
+//! Fixture: a waiver without a reason is itself an error.
+// lint: allow(determinism)
+fn nothing() {}

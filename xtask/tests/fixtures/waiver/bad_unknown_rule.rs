@@ -1,0 +1,3 @@
+//! Fixture: a waiver naming an unknown rule is itself an error.
+// lint: allow(no-such-rule) — reason present but the rule id is wrong
+fn nothing() {}

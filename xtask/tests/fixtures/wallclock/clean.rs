@@ -1,0 +1,7 @@
+//! Fixture: justified sleep.
+use std::time::Duration;
+
+fn pace() {
+    // wall-clock: pacing a polling loop; not synchronization.
+    std::thread::sleep(Duration::from_millis(1));
+}

@@ -1,0 +1,6 @@
+//! Fixture: un-justified sleep.
+use std::time::Duration;
+
+fn pace() {
+    std::thread::sleep(Duration::from_millis(1));
+}

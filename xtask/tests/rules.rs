@@ -1,0 +1,308 @@
+//! Fixture-based self-tests for every lint rule.
+//!
+//! Each rule is run (via the real [`xtask::runner::run`] pipeline, with a
+//! bespoke [`LintConfig`] pointing at `tests/fixtures/`) against
+//!
+//! * a **clean** fixture, which must produce no diagnostics,
+//! * a **violating** fixture, asserted down to the exact rule id, line,
+//!   and column,
+//! * where waivers make sense, a **waived** fixture (reasoned waiver
+//!   honored) — plus the two bad-waiver forms (missing reason, unknown
+//!   rule id), which are themselves diagnostics.
+//!
+//! The fixtures directory is excluded from production lint runs by
+//! `LintConfig::repo()`'s `skip_dir_names` ("fixtures"), so the
+//! deliberately-violating files never fail the workspace lint.
+
+use std::path::PathBuf;
+
+use xtask::config::LintConfig;
+use xtask::diag::{Diagnostic, Report, Severity};
+use xtask::runner::{run, LintOptions};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// A config wiring the fixture files into each rule's scope the same way
+/// `LintConfig::repo()` wires the real modules.
+fn fixture_cfg() -> LintConfig {
+    LintConfig {
+        facade_files: vec![
+            "facade/clean.rs".into(),
+            "facade/violation.rs".into(),
+            "facade/waived.rs".into(),
+            "masking/strings.rs".into(),
+        ],
+        unsafe_allow: vec!["unsafe/allowed.rs".into()],
+        serving_files: vec![
+            "panic/clean.rs".into(),
+            "panic/violation.rs".into(),
+            "panic/waived.rs".into(),
+            "masking/strings.rs".into(),
+        ],
+        conformance_dirs: vec!["conformance/".into()],
+        determinism_dirs: vec!["determinism/".into()],
+        determinism_allow: vec![],
+        shim_prefixes: vec![],
+        skip_dir_names: vec![],
+    }
+}
+
+/// Full run over the fixture tree, all rules.
+fn lint_all() -> Report {
+    run(&fixture_root(), &fixture_cfg(), &LintOptions::default())
+}
+
+/// Focused run: one rule (plus waiver-syntax, which always runs).
+fn lint_rule(rule: &str) -> Report {
+    run(
+        &fixture_root(),
+        &fixture_cfg(),
+        &LintOptions {
+            only_rule: Some(rule.into()),
+        },
+    )
+}
+
+fn errors_in<'a>(report: &'a Report, file: &str) -> Vec<&'a Diagnostic> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.file == file && d.severity == Severity::Error)
+        .collect()
+}
+
+fn infos_in<'a>(report: &'a Report, file: &str) -> Vec<&'a Diagnostic> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.file == file && d.severity == Severity::Info)
+        .collect()
+}
+
+#[test]
+fn facade_clean_violating_waived() {
+    let r = lint_rule("sync-facade");
+    assert!(errors_in(&r, "facade/clean.rs").is_empty());
+
+    let v = errors_in(&r, "facade/violation.rs");
+    assert_eq!(v.len(), 1, "exactly one facade violation: {v:?}");
+    assert_eq!(v[0].rule, "sync-facade");
+    assert_eq!((v[0].line, v[0].col), (2, 5), "span of `std::sync::Mutex`");
+
+    assert!(
+        errors_in(&r, "facade/waived.rs").is_empty(),
+        "reasoned waiver must be honored"
+    );
+}
+
+#[test]
+fn rule_filter_restricts_to_one_pass_plus_waiver_syntax() {
+    let r = lint_rule("sync-facade");
+    assert!(r
+        .diagnostics
+        .iter()
+        .all(|d| d.rule == "sync-facade" || d.rule == "waiver-syntax"));
+}
+
+#[test]
+fn relaxed_clean_and_violating() {
+    let r = lint_rule("relaxed-order");
+    assert!(errors_in(&r, "relaxed/clean.rs").is_empty());
+
+    let v = errors_in(&r, "relaxed/violation.rs");
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].rule, "relaxed-order");
+    assert_eq!(v[0].line, 5);
+}
+
+#[test]
+fn relaxed_marker_does_not_leak_past_its_statement() {
+    // Regression for the annotation-leak: the marker on line 5 covers the
+    // `a.fetch_add` statement (line 6) only — the adjacent, unrelated
+    // `b.fetch_add` on line 7 must still be flagged.
+    let r = lint_rule("relaxed-order");
+    let v = errors_in(&r, "relaxed/leak.rs");
+    assert_eq!(v.len(), 1, "exactly the uncovered second site: {v:?}");
+    assert_eq!(v[0].line, 7);
+}
+
+#[test]
+fn wallclock_clean_and_violating() {
+    let r = lint_rule("wall-clock-sleep");
+    assert!(errors_in(&r, "wallclock/clean.rs").is_empty());
+
+    let v = errors_in(&r, "wallclock/violation.rs");
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].rule, "wall-clock-sleep");
+    assert_eq!(v[0].line, 5);
+}
+
+#[test]
+fn unsafe_flagged_outside_allowlist_only() {
+    let r = lint_rule("unsafe-code");
+    let v = errors_in(&r, "unsafe/violation.rs");
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].rule, "unsafe-code");
+    assert_eq!((v[0].line, v[0].col), (3, 5));
+
+    assert!(
+        errors_in(&r, "unsafe/allowed.rs").is_empty(),
+        "allowlisted file may contain unsafe"
+    );
+}
+
+#[test]
+fn panic_surface_clean_violating_waived() {
+    let r = lint_rule("panic-surface");
+    assert!(
+        errors_in(&r, "panic/clean.rs").is_empty(),
+        "invariant-annotated and cfg(test) sites are not errors"
+    );
+
+    let v = errors_in(&r, "panic/violation.rs");
+    assert_eq!(v.len(), 2, "bare assert! and .unwrap(): {v:?}");
+    assert_eq!((v[0].line, v[0].col), (3, 5), "assert! span");
+    assert_eq!(v[1].line, 4, ".unwrap() line");
+    assert!(v.iter().all(|d| d.rule == "panic-surface"));
+
+    assert!(errors_in(&r, "panic/waived.rs").is_empty());
+}
+
+#[test]
+fn panic_surface_inventories_slice_indexing_at_info() {
+    let r = lint_rule("panic-surface");
+    let inv = infos_in(&r, "panic/violation.rs");
+    assert_eq!(inv.len(), 1, "one direct slice index: {inv:?}");
+    assert_eq!(inv[0].line, 8, "`v[1]` in `second`");
+    // Info never fails the build.
+    let only_info = Report {
+        diagnostics: inv.into_iter().cloned().collect(),
+        files_scanned: 1,
+    };
+    assert_eq!(only_info.error_count(), 0);
+}
+
+#[test]
+fn conformance_flags_every_violation_class() {
+    let r = lint_rule("congest-conformance");
+    assert!(errors_in(&r, "conformance/clean.rs").is_empty());
+
+    let v = errors_in(&r, "conformance/violation.rs");
+    let lines: Vec<usize> = v.iter().map(|d| d.line).collect();
+    assert!(v.iter().all(|d| d.rule == "congest-conformance"));
+    assert!(
+        v.iter()
+            .any(|d| d.line == 5 && d.message.contains("static mut")),
+        "static mut flagged: {v:?}"
+    );
+    assert!(
+        v.iter()
+            .any(|d| d.line == 14 && d.message.contains("Instant::now")),
+        "wall-clock read flagged: {v:?}"
+    );
+    assert!(
+        v.iter()
+            .any(|d| d.line == 8 && d.message.contains("unbounded payload `Vec`")),
+        "Vec payload in a Message type flagged: {v:?}"
+    );
+    let hash_lines: Vec<usize> = v
+        .iter()
+        .filter(|d| d.message.contains("`HashMap`"))
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(hash_lines, vec![2, 17, 18], "all HashMap sites: {lines:?}");
+    assert_eq!(v.len(), 6, "no spurious extras: {v:?}");
+}
+
+#[test]
+fn determinism_clean_violating_waived() {
+    let r = lint_rule("determinism");
+    assert!(errors_in(&r, "determinism/clean.rs").is_empty());
+
+    let v = errors_in(&r, "determinism/violation.rs");
+    assert_eq!(v.len(), 3, "use, signature, constructor: {v:?}");
+    assert_eq!(v.iter().map(|d| d.line).collect::<Vec<_>>(), vec![2, 4, 5]);
+    assert!(v.iter().all(|d| d.rule == "determinism"));
+
+    assert!(
+        errors_in(&r, "determinism/waived.rs").is_empty(),
+        "reasoned keyed-access waiver honored"
+    );
+}
+
+#[test]
+fn waiver_without_reason_is_rejected() {
+    let r = lint_all();
+    let v = errors_in(&r, "waiver/bad_missing_reason.rs");
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].rule, "waiver-syntax");
+    assert_eq!(v[0].line, 2);
+    assert!(v[0].message.contains("without a reason"));
+}
+
+#[test]
+fn waiver_with_unknown_rule_is_rejected() {
+    let r = lint_all();
+    let v = errors_in(&r, "waiver/bad_unknown_rule.rs");
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].rule, "waiver-syntax");
+    assert_eq!(v[0].line, 2);
+    assert!(v[0].message.contains("unknown rule"));
+}
+
+#[test]
+fn string_literals_and_doc_comments_are_invisible_to_every_pass() {
+    // Regression for the scanner's literal/doc-comment blindness: the
+    // masking fixture names every forbidden token inside strings and doc
+    // comments (and a fake waiver inside a raw string) and is wired into
+    // the facade and serving-path scopes — yet no pass may produce any
+    // diagnostic, of any severity, for it.
+    let r = lint_all();
+    let all: Vec<&Diagnostic> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.file == "masking/strings.rs")
+        .collect();
+    assert!(all.is_empty(), "no diagnostics expected: {all:?}");
+}
+
+#[test]
+fn full_fixture_run_flags_exactly_the_violating_files() {
+    let r = lint_all();
+    let mut files: Vec<&str> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.file.as_str())
+        .collect();
+    files.sort();
+    files.dedup();
+    assert_eq!(
+        files,
+        vec![
+            "conformance/violation.rs",
+            "determinism/violation.rs",
+            "facade/violation.rs",
+            "panic/violation.rs",
+            "relaxed/leak.rs",
+            "relaxed/violation.rs",
+            "unsafe/violation.rs",
+            "waiver/bad_missing_reason.rs",
+            "waiver/bad_unknown_rule.rs",
+            "wallclock/violation.rs",
+        ]
+    );
+}
+
+#[test]
+fn production_config_skips_the_fixture_tree() {
+    assert!(
+        LintConfig::repo()
+            .skip_dir_names
+            .iter()
+            .any(|n| n == "fixtures"),
+        "fixtures must never be scanned by the workspace lint"
+    );
+}
