@@ -1,0 +1,241 @@
+//! Ratchet baseline for Info-level inventories.
+//!
+//! Info diagnostics never fail the build, so on their own they can creep
+//! upward unnoticed. The baseline file (`xtask/baseline.json`, checked
+//! in) pins the current counts — the slice-indexing panic-surface
+//! inventory and every `impl Message` worst-case bit-width — and
+//! `lint --baseline <path>` compares a fresh run against it:
+//!
+//! * any growth (more slice-index sites, a wider message, a new message
+//!   type) is an **Error** — the ratchet only turns one way;
+//! * any shrink is a **Warning** prompting a baseline refresh
+//!   (`lint --baseline <path> --write-baseline`), so the pinned numbers
+//!   never lag reality.
+//!
+//! The file format is a flat hand-rolled JSON object (xtask stays
+//! dependency-free); parsing is tolerant of whitespace but nothing else.
+
+use std::fmt::Write as _;
+
+use crate::diag::{Diagnostic, Report, Severity};
+
+/// Rule id used for ratchet findings (not waivable — fix or refresh).
+pub const ID: &str = "ratchet";
+
+/// Count of slice-indexing inventory entries in a report.
+pub fn slice_index_count(report: &Report) -> usize {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| {
+            d.rule == "panic-surface"
+                && d.severity == Severity::Info
+                && d.message.starts_with("direct slice index")
+        })
+        .count()
+}
+
+/// Render the baseline for `report` (stable field order: sorted types).
+pub fn render(report: &Report) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    let _ = writeln!(
+        out,
+        "  \"slice_index_sites\": {},",
+        slice_index_count(report)
+    );
+    out.push_str("  \"message_bits\": {\n");
+    for (i, m) in report.message_bits.iter().enumerate() {
+        let _ = write!(out, "    \"{}\": {}", m.type_name, m.bits);
+        out.push_str(if i + 1 < report.message_bits.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Compare `report` against the baseline `text`; diagnostics are
+/// anchored to the baseline file itself.
+pub fn check(report: &Report, text: &str, path: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let diag = |sev: Severity, msg: String| Diagnostic::new(ID, sev, path, 1, 1, msg, "");
+    let Some(base_slices) = read_number(text, "slice_index_sites") else {
+        out.push(diag(
+            Severity::Error,
+            "baseline is missing `slice_index_sites` — regenerate with --write-baseline".into(),
+        ));
+        return out;
+    };
+    let cur_slices = slice_index_count(report) as u64;
+    if cur_slices > base_slices {
+        out.push(diag(
+            Severity::Error,
+            format!(
+                "slice-index inventory grew: {cur_slices} sites vs {base_slices} in the \
+                 baseline — convert the new sites to checked access or justify them, \
+                 then refresh with --write-baseline"
+            ),
+        ));
+    } else if cur_slices < base_slices {
+        out.push(diag(
+            Severity::Warning,
+            format!(
+                "slice-index inventory shrank: {cur_slices} sites vs {base_slices} — \
+                 refresh the baseline with --write-baseline to lock in the improvement"
+            ),
+        ));
+    }
+    let base_bits = read_object(text, "message_bits");
+    for m in &report.message_bits {
+        match base_bits.iter().find(|(n, _)| n == &m.type_name) {
+            None => out.push(diag(
+                Severity::Error,
+                format!(
+                    "new Message type `{}` ({} bits) not in the baseline — review its \
+                     width, then refresh with --write-baseline",
+                    m.type_name, m.bits
+                ),
+            )),
+            Some((_, b)) if m.bits > *b => out.push(diag(
+                Severity::Error,
+                format!(
+                    "`{}` widened: {} bits vs {} in the baseline — shrink the payload \
+                     or justify and refresh with --write-baseline",
+                    m.type_name, m.bits, b
+                ),
+            )),
+            Some((_, b)) if m.bits < *b => out.push(diag(
+                Severity::Warning,
+                format!(
+                    "`{}` narrowed: {} bits vs {} — refresh the baseline with \
+                     --write-baseline",
+                    m.type_name, m.bits, b
+                ),
+            )),
+            _ => {}
+        }
+    }
+    for (name, _) in &base_bits {
+        if !report.message_bits.iter().any(|m| &m.type_name == name) {
+            out.push(diag(
+                Severity::Warning,
+                format!(
+                    "baseline entry `{name}` no longer exists — refresh with \
+                     --write-baseline"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Read `"key": <u64>` anywhere in `text`.
+fn read_number(text: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)?;
+    let rest = text[at + pat.len()..].trim_start().strip_prefix(':')?;
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Read `"key": { "name": <u64>, … }` anywhere in `text`.
+fn read_object(text: &str, key: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let pat = format!("\"{key}\"");
+    let Some(at) = text.find(&pat) else {
+        return out;
+    };
+    let rest = &text[at + pat.len()..];
+    let Some(open) = rest.find('{') else {
+        return out;
+    };
+    let Some(close) = rest[open..].find('}') else {
+        return out;
+    };
+    let body = &rest[open + 1..open + close];
+    for part in body.split(',') {
+        let Some((name, val)) = part.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().trim_matches('"');
+        let Ok(v) = val.trim().parse::<u64>() else {
+            continue;
+        };
+        if !name.is_empty() {
+            out.push((name.to_owned(), v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{MessageWidth, Report};
+
+    fn report(slices: usize, widths: &[(&str, u64)]) -> Report {
+        let mut r = Report::default();
+        for i in 0..slices {
+            r.diagnostics.push(Diagnostic::new(
+                "panic-surface",
+                Severity::Info,
+                "f.rs",
+                i + 1,
+                1,
+                "direct slice index (inventory: panics on out-of-bounds)".into(),
+                "v[0]",
+            ));
+        }
+        for (name, bits) in widths {
+            r.message_bits.push(MessageWidth {
+                type_name: (*name).to_owned(),
+                file: "m.rs".into(),
+                line: 1,
+                bits: *bits,
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let r = report(3, &[("MsgA", 42), ("MsgB", 7)]);
+        let text = render(&r);
+        assert!(check(&r, &text, "baseline.json").is_empty(), "{text}");
+    }
+
+    #[test]
+    fn growth_is_an_error_shrink_a_warning() {
+        let base = render(&report(3, &[("MsgA", 42)]));
+        let grown = report(4, &[("MsgA", 48)]);
+        let d = check(&grown, &base, "baseline.json");
+        assert_eq!(
+            d.iter().filter(|x| x.severity == Severity::Error).count(),
+            2,
+            "slice growth and width growth: {d:?}"
+        );
+        let shrunk = report(2, &[("MsgA", 40)]);
+        let d = check(&shrunk, &base, "baseline.json");
+        assert!(d.iter().all(|x| x.severity == Severity::Warning), "{d:?}");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn new_and_stale_types_are_flagged() {
+        let base = render(&report(0, &[("Gone", 8)]));
+        let cur = report(0, &[("Fresh", 8)]);
+        let d = check(&cur, &base, "baseline.json");
+        assert!(d
+            .iter()
+            .any(|x| x.severity == Severity::Error && x.message.contains("Fresh")));
+        assert!(d
+            .iter()
+            .any(|x| x.severity == Severity::Warning && x.message.contains("Gone")));
+    }
+}

@@ -77,11 +77,29 @@ impl Diagnostic {
     }
 }
 
+/// One entry of the per-type message-width inventory produced by the
+/// `message-bits` pass (and consumed by the ratchet baseline).
+#[derive(Debug, Clone)]
+pub struct MessageWidth {
+    pub type_name: String,
+    /// Repo-relative path of the `impl Message` block.
+    pub file: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+    /// Worst-case payload width in bits.
+    pub bits: u64,
+}
+
 /// Aggregate result of a lint run.
 #[derive(Debug, Default)]
 pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     pub files_scanned: usize,
+    /// Per-type worst-case widths (sorted by type name by the runner).
+    pub message_bits: Vec<MessageWidth>,
+    /// DOT rendering of the static lock acquisition graph, written to
+    /// disk by `lint --lock-graph <path>`.
+    pub lock_graph_dot: Option<String>,
 }
 
 impl Report {
@@ -135,7 +153,7 @@ impl Report {
     /// Machine-readable JSON (hand-rolled; the workspace is offline and
     /// xtask stays dependency-free).
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n  \"diagnostics\": [\n");
+        let mut out = String::from("{\n  \"version\": 2,\n  \"diagnostics\": [\n");
         for (i, d) in self.diagnostics.iter().enumerate() {
             let _ = write!(
                 out,
@@ -149,6 +167,22 @@ impl Report {
                 json_str(&d.snippet),
             );
             out.push_str(if i + 1 < self.diagnostics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"message_bits\": [\n");
+        for (i, m) in self.message_bits.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"type\": {}, \"file\": {}, \"line\": {}, \"bits\": {}}}",
+                json_str(&m.type_name),
+                json_str(&m.file),
+                m.line,
+                m.bits,
+            );
+            out.push_str(if i + 1 < self.message_bits.len() {
                 ",\n"
             } else {
                 "\n"

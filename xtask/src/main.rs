@@ -1,11 +1,15 @@
-//! `cargo run -p xtask -- lint [--json] [--verbose] [--rule <id>]`
+//! `cargo run -p xtask -- lint [--json] [--verbose] [--rule <id>]
+//! [--lock-graph <path>] [--baseline <path> [--write-baseline]]`
 //!
 //! Thin CLI over the [`xtask`] library: exit code 1 iff any
 //! Error-severity diagnostic was produced. `--json` prints the
 //! machine-readable report to stdout (human text goes to stderr so the
 //! JSON stream stays clean); `--verbose` includes the Info-severity
-//! slice-indexing inventory in human output; `--rule` restricts to one
-//! pass for focused runs.
+//! inventories in human output; `--rule` restricts to one pass for
+//! focused runs. `--lock-graph` writes the static lock acquisition graph
+//! as GraphViz DOT. `--baseline` compares the run's Info inventories
+//! against the checked-in ratchet file (growth is an error);
+//! `--write-baseline` regenerates that file instead.
 
 #![forbid(unsafe_code)]
 
@@ -20,7 +24,10 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--json] [--verbose] [--rule <id>]");
+            eprintln!(
+                "usage: cargo run -p xtask -- lint [--json] [--verbose] [--rule <id>] \
+                 [--lock-graph <path>] [--baseline <path> [--write-baseline]]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -30,6 +37,9 @@ fn lint(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut verbose = false;
     let mut only_rule = None;
+    let mut lock_graph: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -42,6 +52,21 @@ fn lint(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--lock-graph" => match it.next() {
+                Some(p) => lock_graph = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--lock-graph needs a path (e.g. lock-graph.dot)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--baseline needs a path (e.g. xtask/baseline.json)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--write-baseline" => write_baseline = true,
             other => {
                 eprintln!("unknown flag `{other}`");
                 return ExitCode::FAILURE;
@@ -57,10 +82,57 @@ fn lint(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if write_baseline && baseline.is_none() {
+        eprintln!("--write-baseline needs --baseline <path> to know where to write");
+        return ExitCode::FAILURE;
+    }
 
     let root = repo_root();
     let cfg = LintConfig::repo();
-    let report = run(&root, &cfg, &LintOptions { only_rule });
+    let mut report = run(&root, &cfg, &LintOptions { only_rule });
+
+    if let Some(path) = &lock_graph {
+        match &report.lock_graph_dot {
+            Some(dot) => {
+                if let Err(e) = std::fs::write(path, dot) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("lock graph written to {}", path.display());
+            }
+            None => {
+                eprintln!("--lock-graph: no graph produced (did --rule exclude lock-order?)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = &baseline {
+        if write_baseline {
+            let rendered = xtask::baseline::render(&report);
+            if let Err(e) = std::fs::write(path, rendered) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("baseline written to {}", path.display());
+        } else {
+            let rel = path.to_string_lossy().replace('\\', "/");
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    let findings = xtask::baseline::check(&report, &text, &rel);
+                    report.diagnostics.extend(findings);
+                    report.sort();
+                }
+                Err(e) => {
+                    eprintln!(
+                        "cannot read baseline {}: {e} (generate it with --write-baseline)",
+                        path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
 
     if json {
         print!("{}", report.render_json());

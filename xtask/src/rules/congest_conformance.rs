@@ -44,11 +44,16 @@ pub fn check(sf: &SourceFile, cfg: &LintConfig, waivers: &Waivers, out: &mut Vec
         return;
     }
     for (i, code) in sf.masked.iter().enumerate() {
-        if sf.test_lines[i] || waivers.allows(ID, i) {
+        if sf.test_lines[i] {
             continue;
         }
+        // `allows` is consulted per finding (not as a line pre-filter)
+        // so waiver use-tracking only fires on real suppressions.
         for pat in WALL_CLOCK {
             if let Some(at) = code.find(pat) {
+                if waivers.allows(ID, i) {
+                    continue;
+                }
                 out.push(Diagnostic::new(
                     ID,
                     Severity::Error,
@@ -62,6 +67,9 @@ pub fn check(sf: &SourceFile, cfg: &LintConfig, waivers: &Waivers, out: &mut Vec
         }
         for pat in HASH {
             for at in find_tokens(code, pat) {
+                if waivers.allows(ID, i) {
+                    continue;
+                }
                 out.push(Diagnostic::new(
                     ID,
                     Severity::Error,
@@ -74,6 +82,9 @@ pub fn check(sf: &SourceFile, cfg: &LintConfig, waivers: &Waivers, out: &mut Vec
             }
         }
         if let Some(at) = code.find("static mut") {
+            if waivers.allows(ID, i) {
+                continue;
+            }
             out.push(Diagnostic::new(
                 ID,
                 Severity::Error,
@@ -108,7 +119,7 @@ fn check_message_payloads(sf: &SourceFile, waivers: &Waivers, out: &mut Vec<Diag
             continue;
         };
         for i in start..end {
-            if sf.test_lines[i] || waivers.allows(ID, i) {
+            if sf.test_lines[i] {
                 continue;
             }
             let code = &sf.masked[i];
@@ -122,6 +133,9 @@ fn check_message_payloads(sf: &SourceFile, waivers: &Waivers, out: &mut Vec<Diag
                     find_tokens(code, pat)
                 };
                 for at in hits {
+                    if waivers.allows(ID, i) {
+                        continue;
+                    }
                     out.push(Diagnostic::new(
                         ID,
                         Severity::Error,

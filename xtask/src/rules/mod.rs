@@ -1,29 +1,46 @@
-//! The rule registry: seven passes over classified source files.
+//! The rule registry: ten passes over classified source files.
 //!
 //! Every rule has a stable kebab-case id (used in waivers, JSON output,
-//! and `--rule` filtering), a one-line summary, and a check function
-//! `fn(&SourceFile, &LintConfig, &Waivers, &mut Vec<Diagnostic>)`. Rules
-//! see only the masked (code-only) view of each line, so tokens inside
-//! strings and comments can never trigger them. See `ANALYSIS.md` at the
-//! repo root for the full catalog and extension guide.
+//! and `--rule` filtering) and a one-line summary. Two shapes:
+//!
+//! * **Per-file rules** (`fn(&SourceFile, &LintConfig, &Waivers,
+//!   &mut Vec<Diagnostic>)`) see one classified file at a time — the
+//!   masked (code-only) view, so tokens inside strings and comments can
+//!   never trigger them.
+//! * **Global rules** (`fn(&Workspace, &LintConfig, &mut Report)`) run
+//!   after every file is parsed and see the whole-workspace symbol table
+//!   of [`crate::sym`] — call graph, lock model, type definitions.
+//!
+//! See `ANALYSIS.md` at the repo root for the full catalog and extension
+//! guide.
 
+mod blocking_in_worker;
 mod congest_conformance;
 mod determinism;
 mod facade;
+mod lock_order;
+mod message_bits;
 mod panic_surface;
 mod relaxed;
 mod unsafe_code;
 mod wallclock;
 
 use crate::config::LintConfig;
-use crate::diag::Diagnostic;
+use crate::diag::{Diagnostic, Report};
 use crate::scan::SourceFile;
+use crate::sym::Workspace;
 use crate::waiver::Waivers;
 
 pub struct Rule {
     pub id: &'static str,
     pub summary: &'static str,
     pub check: fn(&SourceFile, &LintConfig, &Waivers, &mut Vec<Diagnostic>),
+}
+
+pub struct GlobalRule {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub check: fn(&Workspace<'_>, &LintConfig, &mut Report),
 }
 
 /// All passes, in execution order.
@@ -67,9 +84,35 @@ pub fn all() -> Vec<Rule> {
     ]
 }
 
+/// All cross-function passes, run after the per-file passes once the
+/// whole workspace is parsed.
+pub fn all_global() -> Vec<GlobalRule> {
+    vec![
+        GlobalRule {
+            id: lock_order::ID,
+            summary: "the static lock acquisition graph must be acyclic (no ABBA inversions)",
+            check: lock_order::check,
+        },
+        GlobalRule {
+            id: message_bits::ID,
+            summary: "every impl Message type must fit the CONGEST max_message_bits budget",
+            check: message_bits::check,
+        },
+        GlobalRule {
+            id: blocking_in_worker::ID,
+            summary: "pool-worker paths must not block while holding a lock",
+            check: blocking_in_worker::check,
+        },
+    ]
+}
+
 /// Rule ids valid in `lint: allow(...)` waivers.
 pub fn known_ids() -> Vec<&'static str> {
-    all().iter().map(|r| r.id).collect()
+    all()
+        .iter()
+        .map(|r| r.id)
+        .chain(all_global().iter().map(|r| r.id))
+        .collect()
 }
 
 /// Byte offsets of `pat` in `line` where the match is token-delimited:

@@ -1,4 +1,11 @@
 //! Lint orchestration: collect files, parse, collect waivers, run passes.
+//!
+//! Two phases. First, every `.rs` file is read, classified, and run
+//! through the per-file rules. Then the parsed set is assembled into a
+//! [`Workspace`](crate::sym::Workspace) symbol table and the global
+//! (cross-function) rules run over it. Waiver use is tracked across both
+//! phases, so `waiver-unused` — emitted last — only fires for waivers
+//! that suppressed nothing anywhere.
 
 use std::path::{Path, PathBuf};
 
@@ -6,6 +13,7 @@ use crate::config::LintConfig;
 use crate::diag::{Report, Severity};
 use crate::rules;
 use crate::scan::SourceFile;
+use crate::sym::{ParsedFile, Workspace};
 use crate::waiver;
 
 /// Options for one lint run.
@@ -13,6 +21,8 @@ use crate::waiver;
 pub struct LintOptions {
     /// Restrict to one rule id (plus waiver-syntax checking, which always
     /// runs — a broken waiver must never silently mask a real finding).
+    /// Focused runs skip `waiver-unused`: with most passes disabled, a
+    /// waiver's lack of suppressions proves nothing.
     pub only_rule: Option<String>,
 }
 
@@ -30,6 +40,8 @@ pub fn run(root: &Path, cfg: &LintConfig, opts: &LintOptions) -> Report {
     let all_rules = rules::all();
     let known = rules::known_ids();
 
+    // Phase 1: parse everything, run the per-file rules.
+    let mut parsed: Vec<ParsedFile> = Vec::with_capacity(files.len());
     for rel in &files {
         let path = root.join(rel);
         let text = match std::fs::read_to_string(&path) {
@@ -56,6 +68,36 @@ pub fn run(root: &Path, cfg: &LintConfig, opts: &LintOptions) -> Report {
                 }
             }
             (rule.check)(&sf, cfg, &waivers, &mut report.diagnostics);
+        }
+        parsed.push(ParsedFile { sf, waivers });
+    }
+
+    // Phase 2: whole-workspace symbol table, global rules.
+    let ws = Workspace::build(&parsed);
+    for rule in rules::all_global() {
+        if let Some(only) = &opts.only_rule {
+            if rule.id != only {
+                continue;
+            }
+        }
+        (rule.check)(&ws, cfg, &mut report);
+    }
+
+    // Meta-pass: waivers that suppressed nothing across all passes.
+    if opts.only_rule.is_none() {
+        for pf in &parsed {
+            for decl in pf.waivers.unused() {
+                report.diagnostics.push(crate::diag::Diagnostic::new(
+                    "waiver-unused",
+                    Severity::Warning,
+                    &pf.sf.rel,
+                    decl.line + 1,
+                    decl.col,
+                    "waiver suppresses no diagnostic — remove it (stale allows hide real findings)"
+                        .into(),
+                    &decl.snippet,
+                ));
+            }
         }
     }
     report.sort();

@@ -20,22 +20,56 @@
 //! Both only take effect in *regular* comments; doc comments are
 //! documentation, not lint metadata.
 
+use std::cell::Cell;
+
 use crate::diag::{Diagnostic, Severity};
 use crate::scan::{marker_reach, SourceFile};
+
+/// One well-formed waiver declaration, tracked for usefulness: a waiver
+/// that suppresses zero diagnostics across a whole run is itself
+/// reported (`waiver-unused`), so stale allows can't rot in place.
+#[derive(Debug)]
+pub struct WaiverDecl {
+    /// 0-based line of the `lint: allow(...)` comment.
+    pub line: usize,
+    /// 1-based column of the `lint:` token.
+    pub col: usize,
+    pub snippet: String,
+    /// Set (via interior mutability — rules hold `&Waivers`) the first
+    /// time this declaration actually suppresses a diagnostic.
+    pub used: Cell<bool>,
+}
 
 /// Per-file waiver index: which (rule, line) pairs are waived.
 #[derive(Debug, Default)]
 pub struct Waivers {
-    /// `covered[i]` lists rule ids waived on line `i` (0-based).
-    covered: Vec<Vec<String>>,
+    /// `covered[i]` lists `(rule id, decl index)` pairs waived on line
+    /// `i` (0-based).
+    covered: Vec<Vec<(String, usize)>>,
+    /// Every well-formed declaration, in source order.
+    decls: Vec<WaiverDecl>,
 }
 
 impl Waivers {
-    /// True if `rule` is waived at 0-based line `line`.
+    /// True if `rule` is waived at 0-based line `line`. Marks the
+    /// covering declaration as used — rules must only call this at an
+    /// actual finding site, never as a per-line pre-filter.
     pub fn allows(&self, rule: &str, line: usize) -> bool {
-        self.covered
-            .get(line)
-            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+        let mut hit = false;
+        if let Some(rules) = self.covered.get(line) {
+            for (r, decl) in rules {
+                if r == rule {
+                    self.decls[*decl].used.set(true);
+                    hit = true;
+                }
+            }
+        }
+        hit
+    }
+
+    /// Declarations that suppressed nothing (call after all passes ran).
+    pub fn unused(&self) -> impl Iterator<Item = &WaiverDecl> {
+        self.decls.iter().filter(|d| !d.used.get())
     }
 }
 
@@ -44,6 +78,7 @@ impl Waivers {
 pub fn collect(sf: &SourceFile, known_rules: &[&str], out: &mut Vec<Diagnostic>) -> Waivers {
     let mut w = Waivers {
         covered: vec![Vec::new(); sf.lines.len()],
+        decls: Vec::new(),
     };
     for (i, comment) in sf.comments.iter().enumerate() {
         let Some(pos) = comment.find("lint:") else {
@@ -134,10 +169,17 @@ pub fn collect(sf: &SourceFile, known_rules: &[&str], out: &mut Vec<Diagnostic>)
         if bad {
             continue;
         }
+        let decl_idx = w.decls.len();
+        w.decls.push(WaiverDecl {
+            line: i,
+            col: sf.col(i, pos),
+            snippet: snippet.clone(),
+            used: Cell::new(false),
+        });
         for line in marker_reach(sf, i) {
             for r in &rules {
-                if !w.covered[line].contains(r) {
-                    w.covered[line].push(r.clone());
+                if !w.covered[line].iter().any(|(cr, _)| cr == r) {
+                    w.covered[line].push((r.clone(), decl_idx));
                 }
             }
         }

@@ -1,0 +1,26 @@
+//! Fixture: the idle-worker idiom — a condvar wait that atomically
+//! releases its own guard holds nothing across the park.
+
+pub struct W {
+    state: Mutex<u32>,
+    not_empty: Condvar,
+}
+
+impl W {
+    fn pop(&self) -> u32 {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if *state > 0 {
+                return *state;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+}
+
+fn worker_main(w: &W) {
+    loop {
+        let item = w.pop();
+        let _ = item;
+    }
+}

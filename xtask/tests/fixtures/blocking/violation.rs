@@ -1,0 +1,23 @@
+//! Fixture: a worker path that parks in a channel recv while holding a
+//! mutex — every peer needing `W.state` stalls behind it.
+
+pub struct W {
+    state: Mutex<u32>,
+    jobs: Receiver<u32>,
+}
+
+impl W {
+    fn drain(&self) -> u32 {
+        let g = self.state.lock().unwrap();
+        let item = self.jobs.recv().unwrap();
+        drop(g);
+        item
+    }
+}
+
+fn worker_main(w: &W) {
+    loop {
+        let item = w.drain();
+        let _ = item;
+    }
+}

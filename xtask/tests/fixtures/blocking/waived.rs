@@ -1,0 +1,23 @@
+//! Fixture: the same blocking shape, waived with a liveness argument.
+
+pub struct V {
+    state: Mutex<u32>,
+    jobs: Receiver<u32>,
+}
+
+impl V {
+    fn drain(&self) -> u32 {
+        let g = self.state.lock().unwrap();
+        // lint: allow(blocking-in-worker) — bounded: the producer holds no lock and is joined before shutdown, so the recv cannot park forever
+        let item = self.jobs.recv().unwrap();
+        drop(g);
+        item
+    }
+}
+
+fn worker_main(v: &V) {
+    loop {
+        let item = v.drain();
+        let _ = item;
+    }
+}

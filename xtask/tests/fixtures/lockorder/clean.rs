@@ -1,0 +1,22 @@
+//! Fixture: consistent lock ordering — the graph has one edge, no cycle.
+
+pub struct C {
+    l1: Mutex<u32>,
+    l2: Mutex<u32>,
+}
+
+impl C {
+    fn ordered(&self) {
+        let g1 = self.l1.lock().unwrap();
+        let g2 = self.l2.lock().unwrap();
+        drop(g2);
+        drop(g1);
+    }
+
+    fn also_ordered(&self) {
+        let g1 = self.l1.lock().unwrap();
+        let g2 = self.l2.lock().unwrap();
+        drop(g2);
+        drop(g1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: the same ABBA shape, refuted and waived on a contributing
+//! edge.
+
+pub struct B {
+    l1: Mutex<u32>,
+    l2: Mutex<u32>,
+}
+
+impl B {
+    fn ab(&self) {
+        let g1 = self.l1.lock().unwrap();
+        // lint: allow(lock-order) — refuted: conccheck scenario `rebuild-race` exhausts both orders; `ab` and `ba` never run concurrently (single admin thread)
+        let g2 = self.l2.lock().unwrap();
+        drop(g2);
+        drop(g1);
+    }
+
+    fn ba(&self) {
+        let g2 = self.l2.lock().unwrap();
+        let g1 = self.l1.lock().unwrap();
+        drop(g1);
+        drop(g2);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: a Message type inside the (fixture) 64-bit budget.
+
+pub enum SmallMsg {
+    Ping,
+    Data { level: u32, round: u16 },
+}
+
+impl Message for SmallMsg {}
+
+pub struct PairMsg {
+    pub a: u16,
+    pub b: Option<u8>,
+}
+
+impl Message for PairMsg {}

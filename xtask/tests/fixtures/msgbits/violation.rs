@@ -1,0 +1,14 @@
+//! Fixture: over-budget and unboundable Message types.
+
+pub enum BigMsg {
+    Ping,
+    Wide([u64; 2]),
+}
+
+impl Message for BigMsg {}
+
+pub struct VecMsg {
+    pub items: Vec<u32>,
+}
+
+impl Message for VecMsg {}

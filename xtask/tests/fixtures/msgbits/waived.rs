@@ -1,0 +1,8 @@
+//! Fixture: an over-budget Message with a reasoned budget waiver.
+
+pub struct WideMsg {
+    pub words: [u64; 4],
+}
+
+// lint: allow(message-bits) — budget exception: fixture models a bulk frame whose width is charged against BitBudget at runtime
+impl Message for WideMsg {}

@@ -1,0 +1,4 @@
+// lint: allow(panic-surface) — stale: the unwrap below was converted to a typed error long ago
+pub fn tidy() -> u32 {
+    3
+}

@@ -46,6 +46,16 @@ fn fixture_cfg() -> LintConfig {
         determinism_allow: vec![],
         shim_prefixes: vec![],
         skip_dir_names: vec![],
+        lock_order_files: vec![
+            "lockorder/clean.rs".into(),
+            "lockorder/violation.rs".into(),
+            "lockorder/waived.rs".into(),
+            "blocking/clean.rs".into(),
+            "blocking/violation.rs".into(),
+            "blocking/waived.rs".into(),
+        ],
+        worker_entry_fns: vec!["worker_main".into()],
+        max_message_bits: 64,
     }
 }
 
@@ -180,6 +190,7 @@ fn panic_surface_inventories_slice_indexing_at_info() {
     let only_info = Report {
         diagnostics: inv.into_iter().cloned().collect(),
         files_scanned: 1,
+        ..Report::default()
     };
     assert_eq!(only_info.error_count(), 0);
 }
@@ -282,9 +293,12 @@ fn full_fixture_run_flags_exactly_the_violating_files() {
     assert_eq!(
         files,
         vec![
+            "blocking/violation.rs",
             "conformance/violation.rs",
             "determinism/violation.rs",
             "facade/violation.rs",
+            "lockorder/violation.rs",
+            "msgbits/violation.rs",
             "panic/violation.rs",
             "relaxed/leak.rs",
             "relaxed/violation.rs",
@@ -294,6 +308,150 @@ fn full_fixture_run_flags_exactly_the_violating_files() {
             "wallclock/violation.rs",
         ]
     );
+}
+
+#[test]
+fn lock_order_clean_violating_waived() {
+    let r = lint_rule("lock-order");
+    assert!(errors_in(&r, "lockorder/clean.rs").is_empty());
+
+    let v = errors_in(&r, "lockorder/violation.rs");
+    assert_eq!(v.len(), 1, "one cycle diagnostic per SCC: {v:?}");
+    assert_eq!(v[0].rule, "lock-order");
+    assert_eq!(
+        (v[0].line, v[0].col),
+        (13, 14),
+        "anchored at the lexically-first witness edge (`self.step2()` in `f1`)"
+    );
+    assert!(
+        v[0].message.contains("A.l1 → A.l2 → A.l3 → A.l1"),
+        "full cycle named: {}",
+        v[0].message
+    );
+    assert!(
+        v[0].message.contains("A::f1") && v[0].message.contains("A::step2"),
+        "witness call chain spans both fns: {}",
+        v[0].message
+    );
+
+    assert!(
+        errors_in(&r, "lockorder/waived.rs").is_empty(),
+        "reasoned waiver on a contributing edge refutes the cycle"
+    );
+}
+
+#[test]
+fn lock_graph_dot_is_always_rendered() {
+    let r = lint_rule("lock-order");
+    let dot = r.lock_graph_dot.as_deref().expect("DOT always produced");
+    assert!(dot.contains("digraph lock_order"));
+    assert!(
+        dot.contains("\"A.l1\" -> \"A.l2\""),
+        "edge set includes the fixture edges: {dot}"
+    );
+}
+
+#[test]
+fn message_bits_clean_violating_waived() {
+    let r = lint_rule("message-bits");
+    assert!(errors_in(&r, "msgbits/clean.rs").is_empty());
+    let inv = infos_in(&r, "msgbits/clean.rs");
+    assert_eq!(inv.len(), 2, "one inventory entry per impl: {inv:?}");
+
+    let v = errors_in(&r, "msgbits/violation.rs");
+    assert_eq!(v.len(), 2, "over-budget enum and Vec field: {v:?}");
+    assert!(v.iter().all(|d| d.rule == "message-bits"));
+    assert!(
+        v.iter()
+            .any(|d| d.line == 8 && d.message.contains("129 bits")),
+        "BigMsg = 1 tag bit + [u64; 2]: {v:?}"
+    );
+    assert!(
+        v.iter()
+            .any(|d| d.line == 11 && d.message.contains("growable")),
+        "Vec field rejected at its own line: {v:?}"
+    );
+
+    assert!(errors_in(&r, "msgbits/waived.rs").is_empty());
+}
+
+#[test]
+fn message_bits_inventory_lands_in_the_report() {
+    let r = lint_rule("message-bits");
+    let bits = |name: &str| {
+        r.message_bits
+            .iter()
+            .find(|m| m.type_name == name)
+            .map(|m| m.bits)
+    };
+    assert_eq!(bits("SmallMsg"), Some(49), "1 tag bit + u32 + u16");
+    assert_eq!(bits("PairMsg"), Some(25), "u16 + Option<u8>");
+    assert_eq!(
+        bits("BigMsg"),
+        Some(129),
+        "over-budget widths still inventoried"
+    );
+    assert_eq!(
+        bits("WideMsg"),
+        Some(256),
+        "waived widths still inventoried"
+    );
+    assert_eq!(
+        bits("Vote"),
+        Some(40),
+        "conformance fixture type measured too"
+    );
+    assert_eq!(bits("VecMsg"), None, "unboundable types have no width");
+}
+
+#[test]
+fn blocking_in_worker_clean_violating_waived() {
+    let r = lint_rule("blocking-in-worker");
+    assert!(
+        errors_in(&r, "blocking/clean.rs").is_empty(),
+        "a condvar wait on its own guard holds nothing"
+    );
+
+    let v = errors_in(&r, "blocking/violation.rs");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "blocking-in-worker");
+    assert_eq!(
+        (v[0].line, v[0].col),
+        (12, 30),
+        "anchored at the `.recv()` call"
+    );
+    assert!(
+        v[0].message.contains("W.state") && v[0].message.contains("worker_main"),
+        "names the pinned lock and the worker path: {}",
+        v[0].message
+    );
+
+    assert!(errors_in(&r, "blocking/waived.rs").is_empty());
+}
+
+#[test]
+fn unused_waivers_are_flagged_in_full_runs_only() {
+    let r = lint_all();
+    let w: Vec<&Diagnostic> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "waiver-unused")
+        .collect();
+    assert_eq!(w.len(), 1, "exactly the stale fixture waiver: {w:?}");
+    assert_eq!(w[0].file, "waiver/unused.rs");
+    assert_eq!(w[0].line, 1);
+    assert_eq!(
+        w[0].severity,
+        Severity::Warning,
+        "a nudge, not a build break"
+    );
+
+    // Focused runs prove nothing about waiver usefulness.
+    let focused = lint_rule("sync-facade");
+    assert!(focused
+        .diagnostics
+        .iter()
+        .all(|d| d.rule != "waiver-unused"));
 }
 
 #[test]
